@@ -1,0 +1,111 @@
+#pragma once
+/// \file bench_common.hpp
+/// \brief Shared helpers for the experiment harnesses (E1..E10).
+///
+/// Every bench binary regenerates one quantitative result of the paper's
+/// Section 4 analysis as a table: the closed-form prediction printed next to
+/// the discrete-event measurement.  Absolute values depend on the simulated
+/// link parameters; the *shape* (who wins, by what factor, where crossovers
+/// fall) is the reproduction target (see EXPERIMENTS.md).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lamsdlc/analysis/model.hpp"
+#include "lamsdlc/sim/scenario.hpp"
+#include "lamsdlc/workload/sources.hpp"
+
+namespace lamsdlc::bench {
+
+using namespace lamsdlc::literals;
+
+/// The default operating point used across experiments: a 100 Mbps laser
+/// link at ~1500 km (5 ms one-way), 1 KiB frames — inside the paper's LAMS
+/// envelope while keeping simulated runs fast.
+inline sim::ScenarioConfig default_config(sim::Protocol proto) {
+  sim::ScenarioConfig cfg;
+  cfg.protocol = proto;
+  cfg.data_rate_bps = 100e6;
+  cfg.prop_delay = 5_ms;
+  cfg.frame_bytes = 1024;
+  cfg.lams.checkpoint_interval = 5_ms;
+  cfg.lams.cumulation_depth = 4;
+  cfg.lams.t_proc = 10_us;
+  cfg.lams.max_rtt = 15_ms;
+  cfg.hdlc.window = 64;
+  cfg.hdlc.modulus = 256;
+  cfg.hdlc.t_proc = 10_us;
+  cfg.hdlc.timeout = 50_ms;  // R=10ms + alpha=40ms
+  return cfg;
+}
+
+inline void set_fixed_errors(sim::ScenarioConfig& cfg, double p_f, double p_c) {
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.forward_error.p_frame = p_f;
+  cfg.forward_error.p_control = p_c;
+  cfg.reverse_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.reverse_error.p_frame = p_c;
+  cfg.reverse_error.p_control = p_c;
+}
+
+/// Run a batch of \p n frames to completion and return the report.
+inline sim::ScenarioReport run_batch(const sim::ScenarioConfig& cfg,
+                                     std::uint64_t n,
+                                     Time horizon = Time::seconds_int(600)) {
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), n,
+                         cfg.frame_bytes);
+  const bool done = s.run_to_completion(horizon);
+  auto r = s.report();
+  if (!done) {
+    std::fprintf(stderr, "  [warn] run did not complete within horizon\n");
+  }
+  return r;
+}
+
+/// Simple fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int width = 14)
+      : cols_{headers.size()}, width_{width} {
+    std::printf("\n");
+    for (const auto& h : headers) std::printf("%*s", width_, h.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < cols_ * static_cast<std::size_t>(width_); ++i) {
+      std::printf("-");
+    }
+    std::printf("\n");
+  }
+
+  Table& cell(double v, const char* fmt = "%*.4g") {
+    std::printf(fmt, width_, v);
+    return next();
+  }
+  Table& cell(std::uint64_t v) {
+    std::printf("%*llu", width_, static_cast<unsigned long long>(v));
+    return next();
+  }
+  Table& cell(const std::string& s) {
+    std::printf("%*s", width_, s.c_str());
+    return next();
+  }
+
+ private:
+  Table& next() {
+    if (++at_ % cols_ == 0) std::printf("\n");
+    return *this;
+  }
+  std::size_t cols_;
+  int width_;
+  std::size_t at_{0};
+};
+
+inline void banner(const char* id, const char* title, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s: %s\n", id, title);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace lamsdlc::bench

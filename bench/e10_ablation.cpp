@@ -1,0 +1,63 @@
+/// E10 — Design-choice ablation: checkpoint interval × cumulation depth.
+///
+/// The paper's two tunables trade off against each other:
+///   smaller I_cp  → shorter holding time / smaller buffer, more control
+///                   overhead;
+///   larger C_depth → more NAK-loss tolerance (loss prob ~ P_C^C_depth),
+///                   longer failure-detection latency and bigger commands.
+/// This harness maps the trade-off surface the paper argues qualitatively.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace lamsdlc;
+using namespace lamsdlc::bench;
+
+void run() {
+  banner("E10", "ablation: I_cp x C_depth under P_F = 0.1, P_C = 0.2",
+         "buffer control improves with smaller I_cp at the cost of control "
+         "overhead; larger C_depth buys NAK-loss immunity at the cost of "
+         "recovery latency");
+
+  Table t{{"I_cp[ms]", "C_depth", "state", "eff", "hold[ms]", "buf:mean",
+           "ctl/frame", "reqnaks"}, 12};
+  for (const std::int64_t icp : {1, 2, 5, 10, 20}) {
+    for (const std::uint32_t depth : {1u, 2u, 4u, 8u}) {
+      auto cfg = default_config(sim::Protocol::kLams);
+      cfg.lams.checkpoint_interval = Time::milliseconds(icp);
+      cfg.lams.cumulation_depth = depth;
+      set_fixed_errors(cfg, 0.1, 0.2);
+
+      sim::Scenario s{cfg};
+      workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(),
+                             3000, cfg.frame_bytes);
+      s.run_to_completion(600_s);
+      const auto r = s.report();
+      const bool failed =
+          s.lams_sender()->mode() == lams::LamsSender::Mode::kFailed;
+      t.cell(static_cast<std::uint64_t>(icp))
+          .cell(static_cast<std::uint64_t>(depth))
+          .cell(std::string(failed ? "LINK-FAILED" : "ok"))
+          .cell(r.efficiency)
+          .cell(1e3 * r.mean_holding_s)
+          .cell(r.mean_send_buffer)
+          .cell(static_cast<double>(r.control_tx) /
+                static_cast<double>(std::max<std::uint64_t>(
+                    1, r.unique_delivered)))
+          .cell(s.lams_sender()->request_naks_sent());
+    }
+  }
+  std::printf(
+      "\nRows marked LINK-FAILED: at P_C = 0.2 a cumulation depth of 1-2\n"
+      "leaves P_C^C_depth non-negligible, enforced recovery fires often and\n"
+      "eventually misses its failure budget — the ablation shows why the\n"
+      "paper's cumulative NAK depth matters.\n");
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

@@ -1,0 +1,75 @@
+/// E12 (extension) — idle-time ARQ variants: SR vs SR+ST vs LAMS-DLC.
+///
+/// The paper's introduction motivates LAMS-DLC against the idle-time
+/// variants of classic ARQ (Stutter GBN, Miller & Lin's SR+ST): those
+/// schemes burn the window-response idle time on redundant copies, while
+/// LAMS-DLC removes the window entirely.  This harness quantifies all
+/// three on a long LAMS link: completion time of small batches (the regime
+/// stutter targets) and the bandwidth each pays for it.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace lamsdlc;
+using namespace lamsdlc::bench;
+
+struct Row {
+  double done_ms;
+  std::uint64_t tx;
+};
+
+Row run_one(sim::Protocol proto, bool stutter, double p_f, std::uint64_t n) {
+  auto cfg = default_config(proto);
+  cfg.prop_delay = 10_ms;
+  cfg.hdlc.timeout = 60_ms;
+  cfg.hdlc.stutter = stutter;
+  cfg.lams.max_rtt = 25_ms;
+  set_fixed_errors(cfg, p_f, p_f / 10.0);
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), n,
+                         cfg.frame_bytes);
+  s.run_to_completion(600_s);
+  return {1e3 * s.simulator().now().sec(), s.report().iframe_tx};
+}
+
+void run() {
+  banner("E12 (extension)",
+         "idle-time variants on a 20 ms-RTT link: batch completion [ms] "
+         "and I-frame transmissions",
+         "SR+ST converts idle time into redundant copies; LAMS-DLC has no "
+         "idle time to recover and still resolves faster per bit sent");
+
+  for (const double p_f : {0.05, 0.15}) {
+    std::printf("\n-- P_F = %.2f --\n", p_f);
+    Table t{{"N", "sr:ms", "sr:tx", "srst:ms", "srst:tx", "lams:ms",
+             "lams:tx"}, 11};
+    for (const std::uint64_t n : {16u, 32u, 64u, 128u}) {
+      const Row sr = run_one(sim::Protocol::kSrHdlc, false, p_f, n);
+      const Row st = run_one(sim::Protocol::kSrHdlc, true, p_f, n);
+      const Row lm = run_one(sim::Protocol::kLams, false, p_f, n);
+      t.cell(n)
+          .cell(sr.done_ms)
+          .cell(sr.tx)
+          .cell(st.done_ms)
+          .cell(st.tx)
+          .cell(lm.done_ms)
+          .cell(lm.tx);
+    }
+  }
+  std::printf(
+      "\nReading: SR+ST buys the best small-batch latency but multiplies the\n"
+      "transmission count ~10-20x (hostile on a shared power budget).  Plain\n"
+      "SR pays SREJ/timeout round trips per error.  LAMS-DLC's latency is\n"
+      "pinned near one checkpoint cycle regardless of N or P_F and its\n"
+      "transmission count stays at ~N*s-bar — flat where the others scale,\n"
+      "which is the introduction's efficiency argument; its sustained-load\n"
+      "advantage is E5's story.\n");
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

@@ -1,0 +1,140 @@
+/// E13 (extension) — link-lifetime utilization with session overhead.
+///
+/// The paper's first design observation (Section 1): each LAMS link is
+/// active for a short period, so the DLC "should be designed to minimize
+/// the impact of idle time due to link initialization and link
+/// (re)synchronization" and maximize efficiency inside the window.  This
+/// harness runs a complete session lifecycle — INIT handshake, saturated
+/// data phase, drain, CLOSE exchange — inside link lifetimes from 2 s down
+/// to 100 ms and reports the achieved utilization, separating the fixed
+/// lifecycle overhead (which shrinks proportionally as lifetimes grow)
+/// from the protocol's steady-state efficiency.
+
+#include "bench_common.hpp"
+#include "lamsdlc/lams/session.hpp"
+#include "lamsdlc/workload/tracker.hpp"
+
+namespace {
+
+using namespace lamsdlc;
+using namespace lamsdlc::bench;
+
+struct LifetimeResult {
+  double established_ms = 0;  ///< INIT handshake duration.
+  double utilization = 0;     ///< Delivered payload bits / (lifetime*rate).
+  std::uint64_t delivered = 0;
+  bool closed_in_time = false;
+};
+
+LifetimeResult run_lifetime(Time lifetime, double p_f) {
+  Simulator sim;
+  link::SimplexChannel::Config ccfg;
+  ccfg.data_rate_bps = 100e6;
+  ccfg.propagation = [](Time) { return 5_ms; };
+  link::FullDuplexLink link{
+      sim, ccfg,
+      std::make_unique<phy::FixedFrameErrorModel>(p_f,
+                                                  RandomStream{1, "fwd"}),
+      ccfg, std::make_unique<phy::PerfectChannel>()};
+
+  lams::SessionConfig scfg;
+  scfg.lams.checkpoint_interval = 5_ms;
+  scfg.lams.cumulation_depth = 4;
+  scfg.lams.max_rtt = 15_ms;
+  scfg.init_retry = 15_ms;
+
+  sim::DlcStats stats;
+  workload::DeliveryTracker tracker{sim, &stats};
+  lams::SessionSender tx{sim, link.forward(), scfg, &stats};
+  lams::SessionReceiver rx{sim, link.reverse(), scfg, &tracker, &stats};
+  link.reverse().set_sink(&tx);
+  link.forward().set_sink(&rx);
+
+  LifetimeResult out;
+  tx.set_state_callback([&](lams::SessionSender::State s) {
+    if (s == lams::SessionSender::State::kEstablished &&
+        out.established_ms == 0) {
+      out.established_ms = sim.now().ms();
+    }
+    if (s == lams::SessionSender::State::kClosed) {
+      out.closed_in_time = sim.now() <= lifetime;
+    }
+  });
+
+  // Saturating source with ids; stop submitting in time to drain + close.
+  // A clean close needs the retransmission tail of the last frames to
+  // resolve: a couple of resolving periods (32.5 ms each here) plus the
+  // CLOSE exchange.  Short windows cannot afford that much — the floor the
+  // paper's resolving-period bound imposes on usable link lifetimes.
+  const Time drain_margin = std::min(lifetime * 0.5, Time::milliseconds(150));
+  workload::PacketIdAllocator ids;
+  constexpr std::uint32_t kBytes = 1024;
+  frame::Frame probe;
+  probe.body = frame::IFrame{0, 0, kBytes, {}};
+  const Time t_f = link.forward().tx_time(probe);
+  // Offer traffic at the sustainable goodput (1-P_F)/t_f: retransmissions
+  // consume the rest of the serializer, so feeding faster only bloats the
+  // buffer and stretches the final drain.
+  const Time feed_interval = t_f * (1.0 / (1.0 - p_f));
+
+  std::function<void()> feed = [&] {
+    if (sim.now() + drain_margin >= lifetime) {
+      tx.close();
+      return;
+    }
+    if (tx.accepting() && tx.sending_buffer_depth() < 2000) {
+      sim::Packet p;
+      p.id = ids.next();
+      p.bytes = kBytes;
+      p.created_at = sim.now();
+      tracker.note_submitted(p);
+      tx.submit(p);
+    }
+    sim.schedule_in(feed_interval, feed);
+  };
+  tx.open();
+  sim.schedule_in(Time{}, feed);
+  sim.run_until(lifetime);
+
+  out.delivered = tracker.unique_delivered();
+  out.utilization = static_cast<double>(out.delivered) * kBytes * 8.0 /
+                    (lifetime.sec() * ccfg.data_rate_bps);
+  return out;
+}
+
+void run() {
+  banner("E13 (extension)",
+         "session lifecycle inside a finite link lifetime (100 Mbps)",
+         "initialization/close overhead is one round trip + drain margin; "
+         "its cost fades as the link lifetime grows, so even minute-scale "
+         "LAMS windows reach the protocol's steady-state efficiency");
+
+  for (const double p_f : {0.0, 0.1}) {
+    std::printf("\n-- P_F = %.2f --\n", p_f);
+    Table t{{"lifetime[ms]", "init[ms]", "delivered", "utilization",
+             "closed-ok"}};
+    for (const std::int64_t ms : {100, 250, 500, 1000, 2000, 5000}) {
+      const auto r = run_lifetime(Time::milliseconds(ms), p_f);
+      t.cell(static_cast<std::uint64_t>(ms))
+          .cell(r.established_ms)
+          .cell(r.delivered)
+          .cell(r.utilization)
+          .cell(std::string(r.closed_in_time ? "yes" : "NO"));
+    }
+  }
+  std::printf(
+      "\nutilization = delivered payload bits / (lifetime * rate); the gap\n"
+      "to 1.0 at long lifetimes is header+control overhead and (at P_F>0)\n"
+      "retransmissions, while the extra gap at short lifetimes is the fixed\n"
+      "handshake + drain cost the paper says must be minimized.  A NO in\n"
+      "closed-ok marks windows too short for the last retransmission tail\n"
+      "to resolve before the light goes out — the resolving-period floor on\n"
+      "usable link lifetimes.\n");
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// E16 (extension) — the related-work ladder: GBN, SR, NBDT, LAMS-DLC.
+///
+/// The paper's introduction positions LAMS-DLC against the whole lineage:
+/// GBN discards in-transit frames, SR stalls per window, NBDT (absolute
+/// numbering + completely selective status) fixes the throughput but pays
+/// with "huge memory" and positive-acknowledgement semantics, and LAMS-DLC
+/// keeps NBDT's continuous throughput while bounding every resource.  This
+/// harness runs all four on the same link and prints the ledger: goodput,
+/// retransmissions, sender holding time, and both buffers.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace lamsdlc;
+using namespace lamsdlc::bench;
+
+void run() {
+  banner("E16 (extension)", "four-protocol ledger on one link (5000 frames)",
+         "NBDT matches LAMS-DLC's throughput (both are continuous) but its "
+         "in-sequence receiver buffer scales with loss x bandwidth-delay "
+         "and its numbering is unbounded; GBN and SR trail on throughput");
+
+  for (const double p_f : {0.02, 0.1, 0.2}) {
+    std::printf("\n-- P_F = %.2f, P_C = %.3f --\n", p_f, p_f / 10.0);
+    Table t{{"protocol", "eff", "tx/frame", "hold[ms]", "sendbuf", "recvbuf:pk",
+             "ctl/frame"}, 12};
+    struct RowSpec {
+      sim::Protocol proto;
+      bool multiphase;
+      const char* name;
+    };
+    const RowSpec rows[] = {
+        {sim::Protocol::kGbnHdlc, false, "GBN-HDLC"},
+        {sim::Protocol::kSrHdlc, false, "SR-HDLC"},
+        {sim::Protocol::kNbdt, true, "NBDT-multi"},
+        {sim::Protocol::kNbdt, false, "NBDT-cont"},
+        {sim::Protocol::kLams, false, "LAMS-DLC"},
+    };
+    for (const RowSpec& row : rows) {
+      auto cfg = default_config(row.proto);
+      cfg.nbdt.multiphase = row.multiphase;
+      set_fixed_errors(cfg, p_f, p_f / 10.0);
+      const auto r = run_batch(cfg, 5000);
+      const char* name = row.name;
+      t.cell(std::string(name))
+          .cell(r.efficiency)
+          .cell(r.tx_per_frame)
+          .cell(1e3 * r.mean_holding_s)
+          .cell(r.mean_send_buffer)
+          .cell(r.peak_recv_buffer)
+          .cell(static_cast<double>(r.control_tx) /
+                static_cast<double>(r.unique_delivered));
+    }
+  }
+  std::printf(
+      "\nThe recvbuf:pk column is the paper's NBDT criticism in one number:\n"
+      "in-sequence delivery parks frames behind every hole, and the park\n"
+      "grows with P_F, while LAMS-DLC's receiver forwards immediately.  Add\n"
+      "the unbounded absolute numbering (vs LAMS's resolving-period bound)\n"
+      "and the case for relaxing the in-sequence constraint is complete.\n");
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

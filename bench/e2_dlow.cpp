@@ -1,0 +1,67 @@
+/// E2 — Low-traffic delivery time D_low(N).
+///
+/// Regenerates the Section 4 comparison
+///   D_low^LAMS(N) ≈ N·t_f + s̄·R + s̄·(n̄_cp − ½)·I_cp
+///   D_low^HDLC(N) ≈ N·t_f + s̄·R + ((s̄−1)(1−P_F−P_C+P_F·P_C) − P_C)·α
+/// across batch size N and the timeout slack α.  The paper's conclusion:
+/// nearly equivalent at small α, HDLC worse once α ≫ (high-mobility links).
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace lamsdlc;
+using namespace lamsdlc::bench;
+
+void run() {
+  banner("E2", "low-traffic total delivery time D_low(N) [ms]",
+         "LAMS ~= HDLC when alpha is small; D_low^HDLC grows with alpha in "
+         "a highly mobile network while LAMS-DLC is insensitive to it");
+
+  const double p_f = 0.05;
+  const double p_c = 0.01;
+
+  for (const std::int64_t alpha_ms : {10, 40, 160}) {
+    std::printf("\n-- alpha = %lld ms (t_out = R + alpha) --\n",
+                static_cast<long long>(alpha_ms));
+    Table t{{"N", "lams:analysis", "lams:sim", "hdlc:analysis", "hdlc:sim"}};
+    for (const std::uint64_t n : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+      auto lams_cfg = default_config(sim::Protocol::kLams);
+      set_fixed_errors(lams_cfg, p_f, p_c);
+      sim::Scenario probe{lams_cfg};
+      auto params = probe.analysis_params();
+      params.alpha = static_cast<double>(alpha_ms) * 1e-3;
+
+      auto hdlc_cfg = default_config(sim::Protocol::kSrHdlc);
+      set_fixed_errors(hdlc_cfg, p_f, p_c);
+      hdlc_cfg.hdlc.window = 512;  // N <= W: the paper's low-traffic regime
+      hdlc_cfg.hdlc.modulus = 2048;
+      hdlc_cfg.hdlc.timeout =
+          10_ms + Time::milliseconds(alpha_ms);  // R + alpha
+
+      // Measured: completion time of one batch.
+      sim::Scenario lams{lams_cfg};
+      workload::submit_batch(lams.simulator(), lams.sender(), lams.tracker(),
+                             lams.ids(), n, lams_cfg.frame_bytes);
+      lams.run_to_completion(600_s);
+
+      sim::Scenario hdlc{hdlc_cfg};
+      workload::submit_batch(hdlc.simulator(), hdlc.sender(), hdlc.tracker(),
+                             hdlc.ids(), n, hdlc_cfg.frame_bytes);
+      hdlc.run_to_completion(600_s);
+
+      t.cell(n)
+          .cell(1e3 * analysis::d_low_lams(params, static_cast<double>(n)))
+          .cell(1e3 * lams.simulator().now().sec())
+          .cell(1e3 * analysis::d_low_hdlc(params, static_cast<double>(n)))
+          .cell(1e3 * hdlc.simulator().now().sec());
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

@@ -1,0 +1,50 @@
+/// E3 — Mean sender holding time H_frame.
+///
+/// Regenerates the recursive derivation of Section 4:
+///   H_frame = s̄ · (R + t_f + t_c + t_proc + (n̄_cp − ½)·I_cp)
+/// across error rate and checkpoint interval.  The holding time is what
+/// buffer control bounds (and what SR-HDLC leaves unbounded).
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace lamsdlc;
+using namespace lamsdlc::bench;
+
+void run() {
+  banner("E3", "mean sender holding time H_frame [ms]",
+         "H_frame = s-bar * (R + t_f + t_c + t_proc + (n_cp - 1/2) I_cp): "
+         "linear in I_cp, geometric in P_F, bounded by the resolving period "
+         "per attempt");
+
+  for (const std::int64_t icp_ms : {2, 5, 10}) {
+    std::printf("\n-- checkpoint interval I_cp = %lld ms --\n",
+                static_cast<long long>(icp_ms));
+    Table t{{"P_F", "analysis", "sim", "resolve-bound", "B_LAMS[frames]"}};
+    for (const double p_f : {0.0, 0.02, 0.05, 0.1, 0.2}) {
+      auto cfg = default_config(sim::Protocol::kLams);
+      cfg.lams.checkpoint_interval = Time::milliseconds(icp_ms);
+      set_fixed_errors(cfg, p_f, 0.01);
+
+      sim::Scenario s{cfg};
+      workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(),
+                             3000, cfg.frame_bytes);
+      s.run_to_completion(600_s);
+      const auto params = s.analysis_params();
+
+      t.cell(p_f)
+          .cell(1e3 * analysis::h_frame_lams(params))
+          .cell(1e3 * s.stats().holding_time_s.mean())
+          .cell(1e3 * analysis::resolving_period(params))
+          .cell(analysis::b_lams(params));
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+/// E5 — The headline result: high-traffic throughput efficiency.
+///
+/// Regenerates the paper's final comparison:
+///   η_LAMS = N / D_high^LAMS(N)      with the transparent buffer B_LAMS
+///   η_HDLC = N / D_high^HDLC(N)      with W = B_LAMS, B_HDLC = 2·B_LAMS
+/// "As the channel traffic increases, the throughput efficiency of LAMS-DLC
+/// will be much better than that of SR-HDLC."
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace lamsdlc;
+using namespace lamsdlc::bench;
+
+void run() {
+  banner("E5", "high-traffic throughput efficiency (eta * t_f)",
+         "LAMS-DLC's efficiency rises with N (fixed costs amortize) and "
+         "beats SR-HDLC everywhere; the gap widens with P_F");
+
+  for (const double p_f : {0.01, 0.1}) {
+    const double p_c = p_f / 10.0;
+    std::printf("\n-- P_F = %.2f, P_C = %.3f, W = B_LAMS --\n", p_f, p_c);
+    Table t{{"N", "lams:analysis", "lams:sim", "hdlc:analysis", "hdlc:sim",
+             "ratio:sim"}};
+    for (const std::uint64_t n : {1000u, 5000u, 20000u, 50000u}) {
+      auto lams_cfg = default_config(sim::Protocol::kLams);
+      set_fixed_errors(lams_cfg, p_f, p_c);
+      sim::Scenario probe{lams_cfg};
+      auto params = probe.analysis_params();
+      params.window = std::max(
+          2u, static_cast<std::uint32_t>(analysis::b_lams(params)));
+
+      const auto lams = run_batch(lams_cfg, n);
+
+      auto hdlc_cfg = default_config(sim::Protocol::kSrHdlc);
+      set_fixed_errors(hdlc_cfg, p_f, p_c);
+      hdlc_cfg.hdlc.window = params.window;
+      hdlc_cfg.hdlc.modulus = 2 * params.window;
+      const auto hdlc = run_batch(hdlc_cfg, n);
+
+      const double nn = static_cast<double>(n);
+      t.cell(n)
+          .cell(analysis::efficiency_lams(params, nn))
+          .cell(lams.efficiency)
+          .cell(analysis::efficiency_hdlc(params, nn))
+          .cell(hdlc.efficiency)
+          .cell(hdlc.efficiency > 0 ? lams.efficiency / hdlc.efficiency : 0.0);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

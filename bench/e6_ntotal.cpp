@@ -1,0 +1,46 @@
+/// E6 — The N_total retransmission-inflation recursion.
+///
+/// Regenerates the Section 4 subperiod recursion: under sustained load the
+/// expected total number of I-frame transmissions needed to introduce N new
+/// frames, N_total(N), versus the geometric closed form N/(1−P_R) and the
+/// simulator's actual transmission count.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace lamsdlc;
+using namespace lamsdlc::bench;
+
+void run() {
+  banner("E6", "total I-frame transmissions N_total(N) for N = 10,000",
+         "the subperiod recursion converges to N/(1-P_R); the simulator's "
+         "transmission count matches both");
+
+  const std::uint64_t n = 10'000;
+  Table t{{"P_R(=P_F)", "recursion", "geometric", "sim", "sim/geo"}};
+  for (const double p_f : {0.01, 0.05, 0.1, 0.2, 0.3}) {
+    auto cfg = default_config(sim::Protocol::kLams);
+    set_fixed_errors(cfg, p_f, 0.005);
+    sim::Scenario probe{cfg};
+    const auto params = probe.analysis_params();
+    const double h = analysis::h_frame_lams(params) / params.t_f;
+
+    const auto r = run_batch(cfg, n);
+
+    const double rec = analysis::n_total(static_cast<double>(n), h, p_f);
+    const double geo = analysis::n_total_geometric(static_cast<double>(n), p_f);
+    t.cell(p_f)
+        .cell(rec)
+        .cell(geo)
+        .cell(r.iframe_tx)
+        .cell(static_cast<double>(r.iframe_tx) / geo);
+  }
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

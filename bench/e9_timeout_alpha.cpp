@@ -1,0 +1,82 @@
+/// E9 — Timeout sensitivity: t_out = R + α on a moving constellation.
+///
+/// Regenerates the Section 4 timeout discussion: in a LAMS network var(R_t)
+/// is large, so α must cover R_max − R; every millisecond of α is paid on
+/// each lost response, degrading SR-HDLC while LAMS-DLC (no response
+/// timeout in its steady state) is insensitive.  The orbit module supplies
+/// a real R_t profile and the α lower bound.
+
+#include "bench_common.hpp"
+#include "lamsdlc/orbit/orbit.hpp"
+
+namespace {
+
+using namespace lamsdlc;
+using namespace lamsdlc::bench;
+
+void run() {
+  banner("E9", "HDLC t_out = R + alpha sensitivity on an orbit-driven link",
+         "alpha must exceed R_max - R from orbit geometry; HDLC efficiency "
+         "falls as alpha grows, LAMS-DLC does not use t_out at all");
+
+  // Two satellites at 1000 km altitude in slightly different planes.
+  orbit::CircularOrbit a;
+  a.altitude_m = 1.0e6;
+  orbit::CircularOrbit b = a;
+  b.phase_rad = 0.35;
+  b.inclination_rad = 0.3;
+  auto pair = std::make_shared<orbit::SatellitePair>(a, b);
+
+  const auto windows = orbit::find_windows(*pair, Time::seconds_int(7000),
+                                           Time::seconds_int(5));
+  if (windows.empty()) {
+    std::printf("no visibility window found\n");
+    return;
+  }
+  const auto st = orbit::range_stats(*pair, windows.front(),
+                                     Time::seconds_int(5));
+  std::printf("\nlink window: %.0f s, range %.0f-%.0f km, mean RTT %.2f ms, "
+              "min alpha %.2f ms\n",
+              windows.front().duration().sec(), st.r_min_m / 1e3,
+              st.r_max_m / 1e3, st.round_trip().ms(), st.min_alpha().ms());
+
+  const double p_f = 0.08;
+  const double p_c = 0.02;
+
+  // LAMS reference on the same orbit-driven link.
+  auto lams_cfg = default_config(sim::Protocol::kLams);
+  lams_cfg.propagation = [pair](Time t) { return pair->propagation_delay(t); };
+  lams_cfg.lams.max_rtt = st.round_trip() + st.min_alpha() + 5_ms;
+  set_fixed_errors(lams_cfg, p_f, p_c);
+  const auto lams = run_batch(lams_cfg, 5000);
+  std::printf("LAMS-DLC reference efficiency (alpha-independent): %.3f\n",
+              lams.efficiency);
+
+  Table t{{"alpha[ms]", "hdlc:analysis", "hdlc:sim", "hdlc:timeouts"}};
+  for (const std::int64_t alpha_ms : {5, 20, 40, 80, 160, 320}) {
+    auto cfg = default_config(sim::Protocol::kSrHdlc);
+    cfg.propagation = [pair](Time t) { return pair->propagation_delay(t); };
+    cfg.hdlc.timeout = st.round_trip() + Time::milliseconds(alpha_ms);
+    set_fixed_errors(cfg, p_f, p_c);
+
+    sim::Scenario s{cfg};
+    auto params = s.analysis_params();
+    params.rtt = st.round_trip().sec();
+    params.alpha = static_cast<double>(alpha_ms) * 1e-3;
+    workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(),
+                           5000, cfg.frame_bytes);
+    s.run_to_completion(600_s);
+    const auto r = s.report();
+    t.cell(static_cast<std::uint64_t>(alpha_ms))
+        .cell(analysis::efficiency_hdlc(params, 5000.0))
+        .cell(r.efficiency)
+        .cell(s.sr_sender()->timeouts());
+  }
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

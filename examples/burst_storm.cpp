@@ -1,0 +1,101 @@
+/// \file burst_storm.cpp
+/// \brief Three protocols ride out the same mispointing storm.
+///
+/// Beam-mispointing bursts are the LAMS channel's signature failure mode
+/// (Section 2.1).  This example runs LAMS-DLC, SR-HDLC and GBN-HDLC over an
+/// identical Gilbert-Elliott storm (same seed, same burst schedule) and
+/// prints a side-by-side comparison — the qualitative content of the
+/// paper's Section 3.3 "Advantages" discussion.
+///
+///   $ ./burst_storm
+
+#include <cstdio>
+
+#include "lamsdlc/sim/scenario.hpp"
+#include "lamsdlc/workload/sources.hpp"
+
+namespace {
+
+using namespace lamsdlc;
+using namespace lamsdlc::literals;
+
+struct Outcome {
+  sim::ScenarioReport report;
+  std::uint64_t recovery_events = 0;
+  const char* recovery_kind = "";
+};
+
+Outcome ride_the_storm(sim::Protocol proto) {
+  sim::ScenarioConfig cfg;
+  cfg.protocol = proto;
+  cfg.data_rate_bps = 100e6;
+  cfg.prop_delay = 8_ms;
+  cfg.frame_bytes = 1024;
+  cfg.seed = 7;  // identical storm for every protocol
+  cfg.lams.checkpoint_interval = 5_ms;
+  cfg.lams.cumulation_depth = 6;  // 30 ms NAK window > mean burst
+  cfg.lams.max_rtt = 20_ms;
+  cfg.hdlc.window = 96;
+  cfg.hdlc.modulus = 256;
+  cfg.hdlc.timeout = 60_ms;
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kGilbertElliott;
+  cfg.forward_error.gilbert.good_ber = 1e-7;
+  cfg.forward_error.gilbert.bad_ber = 1e-2;
+  cfg.forward_error.gilbert.mean_good = 40_ms;
+  cfg.forward_error.gilbert.mean_bad = 6_ms;
+  cfg.reverse_error = cfg.forward_error;
+
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(),
+                         8000, cfg.frame_bytes);
+  s.run_to_completion(Time::seconds_int(600));
+
+  Outcome o;
+  o.report = s.report();
+  if (auto* lams = s.lams_sender()) {
+    o.recovery_events = lams->request_naks_sent();
+    o.recovery_kind = "enforced recoveries";
+  } else if (auto* sr = s.sr_sender()) {
+    o.recovery_events = sr->timeouts();
+    o.recovery_kind = "t_out expiries";
+  } else if (auto* gbn = s.gbn_sender()) {
+    o.recovery_events = gbn->timeouts();
+    o.recovery_kind = "t_out expiries";
+  }
+  return o;
+}
+
+void print(const char* name, const Outcome& o) {
+  const auto& r = o.report;
+  std::printf("%-10s eff=%.3f  retx=%5.1f%%  lost=%llu dup=%llu  "
+              "recv-buf peak=%4.0f  %llu %s\n",
+              name, r.efficiency,
+              100.0 * static_cast<double>(r.iframe_retx) /
+                  static_cast<double>(r.iframe_tx),
+              static_cast<unsigned long long>(r.lost),
+              static_cast<unsigned long long>(r.duplicates),
+              r.peak_recv_buffer,
+              static_cast<unsigned long long>(o.recovery_events),
+              o.recovery_kind);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("mispointing storm: 6 ms bursts at 1e-2 BER every ~40 ms, "
+              "8000 frames of 1 KiB, RTT 16 ms\n\n");
+  const auto lams = ride_the_storm(sim::Protocol::kLams);
+  const auto sr = ride_the_storm(sim::Protocol::kSrHdlc);
+  const auto gbn = ride_the_storm(sim::Protocol::kGbnHdlc);
+  print("LAMS-DLC", lams);
+  print("SR-HDLC", sr);
+  print("GBN-HDLC", gbn);
+
+  std::printf(
+      "\nReading the row tells the paper's story: cumulative NAKs absorb\n"
+      "whole bursts without stalling (no timeouts, receiver buffer stays\n"
+      "near zero because out-of-order frames are forwarded immediately),\n"
+      "while both HDLC variants burn round trips on timeout recovery and\n"
+      "SR-HDLC additionally parks frames for resequencing.\n");
+  return lams.report.lost == 0 ? 0 : 1;
+}

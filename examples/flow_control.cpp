@@ -1,0 +1,89 @@
+/// \file flow_control.cpp
+/// \brief Stop-Go flow control and buffer control, watched live.
+///
+/// Section 3.4 distinguishes two mechanisms that are often conflated:
+///  - *flow control* protects the receiver: when its processing backlog
+///    nears overflow it sets the Stop-Go bit in checkpoints and the sender
+///    multiplicatively decreases its rate (additively recovering on Go);
+///  - *buffer control* protects the sender: the checkpoint cadence bounds
+///    the holding time, so the sending buffer has a transparent size that
+///    shrinks with the checkpoint interval.
+///
+/// This example runs a fast sender against a receiver whose processing
+/// slows down mid-run (a satellite busy with other links), and prints a
+/// timeline of the rate factor, the receiver backlog, and the sending
+/// buffer — Stop-Go kicking in, throttling, and releasing.
+///
+///   $ ./flow_control
+
+#include <cstdio>
+
+#include "lamsdlc/sim/scenario.hpp"
+#include "lamsdlc/workload/sources.hpp"
+
+int main() {
+  using namespace lamsdlc;
+  using namespace lamsdlc::literals;
+
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kLams;
+  cfg.data_rate_bps = 100e6;
+  cfg.prop_delay = 5_ms;
+  cfg.frame_bytes = 1024;
+  cfg.lams.checkpoint_interval = 5_ms;
+  cfg.lams.cumulation_depth = 4;
+  cfg.lams.max_rtt = 15_ms;
+  // The paper's transparent receive size is t_proc/t_f frames (Section 4);
+  // with t_proc = 2 ms against 83 us serialization the backlog runs ~24
+  // frames at full rate, so a watermark of 16 forces Stop-Go to hold the
+  // sender near 2/3 rate — visible as an oscillating rate factor below.
+  cfg.lams.recv_high_watermark = 16;
+  cfg.lams.t_proc = 2_ms;
+
+  sim::Scenario s{cfg};
+
+  // Saturating arrivals for the first 150 ms.
+  workload::RateSource source{
+      s.simulator(), s.sender(), s.tracker(), s.ids(),
+      {.interarrival = 83_us, .count = 1800, .bytes = 1024, .start = Time{},
+       .respect_backpressure = false}};
+  source.start();
+
+  std::printf("  t[ms]   rate-factor   recv-backlog   send-buffer   "
+              "delivered\n");
+  std::printf("  -----   -----------   ------------   -----------   "
+              "---------\n");
+  bool throttled = false;
+  Time throttle_start{}, recovered_at{};
+  for (int ms = 10; ms <= 400; ms += 10) {
+    s.simulator().run_until(Time::milliseconds(ms));
+    const double rate = s.lams_sender()->rate_factor();
+    const std::size_t backlog = s.lams_receiver()->recv_buffer_depth();
+    std::printf("  %5d   %11.3f   %12zu   %11zu   %9llu\n", ms, rate, backlog,
+                s.sender().sending_buffer_depth(),
+                static_cast<unsigned long long>(
+                    s.tracker().unique_delivered()));
+    if (rate < 1.0 && !throttled) {
+      throttled = true;
+      throttle_start = s.simulator().now();
+    }
+    if (throttled && rate == 1.0 && recovered_at == Time{}) {
+      recovered_at = s.simulator().now();
+    }
+  }
+  const bool done = s.run_to_completion(10_s);
+  const auto r = s.report();
+
+  std::printf("\nStop-Go engaged at ~%.0f ms and released by ~%.0f ms; "
+              "every frame still arrived exactly once (%llu/%llu, %llu "
+              "dups).\n",
+              throttle_start.ms(), recovered_at.ms(),
+              static_cast<unsigned long long>(r.unique_delivered),
+              static_cast<unsigned long long>(r.submitted),
+              static_cast<unsigned long long>(r.duplicates));
+  std::printf("Buffer control: mean sending buffer %.0f frames against the "
+              "analysis bound B_LAMS = %.0f.\n",
+              r.mean_send_buffer,
+              analysis::b_lams(s.analysis_params()));
+  return done && r.lost == 0 ? 0 : 1;
+}

@@ -1,0 +1,163 @@
+#pragma once
+/// \file model.hpp
+/// \brief Closed-form performance model of Section 4.
+///
+/// Implements every quantity the paper derives, in the paper's notation:
+///
+///   s̄            mean number of periods per successful I-frame delivery
+///   n̄_cp         mean checkpoints needed to acknowledge an I-frame
+///   D_trans      mean transmission-period length
+///   D_retrn      mean retransmission-period length
+///   D_low(N)     mean total time for N frames, low traffic
+///   H_frame      mean sender holding time of an I-frame
+///   B_LAMS       transparent sending+receiving buffer size (frames)
+///   N_total(N)   I-frames sent for N new frames under sustained load
+///   D_high(N)    mean total time, high traffic
+///   η            throughput (frames per second) and efficiency (η · t_f)
+///
+/// All times are in seconds, all counts in frames.  The `*_approx` variants
+/// reproduce the paper's final "≈" simplifications; the primary functions
+/// keep every term.
+
+#include <cstdint>
+
+namespace lamsdlc::analysis {
+
+/// Shared parameters of the Section 4 analysis.
+struct Params {
+  double p_f = 1e-2;       ///< P_F: I-frame error probability.
+  double p_c = 1e-3;       ///< P_C: control-frame error probability.
+  double t_f = 27.3e-6;    ///< I-frame transmission time (s).
+  double t_c = 1e-6;       ///< Control-command transmission time (s).
+  double t_proc = 10e-6;   ///< Frame/command processing time (s).
+  double rtt = 20e-3;      ///< R: round-trip time (s).
+  double alpha = 100e-3;   ///< t_out - R (HDLC timeout slack, s).
+  double i_cp = 5e-3;      ///< Checkpoint interval W_cp = I_cp (s).
+  std::uint32_t c_depth = 4;  ///< Cumulation depth.
+  std::uint32_t window = 64;  ///< W: HDLC window size (frames).
+};
+
+/// \name Retransmission counts (geometric model)
+/// @{
+
+/// P_R for LAMS-DLC: NAK-only ARQ retransmits exactly when the I-frame was
+/// in error, so P_R = P_F.
+[[nodiscard]] double p_r_lams(const Params& p) noexcept;
+
+/// P_R for SR-HDLC: P_F + P_C − P_F·P_C in both transmission and
+/// retransmission periods.
+[[nodiscard]] double p_r_hdlc(const Params& p) noexcept;
+
+/// s̄ = 1 / (1 − P_R).
+[[nodiscard]] double s_bar(double p_r) noexcept;
+[[nodiscard]] double s_bar_lams(const Params& p) noexcept;
+[[nodiscard]] double s_bar_hdlc(const Params& p) noexcept;
+
+/// n̄_cp = 1 / (1 − P_C): checkpoints needed until one gets through.
+[[nodiscard]] double n_cp_bar(const Params& p) noexcept;
+/// @}
+
+/// \name Period lengths
+/// @{
+
+/// D_trans^LAMS(N) = N·t_f + t_c + t_proc + R + (n̄_cp − ½)·I_cp.
+[[nodiscard]] double d_trans_lams(const Params& p, double n_frames) noexcept;
+
+/// D_retrn^LAMS = D_trans^LAMS(1).
+[[nodiscard]] double d_retrn_lams(const Params& p) noexcept;
+
+/// D_trans^HDLC(W) = W·t_f + (1−P_C)(R + 2t_proc + t_c) + P_C(R + α).
+[[nodiscard]] double d_trans_hdlc(const Params& p, double n_frames) noexcept;
+
+/// D_retrn^HDLC = t_f + R + α(1−P_F)(1−P_C)… (full expression of Section 4).
+[[nodiscard]] double d_retrn_hdlc(const Params& p) noexcept;
+/// @}
+
+/// \name Low-traffic delivery times
+/// @{
+
+/// D_low^LAMS(N) = D_trans^LAMS(N) + (s̄−1)·D_retrn^LAMS.
+[[nodiscard]] double d_low_lams(const Params& p, double n_frames) noexcept;
+
+/// The paper's ≈ form: N·t_f + s̄·R + s̄·(n̄_cp − ½)·I_cp.
+[[nodiscard]] double d_low_lams_approx(const Params& p, double n_frames) noexcept;
+
+/// D_low^HDLC(W) = D_trans^HDLC(W) + (s̄−1)·D_retrn^HDLC.
+[[nodiscard]] double d_low_hdlc(const Params& p, double n_frames) noexcept;
+
+/// The paper's ≈ form.
+[[nodiscard]] double d_low_hdlc_approx(const Params& p, double n_frames) noexcept;
+/// @}
+
+/// \name Holding time and transparent buffer size
+/// @{
+
+/// H_frame^LAMS = s̄ · (R + t_f + t_c + t_proc + (n̄_cp − ½)·I_cp).
+[[nodiscard]] double h_frame_lams(const Params& p) noexcept;
+
+/// B_LAMS = H_frame/t_f + t_proc/t_f (sending + receiving side), frames.
+[[nodiscard]] double b_lams(const Params& p) noexcept;
+
+/// Resolving-period bound R + ½·W_cp + C_depth·W_cp (Section 3.3): also the
+/// bound on the holding time and the inconsistency gap.
+[[nodiscard]] double resolving_period(const Params& p) noexcept;
+
+/// Lower bound on the numbering size for continuous operation:
+/// resolving period divided by the frame time (Section 2.3/3.3).
+[[nodiscard]] double numbering_size(const Params& p) noexcept;
+/// @}
+
+/// \name Reliability bounds (Sections 3.2/3.3)
+/// @{
+
+/// Probability that all C_depth checkpoints carrying a NAK are lost —
+/// the residual I-frame loss probability a *pure* cumulative-NAK scheme
+/// (no enforced recovery) would have: P_C^C_depth.  The paper's footnote:
+/// at BER 1e-7 this is <= 1e-10 per frame; enforced recovery removes even
+/// that.
+[[nodiscard]] double p_nak_blackout(const Params& p) noexcept;
+
+/// Bound on the inconsistency gap: the normal response time plus
+/// C_depth·I_cp (Section 2.3) — how long the two ends' views may disagree
+/// about any frame before either a checkpoint resolves it or enforced
+/// recovery begins.
+[[nodiscard]] double inconsistency_gap_bound(const Params& p) noexcept;
+
+/// Failure-detection latency bound: checkpoint silence C_depth·I_cp, plus
+/// the Request-NAK round trip, plus the failure timer (expected response
+/// time + C_depth·I_cp) — the worst case from link death to the sender
+/// informing the network layer.
+[[nodiscard]] double failure_detection_bound(const Params& p) noexcept;
+/// @}
+
+/// \name High-traffic model
+/// @{
+
+/// The paper's N_total recursion: frames are sent in subperiods of
+/// h = H_frame/t_f frames; each subperiod re-sends the expected
+/// retransmissions of all previous subperiods, displacing new frames.
+/// Returns the expected total number of I-frame transmissions needed to
+/// introduce \p n_new new frames.
+[[nodiscard]] double n_total(double n_new, double h, double p_r) noexcept;
+
+/// Closed-form check: sustained load sends each frame s̄ times on average,
+/// so N_total → N / (1 − P_R).
+[[nodiscard]] double n_total_geometric(double n_new, double p_r) noexcept;
+
+/// D_high^LAMS(N) = D_low^LAMS(N_total^LAMS(N)).
+[[nodiscard]] double d_high_lams(const Params& p, double n_frames) noexcept;
+
+/// D_high^HDLC(N) = m·D_low^HDLC(N_total(W)) + D_low^HDLC(r_w) with
+/// m = ⌊N/W⌋, r_w = N mod W.
+[[nodiscard]] double d_high_hdlc(const Params& p, double n_frames) noexcept;
+
+/// η = N / D_high (frames per second).
+[[nodiscard]] double eta_lams(const Params& p, double n_frames) noexcept;
+[[nodiscard]] double eta_hdlc(const Params& p, double n_frames) noexcept;
+
+/// Normalized efficiency η·t_f ∈ [0, 1].
+[[nodiscard]] double efficiency_lams(const Params& p, double n_frames) noexcept;
+[[nodiscard]] double efficiency_hdlc(const Params& p, double n_frames) noexcept;
+/// @}
+
+}  // namespace lamsdlc::analysis

@@ -1,0 +1,100 @@
+#pragma once
+/// \file simulator.hpp
+/// \brief Deterministic discrete-event simulation kernel.
+///
+/// The kernel is single-threaded and fully deterministic: events scheduled
+/// for the same instant fire in scheduling order (FIFO tie-break via a
+/// monotonically increasing sequence number).  This matches the paper's
+/// assumption 8 ("all parameters ... are deterministic") and makes every
+/// experiment bit-for-bit reproducible given a seed.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+
+#include "lamsdlc/core/time.hpp"
+
+namespace lamsdlc {
+
+/// Handle identifying a scheduled event; used to cancel timers.
+/// Value 0 is reserved and never issued.
+using EventId = std::uint64_t;
+
+/// Single-threaded discrete-event simulator.
+///
+/// Usage:
+/// \code
+///   Simulator sim;
+///   sim.schedule_in(Time::milliseconds(5), [&]{ ... });
+///   sim.run();
+/// \endcode
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.  Starts at zero.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedule \p cb to run at absolute time \p at.
+  /// \throws std::invalid_argument if \p at is in the past.
+  EventId schedule_at(Time at, Callback cb);
+
+  /// Schedule \p cb to run \p delay after the current time.
+  EventId schedule_in(Time delay, Callback cb) { return schedule_at(now_ + delay, cb); }
+
+  /// Cancel a pending event.  Returns true if the event existed and had not
+  /// yet fired; cancelling an already-fired or unknown id is a harmless no-op
+  /// returning false (this is the convenient semantics for protocol timers).
+  bool cancel(EventId id);
+
+  /// True if the event is still pending.
+  [[nodiscard]] bool pending(EventId id) const;
+
+  /// Run until the event queue drains or `stop()` is called.
+  void run();
+
+  /// Run until simulated time would exceed \p horizon.  Events at exactly
+  /// \p horizon still fire; the clock is left at min(horizon, last event).
+  void run_until(Time horizon);
+
+  /// Request that `run()` return after the current event completes.
+  void stop() noexcept { stopped_ = true; }
+
+  /// Number of events executed so far (diagnostic).
+  [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+
+  /// Number of events currently pending (excludes cancelled).
+  [[nodiscard]] std::size_t events_pending() const noexcept { return callbacks_.size(); }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;  // FIFO tie-break among equal times
+    EventId id;
+    // Ordering for a min-heap via std::priority_queue (which is a max-heap):
+    // "greater" entries sort to the bottom.
+    bool operator<(const Entry& o) const noexcept {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  bool dispatch_next();
+
+  Time now_{};
+  bool stopped_{false};
+  std::uint64_t next_seq_{0};
+  EventId next_id_{1};
+  std::uint64_t executed_{0};
+  std::priority_queue<Entry> queue_;
+  // Live callbacks keyed by event id.  Cancellation erases the entry; the
+  // heap entry becomes a tombstone skipped at dispatch time.
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace lamsdlc

@@ -1,0 +1,125 @@
+#pragma once
+/// \file time.hpp
+/// \brief Simulation time type for the discrete-event kernel.
+///
+/// Simulated time is an integral count of picoseconds.  At the highest data
+/// rate the paper considers (1 Gbps) one bit lasts 1 ns = 1000 ps, so every
+/// serialization and propagation interval of interest is represented exactly;
+/// an int64 count of picoseconds covers ~106 days of simulated time, far more
+/// than any LAMS link lifetime (minutes).
+
+#include <compare>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace lamsdlc {
+
+/// An instant or duration on the simulation clock, stored as picoseconds.
+///
+/// `Time` is a regular value type: totally ordered, cheap to copy, and closed
+/// under addition/subtraction and scaling.  Negative values are permitted so
+/// that durations can be subtracted freely; the `Simulator` rejects scheduling
+/// into the past.
+class Time {
+ public:
+  /// Zero time; also the default.
+  constexpr Time() noexcept = default;
+
+  /// \name Named constructors
+  /// @{
+  [[nodiscard]] static constexpr Time picoseconds(std::int64_t v) noexcept {
+    return Time{v};
+  }
+  [[nodiscard]] static constexpr Time nanoseconds(std::int64_t v) noexcept {
+    return Time{v * 1'000};
+  }
+  [[nodiscard]] static constexpr Time microseconds(std::int64_t v) noexcept {
+    return Time{v * 1'000'000};
+  }
+  [[nodiscard]] static constexpr Time milliseconds(std::int64_t v) noexcept {
+    return Time{v * 1'000'000'000};
+  }
+  [[nodiscard]] static constexpr Time seconds_int(std::int64_t v) noexcept {
+    return Time{v * 1'000'000'000'000};
+  }
+  /// Construct from a floating-point second count (rounded to nearest ps).
+  [[nodiscard]] static constexpr Time seconds(double v) noexcept {
+    return Time{static_cast<std::int64_t>(v * 1e12 + (v >= 0 ? 0.5 : -0.5))};
+  }
+  /// The largest representable instant; used as an "infinite" horizon.
+  [[nodiscard]] static constexpr Time max() noexcept {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+  /// @}
+
+  /// \name Accessors
+  /// @{
+  [[nodiscard]] constexpr std::int64_t ps() const noexcept { return ps_; }
+  [[nodiscard]] constexpr double ns() const noexcept { return static_cast<double>(ps_) / 1e3; }
+  [[nodiscard]] constexpr double us() const noexcept { return static_cast<double>(ps_) / 1e6; }
+  [[nodiscard]] constexpr double ms() const noexcept { return static_cast<double>(ps_) / 1e9; }
+  [[nodiscard]] constexpr double sec() const noexcept { return static_cast<double>(ps_) / 1e12; }
+  /// @}
+
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return ps_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const noexcept { return ps_ < 0; }
+
+  constexpr auto operator<=>(const Time&) const noexcept = default;
+
+  constexpr Time& operator+=(Time rhs) noexcept {
+    ps_ += rhs.ps_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time rhs) noexcept {
+    ps_ -= rhs.ps_;
+    return *this;
+  }
+  friend constexpr Time operator+(Time a, Time b) noexcept { return Time{a.ps_ + b.ps_}; }
+  friend constexpr Time operator-(Time a, Time b) noexcept { return Time{a.ps_ - b.ps_}; }
+  template <typename Int>
+    requires std::integral<Int>
+  friend constexpr Time operator*(Time a, Int k) noexcept {
+    return Time{a.ps_ * static_cast<std::int64_t>(k)};
+  }
+  /// Scale by a real factor (rounded to nearest ps).
+  friend constexpr Time operator*(Time a, double k) noexcept {
+    const double v = static_cast<double>(a.ps_) * k;
+    return Time{static_cast<std::int64_t>(v + (v >= 0 ? 0.5 : -0.5))};
+  }
+  /// Ratio of two durations.
+  friend constexpr double operator/(Time a, Time b) noexcept {
+    return static_cast<double>(a.ps_) / static_cast<double>(b.ps_);
+  }
+  friend constexpr Time operator/(Time a, std::int64_t k) noexcept { return Time{a.ps_ / k}; }
+
+  friend std::ostream& operator<<(std::ostream& os, Time t);
+
+ private:
+  constexpr explicit Time(std::int64_t ps) noexcept : ps_{ps} {}
+  std::int64_t ps_{0};
+};
+
+namespace literals {
+[[nodiscard]] constexpr Time operator""_ps(unsigned long long v) {
+  return Time::picoseconds(static_cast<std::int64_t>(v));
+}
+[[nodiscard]] constexpr Time operator""_ns(unsigned long long v) {
+  return Time::nanoseconds(static_cast<std::int64_t>(v));
+}
+[[nodiscard]] constexpr Time operator""_us(unsigned long long v) {
+  return Time::microseconds(static_cast<std::int64_t>(v));
+}
+[[nodiscard]] constexpr Time operator""_ms(unsigned long long v) {
+  return Time::milliseconds(static_cast<std::int64_t>(v));
+}
+[[nodiscard]] constexpr Time operator""_s(unsigned long long v) {
+  return Time::seconds_int(static_cast<std::int64_t>(v));
+}
+[[nodiscard]] constexpr Time operator""_s(long double v) {
+  return Time::seconds(static_cast<double>(v));
+}
+}  // namespace literals
+
+}  // namespace lamsdlc

@@ -1,0 +1,43 @@
+#pragma once
+/// \file codec.hpp
+/// \brief Byte-level encode/decode of frames with CRC-16 FCS.
+///
+/// Layout (all integers little-endian):
+///   [u8 kind][kind-specific body][u16 FCS over kind+body]
+///
+/// Kinds:
+///   1 IFrame        : u32 seq, u32 payload_bytes, payload
+///   2 Checkpoint    : u32 cp_seq, i64 generated_at_ps, u32 highest_seen,
+///                     u8 flags (bit0 any_seen, bit1 enforced, bit2 stop_go),
+///                     u16 nak_count, u32 naks[]
+///   3 RequestNak    : u32 token
+///   4 HdlcIFrame    : u32 ns, u32 nr, u8 flags (bit0 poll),
+///                     u32 payload_bytes, payload
+///   5 HdlcSFrame    : u8 type_and_flags (low 2 bits type, bit7 P/F),
+///                     u32 nr, u16 srej_count, u32 srej_list[]
+///
+/// `PacketId` is a simulator-side identity and is intentionally *not* on the
+/// wire; `decode` yields frames with `packet_id == 0`.
+///
+/// If an I-frame's `payload` vector is empty but `payload_bytes` is nonzero
+/// the encoder emits that many zero bytes (the simulator usually carries
+/// lengths, not literal payloads).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "lamsdlc/frame/frame.hpp"
+
+namespace lamsdlc::frame {
+
+/// Serialize \p f (never fails; output length == `encoded_size(f)`).
+[[nodiscard]] std::vector<std::uint8_t> encode(const Frame& f);
+
+/// Parse bytes back into a frame.  Returns std::nullopt when the buffer is
+/// truncated, the kind is unknown, internal lengths disagree, or the FCS
+/// check fails.
+[[nodiscard]] std::optional<Frame> decode(std::span<const std::uint8_t> bytes);
+
+}  // namespace lamsdlc::frame

@@ -1,0 +1,146 @@
+#pragma once
+/// \file frame.hpp
+/// \brief Frame formats for LAMS-DLC and HDLC.
+///
+/// LAMS-DLC (Section 3.1) defines I-frames plus three control commands:
+///  - Check-Point-NAK   (periodic checkpoint; cumulative NAK list),
+///  - Enforced-NAK      (checkpoint with the Enforced bit set; response to a
+///                       Request-NAK, a.k.a. Resolving Command when empty),
+///  - Request-NAK       (sender-issued poll when checkpoints go silent).
+/// Checkpoint-class commands carry a Stop-Go bit for flow control; LAMS-DLC
+/// forbids acknowledgement piggybacking (control frames travel under their
+/// own, stronger FEC — link model assumption 4).
+///
+/// The HDLC frames cover the SR-HDLC / GBN-HDLC baselines: numbered I-frames
+/// and the S-frames RR / RNR / REJ / SREJ with a P/F bit.
+///
+/// Design notes for the byte codecs (`codec.hpp`):
+///  - frames are length-delimited rather than flag-delimited (no bit
+///    stuffing); framing transparency is orthogonal to the protocol logic
+///    under study and is documented as out of scope;
+///  - every frame ends in a CRC-16/CCITT FCS;
+///  - the simulator transports the in-memory structs and marks corruption
+///    explicitly, so assumption 9 of the link model (no undetected errors)
+///    holds by construction, while the codecs give the byte-faithful path
+///    for the public API.
+
+#include <cstddef>
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "lamsdlc/core/time.hpp"
+
+namespace lamsdlc::frame {
+
+/// Sequence number.  LAMS-DLC renumbers retransmissions, so sequence numbers
+/// form a cyclic space whose size (the "numbering size", Section 3.3) is
+/// bounded by the resolving period; HDLC interprets these modulo its own
+/// modulus.  We carry them as plain 32-bit values and let each protocol apply
+/// its modulus.
+using Seq = std::uint32_t;
+
+/// Stable identity of a user packet across LAMS-DLC renumbering; never on the
+/// wire, used by the simulator and the destination resequencer.
+using PacketId = std::uint64_t;
+
+/// LAMS-DLC information frame.
+struct IFrame {
+  Seq seq = 0;
+  PacketId packet_id = 0;             ///< Simulation-side identity.
+  std::uint32_t payload_bytes = 0;    ///< Logical payload length.
+  std::vector<std::uint8_t> payload;  ///< Optional literal payload bytes.
+};
+
+/// LAMS-DLC checkpoint-class command: Check-Point-NAK when `enforced` is
+/// false, Enforced-NAK / Resolving Command when true.
+struct CheckpointFrame {
+  std::uint32_t cp_seq = 0;    ///< Serial number of this checkpoint.
+  Time generated_at{};         ///< Receiver clock at generation (deterministic
+                               ///< link model: both ends share the timeline).
+  Seq highest_seen = 0;        ///< Highest I-frame sequence received so far.
+  bool any_seen = false;       ///< False until the first I-frame arrives.
+  bool enforced = false;       ///< Enforced bit (Section 3.2).
+  bool stop_go = false;        ///< Stop-Go bit: true = stop (Section 3.4).
+  std::uint32_t epoch = 0;     ///< Session epoch (0 = no session layer).
+  std::vector<Seq> naks;       ///< Cumulative NAKs over C_depth intervals.
+};
+
+/// Session-layer command for link initialization, resynchronization and
+/// graceful close — the "error free procedures for link initialization …
+/// and resynchronization" the paper lists among the reliability
+/// constraints (Section 2).  INIT/INIT_ACK open (or re-open) an epoch;
+/// CLOSE/CLOSE_ACK end it before the link lifetime expires.
+struct SessionFrame {
+  enum class Kind : std::uint8_t { kInit, kInitAck, kClose, kCloseAck };
+  Kind kind = Kind::kInit;
+  std::uint32_t epoch = 0;
+};
+
+/// LAMS-DLC Request-NAK: sender poll initiating Enforced Recovery.
+struct RequestNakFrame {
+  std::uint32_t token = 0;  ///< Matches the Enforced-NAK to its Request.
+};
+
+/// HDLC information frame (N(S), N(R), P/F).
+struct HdlcIFrame {
+  Seq ns = 0;
+  Seq nr = 0;
+  bool poll = false;
+  PacketId packet_id = 0;
+  std::uint32_t payload_bytes = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// HDLC supervisory frame.
+struct HdlcSFrame {
+  enum class Type : std::uint8_t { RR, RNR, REJ, SREJ };
+  Type type = Type::RR;
+  Seq nr = 0;
+  bool poll_final = false;
+  /// For SREJ we allow a multi-selective-reject list (as in the SREJ
+  /// multi-frame option of ISO 4335 / the paper's per-window NAK reporting);
+  /// empty means the single sequence in `nr` is rejected.
+  std::vector<Seq> srej_list;
+};
+
+/// NBDT-style completely selective acknowledgement (the NADIR Bulk Data
+/// Transfer variant reviewed in the paper's introduction): a periodic
+/// status report with a cumulative base ("everything below arrived") and
+/// the explicit missing numbers between base and the highest received.
+/// NBDT uses absolute (non-cyclic) numbering, so these are full counters.
+struct SelectiveAckFrame {
+  Seq base = 0;       ///< Lowest number not yet received.
+  Seq highest = 0;    ///< Highest number received (valid when any_seen).
+  bool any_seen = false;
+  std::vector<Seq> missing;  ///< Holes in (base, highest].
+};
+
+/// Any frame either protocol can put on a link.
+struct Frame {
+  std::variant<IFrame, CheckpointFrame, RequestNakFrame, HdlcIFrame,
+               HdlcSFrame, SessionFrame, SelectiveAckFrame>
+      body;
+
+  /// Set by the channel when the frame is damaged in flight.  A corrupted
+  /// frame is delivered to the endpoint (the FCS check fails there); whether
+  /// its header fields remain readable is the receiving protocol's modelling
+  /// choice.
+  bool corrupted = false;
+
+  [[nodiscard]] bool is_control() const noexcept {
+    return !std::holds_alternative<IFrame>(body) &&
+           !std::holds_alternative<HdlcIFrame>(body);
+  }
+};
+
+/// FCS size appended to every encoded frame (CRC-16/CCITT).
+inline constexpr std::size_t kFcsBytes = 2;
+
+/// Exact encoded length in bytes of \p f (matches `encode(f).size()`).
+[[nodiscard]] std::size_t encoded_size(const Frame& f) noexcept;
+
+/// Encoded length in bits; the link multiplies transmission time from this.
+[[nodiscard]] std::size_t wire_bits(const Frame& f) noexcept;
+
+}  // namespace lamsdlc::frame

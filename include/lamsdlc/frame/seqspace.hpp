@@ -1,0 +1,75 @@
+#pragma once
+/// \file seqspace.hpp
+/// \brief Cyclic sequence-number arithmetic.
+///
+/// LAMS-DLC's numbering size is bounded by the resolving period (Section
+/// 3.3): because retransmissions get fresh numbers and every frame resolves
+/// within R + ½·W_cp + C_depth·W_cp, a modulus larger than twice the
+/// maximum in-flight population suffices to identify every unacknowledged
+/// frame uniquely.  Internally both endpoints track 64-bit monotone counters
+/// and exchange `counter mod modulus` on the wire; `unwrap` recovers the
+/// counter nearest a local reference, which is unambiguous while the
+/// in-flight span stays below modulus/2.  HDLC uses the same helper with its
+/// classic modulus (8 or 128).
+
+#include <cstdint>
+
+#include "lamsdlc/frame/frame.hpp"
+
+namespace lamsdlc::frame {
+
+/// Arithmetic over a cyclic sequence space of the given modulus.
+class SeqSpace {
+ public:
+  explicit constexpr SeqSpace(std::uint32_t modulus) : m_{modulus} {}
+
+  [[nodiscard]] constexpr std::uint32_t modulus() const noexcept { return m_; }
+
+  /// On-wire representation of a monotone counter.
+  [[nodiscard]] constexpr Seq wrap(std::uint64_t counter) const noexcept {
+    return static_cast<Seq>(counter % m_);
+  }
+
+  /// Recover the monotone counter whose wire value is \p wire, choosing the
+  /// candidate closest to \p ref.  Unambiguous while |counter - ref| < m/2.
+  [[nodiscard]] std::uint64_t unwrap(Seq wire, std::uint64_t ref) const noexcept {
+    const std::uint64_t base = ref - (ref % m_);
+    const std::uint64_t w = wire % m_;
+    // Candidates in the cycle containing ref and its two neighbours.
+    std::uint64_t best = base + w;
+    std::int64_t best_d = distance(best, ref);
+    for (const std::int64_t shift : {-1, +1}) {
+      if (shift < 0 && base < m_) continue;  // would underflow
+      const std::uint64_t cand = base + static_cast<std::uint64_t>(
+                                            static_cast<std::int64_t>(m_) * shift) + w;
+      const std::int64_t d = distance(cand, ref);
+      if (d < best_d) {
+        best = cand;
+        best_d = d;
+      }
+    }
+    return best;
+  }
+
+  /// Forward distance from \p a to \p b in wire space (0..m-1).
+  [[nodiscard]] constexpr std::uint32_t forward(Seq a, Seq b) const noexcept {
+    return (b + m_ - a % m_) % m_;
+  }
+
+  /// True if wire value \p x lies in the half-open window [lo, lo+len).
+  [[nodiscard]] constexpr bool in_window(Seq x, Seq lo, std::uint32_t len) const noexcept {
+    return forward(lo, x) < len;
+  }
+
+  /// Next wire value.
+  [[nodiscard]] constexpr Seq next(Seq s) const noexcept { return (s + 1) % m_; }
+
+ private:
+  static constexpr std::int64_t distance(std::uint64_t a, std::uint64_t b) noexcept {
+    return a > b ? static_cast<std::int64_t>(a - b) : static_cast<std::int64_t>(b - a);
+  }
+
+  std::uint32_t m_;
+};
+
+}  // namespace lamsdlc::frame

@@ -1,0 +1,46 @@
+#pragma once
+/// \file config.hpp
+/// \brief HDLC baseline parameters.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "lamsdlc/core/time.hpp"
+
+namespace lamsdlc::hdlc {
+
+/// Parameters for the SR-HDLC / GBN-HDLC baselines (Section 4's comparison
+/// protocols).
+struct HdlcConfig {
+  /// Send window W.  The analysis pairs LAMS-DLC's transparent buffer with
+  /// W = B_LAMS; the sequence-number constraint W <= modulus/2 applies.
+  std::uint32_t window = 64;
+
+  /// Sequence-number modulus M (classic HDLC: 8, extended: 128; the NBDT
+  /// discussion motivates larger absolute numbering, which we allow).
+  std::uint32_t modulus = 128;
+
+  /// Per-frame processing time t_proc.
+  Time t_proc = Time::microseconds(10);
+
+  /// Retransmission timeout t_out = R + alpha (Section 4): must exceed the
+  /// worst-case round trip in a moving constellation.
+  Time timeout = Time::milliseconds(120);
+
+  /// SR receiver resequencing-buffer capacity.  When the out-of-order hold
+  /// reaches it, further out-of-order frames are discarded and the poll
+  /// response becomes RNR (receiver not ready) — the limited-buffering
+  /// secondary of the paper's NRM discussion.  Unlimited by default, which
+  /// is what the Section 4 analysis assumes.
+  std::size_t recv_capacity = std::numeric_limits<std::size_t>::max();
+
+  /// Stutter mode (the SR+ST mixed ARQ of Miller & Lin, cited in the
+  /// paper's introduction): while the sender waits for a window response it
+  /// re-sends the unacknowledged frames cyclically instead of idling,
+  /// re-polling at the end of each cycle.  Buys back idle time on long
+  /// links at the cost of (mostly redundant) retransmissions.
+  bool stutter = false;
+};
+
+}  // namespace lamsdlc::hdlc

@@ -1,0 +1,111 @@
+#pragma once
+/// \file config.hpp
+/// \brief LAMS-DLC protocol parameters.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "lamsdlc/core/time.hpp"
+
+namespace lamsdlc::lams {
+
+/// Parameters shared by a LAMS-DLC sender/receiver pair.
+///
+/// Defaults correspond to a 300 Mbps, ~2000 km link with 1 KiB frames —
+/// the small end of the paper's target environment (Section 2.1).
+struct LamsConfig {
+  /// Checkpoint interval W_cp (paper also writes I_cp): the receiver emits a
+  /// Check-Point command every such period while the link is active.
+  Time checkpoint_interval = Time::milliseconds(5);
+
+  /// Cumulation depth C_depth: each NAK is repeated in this many consecutive
+  /// checkpoints, and the sender's checkpoint timer expires after
+  /// C_depth · W_cp of checkpoint silence (Section 3.2).
+  std::uint32_t cumulation_depth = 4;
+
+  /// Per-frame processing time t_proc at an endpoint.
+  Time t_proc = Time::microseconds(10);
+
+  /// Numbering size (Section 3.3).  Must exceed twice the maximum in-flight
+  /// frame population, which the bounded resolving period guarantees for the
+  /// default at the paper's rates.
+  std::uint32_t modulus = 1u << 16;
+
+  /// Slack added to the computed expected-arrival instant before the sender
+  /// treats a frame as provably undelivered (guards the release/retransmit
+  /// decision against processing-time and range-model skew).
+  Time release_margin = Time::microseconds(50);
+
+  /// Sending-buffer capacity in frames; `DlcSender::accepting()` turns false
+  /// at this depth.  Unlimited by default (the paper's transparent-buffer
+  /// analysis wants the unconstrained behaviour).
+  std::size_t send_buffer_capacity = std::numeric_limits<std::size_t>::max();
+
+  /// \name Flow control (Section 3.4)
+  /// @{
+  /// Receiver sets the Stop-Go bit when its processing backlog exceeds this
+  /// many frames.
+  std::size_t recv_high_watermark = 4096;
+  /// Hard receiving-buffer capacity: beyond it the receiver *discards*
+  /// arriving I-frames while still signalling Stop ("if necessary, the
+  /// receiver discards the overflowing I-frames" — Section 3.4).  A
+  /// discarded frame is indistinguishable from a damaged one, so the
+  /// normal NAK machinery recovers it once the congestion clears.
+  /// Unlimited by default.
+  std::size_t recv_hard_capacity = std::numeric_limits<std::size_t>::max();
+  /// Multiplicative rate decrease applied per Stop checkpoint.
+  double stop_decrease = 0.5;
+  /// Additive rate-factor increase applied per Go checkpoint.
+  double go_increase = 0.125;
+  /// Rate-factor floor.
+  double min_rate_factor = 1.0 / 64.0;
+  /// @}
+
+  /// \name Failure handling (Section 3.2)
+  /// @{
+  /// Re-send the Request-NAK when a non-enforced checkpoint arrives during
+  /// enforced recovery (robustness extension; the TR leaves this open).
+  bool retry_request_nak = true;
+  /// Remaining-link-lifetime deadline: if a recovery could not complete
+  /// before this absolute time, the sender declares the failure
+  /// unrecoverable immediately ("provided that the expected response time is
+  /// within the remaining link lifetime").
+  std::optional<Time> link_deadline;
+  /// @}
+
+  /// Receiver-side NAK retention horizon for Enforced-NAK responses.  Zero
+  /// means "derive from the worst-case resolving period":
+  /// 2·C_depth·W_cp + 2·max_rtt + 2·W_cp.
+  Time nak_history_horizon{};
+
+  /// Upper bound on the round-trip time, used to derive the NAK retention
+  /// horizon and the failure timer.
+  Time max_rtt = Time::milliseconds(100);
+
+  /// Derived: checkpoint-timer timeout C_depth · W_cp.
+  [[nodiscard]] Time checkpoint_timeout() const noexcept {
+    return checkpoint_interval * static_cast<std::int64_t>(cumulation_depth);
+  }
+
+  /// Derived: failure-timer duration — expected response time plus
+  /// C_depth · W_cp (Section 3.2).
+  [[nodiscard]] Time failure_timeout() const noexcept {
+    return max_rtt + checkpoint_interval + checkpoint_timeout();
+  }
+
+  /// Derived: NAK retention horizon (see `nak_history_horizon`).
+  [[nodiscard]] Time effective_nak_horizon() const noexcept {
+    if (!nak_history_horizon.is_zero()) return nak_history_horizon;
+    return checkpoint_timeout() * 2 + max_rtt * 2 + checkpoint_interval * 2;
+  }
+
+  /// Derived: the paper's bound on the resolving period,
+  /// R + ½·W_cp + C_depth·W_cp (Section 3.3), with R = max_rtt.
+  [[nodiscard]] Time resolving_period_bound() const noexcept {
+    return max_rtt + checkpoint_interval / 2 + checkpoint_timeout();
+  }
+};
+
+}  // namespace lamsdlc::lams

@@ -1,0 +1,132 @@
+#pragma once
+/// \file receiver.hpp
+/// \brief LAMS-DLC receiver state machine.
+///
+/// The receiver (Sections 3.1–3.4):
+///  - forwards every good I-frame upward immediately (out-of-sequence
+///    delivery is allowed, so the receiving buffer holds frames only for the
+///    processing time t_proc — this is why the paper calls its size
+///    "transparent");
+///  - detects damaged frames by sequence gaps: retransmissions use fresh
+///    numbers, so arrivals carry strictly increasing sequence counters and
+///    every hole below the highest-seen number marks a frame that arrived
+///    unreadable (corrupted headers are assumed unreadable — the worst
+///    case);
+///  - emits a Check-Point command every `checkpoint_interval` for as long as
+///    the link is active, carrying the cumulative NAK list of the last
+///    C_depth intervals, the highest sequence seen, and the Stop-Go bit;
+///  - answers a Request-NAK immediately with an Enforced-NAK whose list
+///    spans the whole resolving period (extended NAK history), acting as a
+///    Resolving Command when the list is empty.
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "lamsdlc/core/simulator.hpp"
+#include "lamsdlc/core/trace.hpp"
+#include "lamsdlc/frame/seqspace.hpp"
+#include "lamsdlc/lams/config.hpp"
+#include "lamsdlc/link/link.hpp"
+#include "lamsdlc/sim/dlc.hpp"
+#include "lamsdlc/sim/packet.hpp"
+
+namespace lamsdlc::lams {
+
+/// LAMS-DLC receiving endpoint.  Attach as the sink of the *forward* channel
+/// and give it the *reverse* channel for checkpoint transmission.
+class LamsReceiver final : public link::FrameSink {
+ public:
+  LamsReceiver(Simulator& sim, link::SimplexChannel& control_out,
+               LamsConfig cfg, sim::PacketListener* listener,
+               sim::DlcStats* stats = nullptr, Tracer tracer = {});
+
+  LamsReceiver(const LamsReceiver&) = delete;
+  LamsReceiver& operator=(const LamsReceiver&) = delete;
+  ~LamsReceiver() override;
+
+  /// Start the periodic checkpoint cadence ("commands are sent by the
+  /// receiver so long as the link is active").  Idempotent.
+  void start();
+
+  /// Stop sending checkpoints (link torn down / receiver failure injection).
+  void stop();
+
+  /// link::FrameSink
+  void on_frame(frame::Frame f) override;
+
+  /// Swap the upward delivery target (e.g. to chain a Resequencer).
+  void set_listener(sim::PacketListener* l) noexcept { listener_ = l; }
+
+  /// \name Session support (lams/session.hpp)
+  /// @{
+  /// Forget all per-session state: sequence tracking, NAK lists and
+  /// history.  Called by the session layer when a new epoch initializes —
+  /// the sender renumbers from zero, so stale tracking must go.
+  void reset_session();
+  /// Epoch stamped into every outgoing checkpoint so the sender can discard
+  /// acknowledgements left over from a previous session (0 = no sessions).
+  void set_epoch(std::uint32_t e) noexcept { epoch_ = e; }
+  [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
+  /// @}
+
+  /// Checkpoints emitted so far (both periodic and enforced).
+  [[nodiscard]] std::uint64_t checkpoints_sent() const noexcept { return cp_count_; }
+
+  /// NAKs generated so far (distinct damaged frames detected).
+  [[nodiscard]] std::uint64_t naks_generated() const noexcept { return naks_generated_; }
+
+  /// Frames currently inside the processing pipeline (receiving buffer).
+  [[nodiscard]] std::size_t recv_buffer_depth() const noexcept { return processing_; }
+
+  /// Good frames dropped because the receiving buffer was at its hard
+  /// capacity (congestion discard, Section 3.4).
+  [[nodiscard]] std::uint64_t congestion_discards() const noexcept {
+    return congestion_discards_;
+  }
+
+ private:
+  struct NakRecord {
+    std::uint64_t ctr;
+    Time detected_at;
+  };
+
+  void handle_iframe(const frame::IFrame& in, bool corrupted);
+  void handle_request_nak(const frame::RequestNakFrame& rq);
+  void emit_checkpoint(bool enforced);
+  void checkpoint_tick();
+  void prune_history();
+  void trace(std::string what) const;
+
+  Simulator& sim_;
+  link::SimplexChannel& out_;
+  LamsConfig cfg_;
+  sim::PacketListener* listener_;
+  sim::DlcStats* stats_;
+  Tracer tracer_;
+  frame::SeqSpace seqspace_;
+
+  bool running_{false};
+  EventId cp_timer_{0};
+  std::uint32_t cp_seq_{0};
+  std::uint32_t epoch_{0};
+
+  bool any_seen_{false};
+  std::uint64_t highest_ctr_{0};
+
+  /// Per-interval NAK lists; the cumulative checkpoint takes the union of
+  /// the most recent C_depth of them (including the in-progress interval).
+  std::deque<std::vector<std::uint64_t>> interval_naks_;
+  std::vector<std::uint64_t> current_interval_;
+
+  /// Extended history backing Enforced-NAK, pruned by time.
+  std::deque<NakRecord> history_;
+
+  std::size_t processing_{0};  ///< Frames inside the t_proc pipeline.
+  std::uint64_t cp_count_{0};
+  std::uint64_t naks_generated_{0};
+  std::uint64_t congestion_discards_{0};
+};
+
+}  // namespace lamsdlc::lams

@@ -1,0 +1,158 @@
+#pragma once
+/// \file sender.hpp
+/// \brief LAMS-DLC sender state machine.
+///
+/// The sender (Section 3.2):
+///  - transmits I-frames whenever the link is available — there is no send
+///    window; buffer control, not flow control, bounds the sending buffer;
+///  - holds each transmitted frame until a checkpoint *covers* it:
+///      release     — the checkpoint was generated after the frame reached
+///                    the receiver, the receiver's highest-seen sequence is
+///                    at or beyond it, and it is not NAKed (implicit
+///                    positive acknowledgement);
+///      retransmit  — it is NAKed, or the checkpoint proves it arrived
+///                    unreadable (generated after arrival yet highest-seen
+///                    still below it).  Retransmissions carry a *new*
+///                    sequence number, which is what bounds the holding time
+///                    and the numbering size;
+///  - runs the checkpoint timer (C_depth · W_cp): on silence it enters
+///    Enforced Recovery — sends Request-NAK, stops new I-frames (checkpoint
+///    retransmissions stay allowed), starts the failure timer; an
+///    Enforced-NAK resolves every outstanding frame and resumes normal
+///    operation; failure-timer expiry declares the link failed;
+///  - applies Stop-Go pacing from checkpoint flow-control bits.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "lamsdlc/core/simulator.hpp"
+#include "lamsdlc/core/trace.hpp"
+#include "lamsdlc/frame/seqspace.hpp"
+#include "lamsdlc/lams/config.hpp"
+#include "lamsdlc/link/link.hpp"
+#include "lamsdlc/sim/dlc.hpp"
+
+namespace lamsdlc::lams {
+
+/// LAMS-DLC sending endpoint.  Attach as the sink of the *reverse* channel
+/// (it consumes checkpoint traffic) and give it the *forward* channel for
+/// I-frame and Request-NAK transmission.
+class LamsSender final : public sim::DlcSender, public link::FrameSink {
+ public:
+  enum class Mode { kNormal, kEnforcedRecovery, kFailed };
+
+  LamsSender(Simulator& sim, link::SimplexChannel& data_out, LamsConfig cfg,
+             sim::DlcStats* stats = nullptr, Tracer tracer = {});
+
+  LamsSender(const LamsSender&) = delete;
+  LamsSender& operator=(const LamsSender&) = delete;
+  ~LamsSender() override;
+
+  /// \name sim::DlcSender
+  /// @{
+  void submit(sim::Packet p) override;
+  [[nodiscard]] std::size_t sending_buffer_depth() const override;
+  [[nodiscard]] bool accepting() const override;
+  [[nodiscard]] bool idle() const override;
+  /// @}
+
+  /// link::FrameSink — consumes Check-Point / Enforced-NAK commands arriving
+  /// on the reverse channel.
+  void on_frame(frame::Frame f) override;
+
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+  /// Invoked once when the failure timer expires and the link is declared
+  /// failed (the DLC "informs the network layer", Section 3.2).
+  void set_failure_callback(std::function<void()> cb) { on_failed_ = std::move(cb); }
+
+  /// Current Stop-Go pacing factor in (0, 1]; 1 = full rate.
+  [[nodiscard]] double rate_factor() const noexcept { return rate_factor_; }
+
+  /// Packets fully resolved (released after implicit acknowledgement).
+  [[nodiscard]] std::uint64_t packets_resolved() const noexcept { return resolved_; }
+
+  /// Request-NAKs sent (enforced recoveries initiated or retried).
+  [[nodiscard]] std::uint64_t request_naks_sent() const noexcept { return request_naks_; }
+
+  /// Drain every unresolved packet (queued, awaiting retransmission, or
+  /// outstanding) out of the sending buffer, in submission-ish order.
+  /// Intended for the network layer after `kFailed`: the paper's sender
+  /// "informs the network layer", which reroutes the residue over another
+  /// link.  Frames that actually arrived before the failure may be
+  /// re-delivered via the new path — the destination's resequencer/tracker
+  /// de-duplicates, giving the exactly-once semantics the TR sketches for
+  /// its "more recent version" of the protocol.
+  [[nodiscard]] std::vector<sim::Packet> take_unresolved();
+
+  /// \name Session support (lams/session.hpp)
+  /// @{
+  /// Return to a pristine pre-session state keeping the unresolved traffic
+  /// queued (oldest first): numbering restarts at zero, timers stop, and
+  /// the mode returns to normal.  Called by the session layer on re-init.
+  void reset_session();
+  /// Only checkpoints stamped with this epoch are processed (0 = no
+  /// session layer); stale acknowledgements of a previous epoch would
+  /// otherwise be misread against the restarted numbering.
+  void set_expected_epoch(std::uint32_t e) noexcept { expected_epoch_ = e; }
+  /// @}
+
+ private:
+  struct Pending {
+    sim::Packet packet;
+    Time first_tx{};        ///< First transmission instant (holding time base).
+    std::uint32_t attempts = 0;
+  };
+  struct Outstanding {
+    Pending pending;
+    Time expected_arrival{};  ///< Deterministic arrival + t_proc at receiver.
+  };
+
+  void try_send();
+  void send_iframe(Pending p);
+  void handle_checkpoint(const frame::CheckpointFrame& cp);
+  void process_naks(const frame::CheckpointFrame& cp);
+  void sweep_outstanding(const frame::CheckpointFrame& cp);
+  void arm_checkpoint_timer();
+  void on_checkpoint_silence();
+  void enter_enforced_recovery();
+  void send_request_nak();
+  void on_failure_timeout();
+  void declare_failed();
+  void apply_flow_control(bool stop);
+  void note_buffer_change();
+  void trace(std::string what) const;
+
+  Simulator& sim_;
+  link::SimplexChannel& out_;
+  LamsConfig cfg_;
+  sim::DlcStats* stats_;
+  Tracer tracer_;
+  frame::SeqSpace seqspace_;
+
+  Mode mode_{Mode::kNormal};
+  std::deque<Pending> new_queue_;   ///< Not yet transmitted.
+  std::deque<Pending> retx_queue_;  ///< Awaiting renumbered retransmission.
+  std::unordered_map<std::uint64_t, Outstanding> outstanding_;  ///< By counter.
+  std::uint64_t next_ctr_{0};       ///< Monotone sequence counter.
+
+  bool got_any_cp_{false};
+  std::uint64_t last_cp_seq_{0};
+  std::uint32_t expected_epoch_{0};
+  EventId checkpoint_timer_{0};
+  EventId failure_timer_{0};
+  EventId pace_timer_{0};
+  Time next_send_allowed_{};
+  double rate_factor_{1.0};
+  std::uint32_t request_token_{0};
+  Time request_sent_at_{};
+
+  std::uint64_t resolved_{0};
+  std::uint64_t request_naks_{0};
+  std::function<void()> on_failed_;
+};
+
+}  // namespace lamsdlc::lams

@@ -1,0 +1,77 @@
+#pragma once
+/// \file contact_schedule.hpp
+/// \brief Drive network-link availability from orbital contact plans.
+///
+/// LAMS links live only while geometry allows (Section 1's "short link
+/// lifetime").  These helpers connect the orbit module's visibility windows
+/// to the network: a link exists permanently as an object but is up only
+/// inside its windows; outside them traffic parks at the store-and-forward
+/// nodes until the next contact.  Every up-transition starts fresh protocol
+/// instances on both flows (a re-acquired laser link has no shared state
+/// with its previous life).
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "lamsdlc/net/network.hpp"
+#include "lamsdlc/orbit/constellation.hpp"
+
+namespace lamsdlc::net {
+
+/// Schedule \p link to be up exactly during \p windows (sorted, disjoint).
+/// Windows already in the past are ignored; a window containing `now` takes
+/// effect immediately.
+inline void schedule_link_windows(
+    Network& net, LinkId link,
+    const std::vector<orbit::VisibilityWindow>& windows) {
+  Simulator& sim = net.simulator();
+  const Time now = sim.now();
+  bool currently_up = false;
+  for (const auto& w : windows) {
+    if (w.end <= now) continue;
+    if (w.start <= now) {
+      currently_up = true;
+    } else {
+      sim.schedule_at(w.start, [&net, link] { net.set_link_up(link, true); });
+    }
+    sim.schedule_at(w.end, [&net, link] { net.set_link_up(link, false); });
+  }
+  net.set_link_up(link, currently_up);
+}
+
+/// Build one link per constellation pair appearing in \p plan, with
+/// orbit-driven propagation, and schedule each link's windows.  \p proto
+/// supplies everything except endpoints and propagation.  Returns the
+/// pair→link mapping.
+inline std::map<std::pair<std::size_t, std::size_t>, LinkId>
+build_contact_network(Network& net, const orbit::Constellation& c,
+                      const std::vector<orbit::Contact>& plan,
+                      const LinkSpec& proto, double max_range_m = 1.0e7) {
+  // Group windows per pair.
+  std::map<std::pair<std::size_t, std::size_t>,
+           std::vector<orbit::VisibilityWindow>>
+      windows;
+  for (const orbit::Contact& ct : plan) {
+    windows[{ct.a, ct.b}].push_back(ct.window);
+  }
+
+  std::map<std::pair<std::size_t, std::size_t>, LinkId> out;
+  for (auto& [pair_ids, w] : windows) {
+    auto geometry = std::make_shared<orbit::SatellitePair>(
+        c.pair(pair_ids.first, pair_ids.second, max_range_m));
+    LinkSpec spec = proto;
+    spec.a = static_cast<NodeId>(pair_ids.first);
+    spec.b = static_cast<NodeId>(pair_ids.second);
+    spec.propagation = [geometry](Time t) {
+      return geometry->propagation_delay(t);
+    };
+    const LinkId id = net.add_link(spec);
+    schedule_link_windows(net, id, w);
+    out.emplace(pair_ids, id);
+  }
+  return out;
+}
+
+}  // namespace lamsdlc::net

@@ -1,0 +1,76 @@
+#pragma once
+/// \file constellation.hpp
+/// \brief Walker-delta constellations and contact plans.
+///
+/// The paper's network is "multiple satellites in a low altitude orbit
+/// functioning as store-and-forward DCE" (Section 2.1).  The standard
+/// geometry for such systems is the Walker delta pattern t/p/f: t satellites
+/// in p evenly spaced planes at a common inclination, with inter-plane
+/// phasing f.  This module generates those orbits, enumerates the grid
+/// neighbour topology (intra-plane ring + cross-plane same-slot links — the
+/// "limited communication links per satellite due to SWAP" constraint), and
+/// extracts a contact plan: for every candidate pair, the visibility windows
+/// whose durations are the paper's short link lifetimes.
+
+#include <cstddef>
+#include <vector>
+
+#include "lamsdlc/orbit/orbit.hpp"
+
+namespace lamsdlc::orbit {
+
+/// Walker delta pattern parameters (i:t/p/f).
+struct WalkerParams {
+  std::uint32_t total = 24;      ///< t: satellites overall.
+  std::uint32_t planes = 4;      ///< p: orbital planes (t % p == 0).
+  std::uint32_t phasing = 1;     ///< f: inter-plane phase factor (0..p-1).
+  double altitude_m = 1.0e6;     ///< The paper's ~1000 km regime.
+  double inclination_rad = 0.9;  ///< Common inclination.
+};
+
+/// A generated constellation with its grid neighbour topology.
+class Constellation {
+ public:
+  explicit Constellation(WalkerParams p);
+
+  [[nodiscard]] const WalkerParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::size_t size() const noexcept { return sats_.size(); }
+  [[nodiscard]] const CircularOrbit& satellite(std::size_t i) const {
+    return sats_.at(i);
+  }
+
+  /// Satellite index for (plane, slot).
+  [[nodiscard]] std::size_t index(std::uint32_t plane, std::uint32_t slot) const noexcept;
+
+  /// The classic LEO grid topology: each satellite links to its two
+  /// intra-plane neighbours (ring) and its same-slot neighbour in the next
+  /// plane (4 laser terminals per satellite — the SWAP budget).  Pairs are
+  /// unique (i < j).
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> grid_neighbors() const;
+
+  /// Geometry handle for one pair.
+  [[nodiscard]] SatellitePair pair(std::size_t i, std::size_t j,
+                                   double max_range_m = 1.0e7) const {
+    return SatellitePair{sats_.at(i), sats_.at(j), max_range_m};
+  }
+
+ private:
+  WalkerParams params_;
+  std::vector<CircularOrbit> sats_;
+};
+
+/// One usable pass between two satellites.
+struct Contact {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  VisibilityWindow window;
+  RangeStats ranges;  ///< Over the window (for t_out = R + alpha sizing).
+};
+
+/// Scan the grid-neighbour pairs of \p c over [0, horizon] and return every
+/// visibility window of at least \p min_duration, sorted by start time.
+[[nodiscard]] std::vector<Contact> contact_plan(
+    const Constellation& c, Time horizon, Time step = Time::seconds_int(10),
+    double max_range_m = 1.0e7, Time min_duration = Time::seconds_int(30));
+
+}  // namespace lamsdlc::orbit

@@ -1,0 +1,23 @@
+#pragma once
+/// \file crc.hpp
+/// \brief CRC-16/CCITT and CRC-32 (IEEE 802.3) frame check sequences.
+///
+/// The paper's link model (assumption 9) treats frame loss as a detectable
+/// error with no undetected CRC violations.  The frame codecs append a real
+/// FCS so the byte-level encode/decode path is faithful to an HDLC-style
+/// implementation; the simulator additionally marks corrupted frames so that
+/// assumption 9 (no undetected errors) holds by construction.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace lamsdlc::phy {
+
+/// CRC-16/CCITT-FALSE: poly 0x1021, init 0xFFFF, no reflection, no xor-out.
+[[nodiscard]] std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data) noexcept;
+
+/// CRC-32 (IEEE 802.3): poly 0x04C11DB7 reflected, init/xor-out 0xFFFFFFFF.
+[[nodiscard]] std::uint32_t crc32_ieee(std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace lamsdlc::phy

@@ -1,0 +1,134 @@
+#pragma once
+/// \file error_model.hpp
+/// \brief Channel error processes for the simulated laser intersatellite link.
+///
+/// The paper characterizes the laser channel by (1) random bit errors from
+/// optical noise and (2) burst errors from beam mispointing (Section 2.1).
+/// We provide:
+///  - `PerfectChannel`       — no errors (control case);
+///  - `BernoulliBerModel`    — i.i.d. bit errors at a configured BER;
+///  - `FixedFrameErrorModel` — directly parameterized frame error probability
+///                             P_F / P_C, matching the analysis of Section 4;
+///  - `GilbertElliottModel`  — two-state (Good/Bad) continuous-time burst
+///                             channel for mispointing episodes;
+///  - `ScriptedOutageModel`  — deterministic outage windows for failure
+///                             injection tests.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lamsdlc/core/random.hpp"
+#include "lamsdlc/core/time.hpp"
+
+namespace lamsdlc::phy {
+
+/// Computes the probability that a frame of \p bits is corrupted on a
+/// memoryless channel with bit error rate \p ber:  1 - (1 - ber)^bits.
+[[nodiscard]] double frame_error_probability(double ber, std::size_t bits) noexcept;
+
+/// Decides the fate of each frame crossing the channel.
+///
+/// `corrupts` is called once per frame in transmission order with the
+/// interval the frame occupies on the medium; implementations may keep
+/// internal state (burst models) keyed to those times.
+class ErrorModel {
+ public:
+  virtual ~ErrorModel() = default;
+
+  /// True if the frame occupying [\p start, \p end) with \p bits on the wire
+  /// is corrupted.
+  [[nodiscard]] virtual bool corrupts(Time start, Time end, std::size_t bits) = 0;
+};
+
+/// Error-free channel.
+class PerfectChannel final : public ErrorModel {
+ public:
+  [[nodiscard]] bool corrupts(Time, Time, std::size_t) override { return false; }
+};
+
+/// Independent bit errors at a fixed BER; frame corruption is Bernoulli with
+/// p = frame_error_probability(ber, bits).
+class BernoulliBerModel final : public ErrorModel {
+ public:
+  BernoulliBerModel(double ber, RandomStream rng) : ber_{ber}, rng_{std::move(rng)} {}
+
+  [[nodiscard]] bool corrupts(Time, Time, std::size_t bits) override {
+    return rng_.bernoulli(frame_error_probability(ber_, bits));
+  }
+
+  [[nodiscard]] double ber() const noexcept { return ber_; }
+
+ private:
+  double ber_;
+  RandomStream rng_;
+};
+
+/// Fixed per-frame corruption probability, independent of frame length.
+/// Matches the Section 4 analysis, which treats P_F and P_C as invariants.
+class FixedFrameErrorModel final : public ErrorModel {
+ public:
+  FixedFrameErrorModel(double p_frame, RandomStream rng)
+      : p_{p_frame}, rng_{std::move(rng)} {}
+
+  [[nodiscard]] bool corrupts(Time, Time, std::size_t) override {
+    return rng_.bernoulli(p_);
+  }
+
+ private:
+  double p_;
+  RandomStream rng_;
+};
+
+/// Continuous-time Gilbert–Elliott channel: alternating exponentially
+/// distributed Good and Bad sojourns with distinct BERs.  Mispointing bursts
+/// are modelled as Bad periods whose mean length is the paper's L̄_burst.
+class GilbertElliottModel final : public ErrorModel {
+ public:
+  struct Params {
+    double good_ber = 1e-7;             ///< BER while tracking is locked.
+    double bad_ber = 1e-2;              ///< BER during a mispointing burst.
+    Time mean_good = Time::seconds(1);  ///< Mean sojourn in Good.
+    Time mean_bad = Time::milliseconds(5);  ///< Mean burst length L̄_burst.
+  };
+
+  GilbertElliottModel(Params p, RandomStream rng);
+
+  [[nodiscard]] bool corrupts(Time start, Time end, std::size_t bits) override;
+
+  /// Stationary fraction of time in the Bad state.
+  [[nodiscard]] double bad_fraction() const noexcept;
+
+  [[nodiscard]] const Params& params() const noexcept { return p_; }
+
+ private:
+  void advance_to(Time t);
+
+  Params p_;
+  RandomStream rng_;
+  bool in_bad_{false};
+  Time state_until_{};  ///< Current sojourn ends at this instant.
+};
+
+/// Deterministic outage windows: every frame overlapping an outage is
+/// corrupted; outside outages an optional base model applies.
+class ScriptedOutageModel final : public ErrorModel {
+ public:
+  struct Outage {
+    Time from;
+    Time to;  ///< exclusive
+  };
+
+  explicit ScriptedOutageModel(std::vector<Outage> outages,
+                               std::unique_ptr<ErrorModel> base = nullptr)
+      : outages_{std::move(outages)}, base_{std::move(base)} {}
+
+  [[nodiscard]] bool corrupts(Time start, Time end, std::size_t bits) override;
+
+ private:
+  std::vector<Outage> outages_;
+  std::unique_ptr<ErrorModel> base_;
+};
+
+}  // namespace lamsdlc::phy

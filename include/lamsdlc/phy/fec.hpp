@@ -1,0 +1,68 @@
+#pragma once
+/// \file fec.hpp
+/// \brief Forward-error-correction codec model.
+///
+/// The paper assumes an FEC layer beneath the DLC (Section 2.1): Paul et
+/// al.'s interleaved convolutional codec turns mispointing burst errors into
+/// random errors and delivers a residual BER of ~1e-7 on the laser link.  Two
+/// different FEC strengths are used (link model assumption 4): one for
+/// I-frames and a more powerful one for control frames — which is why the
+/// analysis can use distinct P_F and P_C and why piggybacking is forbidden.
+///
+/// We model a codec as a block code correcting up to `t` symbol errors per
+/// `n`-symbol codeword (a hard-decision bound that covers BCH/RS and is a
+/// conservative stand-in for the convolutional codec).  The model exposes:
+///  - the code-rate overhead applied to frame lengths on the wire, and
+///  - the input→residual error transfer (per-codeword and per-frame).
+/// An `interleaved` codec additionally declares that burst channels may be
+/// treated as memoryless at the same average BER (the Paul et al. property);
+/// the link layer uses this to pick the effective channel model.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lamsdlc::phy {
+
+/// Block-code FEC parameters.
+struct FecParams {
+  std::size_t n = 255;   ///< Symbols per codeword.
+  std::size_t k = 223;   ///< Data symbols per codeword.
+  std::size_t t = 16;    ///< Correctable symbol errors per codeword.
+  std::size_t symbol_bits = 8;  ///< Bits per code symbol.
+  bool interleaved = true;      ///< Burst-to-random interleaving in front.
+};
+
+/// Analytic model of a block FEC codec.
+class FecCodec {
+ public:
+  explicit FecCodec(FecParams p);
+
+  /// Wire bits needed to carry \p payload_bits of data (rounded up to whole
+  /// codewords, scaled by n/k).
+  [[nodiscard]] std::size_t coded_bits(std::size_t payload_bits) const noexcept;
+
+  /// Code rate k/n.
+  [[nodiscard]] double rate() const noexcept;
+
+  /// Probability a single codeword is uncorrectable at channel BER \p ber
+  /// (more than t symbol errors among n symbols).
+  [[nodiscard]] double codeword_error_prob(double ber) const noexcept;
+
+  /// Probability a frame of \p payload_bits fails decoding at channel BER
+  /// \p ber: any of its codewords uncorrectable.
+  [[nodiscard]] double frame_error_prob(double ber, std::size_t payload_bits) const noexcept;
+
+  /// Residual post-decoding BER approximation: undetected/uncorrected symbol
+  /// errors spread over the codeword, expressed per data bit.
+  [[nodiscard]] double residual_ber(double ber) const noexcept;
+
+  [[nodiscard]] const FecParams& params() const noexcept { return p_; }
+
+ private:
+  /// Probability a symbol is received in error at channel BER \p ber.
+  [[nodiscard]] double symbol_error_prob(double ber) const noexcept;
+
+  FecParams p_;
+};
+
+}  // namespace lamsdlc::phy

@@ -1,0 +1,54 @@
+#pragma once
+/// \file dlc.hpp
+/// \brief Protocol-agnostic DLC endpoint interfaces and common statistics.
+///
+/// Both protocol implementations (`lams`, `hdlc`) expose the same sender
+/// interface so workloads, examples and benches can swap protocols freely.
+
+#include <cstdint>
+
+#include "lamsdlc/core/stats.hpp"
+#include "lamsdlc/sim/packet.hpp"
+
+namespace lamsdlc::sim {
+
+/// Statistics every DLC sender/receiver pair maintains, in units the paper's
+/// analysis uses (seconds for times, frames for buffer sizes).
+struct DlcStats {
+  std::uint64_t packets_submitted = 0;
+  std::uint64_t packets_delivered = 0;   ///< Up-calls at the receiver.
+  std::uint64_t duplicates_delivered = 0;///< Same PacketId delivered twice.
+  std::uint64_t iframe_tx = 0;           ///< I-frames put on the wire.
+  std::uint64_t iframe_retx = 0;         ///< Of which retransmissions.
+  std::uint64_t control_tx = 0;          ///< Control frames (both directions).
+  std::uint64_t control_corrupted_rx = 0;
+  std::uint64_t iframe_corrupted_rx = 0;
+
+  RunningStat packet_delay_s;    ///< Submit → delivered (per packet).
+  RunningStat holding_time_s;    ///< First transmission → release from the
+                                 ///< sending buffer (paper's H_frame).
+  TimeWeightedStat send_buffer;  ///< Sending-buffer occupancy in frames.
+  TimeWeightedStat recv_buffer;  ///< Receiving-buffer occupancy in frames.
+};
+
+/// Downward interface of a DLC sender.
+class DlcSender {
+ public:
+  virtual ~DlcSender() = default;
+
+  /// Enqueue a packet into the sending buffer.  The DLC transmits whenever
+  /// the link is available (LAMS-DLC) or the window allows (HDLC).
+  virtual void submit(Packet p) = 0;
+
+  /// Frames currently held in the sending buffer (queued + unacknowledged).
+  [[nodiscard]] virtual std::size_t sending_buffer_depth() const = 0;
+
+  /// False while flow control (Stop-Go / RNR) asks upper layers to pause.
+  [[nodiscard]] virtual bool accepting() const = 0;
+
+  /// True once every submitted packet has been resolved (delivered and
+  /// released); used by benches to detect run completion.
+  [[nodiscard]] virtual bool idle() const = 0;
+};
+
+}  // namespace lamsdlc::sim

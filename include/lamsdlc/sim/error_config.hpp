@@ -1,0 +1,28 @@
+#pragma once
+/// \file error_config.hpp
+/// \brief Declarative channel-error configuration shared by the scenario
+/// harness and the multi-hop network builder.
+
+#include <memory>
+#include <string_view>
+
+#include "lamsdlc/phy/error_model.hpp"
+
+namespace lamsdlc::sim {
+
+/// Channel error configuration, one per direction.
+struct ErrorConfig {
+  enum class Kind { kPerfect, kBernoulliBer, kFixedFrameProb, kGilbertElliott };
+  Kind kind = Kind::kPerfect;
+  double ber = 1e-7;        ///< For kBernoulliBer.
+  double p_frame = 0.0;     ///< For kFixedFrameProb: P_F on this direction.
+  double p_control = 0.0;   ///< For kFixedFrameProb: P_C on this direction.
+  phy::GilbertElliottModel::Params gilbert;  ///< For kGilbertElliott.
+};
+
+/// Instantiate the error process described by \p e, seeded from
+/// (\p run_seed, \p stream) so distinct channels draw independent noise.
+[[nodiscard]] std::unique_ptr<phy::ErrorModel> make_error_model(
+    const ErrorConfig& e, std::uint64_t run_seed, std::string_view stream);
+
+}  // namespace lamsdlc::sim

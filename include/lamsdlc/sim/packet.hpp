@@ -1,0 +1,36 @@
+#pragma once
+/// \file packet.hpp
+/// \brief User packets exchanged across a DLC, and the listener interface.
+
+#include <cstdint>
+
+#include "lamsdlc/core/time.hpp"
+#include "lamsdlc/frame/frame.hpp"
+
+namespace lamsdlc::sim {
+
+/// A network-layer packet handed to a DLC sender for delivery over one link.
+///
+/// `id` is globally unique; `message_id`/`msg_index`/`msg_count` tie the
+/// packet to a segmented message so the destination resequencer (workload
+/// module) can reassemble — the responsibility Section 2.3 moves out of the
+/// link layer when the in-sequence constraint is relaxed.
+struct Packet {
+  frame::PacketId id = 0;
+  std::uint32_t bytes = 0;
+  Time created_at{};
+  std::uint64_t message_id = 0;
+  std::uint32_t msg_index = 0;
+  std::uint32_t msg_count = 1;
+};
+
+/// Upward delivery interface of a DLC receiver.
+class PacketListener {
+ public:
+  virtual ~PacketListener() = default;
+  /// A packet crossed the link.  LAMS-DLC may deliver out of order and (after
+  /// an unrecoverable failure) in duplicate; HDLC delivers strictly in order.
+  virtual void on_packet(const Packet& p, Time delivered_at) = 0;
+};
+
+}  // namespace lamsdlc::sim

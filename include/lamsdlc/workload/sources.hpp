@@ -1,0 +1,104 @@
+#pragma once
+/// \file sources.hpp
+/// \brief Traffic generators matching the paper's workload models.
+///
+///  - `BatchSource`   — N same-size packets available at once: the low-traffic
+///                      model of Section 4 ("the sender receives no I-frames
+///                      until N I-frames are successfully transmitted").
+///  - `RateSource`    — deterministic arrivals at a configurable rate; at
+///                      one packet per t_f this is the high-traffic model
+///                      ("the incoming rate into the sending buffer is always
+///                      1/t_f").
+///  - `PoissonSource` — memoryless arrivals for robustness experiments
+///                      (explicitly *not* the paper's deterministic model).
+
+#include <cstdint>
+
+#include "lamsdlc/core/random.hpp"
+#include "lamsdlc/core/simulator.hpp"
+#include "lamsdlc/sim/dlc.hpp"
+#include "lamsdlc/workload/tracker.hpp"
+
+namespace lamsdlc::workload {
+
+/// Allocates globally unique packet ids for one simulation.
+class PacketIdAllocator {
+ public:
+  [[nodiscard]] frame::PacketId next() noexcept { return ++last_; }
+
+ private:
+  frame::PacketId last_{0};
+};
+
+/// Submit \p count packets of \p bytes each to \p dlc at time \p at.
+void submit_batch(Simulator& sim, sim::DlcSender& dlc, DeliveryTracker& tracker,
+                  PacketIdAllocator& ids, std::uint64_t count,
+                  std::uint32_t bytes, Time at = Time{});
+
+/// Deterministic arrival process: one packet every `interarrival` from
+/// `start`, for `count` packets (0 = unlimited until stopped).
+class RateSource {
+ public:
+  struct Config {
+    Time interarrival = Time::microseconds(30);
+    std::uint64_t count = 0;  ///< 0 = unbounded.
+    std::uint32_t bytes = 1024;
+    Time start{};
+    bool respect_backpressure = true;  ///< Pause while !dlc.accepting().
+  };
+
+  RateSource(Simulator& sim, sim::DlcSender& dlc, DeliveryTracker& tracker,
+             PacketIdAllocator& ids, Config cfg);
+
+  void start();
+  void stop();
+  [[nodiscard]] std::uint64_t generated() const noexcept { return generated_; }
+  /// Arrivals skipped because the DLC was not accepting.
+  [[nodiscard]] std::uint64_t shed() const noexcept { return shed_; }
+
+ private:
+  void tick();
+
+  Simulator& sim_;
+  sim::DlcSender& dlc_;
+  DeliveryTracker& tracker_;
+  PacketIdAllocator& ids_;
+  Config cfg_;
+  bool running_{false};
+  EventId timer_{0};
+  std::uint64_t generated_{0};
+  std::uint64_t shed_{0};
+};
+
+/// Poisson arrival process with the given mean rate.
+class PoissonSource {
+ public:
+  struct Config {
+    double rate_pps = 1e4;  ///< Mean packets per second.
+    std::uint64_t count = 0;
+    std::uint32_t bytes = 1024;
+    Time start{};
+  };
+
+  PoissonSource(Simulator& sim, sim::DlcSender& dlc, DeliveryTracker& tracker,
+                PacketIdAllocator& ids, Config cfg, RandomStream rng);
+
+  void start();
+  void stop();
+  [[nodiscard]] std::uint64_t generated() const noexcept { return generated_; }
+
+ private:
+  void tick();
+
+  Simulator& sim_;
+  sim::DlcSender& dlc_;
+  DeliveryTracker& tracker_;
+  PacketIdAllocator& ids_;
+  Config cfg_;
+  RandomStream rng_;
+  bool running_{false};
+  EventId timer_{0};
+  std::uint64_t generated_{0};
+};
+
+}  // namespace lamsdlc::workload

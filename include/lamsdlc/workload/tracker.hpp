@@ -1,0 +1,93 @@
+#pragma once
+/// \file tracker.hpp
+/// \brief End-to-end delivery accounting.
+///
+/// The tracker sits above the DLC on both sides: traffic sources register
+/// every submitted packet, the receiving DLC delivers into `on_packet`, and
+/// the tracker checks the paper's reliability claims — zero loss always,
+/// zero duplicates in recoverable operation — and computes per-packet delay.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "lamsdlc/core/simulator.hpp"
+#include "lamsdlc/core/stats.hpp"
+#include "lamsdlc/sim/dlc.hpp"
+#include "lamsdlc/sim/packet.hpp"
+
+namespace lamsdlc::workload {
+
+/// Registry of submitted packets and their delivery fate.
+class DeliveryTracker final : public sim::PacketListener {
+ public:
+  explicit DeliveryTracker(Simulator& sim, sim::DlcStats* stats = nullptr)
+      : sim_{sim}, stats_{stats} {}
+
+  /// Record a packet about to be submitted to the DLC.
+  void note_submitted(const sim::Packet& p) {
+    submitted_.emplace(p.id, Entry{p.created_at, 0});
+  }
+
+  /// sim::PacketListener
+  void on_packet(const sim::Packet& p, Time delivered_at) override {
+    auto it = submitted_.find(p.id);
+    if (it == submitted_.end()) {
+      ++unknown_;  // delivered something never submitted: a protocol bug
+      return;
+    }
+    ++it->second.deliveries;
+    if (it->second.deliveries == 1) {
+      ++unique_delivered_;
+      last_delivery_ = delivered_at;
+      const double delay = (delivered_at - it->second.submitted_at).sec();
+      delay_.add(delay);
+      if (stats_) {
+        ++stats_->packets_delivered;
+        stats_->packet_delay_s.add(delay);
+      }
+    } else {
+      ++duplicates_;
+      if (stats_) {
+        ++stats_->packets_delivered;
+        ++stats_->duplicates_delivered;
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t submitted() const noexcept { return submitted_.size(); }
+  [[nodiscard]] std::uint64_t unique_delivered() const noexcept { return unique_delivered_; }
+  [[nodiscard]] std::uint64_t duplicates() const noexcept { return duplicates_; }
+  [[nodiscard]] std::uint64_t unknown_deliveries() const noexcept { return unknown_; }
+  [[nodiscard]] Time last_delivery() const noexcept { return last_delivery_; }
+  [[nodiscard]] const RunningStat& delay() const noexcept { return delay_; }
+  [[nodiscard]] bool all_delivered() const noexcept {
+    return unique_delivered_ == submitted_.size();
+  }
+
+  /// Packets submitted but never delivered (the loss set).
+  [[nodiscard]] std::vector<frame::PacketId> missing() const {
+    std::vector<frame::PacketId> out;
+    for (const auto& [id, e] : submitted_) {
+      if (e.deliveries == 0) out.push_back(id);
+    }
+    return out;
+  }
+
+ private:
+  struct Entry {
+    Time submitted_at;
+    std::uint32_t deliveries;
+  };
+
+  Simulator& sim_;
+  sim::DlcStats* stats_;
+  std::unordered_map<frame::PacketId, Entry> submitted_;
+  std::uint64_t unique_delivered_{0};
+  std::uint64_t duplicates_{0};
+  std::uint64_t unknown_{0};
+  Time last_delivery_{};
+  RunningStat delay_;
+};
+
+}  // namespace lamsdlc::workload

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, run the full test suite, regenerate every
+# experiment table (E1..E16), and capture the outputs at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bench_e*; do
+    "$b"
+    echo
+  done
+  ./build/bench/bench_kernel --benchmark_min_time=0.1
+} 2>&1 | tee bench_output.txt
+
+echo "Done: see test_output.txt and bench_output.txt"

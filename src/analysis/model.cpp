@@ -1,0 +1,172 @@
+#include "lamsdlc/analysis/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace lamsdlc::analysis {
+
+double p_r_lams(const Params& p) noexcept { return p.p_f; }
+
+double p_r_hdlc(const Params& p) noexcept {
+  return p.p_f + p.p_c - p.p_f * p.p_c;
+}
+
+double s_bar(double p_r) noexcept { return 1.0 / (1.0 - p_r); }
+
+double s_bar_lams(const Params& p) noexcept { return s_bar(p_r_lams(p)); }
+
+double s_bar_hdlc(const Params& p) noexcept { return s_bar(p_r_hdlc(p)); }
+
+double n_cp_bar(const Params& p) noexcept { return 1.0 / (1.0 - p.p_c); }
+
+double d_trans_lams(const Params& p, double n_frames) noexcept {
+  return n_frames * p.t_f + p.t_c + p.t_proc + p.rtt +
+         (n_cp_bar(p) - 0.5) * p.i_cp;
+}
+
+double d_retrn_lams(const Params& p) noexcept { return d_trans_lams(p, 1.0); }
+
+double d_trans_hdlc(const Params& p, double n_frames) noexcept {
+  const double t_out = p.rtt + p.alpha;
+  return n_frames * p.t_f +
+         (1.0 - p.p_c) * (p.rtt + 2.0 * p.t_proc + p.t_c) + p.p_c * t_out;
+}
+
+double d_retrn_hdlc(const Params& p) noexcept {
+  const double q = (1.0 - p.p_f) * (1.0 - p.p_c);  // period resolves
+  const double d_resol = p.rtt + 2.0 * p.t_proc + p.t_c;
+  const double d_retrn = p.rtt + p.alpha;  // t_out
+  return p.t_f + q * d_resol + (1.0 - q) * d_retrn;
+}
+
+double d_low_lams(const Params& p, double n_frames) noexcept {
+  return d_trans_lams(p, n_frames) + (s_bar_lams(p) - 1.0) * d_retrn_lams(p);
+}
+
+double d_low_lams_approx(const Params& p, double n_frames) noexcept {
+  const double s = s_bar_lams(p);
+  return n_frames * p.t_f + s * p.rtt + s * (n_cp_bar(p) - 0.5) * p.i_cp;
+}
+
+double d_low_hdlc(const Params& p, double n_frames) noexcept {
+  return d_trans_hdlc(p, n_frames) + (s_bar_hdlc(p) - 1.0) * d_retrn_hdlc(p);
+}
+
+double d_low_hdlc_approx(const Params& p, double n_frames) noexcept {
+  const double s = s_bar_hdlc(p);
+  const double q = 1.0 - p.p_f - p.p_c + p.p_f * p.p_c;
+  return n_frames * p.t_f + s * p.rtt + ((s - 1.0) * q - p.p_c) * p.alpha;
+}
+
+double h_frame_lams(const Params& p) noexcept {
+  return s_bar_lams(p) * (p.rtt + p.t_f + p.t_c + p.t_proc +
+                          (n_cp_bar(p) - 0.5) * p.i_cp);
+}
+
+double b_lams(const Params& p) noexcept {
+  return h_frame_lams(p) / p.t_f + p.t_proc / p.t_f;
+}
+
+double resolving_period(const Params& p) noexcept {
+  return p.rtt + 0.5 * p.i_cp + static_cast<double>(p.c_depth) * p.i_cp;
+}
+
+double numbering_size(const Params& p) noexcept {
+  return resolving_period(p) / p.t_f;
+}
+
+double p_nak_blackout(const Params& p) noexcept {
+  return std::pow(p.p_c, static_cast<double>(p.c_depth));
+}
+
+double inconsistency_gap_bound(const Params& p) noexcept {
+  const double normal_response =
+      p.rtt + p.t_c + p.t_proc + 0.5 * p.i_cp;  // mean cp phase
+  return normal_response + static_cast<double>(p.c_depth) * p.i_cp;
+}
+
+double failure_detection_bound(const Params& p) noexcept {
+  const double silence = static_cast<double>(p.c_depth) * p.i_cp;
+  const double failure_timer =
+      p.rtt + p.i_cp + static_cast<double>(p.c_depth) * p.i_cp;
+  return silence + failure_timer + p.i_cp;  // + one cadence of slack
+}
+
+double n_total(double n_new, double h, double p_r) noexcept {
+  if (n_new <= 0.0) return 0.0;
+  if (h <= 1.0) h = 1.0;
+  // Subperiod recursion (Section 4): each subperiod carries h frames of
+  // which the expected retransmissions of earlier subperiods displace new
+  // ones.  We run it literally, then account for the tail retransmissions
+  // of the final partial subperiod.
+  std::vector<double> fresh;  // N_i: new frames introduced in subperiod i
+  double remaining = n_new;
+  double total = 0.0;
+  while (remaining > 0.0) {
+    double retx = 0.0;
+    double decay = p_r;
+    for (auto it = fresh.rbegin(); it != fresh.rend(); ++it) {
+      retx += *it * decay;
+      decay *= p_r;
+      if (decay < 1e-15) break;
+    }
+    const double capacity = std::max(0.0, h - retx);
+    const double introduced = std::min(capacity, remaining);
+    fresh.push_back(introduced);
+    remaining -= introduced;
+    total += introduced + retx;
+    if (fresh.size() > 1000000) break;  // degenerate p_r -> saturate
+  }
+  // Tail: the last subperiods' frames still fail geometrically after the
+  // final new frame enters; each outstanding frame costs s̄ - attempts so
+  // far.  The dominant term is the geometric residue of the final batch.
+  double tail = 0.0;
+  double decay = p_r;
+  for (auto it = fresh.rbegin(); it != fresh.rend(); ++it) {
+    tail += *it * decay / (1.0 - p_r);
+    decay *= p_r;
+    if (decay < 1e-15) break;
+  }
+  return total + tail;
+}
+
+double n_total_geometric(double n_new, double p_r) noexcept {
+  return n_new / (1.0 - p_r);
+}
+
+double d_high_lams(const Params& p, double n_frames) noexcept {
+  const double h = h_frame_lams(p) / p.t_f;
+  const double nt = n_total(n_frames, h, p_r_lams(p));
+  return d_low_lams(p, nt);
+}
+
+double d_high_hdlc(const Params& p, double n_frames) noexcept {
+  const double w = static_cast<double>(p.window);
+  const double m = std::floor(n_frames / w);
+  const double r_w = n_frames - m * w;
+  const double n_win = n_total_geometric(w, p_r_hdlc(p));
+  double d = m * d_low_hdlc(p, n_win);
+  if (r_w > 0.0) {
+    d += d_low_hdlc(p, n_total_geometric(r_w, p_r_hdlc(p)));
+  }
+  return d;
+}
+
+double eta_lams(const Params& p, double n_frames) noexcept {
+  return n_frames / d_high_lams(p, n_frames);
+}
+
+double eta_hdlc(const Params& p, double n_frames) noexcept {
+  return n_frames / d_high_hdlc(p, n_frames);
+}
+
+double efficiency_lams(const Params& p, double n_frames) noexcept {
+  return eta_lams(p, n_frames) * p.t_f;
+}
+
+double efficiency_hdlc(const Params& p, double n_frames) noexcept {
+  return eta_hdlc(p, n_frames) * p.t_f;
+}
+
+}  // namespace lamsdlc::analysis

@@ -1,0 +1,76 @@
+#include "lamsdlc/core/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lamsdlc {
+
+EventId Simulator::schedule_at(Time at, Callback cb) {
+  if (at < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time is in the past");
+  }
+  if (!cb) {
+    throw std::invalid_argument("Simulator::schedule_at: empty callback");
+  }
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool Simulator::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+bool Simulator::pending(EventId id) const { return callbacks_.contains(id); }
+
+bool Simulator::dispatch_next() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    auto it = callbacks_.find(e.id);
+    if (it == callbacks_.end()) {
+      queue_.pop();  // tombstone of a cancelled event
+      continue;
+    }
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    queue_.pop();
+    now_ = e.at;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && dispatch_next()) {
+  }
+}
+
+void Simulator::run_until(Time horizon) {
+  stopped_ = false;
+  while (!stopped_) {
+    // Peek past tombstones to find the next live event time.
+    while (!queue_.empty() && !callbacks_.contains(queue_.top().id)) {
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().at > horizon) {
+      break;
+    }
+    dispatch_next();
+  }
+  if (now_ < horizon && !stopped_) {
+    now_ = horizon;
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, Time t) {
+  const std::int64_t ps = t.ps();
+  if (ps % 1'000'000'000'000 == 0) return os << ps / 1'000'000'000'000 << "s";
+  if (ps % 1'000'000'000 == 0) return os << ps / 1'000'000'000 << "ms";
+  if (ps % 1'000'000 == 0) return os << ps / 1'000'000 << "us";
+  if (ps % 1'000 == 0) return os << ps / 1'000 << "ns";
+  return os << ps << "ps";
+}
+
+}  // namespace lamsdlc

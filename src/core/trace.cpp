@@ -1,0 +1,52 @@
+#include "lamsdlc/core/trace.hpp"
+
+#include <iomanip>
+
+namespace lamsdlc {
+
+Tracer::Sink Tracer::print_to(std::ostream& os) {
+  return [&os](const TraceEvent& e) {
+    os << "[" << std::setw(12) << std::fixed << std::setprecision(6)
+       << e.at.sec() << "s] " << e.source << ": " << e.what << "\n";
+  };
+}
+
+namespace {
+void write_json_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+}  // namespace
+
+Tracer::Sink Tracer::jsonl_to(std::ostream& os) {
+  return [&os](const TraceEvent& e) {
+    os << "{\"t_ps\":" << e.at.ps() << ",\"src\":\"";
+    write_json_escaped(os, e.source);
+    os << "\",\"msg\":\"";
+    write_json_escaped(os, e.what);
+    os << "\"}\n";
+  };
+}
+
+}  // namespace lamsdlc

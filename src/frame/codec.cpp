@@ -1,0 +1,309 @@
+#include "lamsdlc/frame/codec.hpp"
+
+#include <cstring>
+
+#include "lamsdlc/phy/crc.hpp"
+
+namespace lamsdlc::frame {
+namespace {
+
+enum Kind : std::uint8_t {
+  kIFrame = 1,
+  kCheckpoint = 2,
+  kRequestNak = 3,
+  kHdlcI = 4,
+  kHdlcS = 5,
+  kSession = 6,
+  kSelectiveAck = 7,
+};
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void i64(std::int64_t v) {
+    auto u = static_cast<std::uint64_t>(v);
+    u32(static_cast<std::uint32_t>(u));
+    u32(static_cast<std::uint32_t>(u >> 32));
+  }
+  void bytes(std::span<const std::uint8_t> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  void zeros(std::size_t n) { buf_.resize(buf_.size() + n, 0); }
+
+  std::vector<std::uint8_t> finish() {
+    const std::uint16_t fcs = phy::crc16_ccitt(buf_);
+    u16(fcs);
+    return std::move(buf_);
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> b) : b_{b} {}
+
+  bool u8(std::uint8_t& v) {
+    if (pos_ + 1 > b_.size()) return false;
+    v = b_[pos_++];
+    return true;
+  }
+  bool u16(std::uint16_t& v) {
+    std::uint8_t lo, hi;
+    if (!u8(lo) || !u8(hi)) return false;
+    v = static_cast<std::uint16_t>(lo | (hi << 8));
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    std::uint16_t lo, hi;
+    if (!u16(lo) || !u16(hi)) return false;
+    v = static_cast<std::uint32_t>(lo) | (static_cast<std::uint32_t>(hi) << 16);
+    return true;
+  }
+  bool i64(std::int64_t& v) {
+    std::uint32_t lo, hi;
+    if (!u32(lo) || !u32(hi)) return false;
+    v = static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) |
+                                  (static_cast<std::uint64_t>(hi) << 32));
+    return true;
+  }
+  bool bytes(std::vector<std::uint8_t>& out, std::size_t n) {
+    if (pos_ + n > b_.size()) return false;
+    out.assign(b_.begin() + static_cast<std::ptrdiff_t>(pos_),
+               b_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return true;
+  }
+  [[nodiscard]] std::size_t remaining() const { return b_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> b_;
+  std::size_t pos_{0};
+};
+
+}  // namespace
+
+std::size_t encoded_size(const Frame& f) noexcept {
+  struct Sizer {
+    std::size_t operator()(const IFrame& i) const {
+      return 1 + 4 + 4 + i.payload_bytes + kFcsBytes;
+    }
+    std::size_t operator()(const CheckpointFrame& c) const {
+      return 1 + 4 + 8 + 4 + 1 + 4 + 2 + 4 * c.naks.size() + kFcsBytes;
+    }
+    std::size_t operator()(const RequestNakFrame&) const {
+      return 1 + 4 + kFcsBytes;
+    }
+    std::size_t operator()(const HdlcIFrame& i) const {
+      return 1 + 4 + 4 + 1 + 4 + i.payload_bytes + kFcsBytes;
+    }
+    std::size_t operator()(const HdlcSFrame& s) const {
+      return 1 + 1 + 4 + 2 + 4 * s.srej_list.size() + kFcsBytes;
+    }
+    std::size_t operator()(const SessionFrame&) const {
+      return 1 + 1 + 4 + kFcsBytes;
+    }
+    std::size_t operator()(const SelectiveAckFrame& a) const {
+      return 1 + 4 + 4 + 1 + 2 + 4 * a.missing.size() + kFcsBytes;
+    }
+  };
+  return std::visit(Sizer{}, f.body);
+}
+
+std::size_t wire_bits(const Frame& f) noexcept { return 8 * encoded_size(f); }
+
+std::vector<std::uint8_t> encode(const Frame& f) {
+  Writer w;
+  struct Enc {
+    Writer& w;
+    void operator()(const IFrame& i) const {
+      w.u8(kIFrame);
+      w.u32(i.seq);
+      w.u32(i.payload_bytes);
+      if (!i.payload.empty()) {
+        w.bytes(i.payload);
+        if (i.payload.size() < i.payload_bytes) {
+          w.zeros(i.payload_bytes - i.payload.size());
+        }
+      } else {
+        w.zeros(i.payload_bytes);
+      }
+    }
+    void operator()(const CheckpointFrame& c) const {
+      w.u8(kCheckpoint);
+      w.u32(c.cp_seq);
+      w.i64(c.generated_at.ps());
+      w.u32(c.highest_seen);
+      w.u8(static_cast<std::uint8_t>((c.any_seen ? 1 : 0) |
+                                     (c.enforced ? 2 : 0) |
+                                     (c.stop_go ? 4 : 0)));
+      w.u32(c.epoch);
+      w.u16(static_cast<std::uint16_t>(c.naks.size()));
+      for (Seq s : c.naks) w.u32(s);
+    }
+    void operator()(const RequestNakFrame& r) const {
+      w.u8(kRequestNak);
+      w.u32(r.token);
+    }
+    void operator()(const HdlcIFrame& i) const {
+      w.u8(kHdlcI);
+      w.u32(i.ns);
+      w.u32(i.nr);
+      w.u8(i.poll ? 1 : 0);
+      w.u32(i.payload_bytes);
+      if (!i.payload.empty()) {
+        w.bytes(i.payload);
+        if (i.payload.size() < i.payload_bytes) {
+          w.zeros(i.payload_bytes - i.payload.size());
+        }
+      } else {
+        w.zeros(i.payload_bytes);
+      }
+    }
+    void operator()(const SessionFrame& s) const {
+      w.u8(kSession);
+      w.u8(static_cast<std::uint8_t>(s.kind));
+      w.u32(s.epoch);
+    }
+    void operator()(const SelectiveAckFrame& a) const {
+      w.u8(kSelectiveAck);
+      w.u32(a.base);
+      w.u32(a.highest);
+      w.u8(a.any_seen ? 1 : 0);
+      w.u16(static_cast<std::uint16_t>(a.missing.size()));
+      for (Seq m : a.missing) w.u32(m);
+    }
+    void operator()(const HdlcSFrame& s) const {
+      w.u8(kHdlcS);
+      w.u8(static_cast<std::uint8_t>(static_cast<std::uint8_t>(s.type) |
+                                     (s.poll_final ? 0x80 : 0)));
+      w.u32(s.nr);
+      w.u16(static_cast<std::uint16_t>(s.srej_list.size()));
+      for (Seq q : s.srej_list) w.u32(q);
+    }
+  };
+  std::visit(Enc{w}, f.body);
+  return w.finish();
+}
+
+std::optional<Frame> decode(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 1 + kFcsBytes) return std::nullopt;
+  // Verify FCS over everything but the trailing two bytes.
+  const auto body = bytes.first(bytes.size() - kFcsBytes);
+  const std::uint16_t want = phy::crc16_ccitt(body);
+  const std::uint16_t got =
+      static_cast<std::uint16_t>(bytes[bytes.size() - 2] |
+                                 (bytes[bytes.size() - 1] << 8));
+  if (want != got) return std::nullopt;
+
+  Reader r{body};
+  std::uint8_t kind;
+  if (!r.u8(kind)) return std::nullopt;
+  Frame f;
+  switch (kind) {
+    case kIFrame: {
+      IFrame i;
+      if (!r.u32(i.seq) || !r.u32(i.payload_bytes)) return std::nullopt;
+      if (!r.bytes(i.payload, i.payload_bytes)) return std::nullopt;
+      if (r.remaining() != 0) return std::nullopt;
+      f.body = std::move(i);
+      return f;
+    }
+    case kCheckpoint: {
+      CheckpointFrame c;
+      std::int64_t ps;
+      std::uint8_t flags;
+      std::uint16_t n;
+      if (!r.u32(c.cp_seq) || !r.i64(ps) || !r.u32(c.highest_seen) ||
+          !r.u8(flags) || !r.u32(c.epoch) || !r.u16(n)) {
+        return std::nullopt;
+      }
+      c.generated_at = Time::picoseconds(ps);
+      c.any_seen = flags & 1;
+      c.enforced = flags & 2;
+      c.stop_go = flags & 4;
+      c.naks.resize(n);
+      for (auto& s : c.naks) {
+        if (!r.u32(s)) return std::nullopt;
+      }
+      if (r.remaining() != 0) return std::nullopt;
+      f.body = std::move(c);
+      return f;
+    }
+    case kRequestNak: {
+      RequestNakFrame q;
+      if (!r.u32(q.token) || r.remaining() != 0) return std::nullopt;
+      f.body = q;
+      return f;
+    }
+    case kHdlcI: {
+      HdlcIFrame i;
+      std::uint8_t flags;
+      if (!r.u32(i.ns) || !r.u32(i.nr) || !r.u8(flags) ||
+          !r.u32(i.payload_bytes)) {
+        return std::nullopt;
+      }
+      i.poll = flags & 1;
+      if (!r.bytes(i.payload, i.payload_bytes)) return std::nullopt;
+      if (r.remaining() != 0) return std::nullopt;
+      f.body = std::move(i);
+      return f;
+    }
+    case kHdlcS: {
+      HdlcSFrame s;
+      std::uint8_t tf;
+      std::uint16_t n;
+      if (!r.u8(tf)) return std::nullopt;
+      const std::uint8_t t = tf & 0x3;
+      s.type = static_cast<HdlcSFrame::Type>(t);
+      s.poll_final = tf & 0x80;
+      if (!r.u32(s.nr) || !r.u16(n)) return std::nullopt;
+      s.srej_list.resize(n);
+      for (auto& q : s.srej_list) {
+        if (!r.u32(q)) return std::nullopt;
+      }
+      if (r.remaining() != 0) return std::nullopt;
+      f.body = std::move(s);
+      return f;
+    }
+    case kSelectiveAck: {
+      SelectiveAckFrame a;
+      std::uint8_t flags;
+      std::uint16_t n;
+      if (!r.u32(a.base) || !r.u32(a.highest) || !r.u8(flags) || !r.u16(n)) {
+        return std::nullopt;
+      }
+      a.any_seen = flags & 1;
+      a.missing.resize(n);
+      for (auto& m : a.missing) {
+        if (!r.u32(m)) return std::nullopt;
+      }
+      if (r.remaining() != 0) return std::nullopt;
+      f.body = std::move(a);
+      return f;
+    }
+    case kSession: {
+      SessionFrame s;
+      std::uint8_t k;
+      if (!r.u8(k) || k > 3 || !r.u32(s.epoch) || r.remaining() != 0) {
+        return std::nullopt;
+      }
+      s.kind = static_cast<SessionFrame::Kind>(k);
+      f.body = s;
+      return f;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace lamsdlc::frame

@@ -1,0 +1,185 @@
+#include "lamsdlc/lams/receiver.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace lamsdlc::lams {
+
+LamsReceiver::LamsReceiver(Simulator& sim, link::SimplexChannel& control_out,
+                           LamsConfig cfg, sim::PacketListener* listener,
+                           sim::DlcStats* stats, Tracer tracer)
+    : sim_{sim},
+      out_{control_out},
+      cfg_{cfg},
+      listener_{listener},
+      stats_{stats},
+      tracer_{std::move(tracer)},
+      seqspace_{cfg.modulus} {}
+
+LamsReceiver::~LamsReceiver() { sim_.cancel(cp_timer_); }
+
+void LamsReceiver::trace(std::string what) const {
+  tracer_.emit(sim_.now(), "lams.receiver", std::move(what));
+}
+
+void LamsReceiver::start() {
+  if (running_) return;
+  running_ = true;
+  cp_timer_ = sim_.schedule_in(cfg_.checkpoint_interval, [this] { checkpoint_tick(); });
+}
+
+void LamsReceiver::stop() {
+  running_ = false;
+  sim_.cancel(cp_timer_);
+  cp_timer_ = 0;
+}
+
+void LamsReceiver::reset_session() {
+  any_seen_ = false;
+  highest_ctr_ = 0;
+  interval_naks_.clear();
+  current_interval_.clear();
+  history_.clear();
+}
+
+void LamsReceiver::checkpoint_tick() {
+  if (!running_) return;
+  // Close the current detection interval before reporting, so a NAK raised
+  // an instant before the tick is included in this checkpoint.
+  interval_naks_.push_back(std::move(current_interval_));
+  current_interval_.clear();
+  while (interval_naks_.size() > cfg_.cumulation_depth) {
+    interval_naks_.pop_front();
+  }
+  emit_checkpoint(/*enforced=*/false);
+  cp_timer_ = sim_.schedule_in(cfg_.checkpoint_interval, [this] { checkpoint_tick(); });
+}
+
+void LamsReceiver::emit_checkpoint(bool enforced) {
+  frame::CheckpointFrame cp;
+  cp.cp_seq = ++cp_seq_;
+  cp.generated_at = sim_.now();
+  cp.any_seen = any_seen_;
+  cp.highest_seen = any_seen_ ? seqspace_.wrap(highest_ctr_) : 0;
+  cp.enforced = enforced;
+  cp.stop_go = processing_ > cfg_.recv_high_watermark;
+  cp.epoch = epoch_;
+
+  if (enforced) {
+    // Enforced-NAK: every unexpired NAK of the resolving period, so a
+    // sender that missed an arbitrary run of checkpoints still recovers
+    // every damaged frame.
+    prune_history();
+    cp.naks.reserve(history_.size() + current_interval_.size());
+    for (const NakRecord& r : history_) cp.naks.push_back(seqspace_.wrap(r.ctr));
+  } else {
+    // Cumulative list over the last C_depth closed intervals plus anything
+    // detected in the (just-started) current one.
+    for (const auto& interval : interval_naks_) {
+      for (const std::uint64_t ctr : interval) cp.naks.push_back(seqspace_.wrap(ctr));
+    }
+    for (const std::uint64_t ctr : current_interval_) {
+      cp.naks.push_back(seqspace_.wrap(ctr));
+    }
+  }
+
+  if (tracer_.enabled()) {
+    trace(std::string(enforced ? "Enforced-NAK" : "Check-Point") +
+          " cp_seq=" + std::to_string(cp.cp_seq) +
+          " naks=" + std::to_string(cp.naks.size()) +
+          (cp.stop_go ? " [stop]" : ""));
+  }
+
+  ++cp_count_;
+  if (stats_) ++stats_->control_tx;
+  frame::Frame f;
+  f.body = std::move(cp);
+  out_.send(std::move(f));
+}
+
+void LamsReceiver::prune_history() {
+  const Time horizon = cfg_.effective_nak_horizon();
+  while (!history_.empty() &&
+         history_.front().detected_at + horizon < sim_.now()) {
+    history_.pop_front();
+  }
+}
+
+void LamsReceiver::on_frame(frame::Frame f) {
+  if (!running_) return;  // a stopped receiver is dead: no processing at all
+  if (const auto* in = std::get_if<frame::IFrame>(&f.body)) {
+    handle_iframe(*in, f.corrupted);
+    return;
+  }
+  if (f.corrupted) {
+    if (stats_) ++stats_->control_corrupted_rx;
+    return;
+  }
+  if (const auto* rq = std::get_if<frame::RequestNakFrame>(&f.body)) {
+    handle_request_nak(*rq);
+  }
+}
+
+void LamsReceiver::handle_iframe(const frame::IFrame& in, bool corrupted) {
+  if (corrupted) {
+    // Worst-case assumption: a damaged frame's header is unreadable, so the
+    // receiver learns of it only through the sequence gap exposed by the
+    // next good arrival (or the sender's highest-seen reasoning).
+    if (stats_) ++stats_->iframe_corrupted_rx;
+    return;
+  }
+  if (processing_ >= cfg_.recv_hard_capacity) {
+    // Congestion overflow: discard while Stop is being signalled (Section
+    // 3.4).  Dropping before the sequence tracking makes the frame look
+    // exactly like a damaged arrival, so the sender's NAK machinery
+    // recovers it after the backlog drains — "minimize the losses due
+    // congestion" without a new mechanism.
+    ++congestion_discards_;
+    return;
+  }
+
+  const std::uint64_t ctr =
+      any_seen_ ? seqspace_.unwrap(in.seq, highest_ctr_)
+                : static_cast<std::uint64_t>(in.seq);
+  if (any_seen_ && ctr <= highest_ctr_) {
+    // Arrival order matches send order on a point-to-point light path, so a
+    // non-increasing counter can only be a late duplicate; deliver nothing.
+    trace("non-monotone sequence ignored ctr=" + std::to_string(ctr));
+    return;
+  }
+
+  // Every hole below the new highest number is a frame that arrived
+  // unreadable: NAK each exactly once.
+  const std::uint64_t gap_from = any_seen_ ? highest_ctr_ + 1 : 0;
+  for (std::uint64_t missing = gap_from; missing < ctr; ++missing) {
+    current_interval_.push_back(missing);
+    history_.push_back(NakRecord{missing, sim_.now()});
+    ++naks_generated_;
+    if (tracer_.enabled()) trace("gap -> NAK ctr=" + std::to_string(missing));
+  }
+  highest_ctr_ = ctr;
+  any_seen_ = true;
+
+  // Forward upward after t_proc; no resequencing hold (Section 3.3).
+  ++processing_;
+  if (stats_) {
+    stats_->recv_buffer.update(sim_.now(), static_cast<double>(processing_));
+  }
+  const sim::Packet p{in.packet_id, in.payload_bytes, Time{}, 0, 0, 1};
+  sim_.schedule_in(cfg_.t_proc, [this, p] {
+    --processing_;
+    if (stats_) {
+      stats_->recv_buffer.update(sim_.now(), static_cast<double>(processing_));
+    }
+    if (listener_) listener_->on_packet(p, sim_.now());
+  });
+}
+
+void LamsReceiver::handle_request_nak(const frame::RequestNakFrame& rq) {
+  trace("Request-NAK token=" + std::to_string(rq.token) +
+        " -> immediate Enforced-NAK");
+  emit_checkpoint(/*enforced=*/true);
+}
+
+}  // namespace lamsdlc::lams

@@ -1,0 +1,349 @@
+#include "lamsdlc/lams/sender.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace lamsdlc::lams {
+
+LamsSender::LamsSender(Simulator& sim, link::SimplexChannel& data_out,
+                       LamsConfig cfg, sim::DlcStats* stats, Tracer tracer)
+    : sim_{sim},
+      out_{data_out},
+      cfg_{cfg},
+      stats_{stats},
+      tracer_{std::move(tracer)},
+      seqspace_{cfg.modulus} {
+  out_.set_idle_callback([this] { try_send(); });
+}
+
+LamsSender::~LamsSender() {
+  sim_.cancel(checkpoint_timer_);
+  sim_.cancel(failure_timer_);
+  sim_.cancel(pace_timer_);
+}
+
+void LamsSender::trace(std::string what) const {
+  tracer_.emit(sim_.now(), "lams.sender", std::move(what));
+}
+
+void LamsSender::submit(sim::Packet p) {
+  if (stats_) ++stats_->packets_submitted;
+  new_queue_.push_back(Pending{p, Time{}, 0});
+  note_buffer_change();
+  try_send();
+}
+
+std::size_t LamsSender::sending_buffer_depth() const {
+  return new_queue_.size() + retx_queue_.size() + outstanding_.size();
+}
+
+bool LamsSender::accepting() const {
+  return mode_ != Mode::kFailed &&
+         sending_buffer_depth() < cfg_.send_buffer_capacity;
+}
+
+bool LamsSender::idle() const {
+  return new_queue_.empty() && retx_queue_.empty() && outstanding_.empty();
+}
+
+void LamsSender::note_buffer_change() {
+  if (stats_) {
+    stats_->send_buffer.update(sim_.now(),
+                               static_cast<double>(sending_buffer_depth()));
+  }
+}
+
+void LamsSender::try_send() {
+  if (mode_ == Mode::kFailed || out_.busy() || !out_.up()) return;
+  const bool can_new = mode_ == Mode::kNormal;
+  if (retx_queue_.empty() && (!can_new || new_queue_.empty())) return;
+
+  const Time now = sim_.now();
+  if (now < next_send_allowed_) {
+    if (!sim_.pending(pace_timer_)) {
+      pace_timer_ = sim_.schedule_at(next_send_allowed_, [this] { try_send(); });
+    }
+    return;
+  }
+
+  Pending p;
+  if (!retx_queue_.empty()) {
+    p = std::move(retx_queue_.front());
+    retx_queue_.pop_front();
+  } else {
+    p = std::move(new_queue_.front());
+    new_queue_.pop_front();
+  }
+  send_iframe(std::move(p));
+}
+
+void LamsSender::send_iframe(Pending p) {
+  const Time now = sim_.now();
+  ++p.attempts;
+  if (p.attempts == 1) p.first_tx = now;
+
+  const std::uint64_t ctr = next_ctr_++;
+  frame::Frame f;
+  f.body = frame::IFrame{seqspace_.wrap(ctr), p.packet.id, p.packet.bytes, {}};
+
+  const Time tx = out_.tx_time(f);
+  const Time prop = out_.config().propagation(now);
+  const Time expected_arrival = now + tx + prop + cfg_.t_proc;
+
+  if (stats_) {
+    ++stats_->iframe_tx;
+    if (p.attempts > 1) ++stats_->iframe_retx;
+  }
+  if (tracer_.enabled()) {
+    trace("I-frame ctr=" + std::to_string(ctr) +
+          " pkt=" + std::to_string(p.packet.id) +
+          " attempt=" + std::to_string(p.attempts));
+  }
+
+  outstanding_.emplace(ctr, Outstanding{std::move(p), expected_arrival});
+
+  // Pace against the Stop-Go rate factor: at factor 1 this equals the
+  // serialization time, i.e. back-to-back transmission.
+  next_send_allowed_ = now + tx * (1.0 / rate_factor_);
+
+  out_.send(std::move(f));
+
+  // Before the first checkpoint arrives, guard startup with a generous
+  // timer: a silent receiver is detected after one response time plus the
+  // usual checkpoint timeout.
+  if (!got_any_cp_ && !sim_.pending(checkpoint_timer_)) {
+    checkpoint_timer_ = sim_.schedule_in(
+        cfg_.max_rtt + cfg_.checkpoint_interval + cfg_.checkpoint_timeout(),
+        [this] { on_checkpoint_silence(); });
+  }
+}
+
+void LamsSender::on_frame(frame::Frame f) {
+  if (mode_ == Mode::kFailed) return;
+  if (f.corrupted) {
+    // A damaged control command is unreadable; the cumulative NAK design
+    // makes the *next* checkpoint carry the same information.
+    if (stats_) ++stats_->control_corrupted_rx;
+    trace("corrupted control frame discarded");
+    return;
+  }
+  if (const auto* cp = std::get_if<frame::CheckpointFrame>(&f.body)) {
+    handle_checkpoint(*cp);
+  }
+  // Any other frame type on the reverse channel is a misconfiguration;
+  // ignore it rather than guess.
+}
+
+void LamsSender::handle_checkpoint(const frame::CheckpointFrame& cp) {
+  if (cp.epoch != expected_epoch_) return;  // leftover of an earlier session
+  if (got_any_cp_ && cp.cp_seq <= last_cp_seq_) return;  // stale/duplicate
+  got_any_cp_ = true;
+  last_cp_seq_ = cp.cp_seq;
+
+  if (tracer_.enabled()) {
+    trace("checkpoint cp_seq=" + std::to_string(cp.cp_seq) +
+          " naks=" + std::to_string(cp.naks.size()) +
+          (cp.enforced ? " [enforced]" : "") + (cp.stop_go ? " [stop]" : ""));
+  }
+
+  if (mode_ == Mode::kNormal) {
+    process_naks(cp);
+    sweep_outstanding(cp);
+  } else {  // kEnforcedRecovery
+    if (cp.enforced) {
+      // Enforced-NAK / Resolving Command: resolves every outstanding frame
+      // (its NAK list spans the whole resolving period) and ends recovery.
+      process_naks(cp);
+      sweep_outstanding(cp);
+      sim_.cancel(failure_timer_);
+      failure_timer_ = 0;
+      mode_ = Mode::kNormal;
+      trace("enforced recovery complete");
+    } else {
+      // Checkpoint Recovery stays allowed during enforced recovery, but no
+      // releases and no new I-frames (Section 3.2).
+      process_naks(cp);
+      if (cfg_.retry_request_nak &&
+          sim_.now() >= request_sent_at_ + cfg_.max_rtt) {
+        send_request_nak();
+      }
+    }
+  }
+
+  apply_flow_control(cp.stop_go);
+
+  if (mode_ == Mode::kNormal) arm_checkpoint_timer();
+  note_buffer_change();
+  try_send();
+}
+
+void LamsSender::process_naks(const frame::CheckpointFrame& cp) {
+  if (next_ctr_ == 0) return;  // nothing ever sent
+  for (const frame::Seq wire : cp.naks) {
+    const std::uint64_t ctr = seqspace_.unwrap(wire, next_ctr_ - 1);
+    auto it = outstanding_.find(ctr);
+    if (it == outstanding_.end()) {
+      // Already retransmitted under a newer number (the NAK repeats
+      // C_depth times by design) — "assumed to be retransmitted already".
+      continue;
+    }
+    if (tracer_.enabled()) trace("NAK ctr=" + std::to_string(ctr) + " -> retransmit");
+    retx_queue_.push_back(std::move(it->second.pending));
+    outstanding_.erase(it);
+  }
+}
+
+void LamsSender::sweep_outstanding(const frame::CheckpointFrame& cp) {
+  if (outstanding_.empty() || next_ctr_ == 0) return;
+  const bool any_seen = cp.any_seen;
+  const std::uint64_t high =
+      any_seen ? seqspace_.unwrap(cp.highest_seen, next_ctr_ - 1) : 0;
+
+  std::vector<std::uint64_t> release;
+  std::vector<std::uint64_t> undelivered;
+  for (const auto& [ctr, o] : outstanding_) {
+    if (any_seen && ctr <= high) {
+      // The receiver saw a later frame before generating this checkpoint;
+      // had this one arrived damaged its gap-NAK would be in the list and
+      // process_naks would have claimed it.  Implicitly acknowledged.
+      release.push_back(ctr);
+    } else if (o.expected_arrival + cfg_.release_margin <= cp.generated_at) {
+      // It provably reached the receiver before this checkpoint, yet the
+      // highest-seen number never got there: it arrived unreadable (e.g.
+      // the tail frame of a burst).  Retransmit under a new number.
+      undelivered.push_back(ctr);
+    }
+    // Otherwise: still in flight relative to this checkpoint; keep holding.
+  }
+
+  for (const std::uint64_t ctr : release) {
+    auto it = outstanding_.find(ctr);
+    if (stats_) {
+      stats_->holding_time_s.add((sim_.now() - it->second.pending.first_tx).sec());
+    }
+    ++resolved_;
+    outstanding_.erase(it);
+  }
+  for (const std::uint64_t ctr : undelivered) {
+    auto it = outstanding_.find(ctr);
+    if (tracer_.enabled()) {
+      trace("ctr=" + std::to_string(ctr) + " provably undelivered -> retransmit");
+    }
+    retx_queue_.push_back(std::move(it->second.pending));
+    outstanding_.erase(it);
+  }
+}
+
+void LamsSender::arm_checkpoint_timer() {
+  sim_.cancel(checkpoint_timer_);
+  checkpoint_timer_ =
+      sim_.schedule_in(cfg_.checkpoint_timeout(), [this] { on_checkpoint_silence(); });
+}
+
+void LamsSender::on_checkpoint_silence() {
+  checkpoint_timer_ = 0;
+  if (mode_ != Mode::kNormal) return;
+  enter_enforced_recovery();
+}
+
+void LamsSender::enter_enforced_recovery() {
+  // Recoverable only if the expected response fits in the remaining link
+  // lifetime (Section 3.2).
+  if (cfg_.link_deadline &&
+      sim_.now() + cfg_.failure_timeout() > *cfg_.link_deadline) {
+    trace("link lifetime exhausted: failure unrecoverable");
+    declare_failed();
+    return;
+  }
+  mode_ = Mode::kEnforcedRecovery;
+  trace("checkpoint silence: entering enforced recovery");
+  send_request_nak();
+  sim_.cancel(failure_timer_);
+  failure_timer_ =
+      sim_.schedule_in(cfg_.failure_timeout(), [this] { on_failure_timeout(); });
+}
+
+void LamsSender::send_request_nak() {
+  frame::Frame f;
+  f.body = frame::RequestNakFrame{++request_token_};
+  if (stats_) ++stats_->control_tx;
+  ++request_naks_;
+  request_sent_at_ = sim_.now();
+  trace("Request-NAK token=" + std::to_string(request_token_));
+  out_.send(std::move(f));
+}
+
+void LamsSender::on_failure_timeout() {
+  failure_timer_ = 0;
+  if (mode_ != Mode::kEnforcedRecovery) return;
+  trace("failure timer expired: receiver considered failed");
+  declare_failed();
+}
+
+void LamsSender::declare_failed() {
+  mode_ = Mode::kFailed;
+  sim_.cancel(checkpoint_timer_);
+  sim_.cancel(failure_timer_);
+  sim_.cancel(pace_timer_);
+  checkpoint_timer_ = failure_timer_ = pace_timer_ = 0;
+  if (on_failed_) on_failed_();
+}
+
+void LamsSender::reset_session() {
+  // Unresolved traffic survives the reset, oldest first.
+  std::vector<std::uint64_t> ctrs;
+  ctrs.reserve(outstanding_.size());
+  for (const auto& [ctr, o] : outstanding_) ctrs.push_back(ctr);
+  std::sort(ctrs.rbegin(), ctrs.rend());
+  // Prepend in reverse so the final order is: outstanding (by counter),
+  // then previously queued retransmissions, then new traffic.
+  for (auto it = retx_queue_.rbegin(); it != retx_queue_.rend(); ++it) {
+    new_queue_.push_front(Pending{it->packet, Time{}, 0});
+  }
+  for (const std::uint64_t ctr : ctrs) {
+    new_queue_.push_front(Pending{outstanding_.at(ctr).pending.packet, Time{}, 0});
+  }
+  outstanding_.clear();
+  retx_queue_.clear();
+
+  sim_.cancel(checkpoint_timer_);
+  sim_.cancel(failure_timer_);
+  sim_.cancel(pace_timer_);
+  checkpoint_timer_ = failure_timer_ = pace_timer_ = 0;
+  next_ctr_ = 0;
+  got_any_cp_ = false;
+  mode_ = Mode::kNormal;
+  next_send_allowed_ = Time{};
+  note_buffer_change();
+}
+
+std::vector<sim::Packet> LamsSender::take_unresolved() {
+  std::vector<sim::Packet> out;
+  out.reserve(sending_buffer_depth());
+  // Outstanding first (oldest traffic), ordered by transmission counter.
+  std::vector<std::uint64_t> ctrs;
+  ctrs.reserve(outstanding_.size());
+  for (const auto& [ctr, o] : outstanding_) ctrs.push_back(ctr);
+  std::sort(ctrs.begin(), ctrs.end());
+  for (const std::uint64_t ctr : ctrs) {
+    out.push_back(outstanding_.at(ctr).pending.packet);
+  }
+  outstanding_.clear();
+  for (const Pending& p : retx_queue_) out.push_back(p.packet);
+  retx_queue_.clear();
+  for (const Pending& p : new_queue_) out.push_back(p.packet);
+  new_queue_.clear();
+  note_buffer_change();
+  return out;
+}
+
+void LamsSender::apply_flow_control(bool stop) {
+  if (stop) {
+    rate_factor_ = std::max(cfg_.min_rate_factor, rate_factor_ * cfg_.stop_decrease);
+  } else if (rate_factor_ < 1.0) {
+    rate_factor_ = std::min(1.0, rate_factor_ + cfg_.go_increase);
+  }
+}
+
+}  // namespace lamsdlc::lams

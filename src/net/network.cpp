@@ -1,0 +1,402 @@
+#include "lamsdlc/net/network.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <limits>
+#include <string>
+#include <utility>
+
+namespace lamsdlc::net {
+namespace {
+
+/// Splits a channel's arrivals between the two protocol flows sharing it:
+/// information frames (and the sender-issued Request-NAK poll) belong to the
+/// *incoming* data flow's receiver; checkpoint-class commands belong to the
+/// *outgoing* data flow's sender, whose acknowledgements ride this channel.
+class DemuxSink final : public link::FrameSink {
+ public:
+  DemuxSink(link::FrameSink* to_receiver, link::FrameSink* to_sender)
+      : to_receiver_{to_receiver}, to_sender_{to_sender} {}
+
+  void on_frame(frame::Frame f) override {
+    const bool for_receiver =
+        std::holds_alternative<frame::IFrame>(f.body) ||
+        std::holds_alternative<frame::HdlcIFrame>(f.body) ||
+        std::holds_alternative<frame::RequestNakFrame>(f.body);
+    link::FrameSink* sink = for_receiver ? to_receiver_ : to_sender_;
+    if (sink != nullptr) sink->on_frame(std::move(f));
+  }
+
+ private:
+  link::FrameSink* to_receiver_;
+  link::FrameSink* to_sender_;
+};
+
+}  // namespace
+
+// ------------------------------------------------------------------ Flow --
+
+Flow::Flow(Simulator& sim, Network& net, LinkId link, NodeId from, NodeId to,
+           link::SimplexChannel& data, link::SimplexChannel& control,
+           const LinkSpec& spec, Tracer tracer)
+    : link_{link}, from_{from}, to_{to} {
+  switch (spec.protocol) {
+    case sim::Protocol::kLams:
+      lams_tx_ = std::make_unique<lams::LamsSender>(sim, data, spec.lams,
+                                                    &stats_, tracer);
+      lams_rx_ = std::make_unique<lams::LamsReceiver>(
+          sim, control, spec.lams, &net.node(to), &stats_, std::move(tracer));
+      lams_rx_->start();
+      dlc_sender_ = lams_tx_.get();
+      receiver_sink_ = lams_rx_.get();
+      sender_sink_ = lams_tx_.get();
+      break;
+    case sim::Protocol::kSrHdlc:
+      sr_tx_ = std::make_unique<hdlc::SrSender>(sim, data, spec.hdlc, &stats_,
+                                                tracer);
+      sr_rx_ = std::make_unique<hdlc::SrReceiver>(
+          sim, control, spec.hdlc, &net.node(to), &stats_, std::move(tracer));
+      dlc_sender_ = sr_tx_.get();
+      receiver_sink_ = sr_rx_.get();
+      sender_sink_ = sr_tx_.get();
+      break;
+    case sim::Protocol::kGbnHdlc:
+      gbn_tx_ = std::make_unique<hdlc::GbnSender>(sim, data, spec.hdlc,
+                                                  &stats_, tracer);
+      gbn_rx_ = std::make_unique<hdlc::GbnReceiver>(
+          sim, control, spec.hdlc, &net.node(to), &stats_, std::move(tracer));
+      dlc_sender_ = gbn_tx_.get();
+      receiver_sink_ = gbn_rx_.get();
+      sender_sink_ = gbn_tx_.get();
+      break;
+    case sim::Protocol::kNbdt:
+      // The NBDT baseline exists for single-link comparisons (bench E16);
+      // its selective-status demux is not wired into the network module.
+      throw std::invalid_argument(
+          "net::Network does not support NBDT flows; use kLams or an HDLC "
+          "variant");
+  }
+}
+
+// ------------------------------------------------------------------ Node --
+
+void Node::on_packet(const sim::Packet& p, Time at) {
+  const PacketHeader* h = net_.header(p.id);
+  if (h == nullptr) return;  // not network traffic (protocol-level test rig)
+  if (h->dst == id_) {
+    net_.deliver_local(*this, p, at);
+  } else {
+    ++forwarded_;
+    net_.forward(*this, p, h->dst);
+  }
+}
+
+// --------------------------------------------------------------- Network --
+
+Network::Network(Simulator& sim, std::uint64_t seed, Tracer tracer)
+    : sim_{sim}, seed_{seed}, tracer_{std::move(tracer)}, tracker_{sim} {}
+
+Network::~Network() = default;
+
+NodeId Network::add_node(std::string name) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(*this, id, std::move(name)));
+  routes_valid_ = false;
+  return id;
+}
+
+LinkId Network::add_link(const LinkSpec& spec) {
+  const auto id = static_cast<LinkId>(links_.size());
+  auto ls = std::make_unique<LinkState>();
+  ls->spec = spec;
+
+  auto channel_cfg = [&](bool forward) {
+    link::SimplexChannel::Config c;
+    c.data_rate_bps = spec.data_rate_bps;
+    c.propagation = spec.propagation
+                        ? spec.propagation
+                        : [d = spec.prop_delay](Time) { return d; };
+    c.byte_level = spec.byte_level;
+    c.byte_level_seed = seed_ ^ (0x1000u * (id + 1)) ^ (forward ? 1u : 2u);
+    return c;
+  };
+  const std::string tag = "link" + std::to_string(id);
+  ls->duplex = std::make_unique<link::FullDuplexLink>(
+      sim_, channel_cfg(true),
+      sim::make_error_model(spec.a_to_b_error, seed_, tag + ".ab"),
+      channel_cfg(false),
+      sim::make_error_model(spec.b_to_a_error, seed_, tag + ".ba"));
+  if (spec.a_to_b_error.kind == sim::ErrorConfig::Kind::kFixedFrameProb) {
+    ls->duplex->forward().set_control_error_model(
+        std::make_unique<phy::FixedFrameErrorModel>(
+            spec.a_to_b_error.p_control, RandomStream{seed_, tag + ".abc"}));
+  }
+  if (spec.b_to_a_error.kind == sim::ErrorConfig::Kind::kFixedFrameProb) {
+    ls->duplex->reverse().set_control_error_model(
+        std::make_unique<phy::FixedFrameErrorModel>(
+            spec.b_to_a_error.p_control, RandomStream{seed_, tag + ".bac"}));
+  }
+
+  links_.push_back(std::move(ls));
+  build_flows(*links_.back(), id);
+  routes_valid_ = false;
+  // New topology may give parked traffic a path (a contact opening).
+  bool any_parked = false;
+  for (const auto& n : nodes_) any_parked |= n->parked() > 0;
+  if (any_parked) compute_routes();
+  return id;
+}
+
+void Network::build_flows(LinkState& ls, LinkId id) {
+  const LinkSpec& spec = ls.spec;
+  // Flow a→b: data on the forward channel, acknowledgements on reverse.
+  ls.ab = std::make_unique<Flow>(sim_, *this, id, spec.a, spec.b,
+                                 ls.duplex->forward(), ls.duplex->reverse(),
+                                 spec, tracer_);
+  // Flow b→a: data on the reverse channel, acknowledgements on forward.
+  ls.ba = std::make_unique<Flow>(sim_, *this, id, spec.b, spec.a,
+                                 ls.duplex->reverse(), ls.duplex->forward(),
+                                 spec, tracer_);
+
+  // Arrivals at b (forward channel): a→b data plus b→a acknowledgements.
+  ls.sink_at_b = std::make_unique<DemuxSink>(&ls.ab->receiver_sink(),
+                                             &ls.ba->sender_sink());
+  ls.duplex->forward().set_sink(ls.sink_at_b.get());
+  // Arrivals at a (reverse channel): b→a data plus a→b acknowledgements.
+  ls.sink_at_a = std::make_unique<DemuxSink>(&ls.ba->receiver_sink(),
+                                             &ls.ab->sender_sink());
+  ls.duplex->reverse().set_sink(ls.sink_at_a.get());
+
+  if (auto* tx = ls.ab->lams_sender()) {
+    tx->set_failure_callback(
+        [this, flow = ls.ab.get()] { on_flow_failed(*flow); });
+  }
+  if (auto* tx = ls.ba->lams_sender()) {
+    tx->set_failure_callback(
+        [this, flow = ls.ba.get()] { on_flow_failed(*flow); });
+  }
+
+  node(spec.a).flow_to_[spec.b] = ls.ab.get();
+  node(spec.b).flow_to_[spec.a] = ls.ba.get();
+}
+
+Flow& Network::flow(LinkId link, NodeId from) {
+  LinkState& ls = *links_.at(link);
+  if (ls.ab->from() == from) return *ls.ab;
+  return *ls.ba;
+}
+
+const PacketHeader* Network::header(frame::PacketId id) const {
+  auto it = headers_.find(id);
+  return it == headers_.end() ? nullptr : &it->second;
+}
+
+void Network::compute_routes() {
+  // Directed usable edges: flow operational and its link up.
+  struct Edge {
+    NodeId from, to;
+    Flow* flow;
+  };
+  std::vector<Edge> edges;
+  for (const auto& ls : links_) {
+    if (!ls->up) continue;
+    if (!ls->ab->failed()) edges.push_back({ls->ab->from(), ls->ab->to(), ls->ab.get()});
+    if (!ls->ba->failed()) edges.push_back({ls->ba->from(), ls->ba->to(), ls->ba.get()});
+  }
+  // Incoming-edge lists for reverse BFS from each destination.
+  std::vector<std::vector<const Edge*>> incoming(nodes_.size());
+  for (const Edge& e : edges) incoming[e.to].push_back(&e);
+
+  for (auto& n : nodes_) {
+    n->next_hop_.clear();
+    n->flow_to_.clear();
+  }
+  for (const Edge& e : edges) {
+    node(e.from).flow_to_[e.to] = e.flow;
+  }
+
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  for (NodeId dst = 0; dst < nodes_.size(); ++dst) {
+    std::vector<std::uint32_t> dist(nodes_.size(), kInf);
+    std::deque<NodeId> queue;
+    dist[dst] = 0;
+    queue.push_back(dst);
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      for (const Edge* e : incoming[v]) {
+        if (dist[e->from] != kInf) continue;
+        dist[e->from] = dist[v] + 1;
+        node(e->from).next_hop_[dst] = v;
+        queue.push_back(e->from);
+      }
+    }
+  }
+  routes_valid_ = true;
+  flush_parked();
+}
+
+void Network::flush_parked() {
+  for (auto& n : nodes_) {
+    if (n->parked_.empty()) continue;
+    std::map<NodeId, std::deque<sim::Packet>> parked;
+    parked.swap(n->parked_);
+    n->parked_count_ = 0;
+    for (auto& [dst, q] : parked) {
+      for (const sim::Packet& p : q) forward(*n, p, dst);
+    }
+  }
+}
+
+void Network::ensure_routes() {
+  if (!routes_valid_) compute_routes();
+}
+
+void Network::set_route(NodeId at, NodeId dst, NodeId next_hop) {
+  ensure_routes();
+  node(at).next_hop_[dst] = next_hop;
+}
+
+frame::PacketId Network::send_packet(NodeId src, NodeId dst,
+                                     std::uint32_t bytes) {
+  sim::Packet p;
+  p.id = ids_.next();
+  p.bytes = bytes;
+  p.created_at = sim_.now();
+  headers_.emplace(p.id, PacketHeader{src, dst});
+  tracker_.note_submitted(p);
+  if (src == dst) {
+    deliver_local(node(src), p, sim_.now());
+  } else {
+    forward(node(src), p, dst);
+  }
+  return p.id;
+}
+
+std::uint64_t Network::send_message(NodeId src, NodeId dst,
+                                    std::uint32_t segments,
+                                    std::uint32_t bytes) {
+  const std::uint64_t mid = ++next_message_;
+  for (std::uint32_t i = 0; i < segments; ++i) {
+    sim::Packet p;
+    p.id = ids_.next();
+    p.bytes = bytes;
+    p.created_at = sim_.now();
+    p.message_id = mid;
+    p.msg_index = i;
+    p.msg_count = segments;
+    headers_.emplace(p.id, PacketHeader{src, dst});
+    message_registry_.record(p);
+    tracker_.note_submitted(p);
+    forward(node(src), p, dst);
+  }
+  return mid;
+}
+
+void Network::forward(Node& at, const sim::Packet& p, NodeId dst) {
+  ensure_routes();
+  auto hop = at.next_hop_.find(dst);
+  Flow* flow = nullptr;
+  if (hop != at.next_hop_.end()) {
+    auto flow_it = at.flow_to_.find(hop->second);
+    if (flow_it != at.flow_to_.end() && !flow_it->second->failed()) {
+      flow = flow_it->second;
+    }
+  }
+  if (flow == nullptr) {
+    // Store and forward: the node parks the packet until the topology
+    // offers a route again (a future contact, a restored link).
+    at.parked_[dst].push_back(p);
+    ++at.parked_count_;
+    if (tracer_.enabled()) {
+      tracer_.emit(sim_.now(), "net." + at.name(),
+                   "no route to node " + std::to_string(dst) + "; parked");
+    }
+    return;
+  }
+  flow->dlc().submit(p);
+}
+
+void Network::deliver_local(Node& at, const sim::Packet& p, Time at_time) {
+  auto it = resequencers_.find(at.id());
+  if (it == resequencers_.end()) {
+    auto reseq = std::make_unique<workload::Resequencer>(
+        message_registry_,
+        [this, dst = at.id()](std::uint64_t mid, Time when) {
+          if (on_message_) on_message_(dst, mid, when);
+        },
+        &tracker_);
+    it = resequencers_.emplace(at.id(), std::move(reseq)).first;
+  }
+  it->second->on_packet(p, at_time);
+}
+
+void Network::on_flow_failed(Flow& flow) {
+  flow.failed_ = true;
+  routes_valid_ = false;
+  auto residue = flow.lams_sender() != nullptr
+                     ? flow.lams_sender()->take_unresolved()
+                     : std::vector<sim::Packet>{};
+  if (tracer_.enabled()) {
+    tracer_.emit(sim_.now(), "net",
+                 "flow " + std::to_string(flow.from()) + "->" +
+                     std::to_string(flow.to()) + " failed; rerouting " +
+                     std::to_string(residue.size()) + " packets");
+  }
+  Node& origin = node(flow.from());
+  for (const sim::Packet& p : residue) {
+    const PacketHeader* h = header(p.id);
+    if (h == nullptr) continue;
+    if (h->dst == origin.id()) {
+      deliver_local(origin, p, sim_.now());
+    } else {
+      forward(origin, p, h->dst);
+    }
+  }
+}
+
+void Network::set_link_up(LinkId id, bool up) {
+  LinkState& ls = *links_.at(id);
+  if (ls.up == up) return;
+  ls.up = up;
+  ls.duplex->set_up(up);
+  routes_valid_ = false;
+  if (up) {
+    // A re-acquired laser link starts a fresh protocol instance on both
+    // flows (the old ones are dead once failure was declared).
+    build_flows(ls, id);
+  }
+  // Reroute immediately: parked traffic may now have a path (or traffic
+  // headed into the dead link needs to divert).
+  compute_routes();
+}
+
+bool Network::run_to_completion(Time horizon, Time check_every) {
+  while (sim_.now() < horizon) {
+    const Time next = std::min(horizon, sim_.now() + check_every);
+    sim_.run_until(next);
+    if (tracker_.submitted() > 0 && tracker_.all_delivered()) return true;
+  }
+  return tracker_.submitted() > 0 && tracker_.all_delivered();
+}
+
+NetworkReport Network::report() const {
+  NetworkReport r;
+  r.packets_sent = tracker_.submitted();
+  r.packets_delivered = tracker_.unique_delivered();
+  r.duplicate_deliveries = tracker_.duplicates();
+  r.packets_lost = r.packets_sent - r.packets_delivered;
+  for (const auto& n : nodes_) {
+    r.packets_forwarded += n->forwarded();
+    r.packets_parked += n->parked();
+  }
+  for (const auto& [id, reseq] : resequencers_) {
+    r.messages_completed += reseq->messages_completed();
+  }
+  r.mean_delay_s = tracker_.delay().mean();
+  r.max_delay_s = tracker_.delay().max();
+  return r;
+}
+
+}  // namespace lamsdlc::net

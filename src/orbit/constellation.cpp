@@ -1,0 +1,83 @@
+#include "lamsdlc/orbit/constellation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lamsdlc::orbit {
+
+Constellation::Constellation(WalkerParams p) : params_{p} {
+  if (p.planes == 0 || p.total % p.planes != 0) {
+    throw std::invalid_argument(
+        "Constellation: total must divide evenly into planes");
+  }
+  const std::uint32_t per_plane = p.total / p.planes;
+  sats_.reserve(p.total);
+  for (std::uint32_t k = 0; k < p.planes; ++k) {
+    for (std::uint32_t j = 0; j < per_plane; ++j) {
+      CircularOrbit o;
+      o.altitude_m = p.altitude_m;
+      o.inclination_rad = p.inclination_rad;
+      o.raan_rad = 2.0 * M_PI * static_cast<double>(k) /
+                   static_cast<double>(p.planes);
+      // In-plane spacing plus the Walker inter-plane phasing term 2*pi*f*k/t.
+      o.phase_rad = 2.0 * M_PI * static_cast<double>(j) /
+                        static_cast<double>(per_plane) +
+                    2.0 * M_PI * static_cast<double>(p.phasing) *
+                        static_cast<double>(k) / static_cast<double>(p.total);
+      sats_.push_back(o);
+    }
+  }
+}
+
+std::size_t Constellation::index(std::uint32_t plane,
+                                 std::uint32_t slot) const noexcept {
+  const std::uint32_t per_plane = params_.total / params_.planes;
+  return static_cast<std::size_t>(plane % params_.planes) * per_plane +
+         (slot % per_plane);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+Constellation::grid_neighbors() const {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  const std::uint32_t per_plane = params_.total / params_.planes;
+  auto add = [&](std::size_t i, std::size_t j) {
+    if (i == j) return;
+    auto pr = std::minmax(i, j);
+    out.emplace_back(pr.first, pr.second);
+  };
+  for (std::uint32_t k = 0; k < params_.planes; ++k) {
+    for (std::uint32_t j = 0; j < per_plane; ++j) {
+      add(index(k, j), index(k, j + 1));  // intra-plane ring
+      if (params_.planes > 1) {
+        add(index(k, j), index(k + 1, j));  // cross-plane, same slot
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<Contact> contact_plan(const Constellation& c, Time horizon,
+                                  Time step, double max_range_m,
+                                  Time min_duration) {
+  std::vector<Contact> plan;
+  for (const auto& [i, j] : c.grid_neighbors()) {
+    const SatellitePair pair = c.pair(i, j, max_range_m);
+    for (const VisibilityWindow& w : find_windows(pair, horizon, step)) {
+      if (w.duration() < min_duration) continue;
+      Contact contact;
+      contact.a = i;
+      contact.b = j;
+      contact.window = w;
+      contact.ranges = range_stats(pair, w, step);
+      plan.push_back(contact);
+    }
+  }
+  std::sort(plan.begin(), plan.end(), [](const Contact& x, const Contact& y) {
+    return x.window.start < y.window.start;
+  });
+  return plan;
+}
+
+}  // namespace lamsdlc::orbit

@@ -1,0 +1,54 @@
+#include "lamsdlc/phy/crc.hpp"
+
+#include <array>
+
+namespace lamsdlc::phy {
+namespace {
+
+constexpr std::array<std::uint16_t, 256> make_crc16_table() {
+  std::array<std::uint16_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint16_t c = static_cast<std::uint16_t>(i << 8);
+    for (int b = 0; b < 8; ++b) {
+      c = static_cast<std::uint16_t>((c & 0x8000u) ? (c << 1) ^ 0x1021u : (c << 1));
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int b = 0; b < 8; ++b) {
+      c = (c & 1u) ? (c >> 1) ^ 0xEDB88320u : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr auto kCrc16Table = make_crc16_table();
+constexpr auto kCrc32Table = make_crc32_table();
+
+}  // namespace
+
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data) noexcept {
+  std::uint16_t crc = 0xFFFFu;
+  for (std::uint8_t byte : data) {
+    crc = static_cast<std::uint16_t>((crc << 8) ^
+                                     kCrc16Table[((crc >> 8) ^ byte) & 0xFFu]);
+  }
+  return crc;
+}
+
+std::uint32_t crc32_ieee(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    crc = kCrc32Table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace lamsdlc::phy

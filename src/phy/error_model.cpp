@@ -1,0 +1,68 @@
+#include "lamsdlc/phy/error_model.hpp"
+
+#include <cmath>
+
+namespace lamsdlc::phy {
+
+double frame_error_probability(double ber, std::size_t bits) noexcept {
+  if (ber <= 0.0) return 0.0;
+  if (ber >= 1.0) return 1.0;
+  // 1 - (1-ber)^bits, computed stably via expm1/log1p.
+  return -std::expm1(static_cast<double>(bits) * std::log1p(-ber));
+}
+
+GilbertElliottModel::GilbertElliottModel(Params p, RandomStream rng)
+    : p_{p}, rng_{std::move(rng)} {
+  // Start in the stationary distribution so short runs are unbiased.
+  in_bad_ = rng_.bernoulli(bad_fraction());
+  const Time mean = in_bad_ ? p_.mean_bad : p_.mean_good;
+  state_until_ = Time::seconds(rng_.exponential(mean.sec()));
+}
+
+double GilbertElliottModel::bad_fraction() const noexcept {
+  const double g = p_.mean_good.sec();
+  const double b = p_.mean_bad.sec();
+  return b / (g + b);
+}
+
+void GilbertElliottModel::advance_to(Time t) {
+  while (state_until_ <= t) {
+    in_bad_ = !in_bad_;
+    const Time mean = in_bad_ ? p_.mean_bad : p_.mean_good;
+    state_until_ += Time::seconds(rng_.exponential(mean.sec()));
+  }
+}
+
+bool GilbertElliottModel::corrupts(Time start, Time end, std::size_t bits) {
+  advance_to(start);
+  // Walk the state segments overlapping [start, end), apportioning bits to
+  // each segment by duration, and survive each segment independently.
+  const double total = (end - start).sec();
+  if (total <= 0.0 || bits == 0) {
+    return rng_.bernoulli(
+        frame_error_probability(in_bad_ ? p_.bad_ber : p_.good_ber, bits));
+  }
+  double log_survive = 0.0;
+  Time cursor = start;
+  while (cursor < end) {
+    const Time seg_end = state_until_ < end ? state_until_ : end;
+    const double frac = (seg_end - cursor).sec() / total;
+    const double seg_bits = frac * static_cast<double>(bits);
+    const double ber = in_bad_ ? p_.bad_ber : p_.good_ber;
+    if (ber >= 1.0) return true;
+    log_survive += seg_bits * std::log1p(-ber);
+    cursor = seg_end;
+    if (cursor < end) advance_to(cursor);
+  }
+  const double p_err = -std::expm1(log_survive);
+  return rng_.bernoulli(p_err);
+}
+
+bool ScriptedOutageModel::corrupts(Time start, Time end, std::size_t bits) {
+  for (const Outage& o : outages_) {
+    if (start < o.to && o.from < end) return true;
+  }
+  return base_ ? base_->corrupts(start, end, bits) : false;
+}
+
+}  // namespace lamsdlc::phy

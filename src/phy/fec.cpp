@@ -1,0 +1,81 @@
+#include "lamsdlc/phy/fec.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lamsdlc::phy {
+namespace {
+
+/// log of binomial coefficient via lgamma, stable for n up to thousands.
+double log_choose(std::size_t n, std::size_t k) {
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+}  // namespace
+
+FecCodec::FecCodec(FecParams p) : p_{p} {
+  if (p_.k == 0 || p_.n < p_.k || p_.symbol_bits == 0) {
+    throw std::invalid_argument("FecCodec: require 0 < k <= n, symbol_bits > 0");
+  }
+  if (p_.t > (p_.n - p_.k) / 2) {
+    throw std::invalid_argument("FecCodec: t exceeds (n-k)/2 correction bound");
+  }
+}
+
+double FecCodec::rate() const noexcept {
+  return static_cast<double>(p_.k) / static_cast<double>(p_.n);
+}
+
+std::size_t FecCodec::coded_bits(std::size_t payload_bits) const noexcept {
+  const std::size_t data_bits_per_cw = p_.k * p_.symbol_bits;
+  const std::size_t codewords = (payload_bits + data_bits_per_cw - 1) / data_bits_per_cw;
+  return codewords == 0 ? 0 : codewords * p_.n * p_.symbol_bits;
+}
+
+double FecCodec::symbol_error_prob(double ber) const noexcept {
+  if (ber <= 0.0) return 0.0;
+  if (ber >= 1.0) return 1.0;
+  return -std::expm1(static_cast<double>(p_.symbol_bits) * std::log1p(-ber));
+}
+
+double FecCodec::codeword_error_prob(double ber) const noexcept {
+  const double ps = symbol_error_prob(ber);
+  if (ps <= 0.0) return 0.0;
+  if (ps >= 1.0) return 1.0;
+  // P[more than t of n symbols in error] = sum_{i=t+1..n} C(n,i) ps^i (1-ps)^(n-i)
+  // Summed in log space from the largest term down; terms below 1e-300 of the
+  // running sum are negligible.
+  double sum = 0.0;
+  const double log_ps = std::log(ps);
+  const double log_qs = std::log1p(-ps);
+  for (std::size_t i = p_.t + 1; i <= p_.n; ++i) {
+    const double log_term = log_choose(p_.n, i) +
+                            static_cast<double>(i) * log_ps +
+                            static_cast<double>(p_.n - i) * log_qs;
+    sum += std::exp(log_term);
+  }
+  return sum > 1.0 ? 1.0 : sum;
+}
+
+double FecCodec::frame_error_prob(double ber, std::size_t payload_bits) const noexcept {
+  const double pcw = codeword_error_prob(ber);
+  if (pcw <= 0.0) return 0.0;
+  const std::size_t data_bits_per_cw = p_.k * p_.symbol_bits;
+  const std::size_t codewords =
+      payload_bits == 0 ? 1 : (payload_bits + data_bits_per_cw - 1) / data_bits_per_cw;
+  return -std::expm1(static_cast<double>(codewords) * std::log1p(-pcw));
+}
+
+double FecCodec::residual_ber(double ber) const noexcept {
+  // When decoding fails (> t symbol errors), roughly (t + average excess)
+  // symbols emerge corrupted; the standard approximation charges each data
+  // bit with P[codeword error] * (2t+1)/n symbol corruption spread evenly.
+  const double pcw = codeword_error_prob(ber);
+  const double corrupted_fraction =
+      static_cast<double>(2 * p_.t + 1) / static_cast<double>(p_.n);
+  return 0.5 * pcw * corrupted_fraction;  // half the bits of a bad symbol flip
+}
+
+}  // namespace lamsdlc::phy

@@ -1,0 +1,47 @@
+#include "lamsdlc/workload/message.hpp"
+
+namespace lamsdlc::workload {
+
+std::uint64_t MessageSource::send_message(std::uint32_t segments,
+                                          std::uint32_t bytes) {
+  const std::uint64_t mid = ++next_message_;
+  for (std::uint32_t i = 0; i < segments; ++i) {
+    sim::Packet p;
+    p.id = ids_.next();
+    p.bytes = bytes;
+    p.created_at = sim_.now();
+    p.message_id = mid;
+    p.msg_index = i;
+    p.msg_count = segments;
+    registry_.record(p);
+    tracker_.note_submitted(p);
+    dlc_.submit(p);
+  }
+  return mid;
+}
+
+void Resequencer::on_packet(const sim::Packet& p, Time at) {
+  if (chain_) chain_->on_packet(p, at);
+  const MessageRegistry::Coord* c = registry_.find(p.id);
+  if (c == nullptr) return;  // not message traffic
+  if (done_.contains(c->message_id)) {
+    ++dup_packets_;  // message already released; late duplicate
+    return;
+  }
+  Assembly& a = open_[c->message_id];
+  a.count = c->count;
+  if (!a.have.insert(c->index).second) {
+    ++dup_packets_;
+    return;
+  }
+  ++pending_packets_;
+  if (a.have.size() == a.count) {
+    pending_packets_ -= a.count;
+    open_.erase(c->message_id);
+    done_.insert(c->message_id);
+    ++completed_;
+    if (on_message_) on_message_(c->message_id, at);
+  }
+}
+
+}  // namespace lamsdlc::workload

@@ -1,0 +1,96 @@
+#include "lamsdlc/workload/sources.hpp"
+
+namespace lamsdlc::workload {
+
+void submit_batch(Simulator& sim, sim::DlcSender& dlc, DeliveryTracker& tracker,
+                  PacketIdAllocator& ids, std::uint64_t count,
+                  std::uint32_t bytes, Time at) {
+  sim.schedule_at(at, [&sim, &dlc, &tracker, &ids, count, bytes] {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      sim::Packet p;
+      p.id = ids.next();
+      p.bytes = bytes;
+      p.created_at = sim.now();
+      tracker.note_submitted(p);
+      dlc.submit(p);
+    }
+  });
+}
+
+RateSource::RateSource(Simulator& sim, sim::DlcSender& dlc,
+                       DeliveryTracker& tracker, PacketIdAllocator& ids,
+                       Config cfg)
+    : sim_{sim}, dlc_{dlc}, tracker_{tracker}, ids_{ids}, cfg_{cfg} {}
+
+void RateSource::start() {
+  if (running_) return;
+  running_ = true;
+  timer_ = sim_.schedule_at(std::max(cfg_.start, sim_.now()), [this] { tick(); });
+}
+
+void RateSource::stop() {
+  running_ = false;
+  sim_.cancel(timer_);
+  timer_ = 0;
+}
+
+void RateSource::tick() {
+  if (!running_) return;
+  if (cfg_.count != 0 && generated_ >= cfg_.count) {
+    running_ = false;
+    return;
+  }
+  if (!cfg_.respect_backpressure || dlc_.accepting()) {
+    sim::Packet p;
+    p.id = ids_.next();
+    p.bytes = cfg_.bytes;
+    p.created_at = sim_.now();
+    tracker_.note_submitted(p);
+    ++generated_;
+    dlc_.submit(p);
+  } else {
+    ++shed_;
+  }
+  timer_ = sim_.schedule_in(cfg_.interarrival, [this] { tick(); });
+}
+
+PoissonSource::PoissonSource(Simulator& sim, sim::DlcSender& dlc,
+                             DeliveryTracker& tracker, PacketIdAllocator& ids,
+                             Config cfg, RandomStream rng)
+    : sim_{sim},
+      dlc_{dlc},
+      tracker_{tracker},
+      ids_{ids},
+      cfg_{cfg},
+      rng_{std::move(rng)} {}
+
+void PoissonSource::start() {
+  if (running_) return;
+  running_ = true;
+  timer_ = sim_.schedule_at(std::max(cfg_.start, sim_.now()), [this] { tick(); });
+}
+
+void PoissonSource::stop() {
+  running_ = false;
+  sim_.cancel(timer_);
+  timer_ = 0;
+}
+
+void PoissonSource::tick() {
+  if (!running_) return;
+  if (cfg_.count != 0 && generated_ >= cfg_.count) {
+    running_ = false;
+    return;
+  }
+  sim::Packet p;
+  p.id = ids_.next();
+  p.bytes = cfg_.bytes;
+  p.created_at = sim_.now();
+  tracker_.note_submitted(p);
+  ++generated_;
+  dlc_.submit(p);
+  const double gap_s = rng_.exponential(1.0 / cfg_.rate_pps);
+  timer_ = sim_.schedule_in(Time::seconds(gap_s), [this] { tick(); });
+}
+
+}  // namespace lamsdlc::workload

@@ -1,0 +1,244 @@
+#include "lamsdlc/analysis/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lamsdlc::analysis {
+namespace {
+
+Params paper_point() {
+  // A representative LAMS operating point: 300 Mbps, 1 KiB frames, 3000 km.
+  Params p;
+  p.p_f = 0.05;
+  p.p_c = 0.005;
+  p.t_f = 8 * 1024.0 / 300e6;
+  p.t_c = 200.0 / 300e6;
+  p.t_proc = 10e-6;
+  p.rtt = 20e-3;
+  p.alpha = 80e-3;
+  p.i_cp = 5e-3;
+  p.c_depth = 4;
+  p.window = 64;
+  return p;
+}
+
+TEST(Model, RetransmissionProbabilities) {
+  const auto p = paper_point();
+  EXPECT_DOUBLE_EQ(p_r_lams(p), 0.05);
+  EXPECT_DOUBLE_EQ(p_r_hdlc(p), 0.05 + 0.005 - 0.05 * 0.005);
+  EXPECT_GT(p_r_hdlc(p), p_r_lams(p));  // the NAK-only advantage
+}
+
+TEST(Model, SBarGeometricMean) {
+  EXPECT_DOUBLE_EQ(s_bar(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s_bar(0.5), 2.0);
+  const auto p = paper_point();
+  EXPECT_DOUBLE_EQ(s_bar_lams(p), 1.0 / 0.95);
+  EXPECT_LT(s_bar_lams(p), s_bar_hdlc(p));
+}
+
+TEST(Model, NCpBar) {
+  auto p = paper_point();
+  p.p_c = 0.2;
+  EXPECT_DOUBLE_EQ(n_cp_bar(p), 1.25);
+}
+
+TEST(Model, DTransLamsDecomposition) {
+  const auto p = paper_point();
+  // With perfect control frames (n_cp = 1): N t_f + t_c + t_proc + R + Icp/2.
+  auto q = p;
+  q.p_c = 0.0;
+  const double d = d_trans_lams(q, 10);
+  EXPECT_NEAR(d, 10 * q.t_f + q.t_c + q.t_proc + q.rtt + 0.5 * q.i_cp, 1e-12);
+  // Retransmission period is the single-frame case.
+  EXPECT_DOUBLE_EQ(d_retrn_lams(q), d_trans_lams(q, 1));
+}
+
+TEST(Model, DTransHdlcReducesToCleanResponseAtZeroPc) {
+  auto p = paper_point();
+  p.p_c = 0.0;
+  EXPECT_NEAR(d_trans_hdlc(p, 64),
+              64 * p.t_f + p.rtt + 2 * p.t_proc + p.t_c, 1e-12);
+}
+
+TEST(Model, DRetrnHdlcBetweenResolveAndTimeout) {
+  const auto p = paper_point();
+  const double d = d_retrn_hdlc(p);
+  const double resolve = p.t_f + p.rtt + 2 * p.t_proc + p.t_c;
+  const double timeout = p.t_f + p.rtt + p.alpha;
+  EXPECT_GT(d, resolve);
+  EXPECT_LT(d, timeout);
+}
+
+TEST(Model, DLowPerfectChannelIsPipeDrainTime) {
+  auto p = paper_point();
+  p.p_f = 0.0;
+  p.p_c = 0.0;
+  // s_bar = 1: one transmission period only.
+  EXPECT_DOUBLE_EQ(d_low_lams(p, 100), d_trans_lams(p, 100));
+  EXPECT_DOUBLE_EQ(d_low_hdlc(p, 64), d_trans_hdlc(p, 64));
+}
+
+TEST(Model, ApproxTracksExactWithinTolerance) {
+  const auto p = paper_point();
+  for (double n : {16.0, 64.0, 256.0}) {
+    EXPECT_NEAR(d_low_lams_approx(p, n), d_low_lams(p, n),
+                0.05 * d_low_lams(p, n));
+    // The paper's HDLC "≈" drops the processing terms and flips the sign of
+    // the P_C·α term, so it is coarser: ~15% at this operating point.
+    EXPECT_NEAR(d_low_hdlc_approx(p, n), d_low_hdlc(p, n),
+                0.20 * d_low_hdlc(p, n));
+  }
+}
+
+TEST(Model, HoldingTimeGrowsWithErrorRateAndInterval) {
+  auto p = paper_point();
+  const double h0 = h_frame_lams(p);
+  p.p_f = 0.2;
+  EXPECT_GT(h_frame_lams(p), h0);
+  auto q = paper_point();
+  q.i_cp *= 4;
+  EXPECT_GT(h_frame_lams(q), h0);
+}
+
+TEST(Model, TransparentBufferMatchesHoldingTime) {
+  const auto p = paper_point();
+  EXPECT_NEAR(b_lams(p), h_frame_lams(p) / p.t_f + p.t_proc / p.t_f, 1e-9);
+}
+
+TEST(Model, ResolvingPeriodFormula) {
+  const auto p = paper_point();
+  EXPECT_DOUBLE_EQ(resolving_period(p),
+                   p.rtt + 0.5 * p.i_cp + p.c_depth * p.i_cp);
+  EXPECT_DOUBLE_EQ(numbering_size(p), resolving_period(p) / p.t_f);
+}
+
+TEST(Model, NakBlackoutProbabilityMatchesFootnote) {
+  // The paper's footnote: at P_C <= ~1e-2.5 per command and C_depth = 4,
+  // the probability of losing all repetitions is <= 1e-10.
+  auto p = paper_point();
+  p.p_c = 3.16e-3;  // ~command error at BER 1e-7 and ~30 kbit commands
+  p.c_depth = 4;
+  EXPECT_LT(p_nak_blackout(p), 1e-9);
+  p.p_c = 0.5;  // the assumption-violating regime of E8
+  EXPECT_NEAR(p_nak_blackout(p), 0.0625, 1e-12);
+}
+
+TEST(Model, InconsistencyGapAndFailureBoundsOrdering) {
+  const auto p = paper_point();
+  // gap bound < failure-detection bound, and both exceed one round trip.
+  EXPECT_GT(inconsistency_gap_bound(p), p.rtt);
+  EXPECT_GT(failure_detection_bound(p), inconsistency_gap_bound(p));
+  // Both shrink with a smaller checkpoint interval.
+  auto q = p;
+  q.i_cp /= 4;
+  EXPECT_LT(inconsistency_gap_bound(q), inconsistency_gap_bound(p));
+  EXPECT_LT(failure_detection_bound(q), failure_detection_bound(p));
+}
+
+TEST(Model, NTotalReducesToNOnPerfectChannel) {
+  EXPECT_DOUBLE_EQ(n_total(1000, 500, 0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(n_total_geometric(1000, 0.0), 1000.0);
+}
+
+TEST(Model, NTotalApproachesGeometricForLargeN) {
+  const double p_r = 0.1;
+  const double n = 100'000;
+  const double recursive = n_total(n, 700, p_r);
+  const double geometric = n_total_geometric(n, p_r);
+  EXPECT_NEAR(recursive, geometric, 0.02 * geometric);
+}
+
+TEST(Model, NTotalMonotoneInErrorRate) {
+  double prev = 0;
+  for (double pr : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    const double v = n_total(10'000, 700, pr);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Model, HeadlineResultLamsBeatsHdlcAtHighTraffic) {
+  // The paper's conclusion: as channel traffic increases, LAMS-DLC's
+  // throughput efficiency beats SR-HDLC's, and the gap widens with error
+  // rate and alpha.
+  auto p = paper_point();
+  // Pair the protocols the way the paper does: W = B_LAMS.
+  p.window = static_cast<std::uint32_t>(b_lams(p));
+  for (double n : {1e3, 1e4, 1e5}) {
+    EXPECT_GT(eta_lams(p, n), eta_hdlc(p, n)) << "n=" << n;
+  }
+}
+
+TEST(Model, GapWidensWithAlpha) {
+  auto p = paper_point();
+  p.window = static_cast<std::uint32_t>(b_lams(p));
+  const double n = 1e4;
+  p.alpha = 10e-3;
+  const double gap_small =
+      efficiency_lams(p, n) - efficiency_hdlc(p, n);
+  p.alpha = 200e-3;
+  const double gap_large =
+      efficiency_lams(p, n) - efficiency_hdlc(p, n);
+  EXPECT_GT(gap_large, gap_small);
+}
+
+TEST(Model, AdvantageRatioWidensWithErrorRate) {
+  // Absolute efficiency falls for both protocols as P_F grows (both must
+  // retransmit more); the *relative* advantage of LAMS-DLC is what widens.
+  auto p = paper_point();
+  p.window = static_cast<std::uint32_t>(b_lams(p));
+  const double n = 1e4;
+  p.p_f = 0.01;
+  p.p_c = 0.001;
+  const double ratio_low = eta_lams(p, n) / eta_hdlc(p, n);
+  p.p_f = 0.2;
+  p.p_c = 0.02;
+  const double ratio_high = eta_lams(p, n) / eta_hdlc(p, n);
+  EXPECT_GT(ratio_high, ratio_low);
+  EXPECT_GT(ratio_low, 1.0);
+}
+
+TEST(Model, EfficiencyBounded) {
+  auto p = paper_point();
+  p.window = static_cast<std::uint32_t>(b_lams(p));
+  for (double n : {100.0, 1e4, 1e6}) {
+    EXPECT_GT(efficiency_lams(p, n), 0.0);
+    EXPECT_LE(efficiency_lams(p, n), 1.0);
+    EXPECT_GT(efficiency_hdlc(p, n), 0.0);
+    EXPECT_LE(efficiency_hdlc(p, n), 1.0);
+  }
+}
+
+TEST(Model, LamsEfficiencyImprovesWithTraffic) {
+  // "LAMS-DLC will almost show the increasing throughput efficiency as the
+  // channel traffic (N) increases" — the fixed R term amortizes away.
+  const auto p = paper_point();
+  EXPECT_LT(efficiency_lams(p, 100), efficiency_lams(p, 10'000));
+  EXPECT_LT(efficiency_lams(p, 10'000), efficiency_lams(p, 1'000'000));
+}
+
+/// Parameterized equivalence: at P_C = 0 and alpha = 0 the two protocols'
+/// low-traffic times converge ("nearly equivalent if s_LAMS == s_HDLC and
+/// alpha is small") up to the checkpoint-delay term.
+class ModelConvergence : public ::testing::TestWithParam<double> {};
+
+TEST_P(ModelConvergence, LowTrafficTimesConverge) {
+  auto p = paper_point();
+  p.p_c = 0.0;
+  p.alpha = 0.0;
+  p.p_f = GetParam();
+  const double n = 64;
+  const double lams = d_low_lams(p, n);
+  const double hdlc = d_low_hdlc(p, n);
+  // They differ only by the (n_cp - 1/2) Icp delay terms and t_proc detail.
+  const double max_gap = s_bar_lams(p) * p.i_cp + 4 * p.t_proc + p.t_c;
+  EXPECT_NEAR(lams, hdlc, max_gap);
+}
+
+INSTANTIATE_TEST_SUITE_P(ErrorRates, ModelConvergence,
+                         ::testing::Values(0.0, 0.01, 0.05, 0.1));
+
+}  // namespace
+}  // namespace lamsdlc::analysis

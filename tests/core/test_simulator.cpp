@@ -1,0 +1,175 @@
+#include "lamsdlc/core/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lamsdlc {
+namespace {
+
+using namespace lamsdlc::literals;
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), Time{});
+  EXPECT_EQ(sim.events_executed(), 0u);
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3_ms, [&] { order.push_back(3); });
+  sim.schedule_at(1_ms, [&] { order.push_back(1); });
+  sim.schedule_at(2_ms, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3_ms);
+}
+
+TEST(Simulator, EqualTimesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5_ms, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  Time seen{};
+  sim.schedule_at(2_ms, [&] {
+    sim.schedule_in(3_ms, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 5_ms);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.schedule_at(10_ms, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5_ms, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, EmptyCallbackThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(1_ms, Simulator::Callback{}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(1_ms, [&] { ran = true; });
+  EXPECT_TRUE(sim.pending(id));
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.pending(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(1_ms, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(0));  // reserved id
+}
+
+TEST(Simulator, StopHaltsAfterCurrentEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1_ms, [&] {
+    ++count;
+    sim.stop();
+  });
+  sim.schedule_at(2_ms, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(Time::milliseconds(i), [&] { ++count; });
+  }
+  sim.run_until(5_ms);
+  EXPECT_EQ(count, 5);  // events at exactly the horizon fire
+  EXPECT_EQ(sim.now(), 5_ms);
+  sim.run_until(20_ms);
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(sim.now(), 20_ms);  // clock advances to the idle horizon
+}
+
+TEST(Simulator, RunUntilSkipsCancelledEvents) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(1_ms, [&] { ran = true; });
+  sim.cancel(id);
+  sim.run_until(2_ms);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.now(), 2_ms);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_in(1_us, chain);
+  };
+  sim.schedule_in(1_us, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), Time::microseconds(100));
+  EXPECT_EQ(sim.events_executed(), 100u);
+}
+
+TEST(Simulator, PendingCountTracksQueue) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(1_ms, [] {});
+  sim.schedule_at(2_ms, [] {});
+  EXPECT_EQ(sim.events_pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.events_pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(Simulator, CancelInsideCallbackOfSameTime) {
+  // An event firing at time T may cancel a sibling also scheduled at T.
+  Simulator sim;
+  bool second_ran = false;
+  EventId second{};
+  sim.schedule_at(1_ms, [&] { sim.cancel(second); });
+  second = sim.schedule_at(1_ms, [&] { second_ran = true; });
+  sim.run();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  Time last{};
+  bool monotone = true;
+  for (int i = 0; i < 10'000; ++i) {
+    // Deterministic pseudo-shuffled times.
+    const auto t = Time::microseconds((i * 7919) % 10'000);
+    sim.schedule_at(t, [&, t] {
+      if (sim.now() < last) monotone = false;
+      last = sim.now();
+      (void)t;
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.events_executed(), 10'000u);
+}
+
+}  // namespace
+}  // namespace lamsdlc

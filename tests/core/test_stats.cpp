@@ -1,0 +1,109 @@
+#include "lamsdlc/core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lamsdlc {
+namespace {
+
+using namespace lamsdlc::literals;
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleSample) {
+  RunningStat s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, NumericallyStableForLargeOffsets) {
+  RunningStat s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25025, 1e-3);
+}
+
+TEST(TimeWeightedStat, StepFunctionAverage) {
+  TimeWeightedStat s;
+  s.update(0_ms, 10.0);  // value 0 held during [start,0) = nothing
+  s.update(4_ms, 20.0);  // 10 held for 4ms
+  s.update(6_ms, 0.0);   // 20 held for 2ms
+  s.finish(10_ms);       // 0 held for 4ms
+  // (10*4 + 20*2 + 0*4) / 10 = 8.
+  EXPECT_DOUBLE_EQ(s.average(), 8.0);
+  EXPECT_DOUBLE_EQ(s.peak(), 20.0);
+  EXPECT_DOUBLE_EQ(s.current(), 0.0);
+}
+
+TEST(TimeWeightedStat, NoElapsedTimeReturnsCurrent) {
+  TimeWeightedStat s;
+  s.update(Time{}, 7.0);
+  EXPECT_DOUBLE_EQ(s.average(), 7.0);
+}
+
+TEST(TimeWeightedStat, RepeatedUpdatesAtSameInstant) {
+  TimeWeightedStat s;
+  s.update(1_ms, 5.0);   // value 0 held over [0, 1ms)
+  s.update(1_ms, 50.0);  // the 5.0 existed for zero time: no weight
+  s.finish(2_ms);        // 50 held over [1ms, 2ms)
+  EXPECT_DOUBLE_EQ(s.average(), 25.0);
+  EXPECT_DOUBLE_EQ(s.peak(), 50.0);
+}
+
+TEST(TimeWeightedStat, NonZeroStart) {
+  TimeWeightedStat s{5_ms};
+  s.update(7_ms, 4.0);  // 0 for 2ms
+  s.finish(9_ms);       // 4 for 2ms
+  EXPECT_DOUBLE_EQ(s.average(), 2.0);
+}
+
+TEST(Histogram, BinningAndTotal) {
+  Histogram h{0.0, 10.0, 10};
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.total(), 10u);
+  for (const auto b : h.bins()) EXPECT_EQ(b, 1u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.bins().front(), 1u);
+  EXPECT_EQ(h.bins().back(), 1u);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  Histogram h{0.0, 100.0, 100};
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+}
+
+TEST(Histogram, BinLowerEdges) {
+  Histogram h{10.0, 20.0, 5};
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 12.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 18.0);
+}
+
+}  // namespace
+}  // namespace lamsdlc

@@ -1,0 +1,96 @@
+#include "lamsdlc/core/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lamsdlc {
+namespace {
+
+using namespace lamsdlc::literals;
+
+TEST(Time, DefaultIsZero) {
+  Time t;
+  EXPECT_TRUE(t.is_zero());
+  EXPECT_EQ(t.ps(), 0);
+}
+
+TEST(Time, NamedConstructorsAgree) {
+  EXPECT_EQ(Time::nanoseconds(1).ps(), 1'000);
+  EXPECT_EQ(Time::microseconds(1).ps(), 1'000'000);
+  EXPECT_EQ(Time::milliseconds(1).ps(), 1'000'000'000);
+  EXPECT_EQ(Time::seconds_int(1).ps(), 1'000'000'000'000);
+  EXPECT_EQ(Time::seconds(0.5), Time::milliseconds(500));
+}
+
+TEST(Time, SecondsRoundsToNearestPicosecond) {
+  EXPECT_EQ(Time::seconds(1e-12).ps(), 1);
+  EXPECT_EQ(Time::seconds(1.4e-12).ps(), 1);
+  EXPECT_EQ(Time::seconds(1.6e-12).ps(), 2);
+  EXPECT_EQ(Time::seconds(-1.6e-12).ps(), -2);
+}
+
+TEST(Time, Literals) {
+  EXPECT_EQ(5_ms, Time::milliseconds(5));
+  EXPECT_EQ(10_us, Time::microseconds(10));
+  EXPECT_EQ(3_ns, Time::nanoseconds(3));
+  EXPECT_EQ(2_s, Time::seconds_int(2));
+  EXPECT_EQ(1.5_s, Time::milliseconds(1500));
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = 10_ms, b = 4_ms;
+  EXPECT_EQ(a + b, 14_ms);
+  EXPECT_EQ(a - b, 6_ms);
+  EXPECT_EQ(a * 3, 30_ms);
+  EXPECT_EQ(a * 0.5, 5_ms);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_EQ(a / 2, 5_ms);
+}
+
+TEST(Time, CompoundAssignment) {
+  Time t = 1_ms;
+  t += 2_ms;
+  EXPECT_EQ(t, 3_ms);
+  t -= 5_ms;
+  EXPECT_EQ(t, 1_ms - 3_ms);
+  EXPECT_TRUE(t.is_negative());
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(1_us, 1_ms);
+  EXPECT_GT(1_s, 999_ms);
+  EXPECT_LE(5_ms, 5_ms);
+  EXPECT_EQ(Time::max(), Time::max());
+  EXPECT_LT(100_s, Time::max());
+}
+
+TEST(Time, UnitAccessors) {
+  const Time t = Time::microseconds(1500);
+  EXPECT_DOUBLE_EQ(t.us(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.ms(), 1.5);
+  EXPECT_DOUBLE_EQ(t.sec(), 1.5e-3);
+  EXPECT_DOUBLE_EQ(t.ns(), 1.5e6);
+}
+
+TEST(Time, StreamFormatting) {
+  auto str = [](Time t) {
+    std::ostringstream os;
+    os << t;
+    return os.str();
+  };
+  EXPECT_EQ(str(2_s), "2s");
+  EXPECT_EQ(str(5_ms), "5ms");
+  EXPECT_EQ(str(7_us), "7us");
+  EXPECT_EQ(str(9_ns), "9ns");
+  EXPECT_EQ(str(Time::picoseconds(13)), "13ps");
+}
+
+TEST(Time, NegativeDurationsSurviveRoundTrips) {
+  const Time t = 3_ms - 10_ms;
+  EXPECT_EQ(t + 10_ms, 3_ms);
+  EXPECT_DOUBLE_EQ(t.sec(), -7e-3);
+}
+
+}  // namespace
+}  // namespace lamsdlc

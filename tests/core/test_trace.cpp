@@ -1,0 +1,67 @@
+#include "lamsdlc/core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lamsdlc {
+namespace {
+
+using namespace lamsdlc::literals;
+
+TEST(Tracer, DisabledByDefaultAndCheap) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  t.emit(1_ms, "x", "must not crash");  // no sink: silently dropped
+}
+
+TEST(Tracer, RecordIntoVector) {
+  std::vector<TraceEvent> events;
+  Tracer t{Tracer::record_into(events)};
+  EXPECT_TRUE(t.enabled());
+  t.emit(5_ms, "lams.sender", "I-frame 1");
+  t.emit(7_ms, "lams.receiver", "gap -> NAK");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at, 5_ms);
+  EXPECT_EQ(events[0].source, "lams.sender");
+  EXPECT_EQ(events[1].what, "gap -> NAK");
+}
+
+TEST(Tracer, PrintFormat) {
+  std::ostringstream os;
+  Tracer t{Tracer::print_to(os)};
+  t.emit(Time::milliseconds(1500), "src", "hello");
+  EXPECT_EQ(os.str(), "[    1.500000s] src: hello\n");
+}
+
+TEST(Tracer, JsonlFormat) {
+  std::ostringstream os;
+  Tracer t{Tracer::jsonl_to(os)};
+  t.emit(Time::microseconds(2), "lams.sender", "plain message");
+  EXPECT_EQ(os.str(),
+            "{\"t_ps\":2000000,\"src\":\"lams.sender\","
+            "\"msg\":\"plain message\"}\n");
+}
+
+TEST(Tracer, JsonlEscapesSpecials) {
+  std::ostringstream os;
+  Tracer t{Tracer::jsonl_to(os)};
+  t.emit(Time{}, "s", "quote\" backslash\\ newline\n tab\t ctl\x01");
+  EXPECT_EQ(os.str(),
+            "{\"t_ps\":0,\"src\":\"s\",\"msg\":\"quote\\\" backslash\\\\ "
+            "newline\\n tab\\t ctl\\u0001\"}\n");
+}
+
+TEST(Tracer, JsonlLinesAreOnePerEvent) {
+  std::ostringstream os;
+  Tracer t{Tracer::jsonl_to(os)};
+  for (int i = 0; i < 5; ++i) {
+    t.emit(Time::milliseconds(i), "s", "e" + std::to_string(i));
+  }
+  int lines = 0;
+  for (const char c : os.str()) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 5);
+}
+
+}  // namespace
+}  // namespace lamsdlc

@@ -1,0 +1,278 @@
+#include "lamsdlc/frame/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lamsdlc/core/random.hpp"
+#include "lamsdlc/phy/crc.hpp"
+
+namespace lamsdlc::frame {
+namespace {
+
+using namespace lamsdlc::literals;
+
+template <typename Body>
+Frame make(Body b) {
+  Frame f;
+  f.body = std::move(b);
+  return f;
+}
+
+TEST(Codec, IFrameRoundTrip) {
+  IFrame in;
+  in.seq = 12345;
+  in.payload_bytes = 5;
+  in.payload = {1, 2, 3, 4, 5};
+  const auto bytes = encode(make(in));
+  const auto out = decode(bytes);
+  ASSERT_TRUE(out.has_value());
+  const auto& i = std::get<IFrame>(out->body);
+  EXPECT_EQ(i.seq, in.seq);
+  EXPECT_EQ(i.payload_bytes, in.payload_bytes);
+  EXPECT_EQ(i.payload, in.payload);
+}
+
+TEST(Codec, IFrameLengthOnlyPayloadEncodesZeros) {
+  IFrame in;
+  in.seq = 7;
+  in.payload_bytes = 16;  // no literal payload
+  const auto bytes = encode(make(in));
+  const auto out = decode(bytes);
+  ASSERT_TRUE(out.has_value());
+  const auto& i = std::get<IFrame>(out->body);
+  EXPECT_EQ(i.payload_bytes, 16u);
+  EXPECT_EQ(i.payload.size(), 16u);
+  for (auto b : i.payload) EXPECT_EQ(b, 0);
+}
+
+TEST(Codec, PacketIdStaysOffTheWire) {
+  IFrame in;
+  in.seq = 1;
+  in.packet_id = 0xDEADBEEF;
+  in.payload_bytes = 0;
+  const auto out = decode(encode(make(in)));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<IFrame>(out->body).packet_id, 0u);
+}
+
+TEST(Codec, CheckpointRoundTrip) {
+  CheckpointFrame cp;
+  cp.cp_seq = 99;
+  cp.generated_at = 123456_us;
+  cp.highest_seen = 4242;
+  cp.any_seen = true;
+  cp.enforced = true;
+  cp.stop_go = true;
+  cp.naks = {1, 5, 9, 65535};
+  const auto out = decode(encode(make(cp)));
+  ASSERT_TRUE(out.has_value());
+  const auto& c = std::get<CheckpointFrame>(out->body);
+  EXPECT_EQ(c.cp_seq, cp.cp_seq);
+  EXPECT_EQ(c.generated_at, cp.generated_at);
+  EXPECT_EQ(c.highest_seen, cp.highest_seen);
+  EXPECT_TRUE(c.any_seen);
+  EXPECT_TRUE(c.enforced);
+  EXPECT_TRUE(c.stop_go);
+  EXPECT_EQ(c.naks, cp.naks);
+}
+
+TEST(Codec, CheckpointEmptyNakListIsImplicitAck) {
+  CheckpointFrame cp;
+  cp.cp_seq = 1;
+  const auto out = decode(encode(make(cp)));
+  ASSERT_TRUE(out.has_value());
+  const auto& c = std::get<CheckpointFrame>(out->body);
+  EXPECT_TRUE(c.naks.empty());
+  EXPECT_FALSE(c.any_seen);
+  EXPECT_FALSE(c.enforced);
+  EXPECT_FALSE(c.stop_go);
+}
+
+TEST(Codec, RequestNakRoundTrip) {
+  const auto out = decode(encode(make(RequestNakFrame{777})));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<RequestNakFrame>(out->body).token, 777u);
+}
+
+TEST(Codec, HdlcIFrameRoundTrip) {
+  HdlcIFrame in;
+  in.ns = 101;
+  in.nr = 55;
+  in.poll = true;
+  in.payload_bytes = 3;
+  in.payload = {9, 8, 7};
+  const auto out = decode(encode(make(in)));
+  ASSERT_TRUE(out.has_value());
+  const auto& i = std::get<HdlcIFrame>(out->body);
+  EXPECT_EQ(i.ns, in.ns);
+  EXPECT_EQ(i.nr, in.nr);
+  EXPECT_TRUE(i.poll);
+  EXPECT_EQ(i.payload, in.payload);
+}
+
+TEST(Codec, HdlcSFrameAllTypesRoundTrip) {
+  for (auto type : {HdlcSFrame::Type::RR, HdlcSFrame::Type::RNR,
+                    HdlcSFrame::Type::REJ, HdlcSFrame::Type::SREJ}) {
+    HdlcSFrame s;
+    s.type = type;
+    s.nr = 31;
+    s.poll_final = true;
+    s.srej_list = {3, 4, 5};
+    const auto out = decode(encode(make(s)));
+    ASSERT_TRUE(out.has_value());
+    const auto& d = std::get<HdlcSFrame>(out->body);
+    EXPECT_EQ(d.type, type);
+    EXPECT_EQ(d.nr, 31u);
+    EXPECT_TRUE(d.poll_final);
+    EXPECT_EQ(d.srej_list, s.srej_list);
+  }
+}
+
+TEST(Codec, SessionFrameAllKindsRoundTrip) {
+  for (auto kind : {SessionFrame::Kind::kInit, SessionFrame::Kind::kInitAck,
+                    SessionFrame::Kind::kClose, SessionFrame::Kind::kCloseAck}) {
+    SessionFrame in;
+    in.kind = kind;
+    in.epoch = 42;
+    const auto out = decode(encode(make(in)));
+    ASSERT_TRUE(out.has_value());
+    const auto& s = std::get<SessionFrame>(out->body);
+    EXPECT_EQ(s.kind, kind);
+    EXPECT_EQ(s.epoch, 42u);
+  }
+}
+
+TEST(Codec, SessionFrameInvalidKindRejected) {
+  // Kind byte 4 is out of range; craft a frame with a valid CRC around it.
+  std::vector<std::uint8_t> raw{6 /*kSession*/, 4, 1, 0, 0, 0};
+  const std::uint16_t fcs = phy::crc16_ccitt(raw);
+  raw.push_back(static_cast<std::uint8_t>(fcs));
+  raw.push_back(static_cast<std::uint8_t>(fcs >> 8));
+  EXPECT_FALSE(decode(raw).has_value());
+}
+
+TEST(Codec, SelectiveAckRoundTrip) {
+  SelectiveAckFrame in;
+  in.base = 100;
+  in.highest = 250;
+  in.any_seen = true;
+  in.missing = {101, 150, 249};
+  const auto out = decode(encode(make(in)));
+  ASSERT_TRUE(out.has_value());
+  const auto& a = std::get<SelectiveAckFrame>(out->body);
+  EXPECT_EQ(a.base, 100u);
+  EXPECT_EQ(a.highest, 250u);
+  EXPECT_TRUE(a.any_seen);
+  EXPECT_EQ(a.missing, in.missing);
+}
+
+TEST(Codec, SelectiveAckEmptyMissingList) {
+  SelectiveAckFrame in;
+  in.base = 7;
+  const auto out = decode(encode(make(in)));
+  ASSERT_TRUE(out.has_value());
+  const auto& a = std::get<SelectiveAckFrame>(out->body);
+  EXPECT_TRUE(a.missing.empty());
+  EXPECT_FALSE(a.any_seen);
+}
+
+TEST(Codec, NewFrameKindsSurviveMutationFuzz) {
+  RandomStream rng{123, "mut2"};
+  SelectiveAckFrame ack;
+  ack.base = 9;
+  ack.missing = {10, 11, 12};
+  SessionFrame sess;
+  sess.kind = SessionFrame::Kind::kClose;
+  sess.epoch = 3;
+  for (const auto& bytes : {encode(make(ack)), encode(make(sess))}) {
+    for (int iter = 0; iter < 1000; ++iter) {
+      auto damaged = bytes;
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+      damaged[i] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+      EXPECT_FALSE(decode(damaged).has_value());
+    }
+  }
+}
+
+TEST(Codec, EncodedSizeMatchesEncodeExactly) {
+  std::vector<Frame> frames;
+  frames.push_back(make(IFrame{1, 0, 100, {}}));
+  frames.push_back(make(CheckpointFrame{2, 5_ms, 9, true, false, true, 0, {1, 2, 3}}));
+  frames.push_back(make(RequestNakFrame{4}));
+  frames.push_back(make(HdlcIFrame{5, 6, true, 0, 64, {}}));
+  frames.push_back(make(HdlcSFrame{HdlcSFrame::Type::SREJ, 7, false, {8, 9}}));
+  frames.push_back(make(SessionFrame{SessionFrame::Kind::kInit, 5}));
+  frames.push_back(make(SelectiveAckFrame{1, 9, true, {2, 3}}));
+  for (const auto& f : frames) {
+    EXPECT_EQ(encode(f).size(), encoded_size(f));
+    EXPECT_EQ(wire_bits(f), 8 * encoded_size(f));
+  }
+}
+
+TEST(Codec, CorruptedBytesRejected) {
+  IFrame in;
+  in.seq = 5;
+  in.payload_bytes = 8;
+  auto bytes = encode(make(in));
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    auto damaged = bytes;
+    damaged[i] ^= 0x40;
+    EXPECT_FALSE(decode(damaged).has_value()) << "byte " << i;
+  }
+}
+
+TEST(Codec, TruncationRejected) {
+  auto bytes = encode(make(CheckpointFrame{1, 1_ms, 2, true, false, false, 0, {3}}));
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    EXPECT_FALSE(
+        decode(std::span<const std::uint8_t>{bytes.data(), keep}).has_value());
+  }
+}
+
+TEST(Codec, TrailingGarbageRejected) {
+  auto bytes = encode(make(RequestNakFrame{1}));
+  bytes.push_back(0x00);
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, UnknownKindRejected) {
+  // Craft a frame with a bogus kind byte and a valid CRC.
+  std::vector<std::uint8_t> raw{0x7F, 0x01, 0x02};
+  const std::uint16_t fcs = phy::crc16_ccitt(raw);
+  raw.push_back(static_cast<std::uint8_t>(fcs));
+  raw.push_back(static_cast<std::uint8_t>(fcs >> 8));
+  EXPECT_FALSE(decode(raw).has_value());
+}
+
+TEST(Codec, RandomBytesFuzzNeverCrash) {
+  RandomStream rng{2024, "fuzz"};
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::vector<std::uint8_t> junk(
+        static_cast<std::size_t>(rng.uniform_int(0, 64)));
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    (void)decode(junk);  // must not crash or throw
+  }
+}
+
+TEST(Codec, MutationFuzzRoundTripOrReject) {
+  // Flip random bits in valid encodings: decode must either reject or
+  // return *some* frame (if the flip cancelled in the CRC, which for single
+  // flips it cannot).
+  RandomStream rng{99, "mut"};
+  CheckpointFrame cp;
+  cp.cp_seq = 77;
+  cp.naks = {10, 20, 30, 40};
+  const auto bytes = encode(make(cp));
+  for (int iter = 0; iter < 2000; ++iter) {
+    auto damaged = bytes;
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+    damaged[i] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+    EXPECT_FALSE(decode(damaged).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace lamsdlc::frame

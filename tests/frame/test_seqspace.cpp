@@ -1,0 +1,97 @@
+#include "lamsdlc/frame/seqspace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lamsdlc::frame {
+namespace {
+
+TEST(SeqSpace, WrapIsModulo) {
+  SeqSpace s{128};
+  EXPECT_EQ(s.wrap(0), 0u);
+  EXPECT_EQ(s.wrap(127), 127u);
+  EXPECT_EQ(s.wrap(128), 0u);
+  EXPECT_EQ(s.wrap(300), 300u % 128u);
+}
+
+TEST(SeqSpace, UnwrapRecoversNearbyCounters) {
+  SeqSpace s{128};
+  for (std::uint64_t ref = 0; ref < 5000; ref += 37) {
+    for (std::int64_t delta = -63; delta <= 63; ++delta) {
+      const std::int64_t target = static_cast<std::int64_t>(ref) + delta;
+      if (target < 0) continue;
+      const auto ctr = static_cast<std::uint64_t>(target);
+      EXPECT_EQ(s.unwrap(s.wrap(ctr), ref), ctr)
+          << "ref=" << ref << " delta=" << delta;
+    }
+  }
+}
+
+TEST(SeqSpace, UnwrapAtExactlyHalfModulusIsBoundary) {
+  SeqSpace s{100};
+  // Within +/- 49 of the reference the mapping must be exact.
+  const std::uint64_t ref = 1000;
+  EXPECT_EQ(s.unwrap(s.wrap(ref + 49), ref), ref + 49);
+  EXPECT_EQ(s.unwrap(s.wrap(ref - 49), ref), ref - 49);
+}
+
+TEST(SeqSpace, UnwrapNearZeroDoesNotUnderflow) {
+  SeqSpace s{128};
+  EXPECT_EQ(s.unwrap(0, 0), 0u);
+  EXPECT_EQ(s.unwrap(5, 0), 5u);
+  EXPECT_EQ(s.unwrap(3, 2), 3u);
+}
+
+TEST(SeqSpace, ForwardDistance) {
+  SeqSpace s{8};
+  EXPECT_EQ(s.forward(0, 0), 0u);
+  EXPECT_EQ(s.forward(6, 1), 3u);  // 6 -> 7 -> 0 -> 1
+  EXPECT_EQ(s.forward(1, 6), 5u);
+}
+
+TEST(SeqSpace, InWindow) {
+  SeqSpace s{8};
+  EXPECT_TRUE(s.in_window(6, 6, 3));
+  EXPECT_TRUE(s.in_window(0, 6, 3));  // wraps 6,7,0
+  EXPECT_FALSE(s.in_window(1, 6, 3));
+  EXPECT_FALSE(s.in_window(5, 6, 3));
+}
+
+TEST(SeqSpace, NextWraps) {
+  SeqSpace s{8};
+  EXPECT_EQ(s.next(6), 7u);
+  EXPECT_EQ(s.next(7), 0u);
+}
+
+TEST(SeqSpace, LargeModulusMonotoneStream) {
+  // Simulate the LAMS default: 16-bit numbering over millions of frames with
+  // in-flight spans far below modulus/2.
+  SeqSpace s{1u << 16};
+  std::uint64_t receiver_ref = 0;
+  for (std::uint64_t ctr = 0; ctr < 3'000'000; ctr += 1009) {
+    const auto w = s.wrap(ctr);
+    receiver_ref = s.unwrap(w, receiver_ref);
+    EXPECT_EQ(receiver_ref, ctr);
+  }
+}
+
+class SeqSpaceModuli : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SeqSpaceModuli, RoundTripWithinHalfWindow) {
+  SeqSpace s{GetParam()};
+  const std::uint32_t half = GetParam() / 2;
+  for (std::uint64_t ref : {std::uint64_t{10}, std::uint64_t{1000},
+                            std::uint64_t{123456}}) {
+    for (std::uint32_t d = 0; d < half; d += std::max(1u, half / 19)) {
+      EXPECT_EQ(s.unwrap(s.wrap(ref + d), ref), ref + d);
+      if (ref >= d) {
+        EXPECT_EQ(s.unwrap(s.wrap(ref - d), ref), ref - d);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Moduli, SeqSpaceModuli,
+                         ::testing::Values(8u, 128u, 1024u, 1u << 16));
+
+}  // namespace
+}  // namespace lamsdlc::frame

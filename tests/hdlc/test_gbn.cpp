@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "lamsdlc/sim/scenario.hpp"
+#include "lamsdlc/workload/sources.hpp"
+
+namespace lamsdlc {
+namespace {
+
+using namespace lamsdlc::literals;
+
+sim::ScenarioConfig base_config() {
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kGbnHdlc;
+  cfg.data_rate_bps = 100e6;
+  cfg.prop_delay = 5_ms;
+  cfg.frame_bytes = 1024;
+  cfg.hdlc.window = 64;
+  cfg.hdlc.modulus = 128;
+  cfg.hdlc.t_proc = 10_us;
+  cfg.hdlc.timeout = 40_ms;
+  return cfg;
+}
+
+TEST(GbnHdlc, PerfectChannelDeliversInOrder) {
+  sim::Scenario s{base_config()};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 200,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(10_s));
+  const auto r = s.report();
+  EXPECT_EQ(r.unique_delivered, 200u);
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_EQ(r.duplicates, 0u);
+  EXPECT_EQ(r.iframe_retx, 0u);
+}
+
+TEST(GbnHdlc, ContinuousWindowKeepsPipeFullOnCleanLink) {
+  sim::Scenario s{base_config()};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 2000,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(10_s));
+  // Window 64 * ~83us = 5.3ms vs RTT 10ms: the window is smaller than the
+  // bandwidth-delay product, so efficiency is window-limited to ~0.5.
+  const auto r = s.report();
+  EXPECT_GT(r.efficiency, 0.30);
+  EXPECT_LT(r.efficiency, 0.75);
+}
+
+TEST(GbnHdlc, SingleLossDiscardsInTransitFrames) {
+  // GBN's defining waste (Section 2.3): one damaged frame forces the
+  // receiver to discard every uncorrupted frame behind it.
+  auto cfg = base_config();
+  sim::Scenario s{cfg};
+  const Time t_f = s.frame_tx_time();
+  s.link().forward().set_data_error_model(
+      std::make_unique<phy::ScriptedOutageModel>(
+          std::vector<phy::ScriptedOutageModel::Outage>{{Time{}, t_f * 0.9}}));
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 64,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(10_s));
+  const auto r = s.report();
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_EQ(r.duplicates, 0u);
+  // Many good frames were thrown away and re-sent.
+  EXPECT_GT(s.gbn_receiver()->frames_discarded(), 10u);
+  EXPECT_GT(r.iframe_retx, 10u);
+}
+
+TEST(GbnHdlc, RejTriggersGoBack) {
+  auto cfg = base_config();
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.forward_error.p_frame = 0.05;
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 300,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(60_s));
+  const auto r = s.report();
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_EQ(r.duplicates, 0u);
+}
+
+TEST(GbnHdlc, TimeoutRecoversLostRej) {
+  sim::Scenario s{base_config()};
+  // Kill all responses for a while so even the REJ dies.
+  s.link().reverse().set_data_error_model(
+      std::make_unique<phy::ScriptedOutageModel>(
+          std::vector<phy::ScriptedOutageModel::Outage>{{0_ms, 30_ms}}));
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 32,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(10_s));
+  EXPECT_GE(s.gbn_sender()->timeouts(), 1u);
+  EXPECT_EQ(s.report().lost, 0u);
+}
+
+TEST(GbnHdlc, MoreRetransmissionsThanSrAtSameErrorRate) {
+  // GBN must resend whole window tails; SR resends only damaged frames.
+  auto gbn_cfg = base_config();
+  gbn_cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  gbn_cfg.forward_error.p_frame = 0.08;
+  sim::Scenario gbn{gbn_cfg};
+  workload::submit_batch(gbn.simulator(), gbn.sender(), gbn.tracker(),
+                         gbn.ids(), 400, 1024);
+  ASSERT_TRUE(gbn.run_to_completion(60_s));
+
+  auto sr_cfg = gbn_cfg;
+  sr_cfg.protocol = sim::Protocol::kSrHdlc;
+  sim::Scenario sr{sr_cfg};
+  workload::submit_batch(sr.simulator(), sr.sender(), sr.tracker(), sr.ids(),
+                         400, 1024);
+  ASSERT_TRUE(sr.run_to_completion(60_s));
+
+  EXPECT_GT(gbn.report().iframe_retx, sr.report().iframe_retx);
+}
+
+TEST(GbnHdlc, ModulusWrapsCleanlyOverLongRuns) {
+  // 2000 frames over modulus 16 (window 8): the sequence space wraps 125
+  // times; window arithmetic must never mis-ack.
+  auto cfg = base_config();
+  cfg.hdlc.window = 8;
+  cfg.hdlc.modulus = 16;
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.forward_error.p_frame = 0.05;
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 2000,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(120_s));
+  EXPECT_EQ(s.report().lost, 0u);
+  EXPECT_EQ(s.report().duplicates, 0u);
+}
+
+TEST(GbnHdlc, LostRrRecoveredByDuplicateReAck) {
+  // RRs die for a while: the sender goes back on timeout, the receiver
+  // answers the resulting duplicates with fresh RRs, and the window moves.
+  sim::Scenario s{base_config()};
+  s.link().reverse().set_data_error_model(
+      std::make_unique<phy::ScriptedOutageModel>(
+          std::vector<phy::ScriptedOutageModel::Outage>{{0_ms, 60_ms}}));
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 64,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(10_s));
+  EXPECT_EQ(s.report().lost, 0u);
+  EXPECT_EQ(s.report().duplicates, 0u);
+}
+
+TEST(GbnHdlc, WindowLimitsInFlightFrames) {
+  auto cfg = base_config();
+  cfg.hdlc.window = 4;
+  cfg.hdlc.modulus = 8;
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 100,
+                         1024);
+  // After the window fills (4 frames, ~0.34 ms) no more go out until acks
+  // return (~10 ms round trip).
+  s.simulator().run_until(5_ms);
+  EXPECT_EQ(s.stats().iframe_tx, 4u);
+  ASSERT_TRUE(s.run_to_completion(10_s));
+  EXPECT_EQ(s.report().unique_delivered, 100u);
+}
+
+/// Strict-reliability sweep for GBN.
+class GbnSweep : public ::testing::TestWithParam<std::tuple<double, double>> {
+};
+
+TEST_P(GbnSweep, StrictReliabilityHolds) {
+  const auto [p_f, p_c] = GetParam();
+  auto cfg = base_config();
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.forward_error.p_frame = p_f;
+  cfg.reverse_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.reverse_error.p_frame = p_c;
+  cfg.reverse_error.p_control = p_c;
+  sim::Scenario s{cfg};
+
+  struct OrderSpy final : sim::PacketListener {
+    explicit OrderSpy(sim::PacketListener* chain) : chain{chain} {}
+    void on_packet(const sim::Packet& p, Time at) override {
+      if (last != 0 && p.id <= last) monotone = false;
+      last = p.id;
+      chain->on_packet(p, at);
+    }
+    sim::PacketListener* chain;
+    frame::PacketId last = 0;
+    bool monotone = true;
+  } spy{&s.tracker()};
+  s.set_listener(&spy);
+
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 200,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(120_s)) << "p_f=" << p_f << " p_c=" << p_c;
+  EXPECT_EQ(s.report().lost, 0u);
+  EXPECT_EQ(s.report().duplicates, 0u);
+  EXPECT_TRUE(spy.monotone);
+}
+
+INSTANTIATE_TEST_SUITE_P(ErrorGrid, GbnSweep,
+                         ::testing::Combine(::testing::Values(0.0, 0.05, 0.2),
+                                            ::testing::Values(0.0, 0.1)));
+
+}  // namespace
+}  // namespace lamsdlc

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "lamsdlc/sim/scenario.hpp"
+#include "lamsdlc/workload/sources.hpp"
+
+namespace lamsdlc {
+namespace {
+
+using namespace lamsdlc::literals;
+
+sim::ScenarioConfig base_config() {
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kSrHdlc;
+  cfg.data_rate_bps = 100e6;
+  cfg.prop_delay = 5_ms;
+  cfg.frame_bytes = 1024;
+  cfg.hdlc.window = 64;
+  cfg.hdlc.modulus = 128;
+  cfg.hdlc.t_proc = 10_us;
+  cfg.hdlc.timeout = 40_ms;  // t_out = R + alpha, R = 10 ms
+  return cfg;
+}
+
+TEST(SrHdlc, PerfectChannelDeliversInOrder) {
+  sim::Scenario s{base_config()};
+
+  struct OrderSpy final : sim::PacketListener {
+    explicit OrderSpy(sim::PacketListener* chain) : chain{chain} {}
+    void on_packet(const sim::Packet& p, Time at) override {
+      order.push_back(p.id);
+      chain->on_packet(p, at);
+    }
+    sim::PacketListener* chain;
+    std::vector<frame::PacketId> order;
+  } spy{&s.tracker()};
+  s.set_listener(&spy);
+
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 200,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(10_s));
+  const auto r = s.report();
+  EXPECT_EQ(r.unique_delivered, 200u);
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_EQ(r.duplicates, 0u);
+  EXPECT_EQ(r.iframe_retx, 0u);
+  // Strict in-sequence delivery.
+  for (std::size_t i = 1; i < spy.order.size(); ++i) {
+    EXPECT_LT(spy.order[i - 1], spy.order[i]);
+  }
+}
+
+TEST(SrHdlc, WindowsCloseWithRr) {
+  sim::Scenario s{base_config()};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 256,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(10_s));
+  // 256 frames / window 64 = 4 closed windows.
+  EXPECT_EQ(s.sr_sender()->windows_closed(), 4u);
+  EXPECT_EQ(s.sr_sender()->timeouts(), 0u);
+}
+
+TEST(SrHdlc, SrejRecoversDamagedFrames) {
+  auto cfg = base_config();
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.forward_error.p_frame = 0.15;
+  cfg.forward_error.p_control = 0.0;
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 400,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(60_s));
+  const auto r = s.report();
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_EQ(r.duplicates, 0u);
+  EXPECT_GT(r.iframe_retx, 20u);
+}
+
+TEST(SrHdlc, LostResponseRecoveredByTimeout) {
+  auto cfg = base_config();
+  sim::Scenario s{cfg};
+  // Every response in [4ms, 30ms) dies: the first window's RR is lost, the
+  // poll goes unanswered, and only t_out recovery can close the window.
+  s.link().reverse().set_data_error_model(
+      std::make_unique<phy::ScriptedOutageModel>(
+          std::vector<phy::ScriptedOutageModel::Outage>{{4_ms, 30_ms}}));
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 64,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(10_s));
+  EXPECT_GE(s.sr_sender()->timeouts(), 1u);
+  EXPECT_EQ(s.report().lost, 0u);
+  EXPECT_EQ(s.report().duplicates, 0u);
+}
+
+TEST(SrHdlc, DamagedPollFrameStallsUntilTimeout) {
+  auto cfg = base_config();
+  sim::Scenario s{cfg};
+  // The last frame of the first window (the poll carrier) is corrupted:
+  // frames 0..62 fine, frame 63 (sent ~5.2ms in) dies.
+  s.link().forward().set_data_error_model(
+      std::make_unique<phy::ScriptedOutageModel>(
+          std::vector<phy::ScriptedOutageModel::Outage>{
+              {Time::microseconds(5209), Time::microseconds(5400)}}));
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 64,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(10_s));
+  EXPECT_GE(s.sr_sender()->timeouts(), 1u);
+  EXPECT_EQ(s.report().lost, 0u);
+}
+
+TEST(SrHdlc, ReceiverBuffersOutOfOrderUpToWindow) {
+  // The in-sequence constraint: losing the first frame of a window forces
+  // the receiver to hold everything that follows (Section 2.3).
+  auto cfg = base_config();
+  sim::Scenario s{cfg};
+  const Time t_f = s.frame_tx_time();
+  // Corrupt exactly the first frame of the window.
+  s.link().forward().set_data_error_model(
+      std::make_unique<phy::ScriptedOutageModel>(
+          std::vector<phy::ScriptedOutageModel::Outage>{{Time{}, t_f * 0.9}}));
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 64,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(10_s));
+  const auto r = s.report();
+  EXPECT_EQ(r.lost, 0u);
+  // 63 good frames parked behind the missing head.
+  EXPECT_NEAR(r.peak_recv_buffer, 63.0, 1.0);
+}
+
+TEST(SrHdlc, SendingBufferGrowsUnderSustainedLoad) {
+  // The paper's key buffer claim: SR-HDLC has no transparent buffer size —
+  // under arrivals at ~1/t_f the backlog climbs without bound.
+  auto cfg = base_config();
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.forward_error.p_frame = 0.05;
+  sim::Scenario s{cfg};
+  workload::RateSource source{
+      s.simulator(), s.sender(), s.tracker(), s.ids(),
+      {.interarrival = 90_us, .count = 0, .bytes = 1024, .start = Time{},
+       .respect_backpressure = false}};
+  source.start();
+  s.simulator().run_until(500_ms);
+  const auto depth_early = s.sender().sending_buffer_depth();
+  s.simulator().run_until(1500_ms);
+  const auto depth_late = s.sender().sending_buffer_depth();
+  source.stop();
+  EXPECT_GT(depth_late, depth_early + 1000);
+}
+
+TEST(SrHdlc, LowTrafficBatchSmallerThanWindow) {
+  sim::Scenario s{base_config()};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 10,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(5_s));
+  EXPECT_EQ(s.report().unique_delivered, 10u);
+  EXPECT_EQ(s.sr_sender()->windows_closed(), 1u);
+}
+
+TEST(SrHdlc, NewArrivalsWaitForWindowClose) {
+  sim::Scenario s{base_config()};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 4,
+                         1024);
+  // Second batch arrives while the first awaits its RR (~10 ms round trip).
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 4,
+                         1024, 2_ms);
+  ASSERT_TRUE(s.run_to_completion(5_s));
+  EXPECT_EQ(s.report().unique_delivered, 8u);
+  EXPECT_EQ(s.sr_sender()->windows_closed(), 2u);
+}
+
+TEST(SrHdlc, RnrCapsReceiverBufferWithoutBreakingReliability) {
+  // A limited-buffering secondary (the paper's NRM discussion): capacity 8
+  // with the window's head frame killed forces RNR operation — the hold
+  // never exceeds 8 and recovery still completes exactly once in order.
+  auto cfg = base_config();
+  cfg.hdlc.recv_capacity = 8;
+  sim::Scenario s{cfg};
+  const Time t_f = s.frame_tx_time();
+  s.link().forward().set_data_error_model(
+      std::make_unique<phy::ScriptedOutageModel>(
+          std::vector<phy::ScriptedOutageModel::Outage>{{Time{}, t_f * 0.9}}));
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 64,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(30_s));
+  const auto r = s.report();
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_EQ(r.duplicates, 0u);
+  EXPECT_LE(r.peak_recv_buffer, 9.0);  // capacity + the in-transit head
+  EXPECT_GT(s.sr_receiver()->busy_discards(), 0u);
+  EXPECT_GE(s.sr_sender()->timeouts(), 1u);  // RNR resolves via t_out
+}
+
+TEST(SrHdlc, RnrUnderSustainedLossyLoad) {
+  auto cfg = base_config();
+  cfg.hdlc.recv_capacity = 16;
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.forward_error.p_frame = 0.15;
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 400,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(120_s));
+  EXPECT_EQ(s.report().lost, 0u);
+  EXPECT_EQ(s.report().duplicates, 0u);
+  EXPECT_LE(s.report().peak_recv_buffer, 17.0);  // capacity + head transient
+}
+
+/// Reliability sweep: HDLC keeps strict reliability (no loss, no dup,
+/// in-order) at every error point, at the cost the paper quantifies.
+class SrHdlcSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SrHdlcSweep, StrictReliabilityHolds) {
+  const auto [p_f, p_c] = GetParam();
+  auto cfg = base_config();
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.forward_error.p_frame = p_f;
+  cfg.reverse_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.reverse_error.p_frame = p_c;
+  cfg.reverse_error.p_control = p_c;
+  sim::Scenario s{cfg};
+
+  struct OrderSpy final : sim::PacketListener {
+    explicit OrderSpy(sim::PacketListener* chain) : chain{chain} {}
+    void on_packet(const sim::Packet& p, Time at) override {
+      if (!order.empty() && p.id <= order.back()) monotone = false;
+      order.push_back(p.id);
+      chain->on_packet(p, at);
+    }
+    sim::PacketListener* chain;
+    std::vector<frame::PacketId> order;
+    bool monotone = true;
+  } spy{&s.tracker()};
+  s.set_listener(&spy);
+
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 300,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(120_s)) << "p_f=" << p_f << " p_c=" << p_c;
+  const auto r = s.report();
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_EQ(r.duplicates, 0u);
+  EXPECT_TRUE(spy.monotone);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ErrorGrid, SrHdlcSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.05, 0.15, 0.3),
+                       ::testing::Values(0.0, 0.05, 0.15)));
+
+}  // namespace
+}  // namespace lamsdlc

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "lamsdlc/sim/scenario.hpp"
+#include "lamsdlc/workload/sources.hpp"
+
+namespace lamsdlc {
+namespace {
+
+using namespace lamsdlc::literals;
+
+/// Adversarial failure injection across the whole stack: link deaths,
+/// receiver silence, asymmetric failures, and mid-recovery chaos.
+
+sim::ScenarioConfig lams_config() {
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kLams;
+  cfg.data_rate_bps = 100e6;
+  cfg.prop_delay = 5_ms;
+  cfg.frame_bytes = 1024;
+  cfg.lams.checkpoint_interval = 5_ms;
+  cfg.lams.cumulation_depth = 4;
+  cfg.lams.max_rtt = 15_ms;
+  return cfg;
+}
+
+TEST(FailureInjection, ReceiverSilenceDetected) {
+  // The receiver process dies (stops sending checkpoints) while the link
+  // stays up: the sender must detect the failure, not spin forever.
+  sim::Scenario s{lams_config()};
+  bool failed = false;
+  s.lams_sender()->set_failure_callback([&] { failed = true; });
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 100,
+                         1024);
+  s.simulator().schedule_at(30_ms, [&] { s.lams_receiver()->stop(); });
+  s.simulator().run_until(1_s);
+  EXPECT_TRUE(failed);
+}
+
+TEST(FailureInjection, OneWayForwardFailureRetransmitsForever) {
+  // Only the forward direction dies; checkpoints keep flowing.  The sender
+  // keeps retransmitting (no false failure declaration) and recovers every
+  // frame when the direction returns.
+  sim::Scenario s{lams_config()};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 100,
+                         1024);
+  s.simulator().schedule_at(3_ms, [&] { s.link().forward().set_up(false); });
+  s.simulator().schedule_at(150_ms, [&] { s.link().forward().set_up(true); });
+  ASSERT_TRUE(s.run_to_completion(10_s));
+  EXPECT_EQ(s.lams_sender()->mode(), lams::LamsSender::Mode::kNormal);
+  EXPECT_EQ(s.report().lost, 0u);
+  EXPECT_EQ(s.report().duplicates, 0u);
+}
+
+TEST(FailureInjection, ShortFullOutageRecovers) {
+  // Both directions die briefly (shorter than the failure budget) and come
+  // back: enforced recovery resolves everything with zero loss.
+  sim::Scenario s{lams_config()};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 200,
+                         1024);
+  s.simulator().schedule_at(5_ms, [&] { s.link().set_up(false); });
+  s.simulator().schedule_at(35_ms, [&] { s.link().set_up(true); });
+  ASSERT_TRUE(s.run_to_completion(10_s));
+  EXPECT_EQ(s.report().lost, 0u);
+  EXPECT_EQ(s.report().duplicates, 0u);
+}
+
+TEST(FailureInjection, FlappingLinkEventuallyDelivers) {
+  sim::Scenario s{lams_config()};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 300,
+                         1024);
+  // Three short flaps.
+  for (int i = 0; i < 3; ++i) {
+    const Time down = Time::milliseconds(10 + 60 * i);
+    const Time up = down + 15_ms;
+    s.simulator().schedule_at(down, [&] { s.link().set_up(false); });
+    s.simulator().schedule_at(up, [&] { s.link().set_up(true); });
+  }
+  ASSERT_TRUE(s.run_to_completion(30_s));
+  EXPECT_EQ(s.report().lost, 0u);
+  EXPECT_EQ(s.report().duplicates, 0u);
+}
+
+TEST(FailureInjection, TrafficDuringEnforcedRecoveryIsQueuedNotLost) {
+  sim::Scenario s{lams_config()};
+  s.link().reverse().set_data_error_model(
+      std::make_unique<phy::ScriptedOutageModel>(
+          std::vector<phy::ScriptedOutageModel::Outage>{{8_ms, 42_ms}}));
+  // Continuous arrivals right through the recovery window.
+  workload::RateSource source{
+      s.simulator(), s.sender(), s.tracker(), s.ids(),
+      {.interarrival = 500_us, .count = 200, .bytes = 1024, .start = Time{},
+       .respect_backpressure = false}};
+  source.start();
+  ASSERT_TRUE(s.run_to_completion(10_s));
+  EXPECT_EQ(s.report().lost, 0u);
+  EXPECT_EQ(s.report().duplicates, 0u);
+}
+
+TEST(FailureInjection, FailedSenderStopsAccepting) {
+  sim::Scenario s{lams_config()};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 50,
+                         1024);
+  s.simulator().schedule_at(10_ms, [&] { s.link().set_up(false); });
+  s.simulator().run_until(1_s);
+  ASSERT_EQ(s.lams_sender()->mode(), lams::LamsSender::Mode::kFailed);
+  EXPECT_FALSE(s.sender().accepting());
+  // Submitting after failure must not crash and must not transmit.
+  const auto tx_before = s.stats().iframe_tx;
+  sim::Packet p;
+  p.id = s.ids().next();
+  p.bytes = 1024;
+  s.tracker().note_submitted(p);
+  s.sender().submit(p);
+  s.simulator().run_until(1200_ms);
+  EXPECT_EQ(s.stats().iframe_tx, tx_before);
+}
+
+TEST(FailureInjection, HdlcSurvivesShortOutage) {
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kSrHdlc;
+  cfg.data_rate_bps = 100e6;
+  cfg.prop_delay = 5_ms;
+  cfg.frame_bytes = 1024;
+  cfg.hdlc.window = 64;
+  cfg.hdlc.modulus = 128;
+  cfg.hdlc.timeout = 40_ms;
+  sim::Scenario s{cfg};
+  // One full window: the poll flies at ~5.3 ms, the outage at 6 ms swallows
+  // it in flight, so only t_out recovery can restart the exchange.
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 64,
+                         1024);
+  s.simulator().schedule_at(6_ms, [&] { s.link().set_up(false); });
+  s.simulator().schedule_at(30_ms, [&] { s.link().set_up(true); });
+  ASSERT_TRUE(s.run_to_completion(30_s));
+  EXPECT_EQ(s.report().lost, 0u);
+  EXPECT_EQ(s.report().duplicates, 0u);
+  EXPECT_GE(s.sr_sender()->timeouts(), 1u);
+}
+
+TEST(FailureInjection, GbnSurvivesShortOutage) {
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kGbnHdlc;
+  cfg.data_rate_bps = 100e6;
+  cfg.prop_delay = 5_ms;
+  cfg.frame_bytes = 1024;
+  cfg.hdlc.window = 64;
+  cfg.hdlc.modulus = 128;
+  cfg.hdlc.timeout = 40_ms;
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 200,
+                         1024);
+  s.simulator().schedule_at(4_ms, [&] { s.link().set_up(false); });
+  s.simulator().schedule_at(30_ms, [&] { s.link().set_up(true); });
+  ASSERT_TRUE(s.run_to_completion(30_s));
+  EXPECT_EQ(s.report().lost, 0u);
+  EXPECT_EQ(s.report().duplicates, 0u);
+}
+
+}  // namespace
+}  // namespace lamsdlc

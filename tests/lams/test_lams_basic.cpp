@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "lamsdlc/sim/scenario.hpp"
+#include "lamsdlc/workload/sources.hpp"
+
+namespace lamsdlc {
+namespace {
+
+using namespace lamsdlc::literals;
+
+sim::ScenarioConfig base_config() {
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kLams;
+  cfg.data_rate_bps = 100e6;
+  cfg.prop_delay = 5_ms;
+  cfg.frame_bytes = 1024;
+  cfg.lams.checkpoint_interval = 5_ms;
+  cfg.lams.cumulation_depth = 4;
+  cfg.lams.t_proc = 10_us;
+  cfg.lams.max_rtt = 15_ms;
+  return cfg;
+}
+
+TEST(LamsBasic, PerfectChannelDeliversEverything) {
+  sim::Scenario s{base_config()};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 200,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(5_s));
+  const auto r = s.report();
+  EXPECT_EQ(r.submitted, 200u);
+  EXPECT_EQ(r.unique_delivered, 200u);
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_EQ(r.duplicates, 0u);
+  EXPECT_EQ(r.iframe_retx, 0u);
+  EXPECT_EQ(r.iframe_tx, 200u);
+}
+
+TEST(LamsBasic, SenderBecomesIdleAfterRelease) {
+  sim::Scenario s{base_config()};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 10,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(5_s));
+  EXPECT_TRUE(s.sender().idle());
+  EXPECT_EQ(s.sender().sending_buffer_depth(), 0u);
+}
+
+TEST(LamsBasic, NoTrafficMeansOnlyCheckpoints) {
+  sim::Scenario s{base_config()};
+  s.simulator().run_until(100_ms);
+  const auto& st = s.stats();
+  EXPECT_EQ(st.iframe_tx, 0u);
+  // ~100ms / 5ms checkpoint interval.
+  EXPECT_NEAR(static_cast<double>(st.control_tx), 20.0, 2.0);
+}
+
+TEST(LamsBasic, IFrameLossesAreRecoveredByNak) {
+  auto cfg = base_config();
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.forward_error.p_frame = 0.2;
+  cfg.forward_error.p_control = 0.0;
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 500,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(30_s));
+  const auto r = s.report();
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_EQ(r.duplicates, 0u);
+  EXPECT_GT(r.iframe_retx, 50u);  // ~20% of 500 plus retx-of-retx
+  // Mean transmissions per frame should approach 1/(1-P_F) = 1.25.
+  EXPECT_NEAR(r.tx_per_frame, 1.25, 0.08);
+}
+
+TEST(LamsBasic, ControlLossesDoNotLoseFrames) {
+  auto cfg = base_config();
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.forward_error.p_frame = 0.1;
+  cfg.reverse_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.reverse_error.p_frame = 0.2;  // checkpoints get damaged too
+  cfg.reverse_error.p_control = 0.2;
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 500,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(60_s));
+  const auto r = s.report();
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_EQ(r.duplicates, 0u);
+}
+
+TEST(LamsBasic, OutOfOrderDeliveryIsAllowed) {
+  // With losses, retransmitted frames arrive after their successors: the
+  // receiver must forward them immediately rather than resequence.
+  auto cfg = base_config();
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.forward_error.p_frame = 0.3;
+  sim::Scenario s{cfg};
+
+  struct OrderSpy final : sim::PacketListener {
+    explicit OrderSpy(sim::PacketListener* chain) : chain{chain} {}
+    void on_packet(const sim::Packet& p, Time at) override {
+      order.push_back(p.id);
+      chain->on_packet(p, at);
+    }
+    sim::PacketListener* chain;
+    std::vector<frame::PacketId> order;
+  } spy{&s.tracker()};
+  s.set_listener(&spy);
+
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 300,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(30_s));
+  ASSERT_EQ(spy.order.size(), 300u);
+  bool out_of_order = false;
+  for (std::size_t i = 1; i < spy.order.size(); ++i) {
+    if (spy.order[i] < spy.order[i - 1]) out_of_order = true;
+  }
+  EXPECT_TRUE(out_of_order);
+  EXPECT_EQ(s.report().lost, 0u);
+}
+
+TEST(LamsBasic, HoldingTimeIsBoundedByResolvingPeriod) {
+  auto cfg = base_config();
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.forward_error.p_frame = 0.05;
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 400,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(30_s));
+  // Per-transmission holding is bounded by the resolving period (Section
+  // 3.3); a frame that fails k times holds for at most (k+1) periods.  The
+  // *mean* should sit well under a couple of resolving periods at P_F=5%.
+  const double bound = cfg.lams.resolving_period_bound().sec();
+  EXPECT_GT(s.stats().holding_time_s.count(), 0u);
+  EXPECT_LT(s.stats().holding_time_s.mean(), 2.0 * bound);
+}
+
+TEST(LamsBasic, SmallNumberingModulusStillCorrect) {
+  auto cfg = base_config();
+  cfg.lams.modulus = 512;  // tight numbering: in-flight must stay < 256
+  cfg.lams.checkpoint_interval = 2_ms;
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.forward_error.p_frame = 0.1;
+  sim::Scenario s{cfg};
+  // 82us per frame and ~27ms resolving period -> ~200 in flight maximum.
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 2000,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(60_s));
+  const auto r = s.report();
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_EQ(r.duplicates, 0u);
+}
+
+TEST(LamsBasic, ThroughputApproachesLineRateOnCleanLink) {
+  sim::Scenario s{base_config()};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 5000,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(10_s));
+  const auto r = s.report();
+  // 5000 back-to-back frames dwarf the RTT tail: efficiency > 90%.
+  EXPECT_GT(r.efficiency, 0.9);
+}
+
+TEST(LamsBasic, ReceiverCheckpointCadenceIsPeriodic) {
+  sim::Scenario s{base_config()};
+  s.simulator().run_until(52_ms);
+  // Checkpoints at 5,10,...,50 ms: ten of them (the 52ms horizon cuts #11).
+  ASSERT_NE(s.lams_receiver(), nullptr);
+  EXPECT_EQ(s.lams_receiver()->checkpoints_sent(), 10u);
+}
+
+TEST(LamsBasic, StatsCountersAreConsistent) {
+  auto cfg = base_config();
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.forward_error.p_frame = 0.15;
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 300,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(30_s));
+  const auto& st = s.stats();
+  EXPECT_EQ(st.packets_submitted, 300u);
+  EXPECT_EQ(st.packets_delivered, 300u);
+  EXPECT_EQ(st.iframe_tx, 300u + st.iframe_retx);
+  EXPECT_EQ(s.lams_sender()->packets_resolved(), 300u);
+}
+
+}  // namespace
+}  // namespace lamsdlc

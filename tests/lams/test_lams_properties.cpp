@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "lamsdlc/sim/scenario.hpp"
+#include "lamsdlc/workload/sources.hpp"
+
+namespace lamsdlc {
+namespace {
+
+using namespace lamsdlc::literals;
+
+/// Parameter sweep over (P_F, P_C, seed): the paper's reliability claims
+/// (zero loss always, zero duplicates in recoverable operation) must hold at
+/// every operating point, and the measured retransmission rate must track
+/// the geometric model.
+class LamsReliabilitySweep
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(LamsReliabilitySweep, ZeroLossZeroDuplicates) {
+  const auto [p_f, p_c, seed] = GetParam();
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kLams;
+  cfg.data_rate_bps = 100e6;
+  cfg.prop_delay = 5_ms;
+  cfg.frame_bytes = 1024;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  cfg.lams.checkpoint_interval = 5_ms;
+  cfg.lams.cumulation_depth = 4;
+  cfg.lams.max_rtt = 15_ms;
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.forward_error.p_frame = p_f;
+  cfg.forward_error.p_control = p_c;
+  cfg.reverse_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.reverse_error.p_frame = p_f;
+  cfg.reverse_error.p_control = p_c;
+
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 400,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(120_s)) << "p_f=" << p_f << " p_c=" << p_c;
+  const auto r = s.report();
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_EQ(r.duplicates, 0u);
+  EXPECT_EQ(r.unique_delivered, 400u);
+
+  // Retransmission count follows s̄ = 1/(1-P_F), with sampling slack.
+  const double expect_tx = 1.0 / (1.0 - p_f);
+  EXPECT_NEAR(r.tx_per_frame, expect_tx, 0.15 * expect_tx + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ErrorGrid, LamsReliabilitySweep,
+    ::testing::Combine(::testing::Values(0.0, 0.01, 0.05, 0.15, 0.3),
+                       ::testing::Values(0.0, 0.05, 0.2),
+                       ::testing::Values(1, 2)));
+
+/// Gilbert-Elliott burst sweep: bursts shorter than C_depth·W_cp must never
+/// cost a frame.
+class LamsBurstSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LamsBurstSweep, BurstErrorsNeverLoseFrames) {
+  const int burst_ms = GetParam();
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kLams;
+  cfg.data_rate_bps = 100e6;
+  cfg.prop_delay = 5_ms;
+  cfg.frame_bytes = 1024;
+  cfg.lams.checkpoint_interval = 5_ms;
+  cfg.lams.cumulation_depth = 4;
+  cfg.lams.max_rtt = 15_ms;
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kGilbertElliott;
+  cfg.forward_error.gilbert.good_ber = 1e-8;
+  cfg.forward_error.gilbert.bad_ber = 1e-2;
+  cfg.forward_error.gilbert.mean_good = 50_ms;
+  cfg.forward_error.gilbert.mean_bad = Time::milliseconds(burst_ms);
+
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 600,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(120_s)) << "burst=" << burst_ms << "ms";
+  const auto r = s.report();
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_EQ(r.duplicates, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BurstLengths, LamsBurstSweep,
+                         ::testing::Values(1, 5, 10));
+
+/// Checkpoint-interval sweep: holding time scales with I_cp as the analysis
+/// predicts (H_frame grows linearly in I_cp), and reliability never breaks.
+class LamsCheckpointSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LamsCheckpointSweep, HoldingTimeTracksInterval) {
+  const int icp_ms = GetParam();
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kLams;
+  cfg.data_rate_bps = 100e6;
+  cfg.prop_delay = 5_ms;
+  cfg.frame_bytes = 1024;
+  cfg.lams.checkpoint_interval = Time::milliseconds(icp_ms);
+  cfg.lams.cumulation_depth = 4;
+  cfg.lams.max_rtt = 15_ms;
+
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 200,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(60_s));
+  EXPECT_EQ(s.report().lost, 0u);
+
+  // Clean channel: holding ≈ R + t_f + t_c + t_proc + I_cp/2 (n̄_cp = 1).
+  const double expect =
+      0.010 + s.frame_tx_time().sec() + 0.5e-3 * icp_ms + 1e-4;
+  EXPECT_NEAR(s.stats().holding_time_s.mean(), expect, 0.35 * expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, LamsCheckpointSweep,
+                         ::testing::Values(1, 2, 5, 10, 20));
+
+/// Cumulation-depth sweep under control-frame loss: any depth >= 2 should
+/// absorb isolated checkpoint losses without enforced recovery stalls, and
+/// reliability holds even at depth 1 (enforced recovery backstops it).
+class LamsDepthSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(LamsDepthSweep, ReliabilityHoldsAtAnyDepth) {
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kLams;
+  cfg.data_rate_bps = 100e6;
+  cfg.prop_delay = 5_ms;
+  cfg.frame_bytes = 1024;
+  cfg.lams.checkpoint_interval = 5_ms;
+  cfg.lams.cumulation_depth = GetParam();
+  cfg.lams.max_rtt = 15_ms;
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.forward_error.p_frame = 0.1;
+  cfg.reverse_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.reverse_error.p_frame = 0.15;
+  cfg.reverse_error.p_control = 0.15;
+
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 300,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(120_s));
+  EXPECT_EQ(s.report().lost, 0u);
+  EXPECT_EQ(s.report().duplicates, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, LamsDepthSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(LamsWorkloads, PoissonArrivalsKeepInvariants) {
+  // The analysis assumes deterministic parameters; the protocol must not.
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kLams;
+  cfg.data_rate_bps = 100e6;
+  cfg.prop_delay = 5_ms;
+  cfg.frame_bytes = 1024;
+  cfg.lams.max_rtt = 15_ms;
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.forward_error.p_frame = 0.12;
+  sim::Scenario s{cfg};
+  workload::PoissonSource source{
+      s.simulator(), s.sender(), s.tracker(), s.ids(),
+      {.rate_pps = 8000.0, .count = 1500, .bytes = 1024, .start = Time{}},
+      RandomStream{5, "poisson-lams"}};
+  source.start();
+  ASSERT_TRUE(s.run_to_completion(120_s));
+  EXPECT_EQ(s.report().lost, 0u);
+  EXPECT_EQ(s.report().duplicates, 0u);
+}
+
+TEST(LamsFlowControl, StopGoThrottlesSender) {
+  // Make the receiver slow (t_proc = 1 ms per frame vs ~83 us serialization)
+  // with a tiny watermark: its backlog must trip Stop-Go and drag the
+  // sender's rate factor below 1.
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kLams;
+  cfg.data_rate_bps = 100e6;
+  cfg.prop_delay = 5_ms;
+  cfg.frame_bytes = 1024;
+  cfg.lams.checkpoint_interval = 5_ms;
+  cfg.lams.t_proc = 1_ms;
+  cfg.lams.recv_high_watermark = 8;
+  cfg.lams.max_rtt = 15_ms;
+
+  sim::Scenario s{cfg};
+  double min_rate = 1.0;
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 500,
+                         1024);
+  for (int i = 0; i < 400; ++i) {
+    s.simulator().run_until(Time::milliseconds(i));
+    min_rate = std::min(min_rate, s.lams_sender()->rate_factor());
+  }
+  EXPECT_LT(min_rate, 1.0);
+  // And the run still completes without loss.
+  ASSERT_TRUE(s.run_to_completion(120_s));
+  EXPECT_EQ(s.report().lost, 0u);
+}
+
+TEST(LamsFlowControl, RateRecoversAfterCongestionClears) {
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kLams;
+  cfg.data_rate_bps = 100e6;
+  cfg.prop_delay = 5_ms;
+  cfg.frame_bytes = 1024;
+  cfg.lams.checkpoint_interval = 5_ms;
+  cfg.lams.t_proc = 1_ms;
+  cfg.lams.recv_high_watermark = 8;
+  cfg.lams.max_rtt = 15_ms;
+
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 300,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(120_s));
+  // After the backlog drains, Go checkpoints restore the factor to 1.
+  s.simulator().run_until(s.simulator().now() + 100_ms);
+  EXPECT_DOUBLE_EQ(s.lams_sender()->rate_factor(), 1.0);
+}
+
+TEST(LamsFlowControl, CongestionDiscardStillZeroLoss) {
+  // A hard receiving-buffer cap forces the receiver to throw good frames
+  // away during overload (Section 3.4's overflow clause); the NAK machinery
+  // must win them back once Stop-Go drains the backlog.
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kLams;
+  cfg.data_rate_bps = 100e6;
+  cfg.prop_delay = 5_ms;
+  cfg.frame_bytes = 1024;
+  cfg.lams.checkpoint_interval = 5_ms;
+  cfg.lams.t_proc = 2_ms;           // slow receiver: backlog builds fast
+  cfg.lams.recv_high_watermark = 12;
+  cfg.lams.recv_hard_capacity = 24;
+  cfg.lams.max_rtt = 15_ms;
+
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 400,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(120_s));
+  const auto r = s.report();
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_EQ(r.duplicates, 0u);
+  EXPECT_GT(s.lams_receiver()->congestion_discards(), 0u);
+  EXPECT_LE(r.peak_recv_buffer, 24.0);
+}
+
+TEST(LamsBackpressure, SendBufferCapacityGatesAccepting) {
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kLams;
+  cfg.data_rate_bps = 100e6;
+  cfg.prop_delay = 5_ms;
+  cfg.frame_bytes = 1024;
+  cfg.lams.send_buffer_capacity = 16;
+  cfg.lams.max_rtt = 15_ms;
+
+  sim::Scenario s{cfg};
+  EXPECT_TRUE(s.sender().accepting());
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 64,
+                         1024);
+  s.simulator().run_until(1_ms);  // all 64 submitted, few resolved yet
+  EXPECT_FALSE(s.sender().accepting());
+  ASSERT_TRUE(s.run_to_completion(10_s));
+  EXPECT_TRUE(s.sender().accepting());
+}
+
+}  // namespace
+}  // namespace lamsdlc

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "lamsdlc/sim/scenario.hpp"
+#include "lamsdlc/workload/sources.hpp"
+
+namespace lamsdlc {
+namespace {
+
+using namespace lamsdlc::literals;
+
+sim::ScenarioConfig base_config() {
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kLams;
+  cfg.data_rate_bps = 100e6;
+  cfg.prop_delay = 5_ms;
+  cfg.frame_bytes = 1024;
+  cfg.lams.checkpoint_interval = 5_ms;
+  cfg.lams.cumulation_depth = 4;
+  cfg.lams.t_proc = 10_us;
+  cfg.lams.max_rtt = 15_ms;
+  return cfg;
+}
+
+std::unique_ptr<phy::ScriptedOutageModel> outage(Time from, Time to) {
+  return std::make_unique<phy::ScriptedOutageModel>(
+      std::vector<phy::ScriptedOutageModel::Outage>{{from, to}});
+}
+
+TEST(LamsRecovery, CheckpointBlackoutTriggersEnforcedRecovery) {
+  // Blackout (35 ms) exceeds the checkpoint timeout C_depth*W_cp = 20 ms,
+  // forcing enforced recovery, but ends inside the failure timer so the
+  // recovery can complete (a longer blackout is *supposed* to end in a
+  // declared failure — see DeadLinkDeclaresFailure).
+  sim::Scenario s{base_config()};
+  s.link().reverse().set_data_error_model(outage(10_ms, 45_ms));
+
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 100,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(2_s));
+  EXPECT_GE(s.lams_sender()->request_naks_sent(), 1u);
+  EXPECT_EQ(s.lams_sender()->mode(), lams::LamsSender::Mode::kNormal);
+  const auto r = s.report();
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_EQ(r.duplicates, 0u);
+}
+
+TEST(LamsRecovery, BlackoutPlusFrameLossRecoversViaEnforcedNak) {
+  // Frames damaged while every checkpoint that would NAK them is also lost:
+  // the cumulative-NAK window expires and only the Enforced-NAK's extended
+  // history can recover them.
+  sim::Scenario s{base_config()};
+  s.link().forward().set_data_error_model(outage(10_ms, 40_ms));
+  s.link().reverse().set_data_error_model(outage(10_ms, 45_ms));
+
+  workload::RateSource source{
+      s.simulator(), s.sender(), s.tracker(), s.ids(),
+      {.interarrival = 1_ms, .count = 80, .bytes = 1024, .start = Time{},
+       .respect_backpressure = false}};
+  source.start();
+  ASSERT_TRUE(s.run_to_completion(5_s));
+  const auto r = s.report();
+  EXPECT_EQ(r.lost, 0u);
+}
+
+TEST(LamsRecovery, EnforcedNakEndsRecoveryAndResumesNewFrames) {
+  sim::Scenario s{base_config()};
+  s.link().reverse().set_data_error_model(outage(5_ms, 50_ms));
+
+  workload::RateSource source{
+      s.simulator(), s.sender(), s.tracker(), s.ids(),
+      {.interarrival = 2_ms, .count = 100, .bytes = 1024, .start = Time{},
+       .respect_backpressure = false}};
+  source.start();
+  ASSERT_TRUE(s.run_to_completion(5_s));
+  EXPECT_EQ(s.report().lost, 0u);
+  EXPECT_EQ(s.lams_sender()->mode(), lams::LamsSender::Mode::kNormal);
+}
+
+TEST(LamsRecovery, DeadLinkDeclaresFailure) {
+  sim::Scenario s{base_config()};
+  bool failed = false;
+  s.lams_sender()->set_failure_callback([&] { failed = true; });
+
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 50,
+                         1024);
+  s.simulator().schedule_at(20_ms, [&] { s.link().set_up(false); });
+  s.simulator().run_until(2_s);
+
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(s.lams_sender()->mode(), lams::LamsSender::Mode::kFailed);
+}
+
+TEST(LamsRecovery, FailureDetectionLatencyIsBounded) {
+  const auto cfg = base_config();
+  sim::Scenario s{cfg};
+  Time failed_at{};
+  s.lams_sender()->set_failure_callback(
+      [&] { failed_at = s.simulator().now(); });
+
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 50,
+                         1024);
+  const Time kill_at = 20_ms;
+  s.simulator().schedule_at(kill_at, [&] { s.link().set_up(false); });
+  s.simulator().run_until(2_s);
+
+  ASSERT_NE(failed_at, Time{});
+  const Time detection = failed_at - kill_at;
+  const Time bound = cfg.lams.checkpoint_timeout() +    // silence detection
+                     cfg.lams.failure_timeout() +       // Request-NAK wait
+                     cfg.lams.checkpoint_interval * 2;  // cadence slack
+  EXPECT_LE(detection, bound);
+}
+
+TEST(LamsRecovery, LinkDeadlineMakesFailureUnrecoverable) {
+  auto cfg = base_config();
+  cfg.lams.link_deadline = 60_ms;  // remaining link lifetime ends at 60 ms
+  sim::Scenario s{cfg};
+  bool failed = false;
+  s.lams_sender()->set_failure_callback([&] { failed = true; });
+
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 20,
+                         1024);
+  s.simulator().schedule_at(10_ms, [&] { s.link().set_up(false); });
+  s.simulator().run_until(500_ms);
+
+  // Silence is detected ~30-40 ms in; the recovery would need
+  // failure_timeout() = 40 ms more, crossing the 60 ms deadline, so the
+  // sender gives up without even sending a Request-NAK (Section 3.2:
+  // recoverable only within the remaining link lifetime).
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(s.lams_sender()->request_naks_sent(), 0u);
+}
+
+TEST(LamsRecovery, RequestNakLossIsRetriedOnNextCheckpoint) {
+  auto cfg = base_config();
+  cfg.lams.retry_request_nak = true;
+  sim::Scenario s{cfg};
+  // First checkpoint (5 ms) arrives, then blackout until 40 ms: silence is
+  // detected 20 ms after cp #1.  The first Request-NAK (~30 ms) dies in the
+  // forward outage; the retry triggered by the first post-blackout
+  // checkpoint (~45 ms) gets through.
+  s.link().reverse().set_data_error_model(outage(6_ms, 40_ms));
+  s.link().forward().set_control_error_model(outage(0_ms, 35_ms));
+
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 50,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(5_s));
+  EXPECT_GE(s.lams_sender()->request_naks_sent(), 2u);
+  EXPECT_EQ(s.report().lost, 0u);
+  EXPECT_EQ(s.lams_sender()->mode(), lams::LamsSender::Mode::kNormal);
+}
+
+TEST(LamsRecovery, BurstTailFramesAreRecoveredWithoutGapEvidence) {
+  // The last frames of a batch all arrive corrupted and nothing follows:
+  // no later good frame ever exposes the gap, so recovery rests solely on
+  // the sender's highest-seen reasoning against checkpoint timestamps.
+  sim::Scenario s{base_config()};
+  s.link().forward().set_data_error_model(outage(2_ms, 20_ms));
+
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 50,
+                         1024);
+  ASSERT_TRUE(s.run_to_completion(2_s));
+  const auto r = s.report();
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_EQ(r.duplicates, 0u);
+  EXPECT_GT(r.iframe_retx, 0u);
+}
+
+TEST(LamsRecovery, RepeatedBlackoutsSurvive) {
+  sim::Scenario s{base_config()};
+  s.link().reverse().set_data_error_model(
+      std::make_unique<phy::ScriptedOutageModel>(
+          std::vector<phy::ScriptedOutageModel::Outage>{
+              {10_ms, 45_ms}, {80_ms, 112_ms}, {150_ms, 183_ms}}));
+
+  workload::RateSource source{
+      s.simulator(), s.sender(), s.tracker(), s.ids(),
+      {.interarrival = 1_ms, .count = 250, .bytes = 1024, .start = Time{},
+       .respect_backpressure = false}};
+  source.start();
+  ASSERT_TRUE(s.run_to_completion(10_s));
+  EXPECT_EQ(s.report().lost, 0u);
+  EXPECT_GE(s.lams_sender()->request_naks_sent(), 2u);
+}
+
+}  // namespace
+}  // namespace lamsdlc

@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "lamsdlc/lams/receiver.hpp"
+#include "lamsdlc/lams/sender.hpp"
+#include "lamsdlc/workload/tracker.hpp"
+
+namespace lamsdlc::lams {
+namespace {
+
+using namespace lamsdlc::literals;
+
+/// White-box unit tests of the two state machines with crafted frames —
+/// the release/retransmit decision table of the sender and the NAK
+/// bookkeeping of the receiver, checked step by step.
+
+LamsConfig unit_config() {
+  LamsConfig cfg;
+  cfg.checkpoint_interval = 5_ms;
+  cfg.cumulation_depth = 3;
+  cfg.t_proc = 10_us;
+  cfg.max_rtt = 12_ms;
+  cfg.release_margin = 50_us;
+  return cfg;
+}
+
+link::SimplexChannel::Config chan_config() {
+  link::SimplexChannel::Config c;
+  c.data_rate_bps = 100e6;
+  c.propagation = [](Time) { return 5_ms; };
+  return c;
+}
+
+/// Captures every frame a channel carries.
+struct CaptureSink final : link::FrameSink {
+  void on_frame(frame::Frame f) override { frames.push_back(std::move(f)); }
+  std::vector<frame::Frame> frames;
+};
+
+// ---------------------------------------------------------------- sender --
+
+struct SenderRig {
+  SenderRig()
+      : channel{sim, chan_config(), std::make_unique<phy::PerfectChannel>()},
+        tx{sim, channel, unit_config(), &stats} {
+    channel.set_sink(&capture);
+  }
+
+  void submit(frame::PacketId id) {
+    sim::Packet p;
+    p.id = id;
+    p.bytes = 1024;
+    tx.submit(p);
+  }
+
+  frame::CheckpointFrame cp(std::uint32_t cp_seq, bool any_seen,
+                            frame::Seq highest,
+                            std::vector<frame::Seq> naks = {}) {
+    frame::CheckpointFrame c;
+    c.cp_seq = cp_seq;
+    c.generated_at = sim.now();
+    c.any_seen = any_seen;
+    c.highest_seen = highest;
+    c.naks = std::move(naks);
+    return c;
+  }
+
+  /// Same, but generated at an explicit (possibly past) receiver instant.
+  frame::CheckpointFrame cp_at(Time gen, std::uint32_t cp_seq, bool any_seen,
+                               frame::Seq highest,
+                               std::vector<frame::Seq> naks = {}) {
+    auto c = cp(cp_seq, any_seen, highest, std::move(naks));
+    c.generated_at = gen;
+    return c;
+  }
+
+  void deliver(const frame::CheckpointFrame& c) {
+    frame::Frame f;
+    f.body = c;
+    tx.on_frame(std::move(f));
+  }
+
+  Simulator sim;
+  sim::DlcStats stats;
+  CaptureSink capture;
+  link::SimplexChannel channel;
+  LamsSender tx;
+};
+
+TEST(LamsSenderUnit, ReleaseRequiresCoverageByHighestSeen) {
+  SenderRig rig;
+  rig.submit(1);
+  rig.submit(2);
+  rig.sim.run_until(10_ms);  // both sent (ctr 0, 1) and long since arrived
+  ASSERT_EQ(rig.tx.sending_buffer_depth(), 2u);
+
+  // Checkpoint covering only ctr 0: frame 0 released, frame 1 must be
+  // *retransmitted* (it provably arrived before this checkpoint yet the
+  // receiver's highest number never reached it -> unreadable arrival).
+  rig.deliver(rig.cp(1, true, 0));
+  EXPECT_EQ(rig.tx.packets_resolved(), 1u);
+  rig.sim.run_until(11_ms);
+  EXPECT_EQ(rig.stats.iframe_retx, 1u);
+}
+
+TEST(LamsSenderUnit, FramesStillInFlightAreHeldNotRetransmitted) {
+  SenderRig rig;
+  rig.submit(1);
+  rig.sim.run_until(1_ms);  // sent at ~0, arrives ~5ms: still in flight
+  // A checkpoint generated *now* cannot judge the in-flight frame.
+  rig.deliver(rig.cp(1, false, 0));
+  EXPECT_EQ(rig.tx.packets_resolved(), 0u);
+  EXPECT_EQ(rig.stats.iframe_retx, 0u);
+  EXPECT_EQ(rig.tx.sending_buffer_depth(), 1u);
+}
+
+TEST(LamsSenderUnit, NakTriggersExactlyOneRenumberedRetransmission) {
+  SenderRig rig;
+  rig.submit(1);
+  rig.sim.run_until(10_ms);
+  // NAK for ctr 0 in three consecutive checkpoints (cumulation): only the
+  // first triggers a retransmission; the repeats find nothing outstanding.
+  rig.deliver(rig.cp(1, true, 5, {0}));
+  rig.sim.run_until(11_ms);
+  EXPECT_EQ(rig.stats.iframe_retx, 1u);
+  rig.deliver(rig.cp(2, true, 5, {0}));
+  rig.deliver(rig.cp(3, true, 5, {0}));
+  rig.sim.run_until(20_ms);  // let the retransmission cross the 5ms link
+  EXPECT_EQ(rig.stats.iframe_retx, 1u);
+
+  // The retransmission used a new sequence number.
+  ASSERT_EQ(rig.capture.frames.size(), 2u);
+  const auto& first = std::get<frame::IFrame>(rig.capture.frames[0].body);
+  const auto& retx = std::get<frame::IFrame>(rig.capture.frames[1].body);
+  EXPECT_EQ(first.seq, 0u);
+  EXPECT_EQ(retx.seq, 1u);
+  EXPECT_EQ(retx.packet_id, 1u);  // same packet
+}
+
+TEST(LamsSenderUnit, StaleCheckpointSequenceIgnored) {
+  SenderRig rig;
+  rig.submit(1);
+  rig.sim.run_until(10_ms);
+  rig.deliver(rig.cp(5, false, 0));  // establishes cp_seq 5
+  // A reordered/duplicate checkpoint with an older serial must not act.
+  auto old_cp = rig.cp(4, true, 0);
+  rig.deliver(old_cp);
+  EXPECT_EQ(rig.tx.packets_resolved(), 0u);
+}
+
+TEST(LamsSenderUnit, CorruptedCheckpointOnlyCounts) {
+  SenderRig rig;
+  rig.submit(1);
+  rig.sim.run_until(10_ms);
+  frame::Frame f;
+  f.body = rig.cp(1, true, 0);
+  f.corrupted = true;
+  rig.tx.on_frame(std::move(f));
+  EXPECT_EQ(rig.tx.packets_resolved(), 0u);
+  EXPECT_EQ(rig.stats.control_corrupted_rx, 1u);
+}
+
+TEST(LamsSenderUnit, FlowControlFactorsApplyPerCheckpoint) {
+  SenderRig rig;
+  rig.submit(1);
+  rig.sim.run_until(10_ms);
+  auto stop = rig.cp(1, true, 0);
+  stop.stop_go = true;
+  rig.deliver(stop);
+  EXPECT_DOUBLE_EQ(rig.tx.rate_factor(), 0.5);
+  auto stop2 = rig.cp(2, true, 1);
+  stop2.stop_go = true;
+  rig.deliver(stop2);
+  EXPECT_DOUBLE_EQ(rig.tx.rate_factor(), 0.25);
+  auto go = rig.cp(3, true, 1);
+  rig.deliver(go);
+  EXPECT_DOUBLE_EQ(rig.tx.rate_factor(), 0.375);  // additive increase
+}
+
+TEST(LamsSenderUnit, TakeUnresolvedPreservesOrder) {
+  SenderRig rig;
+  for (frame::PacketId id = 1; id <= 5; ++id) rig.submit(id);
+  rig.sim.run_until(10_ms);
+  // A checkpoint generated *before* the frames reached the receiver can
+  // carry an (early-gap) NAK for ctr 1 without covering the others: packet
+  // 2 moves to the retransmission queue, 1/3/4/5 stay outstanding.
+  rig.deliver(rig.cp_at(1_ms, 1, false, 0, {1}));
+  auto residue = rig.tx.take_unresolved();
+  // Outstanding 1,3,4,5 (ctr order) then the NAKed packet 2 from retx.
+  ASSERT_EQ(residue.size(), 5u);
+  EXPECT_EQ(residue[0].id, 1u);
+  EXPECT_EQ(residue[1].id, 3u);
+  EXPECT_EQ(residue[2].id, 4u);
+  EXPECT_EQ(residue[3].id, 5u);
+  EXPECT_EQ(residue[4].id, 2u);
+  EXPECT_TRUE(rig.tx.idle());
+}
+
+// -------------------------------------------------------------- receiver --
+
+struct CountListener final : sim::PacketListener {
+  void on_packet(const sim::Packet&, Time) override { ++delivered; }
+  int delivered = 0;
+};
+
+struct ReceiverRig {
+  ReceiverRig()
+      : channel{sim, zero_delay_config(),
+                std::make_unique<phy::PerfectChannel>()},
+        rx{sim, channel, unit_config(), &listener, &stats} {
+    channel.set_sink(&capture);
+    rx.start();
+  }
+
+  // Zero propagation so emitted checkpoints land in the capture sink at
+  // (nearly) their generation instant.
+  static link::SimplexChannel::Config zero_delay_config() {
+    link::SimplexChannel::Config c;
+    c.data_rate_bps = 1e9;
+    c.propagation = [](Time) { return Time{}; };
+    return c;
+  }
+
+  void arrive(frame::Seq seq, bool corrupted = false,
+              frame::PacketId id = 0) {
+    frame::Frame f;
+    f.body = frame::IFrame{seq, id == 0 ? seq + 1 : id, 1024, {}};
+    f.corrupted = corrupted;
+    rx.on_frame(std::move(f));
+  }
+
+  /// Checkpoints captured so far (they ride the channel to the sender).
+  std::vector<frame::CheckpointFrame> checkpoints() {
+    std::vector<frame::CheckpointFrame> out;
+    for (const auto& f : capture.frames) {
+      if (const auto* c = std::get_if<frame::CheckpointFrame>(&f.body)) {
+        out.push_back(*c);
+      }
+    }
+    return out;
+  }
+
+  Simulator sim;
+  sim::DlcStats stats;
+  CaptureSink capture;
+  link::SimplexChannel channel;
+  CountListener listener;
+  LamsReceiver rx;
+};
+
+TEST(LamsReceiverUnit, GapGeneratesOneNakPerMissingNumber) {
+  ReceiverRig rig;
+  rig.arrive(0);
+  rig.arrive(4);  // seqs 1,2,3 missing
+  EXPECT_EQ(rig.rx.naks_generated(), 3u);
+  rig.sim.run_until(6_ms);  // first checkpoint fires at 5ms
+  const auto cps = rig.checkpoints();
+  ASSERT_EQ(cps.size(), 1u);
+  EXPECT_EQ(cps[0].naks, (std::vector<frame::Seq>{1, 2, 3}));
+  EXPECT_TRUE(cps[0].any_seen);
+  EXPECT_EQ(cps[0].highest_seen, 4u);
+}
+
+TEST(LamsReceiverUnit, NakRepeatsExactlyCumulationDepthTimes) {
+  ReceiverRig rig;
+  rig.arrive(0);
+  rig.arrive(2);  // seq 1 missing
+  rig.sim.run_until(26_ms);  // checkpoints at 5,10,15,20,25 ms
+  const auto cps = rig.checkpoints();
+  ASSERT_GE(cps.size(), 5u);
+  int with_nak = 0;
+  for (const auto& c : cps) {
+    with_nak += std::count(c.naks.begin(), c.naks.end(), 1u) > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(with_nak, 3);  // C_depth = 3 in unit_config()
+}
+
+TEST(LamsReceiverUnit, CorruptedFramesAreNotDeliveredAndNotNakedDirectly) {
+  ReceiverRig rig;
+  rig.arrive(0, /*corrupted=*/true);
+  rig.sim.run_until(1_ms);
+  EXPECT_EQ(rig.listener.delivered, 0);
+  EXPECT_EQ(rig.rx.naks_generated(), 0u);  // no gap evidence yet
+  EXPECT_EQ(rig.stats.iframe_corrupted_rx, 1u);
+  // The next good frame exposes the hole.
+  rig.arrive(1);
+  EXPECT_EQ(rig.rx.naks_generated(), 1u);
+}
+
+TEST(LamsReceiverUnit, OutOfSequenceDeliveryIsImmediate) {
+  ReceiverRig rig;
+  rig.arrive(0);
+  rig.arrive(5);
+  rig.arrive(6);
+  rig.sim.run_until(1_ms);  // just t_proc, no checkpoint needed
+  EXPECT_EQ(rig.listener.delivered, 3);  // nothing held for order
+}
+
+TEST(LamsReceiverUnit, NonMonotoneArrivalIgnored) {
+  ReceiverRig rig;
+  rig.arrive(3);
+  rig.arrive(2);  // can't happen on a FIFO light path; defensive drop
+  rig.sim.run_until(1_ms);
+  EXPECT_EQ(rig.listener.delivered, 1);
+}
+
+TEST(LamsReceiverUnit, EnforcedNakCarriesExtendedHistory) {
+  ReceiverRig rig;
+  rig.arrive(0);
+  rig.arrive(2);  // NAK 1
+  // Let the regular cumulative window (3 intervals = 15 ms) expire.
+  rig.sim.run_until(26_ms);
+  const auto before = rig.checkpoints();
+  EXPECT_TRUE(before.back().naks.empty());  // expired from the regular list
+
+  frame::Frame rq;
+  rq.body = frame::RequestNakFrame{1};
+  rig.rx.on_frame(std::move(rq));
+  rig.sim.run_until(27_ms);  // let the Enforced-NAK cross the channel
+  const auto after = rig.checkpoints();
+  ASSERT_GT(after.size(), before.size());
+  const auto& enforced = after.back();
+  EXPECT_TRUE(enforced.enforced);
+  // The extended history still remembers seq 1.
+  EXPECT_EQ(enforced.naks, (std::vector<frame::Seq>{1}));
+}
+
+TEST(LamsReceiverUnit, StopGoBitFollowsProcessingBacklog) {
+  ReceiverRig rig;
+  // Not congested: stop_go clear.
+  rig.arrive(0);
+  rig.sim.run_until(6_ms);
+  EXPECT_FALSE(rig.checkpoints().back().stop_go);
+}
+
+TEST(LamsReceiverUnit, ResetSessionForgetsEverything) {
+  ReceiverRig rig;
+  rig.arrive(0);
+  rig.arrive(3);  // NAKs 1,2 recorded
+  rig.rx.reset_session();
+  rig.rx.set_epoch(2);
+  // After the reset the numbering restarts: seq 0 is *new*, no gap relative
+  // to stale state, and checkpoints carry the new epoch with no stale NAKs.
+  rig.arrive(0);
+  rig.sim.run_until(6_ms);
+  const auto& cp = rig.checkpoints().back();
+  EXPECT_EQ(cp.epoch, 2u);
+  EXPECT_TRUE(cp.naks.empty());
+  EXPECT_EQ(cp.highest_seen, 0u);
+  EXPECT_TRUE(cp.any_seen);
+}
+
+}  // namespace
+}  // namespace lamsdlc::lams

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "lamsdlc/frame/codec.hpp"
+#include "lamsdlc/link/link.hpp"
+#include "lamsdlc/sim/scenario.hpp"
+#include "lamsdlc/workload/sources.hpp"
+
+namespace lamsdlc {
+namespace {
+
+using namespace lamsdlc::literals;
+
+/// Byte-accurate wire mode: frames are actually serialized, bit-flipped and
+/// decoded; the real CRC-16 does the error detection.
+
+struct RecordingSink final : link::FrameSink {
+  explicit RecordingSink(Simulator& sim) : sim{sim} {}
+  void on_frame(frame::Frame f) override { frames.push_back(std::move(f)); }
+  Simulator& sim;
+  std::vector<frame::Frame> frames;
+};
+
+link::SimplexChannel::Config byte_cfg() {
+  link::SimplexChannel::Config c;
+  c.data_rate_bps = 100e6;
+  c.propagation = [](Time) { return 1_ms; };
+  c.byte_level = true;
+  return c;
+}
+
+TEST(ByteLevelWire, CleanFramesRoundTripIntact) {
+  Simulator sim;
+  link::SimplexChannel ch{sim, byte_cfg(),
+                          std::make_unique<phy::PerfectChannel>()};
+  RecordingSink sink{sim};
+  ch.set_sink(&sink);
+
+  frame::Frame f;
+  f.body = frame::IFrame{1234, 99, 64, {}};
+  ch.send(f);
+  frame::Frame cp;
+  cp.body = frame::CheckpointFrame{7, 3_ms, 42, true, false, true, 1, {1, 2}};
+  ch.send(cp);
+  sim.run();
+
+  ASSERT_EQ(sink.frames.size(), 2u);
+  const auto& i = std::get<frame::IFrame>(sink.frames[0].body);
+  EXPECT_EQ(i.seq, 1234u);
+  EXPECT_EQ(i.payload_bytes, 64u);
+  EXPECT_EQ(i.packet_id, 99u);  // sim-side identity restored
+  EXPECT_FALSE(sink.frames[0].corrupted);
+  const auto& c = std::get<frame::CheckpointFrame>(sink.frames[1].body);
+  EXPECT_EQ(c.cp_seq, 7u);
+  EXPECT_EQ(c.naks, (std::vector<frame::Seq>{1, 2}));
+  EXPECT_EQ(ch.codec_mismatches(), 0u);
+}
+
+TEST(ByteLevelWire, BitFlipsAreCaughtByFcs) {
+  Simulator sim;
+  link::SimplexChannel ch{sim, byte_cfg(),
+                          std::make_unique<phy::FixedFrameErrorModel>(
+                              1.0, RandomStream{3, "all"})};
+  RecordingSink sink{sim};
+  ch.set_sink(&sink);
+  for (int i = 0; i < 200; ++i) {
+    frame::Frame f;
+    f.body = frame::IFrame{static_cast<frame::Seq>(i), 0, 256, {}};
+    ch.send(std::move(f));
+  }
+  sim.run();
+  ASSERT_EQ(sink.frames.size(), 200u);
+  for (const auto& f : sink.frames) EXPECT_TRUE(f.corrupted);
+  // No aliasing in 200 frames (probability ~200 * 2^-16 of even one).
+  EXPECT_EQ(ch.codec_mismatches(), 0u);
+}
+
+TEST(ByteLevelWire, MixedTrafficOnlyDamagedFramesMarked) {
+  Simulator sim;
+  link::SimplexChannel ch{sim, byte_cfg(),
+                          std::make_unique<phy::FixedFrameErrorModel>(
+                              0.5, RandomStream{5, "half"})};
+  RecordingSink sink{sim};
+  ch.set_sink(&sink);
+  for (int i = 0; i < 400; ++i) {
+    frame::Frame f;
+    f.body = frame::IFrame{static_cast<frame::Seq>(i), 0, 128, {}};
+    ch.send(std::move(f));
+  }
+  sim.run();
+  std::size_t corrupted = 0;
+  for (const auto& f : sink.frames) corrupted += f.corrupted ? 1 : 0;
+  EXPECT_EQ(corrupted, ch.frames_corrupted());
+  EXPECT_GT(corrupted, 100u);
+  EXPECT_LT(corrupted, 300u);
+  EXPECT_EQ(ch.codec_mismatches(), 0u);
+}
+
+TEST(ByteLevelWire, LamsProtocolEndToEnd) {
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kLams;
+  cfg.byte_level_wire = true;
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.forward_error.p_frame = 0.15;
+  cfg.reverse_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.reverse_error.p_frame = 0.1;
+  cfg.reverse_error.p_control = 0.1;
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 500,
+                         cfg.frame_bytes);
+  ASSERT_TRUE(s.run_to_completion(60_s));
+  const auto r = s.report();
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_EQ(r.duplicates, 0u);
+  EXPECT_GT(r.iframe_retx, 0u);
+  EXPECT_EQ(s.link().forward().codec_mismatches(), 0u);
+  EXPECT_EQ(s.link().reverse().codec_mismatches(), 0u);
+}
+
+TEST(ByteLevelWire, SrHdlcProtocolEndToEnd) {
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kSrHdlc;
+  cfg.byte_level_wire = true;
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.forward_error.p_frame = 0.1;
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 300,
+                         cfg.frame_bytes);
+  ASSERT_TRUE(s.run_to_completion(60_s));
+  EXPECT_EQ(s.report().lost, 0u);
+  EXPECT_EQ(s.report().duplicates, 0u);
+  EXPECT_EQ(s.link().forward().codec_mismatches(), 0u);
+}
+
+TEST(ByteLevelWire, MatchesFastModeStatistically) {
+  // The two corruption models must produce statistically indistinguishable
+  // protocol behaviour: same retransmission rate within sampling noise.
+  auto run = [](bool byte_level) {
+    sim::ScenarioConfig cfg;
+    cfg.protocol = sim::Protocol::kLams;
+    cfg.byte_level_wire = byte_level;
+    cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+    cfg.forward_error.p_frame = 0.2;
+    sim::Scenario s{cfg};
+    workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(),
+                           2000, cfg.frame_bytes);
+    EXPECT_TRUE(s.run_to_completion(Time::seconds_int(120)));
+    return s.report().tx_per_frame;
+  };
+  const double fast = run(false);
+  const double byte = run(true);
+  EXPECT_NEAR(fast, byte, 0.1 * fast);
+}
+
+}  // namespace
+}  // namespace lamsdlc

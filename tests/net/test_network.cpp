@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include "lamsdlc/net/network.hpp"
+
+namespace lamsdlc::net {
+namespace {
+
+using namespace lamsdlc::literals;
+
+LinkSpec link_between(NodeId a, NodeId b, double p_f = 0.0) {
+  LinkSpec s;
+  s.a = a;
+  s.b = b;
+  s.data_rate_bps = 100e6;
+  s.prop_delay = 5_ms;
+  s.lams.checkpoint_interval = 5_ms;
+  s.lams.cumulation_depth = 4;
+  s.lams.max_rtt = 15_ms;
+  if (p_f > 0) {
+    s.a_to_b_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+    s.a_to_b_error.p_frame = p_f;
+    s.b_to_a_error = s.a_to_b_error;
+  }
+  return s;
+}
+
+TEST(Network, SingleLinkBothDirections) {
+  Simulator sim;
+  Network net{sim};
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  net.add_link(link_between(a, b));
+
+  for (int i = 0; i < 50; ++i) {
+    net.send_packet(a, b, 1024);
+    net.send_packet(b, a, 1024);
+  }
+  ASSERT_TRUE(net.run_to_completion(5_s));
+  const auto r = net.report();
+  EXPECT_EQ(r.packets_delivered, 100u);
+  EXPECT_EQ(r.packets_lost, 0u);
+  EXPECT_EQ(r.duplicate_deliveries, 0u);
+  EXPECT_EQ(r.packets_forwarded, 0u);  // no relays on a single link
+}
+
+TEST(Network, ThreeNodeChainForwards) {
+  Simulator sim;
+  Network net{sim};
+  const NodeId a = net.add_node("a");
+  const NodeId m = net.add_node("relay");
+  const NodeId b = net.add_node("b");
+  net.add_link(link_between(a, m));
+  net.add_link(link_between(m, b));
+
+  for (int i = 0; i < 100; ++i) net.send_packet(a, b, 1024);
+  ASSERT_TRUE(net.run_to_completion(10_s));
+  const auto r = net.report();
+  EXPECT_EQ(r.packets_delivered, 100u);
+  EXPECT_EQ(r.packets_lost, 0u);
+  EXPECT_EQ(net.node(m).forwarded(), 100u);
+}
+
+TEST(Network, ChainDelayAccumulatesPerHop) {
+  Simulator sim;
+  Network net{sim};
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 5; ++i) {
+    nodes.push_back(net.add_node("n" + std::to_string(i)));
+  }
+  for (int i = 0; i + 1 < 5; ++i) {
+    net.add_link(link_between(nodes[static_cast<size_t>(i)],
+                              nodes[static_cast<size_t>(i + 1)]));
+  }
+  net.send_packet(nodes[0], nodes[4], 1024);
+  ASSERT_TRUE(net.run_to_completion(5_s));
+  // Four hops at 5 ms propagation each, plus serialization/processing.
+  const auto r = net.report();
+  EXPECT_GT(r.mean_delay_s, 4 * 5e-3);
+  EXPECT_LT(r.mean_delay_s, 4 * 5e-3 + 5e-3);
+}
+
+TEST(Network, LossyMiddleHopStillZeroLossEndToEnd) {
+  Simulator sim;
+  Network net{sim};
+  const NodeId a = net.add_node("a");
+  const NodeId m = net.add_node("relay");
+  const NodeId b = net.add_node("b");
+  net.add_link(link_between(a, m, 0.0));
+  net.add_link(link_between(m, b, 0.25));  // nasty middle hop
+
+  for (int i = 0; i < 300; ++i) net.send_packet(a, b, 1024);
+  ASSERT_TRUE(net.run_to_completion(60_s));
+  const auto r = net.report();
+  EXPECT_EQ(r.packets_lost, 0u);
+  EXPECT_EQ(r.duplicate_deliveries, 0u);
+}
+
+TEST(Network, IntermediateNodesForwardOutOfOrderImmediately) {
+  // Section 2.3: relays hold nothing for resequencing — the relay's DLC
+  // receive buffer stays at the processing pipeline depth even while the
+  // lossy first hop reorders heavily.
+  Simulator sim;
+  Network net{sim};
+  const NodeId a = net.add_node("a");
+  const NodeId m = net.add_node("relay");
+  const NodeId b = net.add_node("b");
+  const LinkId l1 = net.add_link(link_between(a, m, 0.3));
+  net.add_link(link_between(m, b, 0.0));
+
+  for (int i = 0; i < 400; ++i) net.send_packet(a, b, 1024);
+  ASSERT_TRUE(net.run_to_completion(60_s));
+  EXPECT_EQ(net.report().packets_lost, 0u);
+
+  auto& hop1 = net.flow(l1, a);
+  hop1.stats().recv_buffer.finish(sim.now());
+  // Peak receive-side occupancy at the relay stays tiny (t_proc pipeline),
+  // nothing held for reordering.
+  EXPECT_LE(hop1.stats().recv_buffer.peak(), 4.0);
+}
+
+TEST(Network, MessagesReassembleAtDestinationOnly) {
+  Simulator sim;
+  Network net{sim};
+  const NodeId a = net.add_node("a");
+  const NodeId m = net.add_node("relay");
+  const NodeId b = net.add_node("b");
+  net.add_link(link_between(a, m, 0.15));
+  net.add_link(link_between(m, b, 0.15));
+
+  std::vector<std::pair<NodeId, std::uint64_t>> completed;
+  net.set_message_callback([&](NodeId dst, std::uint64_t mid, Time) {
+    completed.emplace_back(dst, mid);
+  });
+  for (int i = 0; i < 10; ++i) net.send_message(a, b, 32, 1024);
+  ASSERT_TRUE(net.run_to_completion(60_s));
+  EXPECT_EQ(completed.size(), 10u);
+  for (const auto& [dst, mid] : completed) EXPECT_EQ(dst, b);
+  EXPECT_EQ(net.report().messages_completed, 10u);
+}
+
+TEST(Network, CrossTrafficBothDirectionsOnSharedChain) {
+  Simulator sim;
+  Network net{sim};
+  const NodeId a = net.add_node("a");
+  const NodeId m = net.add_node("m");
+  const NodeId b = net.add_node("b");
+  net.add_link(link_between(a, m, 0.1));
+  net.add_link(link_between(m, b, 0.1));
+
+  for (int i = 0; i < 150; ++i) {
+    net.send_packet(a, b, 1024);
+    net.send_packet(b, a, 1024);
+    net.send_packet(m, a, 512);
+    net.send_packet(m, b, 512);
+  }
+  ASSERT_TRUE(net.run_to_completion(60_s));
+  const auto r = net.report();
+  EXPECT_EQ(r.packets_lost, 0u);
+  EXPECT_EQ(r.duplicate_deliveries, 0u);
+}
+
+TEST(Network, RingPrefersShortestPath) {
+  // 4-node ring: a-b-c-d-a.  a->c has two 2-hop routes; a->b must go direct.
+  Simulator sim;
+  Network net{sim};
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  const NodeId c = net.add_node("c");
+  const NodeId d = net.add_node("d");
+  net.add_link(link_between(a, b));
+  net.add_link(link_between(b, c));
+  net.add_link(link_between(c, d));
+  net.add_link(link_between(d, a));
+
+  for (int i = 0; i < 50; ++i) net.send_packet(a, b, 1024);
+  ASSERT_TRUE(net.run_to_completion(5_s));
+  EXPECT_EQ(net.node(c).forwarded() + net.node(d).forwarded(), 0u);
+  EXPECT_EQ(net.report().packets_lost, 0u);
+}
+
+TEST(Network, ManualRouteOverride) {
+  Simulator sim;
+  Network net{sim};
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  const NodeId c = net.add_node("c");
+  net.add_link(link_between(a, b));
+  net.add_link(link_between(b, c));
+  net.add_link(link_between(a, c));  // direct shortcut exists
+
+  net.compute_routes();
+  net.set_route(a, c, b);  // but we force the scenic route
+  for (int i = 0; i < 20; ++i) net.send_packet(a, c, 1024);
+  ASSERT_TRUE(net.run_to_completion(5_s));
+  EXPECT_EQ(net.node(b).forwarded(), 20u);
+}
+
+TEST(Network, NoRouteParksPacketUntilTopologyProvidesOne) {
+  Simulator sim;
+  Network net{sim};
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  const NodeId island = net.add_node("island");  // no links yet
+  net.add_link(link_between(a, b));
+
+  net.send_packet(a, island, 1024);
+  sim.run_until(100_ms);
+  EXPECT_EQ(net.report().packets_parked, 1u);
+  EXPECT_EQ(net.report().packets_delivered, 0u);
+  EXPECT_EQ(net.node(a).parked(), 1u);
+
+  // A contact appears: the parked packet flows (store-and-forward across
+  // the gap, the LAMS network's defining behaviour).
+  sim.schedule_at(200_ms, [&] { net.add_link(link_between(b, island)); });
+  ASSERT_TRUE(net.run_to_completion(2_s));
+  EXPECT_EQ(net.report().packets_parked, 0u);
+  EXPECT_EQ(net.report().packets_delivered, 1u);
+  EXPECT_GT(net.report().mean_delay_s, 0.2);  // waited out the gap
+}
+
+TEST(Network, SrHdlcLinksWorkInChains) {
+  Simulator sim;
+  Network net{sim};
+  const NodeId a = net.add_node("a");
+  const NodeId m = net.add_node("relay");
+  const NodeId b = net.add_node("b");
+  auto sr_link = [&](NodeId x, NodeId y) {
+    LinkSpec s = link_between(x, y, 0.1);
+    s.protocol = sim::Protocol::kSrHdlc;
+    s.hdlc.window = 64;
+    s.hdlc.modulus = 256;
+    s.hdlc.timeout = 40_ms;
+    return s;
+  };
+  net.add_link(sr_link(a, m));
+  net.add_link(sr_link(m, b));
+  for (int i = 0; i < 200; ++i) net.send_packet(a, b, 1024);
+  ASSERT_TRUE(net.run_to_completion(60_s));
+  EXPECT_EQ(net.report().packets_lost, 0u);
+  EXPECT_EQ(net.report().duplicate_deliveries, 0u);
+}
+
+TEST(Network, RelayBuffersLamsTransparentSrWindowSized) {
+  // The multi-hop version of the Section 2.3 buffer argument: under the
+  // same per-hop loss, an SR-HDLC relay parks frames for resequencing
+  // while a LAMS-DLC relay forwards immediately.
+  auto run = [](sim::Protocol proto) {
+    Simulator sim;
+    Network net{sim};
+    const NodeId a = net.add_node("a");
+    const NodeId m = net.add_node("relay");
+    const NodeId b = net.add_node("b");
+    LinkSpec s1 = link_between(a, m, 0.15);
+    LinkSpec s2 = link_between(m, b, 0.15);
+    s1.protocol = s2.protocol = proto;
+    s1.hdlc.window = s2.hdlc.window = 64;
+    s1.hdlc.modulus = s2.hdlc.modulus = 256;
+    s1.hdlc.timeout = s2.hdlc.timeout = 40_ms;
+    const LinkId l1 = net.add_link(s1);
+    net.add_link(s2);
+    for (int i = 0; i < 400; ++i) net.send_packet(a, b, 1024);
+    EXPECT_TRUE(net.run_to_completion(120_s));
+    EXPECT_EQ(net.report().packets_lost, 0u);
+    auto& hop1 = net.flow(l1, a);
+    hop1.stats().recv_buffer.finish(sim.now());
+    return hop1.stats().recv_buffer.peak();
+  };
+  const double lams_peak = run(sim::Protocol::kLams);
+  const double sr_peak = run(sim::Protocol::kSrHdlc);
+  EXPECT_LE(lams_peak, 4.0);
+  EXPECT_GT(sr_peak, 8.0);
+}
+
+TEST(Network, LocalDeliveryShortCircuits) {
+  Simulator sim;
+  Network net{sim};
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  net.add_link(link_between(a, b));
+  net.send_packet(a, a, 64);
+  ASSERT_TRUE(net.run_to_completion(1_s));
+  EXPECT_EQ(net.report().packets_delivered, 1u);
+}
+
+}  // namespace
+}  // namespace lamsdlc::net

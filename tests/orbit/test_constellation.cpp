@@ -1,0 +1,141 @@
+#include "lamsdlc/orbit/constellation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lamsdlc::orbit {
+namespace {
+
+using namespace lamsdlc::literals;
+
+WalkerParams walker_32_4() {
+  WalkerParams p;
+  p.total = 32;
+  p.planes = 4;
+  p.phasing = 1;
+  p.altitude_m = 1.0e6;
+  p.inclination_rad = 0.9;
+  return p;
+}
+
+TEST(Constellation, RejectsUnevenPlaneSplit) {
+  WalkerParams p = walker_32_4();
+  p.total = 25;
+  EXPECT_THROW(Constellation{p}, std::invalid_argument);
+  p.total = 24;
+  p.planes = 0;
+  EXPECT_THROW(Constellation{p}, std::invalid_argument);
+}
+
+TEST(Constellation, GeneratesAllSatellites) {
+  Constellation c{walker_32_4()};
+  EXPECT_EQ(c.size(), 32u);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.satellite(i).altitude_m, 1.0e6, 1e-9);
+    EXPECT_NEAR(c.satellite(i).inclination_rad, 0.9, 1e-12);
+  }
+}
+
+TEST(Constellation, PlanesEvenlySpacedInRaan) {
+  Constellation c{walker_32_4()};
+  std::set<long> raans;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    raans.insert(std::lround(c.satellite(i).raan_rad * 1e9));
+  }
+  EXPECT_EQ(raans.size(), 4u);
+}
+
+TEST(Constellation, InPlanePhasesEvenlySpaced) {
+  Constellation c{walker_32_4()};
+  // Within a plane, consecutive slots differ by 2*pi/8.
+  for (std::uint32_t slot = 0; slot + 1 < 8; ++slot) {
+    const double d = c.satellite(c.index(0, slot + 1)).phase_rad -
+                     c.satellite(c.index(0, slot)).phase_rad;
+    EXPECT_NEAR(d, 2.0 * M_PI / 8.0, 1e-12);
+  }
+}
+
+TEST(Constellation, WalkerPhasingOffsetsPlanes) {
+  Constellation c{walker_32_4()};
+  const double expected = 2.0 * M_PI * 1.0 / 32.0;  // 2*pi*f/t
+  const double d =
+      c.satellite(c.index(1, 0)).phase_rad - c.satellite(c.index(0, 0)).phase_rad;
+  EXPECT_NEAR(d, expected, 1e-12);
+}
+
+TEST(Constellation, IndexWrapsPlaneAndSlot) {
+  Constellation c{walker_32_4()};
+  EXPECT_EQ(c.index(4, 0), c.index(0, 0));  // plane wraps mod 4
+  EXPECT_EQ(c.index(0, 8), c.index(0, 0));  // slot wraps mod 8
+}
+
+TEST(Constellation, GridNeighborsMatchSwapBudget) {
+  Constellation c{walker_32_4()};
+  const auto pairs = c.grid_neighbors();
+  // Ring per plane: 8 links x 4 planes = 32; cross-plane: 8 x 4 = 32.
+  EXPECT_EQ(pairs.size(), 64u);
+  // Degree: every satellite has exactly 4 laser terminals in this grid.
+  std::vector<int> degree(c.size(), 0);
+  for (const auto& [i, j] : pairs) {
+    ++degree[i];
+    ++degree[j];
+    EXPECT_LT(i, j);  // unique, ordered
+  }
+  for (const int d : degree) EXPECT_EQ(d, 4);
+}
+
+TEST(Constellation, TwoPlaneRingHasNoDuplicatePairs) {
+  WalkerParams p;
+  p.total = 8;
+  p.planes = 2;
+  p.phasing = 0;
+  Constellation c{p};
+  const auto pairs = c.grid_neighbors();
+  std::set<std::pair<std::size_t, std::size_t>> unique_pairs{pairs.begin(),
+                                                             pairs.end()};
+  EXPECT_EQ(unique_pairs.size(), pairs.size());
+}
+
+TEST(ContactPlan, IntraPlaneNeighborsAreAlwaysVisible) {
+  // Satellites in the same plane at 45 degrees separation keep a constant
+  // ~5642 km chord that clears the Earth limb by ~340 km: permanently
+  // visible within a 10,000 km laser budget.  (Six per plane would NOT
+  // work: the 60-degree chord grazes 12 km above the surface.)
+  Constellation c{walker_32_4()};
+  const auto pair = c.pair(c.index(0, 0), c.index(0, 1));
+  const auto windows = find_windows(pair, Time::seconds_int(6000), 30_s);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows.front().start, Time{});
+}
+
+TEST(ContactPlan, ProducesSortedUsableContacts) {
+  Constellation c{walker_32_4()};
+  const auto plan = contact_plan(c, Time::seconds_int(6000),
+                                 Time::seconds_int(30), 8.0e6);
+  ASSERT_FALSE(plan.empty());
+  for (std::size_t k = 1; k < plan.size(); ++k) {
+    EXPECT_LE(plan[k - 1].window.start, plan[k].window.start);
+  }
+  for (const Contact& ct : plan) {
+    EXPECT_GE(ct.window.duration(), Time::seconds_int(30));
+    EXPECT_GT(ct.ranges.r_max_m, 0.0);
+    EXPECT_LE(ct.ranges.r_max_m, 8.0e6 + 1.0);
+    // Link lifetimes and ranges sit in the paper's envelope.
+    EXPECT_LE(ct.ranges.r_min_m, 1.0e7);
+  }
+}
+
+TEST(ContactPlan, RangeStatsFeedTimeoutModel) {
+  Constellation c{walker_32_4()};
+  const auto plan = contact_plan(c, Time::seconds_int(6000),
+                                 Time::seconds_int(30), 8.0e6);
+  ASSERT_FALSE(plan.empty());
+  for (const Contact& ct : plan) {
+    EXPECT_GT(ct.ranges.round_trip().sec(), 0.0);
+    EXPECT_GE(ct.ranges.min_alpha().sec(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace lamsdlc::orbit

@@ -1,0 +1,75 @@
+#include "lamsdlc/phy/crc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+namespace lamsdlc::phy {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+// Standard check value: CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+TEST(Crc16, StandardCheckValue) {
+  EXPECT_EQ(crc16_ccitt(bytes("123456789")), 0x29B1);
+}
+
+// Standard check value: CRC-32/IEEE("123456789") = 0xCBF43926.
+TEST(Crc32, StandardCheckValue) {
+  EXPECT_EQ(crc32_ieee(bytes("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc16, EmptyInput) { EXPECT_EQ(crc16_ccitt({}), 0xFFFF); }
+
+TEST(Crc32, EmptyInput) { EXPECT_EQ(crc32_ieee({}), 0x00000000u); }
+
+TEST(Crc16, SingleBitFlipChangesChecksum) {
+  auto data = bytes("The LAMS-DLC ARQ Protocol");
+  const auto base = crc16_ccitt(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc16_ccitt(data), base)
+          << "undetected flip at byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+}
+
+TEST(Crc32, SingleBitFlipChangesChecksum) {
+  auto data = bytes("low earth orbit satellite network");
+  const auto base = crc32_ieee(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    data[byte] ^= 0x01;
+    EXPECT_NE(crc32_ieee(data), base);
+    data[byte] ^= 0x01;
+  }
+}
+
+TEST(Crc16, DistinctForSwappedBytes) {
+  const auto a = crc16_ccitt(bytes("ab"));
+  const auto b = crc16_ccitt(bytes("ba"));
+  EXPECT_NE(a, b);
+}
+
+TEST(Crc16, DeterministicAcrossCalls) {
+  const auto data = bytes("determinism");
+  EXPECT_EQ(crc16_ccitt(data), crc16_ccitt(data));
+}
+
+TEST(Crc32, LongInput) {
+  std::vector<std::uint8_t> data(100'000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  const auto c = crc32_ieee(data);
+  data[50'000] ^= 0x80;
+  EXPECT_NE(crc32_ieee(data), c);
+}
+
+}  // namespace
+}  // namespace lamsdlc::phy

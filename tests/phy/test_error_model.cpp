@@ -1,0 +1,139 @@
+#include "lamsdlc/phy/error_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lamsdlc::phy {
+namespace {
+
+using namespace lamsdlc::literals;
+
+TEST(FrameErrorProbability, MatchesClosedForm) {
+  EXPECT_DOUBLE_EQ(frame_error_probability(0.0, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(frame_error_probability(1.0, 1), 1.0);
+  EXPECT_NEAR(frame_error_probability(1e-3, 1000),
+              1.0 - std::pow(1.0 - 1e-3, 1000), 1e-12);
+}
+
+TEST(FrameErrorProbability, SmallBerStability) {
+  // For tiny BER the naive pow() loses precision; ours should match
+  // ber * bits to first order.
+  const double p = frame_error_probability(1e-12, 8192);
+  EXPECT_NEAR(p, 1e-12 * 8192, 1e-15);
+  EXPECT_GT(p, 0.0);
+}
+
+TEST(FrameErrorProbability, MonotoneInLengthAndBer) {
+  EXPECT_LT(frame_error_probability(1e-6, 1000),
+            frame_error_probability(1e-6, 10'000));
+  EXPECT_LT(frame_error_probability(1e-7, 8192),
+            frame_error_probability(1e-5, 8192));
+}
+
+TEST(PerfectChannel, NeverCorrupts) {
+  PerfectChannel c;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(c.corrupts(Time{}, 1_us, 8192));
+  }
+}
+
+TEST(BernoulliBerModel, EmpiricalRateMatchesTheory) {
+  const double ber = 1e-5;
+  const std::size_t bits = 8192;
+  BernoulliBerModel m{ber, RandomStream{123, "test"}};
+  const double expect = frame_error_probability(ber, bits);
+  int errors = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    errors += m.corrupts(Time{}, 1_us, bits) ? 1 : 0;
+  }
+  const double freq = static_cast<double>(errors) / n;
+  EXPECT_NEAR(freq, expect, 0.1 * expect + 1e-3);
+}
+
+TEST(FixedFrameErrorModel, IgnoresLength) {
+  FixedFrameErrorModel m{0.25, RandomStream{5, "f"}};
+  int small = 0, large = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    small += m.corrupts(Time{}, 1_us, 10) ? 1 : 0;
+    large += m.corrupts(Time{}, 1_us, 1'000'000) ? 1 : 0;
+  }
+  EXPECT_NEAR(small / static_cast<double>(n), 0.25, 0.01);
+  EXPECT_NEAR(large / static_cast<double>(n), 0.25, 0.01);
+}
+
+TEST(GilbertElliott, BadFractionMatchesStationaryRatio) {
+  GilbertElliottModel::Params p;
+  p.mean_good = 90_ms;
+  p.mean_bad = 10_ms;
+  GilbertElliottModel m{p, RandomStream{77, "ge"}};
+  EXPECT_NEAR(m.bad_fraction(), 0.1, 1e-12);
+}
+
+TEST(GilbertElliott, CleanGoodStateRarelyCorrupts) {
+  GilbertElliottModel::Params p;
+  p.good_ber = 0.0;
+  p.bad_ber = 1.0;
+  p.mean_good = 1_s;
+  p.mean_bad = 1_ms;
+  GilbertElliottModel m{p, RandomStream{3, "ge2"}};
+  // Short frames sampled sparsely: corruption frequency should approximate
+  // the bad-state fraction (~1e-3), not more than a few x that.
+  int errors = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const Time start = Time::microseconds(i * 500);
+    errors += m.corrupts(start, start + 27_us, 8192) ? 1 : 0;
+  }
+  const double freq = errors / static_cast<double>(n);
+  EXPECT_GT(freq, 0.0);
+  EXPECT_LT(freq, 0.01);
+}
+
+TEST(GilbertElliott, BurstsCorruptConsecutiveFrames) {
+  GilbertElliottModel::Params p;
+  p.good_ber = 0.0;
+  p.bad_ber = 0.5;  // certain corruption for any real frame
+  p.mean_good = 10_ms;
+  p.mean_bad = 2_ms;
+  GilbertElliottModel m{p, RandomStream{9, "ge3"}};
+  // Walk frames back to back; count runs of consecutive corruption.
+  int transitions = 0, errors = 0;
+  bool prev = false;
+  const int n = 50'000;
+  const Time frame_time = 27_us;
+  for (int i = 0; i < n; ++i) {
+    const Time start = frame_time * static_cast<std::int64_t>(i);
+    const bool bad = m.corrupts(start, start + frame_time, 8192);
+    if (bad != prev) ++transitions;
+    errors += bad ? 1 : 0;
+    prev = bad;
+  }
+  ASSERT_GT(errors, 0);
+  // Mean burst should span several 27us frames within a 2ms bad period:
+  // errors per transition-pair >> 1 shows clustering.
+  const double mean_run = 2.0 * errors / std::max(1, transitions);
+  EXPECT_GT(mean_run, 5.0);
+}
+
+TEST(ScriptedOutage, CorruptsOnlyInsideWindows) {
+  ScriptedOutageModel m{{{10_ms, 20_ms}, {50_ms, 51_ms}}};
+  EXPECT_FALSE(m.corrupts(0_ms, 1_ms, 100));
+  EXPECT_TRUE(m.corrupts(9_ms, 11_ms, 100));   // overlaps start
+  EXPECT_TRUE(m.corrupts(15_ms, 16_ms, 100));  // inside
+  EXPECT_TRUE(m.corrupts(19_ms, 21_ms, 100));  // overlaps end
+  EXPECT_FALSE(m.corrupts(20_ms, 21_ms, 100));  // 'to' is exclusive
+  EXPECT_TRUE(m.corrupts(50_ms, 50_ms + 1_us, 100));
+  EXPECT_FALSE(m.corrupts(52_ms, 53_ms, 100));
+}
+
+TEST(ScriptedOutage, DelegatesToBaseOutsideWindows) {
+  auto base = std::make_unique<FixedFrameErrorModel>(1.0, RandomStream{1, "b"});
+  ScriptedOutageModel m{{{10_ms, 20_ms}}, std::move(base)};
+  EXPECT_TRUE(m.corrupts(0_ms, 1_ms, 100));  // base always corrupts
+}
+
+}  // namespace
+}  // namespace lamsdlc::phy

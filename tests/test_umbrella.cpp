@@ -1,0 +1,15 @@
+// Compile-time check that the umbrella header is self-contained and the
+// whole public API coexists in one translation unit.
+#include "lamsdlc/lamsdlc.hpp"
+
+#include <gtest/gtest.h>
+
+TEST(Umbrella, EverythingLinksTogether) {
+  using namespace lamsdlc;
+  Simulator sim;
+  analysis::Params p;
+  EXPECT_GT(analysis::b_lams(p), 0.0);
+  sim::ScenarioConfig cfg;
+  sim::Scenario s{cfg};
+  EXPECT_TRUE(s.sender().accepting());
+}

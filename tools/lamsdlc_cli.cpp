@@ -1,0 +1,215 @@
+/// \file lamsdlc_cli.cpp
+/// \brief Command-line scenario driver.
+///
+/// Runs one protocol-over-link simulation from flags and prints either a
+/// human-readable report or a CSV row (for sweeps driven by shell loops):
+///
+///   lamsdlc_cli --protocol lams --rate 300e6 --delay-ms 10 --pf 0.1
+///       --frames 10000 --csv          (a single command line)
+///
+/// Flags (defaults in brackets):
+///   --protocol lams|sr|gbn|nbdt   [lams]
+///   --rate BPS               [100e6]     link data rate
+///   --delay-ms MS            [5]         one-way propagation delay
+///   --frame-bytes B          [1024]
+///   --frames N               [1000]      batch size
+///   --pf P                   [0]         I-frame error probability
+///   --pc P                   [0]         control-frame error probability
+///   --ber B                  [-]         use Bernoulli BER instead of pf/pc
+///   --burst-ms MS            [-]         Gilbert-Elliott mean burst length
+///   --icp-ms MS              [5]         LAMS checkpoint interval
+///   --cdepth K               [4]         LAMS cumulation depth
+///   --window W               [64]        HDLC window
+///   --timeout-ms MS          [50]        HDLC t_out
+///   --seed S                 [1]
+///   --byte-level             [off]       serialize through the real codec
+///   --horizon-s S            [600]
+///   --csv                    emit one CSV row (header with --csv-header)
+///   --analysis               also print the Section 4 closed forms
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "lamsdlc/analysis/model.hpp"
+#include "lamsdlc/sim/scenario.hpp"
+#include "lamsdlc/workload/sources.hpp"
+
+namespace {
+
+using namespace lamsdlc;
+
+struct Options {
+  sim::ScenarioConfig cfg;
+  std::uint64_t frames = 1000;
+  double horizon_s = 600;
+  bool csv = false;
+  bool csv_header = false;
+  bool analysis = false;
+};
+
+[[noreturn]] void usage_error(const std::string& what) {
+  std::fprintf(stderr, "lamsdlc_cli: %s (see the header of tools/lamsdlc_cli.cpp)\n",
+               what.c_str());
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  double pf = 0, pc = 0, ber = -1, burst_ms = -1;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--protocol") {
+      const std::string v = need(i);
+      if (v == "lams") {
+        o.cfg.protocol = sim::Protocol::kLams;
+      } else if (v == "sr") {
+        o.cfg.protocol = sim::Protocol::kSrHdlc;
+      } else if (v == "gbn") {
+        o.cfg.protocol = sim::Protocol::kGbnHdlc;
+      } else if (v == "nbdt") {
+        o.cfg.protocol = sim::Protocol::kNbdt;
+      } else {
+        usage_error("unknown protocol " + v);
+      }
+    } else if (a == "--rate") {
+      o.cfg.data_rate_bps = std::atof(need(i));
+    } else if (a == "--delay-ms") {
+      o.cfg.prop_delay = Time::seconds(std::atof(need(i)) * 1e-3);
+    } else if (a == "--frame-bytes") {
+      o.cfg.frame_bytes = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (a == "--frames") {
+      o.frames = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (a == "--pf") {
+      pf = std::atof(need(i));
+    } else if (a == "--pc") {
+      pc = std::atof(need(i));
+    } else if (a == "--ber") {
+      ber = std::atof(need(i));
+    } else if (a == "--burst-ms") {
+      burst_ms = std::atof(need(i));
+    } else if (a == "--icp-ms") {
+      o.cfg.lams.checkpoint_interval = Time::seconds(std::atof(need(i)) * 1e-3);
+    } else if (a == "--cdepth") {
+      o.cfg.lams.cumulation_depth = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (a == "--window") {
+      o.cfg.hdlc.window = static_cast<std::uint32_t>(std::atoi(need(i)));
+      o.cfg.hdlc.modulus = 4 * o.cfg.hdlc.window;
+    } else if (a == "--timeout-ms") {
+      o.cfg.hdlc.timeout = Time::seconds(std::atof(need(i)) * 1e-3);
+    } else if (a == "--seed") {
+      o.cfg.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (a == "--byte-level") {
+      o.cfg.byte_level_wire = true;
+    } else if (a == "--horizon-s") {
+      o.horizon_s = std::atof(need(i));
+    } else if (a == "--csv") {
+      o.csv = true;
+    } else if (a == "--csv-header") {
+      o.csv = true;
+      o.csv_header = true;
+    } else if (a == "--analysis") {
+      o.analysis = true;
+    } else {
+      usage_error("unknown flag " + a);
+    }
+  }
+  if (ber >= 0) {
+    o.cfg.forward_error.kind = sim::ErrorConfig::Kind::kBernoulliBer;
+    o.cfg.forward_error.ber = ber;
+    o.cfg.reverse_error = o.cfg.forward_error;
+  } else if (burst_ms > 0) {
+    o.cfg.forward_error.kind = sim::ErrorConfig::Kind::kGilbertElliott;
+    o.cfg.forward_error.gilbert.mean_bad = Time::seconds(burst_ms * 1e-3);
+    o.cfg.reverse_error = o.cfg.forward_error;
+  } else if (pf > 0 || pc > 0) {
+    o.cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+    o.cfg.forward_error.p_frame = pf;
+    o.cfg.forward_error.p_control = pc;
+    o.cfg.reverse_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+    o.cfg.reverse_error.p_frame = pc;
+    o.cfg.reverse_error.p_control = pc;
+  }
+  // Keep the LAMS failure budget consistent with the configured delay.
+  o.cfg.lams.max_rtt = o.cfg.prop_delay * 2 + Time::milliseconds(5);
+  return o;
+}
+
+const char* protocol_name(sim::Protocol p) {
+  switch (p) {
+    case sim::Protocol::kLams:
+      return "lams";
+    case sim::Protocol::kSrHdlc:
+      return "sr";
+    case sim::Protocol::kGbnHdlc:
+      return "gbn";
+    case sim::Protocol::kNbdt:
+      return "nbdt";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o = parse(argc, argv);
+
+  sim::Scenario s{o.cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(),
+                         o.frames, o.cfg.frame_bytes);
+  const bool done = s.run_to_completion(Time::seconds(o.horizon_s));
+  const auto r = s.report();
+
+  if (o.csv) {
+    if (o.csv_header) {
+      std::printf(
+          "protocol,frames,pf,pc,completed,delivered,lost,duplicates,"
+          "efficiency,tx_per_frame,mean_delay_s,mean_holding_s,"
+          "mean_send_buffer,peak_send_buffer,control_tx\n");
+    }
+    std::printf("%s,%llu,%g,%g,%d,%llu,%llu,%llu,%.6f,%.4f,%.6f,%.6f,%.1f,"
+                "%.1f,%llu\n",
+                protocol_name(o.cfg.protocol),
+                static_cast<unsigned long long>(o.frames),
+                o.cfg.forward_error.p_frame, o.cfg.forward_error.p_control,
+                done ? 1 : 0,
+                static_cast<unsigned long long>(r.unique_delivered),
+                static_cast<unsigned long long>(r.lost),
+                static_cast<unsigned long long>(r.duplicates), r.efficiency,
+                r.tx_per_frame, r.mean_delay_s, r.mean_holding_s,
+                r.mean_send_buffer, r.peak_send_buffer,
+                static_cast<unsigned long long>(r.control_tx));
+  } else {
+    std::printf("protocol:             %s\n", protocol_name(o.cfg.protocol));
+    std::printf("completed:            %s\n", done ? "yes" : "NO");
+    std::printf("delivered/lost/dup:   %llu / %llu / %llu\n",
+                static_cast<unsigned long long>(r.unique_delivered),
+                static_cast<unsigned long long>(r.lost),
+                static_cast<unsigned long long>(r.duplicates));
+    std::printf("efficiency:           %.4f\n", r.efficiency);
+    std::printf("tx per frame:         %.4f\n", r.tx_per_frame);
+    std::printf("mean delay:           %.3f ms\n", 1e3 * r.mean_delay_s);
+    std::printf("mean holding time:    %.3f ms\n", 1e3 * r.mean_holding_s);
+    std::printf("send buffer mean/peak:%.1f / %.1f frames\n",
+                r.mean_send_buffer, r.peak_send_buffer);
+  }
+
+  if (o.analysis) {
+    const auto p = s.analysis_params();
+    const double n = static_cast<double>(o.frames);
+    std::printf("\nSection 4 closed forms at this operating point:\n");
+    std::printf("  s_bar lams/hdlc:    %.4f / %.4f\n",
+                analysis::s_bar_lams(p), analysis::s_bar_hdlc(p));
+    std::printf("  H_frame:            %.3f ms\n",
+                1e3 * analysis::h_frame_lams(p));
+    std::printf("  B_LAMS:             %.1f frames\n", analysis::b_lams(p));
+    std::printf("  efficiency lams:    %.4f\n", analysis::efficiency_lams(p, n));
+    std::printf("  efficiency hdlc:    %.4f\n", analysis::efficiency_hdlc(p, n));
+  }
+  return done ? 0 : 1;
+}
