@@ -63,6 +63,13 @@ struct LamsConfig {
   double min_rate_factor = 1.0 / 64.0;
   /// @}
 
+  /// Fault-injection ablation: when false, the receiver delivers frames with
+  /// non-increasing sequence counters (late reordered arrivals and wire-level
+  /// duplicates) upward instead of discarding them.  Exists solely so the
+  /// invariant checker can prove it detects duplicate client delivery; never
+  /// disable outside tests.
+  bool suppress_duplicates = true;
+
   /// \name Failure handling (Section 3.2)
   /// @{
   /// Re-send the Request-NAK when a non-enforced checkpoint arrives during

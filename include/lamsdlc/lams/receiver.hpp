@@ -86,6 +86,13 @@ class LamsReceiver final : public link::FrameSink {
     return congestion_discards_;
   }
 
+  /// Arrivals with a non-increasing sequence counter that were discarded
+  /// (wire-level duplicates or late reordered frames) — each one is a
+  /// duplicate client delivery the protocol prevented.
+  [[nodiscard]] std::uint64_t duplicates_suppressed() const noexcept {
+    return duplicates_suppressed_;
+  }
+
  private:
   struct NakRecord {
     std::uint64_t ctr;
@@ -93,6 +100,7 @@ class LamsReceiver final : public link::FrameSink {
   };
 
   void handle_iframe(const frame::IFrame& in, bool corrupted);
+  void deliver_up(const frame::IFrame& in);
   void handle_request_nak(const frame::RequestNakFrame& rq);
   void emit_checkpoint(bool enforced);
   void checkpoint_tick();
@@ -127,6 +135,7 @@ class LamsReceiver final : public link::FrameSink {
   std::uint64_t cp_count_{0};
   std::uint64_t naks_generated_{0};
   std::uint64_t congestion_discards_{0};
+  std::uint64_t duplicates_suppressed_{0};
 };
 
 }  // namespace lamsdlc::lams

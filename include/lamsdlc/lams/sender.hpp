@@ -75,6 +75,13 @@ class LamsSender final : public sim::DlcSender, public link::FrameSink {
   /// Packets fully resolved (released after implicit acknowledgement).
   [[nodiscard]] std::uint64_t packets_resolved() const noexcept { return resolved_; }
 
+  /// Frames transmitted and still held awaiting checkpoint release — the
+  /// paper's "transparent" sending-buffer population, which the resolving
+  /// period bounds (Section 3.3).  Queued-but-unsent traffic is excluded.
+  [[nodiscard]] std::size_t outstanding_frames() const noexcept {
+    return outstanding_.size();
+  }
+
   /// Request-NAKs sent (enforced recoveries initiated or retried).
   [[nodiscard]] std::uint64_t request_naks_sent() const noexcept { return request_naks_; }
 

@@ -46,9 +46,12 @@
 #include "lamsdlc/orbit/orbit.hpp"
 #include "lamsdlc/phy/crc.hpp"
 #include "lamsdlc/phy/error_model.hpp"
+#include "lamsdlc/phy/fault_injector.hpp"
 #include "lamsdlc/phy/fec.hpp"
+#include "lamsdlc/sim/chaos.hpp"
 #include "lamsdlc/sim/dlc.hpp"
 #include "lamsdlc/sim/error_config.hpp"
+#include "lamsdlc/sim/invariants.hpp"
 #include "lamsdlc/sim/packet.hpp"
 #include "lamsdlc/sim/scenario.hpp"
 #include "lamsdlc/workload/message.hpp"

@@ -19,11 +19,13 @@
 #include <memory>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "lamsdlc/core/simulator.hpp"
 #include "lamsdlc/core/stats.hpp"
 #include "lamsdlc/frame/frame.hpp"
 #include "lamsdlc/phy/error_model.hpp"
+#include "lamsdlc/phy/fault_injector.hpp"
 #include "lamsdlc/phy/fec.hpp"
 
 namespace lamsdlc::link {
@@ -79,6 +81,18 @@ class SimplexChannel {
     control_error_ = std::move(m);
   }
 
+  /// Append a fault stage (see phy::FaultInjector).  Stages compose: each
+  /// frame's fate is the combination of every stage's verdict, so e.g. a
+  /// control-only drop stage and an all-frames jitter stage attack the same
+  /// channel independently.
+  void add_fault_stage(std::unique_ptr<phy::FaultInjector> stage) {
+    faults_.push_back(std::move(stage));
+  }
+
+  /// Remove every installed fault stage (the channel reverts to the plain
+  /// error-model behaviour).
+  void clear_fault_stages() { faults_.clear(); }
+
   SimplexChannel(const SimplexChannel&) = delete;
   SimplexChannel& operator=(const SimplexChannel&) = delete;
 
@@ -126,6 +140,22 @@ class SimplexChannel {
   /// means an undetected error slipped past the CRC, violating link-model
   /// assumption 9 — surfaced for the test suite to assert on).
   [[nodiscard]] std::uint64_t codec_mismatches() const noexcept { return codec_mismatches_; }
+  /// Frames silently omitted by a fault stage (never delivered).
+  [[nodiscard]] std::uint64_t frames_fault_dropped() const noexcept {
+    return frames_fault_dropped_;
+  }
+  /// Extra frame copies injected by fault stages.
+  [[nodiscard]] std::uint64_t frames_duplicated() const noexcept {
+    return frames_duplicated_;
+  }
+  /// Frames whose delivery a fault stage delayed (reordering candidates).
+  [[nodiscard]] std::uint64_t frames_delayed() const noexcept {
+    return frames_delayed_;
+  }
+  /// Frames truncated into unreadable husks by a fault stage.
+  [[nodiscard]] std::uint64_t frames_truncated() const noexcept {
+    return frames_truncated_;
+  }
   /// @}
 
  private:
@@ -138,6 +168,7 @@ class SimplexChannel {
   Config cfg_;
   std::unique_ptr<phy::ErrorModel> error_;
   std::unique_ptr<phy::ErrorModel> control_error_;
+  std::vector<std::unique_ptr<phy::FaultInjector>> faults_;
   std::optional<phy::FecCodec> iframe_codec_;
   std::optional<phy::FecCodec> control_codec_;
   FrameSink* sink_{nullptr};
@@ -152,6 +183,10 @@ class SimplexChannel {
   std::uint64_t frames_dropped_{0};
   std::uint64_t bits_sent_{0};
   std::uint64_t codec_mismatches_{0};
+  std::uint64_t frames_fault_dropped_{0};
+  std::uint64_t frames_duplicated_{0};
+  std::uint64_t frames_delayed_{0};
+  std::uint64_t frames_truncated_{0};
   RandomStream flip_rng_;
 };
 

@@ -113,6 +113,11 @@ class GilbertElliottModel final : public ErrorModel {
 
 /// Deterministic outage windows: every frame overlapping an outage is
 /// corrupted; outside outages an optional base model applies.
+///
+/// The window list is normalized at construction — zero- and negative-length
+/// windows are discarded, the rest are sorted by start and overlapping or
+/// touching windows are merged — so callers may pass windows in any order
+/// and degenerate inputs behave as the empty windows they are.
 class ScriptedOutageModel final : public ErrorModel {
  public:
   struct Outage {
@@ -121,10 +126,14 @@ class ScriptedOutageModel final : public ErrorModel {
   };
 
   explicit ScriptedOutageModel(std::vector<Outage> outages,
-                               std::unique_ptr<ErrorModel> base = nullptr)
-      : outages_{std::move(outages)}, base_{std::move(base)} {}
+                               std::unique_ptr<ErrorModel> base = nullptr);
 
   [[nodiscard]] bool corrupts(Time start, Time end, std::size_t bits) override;
+
+  /// The normalized schedule (sorted, merged, no empty windows).
+  [[nodiscard]] const std::vector<Outage>& outages() const noexcept {
+    return outages_;
+  }
 
  private:
   std::vector<Outage> outages_;

@@ -1,0 +1,136 @@
+#pragma once
+/// \file fault_injector.hpp
+/// \brief Composable per-frame fault stage for the simulated link.
+///
+/// The error models in `error_model.hpp` decide a single binary fate —
+/// corrupted or clean — which matches the paper's link model (loss is a
+/// detectable error, assumption 9).  A production-grade stack must survive
+/// more hostile channels: self-stabilizing ARQ work studies omitting,
+/// duplicating and non-FIFO channels, and the feedback-error literature
+/// attacks the acknowledgement path independently of the data path.  The
+/// `FaultInjector` adds those fates:
+///
+///  - **silent drop**   — the frame is never delivered (no husk, no FCS
+///                        failure at the receiver; pure omission);
+///  - **duplication**   — one or more extra copies arrive after the original;
+///  - **reorder/jitter**— delivery is delayed by a bounded random amount, so
+///                        a frame can arrive after later-sent frames;
+///  - **truncation**    — header damage: the frame arrives as an unreadable
+///                        husk (distinct from payload corruption only in the
+///                        counters — both fail the FCS);
+///  - **corruption**    — same fate the wrapped `ErrorModel` produces, so a
+///                        stage can replace a plain model outright.
+///
+/// Stages are *class-selective* (`Affects`): a stage can attack only control
+/// frames (checkpoints / NAKs — the asymmetric feedback-channel case) or only
+/// I-frames, leaving the other class untouched.  Stages are *windowed*: an
+/// empty window list means always active, otherwise the stage only fires for
+/// frames overlapping a window.  A `link::SimplexChannel` accepts any number
+/// of stages and combines their fates, so independent attacks compose.
+///
+/// All randomness flows through one seeded `RandomStream`, keeping every
+/// schedule bit-for-bit reproducible from (seed, config).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lamsdlc/core/random.hpp"
+#include "lamsdlc/core/time.hpp"
+#include "lamsdlc/phy/error_model.hpp"
+
+namespace lamsdlc::phy {
+
+/// The combined fate of one frame crossing a faulty channel.
+struct FrameFate {
+  bool corrupt = false;            ///< Delivered with the corrupted mark set.
+  bool drop = false;               ///< Never delivered at all.
+  bool truncate = false;           ///< Delivered as an unreadable husk.
+  std::uint32_t duplicates = 0;    ///< Extra copies delivered after the original.
+  Time delay{};                    ///< Extra delivery latency (reordering).
+
+  /// Merge another stage's verdict: drop dominates, delays accumulate.
+  void combine(const FrameFate& o) noexcept {
+    corrupt |= o.corrupt;
+    drop |= o.drop;
+    truncate |= o.truncate;
+    duplicates += o.duplicates;
+    delay += o.delay;
+  }
+};
+
+/// One composable fault stage.  Wraps an optional base `ErrorModel` (its
+/// verdict becomes the `corrupt` fate) and draws the additional fates from
+/// per-frame Bernoulli trials while active.
+class FaultInjector {
+ public:
+  /// Which frame class this stage attacks.
+  enum class Affects : std::uint8_t {
+    kAll,          ///< Every frame on the channel.
+    kDataOnly,     ///< I-frames only (forward payload path).
+    kControlOnly,  ///< Control frames only (checkpoints, NAKs, S-frames).
+  };
+
+  /// Activity window on the channel timeline; `to` is exclusive.
+  struct Window {
+    Time from{};
+    Time to{};
+  };
+
+  struct Config {
+    Affects affects = Affects::kAll;
+    double p_drop = 0.0;       ///< Silent omission probability.
+    double p_duplicate = 0.0;  ///< Probability of at least one extra copy.
+    double p_reorder = 0.0;    ///< Probability of a jitter delay.
+    double p_truncate = 0.0;   ///< Header-damage probability.
+    double p_corrupt = 0.0;    ///< Plain corruption probability (besides base).
+    /// Jitter delays draw uniformly from (0, max_jitter].  Senders reasoning
+    /// about provable non-delivery must keep their release margin above this
+    /// bound (see LamsConfig::release_margin).
+    Time max_jitter = Time::microseconds(40);
+    /// Duplication draws 1 + geometric(0.5) extra copies, capped here.
+    std::uint32_t max_duplicates = 3;
+    /// Active windows; empty = always active.
+    std::vector<Window> windows;
+  };
+
+  /// \p base (optional) contributes its corruption verdict whenever the
+  /// stage matches the frame class, active window or not — so wrapping a
+  /// plain error model in a do-nothing stage is behaviour-preserving.
+  FaultInjector(Config cfg, RandomStream rng,
+                std::unique_ptr<ErrorModel> base = nullptr);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Decide the fate of a frame occupying [\p start, \p end) on the wire.
+  [[nodiscard]] FrameFate fate(bool is_control, Time start, Time end,
+                               std::size_t bits);
+
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+  /// \name Counters (frames this stage sentenced to each fate)
+  /// @{
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::uint64_t duplicated() const noexcept { return duplicated_; }
+  [[nodiscard]] std::uint64_t reordered() const noexcept { return reordered_; }
+  [[nodiscard]] std::uint64_t truncated() const noexcept { return truncated_; }
+  [[nodiscard]] std::uint64_t corrupted() const noexcept { return corrupted_; }
+  /// @}
+
+ private:
+  [[nodiscard]] bool matches_class(bool is_control) const noexcept;
+  [[nodiscard]] bool active(Time start, Time end) const noexcept;
+
+  Config cfg_;
+  RandomStream rng_;
+  std::unique_ptr<ErrorModel> base_;
+  std::uint64_t dropped_{0};
+  std::uint64_t duplicated_{0};
+  std::uint64_t reordered_{0};
+  std::uint64_t truncated_{0};
+  std::uint64_t corrupted_{0};
+};
+
+}  // namespace lamsdlc::phy

@@ -1,0 +1,111 @@
+#pragma once
+/// \file invariants.hpp
+/// \brief Continuous protocol-invariant checking for a running scenario.
+///
+/// The paper's robustness claims are properties of *every* execution, not of
+/// the happy path: zero-loss delivery, no duplicate client delivery despite
+/// wire-level duplication, sending-buffer occupancy within the transparent
+/// buffer bound, per-frame holding time within the resolving-period bound,
+/// and a clean terminal state (all delivered, or a declared unrecoverable
+/// failure — never a silent hang).  `InvariantChecker` turns those claims
+/// into machine-checked assertions that run *during* the simulation, so a
+/// violation is caught at the instant it happens with the simulated clock
+/// attached, not post-mortem.
+///
+/// Usage:
+/// \code
+///   sim::Scenario s{cfg};
+///   sim::InvariantChecker check{s, limits};   // chains into the delivery path
+///   ... drive traffic, run the simulator ...
+///   check.finish(horizon_reached);            // terminal-state verdict
+///   ASSERT_TRUE(check.ok()) << check.summary();
+/// \endcode
+///
+/// Bounds are supplied by the caller because they depend on the fault
+/// schedule: in fault-free operation the paper's tight bounds apply, while a
+/// scheduled outage lawfully extends holding times by up to the outage length
+/// plus the enforced-recovery budget (`InvariantLimits::grace`).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lamsdlc/core/time.hpp"
+#include "lamsdlc/sim/packet.hpp"
+#include "lamsdlc/sim/scenario.hpp"
+
+namespace lamsdlc::sim {
+
+/// Caller-supplied bounds; zero/absent disables the corresponding check.
+struct InvariantLimits {
+  /// Upper bound on frames held awaiting release (the transparent sending
+  /// buffer).  0 = unchecked.
+  std::size_t max_outstanding = 0;
+
+  /// Upper bound on any single frame's holding time (first transmission to
+  /// release).  Zero = unchecked.  `grace` is added on top.
+  Time max_holding{};
+
+  /// Lawful extension of the time bounds while faults are active: total
+  /// scheduled fault/outage span plus the enforced-recovery budget.
+  Time grace{};
+
+  /// Duplicate client deliveries are a violation (true for any recoverable
+  /// run; a declared link failure with network-layer reroute may lawfully
+  /// re-deliver, so failover harnesses turn this off).
+  bool expect_no_duplicates = true;
+
+  /// Sampling cadence of the continuous checks.
+  Time check_every = Time::milliseconds(1);
+};
+
+/// Chains between the DLC receiver and the scenario's delivery tracker and
+/// audits every delivery plus periodically sampled state.  Violations
+/// accumulate with timestamps; the checker never throws or asserts itself so
+/// harnesses can report the seed/schedule that reproduces the failure.
+class InvariantChecker final : public PacketListener {
+ public:
+  InvariantChecker(Scenario& s, InvariantLimits limits);
+  ~InvariantChecker() override;
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  /// PacketListener: audits and forwards to the scenario's tracker.
+  void on_packet(const Packet& p, Time delivered_at) override;
+
+  /// Terminal-state audit; call exactly once after the run.  \p completed is
+  /// the value `run_to_completion` returned.  A run must end either with
+  /// every packet delivered and the sender idle, or with the sender having
+  /// *declared* failure and every undelivered packet accounted for in its
+  /// residue (`take_unresolved`) — anything else is a silent hang or loss.
+  void finish(bool completed);
+
+  [[nodiscard]] bool ok() const noexcept { return violations_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& violations() const noexcept {
+    return violations_;
+  }
+
+  /// All violations joined into one printable block (empty string when ok).
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  void periodic_check();
+  void violate(std::string what);
+
+  Scenario& scenario_;
+  InvariantLimits limits_;
+  EventId timer_{0};
+  std::uint64_t last_duplicates_{0};
+  bool finished_{false};
+  // One report per category: a violated bound would otherwise flood the log
+  // on every sample until the run ends.
+  bool reported_outstanding_{false};
+  bool reported_holding_{false};
+  bool reported_codec_{false};
+  bool reported_unknown_{false};
+  std::vector<std::string> violations_;
+};
+
+}  // namespace lamsdlc::sim

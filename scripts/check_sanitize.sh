@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Build the whole tree with ASan + UBSan and run the full test suite.
+#
+# Usage: scripts/check_sanitize.sh [build-dir]
+#
+# A separate build directory (default build-asan/) keeps the instrumented
+# artifacts out of the regular build.  Sanitizers are configured to abort on
+# the first finding (-fno-sanitize-recover=all), so a clean exit means a
+# clean run.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DLAMSDLC_SANITIZE=ON >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error makes ASan leaks and UBSan reports fail the test that
+# triggered them instead of scrolling past.
+export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1:detect_stack_use_after_return=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+echo "sanitized test run clean"

@@ -143,9 +143,15 @@ void LamsReceiver::handle_iframe(const frame::IFrame& in, bool corrupted) {
       any_seen_ ? seqspace_.unwrap(in.seq, highest_ctr_)
                 : static_cast<std::uint64_t>(in.seq);
   if (any_seen_ && ctr <= highest_ctr_) {
-    // Arrival order matches send order on a point-to-point light path, so a
-    // non-increasing counter can only be a late duplicate; deliver nothing.
+    // A non-increasing counter is a wire-level duplicate or a late reordered
+    // frame; either way the frame was already NAKed or delivered, so it must
+    // not go upward again.
+    ++duplicates_suppressed_;
     trace("non-monotone sequence ignored ctr=" + std::to_string(ctr));
+    if (cfg_.suppress_duplicates) return;
+    // Ablation path (tests only): deliver the stale frame anyway, without
+    // touching the sequence tracking, to prove the invariant checker notices.
+    deliver_up(in);
     return;
   }
 
@@ -161,6 +167,10 @@ void LamsReceiver::handle_iframe(const frame::IFrame& in, bool corrupted) {
   highest_ctr_ = ctr;
   any_seen_ = true;
 
+  deliver_up(in);
+}
+
+void LamsReceiver::deliver_up(const frame::IFrame& in) {
   // Forward upward after t_proc; no resequencing hold (Section 3.3).
   ++processing_;
   if (stats_) {

@@ -138,6 +138,7 @@ void LamsSender::on_frame(frame::Frame f) {
 void LamsSender::handle_checkpoint(const frame::CheckpointFrame& cp) {
   if (cp.epoch != expected_epoch_) return;  // leftover of an earlier session
   if (got_any_cp_ && cp.cp_seq <= last_cp_seq_) return;  // stale/duplicate
+  const std::uint64_t prev_seq = got_any_cp_ ? last_cp_seq_ : 0;
   got_any_cp_ = true;
   last_cp_seq_ = cp.cp_seq;
 
@@ -147,9 +148,28 @@ void LamsSender::handle_checkpoint(const frame::CheckpointFrame& cp) {
           (cp.enforced ? " [enforced]" : "") + (cp.stop_go ? " [stop]" : ""));
   }
 
+  // Consecutive checkpoints missed before this one (cp_seq is dense, so the
+  // jump is exact).  A NAK repeats in C_depth consecutive checkpoints; when
+  // at least that many are missing, some NAK's every repetition may have
+  // been lost with them, and the cumulative list no longer proves "not
+  // NAKed".  Releasing on it could discard a damaged frame as implicitly
+  // acknowledged — silent loss.  An Enforced-NAK's list spans the whole
+  // resolving period, so force one before any further release.
+  const std::uint64_t missed = cp.cp_seq - prev_seq - 1;
+  const bool nak_list_incomplete =
+      !cp.enforced && missed >= cfg_.cumulation_depth;
+
   if (mode_ == Mode::kNormal) {
-    process_naks(cp);
-    sweep_outstanding(cp);
+    if (nak_list_incomplete && !outstanding_.empty()) {
+      trace("missed " + std::to_string(missed) +
+            " checkpoints: cumulative NAK list inconclusive, forcing "
+            "Enforced-NAK before release");
+      process_naks(cp);
+      enter_enforced_recovery();
+    } else {
+      process_naks(cp);
+      sweep_outstanding(cp);
+    }
   } else {  // kEnforcedRecovery
     if (cp.enforced) {
       // Enforced-NAK / Resolving Command: resolves every outstanding frame

@@ -135,12 +135,21 @@ void SimplexChannel::start_next() {
   // bits; the FEC expansion affects only serialization time above.
   phy::ErrorModel* model =
       (f.is_control() && control_error_) ? control_error_.get() : error_.get();
-  const bool corrupt =
+  phy::FrameFate fate;
+  fate.corrupt =
       model != nullptr && model->corrupts(start, end, frame::wire_bits(f));
-  if (corrupt) ++frames_corrupted_;
+  for (auto& stage : faults_) {
+    fate.combine(stage->fate(f.is_control(), start, end, frame::wire_bits(f)));
+  }
+  if (fate.corrupt) ++frames_corrupted_;
   if (cfg_.byte_level) {
-    f = through_codec(std::move(f), corrupt);
-  } else if (corrupt) {
+    f = through_codec(std::move(f), fate.corrupt);
+  } else if (fate.corrupt) {
+    f.corrupted = true;
+  }
+  if (fate.truncate) {
+    // Header damage: whatever survived the codec is an unreadable husk.
+    ++frames_truncated_;
     f.corrupted = true;
   }
 
@@ -153,18 +162,39 @@ void SimplexChannel::start_next() {
     transmitting_ = false;
     start_next();
   });
+
+  if (fate.drop) {
+    // Silent omission: the frame occupied the serializer but nothing ever
+    // reaches the far end — the pure-loss channel of the self-stabilizing
+    // ARQ literature, stronger than the paper's detectable-error model.
+    ++frames_fault_dropped_;
+    return;
+  }
+
   // Head of the frame left at `start`; the tail (and hence the deliverable
-  // frame) arrives at end + prop.
-  sim_.schedule_at(end + prop, [this, f = std::move(f), epoch]() mutable {
+  // frame) arrives at end + prop, plus any fault-stage jitter.  A delayed
+  // frame can land after later-sent ones: the channel is no longer FIFO.
+  const Time arrival = end + prop + fate.delay;
+  if (!fate.delay.is_zero()) ++frames_delayed_;
+  auto deliver = [this, epoch](frame::Frame frm) {
     if (epoch != down_epoch_) {
       ++frames_dropped_;  // photons in flight when pointing was lost
       return;
     }
     if (sink_) {
-      sink_->on_frame(std::move(f));
+      sink_->on_frame(std::move(frm));
     } else {
       ++frames_dropped_;
     }
+  };
+  for (std::uint32_t i = 0; i < fate.duplicates; ++i) {
+    ++frames_duplicated_;
+    sim_.schedule_at(arrival, [deliver, copy = f]() mutable {
+      deliver(std::move(copy));
+    });
+  }
+  sim_.schedule_at(arrival, [deliver, f = std::move(f)]() mutable {
+    deliver(std::move(f));
   });
 }
 

@@ -1,5 +1,6 @@
 #include "lamsdlc/phy/error_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace lamsdlc::phy {
@@ -58,9 +59,29 @@ bool GilbertElliottModel::corrupts(Time start, Time end, std::size_t bits) {
   return rng_.bernoulli(p_err);
 }
 
+ScriptedOutageModel::ScriptedOutageModel(std::vector<Outage> outages,
+                                         std::unique_ptr<ErrorModel> base)
+    : outages_{std::move(outages)}, base_{std::move(base)} {
+  // Normalize: a window with to <= from covers nothing; the rest sort by
+  // start so overlapping or touching windows merge into one.
+  std::erase_if(outages_, [](const Outage& o) { return o.to <= o.from; });
+  std::sort(outages_.begin(), outages_.end(),
+            [](const Outage& a, const Outage& b) { return a.from < b.from; });
+  std::size_t kept = 0;
+  for (std::size_t i = 1; i < outages_.size(); ++i) {
+    if (outages_[i].from <= outages_[kept].to) {
+      outages_[kept].to = std::max(outages_[kept].to, outages_[i].to);
+    } else {
+      outages_[++kept] = outages_[i];
+    }
+  }
+  if (!outages_.empty()) outages_.resize(kept + 1);
+}
+
 bool ScriptedOutageModel::corrupts(Time start, Time end, std::size_t bits) {
   for (const Outage& o : outages_) {
-    if (start < o.to && o.from < end) return true;
+    if (o.from >= end) break;  // sorted: no later window can overlap
+    if (start < o.to) return true;
   }
   return base_ ? base_->corrupts(start, end, bits) : false;
 }

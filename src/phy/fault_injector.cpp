@@ -1,0 +1,68 @@
+#include "lamsdlc/phy/fault_injector.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace lamsdlc::phy {
+
+FaultInjector::FaultInjector(Config cfg, RandomStream rng,
+                             std::unique_ptr<ErrorModel> base)
+    : cfg_{std::move(cfg)}, rng_{std::move(rng)}, base_{std::move(base)} {}
+
+bool FaultInjector::matches_class(bool is_control) const noexcept {
+  switch (cfg_.affects) {
+    case Affects::kAll:
+      return true;
+    case Affects::kDataOnly:
+      return !is_control;
+    case Affects::kControlOnly:
+      return is_control;
+  }
+  return true;
+}
+
+bool FaultInjector::active(Time start, Time end) const noexcept {
+  if (cfg_.windows.empty()) return true;
+  return std::any_of(cfg_.windows.begin(), cfg_.windows.end(),
+                     [&](const Window& w) {
+                       return start < w.to && w.from < end;
+                     });
+}
+
+FrameFate FaultInjector::fate(bool is_control, Time start, Time end,
+                              std::size_t bits) {
+  FrameFate f;
+  if (!matches_class(is_control)) return f;
+  if (base_ && base_->corrupts(start, end, bits)) f.corrupt = true;
+  if (!active(start, end)) {
+    corrupted_ += f.corrupt ? 1 : 0;
+    return f;
+  }
+  // Fixed trial order keeps runs reproducible across config tweaks that only
+  // change probabilities; a zero probability consumes no randomness.
+  if (cfg_.p_corrupt > 0.0 && rng_.bernoulli(cfg_.p_corrupt)) f.corrupt = true;
+  if (cfg_.p_drop > 0.0 && rng_.bernoulli(cfg_.p_drop)) f.drop = true;
+  if (cfg_.p_truncate > 0.0 && rng_.bernoulli(cfg_.p_truncate)) {
+    f.truncate = true;
+  }
+  if (cfg_.p_duplicate > 0.0 && rng_.bernoulli(cfg_.p_duplicate)) {
+    const auto extra = 1 + rng_.geometric(0.5);
+    f.duplicates = static_cast<std::uint32_t>(
+        std::min<std::int64_t>(extra, cfg_.max_duplicates));
+  }
+  if (cfg_.p_reorder > 0.0 && rng_.bernoulli(cfg_.p_reorder)) {
+    // (0, max_jitter]: a zero delay would not reorder anything.
+    const double frac = 1.0 - rng_.uniform();
+    f.delay = cfg_.max_jitter * frac;
+    if (f.delay.is_zero()) f.delay = Time::picoseconds(1);
+  }
+
+  corrupted_ += f.corrupt ? 1 : 0;
+  dropped_ += f.drop ? 1 : 0;
+  truncated_ += f.truncate ? 1 : 0;
+  duplicated_ += f.duplicates > 0 ? 1 : 0;
+  reordered_ += f.delay.is_zero() ? 0 : 1;
+  return f;
+}
+
+}  // namespace lamsdlc::phy

@@ -1,0 +1,129 @@
+#include "lamsdlc/sim/invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "lamsdlc/lams/sender.hpp"
+#include "lamsdlc/workload/tracker.hpp"
+
+namespace lamsdlc::sim {
+
+InvariantChecker::InvariantChecker(Scenario& s, InvariantLimits limits)
+    : scenario_{s}, limits_{std::move(limits)} {
+  scenario_.set_listener(this);
+  timer_ = scenario_.simulator().schedule_in(limits_.check_every,
+                                             [this] { periodic_check(); });
+}
+
+InvariantChecker::~InvariantChecker() { scenario_.simulator().cancel(timer_); }
+
+void InvariantChecker::violate(std::string what) {
+  std::ostringstream os;
+  os << "t=" << scenario_.simulator().now() << " " << what;
+  violations_.push_back(os.str());
+}
+
+void InvariantChecker::on_packet(const Packet& p, Time delivered_at) {
+  workload::DeliveryTracker& tracker = scenario_.tracker();
+  tracker.on_packet(p, delivered_at);
+
+  if (!reported_unknown_ && tracker.unknown_deliveries() > 0) {
+    reported_unknown_ = true;
+    violate("delivered a packet that was never submitted (id=" +
+            std::to_string(p.id) + ")");
+  }
+  if (limits_.expect_no_duplicates && tracker.duplicates() > last_duplicates_) {
+    last_duplicates_ = tracker.duplicates();
+    violate("duplicate client delivery (packet id=" + std::to_string(p.id) +
+            ", total duplicates=" + std::to_string(last_duplicates_) + ")");
+  }
+}
+
+void InvariantChecker::periodic_check() {
+  const lams::LamsSender* tx = scenario_.lams_sender();
+
+  if (!reported_outstanding_ && limits_.max_outstanding > 0 && tx != nullptr &&
+      tx->outstanding_frames() > limits_.max_outstanding) {
+    reported_outstanding_ = true;
+    violate("transparent-buffer bound exceeded: outstanding=" +
+            std::to_string(tx->outstanding_frames()) +
+            " > bound=" + std::to_string(limits_.max_outstanding));
+  }
+
+  if (!reported_holding_ && !limits_.max_holding.is_zero()) {
+    const double bound = (limits_.max_holding + limits_.grace).sec();
+    const double seen = scenario_.stats().holding_time_s.max();
+    if (seen > bound) {
+      reported_holding_ = true;
+      std::ostringstream os;
+      os << "holding-time bound exceeded: " << seen * 1e3 << " ms > "
+         << bound * 1e3 << " ms";
+      violate(os.str());
+    }
+  }
+
+  if (!reported_codec_ && (scenario_.link().forward().codec_mismatches() > 0 ||
+                           scenario_.link().reverse().codec_mismatches() > 0)) {
+    reported_codec_ = true;
+    violate("undetected wire error slipped past the FCS (codec mismatch)");
+  }
+
+  if (!finished_) {
+    timer_ = scenario_.simulator().schedule_in(limits_.check_every,
+                                               [this] { periodic_check(); });
+  }
+}
+
+void InvariantChecker::finish(bool completed) {
+  if (finished_) return;
+  finished_ = true;
+  scenario_.simulator().cancel(timer_);
+  timer_ = 0;
+  periodic_check();  // close the sampling loop on the final state
+
+  workload::DeliveryTracker& tracker = scenario_.tracker();
+  lams::LamsSender* tx = scenario_.lams_sender();
+
+  if (completed) {
+    if (!tracker.all_delivered()) {
+      violate("run reported complete but " +
+              std::to_string(tracker.missing().size()) +
+              " packets are undelivered");
+    }
+    return;
+  }
+
+  if (tx != nullptr && tx->mode() == lams::LamsSender::Mode::kFailed) {
+    // Declared unrecoverable failure is a clean terminal state *iff* every
+    // undelivered packet sits in the residue the sender hands the network
+    // layer — nothing may be lost silently (Section 3.2: the DLC "informs
+    // the network layer", which reroutes).
+    std::unordered_set<frame::PacketId> residue;
+    for (const Packet& p : tx->take_unresolved()) residue.insert(p.id);
+    std::size_t lost = 0;
+    for (const frame::PacketId id : tracker.missing()) {
+      if (residue.find(id) == residue.end()) ++lost;
+    }
+    if (lost > 0) {
+      violate("declared failure lost " + std::to_string(lost) +
+              " packets silently (missing from the unresolved residue)");
+    }
+    return;
+  }
+
+  violate("silent hang: " + std::to_string(tracker.missing().size()) +
+          " packets undelivered, no completion and no declared failure");
+}
+
+std::string InvariantChecker::summary() const {
+  std::string out;
+  for (const std::string& v : violations_) {
+    out += v;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace lamsdlc::sim

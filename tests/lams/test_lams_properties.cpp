@@ -4,6 +4,7 @@
 
 #include "lamsdlc/sim/scenario.hpp"
 #include "lamsdlc/workload/sources.hpp"
+#include "support/seed_trace.hpp"
 
 namespace lamsdlc {
 namespace {
@@ -19,6 +20,7 @@ class LamsReliabilitySweep
 
 TEST_P(LamsReliabilitySweep, ZeroLossZeroDuplicates) {
   const auto [p_f, p_c, seed] = GetParam();
+  LAMSDLC_SEED_TRACE(seed);
   sim::ScenarioConfig cfg;
   cfg.protocol = sim::Protocol::kLams;
   cfg.data_rate_bps = 100e6;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "lamsdlc/sim/invariants.hpp"
 #include "lamsdlc/sim/scenario.hpp"
 #include "lamsdlc/workload/sources.hpp"
 
@@ -164,6 +165,45 @@ TEST(LamsRecovery, BurstTailFramesAreRecoveredWithoutGapEvidence) {
   EXPECT_EQ(r.lost, 0u);
   EXPECT_EQ(r.duplicates, 0u);
   EXPECT_GT(r.iframe_retx, 0u);
+}
+
+TEST(LamsRecovery, SustainedReverseOutageDeclaresFailureNotForeverRetry) {
+  // The reverse channel dies for good at 6 ms: every further checkpoint AND
+  // every Enforced-NAK answer is lost.  The sender must not retry Request-NAKs
+  // forever — silence is detected after the checkpoint timeout, exactly one
+  // recovery attempt runs, and its failure timer declares the link
+  // unrecoverable, all well before the 100 ms remaining-lifetime deadline.
+  auto cfg = base_config();
+  cfg.lams.link_deadline = 100_ms;
+  sim::Scenario s{cfg};
+  s.link().reverse().set_data_error_model(outage(6_ms, 10_s));
+
+  Time failed_at{};
+  s.lams_sender()->set_failure_callback(
+      [&] { failed_at = s.simulator().now(); });
+  sim::InvariantChecker check{s, sim::InvariantLimits{}};
+
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 50,
+                         1024);
+  const bool done = s.run_to_completion(2_s);
+  check.finish(done);
+
+  EXPECT_FALSE(done);
+  EXPECT_EQ(s.lams_sender()->mode(), lams::LamsSender::Mode::kFailed);
+  ASSERT_NE(failed_at, Time{});
+  // One Request-NAK when silence is detected; retries require a *received*
+  // checkpoint, and none get through — no unbounded retry storm.
+  EXPECT_LE(s.lams_sender()->request_naks_sent(), 2u);
+  // Declared within: first cp arrival (one interval + propagation) +
+  // checkpoint timeout + failure timeout, far inside the link deadline.
+  const Time bound = cfg.lams.checkpoint_interval + cfg.prop_delay +
+                     cfg.lams.checkpoint_timeout() +
+                     cfg.lams.failure_timeout() + cfg.lams.checkpoint_interval;
+  EXPECT_LE(failed_at, bound);
+  EXPECT_LT(failed_at, *cfg.lams.link_deadline);
+  // Clean terminal state: the checker audits that every undelivered packet
+  // sits in the residue handed to the network layer (no silent loss).
+  EXPECT_TRUE(check.ok()) << check.summary();
 }
 
 TEST(LamsRecovery, RepeatedBlackoutsSurvive) {

@@ -345,7 +345,7 @@ TEST(LamsReceiverUnit, ResetSessionForgetsEverything) {
   // to stale state, and checkpoints carry the new epoch with no stale NAKs.
   rig.arrive(0);
   rig.sim.run_until(6_ms);
-  const auto& cp = rig.checkpoints().back();
+  const auto cp = rig.checkpoints().back();
   EXPECT_EQ(cp.epoch, 2u);
   EXPECT_TRUE(cp.naks.empty());
   EXPECT_EQ(cp.highest_seen, 0u);

@@ -1,0 +1,290 @@
+#include "lamsdlc/phy/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "lamsdlc/link/link.hpp"
+
+namespace lamsdlc::link {
+namespace {
+
+using namespace lamsdlc::literals;
+using phy::FaultInjector;
+using phy::FrameFate;
+
+struct RecordingSink final : FrameSink {
+  struct Arrival {
+    frame::Frame f;
+    Time at;
+  };
+  explicit RecordingSink(Simulator& sim) : sim{sim} {}
+  void on_frame(frame::Frame f) override {
+    arrivals.push_back({std::move(f), sim.now()});
+  }
+  Simulator& sim;
+  std::vector<Arrival> arrivals;
+};
+
+frame::Frame iframe(std::uint32_t seq, std::uint32_t bytes = 100) {
+  frame::Frame f;
+  f.body = frame::IFrame{seq, 0, bytes, {}};
+  return f;
+}
+
+frame::Frame cpframe() {
+  frame::Frame f;
+  f.body = frame::CheckpointFrame{};
+  return f;
+}
+
+SimplexChannel::Config cfg_100mbps_5ms() {
+  SimplexChannel::Config c;
+  c.data_rate_bps = 100e6;
+  c.propagation = [](Time) { return 5_ms; };
+  return c;
+}
+
+std::unique_ptr<FaultInjector> make_stage(FaultInjector::Config cfg) {
+  return std::make_unique<FaultInjector>(cfg, RandomStream{1, "test.stage"});
+}
+
+TEST(FrameFate, CombineDropDominatesAndDelaysAccumulate) {
+  FrameFate a;
+  a.delay = 10_us;
+  a.duplicates = 1;
+  FrameFate b;
+  b.drop = true;
+  b.corrupt = true;
+  b.delay = 5_us;
+  b.duplicates = 2;
+  a.combine(b);
+  EXPECT_TRUE(a.drop);
+  EXPECT_TRUE(a.corrupt);
+  EXPECT_EQ(a.delay, 15_us);
+  EXPECT_EQ(a.duplicates, 3u);
+}
+
+TEST(FaultInjector, CertainDropSentencesEveryMatchingFrame) {
+  FaultInjector::Config cfg;
+  cfg.p_drop = 1.0;
+  auto stage = make_stage(cfg);
+  for (int i = 0; i < 10; ++i) {
+    const FrameFate f = stage->fate(false, Time{}, 1_us, 800);
+    EXPECT_TRUE(f.drop);
+  }
+  EXPECT_EQ(stage->dropped(), 10u);
+}
+
+TEST(FaultInjector, ClassSelectivityIsExact) {
+  FaultInjector::Config cfg;
+  cfg.affects = FaultInjector::Affects::kControlOnly;
+  cfg.p_drop = 1.0;
+  auto stage = make_stage(cfg);
+  EXPECT_FALSE(stage->fate(/*is_control=*/false, Time{}, 1_us, 800).drop);
+  EXPECT_TRUE(stage->fate(/*is_control=*/true, Time{}, 1_us, 800).drop);
+
+  cfg.affects = FaultInjector::Affects::kDataOnly;
+  auto data_stage = make_stage(cfg);
+  EXPECT_TRUE(data_stage->fate(false, Time{}, 1_us, 800).drop);
+  EXPECT_FALSE(data_stage->fate(true, Time{}, 1_us, 800).drop);
+}
+
+TEST(FaultInjector, WindowsGateTheFaultsButNotTheBaseModel) {
+  FaultInjector::Config cfg;
+  cfg.p_drop = 1.0;
+  cfg.windows.push_back({10_ms, 20_ms});
+  FaultInjector stage{cfg, RandomStream{1, "w"},
+                      std::make_unique<phy::FixedFrameErrorModel>(
+                          1.0, RandomStream{1, "base"})};
+  // Outside the window: no drop, but the wrapped model still corrupts.
+  const FrameFate before = stage.fate(false, 1_ms, 2_ms, 800);
+  EXPECT_FALSE(before.drop);
+  EXPECT_TRUE(before.corrupt);
+  // Inside: both.
+  const FrameFate during = stage.fate(false, 12_ms, 13_ms, 800);
+  EXPECT_TRUE(during.drop);
+  // A frame merely overlapping the window edge is fair game.
+  EXPECT_TRUE(stage.fate(false, 9'999_us, 10'001_us, 800).drop);
+  // Entirely after: untouched.
+  EXPECT_FALSE(stage.fate(false, 21_ms, 22_ms, 800).drop);
+}
+
+TEST(FaultInjector, DuplicateCountRespectsTheCap) {
+  FaultInjector::Config cfg;
+  cfg.p_duplicate = 1.0;
+  cfg.max_duplicates = 2;
+  auto stage = make_stage(cfg);
+  for (int i = 0; i < 200; ++i) {
+    const FrameFate f = stage->fate(false, Time{}, 1_us, 800);
+    EXPECT_GE(f.duplicates, 1u);
+    EXPECT_LE(f.duplicates, 2u);
+  }
+  EXPECT_EQ(stage->duplicated(), 200u);
+}
+
+TEST(FaultInjector, JitterIsPositiveAndBounded) {
+  FaultInjector::Config cfg;
+  cfg.p_reorder = 1.0;
+  cfg.max_jitter = 40_us;
+  auto stage = make_stage(cfg);
+  for (int i = 0; i < 200; ++i) {
+    const FrameFate f = stage->fate(false, Time{}, 1_us, 800);
+    EXPECT_GT(f.delay, Time{});
+    EXPECT_LE(f.delay, 40_us);
+  }
+  EXPECT_EQ(stage->reordered(), 200u);
+}
+
+TEST(FaultInjector, SameSeedSameFates) {
+  FaultInjector::Config cfg;
+  cfg.p_drop = 0.3;
+  cfg.p_duplicate = 0.3;
+  cfg.p_reorder = 0.3;
+  FaultInjector a{cfg, RandomStream{7, "s"}};
+  FaultInjector b{cfg, RandomStream{7, "s"}};
+  for (int i = 0; i < 500; ++i) {
+    const FrameFate fa = a.fate(false, Time{}, 1_us, 800);
+    const FrameFate fb = b.fate(false, Time{}, 1_us, 800);
+    EXPECT_EQ(fa.drop, fb.drop);
+    EXPECT_EQ(fa.duplicates, fb.duplicates);
+    EXPECT_EQ(fa.delay, fb.delay);
+  }
+}
+
+TEST(SimplexChannelFaults, DroppedFramesNeverReachTheSink) {
+  Simulator sim;
+  SimplexChannel ch{sim, cfg_100mbps_5ms(), std::make_unique<phy::PerfectChannel>()};
+  RecordingSink sink{sim};
+  ch.set_sink(&sink);
+  FaultInjector::Config cfg;
+  cfg.p_drop = 1.0;
+  ch.add_fault_stage(make_stage(cfg));
+  for (std::uint32_t i = 0; i < 5; ++i) ch.send(iframe(i));
+  sim.run();
+  EXPECT_TRUE(sink.arrivals.empty());
+  EXPECT_EQ(ch.frames_fault_dropped(), 5u);
+  EXPECT_EQ(ch.frames_sent(), 5u);
+}
+
+TEST(SimplexChannelFaults, DuplicatesArriveAsExtraCopies) {
+  Simulator sim;
+  SimplexChannel ch{sim, cfg_100mbps_5ms(), std::make_unique<phy::PerfectChannel>()};
+  RecordingSink sink{sim};
+  ch.set_sink(&sink);
+  FaultInjector::Config cfg;
+  cfg.p_duplicate = 1.0;
+  cfg.max_duplicates = 1;
+  ch.add_fault_stage(make_stage(cfg));
+  ch.send(iframe(3));
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  for (const auto& a : sink.arrivals) {
+    EXPECT_EQ(std::get<frame::IFrame>(a.f.body).seq, 3u);
+  }
+  EXPECT_EQ(ch.frames_duplicated(), 1u);
+}
+
+TEST(SimplexChannelFaults, JitterDelaysDeliveryBeyondNominal) {
+  Simulator sim;
+  SimplexChannel ch{sim, cfg_100mbps_5ms(), std::make_unique<phy::PerfectChannel>()};
+  RecordingSink sink{sim};
+  ch.set_sink(&sink);
+  FaultInjector::Config cfg;
+  cfg.p_reorder = 1.0;
+  cfg.max_jitter = 100_us;
+  ch.add_fault_stage(make_stage(cfg));
+  auto f = iframe(0);
+  const Time nominal = ch.tx_time(f) + 5_ms;
+  ch.send(std::move(f));
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  EXPECT_GT(sink.arrivals[0].at, nominal);
+  EXPECT_LE(sink.arrivals[0].at, nominal + 100_us);
+  EXPECT_EQ(ch.frames_delayed(), 1u);
+}
+
+TEST(SimplexChannelFaults, JitterCanReorderBackToBackFrames) {
+  Simulator sim;
+  SimplexChannel ch{sim, cfg_100mbps_5ms(), std::make_unique<phy::PerfectChannel>()};
+  RecordingSink sink{sim};
+  ch.set_sink(&sink);
+  // Delay only the even-indexed sends via a deterministic seed sweep: with
+  // p=0.5 over many frames some must leapfrog their successors.
+  FaultInjector::Config cfg;
+  cfg.p_reorder = 0.5;
+  cfg.max_jitter = 1_ms;  // far above the ~8 us serialization gap
+  ch.add_fault_stage(make_stage(cfg));
+  for (std::uint32_t i = 0; i < 50; ++i) ch.send(iframe(i));
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 50u);
+  bool reordered = false;
+  std::uint32_t prev = 0;
+  for (const auto& a : sink.arrivals) {
+    const std::uint32_t seq = std::get<frame::IFrame>(a.f.body).seq;
+    if (seq < prev) reordered = true;
+    prev = std::max(prev, seq);
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(SimplexChannelFaults, TruncationDeliversAnUnreadableHusk) {
+  Simulator sim;
+  SimplexChannel ch{sim, cfg_100mbps_5ms(), std::make_unique<phy::PerfectChannel>()};
+  RecordingSink sink{sim};
+  ch.set_sink(&sink);
+  FaultInjector::Config cfg;
+  cfg.p_truncate = 1.0;
+  ch.add_fault_stage(make_stage(cfg));
+  ch.send(iframe(0));
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  EXPECT_TRUE(sink.arrivals[0].f.corrupted);
+  EXPECT_EQ(ch.frames_truncated(), 1u);
+}
+
+TEST(SimplexChannelFaults, StagesComposeAcrossClasses) {
+  Simulator sim;
+  SimplexChannel ch{sim, cfg_100mbps_5ms(), std::make_unique<phy::PerfectChannel>()};
+  RecordingSink sink{sim};
+  ch.set_sink(&sink);
+  // Control-only drop + data-only duplicate on the same channel.
+  FaultInjector::Config drop_ctl;
+  drop_ctl.affects = FaultInjector::Affects::kControlOnly;
+  drop_ctl.p_drop = 1.0;
+  ch.add_fault_stage(make_stage(drop_ctl));
+  FaultInjector::Config dup_data;
+  dup_data.affects = FaultInjector::Affects::kDataOnly;
+  dup_data.p_duplicate = 1.0;
+  dup_data.max_duplicates = 1;
+  ch.add_fault_stage(make_stage(dup_data));
+  ch.send(iframe(0));
+  ch.send(cpframe());
+  sim.run();
+  // The I-frame arrives twice; the checkpoint never arrives.
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  for (const auto& a : sink.arrivals) {
+    EXPECT_TRUE(std::holds_alternative<frame::IFrame>(a.f.body));
+  }
+}
+
+TEST(SimplexChannelFaults, ClearFaultStagesRestoresCleanChannel) {
+  Simulator sim;
+  SimplexChannel ch{sim, cfg_100mbps_5ms(), std::make_unique<phy::PerfectChannel>()};
+  RecordingSink sink{sim};
+  ch.set_sink(&sink);
+  FaultInjector::Config cfg;
+  cfg.p_drop = 1.0;
+  ch.add_fault_stage(make_stage(cfg));
+  ch.send(iframe(0));
+  sim.run();
+  EXPECT_TRUE(sink.arrivals.empty());
+  ch.clear_fault_stages();
+  ch.send(iframe(1));
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+}
+
+}  // namespace
+}  // namespace lamsdlc::link

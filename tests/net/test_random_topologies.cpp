@@ -2,6 +2,7 @@
 
 #include "lamsdlc/core/random.hpp"
 #include "lamsdlc/net/network.hpp"
+#include "support/seed_trace.hpp"
 
 namespace lamsdlc::net {
 namespace {
@@ -17,6 +18,7 @@ class RandomTopology : public ::testing::TestWithParam<int> {};
 
 TEST_P(RandomTopology, AllTrafficDeliveredExactlyOnce) {
   const int seed = GetParam();
+  LAMSDLC_SEED_TRACE(seed);
   RandomStream rng{static_cast<std::uint64_t>(seed), "topology"};
 
   Simulator sim;

@@ -135,5 +135,41 @@ TEST(ScriptedOutage, DelegatesToBaseOutsideWindows) {
   EXPECT_TRUE(m.corrupts(0_ms, 1_ms, 100));  // base always corrupts
 }
 
+TEST(ScriptedOutage, ZeroAndNegativeLengthWindowsAreDiscarded) {
+  ScriptedOutageModel m{{{10_ms, 10_ms}, {30_ms, 20_ms}}};
+  EXPECT_TRUE(m.outages().empty());
+  EXPECT_FALSE(m.corrupts(10_ms, 10_ms + 1_us, 100));
+  EXPECT_FALSE(m.corrupts(25_ms, 26_ms, 100));
+  // An empty schedule must never corrupt anything.
+  EXPECT_FALSE(m.corrupts(0_ms, 100_ms, 100));
+}
+
+TEST(ScriptedOutage, UnsortedWindowsAreNormalized) {
+  ScriptedOutageModel m{{{50_ms, 60_ms}, {10_ms, 20_ms}}};
+  ASSERT_EQ(m.outages().size(), 2u);
+  EXPECT_EQ(m.outages()[0].from, 10_ms);
+  EXPECT_EQ(m.outages()[1].from, 50_ms);
+  // Both windows fire despite the reversed input order.
+  EXPECT_TRUE(m.corrupts(15_ms, 16_ms, 100));
+  EXPECT_TRUE(m.corrupts(55_ms, 56_ms, 100));
+  EXPECT_FALSE(m.corrupts(30_ms, 31_ms, 100));
+}
+
+TEST(ScriptedOutage, OverlappingAndTouchingWindowsMerge) {
+  ScriptedOutageModel m{{{10_ms, 20_ms}, {15_ms, 30_ms}, {30_ms, 40_ms}}};
+  ASSERT_EQ(m.outages().size(), 1u);
+  EXPECT_EQ(m.outages()[0].from, 10_ms);
+  EXPECT_EQ(m.outages()[0].to, 40_ms);
+  EXPECT_TRUE(m.corrupts(29_ms, 31_ms, 100));   // across the former seam
+  EXPECT_FALSE(m.corrupts(40_ms, 41_ms, 100));  // 'to' stays exclusive
+}
+
+TEST(ScriptedOutage, DegenerateWindowsStillDelegateToBase) {
+  auto base = std::make_unique<FixedFrameErrorModel>(1.0, RandomStream{1, "b"});
+  ScriptedOutageModel m{{{20_ms, 10_ms}}, std::move(base)};
+  EXPECT_TRUE(m.outages().empty());
+  EXPECT_TRUE(m.corrupts(15_ms, 16_ms, 100));  // base, not the dead window
+}
+
 }  // namespace
 }  // namespace lamsdlc::phy

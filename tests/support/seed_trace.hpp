@@ -1,0 +1,41 @@
+#pragma once
+/// \file seed_trace.hpp
+/// \brief Seed logging for randomized tests.
+///
+/// Every randomized test loops over seeds; when an assertion fires deep in
+/// the loop, the bare gtest message says *what* failed but not *which seed*
+/// reproduces it.  `LAMSDLC_SEED_TRACE(seed)` scopes the seed (and anything
+/// else interesting, e.g. a drawn schedule) onto every assertion failure in
+/// the enclosing block:
+///
+/// \code
+///   for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+///     LAMSDLC_SEED_TRACE(seed);
+///     ... assertions: failures print "reproduce with seed=<seed>" ...
+///   }
+/// \endcode
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace lamsdlc::testing {
+
+/// Format one value (seed, schedule, ...) into a reproduction hint.
+template <typename T>
+[[nodiscard]] std::string seed_trace_message(const char* label, const T& value) {
+  std::ostringstream os;
+  os << "reproduce with " << label << "=" << value;
+  return os.str();
+}
+
+}  // namespace lamsdlc::testing
+
+/// Attach "reproduce with seed=N" to every assertion in the current scope.
+#define LAMSDLC_SEED_TRACE(seed) \
+  SCOPED_TRACE(::lamsdlc::testing::seed_trace_message("seed", (seed)))
+
+/// Same, for an arbitrary labelled value (e.g. a printable fault schedule).
+#define LAMSDLC_REPRO_TRACE(label, value) \
+  SCOPED_TRACE(::lamsdlc::testing::seed_trace_message((label), (value)))

@@ -26,6 +26,22 @@
 ///   --horizon-s S            [600]
 ///   --csv                    emit one CSV row (header with --csv-header)
 ///   --analysis               also print the Section 4 closed forms
+///
+/// Subcommand `chaos`: replay seeded randomized fault schedules under the
+/// protocol invariant checker and print the verdict plus fault counters:
+///
+///   lamsdlc_cli chaos --seed 42              (one run, full verdict)
+///   lamsdlc_cli chaos --seed 1 --seeds 500   (soak: seeds 1..500)
+///
+/// Chaos flags:
+///   --seed S                 [1]         first (or only) schedule seed
+///   --seeds N                [1]         number of consecutive seeds to run
+///   --packets N              [200]       workload size per run
+///   --reverse-only           fault episodes attack only the checkpoint path
+///   --forward-only           fault episodes attack only the I-frame path
+///   --no-outage              never schedule a full link outage
+///   --no-suppress-duplicates ablation: receiver delivers stale frames (the
+///                            checker must then flag duplicate delivery)
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +49,7 @@
 #include <string>
 
 #include "lamsdlc/analysis/model.hpp"
+#include "lamsdlc/sim/chaos.hpp"
 #include "lamsdlc/sim/scenario.hpp"
 #include "lamsdlc/workload/sources.hpp"
 
@@ -154,9 +171,72 @@ const char* protocol_name(sim::Protocol p) {
   return "?";
 }
 
+int run_chaos_command(int argc, char** argv) {
+  sim::ChaosKnobs knobs;
+  std::uint64_t seeds = 1;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--seed") {
+      knobs.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (a == "--seeds") {
+      seeds = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (a == "--packets") {
+      knobs.packets = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (a == "--reverse-only") {
+      knobs.allow_forward_faults = false;
+    } else if (a == "--forward-only") {
+      knobs.allow_reverse_faults = false;
+    } else if (a == "--no-outage") {
+      knobs.allow_link_outage = false;
+    } else if (a == "--no-suppress-duplicates") {
+      knobs.suppress_duplicates = false;
+    } else {
+      usage_error("unknown chaos flag " + a);
+    }
+  }
+
+  std::uint64_t violated = 0;
+  for (std::uint64_t s = knobs.seed; s < knobs.seed + seeds; ++s) {
+    sim::ChaosKnobs k = knobs;
+    k.seed = s;
+    const sim::ChaosVerdict v = sim::run_chaos(k);
+    if (!v.ok) ++violated;
+    if (!v.ok || seeds == 1) {
+      std::printf("%s", v.to_string().c_str());
+      std::printf(
+          "  counters: drop=%llu dup=%llu delay=%llu trunc=%llu corrupt=%llu "
+          "reverse=%llu congestion=%llu dup_suppressed=%llu rnak=%llu "
+          "cp=%llu\n",
+          static_cast<unsigned long long>(v.faults_dropped),
+          static_cast<unsigned long long>(v.faults_duplicated),
+          static_cast<unsigned long long>(v.faults_delayed),
+          static_cast<unsigned long long>(v.faults_truncated),
+          static_cast<unsigned long long>(v.frames_corrupted),
+          static_cast<unsigned long long>(v.reverse_faulted),
+          static_cast<unsigned long long>(v.congestion_discards),
+          static_cast<unsigned long long>(v.duplicates_suppressed),
+          static_cast<unsigned long long>(v.request_naks),
+          static_cast<unsigned long long>(v.checkpoints_sent));
+    }
+  }
+  if (seeds > 1) {
+    std::printf("chaos soak: %llu seeds, %llu violated\n",
+                static_cast<unsigned long long>(seeds),
+                static_cast<unsigned long long>(violated));
+  }
+  return violated == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "chaos") == 0) {
+    return run_chaos_command(argc, argv);
+  }
   Options o = parse(argc, argv);
 
   sim::Scenario s{o.cfg};
