@@ -82,6 +82,42 @@ class TimeWeightedStat {
   double peak_{0.0};
 };
 
+/// Exact sorted-sample quantiles (nearest-rank): collect raw samples, read
+/// p50/p90/p99 at the end.  Shared by the obs metrics exporter and the bench
+/// tables; samples are kept (8 bytes each), so use it where the sample count
+/// is bounded by the run, not by wall-clock — for unbounded streams prefer
+/// `Histogram`.
+class Percentiles {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = samples_.size() < 2; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+
+  /// Nearest-rank quantile, q in [0, 1]: the ceil(q·n)-th smallest sample
+  /// (clamped so q=0 is the minimum and q=1 the maximum).  0.0 when empty.
+  [[nodiscard]] double quantile(double q) const {
+    if (samples_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    const auto n = static_cast<double>(samples_.size());
+    auto rank = static_cast<std::int64_t>(std::ceil(q * n));
+    rank = std::clamp<std::int64_t>(rank, 1, static_cast<std::int64_t>(samples_.size()));
+    return samples_[static_cast<std::size_t>(rank - 1)];
+  }
+
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p90() const { return quantile(0.90); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+  [[nodiscard]] double min() const { return quantile(0.0); }
+  [[nodiscard]] double max() const { return quantile(1.0); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
 /// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the edge
 /// bins.  Used for delay distributions in the bench harness.
 class Histogram {

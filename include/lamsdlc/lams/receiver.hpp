@@ -29,6 +29,7 @@
 #include "lamsdlc/frame/seqspace.hpp"
 #include "lamsdlc/lams/config.hpp"
 #include "lamsdlc/link/link.hpp"
+#include "lamsdlc/obs/bus.hpp"
 #include "lamsdlc/sim/dlc.hpp"
 #include "lamsdlc/sim/packet.hpp"
 
@@ -38,9 +39,13 @@ namespace lamsdlc::lams {
 /// and give it the *reverse* channel for checkpoint transmission.
 class LamsReceiver final : public link::FrameSink {
  public:
+  /// \p bus (optional) receives the typed event stream (obs/event.hpp); the
+  /// string \p tracer keeps working as before — it is fed the same events,
+  /// pretty-printed.
   LamsReceiver(Simulator& sim, link::SimplexChannel& control_out,
                LamsConfig cfg, sim::PacketListener* listener,
-               sim::DlcStats* stats = nullptr, Tracer tracer = {});
+               sim::DlcStats* stats = nullptr, Tracer tracer = {},
+               obs::EventBus* bus = nullptr);
 
   LamsReceiver(const LamsReceiver&) = delete;
   LamsReceiver& operator=(const LamsReceiver&) = delete;
@@ -105,14 +110,18 @@ class LamsReceiver final : public link::FrameSink {
   void emit_checkpoint(bool enforced);
   void checkpoint_tick();
   void prune_history();
-  void trace(std::string what) const;
+  /// Event skeleton stamped with now/source; fill the payload and emit.
+  [[nodiscard]] obs::Event make_event(obs::EventKind k) const;
+  void emit_drop(obs::DropCause cause, std::uint8_t control,
+                 std::uint64_t ctr);
+  void note_recv_buffer();
 
   Simulator& sim_;
   link::SimplexChannel& out_;
   LamsConfig cfg_;
   sim::PacketListener* listener_;
   sim::DlcStats* stats_;
-  Tracer tracer_;
+  obs::Emitter obs_;
   frame::SeqSpace seqspace_;
 
   bool running_{false};

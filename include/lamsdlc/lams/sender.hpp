@@ -33,6 +33,7 @@
 #include "lamsdlc/frame/seqspace.hpp"
 #include "lamsdlc/lams/config.hpp"
 #include "lamsdlc/link/link.hpp"
+#include "lamsdlc/obs/bus.hpp"
 #include "lamsdlc/sim/dlc.hpp"
 
 namespace lamsdlc::lams {
@@ -44,8 +45,12 @@ class LamsSender final : public sim::DlcSender, public link::FrameSink {
  public:
   enum class Mode { kNormal, kEnforcedRecovery, kFailed };
 
+  /// \p bus (optional) receives the typed event stream (obs/event.hpp); the
+  /// string \p tracer keeps working as before — it is fed the same events,
+  /// pretty-printed.
   LamsSender(Simulator& sim, link::SimplexChannel& data_out, LamsConfig cfg,
-             sim::DlcStats* stats = nullptr, Tracer tracer = {});
+             sim::DlcStats* stats = nullptr, Tracer tracer = {},
+             obs::EventBus* bus = nullptr);
 
   LamsSender(const LamsSender&) = delete;
   LamsSender& operator=(const LamsSender&) = delete;
@@ -125,19 +130,24 @@ class LamsSender final : public sim::DlcSender, public link::FrameSink {
   void sweep_outstanding(const frame::CheckpointFrame& cp);
   void arm_checkpoint_timer();
   void on_checkpoint_silence();
-  void enter_enforced_recovery();
+  void enter_enforced_recovery(obs::RecoveryReason reason);
   void send_request_nak();
   void on_failure_timeout();
-  void declare_failed();
+  void declare_failed(obs::RecoveryReason reason);
   void apply_flow_control(bool stop);
   void note_buffer_change();
-  void trace(std::string what) const;
+  /// Event skeleton stamped with now/source; fill the payload and emit.
+  [[nodiscard]] obs::Event make_event(obs::EventKind k) const;
+  void emit_frame_event(obs::EventKind k, std::uint64_t ctr,
+                        const Pending& p, std::int64_t holding_ps = 0);
+  void emit_mode_change(Mode from, Mode to, obs::RecoveryReason reason);
+  void emit_timer(obs::EventKind k, obs::TimerId id, Time deadline = {});
 
   Simulator& sim_;
   link::SimplexChannel& out_;
   LamsConfig cfg_;
   sim::DlcStats* stats_;
-  Tracer tracer_;
+  obs::Emitter obs_;
   frame::SeqSpace seqspace_;
 
   Mode mode_{Mode::kNormal};

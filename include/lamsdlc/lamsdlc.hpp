@@ -17,6 +17,7 @@
 ///  - lams      — the LAMS-DLC protocol (the paper's contribution) + sessions
 ///  - hdlc      — SR-HDLC (incl. SR+ST, RNR) and GBN-HDLC baselines
 ///  - nbdt      — the NBDT continuous/multiphase baseline
+///  - obs       — typed events, metric registry, capture files (.ldlcap)
 ///  - analysis  — the Section 4 closed-form performance model
 ///  - workload  — traffic sources, delivery tracking, message resequencing
 ///  - sim       — the one-stop Scenario harness
@@ -42,6 +43,11 @@
 #include "lamsdlc/nbdt/nbdt.hpp"
 #include "lamsdlc/net/contact_schedule.hpp"
 #include "lamsdlc/net/network.hpp"
+#include "lamsdlc/obs/bus.hpp"
+#include "lamsdlc/obs/capture.hpp"
+#include "lamsdlc/obs/collector.hpp"
+#include "lamsdlc/obs/event.hpp"
+#include "lamsdlc/obs/metrics.hpp"
 #include "lamsdlc/orbit/constellation.hpp"
 #include "lamsdlc/orbit/orbit.hpp"
 #include "lamsdlc/phy/crc.hpp"

@@ -24,6 +24,7 @@
 #include "lamsdlc/core/simulator.hpp"
 #include "lamsdlc/core/stats.hpp"
 #include "lamsdlc/frame/frame.hpp"
+#include "lamsdlc/obs/bus.hpp"
 #include "lamsdlc/phy/error_model.hpp"
 #include "lamsdlc/phy/fault_injector.hpp"
 #include "lamsdlc/phy/fec.hpp"
@@ -93,6 +94,15 @@ class SimplexChannel {
   /// error-model behaviour).
   void clear_fault_stages() { faults_.clear(); }
 
+  /// Attach a typed-event bus; \p source labels this direction's events
+  /// (kLinkForward / kLinkReverse).  Events mirror the channel counters
+  /// one-for-one: every counter increment emits exactly one event, so the
+  /// metrics collector reproduces the counters from the stream.
+  void set_event_bus(obs::EventBus* bus, obs::Source source) noexcept {
+    bus_ = bus;
+    src_ = source;
+  }
+
   SimplexChannel(const SimplexChannel&) = delete;
   SimplexChannel& operator=(const SimplexChannel&) = delete;
 
@@ -160,6 +170,8 @@ class SimplexChannel {
 
  private:
   void start_next();
+  void emit_fate(obs::EventKind kind, obs::DropCause cause,
+                 const frame::Frame& f);
   [[nodiscard]] std::size_t coded_bits(const frame::Frame& f) const noexcept;
   /// Byte-accurate mode: encode, apply \p corrupt as real bit flips, decode.
   [[nodiscard]] frame::Frame through_codec(frame::Frame f, bool corrupt);
@@ -172,6 +184,8 @@ class SimplexChannel {
   std::optional<phy::FecCodec> iframe_codec_;
   std::optional<phy::FecCodec> control_codec_;
   FrameSink* sink_{nullptr};
+  obs::EventBus* bus_{nullptr};
+  obs::Source src_{obs::Source::kOther};
   std::function<void()> idle_cb_;
   std::deque<frame::Frame> queue_;
   bool transmitting_{false};

@@ -1,0 +1,114 @@
+#pragma once
+/// \file bus.hpp
+/// \brief Near-zero-overhead dispatch of typed protocol events.
+///
+/// Instrumented components hold an `EventBus*` and emit `Event`s through it.
+/// With no subscriber the cost at every instrumentation site is a single
+/// branch (`enabled()` is false and no event is even constructed — sites
+/// guard with `Emitter::active()`).  Subscribers are the observability
+/// consumers: the metrics collector (`collector.hpp`), a capture writer
+/// (`capture.hpp`), a recording vector in a test, or the legacy string
+/// `Tracer` via `attach_tracer` — which is all the old free-form tracing now
+/// is: one pretty-printing subscriber among others.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lamsdlc/core/trace.hpp"
+#include "lamsdlc/obs/event.hpp"
+
+namespace lamsdlc::obs {
+
+/// Dispatches events to any number of subscribers, in subscription order.
+///
+/// Subscribing/unsubscribing from inside a callback is not supported (the
+/// subscriber list must be stable during `emit`).
+class EventBus {
+ public:
+  using Subscriber = std::function<void(const Event&)>;
+  using SubscriptionId = std::uint32_t;
+
+  EventBus() = default;
+  EventBus(const EventBus&) = delete;
+  EventBus& operator=(const EventBus&) = delete;
+
+  SubscriptionId subscribe(Subscriber s) {
+    const SubscriptionId id = next_id_++;
+    subs_.emplace_back(id, std::move(s));
+    return id;
+  }
+
+  /// Unknown ids are a harmless no-op (mirrors Simulator::cancel semantics).
+  void unsubscribe(SubscriptionId id) {
+    for (auto it = subs_.begin(); it != subs_.end(); ++it) {
+      if (it->first == id) {
+        subs_.erase(it);
+        return;
+      }
+    }
+  }
+
+  /// True when at least one subscriber is attached — the one branch
+  /// instrumentation sites pay when observability is off.
+  [[nodiscard]] bool enabled() const noexcept { return !subs_.empty(); }
+
+  void emit(const Event& e) {
+    if (subs_.empty()) return;
+    ++emitted_;
+    for (auto& [id, sub] : subs_) sub(e);
+  }
+
+  /// Events delivered to at least one subscriber (diagnostic).
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+
+  /// Subscriber that appends every event to \p out (caller keeps it alive).
+  [[nodiscard]] static Subscriber record_into(std::vector<Event>& out) {
+    return [&out](const Event& e) { out.push_back(e); };
+  }
+
+ private:
+  std::vector<std::pair<SubscriptionId, Subscriber>> subs_;
+  SubscriptionId next_id_{1};
+  std::uint64_t emitted_{0};
+};
+
+/// Bridge the legacy string `Tracer` onto a bus: every event is rendered
+/// with `describe()` and emitted as a classic "[time] source: what" trace
+/// line.  Returns the subscription id (for `unsubscribe`).
+inline EventBus::SubscriptionId attach_tracer(EventBus& bus, Tracer tracer) {
+  return bus.subscribe([t = std::move(tracer)](const Event& e) {
+    t.emit(e.at, to_string(e.source), describe(e));
+  });
+}
+
+/// Per-component emission handle: a shared bus plus the component's own
+/// legacy tracer.  Components build an `Event` only when someone is
+/// listening (`active()`), then `emit` fans it out to the bus and renders it
+/// for the tracer — which is how the old string tracing became a thin
+/// pretty-printing consumer of the typed stream.
+class Emitter {
+ public:
+  Emitter() = default;
+  Emitter(EventBus* bus, Tracer tracer)
+      : bus_{bus}, tracer_{std::move(tracer)} {}
+
+  [[nodiscard]] bool active() const noexcept {
+    return (bus_ != nullptr && bus_->enabled()) || tracer_.enabled();
+  }
+
+  void emit(const Event& e) const {
+    if (bus_ != nullptr) bus_->emit(e);
+    if (tracer_.enabled()) tracer_.emit(e.at, to_string(e.source), describe(e));
+  }
+
+  [[nodiscard]] EventBus* bus() const noexcept { return bus_; }
+
+ private:
+  EventBus* bus_ = nullptr;
+  Tracer tracer_;
+};
+
+}  // namespace lamsdlc::obs

@@ -1,0 +1,47 @@
+#pragma once
+/// \file collector.hpp
+/// \brief Event-stream → metrics bridge.
+///
+/// `MetricsCollector` subscribes to an `EventBus` and folds the typed event
+/// stream into a `Registry`: counters for frame/checkpoint/fault outcomes,
+/// histograms for holding time, checkpoint RTT and buffer depth.  Components
+/// stay metrics-agnostic — they emit events; this one subscriber decides
+/// which become metrics and under what names (catalogue in
+/// docs/OBSERVABILITY.md).
+
+#include <cstdint>
+#include <map>
+
+#include "lamsdlc/core/time.hpp"
+#include "lamsdlc/obs/bus.hpp"
+#include "lamsdlc/obs/event.hpp"
+#include "lamsdlc/obs/metrics.hpp"
+
+namespace lamsdlc::obs {
+
+/// Subscribes on construction, unsubscribes on destruction.  Both the bus
+/// and the registry must outlive the collector.
+class MetricsCollector {
+ public:
+  MetricsCollector(EventBus& bus, Registry& registry);
+  ~MetricsCollector();
+
+  MetricsCollector(const MetricsCollector&) = delete;
+  MetricsCollector& operator=(const MetricsCollector&) = delete;
+
+  [[nodiscard]] Registry& registry() noexcept { return registry_; }
+
+ private:
+  void on_event(const Event& e);
+
+  EventBus& bus_;
+  Registry& registry_;
+  EventBus::SubscriptionId sub_{0};
+  /// Checkpoint emit instants by cp_seq, matched against the sender-side
+  /// kCheckpointProcessed to produce `lams.sender.checkpoint_rtt_ms`.
+  /// Entries at or below a processed cp_seq are pruned (lost checkpoints
+  /// never match).
+  std::map<std::uint32_t, Time> cp_emitted_;
+};
+
+}  // namespace lamsdlc::obs

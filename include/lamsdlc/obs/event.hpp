@@ -1,0 +1,211 @@
+#pragma once
+/// \file event.hpp
+/// \brief Typed protocol events — the machine-readable counterpart of the
+/// string `Tracer`.
+///
+/// Every observable protocol occurrence is an `Event`: a kind tag, the
+/// emitting source, the simulation instant, and a small POD payload in a
+/// tagged union.  Events are what the `EventBus` dispatches, what the
+/// `Registry` collector aggregates into metrics, and what capture files
+/// (`capture.hpp`) persist record-for-record, so the taxonomy below *is* the
+/// observability schema (documented in docs/OBSERVABILITY.md; extend it only
+/// by appending enumerators — capture files encode these values on disk).
+///
+/// Payloads are deliberately fixed-size: a checkpoint's NAK list is stored
+/// as its exact count plus the first `kMaxInlineNaks` entries.  That keeps
+/// `Event` trivially copyable and capture records compact while preserving
+/// the quantities the analyses need (how *many* NAKs, and which frames lead
+/// the list).
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "lamsdlc/core/time.hpp"
+
+namespace lamsdlc::obs {
+
+/// Emitting component.  On-disk value; append only.
+enum class Source : std::uint8_t {
+  kLamsSender = 0,
+  kLamsReceiver = 1,
+  kLinkForward = 2,
+  kLinkReverse = 3,
+  kOther = 4,
+};
+inline constexpr std::uint8_t kSourceCount = 5;
+
+/// What happened.  On-disk value; append only.
+enum class EventKind : std::uint8_t {
+  kFrameSent = 0,       ///< Endpoint put a frame on the wire (I-frame or control).
+  kFrameReceived = 1,   ///< Receiver accepted a good I-frame for delivery.
+  kFrameReleased = 2,   ///< Sender released a held frame (implicit ack).
+  kRetransmitQueued = 3,///< Sender queued a frame for renumbered retransmission.
+  kFrameCorrupted = 4,  ///< A frame was damaged in flight / arrived unreadable.
+  kFrameDropped = 5,    ///< A frame will never be delivered (see DropCause).
+  kFrameDuplicated = 6, ///< A fault stage injected an extra copy.
+  kFrameDelayed = 7,    ///< A fault stage jittered delivery (reordering).
+  kCheckpointEmitted = 8,   ///< Receiver sent a Check-Point / Enforced-NAK.
+  kCheckpointProcessed = 9, ///< Sender accepted a checkpoint.
+  kNakGenerated = 10,   ///< Receiver detected a sequence gap (one NAK).
+  kBufferOccupancy = 11,///< A send/receive buffer changed depth.
+  kTimerArmed = 12,     ///< A protocol timer was (re)armed.
+  kTimerFired = 13,     ///< A protocol timer expired.
+  kRecoveryTransition = 14, ///< Sender mode change (normal/enforced/failed).
+};
+inline constexpr std::uint8_t kEventKindCount = 15;
+
+/// Why a frame was dropped/corrupted.  On-disk value; append only.
+enum class DropCause : std::uint8_t {
+  kWireCorruption = 0,  ///< Channel error process damaged the frame.
+  kFaultDrop = 1,       ///< Fault stage: silent omission.
+  kFaultTruncation = 2, ///< Fault stage: header damage (unreadable husk).
+  kFaultJitter = 3,     ///< Fault stage: delivery delayed (kFrameDelayed).
+  kFaultDuplicate = 4,  ///< Fault stage: extra copy (kFrameDuplicated).
+  kLinkDown = 5,        ///< Link was down (queued, in flight, or at send).
+  kNoSink = 6,          ///< Channel had no attached receiver.
+  kCongestion = 7,      ///< Receiver buffer at hard capacity (Section 3.4).
+  kStaleSequence = 8,   ///< Non-monotone counter (wire dup / late reorder).
+  kCorruptControl = 9,  ///< Damaged control command discarded at an endpoint.
+};
+inline constexpr std::uint8_t kDropCauseCount = 10;
+
+/// Which protocol timer.  On-disk value; append only.
+enum class TimerId : std::uint8_t {
+  kCheckpointTimer = 0,   ///< Sender checkpoint-silence timer (C_depth · W_cp).
+  kFailureTimer = 1,      ///< Sender failure timer (enforced recovery budget).
+  kCheckpointCadence = 2, ///< Receiver periodic checkpoint tick.
+};
+inline constexpr std::uint8_t kTimerIdCount = 3;
+
+/// Sender mode, mirroring lams::LamsSender::Mode.  On-disk value.
+enum class SenderMode : std::uint8_t {
+  kNormal = 0,
+  kEnforcedRecovery = 1,
+  kFailed = 2,
+};
+inline constexpr std::uint8_t kSenderModeCount = 3;
+
+/// Why a recovery transition happened.  On-disk value; append only.
+enum class RecoveryReason : std::uint8_t {
+  kCheckpointSilence = 0,   ///< Checkpoint timer expired.
+  kNakGapAmbiguity = 1,     ///< >= C_depth checkpoints missed: list inconclusive.
+  kEnforcedNakResolved = 2, ///< Enforced-NAK ended the recovery.
+  kFailureTimeout = 3,      ///< Failure timer expired: link declared failed.
+  kLifetimeExhausted = 4,   ///< Remaining link lifetime below recovery budget.
+};
+inline constexpr std::uint8_t kRecoveryReasonCount = 5;
+
+/// Which buffer, for kBufferOccupancy.  On-disk value.
+enum class BufferId : std::uint8_t {
+  kSendBuffer = 0,
+  kRecvBuffer = 1,
+};
+inline constexpr std::uint8_t kBufferIdCount = 2;
+
+/// Checkpoint NAK entries stored inline in an event (the full count is
+/// always carried; entries beyond this many are summarized by the count).
+inline constexpr std::size_t kMaxInlineNaks = 8;
+
+/// kFrameSent / kFrameReceived / kFrameReleased / kRetransmitQueued.
+struct FramePayload {
+  std::uint64_t ctr = 0;        ///< Unwrapped sequence counter (token for control).
+  std::uint64_t packet_id = 0;  ///< Simulation-side identity (0 for control).
+  std::uint32_t attempt = 0;    ///< Transmission attempt, 1-based (tx only).
+  std::uint8_t control = 0;     ///< 1 when the frame is a control command.
+  std::int64_t holding_ps = 0;  ///< kFrameReleased: first tx → release.
+};
+
+/// kFrameCorrupted / kFrameDropped / kFrameDuplicated / kFrameDelayed.
+struct DropPayload {
+  DropCause cause = DropCause::kWireCorruption;
+  std::uint8_t control = 0;  ///< 1 when the frame is a control command.
+  std::uint64_t ctr = 0;     ///< Wire sequence if known, else 0.
+};
+
+/// kCheckpointEmitted / kCheckpointProcessed.
+struct CheckpointPayload {
+  std::uint32_t cp_seq = 0;
+  std::uint32_t highest_seen = 0;
+  std::uint32_t missed = 0;    ///< Processed only: checkpoints lost before this one.
+  std::uint16_t nak_count = 0; ///< Full cumulative list length.
+  std::uint8_t flags = 0;      ///< bit0 any_seen, bit1 enforced, bit2 stop_go.
+  std::array<std::uint32_t, kMaxInlineNaks> naks{};  ///< First entries of the list.
+
+  [[nodiscard]] bool any_seen() const noexcept { return flags & 1u; }
+  [[nodiscard]] bool enforced() const noexcept { return flags & 2u; }
+  [[nodiscard]] bool stop_go() const noexcept { return flags & 4u; }
+  [[nodiscard]] std::size_t inline_naks() const noexcept {
+    return nak_count < kMaxInlineNaks ? nak_count : kMaxInlineNaks;
+  }
+};
+
+/// kNakGenerated.
+struct NakPayload {
+  std::uint64_t ctr = 0;  ///< Unwrapped counter of the damaged frame.
+};
+
+/// kBufferOccupancy.
+struct BufferPayload {
+  BufferId which = BufferId::kSendBuffer;
+  std::uint32_t depth = 0;  ///< Occupancy in frames after the change.
+};
+
+/// kTimerArmed / kTimerFired.
+struct TimerPayload {
+  TimerId timer = TimerId::kCheckpointTimer;
+  std::int64_t deadline_ps = 0;  ///< Armed only: absolute expiry instant.
+};
+
+/// kRecoveryTransition.
+struct RecoveryPayload {
+  SenderMode from = SenderMode::kNormal;
+  SenderMode to = SenderMode::kNormal;
+  RecoveryReason reason = RecoveryReason::kCheckpointSilence;
+};
+
+/// One observed protocol event.  Trivially copyable; the active union member
+/// is determined by `kind` (see the per-kind comments above).
+struct Event {
+  Time at{};
+  Source source = Source::kOther;
+  EventKind kind = EventKind::kFrameSent;
+  union Payload {
+    FramePayload frame;
+    DropPayload drop;
+    CheckpointPayload checkpoint;
+    NakPayload nak;
+    BufferPayload buffer;
+    TimerPayload timer;
+    RecoveryPayload recovery;
+    constexpr Payload() noexcept : frame{} {}
+  } p;
+};
+
+/// Field-wise equality of the active payload (padding-safe; never memcmp).
+[[nodiscard]] bool operator==(const Event& a, const Event& b) noexcept;
+
+/// \name Enum names (stable lowercase identifiers, used by the CLI filters)
+/// @{
+[[nodiscard]] const char* to_string(EventKind k) noexcept;
+[[nodiscard]] const char* to_string(Source s) noexcept;
+[[nodiscard]] const char* to_string(DropCause c) noexcept;
+[[nodiscard]] const char* to_string(TimerId t) noexcept;
+[[nodiscard]] const char* to_string(SenderMode m) noexcept;
+[[nodiscard]] const char* to_string(RecoveryReason r) noexcept;
+[[nodiscard]] const char* to_string(BufferId b) noexcept;
+[[nodiscard]] std::optional<EventKind> kind_from_string(std::string_view name) noexcept;
+[[nodiscard]] std::optional<Source> source_from_string(std::string_view name) noexcept;
+/// @}
+
+/// Human-readable one-liner ("I-frame ctr=17 pkt=4 attempt=2") — what the
+/// legacy string `Tracer` prints when bridged onto an `EventBus`.
+[[nodiscard]] std::string describe(const Event& e);
+
+/// One JSON object (single line, no trailing newline) for external tooling.
+[[nodiscard]] std::string to_json(const Event& e);
+
+}  // namespace lamsdlc::obs

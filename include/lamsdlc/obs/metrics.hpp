@@ -1,0 +1,149 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Named metric registry: counters, gauges, log-bucketed histograms.
+///
+/// A `Registry` is the shared aggregation surface for one run: protocol
+/// instrumentation feeds it through the event collector (`collector.hpp`),
+/// harness-level quantities (goodput, efficiency) are set directly, and the
+/// JSON / CSV exporters give bench tables, the chaos harness and external
+/// tooling one machine-readable summary instead of per-harness private
+/// accumulators.
+///
+/// Metric name convention: dot-separated `component.quantity[_unit]`, e.g.
+/// `lams.sender.iframe_retx`, `lams.sender.holding_time_ms`.  The full
+/// catalogue lives in docs/OBSERVABILITY.md.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "lamsdlc/core/stats.hpp"
+
+namespace lamsdlc::obs {
+
+/// Monotone event count.
+class Counter {
+ public:
+  void add(std::uint64_t d = 1) noexcept { v_ += d; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return v_; }
+
+ private:
+  std::uint64_t v_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { v_ = v; }
+  [[nodiscard]] double value() const noexcept { return v_; }
+
+ private:
+  double v_{0.0};
+};
+
+/// Distribution summary: power-of-two log buckets for shape, plus exact
+/// sorted-sample quantiles (`Percentiles`) for the p50/p90/p99/max the
+/// exporters report.  Bucket i counts samples in [2^(i-kBucketBias),
+/// 2^(i+1-kBucketBias)); non-positive samples land in bucket 0.
+class LogHistogram {
+ public:
+  /// Bucket 0 also absorbs everything below 2^-kBucketBias.
+  static constexpr int kBucketBias = 32;
+  static constexpr std::size_t kBuckets = 96;  ///< Covers ~2^-32 .. 2^64.
+
+  void observe(double x) {
+    ++buckets_[bucket_of(x)];
+    samples_.add(x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return samples_.count(); }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return samples_.count() ? sum_ / static_cast<double>(samples_.count()) : 0.0;
+  }
+  [[nodiscard]] double min() const { return samples_.min(); }
+  [[nodiscard]] double max() const { return samples_.max(); }
+  [[nodiscard]] double quantile(double q) const { return samples_.quantile(q); }
+  [[nodiscard]] double p50() const { return samples_.p50(); }
+  [[nodiscard]] double p90() const { return samples_.p90(); }
+  [[nodiscard]] double p99() const { return samples_.p99(); }
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const noexcept {
+    return buckets_;
+  }
+
+  /// Lower edge of bucket \p i (2^(i-kBucketBias)).
+  [[nodiscard]] static double bucket_lo(std::size_t i) noexcept {
+    return std::ldexp(1.0, static_cast<int>(i) - kBucketBias);
+  }
+
+  [[nodiscard]] static std::size_t bucket_of(double x) noexcept {
+    if (!(x > 0.0) || !std::isfinite(x)) return 0;
+    const int e = std::ilogb(x) + kBucketBias;
+    if (e < 0) return 0;
+    const auto i = static_cast<std::size_t>(e);
+    return i >= kBuckets ? kBuckets - 1 : i;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  Percentiles samples_;
+  double sum_{0.0};
+};
+
+/// Named metrics for one run.  Lookup creates on first use; references stay
+/// valid for the registry's lifetime (std::map nodes are stable).  Export
+/// order is deterministic (lexicographic by name).
+class Registry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  LogHistogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  /// Read a counter without creating it (0 when absent).
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+  }
+
+  /// Read-only lookup; nullptr when absent.
+  [[nodiscard]] const LogHistogram* find_histogram(const std::string& name) const {
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const {
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, LogHistogram>& histograms() const noexcept {
+    return histograms_;
+  }
+
+  /// One JSON object: {"counters":{..},"gauges":{..},"histograms":{name:
+  /// {"count":..,"min":..,"max":..,"mean":..,"p50":..,"p90":..,"p99":..}}}.
+  void write_json(std::ostream& os) const;
+
+  /// One row per metric: type,name,value,count,min,mean,p50,p90,p99,max
+  /// (header included; empty fields for types without the column).
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::string json() const;
+  [[nodiscard]] std::string csv() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LogHistogram> histograms_;
+};
+
+}  // namespace lamsdlc::obs

@@ -15,6 +15,7 @@
 /// `chaos` subcommand of `tools/lamsdlc_cli` replays one.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,11 @@ struct ChaosKnobs {
   /// Ablation: wire the receiver's duplicate suppression off to prove the
   /// invariant checker catches duplicate client delivery.  Tests only.
   bool suppress_duplicates = true;
+
+  /// Invoked on the freshly built scenario before any traffic starts —
+  /// the hook for attaching observers (e.g. an obs::CaptureWriter
+  /// subscription on `scenario.events()` for `lamsdlc_cli capture`).
+  std::function<void(Scenario&)> tap;
 };
 
 /// Outcome of one chaos run.
@@ -78,6 +84,10 @@ struct ChaosVerdict {
   std::uint64_t request_naks = 0;
   std::uint64_t checkpoints_sent = 0;
   /// @}
+
+  /// Full obs::Registry snapshot of the run (chaos always enables metrics);
+  /// the counters above are read back from the same registry.
+  std::string metrics_json;
 
   /// Verdict + violations + schedule in one printable block.
   [[nodiscard]] std::string to_string() const;

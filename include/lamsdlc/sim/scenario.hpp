@@ -32,6 +32,9 @@
 #include "lamsdlc/lams/sender.hpp"
 #include "lamsdlc/link/link.hpp"
 #include "lamsdlc/nbdt/nbdt.hpp"
+#include "lamsdlc/obs/bus.hpp"
+#include "lamsdlc/obs/collector.hpp"
+#include "lamsdlc/obs/metrics.hpp"
 #include "lamsdlc/sim/dlc.hpp"
 #include "lamsdlc/sim/error_config.hpp"
 #include "lamsdlc/workload/sources.hpp"
@@ -67,6 +70,10 @@ struct ScenarioConfig {
   nbdt::NbdtConfig nbdt;
 
   Tracer tracer;  ///< Optional protocol tracing.
+
+  /// Collect metrics (obs::Registry) from the typed event stream.  Off by
+  /// default: with no subscriber the event bus costs one branch per site.
+  bool metrics = false;
 };
 
 /// End-of-run summary in the paper's terms.
@@ -113,6 +120,12 @@ class Scenario {
   [[nodiscard]] DlcStats& stats() noexcept { return stats_; }
   [[nodiscard]] const ScenarioConfig& config() const noexcept { return cfg_; }
 
+  /// Typed protocol event bus; both link directions and the LAMS endpoints
+  /// publish here.  Subscribe a capture writer, a recording vector, or rely
+  /// on `metrics()` (populated when config().metrics is set).
+  [[nodiscard]] obs::EventBus& events() noexcept { return bus_; }
+  [[nodiscard]] obs::Registry& metrics() noexcept { return registry_; }
+
   /// The LAMS receiver when protocol == kLams (else nullptr) — for tests
   /// poking at checkpoint internals.
   [[nodiscard]] lams::LamsReceiver* lams_receiver() noexcept { return lams_rx_.get(); }
@@ -153,6 +166,9 @@ class Scenario {
   ScenarioConfig cfg_;
   Simulator sim_;
   DlcStats stats_;
+  obs::EventBus bus_;
+  obs::Registry registry_;
+  std::unique_ptr<obs::MetricsCollector> collector_;
   workload::PacketIdAllocator ids_;
   workload::DeliveryTracker tracker_;
 

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# The full pre-merge gate, in the order a failure is cheapest to find:
+#
+#   1. tier-1: regular build + the whole ctest suite
+#   2. sanitizers: ASan/UBSan build + full suite (scripts/check_sanitize.sh)
+#   3. chaos smoke: 25 seeded fault schedules under the invariant checker,
+#      with event capture enabled — every run must also produce an .ldlcap
+#      file that `lamsdlc_cli inspect` decodes cleanly.
+#
+# Usage: scripts/ci.sh [build-dir]       (default build/)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== tier-1: build + tests =="
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== sanitized build + tests =="
+scripts/check_sanitize.sh
+
+echo "== chaos smoke (25 seeds, capture enabled) =="
+CLI="$BUILD_DIR/tools/lamsdlc_cli"
+CAPDIR="$(mktemp -d)"
+trap 'rm -rf "$CAPDIR"' EXIT
+for seed in $(seq 1 25); do
+  cap="$CAPDIR/chaos-seed-$seed.ldlcap"
+  "$CLI" capture --seed "$seed" --out "$cap" >/dev/null
+  "$CLI" inspect "$cap" --summary >/dev/null
+done
+echo "25 chaos seeds OK, captures decode cleanly"
+
+echo "ci green"

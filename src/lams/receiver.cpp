@@ -8,19 +8,40 @@ namespace lamsdlc::lams {
 
 LamsReceiver::LamsReceiver(Simulator& sim, link::SimplexChannel& control_out,
                            LamsConfig cfg, sim::PacketListener* listener,
-                           sim::DlcStats* stats, Tracer tracer)
+                           sim::DlcStats* stats, Tracer tracer,
+                           obs::EventBus* bus)
     : sim_{sim},
       out_{control_out},
       cfg_{cfg},
       listener_{listener},
       stats_{stats},
-      tracer_{std::move(tracer)},
+      obs_{bus, std::move(tracer)},
       seqspace_{cfg.modulus} {}
 
 LamsReceiver::~LamsReceiver() { sim_.cancel(cp_timer_); }
 
-void LamsReceiver::trace(std::string what) const {
-  tracer_.emit(sim_.now(), "lams.receiver", std::move(what));
+obs::Event LamsReceiver::make_event(obs::EventKind k) const {
+  obs::Event e;
+  e.at = sim_.now();
+  e.source = obs::Source::kLamsReceiver;
+  e.kind = k;
+  return e;
+}
+
+void LamsReceiver::emit_drop(obs::DropCause cause, std::uint8_t control,
+                             std::uint64_t ctr) {
+  if (!obs_.active()) return;
+  obs::Event e = make_event(obs::EventKind::kFrameDropped);
+  e.p.drop = {cause, control, ctr};
+  obs_.emit(e);
+}
+
+void LamsReceiver::note_recv_buffer() {
+  if (!obs_.active()) return;
+  obs::Event e = make_event(obs::EventKind::kBufferOccupancy);
+  e.p.buffer = {obs::BufferId::kRecvBuffer,
+                static_cast<std::uint32_t>(processing_)};
+  obs_.emit(e);
 }
 
 void LamsReceiver::start() {
@@ -45,6 +66,11 @@ void LamsReceiver::reset_session() {
 
 void LamsReceiver::checkpoint_tick() {
   if (!running_) return;
+  if (obs_.active()) {
+    obs::Event e = make_event(obs::EventKind::kTimerFired);
+    e.p.timer = {obs::TimerId::kCheckpointCadence, 0};
+    obs_.emit(e);
+  }
   // Close the current detection interval before reporting, so a NAK raised
   // an instant before the tick is included in this checkpoint.
   interval_naks_.push_back(std::move(current_interval_));
@@ -84,11 +110,18 @@ void LamsReceiver::emit_checkpoint(bool enforced) {
     }
   }
 
-  if (tracer_.enabled()) {
-    trace(std::string(enforced ? "Enforced-NAK" : "Check-Point") +
-          " cp_seq=" + std::to_string(cp.cp_seq) +
-          " naks=" + std::to_string(cp.naks.size()) +
-          (cp.stop_go ? " [stop]" : ""));
+  if (obs_.active()) {
+    obs::Event e = make_event(obs::EventKind::kCheckpointEmitted);
+    auto& pl = e.p.checkpoint;
+    pl.cp_seq = cp.cp_seq;
+    pl.highest_seen = cp.highest_seen;
+    pl.nak_count = static_cast<std::uint16_t>(
+        std::min<std::size_t>(cp.naks.size(), 0xFFFF));
+    pl.flags = static_cast<std::uint8_t>((cp.any_seen ? 1u : 0u) |
+                                         (cp.enforced ? 2u : 0u) |
+                                         (cp.stop_go ? 4u : 0u));
+    for (std::size_t i = 0; i < pl.inline_naks(); ++i) pl.naks[i] = cp.naks[i];
+    obs_.emit(e);
   }
 
   ++cp_count_;
@@ -114,6 +147,7 @@ void LamsReceiver::on_frame(frame::Frame f) {
   }
   if (f.corrupted) {
     if (stats_) ++stats_->control_corrupted_rx;
+    emit_drop(obs::DropCause::kCorruptControl, 1, 0);
     return;
   }
   if (const auto* rq = std::get_if<frame::RequestNakFrame>(&f.body)) {
@@ -127,6 +161,11 @@ void LamsReceiver::handle_iframe(const frame::IFrame& in, bool corrupted) {
     // receiver learns of it only through the sequence gap exposed by the
     // next good arrival (or the sender's highest-seen reasoning).
     if (stats_) ++stats_->iframe_corrupted_rx;
+    if (obs_.active()) {
+      obs::Event e = make_event(obs::EventKind::kFrameCorrupted);
+      e.p.drop = {obs::DropCause::kWireCorruption, 0, in.seq};
+      obs_.emit(e);
+    }
     return;
   }
   if (processing_ >= cfg_.recv_hard_capacity) {
@@ -136,6 +175,7 @@ void LamsReceiver::handle_iframe(const frame::IFrame& in, bool corrupted) {
     // recovers it after the backlog drains — "minimize the losses due
     // congestion" without a new mechanism.
     ++congestion_discards_;
+    emit_drop(obs::DropCause::kCongestion, 0, in.seq);
     return;
   }
 
@@ -147,7 +187,7 @@ void LamsReceiver::handle_iframe(const frame::IFrame& in, bool corrupted) {
     // frame; either way the frame was already NAKed or delivered, so it must
     // not go upward again.
     ++duplicates_suppressed_;
-    trace("non-monotone sequence ignored ctr=" + std::to_string(ctr));
+    emit_drop(obs::DropCause::kStaleSequence, 0, ctr);
     if (cfg_.suppress_duplicates) return;
     // Ablation path (tests only): deliver the stale frame anyway, without
     // touching the sequence tracking, to prove the invariant checker notices.
@@ -162,11 +202,20 @@ void LamsReceiver::handle_iframe(const frame::IFrame& in, bool corrupted) {
     current_interval_.push_back(missing);
     history_.push_back(NakRecord{missing, sim_.now()});
     ++naks_generated_;
-    if (tracer_.enabled()) trace("gap -> NAK ctr=" + std::to_string(missing));
+    if (obs_.active()) {
+      obs::Event e = make_event(obs::EventKind::kNakGenerated);
+      e.p.nak = {missing};
+      obs_.emit(e);
+    }
   }
   highest_ctr_ = ctr;
   any_seen_ = true;
 
+  if (obs_.active()) {
+    obs::Event e = make_event(obs::EventKind::kFrameReceived);
+    e.p.frame = {ctr, in.packet_id, 0, 0, 0};
+    obs_.emit(e);
+  }
   deliver_up(in);
 }
 
@@ -176,19 +225,24 @@ void LamsReceiver::deliver_up(const frame::IFrame& in) {
   if (stats_) {
     stats_->recv_buffer.update(sim_.now(), static_cast<double>(processing_));
   }
+  note_recv_buffer();
   const sim::Packet p{in.packet_id, in.payload_bytes, Time{}, 0, 0, 1};
   sim_.schedule_in(cfg_.t_proc, [this, p] {
     --processing_;
     if (stats_) {
       stats_->recv_buffer.update(sim_.now(), static_cast<double>(processing_));
     }
+    note_recv_buffer();
     if (listener_) listener_->on_packet(p, sim_.now());
   });
 }
 
 void LamsReceiver::handle_request_nak(const frame::RequestNakFrame& rq) {
-  trace("Request-NAK token=" + std::to_string(rq.token) +
-        " -> immediate Enforced-NAK");
+  if (obs_.active()) {
+    obs::Event e = make_event(obs::EventKind::kFrameReceived);
+    e.p.frame = {rq.token, 0, 0, 1, 0};
+    obs_.emit(e);
+  }
   emit_checkpoint(/*enforced=*/true);
 }
 

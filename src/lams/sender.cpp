@@ -5,14 +5,28 @@
 #include <vector>
 
 namespace lamsdlc::lams {
+namespace {
+
+obs::SenderMode to_obs(LamsSender::Mode m) noexcept {
+  switch (m) {
+    case LamsSender::Mode::kNormal: return obs::SenderMode::kNormal;
+    case LamsSender::Mode::kEnforcedRecovery:
+      return obs::SenderMode::kEnforcedRecovery;
+    case LamsSender::Mode::kFailed: return obs::SenderMode::kFailed;
+  }
+  return obs::SenderMode::kNormal;
+}
+
+}  // namespace
 
 LamsSender::LamsSender(Simulator& sim, link::SimplexChannel& data_out,
-                       LamsConfig cfg, sim::DlcStats* stats, Tracer tracer)
+                       LamsConfig cfg, sim::DlcStats* stats, Tracer tracer,
+                       obs::EventBus* bus)
     : sim_{sim},
       out_{data_out},
       cfg_{cfg},
       stats_{stats},
-      tracer_{std::move(tracer)},
+      obs_{bus, std::move(tracer)},
       seqspace_{cfg.modulus} {
   out_.set_idle_callback([this] { try_send(); });
 }
@@ -23,8 +37,34 @@ LamsSender::~LamsSender() {
   sim_.cancel(pace_timer_);
 }
 
-void LamsSender::trace(std::string what) const {
-  tracer_.emit(sim_.now(), "lams.sender", std::move(what));
+obs::Event LamsSender::make_event(obs::EventKind k) const {
+  obs::Event e;
+  e.at = sim_.now();
+  e.source = obs::Source::kLamsSender;
+  e.kind = k;
+  return e;
+}
+
+void LamsSender::emit_frame_event(obs::EventKind k, std::uint64_t ctr,
+                                  const Pending& p, std::int64_t holding_ps) {
+  obs::Event e = make_event(k);
+  e.p.frame = {ctr, p.packet.id, p.attempts, 0, holding_ps};
+  obs_.emit(e);
+}
+
+void LamsSender::emit_mode_change(Mode from, Mode to,
+                                  obs::RecoveryReason reason) {
+  if (!obs_.active()) return;
+  obs::Event e = make_event(obs::EventKind::kRecoveryTransition);
+  e.p.recovery = {to_obs(from), to_obs(to), reason};
+  obs_.emit(e);
+}
+
+void LamsSender::emit_timer(obs::EventKind k, obs::TimerId id, Time deadline) {
+  if (!obs_.active()) return;
+  obs::Event e = make_event(k);
+  e.p.timer = {id, deadline.ps()};
+  obs_.emit(e);
 }
 
 void LamsSender::submit(sim::Packet p) {
@@ -51,6 +91,12 @@ void LamsSender::note_buffer_change() {
   if (stats_) {
     stats_->send_buffer.update(sim_.now(),
                                static_cast<double>(sending_buffer_depth()));
+  }
+  if (obs_.active()) {
+    obs::Event e = make_event(obs::EventKind::kBufferOccupancy);
+    e.p.buffer = {obs::BufferId::kSendBuffer,
+                  static_cast<std::uint32_t>(sending_buffer_depth())};
+    obs_.emit(e);
   }
 }
 
@@ -95,11 +141,7 @@ void LamsSender::send_iframe(Pending p) {
     ++stats_->iframe_tx;
     if (p.attempts > 1) ++stats_->iframe_retx;
   }
-  if (tracer_.enabled()) {
-    trace("I-frame ctr=" + std::to_string(ctr) +
-          " pkt=" + std::to_string(p.packet.id) +
-          " attempt=" + std::to_string(p.attempts));
-  }
+  if (obs_.active()) emit_frame_event(obs::EventKind::kFrameSent, ctr, p);
 
   outstanding_.emplace(ctr, Outstanding{std::move(p), expected_arrival});
 
@@ -113,9 +155,12 @@ void LamsSender::send_iframe(Pending p) {
   // timer: a silent receiver is detected after one response time plus the
   // usual checkpoint timeout.
   if (!got_any_cp_ && !sim_.pending(checkpoint_timer_)) {
-    checkpoint_timer_ = sim_.schedule_in(
-        cfg_.max_rtt + cfg_.checkpoint_interval + cfg_.checkpoint_timeout(),
-        [this] { on_checkpoint_silence(); });
+    const Time grace =
+        cfg_.max_rtt + cfg_.checkpoint_interval + cfg_.checkpoint_timeout();
+    checkpoint_timer_ =
+        sim_.schedule_in(grace, [this] { on_checkpoint_silence(); });
+    emit_timer(obs::EventKind::kTimerArmed, obs::TimerId::kCheckpointTimer,
+               sim_.now() + grace);
   }
 }
 
@@ -125,7 +170,11 @@ void LamsSender::on_frame(frame::Frame f) {
     // A damaged control command is unreadable; the cumulative NAK design
     // makes the *next* checkpoint carry the same information.
     if (stats_) ++stats_->control_corrupted_rx;
-    trace("corrupted control frame discarded");
+    if (obs_.active()) {
+      obs::Event e = make_event(obs::EventKind::kFrameDropped);
+      e.p.drop = {obs::DropCause::kCorruptControl, 1, 0};
+      obs_.emit(e);
+    }
     return;
   }
   if (const auto* cp = std::get_if<frame::CheckpointFrame>(&f.body)) {
@@ -142,10 +191,19 @@ void LamsSender::handle_checkpoint(const frame::CheckpointFrame& cp) {
   got_any_cp_ = true;
   last_cp_seq_ = cp.cp_seq;
 
-  if (tracer_.enabled()) {
-    trace("checkpoint cp_seq=" + std::to_string(cp.cp_seq) +
-          " naks=" + std::to_string(cp.naks.size()) +
-          (cp.enforced ? " [enforced]" : "") + (cp.stop_go ? " [stop]" : ""));
+  if (obs_.active()) {
+    obs::Event e = make_event(obs::EventKind::kCheckpointProcessed);
+    auto& pl = e.p.checkpoint;
+    pl.cp_seq = cp.cp_seq;
+    pl.highest_seen = cp.highest_seen;
+    pl.missed = static_cast<std::uint32_t>(cp.cp_seq - prev_seq - 1);
+    pl.nak_count = static_cast<std::uint16_t>(
+        std::min<std::size_t>(cp.naks.size(), UINT16_MAX));
+    pl.flags = static_cast<std::uint8_t>((cp.any_seen ? 1u : 0u) |
+                                         (cp.enforced ? 2u : 0u) |
+                                         (cp.stop_go ? 4u : 0u));
+    for (std::size_t i = 0; i < pl.inline_naks(); ++i) pl.naks[i] = cp.naks[i];
+    obs_.emit(e);
   }
 
   // Consecutive checkpoints missed before this one (cp_seq is dense, so the
@@ -161,11 +219,8 @@ void LamsSender::handle_checkpoint(const frame::CheckpointFrame& cp) {
 
   if (mode_ == Mode::kNormal) {
     if (nak_list_incomplete && !outstanding_.empty()) {
-      trace("missed " + std::to_string(missed) +
-            " checkpoints: cumulative NAK list inconclusive, forcing "
-            "Enforced-NAK before release");
       process_naks(cp);
-      enter_enforced_recovery();
+      enter_enforced_recovery(obs::RecoveryReason::kNakGapAmbiguity);
     } else {
       process_naks(cp);
       sweep_outstanding(cp);
@@ -179,7 +234,8 @@ void LamsSender::handle_checkpoint(const frame::CheckpointFrame& cp) {
       sim_.cancel(failure_timer_);
       failure_timer_ = 0;
       mode_ = Mode::kNormal;
-      trace("enforced recovery complete");
+      emit_mode_change(Mode::kEnforcedRecovery, Mode::kNormal,
+                       obs::RecoveryReason::kEnforcedNakResolved);
     } else {
       // Checkpoint Recovery stays allowed during enforced recovery, but no
       // releases and no new I-frames (Section 3.2).
@@ -208,7 +264,10 @@ void LamsSender::process_naks(const frame::CheckpointFrame& cp) {
       // C_depth times by design) — "assumed to be retransmitted already".
       continue;
     }
-    if (tracer_.enabled()) trace("NAK ctr=" + std::to_string(ctr) + " -> retransmit");
+    if (obs_.active()) {
+      emit_frame_event(obs::EventKind::kRetransmitQueued, ctr,
+                       it->second.pending);
+    }
     retx_queue_.push_back(std::move(it->second.pending));
     outstanding_.erase(it);
   }
@@ -239,16 +298,20 @@ void LamsSender::sweep_outstanding(const frame::CheckpointFrame& cp) {
 
   for (const std::uint64_t ctr : release) {
     auto it = outstanding_.find(ctr);
-    if (stats_) {
-      stats_->holding_time_s.add((sim_.now() - it->second.pending.first_tx).sec());
+    const Time held = sim_.now() - it->second.pending.first_tx;
+    if (stats_) stats_->holding_time_s.add(held.sec());
+    if (obs_.active()) {
+      emit_frame_event(obs::EventKind::kFrameReleased, ctr,
+                       it->second.pending, held.ps());
     }
     ++resolved_;
     outstanding_.erase(it);
   }
   for (const std::uint64_t ctr : undelivered) {
     auto it = outstanding_.find(ctr);
-    if (tracer_.enabled()) {
-      trace("ctr=" + std::to_string(ctr) + " provably undelivered -> retransmit");
+    if (obs_.active()) {
+      emit_frame_event(obs::EventKind::kRetransmitQueued, ctr,
+                       it->second.pending);
     }
     retx_queue_.push_back(std::move(it->second.pending));
     outstanding_.erase(it);
@@ -259,29 +322,34 @@ void LamsSender::arm_checkpoint_timer() {
   sim_.cancel(checkpoint_timer_);
   checkpoint_timer_ =
       sim_.schedule_in(cfg_.checkpoint_timeout(), [this] { on_checkpoint_silence(); });
+  emit_timer(obs::EventKind::kTimerArmed, obs::TimerId::kCheckpointTimer,
+             sim_.now() + cfg_.checkpoint_timeout());
 }
 
 void LamsSender::on_checkpoint_silence() {
   checkpoint_timer_ = 0;
   if (mode_ != Mode::kNormal) return;
-  enter_enforced_recovery();
+  emit_timer(obs::EventKind::kTimerFired, obs::TimerId::kCheckpointTimer);
+  enter_enforced_recovery(obs::RecoveryReason::kCheckpointSilence);
 }
 
-void LamsSender::enter_enforced_recovery() {
+void LamsSender::enter_enforced_recovery(obs::RecoveryReason reason) {
   // Recoverable only if the expected response fits in the remaining link
   // lifetime (Section 3.2).
   if (cfg_.link_deadline &&
       sim_.now() + cfg_.failure_timeout() > *cfg_.link_deadline) {
-    trace("link lifetime exhausted: failure unrecoverable");
-    declare_failed();
+    declare_failed(obs::RecoveryReason::kLifetimeExhausted);
     return;
   }
+  const Mode from = mode_;
   mode_ = Mode::kEnforcedRecovery;
-  trace("checkpoint silence: entering enforced recovery");
+  emit_mode_change(from, mode_, reason);
   send_request_nak();
   sim_.cancel(failure_timer_);
   failure_timer_ =
       sim_.schedule_in(cfg_.failure_timeout(), [this] { on_failure_timeout(); });
+  emit_timer(obs::EventKind::kTimerArmed, obs::TimerId::kFailureTimer,
+             sim_.now() + cfg_.failure_timeout());
 }
 
 void LamsSender::send_request_nak() {
@@ -290,19 +358,25 @@ void LamsSender::send_request_nak() {
   if (stats_) ++stats_->control_tx;
   ++request_naks_;
   request_sent_at_ = sim_.now();
-  trace("Request-NAK token=" + std::to_string(request_token_));
+  if (obs_.active()) {
+    obs::Event e = make_event(obs::EventKind::kFrameSent);
+    e.p.frame = {request_token_, 0, 0, 1, 0};
+    obs_.emit(e);
+  }
   out_.send(std::move(f));
 }
 
 void LamsSender::on_failure_timeout() {
   failure_timer_ = 0;
   if (mode_ != Mode::kEnforcedRecovery) return;
-  trace("failure timer expired: receiver considered failed");
-  declare_failed();
+  emit_timer(obs::EventKind::kTimerFired, obs::TimerId::kFailureTimer);
+  declare_failed(obs::RecoveryReason::kFailureTimeout);
 }
 
-void LamsSender::declare_failed() {
+void LamsSender::declare_failed(obs::RecoveryReason reason) {
+  const Mode from = mode_;
   mode_ = Mode::kFailed;
+  emit_mode_change(from, mode_, reason);
   sim_.cancel(checkpoint_timer_);
   sim_.cancel(failure_timer_);
   sim_.cancel(pace_timer_);

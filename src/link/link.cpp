@@ -3,6 +3,28 @@
 #include "lamsdlc/frame/codec.hpp"
 
 namespace lamsdlc::link {
+namespace {
+
+/// Wire sequence of a frame, for event payloads (0 for unnumbered frames).
+std::uint64_t wire_ctr(const frame::Frame& f) noexcept {
+  if (const auto* in = std::get_if<frame::IFrame>(&f.body)) return in->seq;
+  if (const auto* hin = std::get_if<frame::HdlcIFrame>(&f.body)) return hin->ns;
+  return 0;
+}
+
+}  // namespace
+
+void SimplexChannel::emit_fate(obs::EventKind kind, obs::DropCause cause,
+                               const frame::Frame& f) {
+  if (bus_ == nullptr || !bus_->enabled()) return;
+  obs::Event e;
+  e.at = sim_.now();
+  e.source = src_;
+  e.kind = kind;
+  e.p.drop = {cause, static_cast<std::uint8_t>(f.is_control() ? 1 : 0),
+              wire_ctr(f)};
+  bus_->emit(e);
+}
 
 SimplexChannel::SimplexChannel(Simulator& sim, Config cfg,
                                std::unique_ptr<phy::ErrorModel> error_model)
@@ -89,6 +111,7 @@ bool SimplexChannel::busy() const noexcept {
 void SimplexChannel::send(frame::Frame f) {
   if (!up_) {
     ++frames_dropped_;
+    emit_fate(obs::EventKind::kFrameDropped, obs::DropCause::kLinkDown, f);
     return;
   }
   queue_.push_back(std::move(f));
@@ -105,6 +128,9 @@ void SimplexChannel::set_up(bool up) {
   }
   {
     frames_dropped_ += queue_.size();
+    for (const auto& q : queue_) {
+      emit_fate(obs::EventKind::kFrameDropped, obs::DropCause::kLinkDown, q);
+    }
     queue_.clear();
     // A frame mid-serialization is lost too; its completion event still
     // fires but finds the link down and discards the frame (handled in
@@ -141,7 +167,11 @@ void SimplexChannel::start_next() {
   for (auto& stage : faults_) {
     fate.combine(stage->fate(f.is_control(), start, end, frame::wire_bits(f)));
   }
-  if (fate.corrupt) ++frames_corrupted_;
+  if (fate.corrupt) {
+    ++frames_corrupted_;
+    emit_fate(obs::EventKind::kFrameCorrupted, obs::DropCause::kWireCorruption,
+              f);
+  }
   if (cfg_.byte_level) {
     f = through_codec(std::move(f), fate.corrupt);
   } else if (fate.corrupt) {
@@ -150,6 +180,8 @@ void SimplexChannel::start_next() {
   if (fate.truncate) {
     // Header damage: whatever survived the codec is an unreadable husk.
     ++frames_truncated_;
+    emit_fate(obs::EventKind::kFrameCorrupted, obs::DropCause::kFaultTruncation,
+              f);
     f.corrupted = true;
   }
 
@@ -168,6 +200,7 @@ void SimplexChannel::start_next() {
     // reaches the far end — the pure-loss channel of the self-stabilizing
     // ARQ literature, stronger than the paper's detectable-error model.
     ++frames_fault_dropped_;
+    emit_fate(obs::EventKind::kFrameDropped, obs::DropCause::kFaultDrop, f);
     return;
   }
 
@@ -175,20 +208,27 @@ void SimplexChannel::start_next() {
   // frame) arrives at end + prop, plus any fault-stage jitter.  A delayed
   // frame can land after later-sent ones: the channel is no longer FIFO.
   const Time arrival = end + prop + fate.delay;
-  if (!fate.delay.is_zero()) ++frames_delayed_;
+  if (!fate.delay.is_zero()) {
+    ++frames_delayed_;
+    emit_fate(obs::EventKind::kFrameDelayed, obs::DropCause::kFaultJitter, f);
+  }
   auto deliver = [this, epoch](frame::Frame frm) {
     if (epoch != down_epoch_) {
       ++frames_dropped_;  // photons in flight when pointing was lost
+      emit_fate(obs::EventKind::kFrameDropped, obs::DropCause::kLinkDown, frm);
       return;
     }
     if (sink_) {
       sink_->on_frame(std::move(frm));
     } else {
       ++frames_dropped_;
+      emit_fate(obs::EventKind::kFrameDropped, obs::DropCause::kNoSink, frm);
     }
   };
   for (std::uint32_t i = 0; i < fate.duplicates; ++i) {
     ++frames_duplicated_;
+    emit_fate(obs::EventKind::kFrameDuplicated, obs::DropCause::kFaultDuplicate,
+              f);
     sim_.schedule_at(arrival, [deliver, copy = f]() mutable {
       deliver(std::move(copy));
     });

@@ -1,0 +1,313 @@
+#include "lamsdlc/obs/capture.hpp"
+
+#include <cstring>
+
+namespace lamsdlc::obs {
+namespace {
+
+// --- LEB128 varints -------------------------------------------------------
+
+void put_varint(std::ostream& os, std::uint64_t v) {
+  while (v >= 0x80) {
+    os.put(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  os.put(static_cast<char>(v));
+}
+
+std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+void put_svarint(std::ostream& os, std::int64_t v) {
+  put_varint(os, zigzag(v));
+}
+
+void put_u8(std::ostream& os, std::uint8_t v) {
+  os.put(static_cast<char>(v));
+}
+
+void put_u16le(std::ostream& os, std::uint16_t v) {
+  os.put(static_cast<char>(v & 0xFF));
+  os.put(static_cast<char>(v >> 8));
+}
+
+/// Stateful decoder: any read past EOF or malformed varint sets `err`.
+struct Decoder {
+  std::istream& is;
+  std::string err;
+
+  [[nodiscard]] bool ok() const noexcept { return err.empty(); }
+
+  /// Returns -1 at EOF *before* any byte of the current record (clean end).
+  int peek_byte() { return is.peek(); }
+
+  std::uint8_t u8(const char* what) {
+    const int c = is.get();
+    if (c == std::istream::traits_type::eof()) {
+      if (err.empty()) err = std::string{"truncated record: "} + what;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(c);
+  }
+
+  std::uint64_t varint(const char* what) {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      const int c = is.get();
+      if (c == std::istream::traits_type::eof()) {
+        if (err.empty()) err = std::string{"truncated varint: "} + what;
+        return 0;
+      }
+      const auto byte = static_cast<std::uint8_t>(c);
+      if (shift >= 63 && (byte & 0x7F) > 1) {
+        if (err.empty()) err = std::string{"varint overflow: "} + what;
+        return 0;
+      }
+      v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  std::int64_t svarint(const char* what) { return unzigzag(varint(what)); }
+
+  std::uint16_t u16le(const char* what) {
+    const std::uint16_t lo = u8(what);
+    const std::uint16_t hi = u8(what);
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+};
+
+void encode_payload(std::ostream& os, const Event& e) {
+  switch (e.kind) {
+    case EventKind::kFrameSent:
+    case EventKind::kFrameReceived:
+    case EventKind::kFrameReleased:
+    case EventKind::kRetransmitQueued: {
+      const auto& f = e.p.frame;
+      put_varint(os, f.ctr);
+      put_varint(os, f.packet_id);
+      put_varint(os, f.attempt);
+      put_u8(os, f.control);
+      put_svarint(os, f.holding_ps);
+      break;
+    }
+    case EventKind::kFrameCorrupted:
+    case EventKind::kFrameDropped:
+    case EventKind::kFrameDuplicated:
+    case EventKind::kFrameDelayed: {
+      const auto& d = e.p.drop;
+      put_u8(os, static_cast<std::uint8_t>(d.cause));
+      put_u8(os, d.control);
+      put_varint(os, d.ctr);
+      break;
+    }
+    case EventKind::kCheckpointEmitted:
+    case EventKind::kCheckpointProcessed: {
+      const auto& cp = e.p.checkpoint;
+      put_varint(os, cp.cp_seq);
+      put_varint(os, cp.highest_seen);
+      put_varint(os, cp.missed);
+      put_varint(os, cp.nak_count);
+      put_u8(os, cp.flags);
+      for (std::size_t i = 0; i < cp.inline_naks(); ++i) {
+        put_varint(os, cp.naks[i]);
+      }
+      break;
+    }
+    case EventKind::kNakGenerated:
+      put_varint(os, e.p.nak.ctr);
+      break;
+    case EventKind::kBufferOccupancy:
+      put_u8(os, static_cast<std::uint8_t>(e.p.buffer.which));
+      put_varint(os, e.p.buffer.depth);
+      break;
+    case EventKind::kTimerArmed:
+    case EventKind::kTimerFired:
+      put_u8(os, static_cast<std::uint8_t>(e.p.timer.timer));
+      put_svarint(os, e.p.timer.deadline_ps);
+      break;
+    case EventKind::kRecoveryTransition:
+      put_u8(os, static_cast<std::uint8_t>(e.p.recovery.from));
+      put_u8(os, static_cast<std::uint8_t>(e.p.recovery.to));
+      put_u8(os, static_cast<std::uint8_t>(e.p.recovery.reason));
+      break;
+  }
+}
+
+bool decode_payload(Decoder& d, Event& e) {
+  switch (e.kind) {
+    case EventKind::kFrameSent:
+    case EventKind::kFrameReceived:
+    case EventKind::kFrameReleased:
+    case EventKind::kRetransmitQueued: {
+      auto& f = e.p.frame;
+      f.ctr = d.varint("frame.ctr");
+      f.packet_id = d.varint("frame.packet_id");
+      f.attempt = static_cast<std::uint32_t>(d.varint("frame.attempt"));
+      f.control = d.u8("frame.control");
+      f.holding_ps = d.svarint("frame.holding_ps");
+      break;
+    }
+    case EventKind::kFrameCorrupted:
+    case EventKind::kFrameDropped:
+    case EventKind::kFrameDuplicated:
+    case EventKind::kFrameDelayed: {
+      auto& dr = e.p.drop;
+      const std::uint8_t cause = d.u8("drop.cause");
+      if (cause >= kDropCauseCount) {
+        if (d.err.empty()) d.err = "bad drop cause";
+        return false;
+      }
+      dr.cause = static_cast<DropCause>(cause);
+      dr.control = d.u8("drop.control");
+      dr.ctr = d.varint("drop.ctr");
+      break;
+    }
+    case EventKind::kCheckpointEmitted:
+    case EventKind::kCheckpointProcessed: {
+      auto& cp = e.p.checkpoint;
+      cp.cp_seq = static_cast<std::uint32_t>(d.varint("cp.seq"));
+      cp.highest_seen = static_cast<std::uint32_t>(d.varint("cp.highest"));
+      cp.missed = static_cast<std::uint32_t>(d.varint("cp.missed"));
+      cp.nak_count = static_cast<std::uint16_t>(d.varint("cp.nak_count"));
+      cp.flags = d.u8("cp.flags");
+      for (std::size_t i = 0; i < cp.inline_naks(); ++i) {
+        cp.naks[i] = static_cast<std::uint32_t>(d.varint("cp.nak"));
+      }
+      break;
+    }
+    case EventKind::kNakGenerated:
+      e.p.nak.ctr = d.varint("nak.ctr");
+      break;
+    case EventKind::kBufferOccupancy: {
+      const std::uint8_t which = d.u8("buffer.which");
+      if (which >= kBufferIdCount) {
+        if (d.err.empty()) d.err = "bad buffer id";
+        return false;
+      }
+      e.p.buffer.which = static_cast<BufferId>(which);
+      e.p.buffer.depth = static_cast<std::uint32_t>(d.varint("buffer.depth"));
+      break;
+    }
+    case EventKind::kTimerArmed:
+    case EventKind::kTimerFired: {
+      const std::uint8_t timer = d.u8("timer.id");
+      if (timer >= kTimerIdCount) {
+        if (d.err.empty()) d.err = "bad timer id";
+        return false;
+      }
+      e.p.timer.timer = static_cast<TimerId>(timer);
+      e.p.timer.deadline_ps = d.svarint("timer.deadline");
+      break;
+    }
+    case EventKind::kRecoveryTransition: {
+      const std::uint8_t from = d.u8("recovery.from");
+      const std::uint8_t to = d.u8("recovery.to");
+      const std::uint8_t reason = d.u8("recovery.reason");
+      if (from >= kSenderModeCount || to >= kSenderModeCount ||
+          reason >= kRecoveryReasonCount) {
+        if (d.err.empty()) d.err = "bad recovery payload";
+        return false;
+      }
+      e.p.recovery.from = static_cast<SenderMode>(from);
+      e.p.recovery.to = static_cast<SenderMode>(to);
+      e.p.recovery.reason = static_cast<RecoveryReason>(reason);
+      break;
+    }
+  }
+  return d.ok();
+}
+
+}  // namespace
+
+CaptureWriter::CaptureWriter(std::ostream& os) : os_{os} {
+  os_.write(reinterpret_cast<const char*>(kCaptureMagic),
+            sizeof(kCaptureMagic));
+  put_u16le(os_, kCaptureVersion);
+  put_u16le(os_, 0);  // reserved
+}
+
+void CaptureWriter::write(const Event& e) {
+  put_svarint(os_, e.at.ps() - last_ps_);
+  last_ps_ = e.at.ps();
+  put_u8(os_, static_cast<std::uint8_t>(e.source));
+  put_u8(os_, static_cast<std::uint8_t>(e.kind));
+  encode_payload(os_, e);
+  ++written_;
+}
+
+CaptureReader::CaptureReader(std::istream& is) : is_{is} {
+  std::uint8_t magic[sizeof(kCaptureMagic)] = {};
+  is_.read(reinterpret_cast<char*>(magic), sizeof(magic));
+  if (is_.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kCaptureMagic, sizeof(magic)) != 0) {
+    error_ = "not a .ldlcap file (bad magic)";
+    return;
+  }
+  Decoder d{is_, {}};
+  version_ = d.u16le("header.version");
+  d.u16le("header.reserved");
+  if (!d.ok()) {
+    error_ = d.err;
+    return;
+  }
+  if (version_ != kCaptureVersion) {
+    error_ = "unsupported capture version " + std::to_string(version_);
+  }
+}
+
+std::optional<Event> CaptureReader::next() {
+  if (!ok()) return std::nullopt;
+  Decoder d{is_, {}};
+  if (d.peek_byte() == std::istream::traits_type::eof()) {
+    return std::nullopt;  // clean end of stream
+  }
+  Event e;
+  e.at = Time::picoseconds(last_ps_ + d.svarint("record.delta"));
+  const std::uint8_t source = d.u8("record.source");
+  const std::uint8_t kind = d.u8("record.kind");
+  if (!d.ok()) {
+    error_ = d.err;
+    return std::nullopt;
+  }
+  if (source >= kSourceCount) {
+    error_ = "bad source tag " + std::to_string(source);
+    return std::nullopt;
+  }
+  if (kind >= kEventKindCount) {
+    error_ = "bad event kind " + std::to_string(kind);
+    return std::nullopt;
+  }
+  e.source = static_cast<Source>(source);
+  e.kind = static_cast<EventKind>(kind);
+  if (!decode_payload(d, e)) {
+    error_ = d.err.empty() ? "malformed payload" : d.err;
+    return std::nullopt;
+  }
+  last_ps_ = e.at.ps();
+  ++read_;
+  return e;
+}
+
+std::optional<std::vector<Event>> read_capture(std::istream& is,
+                                               std::string* error) {
+  CaptureReader reader{is};
+  std::vector<Event> out;
+  while (auto e = reader.next()) out.push_back(*e);
+  if (!reader.ok()) {
+    if (error != nullptr) *error = reader.error();
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace lamsdlc::obs

@@ -1,0 +1,126 @@
+#include "lamsdlc/obs/collector.hpp"
+
+#include <iterator>
+#include <string>
+
+namespace lamsdlc::obs {
+namespace {
+
+/// "link.forward" / "link.reverse" / "lams.sender" / ... — the source name
+/// doubles as the metric prefix, so link metrics split by direction.
+std::string prefix(Source s) { return to_string(s); }
+
+const char* drop_counter_suffix(DropCause c) noexcept {
+  switch (c) {
+    case DropCause::kWireCorruption: return "wire_corrupted";
+    case DropCause::kFaultDrop: return "fault_dropped";
+    case DropCause::kFaultTruncation: return "fault_truncated";
+    case DropCause::kFaultJitter: return "fault_delayed";
+    case DropCause::kFaultDuplicate: return "fault_duplicated";
+    case DropCause::kLinkDown: return "down_dropped";
+    case DropCause::kNoSink: return "no_sink_dropped";
+    case DropCause::kCongestion: return "congestion_discards";
+    case DropCause::kStaleSequence: return "duplicates_suppressed";
+    case DropCause::kCorruptControl: return "corrupt_control_discards";
+  }
+  return "dropped";
+}
+
+}  // namespace
+
+MetricsCollector::MetricsCollector(EventBus& bus, Registry& registry)
+    : bus_{bus}, registry_{registry} {
+  sub_ = bus_.subscribe([this](const Event& e) { on_event(e); });
+}
+
+MetricsCollector::~MetricsCollector() { bus_.unsubscribe(sub_); }
+
+void MetricsCollector::on_event(const Event& e) {
+  const std::string pre = prefix(e.source);
+  switch (e.kind) {
+    case EventKind::kFrameSent:
+      if (e.p.frame.control) {
+        registry_.counter(pre + ".control_tx").add();
+      } else {
+        registry_.counter(pre + ".iframe_tx").add();
+        if (e.p.frame.attempt > 1) {
+          registry_.counter(pre + ".iframe_retx").add();
+        }
+      }
+      break;
+    case EventKind::kFrameReceived:
+      registry_.counter(pre + (e.p.frame.control ? ".control_rx" : ".iframe_rx"))
+          .add();
+      break;
+    case EventKind::kFrameReleased:
+      registry_.counter(pre + ".frames_released").add();
+      registry_.histogram(pre + ".holding_time_ms")
+          .observe(static_cast<double>(e.p.frame.holding_ps) * 1e-9);
+      break;
+    case EventKind::kRetransmitQueued:
+      registry_.counter(pre + ".retransmits_queued").add();
+      break;
+    case EventKind::kFrameCorrupted:
+    case EventKind::kFrameDropped:
+    case EventKind::kFrameDuplicated:
+    case EventKind::kFrameDelayed:
+      registry_.counter(pre + '.' + drop_counter_suffix(e.p.drop.cause)).add();
+      break;
+    case EventKind::kCheckpointEmitted:
+      registry_.counter(pre + ".checkpoints_emitted").add();
+      if (e.p.checkpoint.enforced()) {
+        registry_.counter(pre + ".enforced_naks_emitted").add();
+      }
+      cp_emitted_[e.p.checkpoint.cp_seq] = e.at;
+      break;
+    case EventKind::kCheckpointProcessed: {
+      registry_.counter(pre + ".checkpoints_processed").add();
+      if (e.p.checkpoint.missed > 0) {
+        registry_.counter(pre + ".checkpoints_missed")
+            .add(e.p.checkpoint.missed);
+      }
+      const auto it = cp_emitted_.find(e.p.checkpoint.cp_seq);
+      if (it != cp_emitted_.end()) {
+        registry_.histogram(pre + ".checkpoint_rtt_ms")
+            .observe((e.at - it->second).ms());
+        // Lost checkpoints with lower seq can never be processed now.
+        cp_emitted_.erase(cp_emitted_.begin(), std::next(it));
+      }
+      break;
+    }
+    case EventKind::kNakGenerated:
+      registry_.counter(pre + ".naks_generated").add();
+      break;
+    case EventKind::kBufferOccupancy: {
+      const char* which = to_string(e.p.buffer.which);
+      registry_.gauge(pre + '.' + which + "_depth")
+          .set(e.p.buffer.depth);
+      registry_.histogram(pre + '.' + which + "_depth_hist")
+          .observe(e.p.buffer.depth);
+      break;
+    }
+    case EventKind::kTimerArmed:
+      registry_
+          .counter(pre + ".timer_armed." + to_string(e.p.timer.timer))
+          .add();
+      break;
+    case EventKind::kTimerFired:
+      registry_
+          .counter(pre + ".timer_fired." + to_string(e.p.timer.timer))
+          .add();
+      break;
+    case EventKind::kRecoveryTransition:
+      registry_
+          .counter(pre + ".recovery." + to_string(e.p.recovery.reason))
+          .add();
+      if (e.p.recovery.to == SenderMode::kEnforcedRecovery) {
+        registry_.counter(pre + ".enforced_recoveries").add();
+      }
+      if (e.p.recovery.to == SenderMode::kFailed) {
+        registry_.counter(pre + ".failures").add();
+      }
+      break;
+  }
+}
+
+}  // namespace lamsdlc::obs

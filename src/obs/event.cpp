@@ -1,0 +1,312 @@
+#include "lamsdlc/obs/event.hpp"
+
+#include <sstream>
+
+namespace lamsdlc::obs {
+namespace {
+
+bool frame_eq(const FramePayload& a, const FramePayload& b) noexcept {
+  return a.ctr == b.ctr && a.packet_id == b.packet_id &&
+         a.attempt == b.attempt && a.control == b.control &&
+         a.holding_ps == b.holding_ps;
+}
+
+bool drop_eq(const DropPayload& a, const DropPayload& b) noexcept {
+  return a.cause == b.cause && a.control == b.control && a.ctr == b.ctr;
+}
+
+bool checkpoint_eq(const CheckpointPayload& a,
+                   const CheckpointPayload& b) noexcept {
+  return a.cp_seq == b.cp_seq && a.highest_seen == b.highest_seen &&
+         a.missed == b.missed && a.nak_count == b.nak_count &&
+         a.flags == b.flags && a.naks == b.naks;
+}
+
+bool timer_eq(const TimerPayload& a, const TimerPayload& b) noexcept {
+  return a.timer == b.timer && a.deadline_ps == b.deadline_ps;
+}
+
+bool recovery_eq(const RecoveryPayload& a, const RecoveryPayload& b) noexcept {
+  return a.from == b.from && a.to == b.to && a.reason == b.reason;
+}
+
+const char* frame_verb(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kFrameSent: return "tx";
+    case EventKind::kFrameReceived: return "rx";
+    case EventKind::kFrameReleased: return "released";
+    case EventKind::kRetransmitQueued: return "retx-queued";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+bool operator==(const Event& a, const Event& b) noexcept {
+  if (a.at != b.at || a.source != b.source || a.kind != b.kind) return false;
+  switch (a.kind) {
+    case EventKind::kFrameSent:
+    case EventKind::kFrameReceived:
+    case EventKind::kFrameReleased:
+    case EventKind::kRetransmitQueued:
+      return frame_eq(a.p.frame, b.p.frame);
+    case EventKind::kFrameCorrupted:
+    case EventKind::kFrameDropped:
+    case EventKind::kFrameDuplicated:
+    case EventKind::kFrameDelayed:
+      return drop_eq(a.p.drop, b.p.drop);
+    case EventKind::kCheckpointEmitted:
+    case EventKind::kCheckpointProcessed:
+      return checkpoint_eq(a.p.checkpoint, b.p.checkpoint);
+    case EventKind::kNakGenerated:
+      return a.p.nak.ctr == b.p.nak.ctr;
+    case EventKind::kBufferOccupancy:
+      return a.p.buffer.which == b.p.buffer.which &&
+             a.p.buffer.depth == b.p.buffer.depth;
+    case EventKind::kTimerArmed:
+    case EventKind::kTimerFired:
+      return timer_eq(a.p.timer, b.p.timer);
+    case EventKind::kRecoveryTransition:
+      return recovery_eq(a.p.recovery, b.p.recovery);
+  }
+  return false;
+}
+
+const char* to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kFrameSent: return "frame_sent";
+    case EventKind::kFrameReceived: return "frame_received";
+    case EventKind::kFrameReleased: return "frame_released";
+    case EventKind::kRetransmitQueued: return "retransmit_queued";
+    case EventKind::kFrameCorrupted: return "frame_corrupted";
+    case EventKind::kFrameDropped: return "frame_dropped";
+    case EventKind::kFrameDuplicated: return "frame_duplicated";
+    case EventKind::kFrameDelayed: return "frame_delayed";
+    case EventKind::kCheckpointEmitted: return "checkpoint_emitted";
+    case EventKind::kCheckpointProcessed: return "checkpoint_processed";
+    case EventKind::kNakGenerated: return "nak_generated";
+    case EventKind::kBufferOccupancy: return "buffer_occupancy";
+    case EventKind::kTimerArmed: return "timer_armed";
+    case EventKind::kTimerFired: return "timer_fired";
+    case EventKind::kRecoveryTransition: return "recovery_transition";
+  }
+  return "unknown";
+}
+
+const char* to_string(Source s) noexcept {
+  switch (s) {
+    case Source::kLamsSender: return "lams.sender";
+    case Source::kLamsReceiver: return "lams.receiver";
+    case Source::kLinkForward: return "link.forward";
+    case Source::kLinkReverse: return "link.reverse";
+    case Source::kOther: return "other";
+  }
+  return "unknown";
+}
+
+const char* to_string(DropCause c) noexcept {
+  switch (c) {
+    case DropCause::kWireCorruption: return "wire_corruption";
+    case DropCause::kFaultDrop: return "fault_drop";
+    case DropCause::kFaultTruncation: return "fault_truncation";
+    case DropCause::kFaultJitter: return "fault_jitter";
+    case DropCause::kFaultDuplicate: return "fault_duplicate";
+    case DropCause::kLinkDown: return "link_down";
+    case DropCause::kNoSink: return "no_sink";
+    case DropCause::kCongestion: return "congestion";
+    case DropCause::kStaleSequence: return "stale_sequence";
+    case DropCause::kCorruptControl: return "corrupt_control";
+  }
+  return "unknown";
+}
+
+const char* to_string(TimerId t) noexcept {
+  switch (t) {
+    case TimerId::kCheckpointTimer: return "checkpoint_timer";
+    case TimerId::kFailureTimer: return "failure_timer";
+    case TimerId::kCheckpointCadence: return "checkpoint_cadence";
+  }
+  return "unknown";
+}
+
+const char* to_string(SenderMode m) noexcept {
+  switch (m) {
+    case SenderMode::kNormal: return "normal";
+    case SenderMode::kEnforcedRecovery: return "enforced_recovery";
+    case SenderMode::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+const char* to_string(RecoveryReason r) noexcept {
+  switch (r) {
+    case RecoveryReason::kCheckpointSilence: return "checkpoint_silence";
+    case RecoveryReason::kNakGapAmbiguity: return "nak_gap_ambiguity";
+    case RecoveryReason::kEnforcedNakResolved: return "enforced_nak_resolved";
+    case RecoveryReason::kFailureTimeout: return "failure_timeout";
+    case RecoveryReason::kLifetimeExhausted: return "lifetime_exhausted";
+  }
+  return "unknown";
+}
+
+const char* to_string(BufferId b) noexcept {
+  switch (b) {
+    case BufferId::kSendBuffer: return "send_buffer";
+    case BufferId::kRecvBuffer: return "recv_buffer";
+  }
+  return "unknown";
+}
+
+std::optional<EventKind> kind_from_string(std::string_view name) noexcept {
+  for (std::uint8_t i = 0; i < kEventKindCount; ++i) {
+    const auto k = static_cast<EventKind>(i);
+    if (name == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+std::optional<Source> source_from_string(std::string_view name) noexcept {
+  for (std::uint8_t i = 0; i < kSourceCount; ++i) {
+    const auto s = static_cast<Source>(i);
+    if (name == to_string(s)) return s;
+  }
+  return std::nullopt;
+}
+
+std::string describe(const Event& e) {
+  std::ostringstream os;
+  switch (e.kind) {
+    case EventKind::kFrameSent:
+    case EventKind::kFrameReceived:
+    case EventKind::kRetransmitQueued: {
+      const auto& f = e.p.frame;
+      os << (f.control ? "control " : "iframe ") << frame_verb(e.kind)
+         << " ctr=" << f.ctr;
+      if (!f.control) os << " pkt=" << f.packet_id;
+      if (f.attempt > 0) os << " attempt=" << f.attempt;
+      break;
+    }
+    case EventKind::kFrameReleased: {
+      const auto& f = e.p.frame;
+      os << "iframe released ctr=" << f.ctr << " pkt=" << f.packet_id
+         << " held=" << static_cast<double>(f.holding_ps) * 1e-9 << "ms";
+      break;
+    }
+    case EventKind::kFrameCorrupted:
+    case EventKind::kFrameDropped:
+    case EventKind::kFrameDuplicated:
+    case EventKind::kFrameDelayed: {
+      const auto& d = e.p.drop;
+      os << (d.control ? "control " : "frame ") << to_string(e.kind) + 6
+         << " cause=" << to_string(d.cause);
+      if (d.ctr != 0) os << " ctr=" << d.ctr;
+      break;
+    }
+    case EventKind::kCheckpointEmitted:
+    case EventKind::kCheckpointProcessed: {
+      const auto& cp = e.p.checkpoint;
+      os << (e.kind == EventKind::kCheckpointEmitted ? "checkpoint tx seq="
+                                                     : "checkpoint rx seq=")
+         << cp.cp_seq << " highest=" << cp.highest_seen
+         << " naks=" << cp.nak_count;
+      if (cp.missed > 0) os << " missed=" << cp.missed;
+      if (cp.enforced()) os << " enforced";
+      if (cp.stop_go()) os << " stop-go";
+      if (cp.nak_count > 0) {
+        os << " [";
+        for (std::size_t i = 0; i < cp.inline_naks(); ++i) {
+          if (i) os << ' ';
+          os << cp.naks[i];
+        }
+        if (cp.nak_count > kMaxInlineNaks) os << " ...";
+        os << ']';
+      }
+      break;
+    }
+    case EventKind::kNakGenerated:
+      os << "nak ctr=" << e.p.nak.ctr;
+      break;
+    case EventKind::kBufferOccupancy:
+      os << to_string(e.p.buffer.which) << " depth=" << e.p.buffer.depth;
+      break;
+    case EventKind::kTimerArmed:
+      os << "timer armed " << to_string(e.p.timer.timer) << " deadline="
+         << static_cast<double>(e.p.timer.deadline_ps) * 1e-9 << "ms";
+      break;
+    case EventKind::kTimerFired:
+      os << "timer fired " << to_string(e.p.timer.timer);
+      break;
+    case EventKind::kRecoveryTransition:
+      os << "mode " << to_string(e.p.recovery.from) << " -> "
+         << to_string(e.p.recovery.to)
+         << " reason=" << to_string(e.p.recovery.reason);
+      break;
+  }
+  return os.str();
+}
+
+std::string to_json(const Event& e) {
+  std::ostringstream os;
+  os << "{\"t_ps\":" << e.at.ps() << ",\"source\":\"" << to_string(e.source)
+     << "\",\"kind\":\"" << to_string(e.kind) << '"';
+  switch (e.kind) {
+    case EventKind::kFrameSent:
+    case EventKind::kFrameReceived:
+    case EventKind::kFrameReleased:
+    case EventKind::kRetransmitQueued: {
+      const auto& f = e.p.frame;
+      os << ",\"ctr\":" << f.ctr << ",\"packet_id\":" << f.packet_id
+         << ",\"attempt\":" << f.attempt
+         << ",\"control\":" << (f.control ? "true" : "false")
+         << ",\"holding_ps\":" << f.holding_ps;
+      break;
+    }
+    case EventKind::kFrameCorrupted:
+    case EventKind::kFrameDropped:
+    case EventKind::kFrameDuplicated:
+    case EventKind::kFrameDelayed: {
+      const auto& d = e.p.drop;
+      os << ",\"cause\":\"" << to_string(d.cause) << "\",\"control\":"
+         << (d.control ? "true" : "false") << ",\"ctr\":" << d.ctr;
+      break;
+    }
+    case EventKind::kCheckpointEmitted:
+    case EventKind::kCheckpointProcessed: {
+      const auto& cp = e.p.checkpoint;
+      os << ",\"cp_seq\":" << cp.cp_seq << ",\"highest_seen\":"
+         << cp.highest_seen << ",\"missed\":" << cp.missed
+         << ",\"nak_count\":" << cp.nak_count
+         << ",\"any_seen\":" << (cp.any_seen() ? "true" : "false")
+         << ",\"enforced\":" << (cp.enforced() ? "true" : "false")
+         << ",\"stop_go\":" << (cp.stop_go() ? "true" : "false")
+         << ",\"naks\":[";
+      for (std::size_t i = 0; i < cp.inline_naks(); ++i) {
+        if (i) os << ',';
+        os << cp.naks[i];
+      }
+      os << ']';
+      break;
+    }
+    case EventKind::kNakGenerated:
+      os << ",\"ctr\":" << e.p.nak.ctr;
+      break;
+    case EventKind::kBufferOccupancy:
+      os << ",\"buffer\":\"" << to_string(e.p.buffer.which)
+         << "\",\"depth\":" << e.p.buffer.depth;
+      break;
+    case EventKind::kTimerArmed:
+    case EventKind::kTimerFired:
+      os << ",\"timer\":\"" << to_string(e.p.timer.timer)
+         << "\",\"deadline_ps\":" << e.p.timer.deadline_ps;
+      break;
+    case EventKind::kRecoveryTransition:
+      os << ",\"from\":\"" << to_string(e.p.recovery.from) << "\",\"to\":\""
+         << to_string(e.p.recovery.to) << "\",\"reason\":\""
+         << to_string(e.p.recovery.reason) << '"';
+      break;
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace lamsdlc::obs

@@ -61,6 +61,7 @@ ChaosVerdict run_chaos(const ChaosKnobs& knobs) {
 
   ScenarioConfig cfg;
   cfg.protocol = Protocol::kLams;
+  cfg.metrics = true;  // chaos verdicts read their counters from the registry
   cfg.data_rate_bps = 100e6;
   cfg.prop_delay = Time::milliseconds(5);
   cfg.frame_bytes = knobs.frame_bytes;
@@ -152,8 +153,10 @@ ChaosVerdict run_chaos(const ChaosKnobs& knobs) {
   }
 
   Scenario s{cfg};
+  if (knobs.tap) knobs.tap(s);
 
   std::size_t stage_idx = 0;
+  std::vector<const phy::FaultInjector*> all_stages;
   std::vector<const phy::FaultInjector*> reverse_stages;
   for (const Episode& e : episodes) {
     phy::FaultInjector::Config fc;
@@ -168,6 +171,7 @@ ChaosVerdict run_chaos(const ChaosKnobs& knobs) {
     if (kind == "corrupt") fc.p_corrupt = e.p;
     auto stage = std::make_unique<phy::FaultInjector>(
         fc, RandomStream{knobs.seed, "chaos.fault." + std::to_string(stage_idx++)});
+    all_stages.push_back(stage.get());
     if (e.reverse) {
       reverse_stages.push_back(stage.get());
       s.link().reverse().add_fault_stage(std::move(stage));
@@ -220,24 +224,43 @@ ChaosVerdict run_chaos(const ChaosKnobs& knobs) {
   v.violations = checker.violations();
   v.schedule = schedule.str();
   v.report = s.report();
-  v.faults_dropped = s.link().forward().frames_fault_dropped() +
-                     s.link().reverse().frames_fault_dropped();
-  v.faults_duplicated = s.link().forward().frames_duplicated() +
-                        s.link().reverse().frames_duplicated();
-  v.faults_delayed =
-      s.link().forward().frames_delayed() + s.link().reverse().frames_delayed();
-  v.faults_truncated = s.link().forward().frames_truncated() +
-                       s.link().reverse().frames_truncated();
-  v.frames_corrupted = s.link().forward().frames_corrupted() +
-                       s.link().reverse().frames_corrupted();
+
+  // Fold the fault-stage counters into the registry (`phy.fault.*`), then
+  // read every verdict counter back from the registry — the event stream is
+  // the single source of truth for link/endpoint counts, and any divergence
+  // from the channels' own counters would show up as a soak-test failure.
+  obs::Registry& reg = s.metrics();
+  for (const phy::FaultInjector* st : all_stages) {
+    reg.counter("phy.fault.dropped").add(st->dropped());
+    reg.counter("phy.fault.duplicated").add(st->duplicated());
+    reg.counter("phy.fault.reordered").add(st->reordered());
+    reg.counter("phy.fault.truncated").add(st->truncated());
+    reg.counter("phy.fault.corrupted").add(st->corrupted());
+  }
   for (const phy::FaultInjector* st : reverse_stages) {
     v.reverse_faulted += st->dropped() + st->duplicated() + st->reordered() +
                          st->truncated() + st->corrupted();
   }
-  v.congestion_discards = s.lams_receiver()->congestion_discards();
-  v.duplicates_suppressed = s.lams_receiver()->duplicates_suppressed();
-  v.request_naks = s.lams_sender()->request_naks_sent();
-  v.checkpoints_sent = s.lams_receiver()->checkpoints_sent();
+  reg.counter("phy.fault.reverse_faulted").add(v.reverse_faulted);
+  reg.gauge("scenario.throughput_frames_s").set(v.report.throughput_frames_s);
+  reg.gauge("scenario.efficiency").set(v.report.efficiency);
+
+  const auto both = [&reg](const char* suffix) {
+    return reg.counter_value(std::string{"link.forward."} + suffix) +
+           reg.counter_value(std::string{"link.reverse."} + suffix);
+  };
+  v.faults_dropped = both("fault_dropped");
+  v.faults_duplicated = both("fault_duplicated");
+  v.faults_delayed = both("fault_delayed");
+  v.faults_truncated = both("fault_truncated");
+  v.frames_corrupted = both("wire_corrupted");
+  v.congestion_discards =
+      reg.counter_value("lams.receiver.congestion_discards");
+  v.duplicates_suppressed =
+      reg.counter_value("lams.receiver.duplicates_suppressed");
+  v.request_naks = reg.counter_value("lams.sender.control_tx");
+  v.checkpoints_sent = reg.counter_value("lams.receiver.checkpoints_emitted");
+  v.metrics_json = reg.json();
   return v;
 }
 

@@ -48,6 +48,11 @@ Scenario::Scenario(ScenarioConfig cfg)
   link_ = std::make_unique<link::FullDuplexLink>(
       sim_, fwd, make_error(cfg_.forward_error, "fwd.data"), rev,
       make_error(cfg_.reverse_error, "rev.data"));
+  link_->forward().set_event_bus(&bus_, obs::Source::kLinkForward);
+  link_->reverse().set_event_bus(&bus_, obs::Source::kLinkReverse);
+  if (cfg_.metrics) {
+    collector_ = std::make_unique<obs::MetricsCollector>(bus_, registry_);
+  }
 
   // Distinct control-frame error processes so P_C can differ from P_F
   // (fixed-probability mode); in the other modes frame length already
@@ -67,9 +72,11 @@ Scenario::Scenario(ScenarioConfig cfg)
     case Protocol::kLams:
       lams_tx_ = std::make_unique<lams::LamsSender>(sim_, link_->forward(),
                                                     cfg_.lams, &stats_,
-                                                    cfg_.tracer);
-      lams_rx_ = std::make_unique<lams::LamsReceiver>(
-          sim_, link_->reverse(), cfg_.lams, &tracker_, &stats_, cfg_.tracer);
+                                                    cfg_.tracer, &bus_);
+      lams_rx_ = std::make_unique<lams::LamsReceiver>(sim_, link_->reverse(),
+                                                      cfg_.lams, &tracker_,
+                                                      &stats_, cfg_.tracer,
+                                                      &bus_);
       link_->reverse().set_sink(lams_tx_.get());
       link_->forward().set_sink(lams_rx_.get());
       lams_rx_->start();

@@ -75,6 +75,60 @@ TEST(TimeWeightedStat, NonZeroStart) {
   EXPECT_DOUBLE_EQ(s.average(), 2.0);
 }
 
+TEST(Percentiles, EmptyIsZero) {
+  Percentiles p;
+  EXPECT_EQ(p.count(), 0u);
+  EXPECT_DOUBLE_EQ(p.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(p.p90(), 0.0);
+  EXPECT_DOUBLE_EQ(p.p99(), 0.0);
+  EXPECT_DOUBLE_EQ(p.min(), 0.0);
+  EXPECT_DOUBLE_EQ(p.max(), 0.0);
+}
+
+TEST(Percentiles, SingleSampleIsEveryQuantile) {
+  Percentiles p;
+  p.add(42.0);
+  EXPECT_EQ(p.count(), 1u);
+  for (double q : {0.0, 0.01, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(p.quantile(q), 42.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(p.min(), 42.0);
+  EXPECT_DOUBLE_EQ(p.max(), 42.0);
+}
+
+TEST(Percentiles, DuplicateSamples) {
+  Percentiles p;
+  for (int i = 0; i < 10; ++i) p.add(3.0);
+  EXPECT_DOUBLE_EQ(p.p50(), 3.0);
+  EXPECT_DOUBLE_EQ(p.p99(), 3.0);
+  EXPECT_DOUBLE_EQ(p.min(), 3.0);
+  EXPECT_DOUBLE_EQ(p.max(), 3.0);
+}
+
+TEST(Percentiles, NearestRankOnKnownSet) {
+  // 1..100: nearest-rank q-quantile is ceil(q*100), i.e. exactly q*100 here.
+  Percentiles p;
+  for (int i = 100; i >= 1; --i) p.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(p.p50(), 50.0);
+  EXPECT_DOUBLE_EQ(p.p90(), 90.0);
+  EXPECT_DOUBLE_EQ(p.p99(), 99.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);  // rank clamps to the first sample
+  EXPECT_DOUBLE_EQ(p.min(), 1.0);
+  EXPECT_DOUBLE_EQ(p.max(), 100.0);
+}
+
+TEST(Percentiles, InterleavedAddAndQuery) {
+  // Queries lazily sort; later adds must re-sort, not corrupt the order.
+  Percentiles p;
+  p.add(5.0);
+  p.add(1.0);
+  EXPECT_DOUBLE_EQ(p.p50(), 1.0);  // ceil(0.5*2) = rank 1
+  p.add(3.0);
+  EXPECT_DOUBLE_EQ(p.p50(), 3.0);  // ceil(0.5*3) = rank 2 of {1,3,5}
+  EXPECT_DOUBLE_EQ(p.max(), 5.0);
+}
+
 TEST(Histogram, BinningAndTotal) {
   Histogram h{0.0, 10.0, 10};
   for (int i = 0; i < 10; ++i) h.add(i + 0.5);

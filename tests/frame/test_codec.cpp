@@ -244,6 +244,64 @@ TEST(Codec, UnknownKindRejected) {
   EXPECT_FALSE(decode(raw).has_value());
 }
 
+TEST(Codec, RandomIFrameRoundTripProperty) {
+  // Property: encode→decode is the identity on every wire-visible I-frame
+  // field, for arbitrary sequence numbers, sizes and payload contents.
+  RandomStream rng{4242, "prop.iframe"};
+  for (int iter = 0; iter < 2000; ++iter) {
+    IFrame in;
+    in.seq = static_cast<Seq>(rng.uniform_int(0, 0xFFFF));
+    const bool literal = rng.bernoulli(0.5);
+    in.payload_bytes = static_cast<std::uint32_t>(rng.uniform_int(0, 256));
+    if (literal) {
+      in.payload.resize(in.payload_bytes);
+      for (auto& b : in.payload) {
+        b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      }
+    }
+    const auto out = decode(encode(make(in)));
+    ASSERT_TRUE(out.has_value()) << "iter " << iter;
+    const auto& i = std::get<IFrame>(out->body);
+    EXPECT_EQ(i.seq, in.seq);
+    EXPECT_EQ(i.payload_bytes, in.payload_bytes);
+    if (literal) {
+      EXPECT_EQ(i.payload, in.payload);
+    } else {
+      EXPECT_EQ(i.payload.size(), in.payload_bytes);
+    }
+  }
+}
+
+TEST(Codec, RandomCheckpointRoundTripProperty) {
+  // Property: arbitrary checkpoints — any flag combination, NAK lists of any
+  // length/content, any timestamp — survive the wire byte-exactly.
+  RandomStream rng{4242, "prop.checkpoint"};
+  for (int iter = 0; iter < 2000; ++iter) {
+    CheckpointFrame in;
+    in.cp_seq = static_cast<std::uint32_t>(rng.uniform_int(0, 0x7FFFFFFF));
+    in.generated_at =
+        Time::microseconds(rng.uniform_int(0, 1'000'000'000));
+    in.highest_seen = static_cast<Seq>(rng.uniform_int(0, 0xFFFF));
+    in.any_seen = rng.bernoulli(0.5);
+    in.enforced = rng.bernoulli(0.5);
+    in.stop_go = rng.bernoulli(0.5);
+    in.epoch = static_cast<std::uint32_t>(rng.uniform_int(0, 255));
+    in.naks.resize(static_cast<std::size_t>(rng.uniform_int(0, 64)));
+    for (auto& n : in.naks) n = static_cast<Seq>(rng.uniform_int(0, 0xFFFF));
+    const auto out = decode(encode(make(in)));
+    ASSERT_TRUE(out.has_value()) << "iter " << iter;
+    const auto& c = std::get<CheckpointFrame>(out->body);
+    EXPECT_EQ(c.cp_seq, in.cp_seq);
+    EXPECT_EQ(c.generated_at, in.generated_at);
+    EXPECT_EQ(c.highest_seen, in.highest_seen);
+    EXPECT_EQ(c.any_seen, in.any_seen);
+    EXPECT_EQ(c.enforced, in.enforced);
+    EXPECT_EQ(c.stop_go, in.stop_go);
+    EXPECT_EQ(c.epoch, in.epoch);
+    EXPECT_EQ(c.naks, in.naks);
+  }
+}
+
 TEST(Codec, RandomBytesFuzzNeverCrash) {
   RandomStream rng{2024, "fuzz"};
   for (int iter = 0; iter < 5000; ++iter) {

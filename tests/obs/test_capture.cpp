@@ -1,0 +1,237 @@
+#include "lamsdlc/obs/capture.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lamsdlc/sim/scenario.hpp"
+#include "lamsdlc/workload/sources.hpp"
+
+namespace lamsdlc::obs {
+namespace {
+
+/// One event of every kind, with payload fields exercising wide values
+/// (large counters, negative deltas are impossible in sim time but zigzag
+/// still must handle out-of-order timestamps — covered separately).
+std::vector<Event> sample_events() {
+  std::vector<Event> evs;
+  Time t = Time::milliseconds(1);
+  auto base = [&t](Source s, EventKind k) {
+    Event e;
+    e.at = t;
+    t = t + Time::microseconds(137);
+    e.source = s;
+    e.kind = k;
+    return e;
+  };
+
+  Event e = base(Source::kLamsSender, EventKind::kFrameSent);
+  e.p.frame = {0xFFFFFFFFFFULL, 12345678, 3, 0, 0};
+  evs.push_back(e);
+
+  e = base(Source::kLamsReceiver, EventKind::kFrameReceived);
+  e.p.frame = {17, 4, 0, 1, 0};
+  evs.push_back(e);
+
+  e = base(Source::kLamsSender, EventKind::kFrameReleased);
+  e.p.frame = {18, 5, 1, 0, 7'500'000};
+  evs.push_back(e);
+
+  e = base(Source::kLamsSender, EventKind::kRetransmitQueued);
+  e.p.frame = {19, 6, 2, 0, 0};
+  evs.push_back(e);
+
+  e = base(Source::kLinkForward, EventKind::kFrameCorrupted);
+  e.p.drop = {DropCause::kWireCorruption, 0, 21};
+  evs.push_back(e);
+
+  e = base(Source::kLinkForward, EventKind::kFrameDropped);
+  e.p.drop = {DropCause::kLinkDown, 1, 0};
+  evs.push_back(e);
+
+  e = base(Source::kLinkReverse, EventKind::kFrameDuplicated);
+  e.p.drop = {DropCause::kFaultDuplicate, 1, 3};
+  evs.push_back(e);
+
+  e = base(Source::kLinkForward, EventKind::kFrameDelayed);
+  e.p.drop = {DropCause::kFaultJitter, 0, 44};
+  evs.push_back(e);
+
+  e = base(Source::kLamsReceiver, EventKind::kCheckpointEmitted);
+  e.p.checkpoint.cp_seq = 9;
+  e.p.checkpoint.highest_seen = 500;
+  e.p.checkpoint.nak_count = 12;  // more than kMaxInlineNaks
+  e.p.checkpoint.flags = 0x5;
+  for (std::size_t i = 0; i < kMaxInlineNaks; ++i) {
+    e.p.checkpoint.naks[i] = static_cast<std::uint32_t>(100 + i);
+  }
+  evs.push_back(e);
+
+  e = base(Source::kLamsSender, EventKind::kCheckpointProcessed);
+  e.p.checkpoint.cp_seq = 9;
+  e.p.checkpoint.highest_seen = 500;
+  e.p.checkpoint.missed = 2;
+  e.p.checkpoint.nak_count = 1;
+  e.p.checkpoint.flags = 0x1;
+  e.p.checkpoint.naks[0] = 77;
+  evs.push_back(e);
+
+  e = base(Source::kLamsReceiver, EventKind::kNakGenerated);
+  e.p.nak = {0x1234567890ULL};
+  evs.push_back(e);
+
+  e = base(Source::kLamsReceiver, EventKind::kBufferOccupancy);
+  e.p.buffer = {BufferId::kRecvBuffer, 31};
+  evs.push_back(e);
+
+  e = base(Source::kLamsSender, EventKind::kTimerArmed);
+  e.p.timer = {TimerId::kFailureTimer, Time::milliseconds(250).ps()};
+  evs.push_back(e);
+
+  e = base(Source::kLamsSender, EventKind::kTimerFired);
+  e.p.timer = {TimerId::kCheckpointTimer, 0};
+  evs.push_back(e);
+
+  e = base(Source::kLamsSender, EventKind::kRecoveryTransition);
+  e.p.recovery = {SenderMode::kNormal, SenderMode::kEnforcedRecovery,
+                  RecoveryReason::kCheckpointSilence};
+  evs.push_back(e);
+
+  return evs;
+}
+
+TEST(Capture, EveryKindRoundTripsLosslessly) {
+  const std::vector<Event> in = sample_events();
+  std::stringstream ss;
+  CaptureWriter w{ss};
+  for (const Event& e : in) w.write(e);
+  EXPECT_EQ(w.written(), in.size());
+
+  CaptureReader r{ss};
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.version(), kCaptureVersion);
+  std::vector<Event> out;
+  while (auto e = r.next()) out.push_back(*e);
+  ASSERT_TRUE(r.ok()) << r.error();
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_TRUE(in[i] == out[i]) << "record " << i << ": "
+                                 << describe(in[i]) << " vs "
+                                 << describe(out[i]);
+  }
+}
+
+TEST(Capture, NonMonotoneTimestampsSurviveZigzag) {
+  std::vector<Event> in;
+  Event e;
+  e.kind = EventKind::kNakGenerated;
+  e.p.nak = {1};
+  e.at = Time::milliseconds(10);
+  in.push_back(e);
+  e.at = Time::milliseconds(2);  // negative delta
+  in.push_back(e);
+  e.at = Time::milliseconds(30);
+  in.push_back(e);
+
+  std::stringstream ss;
+  CaptureWriter w{ss};
+  for (const Event& ev : in) w.write(ev);
+  const auto out = read_capture(ss);
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_EQ((*out)[1].at, Time::milliseconds(2));
+  EXPECT_EQ((*out)[2].at, Time::milliseconds(30));
+}
+
+TEST(Capture, EmptyCaptureIsValid) {
+  std::stringstream ss;
+  CaptureWriter w{ss};
+  std::string err;
+  const auto out = read_capture(ss, &err);
+  ASSERT_TRUE(out.has_value()) << err;
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(Capture, BadMagicRejected) {
+  std::stringstream ss;
+  ss << "NOTACAPFILE.....";
+  std::string err;
+  EXPECT_FALSE(read_capture(ss, &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Capture, UnknownVersionRejected) {
+  std::stringstream ss;
+  ss.write(reinterpret_cast<const char*>(kCaptureMagic), 8);
+  const char v2[4] = {2, 0, 0, 0};  // version 2, reserved 0
+  ss.write(v2, 4);
+  std::string err;
+  EXPECT_FALSE(read_capture(ss, &err).has_value());
+  EXPECT_NE(err.find("version"), std::string::npos);
+}
+
+TEST(Capture, TruncationMidRecordIsAnErrorNotEof) {
+  std::stringstream ss;
+  CaptureWriter w{ss};
+  w.write(sample_events().front());
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() - 1);  // chop the final payload byte
+
+  std::istringstream cut{bytes};
+  CaptureReader r{cut};
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.error().empty());
+}
+
+TEST(Capture, InvalidKindTagIsAnError) {
+  std::stringstream ss;
+  CaptureWriter w{ss};
+  std::string bytes = ss.str();
+  bytes.push_back(0);  // delta 0
+  bytes.push_back(0);  // source kLamsSender
+  bytes.push_back(static_cast<char>(0xEE));  // no such kind
+  std::istringstream is{bytes};
+  CaptureReader r{is};
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_FALSE(r.ok());
+}
+
+/// The acceptance-criterion round trip: capture a real faulty run and the
+/// reader must reproduce the exact event sequence the bus delivered.
+TEST(Capture, LiveScenarioStreamRoundTripsExactly) {
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kLams;
+  cfg.seed = 77;
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.forward_error.p_frame = 0.08;
+  cfg.forward_error.p_control = 0.02;
+  cfg.reverse_error = cfg.forward_error;
+  sim::Scenario s{cfg};
+
+  std::vector<Event> live;
+  s.events().subscribe(EventBus::record_into(live));
+  std::stringstream ss;
+  CaptureWriter w{ss};
+  s.events().subscribe(w.subscriber());
+
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 300,
+                         cfg.frame_bytes);
+  ASSERT_TRUE(s.run_to_completion(Time::seconds_int(30)));
+  ASSERT_GT(live.size(), 300u);
+  EXPECT_EQ(w.written(), live.size());
+
+  const auto decoded = read_capture(ss);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    ASSERT_TRUE(live[i] == (*decoded)[i])
+        << "record " << i << ": " << describe(live[i]) << " vs "
+        << describe((*decoded)[i]);
+  }
+}
+
+}  // namespace
+}  // namespace lamsdlc::obs

@@ -1,0 +1,111 @@
+#include "lamsdlc/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace lamsdlc::obs {
+namespace {
+
+TEST(Counter, MonotoneAdd) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(9);
+  EXPECT_EQ(c.value(), 10u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(LogHistogram, BucketOfPowerOfTwoEdges) {
+  // Bucket i covers [2^(i-bias), 2^(i+1-bias)).
+  EXPECT_EQ(LogHistogram::bucket_of(1.0), std::size_t{LogHistogram::kBucketBias});
+  EXPECT_EQ(LogHistogram::bucket_of(2.0), std::size_t{LogHistogram::kBucketBias + 1});
+  EXPECT_EQ(LogHistogram::bucket_of(3.9), std::size_t{LogHistogram::kBucketBias + 1});
+  EXPECT_EQ(LogHistogram::bucket_of(0.5), std::size_t{LogHistogram::kBucketBias - 1});
+  // Degenerate inputs land in bucket 0 instead of misbehaving.
+  EXPECT_EQ(LogHistogram::bucket_of(0.0), 0u);
+  EXPECT_EQ(LogHistogram::bucket_of(-4.0), 0u);
+  // Huge values clamp to the top bucket.
+  EXPECT_EQ(LogHistogram::bucket_of(1e300), LogHistogram::kBuckets - 1);
+}
+
+TEST(LogHistogram, SummaryStatistics) {
+  LogHistogram h;
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 50.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 99.0);
+  std::uint64_t total = 0;
+  for (const auto b : h.buckets()) total += b;
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(Registry, LookupCreatesAndReferencesAreStable) {
+  Registry r;
+  Counter& c = r.counter("a.b");
+  c.add(2);
+  r.counter("z.z").add(1);  // map growth must not invalidate `c`
+  c.add(3);
+  EXPECT_EQ(r.counter_value("a.b"), 5u);
+  EXPECT_EQ(r.counter_value("absent"), 0u);
+  EXPECT_EQ(r.find_histogram("absent"), nullptr);
+  EXPECT_EQ(r.find_gauge("absent"), nullptr);
+  r.gauge("g").set(7.0);
+  ASSERT_NE(r.find_gauge("g"), nullptr);
+  EXPECT_DOUBLE_EQ(r.find_gauge("g")->value(), 7.0);
+}
+
+TEST(Registry, JsonExportContainsEverything) {
+  Registry r;
+  r.counter("lams.sender.iframe_tx").add(12);
+  r.gauge("scenario.efficiency").set(0.75);
+  r.histogram("lams.sender.holding_time_ms").observe(2.0);
+  const std::string js = r.json();
+  EXPECT_EQ(js.front(), '{');
+  EXPECT_NE(js.find("\"counters\""), std::string::npos);
+  EXPECT_NE(js.find("\"lams.sender.iframe_tx\":12"), std::string::npos);
+  EXPECT_NE(js.find("\"scenario.efficiency\""), std::string::npos);
+  EXPECT_NE(js.find("\"lams.sender.holding_time_ms\""), std::string::npos);
+  EXPECT_NE(js.find("\"p99\""), std::string::npos);
+}
+
+TEST(Registry, CsvExportOneRowPerMetric) {
+  Registry r;
+  r.counter("c.one").add(1);
+  r.gauge("g.one").set(2.5);
+  r.histogram("h.one").observe(4.0);
+  const std::string csv = r.csv();
+  EXPECT_NE(csv.find("type,name,value,count,min,mean,p50,p90,p99,max"),
+            std::string::npos);
+  EXPECT_NE(csv.find("counter,c.one,1"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,g.one,2.5"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,h.one,"), std::string::npos);
+  // Header plus exactly three metric rows.
+  std::size_t lines = 0;
+  for (const char ch : csv) lines += ch == '\n';
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(Registry, ExportOrderIsDeterministic) {
+  Registry a, b;
+  a.counter("x").add(1);
+  a.counter("a").add(2);
+  b.counter("a").add(2);
+  b.counter("x").add(1);
+  EXPECT_EQ(a.json(), b.json());
+  EXPECT_LT(a.json().find("\"a\""), a.json().find("\"x\""));
+}
+
+}  // namespace
+}  // namespace lamsdlc::obs

@@ -42,13 +42,37 @@
 ///   --no-outage              never schedule a full link outage
 ///   --no-suppress-duplicates ablation: receiver delivers stale frames (the
 ///                            checker must then flag duplicate delivery)
+///
+/// Subcommand `capture`: run one chaos seed with every typed protocol event
+/// recorded to an `.ldlcap` capture file (format: docs/OBSERVABILITY.md):
+///
+///   lamsdlc_cli capture --seed 42 --out run.ldlcap
+///
+/// Capture flags: the chaos flags above (single seed; no --seeds) plus
+///   --out FILE               [chaos-seed-S.ldlcap]
+///
+/// Subcommand `inspect`: decode an `.ldlcap` file to text or JSON:
+///
+///   lamsdlc_cli inspect run.ldlcap --kind nak_generated --json
+///
+/// Inspect flags:
+///   --json                   one JSON object per record (default: text)
+///   --summary                per-kind/per-source counts only
+///   --kind NAME              keep only this event kind
+///   --source NAME            keep only this source (e.g. lams.sender)
+///   --from-ms MS / --to-ms MS  keep t in [from, to)
+///   --limit N                stop after printing N records
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <optional>
 #include <string>
 
 #include "lamsdlc/analysis/model.hpp"
+#include "lamsdlc/obs/capture.hpp"
+#include "lamsdlc/obs/event.hpp"
 #include "lamsdlc/sim/chaos.hpp"
 #include "lamsdlc/sim/scenario.hpp"
 #include "lamsdlc/workload/sources.hpp"
@@ -65,6 +89,32 @@ struct Options {
   bool csv_header = false;
   bool analysis = false;
 };
+
+void print_subcommands(std::FILE* to) {
+  std::fprintf(to,
+               "subcommands:\n"
+               "  chaos     replay seeded fault schedules under the invariant "
+               "checker\n"
+               "  capture   run one chaos seed, record events to an .ldlcap "
+               "file\n"
+               "  inspect   decode an .ldlcap file to text or JSON\n"
+               "  (none)    run one scenario from flags and print a report\n");
+}
+
+void print_help() {
+  std::printf(
+      "usage: lamsdlc_cli [subcommand] [flags]\n"
+      "\n"
+      "Simulates the LAMS-DLC ARQ protocol (and HDLC/NBDT baselines) over a\n"
+      "faulty link.  With no subcommand, runs one scenario and prints a\n"
+      "report (or a CSV row with --csv).\n"
+      "\n");
+  print_subcommands(stdout);
+  std::printf(
+      "\n"
+      "Run `lamsdlc_cli <subcommand> --help` for that subcommand's flags;\n"
+      "the header of tools/lamsdlc_cli.cpp documents every flag.\n");
+}
 
 [[noreturn]] void usage_error(const std::string& what) {
   std::fprintf(stderr, "lamsdlc_cli: %s (see the header of tools/lamsdlc_cli.cpp)\n",
@@ -171,6 +221,37 @@ const char* protocol_name(sim::Protocol p) {
   return "?";
 }
 
+/// Parse one chaos-style flag at argv[i]; shared between `chaos` and
+/// `capture`.  Returns false when the flag is not a chaos knob.
+bool parse_chaos_flag(int argc, char** argv, int& i, sim::ChaosKnobs& knobs) {
+  auto need = [&](int& j) -> const char* {
+    if (j + 1 >= argc) usage_error(std::string("missing value for ") + argv[j]);
+    return argv[++j];
+  };
+  const std::string a = argv[i];
+  if (a == "--help" || a == "-h") {
+    std::printf("flags for this subcommand: see the header of "
+                "tools/lamsdlc_cli.cpp\n");
+    std::exit(0);
+  }
+  if (a == "--seed") {
+    knobs.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+  } else if (a == "--packets") {
+    knobs.packets = static_cast<std::uint64_t>(std::atoll(need(i)));
+  } else if (a == "--reverse-only") {
+    knobs.allow_forward_faults = false;
+  } else if (a == "--forward-only") {
+    knobs.allow_reverse_faults = false;
+  } else if (a == "--no-outage") {
+    knobs.allow_link_outage = false;
+  } else if (a == "--no-suppress-duplicates") {
+    knobs.suppress_duplicates = false;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 int run_chaos_command(int argc, char** argv) {
   sim::ChaosKnobs knobs;
   std::uint64_t seeds = 1;
@@ -180,20 +261,9 @@ int run_chaos_command(int argc, char** argv) {
   };
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--seed") {
-      knobs.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
-    } else if (a == "--seeds") {
+    if (parse_chaos_flag(argc, argv, i, knobs)) continue;
+    if (a == "--seeds") {
       seeds = static_cast<std::uint64_t>(std::atoll(need(i)));
-    } else if (a == "--packets") {
-      knobs.packets = static_cast<std::uint64_t>(std::atoll(need(i)));
-    } else if (a == "--reverse-only") {
-      knobs.allow_forward_faults = false;
-    } else if (a == "--forward-only") {
-      knobs.allow_reverse_faults = false;
-    } else if (a == "--no-outage") {
-      knobs.allow_link_outage = false;
-    } else if (a == "--no-suppress-duplicates") {
-      knobs.suppress_duplicates = false;
     } else {
       usage_error("unknown chaos flag " + a);
     }
@@ -231,11 +301,176 @@ int run_chaos_command(int argc, char** argv) {
   return violated == 0 ? 0 : 1;
 }
 
+int run_capture_command(int argc, char** argv) {
+  sim::ChaosKnobs knobs;
+  std::string out;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (parse_chaos_flag(argc, argv, i, knobs)) continue;
+    if (a == "--out") {
+      out = need(i);
+    } else {
+      usage_error("unknown capture flag " + a);
+    }
+  }
+  if (out.empty()) {
+    out = "chaos-seed-" + std::to_string(knobs.seed) + ".ldlcap";
+  }
+
+  std::ofstream os{out, std::ios::binary | std::ios::trunc};
+  if (!os) {
+    std::fprintf(stderr, "lamsdlc_cli: cannot open %s for writing\n",
+                 out.c_str());
+    return 1;
+  }
+  obs::CaptureWriter writer{os};
+  knobs.tap = [&writer](sim::Scenario& s) {
+    s.events().subscribe(writer.subscriber());
+  };
+  const sim::ChaosVerdict v = sim::run_chaos(knobs);
+  os.flush();
+  if (!os) {
+    std::fprintf(stderr, "lamsdlc_cli: write error on %s\n", out.c_str());
+    return 1;
+  }
+
+  std::printf("%s", v.to_string().c_str());
+  std::printf("captured %llu events -> %s\n",
+              static_cast<unsigned long long>(writer.written()), out.c_str());
+  return v.ok ? 0 : 1;
+}
+
+int run_inspect_command(int argc, char** argv) {
+  std::string file;
+  bool json = false, summary = false;
+  std::optional<obs::EventKind> kind;
+  std::optional<obs::Source> source;
+  double from_ms = -1, to_ms = -1;
+  std::uint64_t limit = 0;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") {
+      std::printf("flags for this subcommand: see the header of "
+                  "tools/lamsdlc_cli.cpp\n");
+      return 0;
+    }
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--summary") {
+      summary = true;
+    } else if (a == "--kind") {
+      const std::string v = need(i);
+      kind = obs::kind_from_string(v);
+      if (!kind) usage_error("unknown event kind " + v);
+    } else if (a == "--source") {
+      const std::string v = need(i);
+      source = obs::source_from_string(v);
+      if (!source) usage_error("unknown source " + v);
+    } else if (a == "--from-ms") {
+      from_ms = std::atof(need(i));
+    } else if (a == "--to-ms") {
+      to_ms = std::atof(need(i));
+    } else if (a == "--limit") {
+      limit = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (!a.empty() && a[0] != '-' && file.empty()) {
+      file = a;
+    } else {
+      usage_error("unknown inspect flag " + a);
+    }
+  }
+  if (file.empty()) usage_error("inspect needs a capture file argument");
+
+  std::ifstream is{file, std::ios::binary};
+  if (!is) {
+    std::fprintf(stderr, "lamsdlc_cli: cannot open %s\n", file.c_str());
+    return 1;
+  }
+  obs::CaptureReader reader{is};
+
+  std::uint64_t matched = 0, printed = 0;
+  std::uint64_t by_kind[obs::kEventKindCount] = {};
+  std::uint64_t by_source[obs::kSourceCount] = {};
+  Time first{}, last{};
+  while (auto e = reader.next()) {
+    if (kind && e->kind != *kind) continue;
+    if (source && e->source != *source) continue;
+    if (from_ms >= 0 && e->at.ms() < from_ms) continue;
+    if (to_ms >= 0 && e->at.ms() >= to_ms) continue;
+    if (matched == 0) first = e->at;
+    last = e->at;
+    ++matched;
+    by_kind[static_cast<std::uint8_t>(e->kind)]++;
+    by_source[static_cast<std::uint8_t>(e->source)]++;
+    if (summary || (limit != 0 && printed >= limit)) continue;
+    ++printed;
+    if (json) {
+      std::printf("%s\n", obs::to_json(*e).c_str());
+    } else {
+      std::printf("%12.6f ms  %-13s %s\n", e->at.ms(),
+                  obs::to_string(e->source), obs::describe(*e).c_str());
+    }
+  }
+  if (!reader.ok()) {
+    std::fprintf(stderr, "lamsdlc_cli: %s: %s\n", file.c_str(),
+                 reader.error().c_str());
+    return 1;
+  }
+  if (summary) {
+    std::printf("%s: version %u, %llu records, %llu matched\n", file.c_str(),
+                reader.version(),
+                static_cast<unsigned long long>(reader.read_count()),
+                static_cast<unsigned long long>(matched));
+    if (matched > 0) {
+      std::printf("span: %.6f ms .. %.6f ms\n", first.ms(), last.ms());
+      for (std::uint8_t k = 0; k < obs::kEventKindCount; ++k) {
+        if (by_kind[k] == 0) continue;
+        std::printf("  kind   %-21s %llu\n",
+                    obs::to_string(static_cast<obs::EventKind>(k)),
+                    static_cast<unsigned long long>(by_kind[k]));
+      }
+      for (std::uint8_t s = 0; s < obs::kSourceCount; ++s) {
+        if (by_source[s] == 0) continue;
+        std::printf("  source %-21s %llu\n",
+                    obs::to_string(static_cast<obs::Source>(s)),
+                    static_cast<unsigned long long>(by_source[s]));
+      }
+    }
+  } else if (limit != 0 && matched > printed) {
+    std::printf("... %llu more matching records (--limit %llu)\n",
+                static_cast<unsigned long long>(matched - printed),
+                static_cast<unsigned long long>(limit));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "chaos") == 0) {
-    return run_chaos_command(argc, argv);
+  if (argc > 1) {
+    const std::string cmd = argv[1];
+    if (cmd == "chaos") return run_chaos_command(argc, argv);
+    if (cmd == "capture") return run_capture_command(argc, argv);
+    if (cmd == "inspect") return run_inspect_command(argc, argv);
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+      print_help();
+      return 0;
+    }
+    if (!cmd.empty() && cmd[0] != '-') {
+      // A bare word that is not a subcommand must not fall through into the
+      // scenario flag parser — it would be silently ignored there.
+      std::fprintf(stderr, "lamsdlc_cli: unknown subcommand '%s'\n",
+                   cmd.c_str());
+      print_subcommands(stderr);
+      return 2;
+    }
   }
   Options o = parse(argc, argv);
 
