@@ -14,6 +14,7 @@
 
 #include "lamsdlc/analysis/model.hpp"
 #include "lamsdlc/sim/scenario.hpp"
+#include "lamsdlc/sim/sweep.hpp"
 #include "lamsdlc/workload/sources.hpp"
 
 namespace lamsdlc::bench {
@@ -62,6 +63,24 @@ inline sim::ScenarioReport run_batch(const sim::ScenarioConfig& cfg,
     std::fprintf(stderr, "  [warn] run did not complete within horizon\n");
   }
   return r;
+}
+
+/// One point of an experiment sweep: a scenario plus its workload size.
+struct BatchJob {
+  sim::ScenarioConfig cfg;
+  std::uint64_t frames = 0;
+};
+
+/// Run every job as an independent scenario, spread over the machine, and
+/// return the reports in job order — a table printed from them is
+/// byte-identical to the serial `run_batch` loop, only faster on multi-core
+/// hosts.  Scenarios share nothing, so this is safe for any config.
+inline std::vector<sim::ScenarioReport> run_batch_sweep(
+    const std::vector<BatchJob>& jobs, Time horizon = Time::seconds_int(600)) {
+  sim::ParallelSweep pool;
+  return pool.map<sim::ScenarioReport>(jobs.size(), [&](std::size_t i) {
+    return run_batch(jobs[i].cfg, jobs[i].frames, horizon);
+  });
 }
 
 /// Simple fixed-width table printer.

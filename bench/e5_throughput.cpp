@@ -20,12 +20,17 @@ void run() {
          "LAMS-DLC's efficiency rises with N (fixed costs amortize) and "
          "beats SR-HDLC everywhere; the gap widens with P_F");
 
+  const std::vector<std::uint64_t> ns = {1000, 5000, 20000, 50000};
   for (const double p_f : {0.01, 0.1}) {
     const double p_c = p_f / 10.0;
     std::printf("\n-- P_F = %.2f, P_C = %.3f, W = B_LAMS --\n", p_f, p_c);
-    Table t{{"N", "lams:analysis", "lams:sim", "hdlc:analysis", "hdlc:sim",
-             "ratio:sim"}};
-    for (const std::uint64_t n : {1000u, 5000u, 20000u, 50000u}) {
+
+    // Build every (protocol, N) point up front, run them all in parallel,
+    // then print: the sweep returns reports in job order, so the table is
+    // the same as the old serial loop.
+    std::vector<BatchJob> jobs;
+    std::vector<analysis::Params> point_params;
+    for (const std::uint64_t n : ns) {
       auto lams_cfg = default_config(sim::Protocol::kLams);
       set_fixed_errors(lams_cfg, p_f, p_c);
       sim::Scenario probe{lams_cfg};
@@ -33,14 +38,24 @@ void run() {
       params.window = std::max(
           2u, static_cast<std::uint32_t>(analysis::b_lams(params)));
 
-      const auto lams = run_batch(lams_cfg, n);
-
       auto hdlc_cfg = default_config(sim::Protocol::kSrHdlc);
       set_fixed_errors(hdlc_cfg, p_f, p_c);
       hdlc_cfg.hdlc.window = params.window;
       hdlc_cfg.hdlc.modulus = 2 * params.window;
-      const auto hdlc = run_batch(hdlc_cfg, n);
 
+      jobs.push_back({std::move(lams_cfg), n});
+      jobs.push_back({std::move(hdlc_cfg), n});
+      point_params.push_back(params);
+    }
+    const auto reports = run_batch_sweep(jobs);
+
+    Table t{{"N", "lams:analysis", "lams:sim", "hdlc:analysis", "hdlc:sim",
+             "ratio:sim"}};
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      const std::uint64_t n = ns[i];
+      const analysis::Params& params = point_params[i];
+      const auto& lams = reports[2 * i];
+      const auto& hdlc = reports[2 * i + 1];
       const double nn = static_cast<double>(n);
       t.cell(n)
           .cell(analysis::efficiency_lams(params, nn))

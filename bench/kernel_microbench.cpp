@@ -1,9 +1,23 @@
 /// Kernel microbenchmarks (google-benchmark): raw speed of the simulation
 /// substrate.  These are engineering benchmarks, not paper experiments —
 /// they bound how large a constellation-scale study the library supports.
+///
+/// `bench_kernel --json [ops]` bypasses google-benchmark and times the three
+/// canonical kernel workloads from bench/kernel_workloads.hpp, printing one
+/// machine-readable JSON object (ops/sec per workload).  That mode is what
+/// scripts/bench_baseline.sh records into BENCH_kernel.json and what
+/// scripts/ci.sh runs as the non-gating perf smoke; because the workloads
+/// live in a standalone header, the same code can be compiled against any
+/// kernel revision for honest before/after comparisons.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "kernel_workloads.hpp"
 #include "lamsdlc/core/random.hpp"
 #include "lamsdlc/core/simulator.hpp"
 #include "lamsdlc/frame/codec.hpp"
@@ -118,6 +132,40 @@ void BM_SrHdlcScenarioFrames(benchmark::State& state) {
 BENCHMARK(BM_SrHdlcScenarioFrames)->Arg(1000)->Arg(10000)
     ->Unit(benchmark::kMillisecond);
 
+/// Best-of-three ops/sec, like any careful manual timing run.
+double best_rate(bench::WorkloadResult (*wl)(std::uint64_t),
+                 std::uint64_t ops) {
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    best = std::max(best, wl(ops).ops_per_sec());
+  }
+  return best;
+}
+
+int run_json_mode(std::uint64_t ops) {
+  const double schedule_fire = best_rate(bench::wl_schedule_fire, ops);
+  const double cancel_heavy = best_rate(bench::wl_cancel_heavy, ops);
+  const double timer_rearm = best_rate(bench::wl_timer_rearm, ops);
+  std::printf("{\n");
+  std::printf("  \"ops\": %llu,\n", static_cast<unsigned long long>(ops));
+  std::printf("  \"schedule_fire_ops_per_sec\": %.0f,\n", schedule_fire);
+  std::printf("  \"cancel_heavy_ops_per_sec\": %.0f,\n", cancel_heavy);
+  std::printf("  \"timer_rearm_ops_per_sec\": %.0f\n", timer_rearm);
+  std::printf("}\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--json") == 0) {
+    std::uint64_t ops = 2'000'000;
+    if (argc >= 3) ops = std::strtoull(argv[2], nullptr, 10);
+    return run_json_mode(ops);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,18 +7,30 @@
 /// monotonically increasing sequence number).  This matches the paper's
 /// assumption 8 ("all parameters ... are deterministic") and makes every
 /// experiment bit-for-bit reproducible given a seed.
+///
+/// Implementation: a single inline binary heap of 24-byte trivially-copyable
+/// entries over a generation-tagged slot table that owns the callbacks (a
+/// small-buffer-optimized `core::InlineFunction`, so the common protocol
+/// lambdas never allocate).  Keeping the callback out of the heap entry
+/// keeps sift swaps to plain memcpys, and gives O(1) `cancel()` /
+/// `pending()` — a cancel destroys the callback immediately (releasing its
+/// captures) and leaves only a 24-byte tombstone behind, reclaimed lazily
+/// when it surfaces — or eagerly by compaction once tombstones outnumber
+/// live events, so a timer re-armed in a loop cannot grow the heap without
+/// bound.
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <vector>
 
+#include "lamsdlc/core/inline_function.hpp"
 #include "lamsdlc/core/time.hpp"
 
 namespace lamsdlc {
 
 /// Handle identifying a scheduled event; used to cancel timers.
-/// Value 0 is reserved and never issued.
+/// Value 0 is reserved and never issued.  Internally `(slot << 32) | gen`:
+/// generations start at 1 and advance whenever an event fires or is
+/// cancelled, so a stale id can never hit a recycled slot.
 using EventId = std::uint64_t;
 
 /// Single-threaded discrete-event simulator.
@@ -31,7 +43,7 @@ using EventId = std::uint64_t;
 /// \endcode
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = core::InlineFunction<48>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -45,7 +57,7 @@ class Simulator {
   EventId schedule_at(Time at, Callback cb);
 
   /// Schedule \p cb to run \p delay after the current time.
-  EventId schedule_in(Time delay, Callback cb) { return schedule_at(now_ + delay, cb); }
+  EventId schedule_in(Time delay, Callback cb) { return schedule_at(now_ + delay, std::move(cb)); }
 
   /// Cancel a pending event.  Returns true if the event existed and had not
   /// yet fired; cancelling an already-fired or unknown id is a harmless no-op
@@ -53,7 +65,10 @@ class Simulator {
   bool cancel(EventId id);
 
   /// True if the event is still pending.
-  [[nodiscard]] bool pending(EventId id) const;
+  [[nodiscard]] bool pending(EventId id) const noexcept {
+    const std::uint32_t slot = unpack_slot(id);
+    return slot < slots_.size() && slots_[slot].gen == unpack_gen(id);
+  }
 
   /// Run until the event queue drains or `stop()` is called.
   void run();
@@ -69,32 +84,70 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
 
   /// Number of events currently pending (excludes cancelled).
-  [[nodiscard]] std::size_t events_pending() const noexcept { return callbacks_.size(); }
+  [[nodiscard]] std::size_t events_pending() const noexcept { return live_; }
+
+  /// Physical heap entries, live + tombstoned (diagnostic; the compaction
+  /// regression test asserts this stays proportional to `events_pending`).
+  [[nodiscard]] std::size_t heap_entries() const noexcept { return heap_.size(); }
 
  private:
   struct Entry {
     Time at;
-    std::uint64_t seq;  // FIFO tie-break among equal times
-    EventId id;
-    // Ordering for a min-heap via std::priority_queue (which is a max-heap):
-    // "greater" entries sort to the bottom.
-    bool operator<(const Entry& o) const noexcept {
-      if (at != o.at) return at > o.at;
-      return seq > o.seq;
-    }
+    std::uint64_t seq;   ///< FIFO tie-break among equal times.
+    std::uint32_t slot;  ///< Slot-table index backing this event's id.
+    std::uint32_t gen;   ///< Generation at scheduling; stale => tombstone.
+  };
+  static_assert(sizeof(Entry) == 24, "heap entries must stay memcpy-cheap");
+
+  /// One event slot: the owning storage for a pending event's callback plus
+  /// the generation that stamps its id.  Slots are recycled through a free
+  /// list; the generation advances on every fire/cancel so stale ids can
+  /// never alias a reused slot.
+  struct Slot {
+    std::uint32_t gen = 1;
+    Callback cb;
   };
 
+  /// Heap comparator: `std::push_heap`'s "less" is "fires later", so the
+  /// max element — the heap top — is the earliest event.
+  static bool later(const Entry& a, const Entry& b) noexcept {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+
+  static constexpr EventId pack(std::uint32_t slot, std::uint32_t gen) noexcept {
+    return (static_cast<EventId>(slot) << 32) | gen;
+  }
+  static constexpr std::uint32_t unpack_slot(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static constexpr std::uint32_t unpack_gen(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id);
+  }
+
+  [[nodiscard]] bool entry_live(const Entry& e) const noexcept {
+    return slots_[e.slot].gen == e.gen;
+  }
+
+  /// Advance the slot's generation (invalidating the current id) and make
+  /// the slot available for reuse.  Called exactly once per fire or cancel.
+  void retire_slot(std::uint32_t slot) noexcept {
+    if (++slots_[slot].gen == 0) slots_[slot].gen = 1;  // skip reserved gen 0
+    free_slots_.push_back(slot);
+  }
+
   bool dispatch_next();
+  void drop_stale_top();
+  void maybe_compact();
 
   Time now_{};
   bool stopped_{false};
   std::uint64_t next_seq_{0};
-  EventId next_id_{1};
   std::uint64_t executed_{0};
-  std::priority_queue<Entry> queue_;
-  // Live callbacks keyed by event id.  Cancellation erases the entry; the
-  // heap entry becomes a tombstone skipped at dispatch time.
-  std::unordered_map<EventId, Callback> callbacks_;
+  std::size_t live_{0};  ///< Non-tombstoned entries in `heap_`.
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;                ///< Callback + generation per slot.
+  std::vector<std::uint32_t> free_slots_;  ///< Retired slots ready for reuse.
 };
 
 }  // namespace lamsdlc

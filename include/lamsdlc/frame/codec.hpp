@@ -35,6 +35,12 @@ namespace lamsdlc::frame {
 /// Serialize \p f (never fails; output length == `encoded_size(f)`).
 [[nodiscard]] std::vector<std::uint8_t> encode(const Frame& f);
 
+/// Serialize \p f into \p out, reusing its capacity (cleared first).  The
+/// steady-state byte-level wire path encodes every frame through one
+/// channel-owned buffer and never reallocates once it has grown to the
+/// largest frame seen.
+void encode_into(const Frame& f, std::vector<std::uint8_t>& out);
+
 /// Parse bytes back into a frame.  Returns std::nullopt when the buffer is
 /// truncated, the kind is unknown, internal lengths disagree, or the FCS
 /// check fails.

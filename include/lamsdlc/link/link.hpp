@@ -174,7 +174,21 @@ class SimplexChannel {
                  const frame::Frame& f);
   [[nodiscard]] std::size_t coded_bits(const frame::Frame& f) const noexcept;
   /// Byte-accurate mode: encode, apply \p corrupt as real bit flips, decode.
+  /// Moves through: the input frame is consumed, never copied, and the
+  /// encode buffer is the reused channel-owned `wire_buf_`.
   [[nodiscard]] frame::Frame through_codec(frame::Frame f, bool corrupt);
+
+  /// \name In-flight frame pool
+  /// Frames between serialization and delivery park in a slot pool so the
+  /// propagation-delay callback captures only `{this, epoch, slot}` — small
+  /// enough for the simulator's inline callback storage.  With the pool the
+  /// steady-state I-frame path schedules, flies and delivers without a
+  /// single allocation (slots and payload capacity are recycled).
+  /// @{
+  std::uint32_t stash_inflight(frame::Frame f);
+  [[nodiscard]] frame::Frame take_inflight(std::uint32_t slot);
+  void deliver_inflight(std::uint64_t epoch, std::uint32_t slot);
+  /// @}
 
   Simulator& sim_;
   Config cfg_;
@@ -188,6 +202,9 @@ class SimplexChannel {
   obs::Source src_{obs::Source::kOther};
   std::function<void()> idle_cb_;
   std::deque<frame::Frame> queue_;
+  std::vector<frame::Frame> inflight_;          ///< Slot pool (see above).
+  std::vector<std::uint32_t> inflight_free_;    ///< Recycled slot indices.
+  std::vector<std::uint8_t> wire_buf_;          ///< Reused encode buffer.
   bool transmitting_{false};
   Time tx_done_{};
   bool up_{true};

@@ -1,0 +1,68 @@
+#pragma once
+/// \file sweep.hpp
+/// \brief Parallel execution of independent per-seed simulations.
+///
+/// Every `Simulator` is single-threaded and self-contained (no globals, no
+/// shared RNG state), so a seed sweep — the 250-seed chaos soak, a
+/// multi-point experiment table, a trace library replay — is embarrassingly
+/// parallel.  `ParallelSweep` is a small work-stealing thread pool over such
+/// independent tasks: each worker owns a queue of task indices and steals
+/// from its neighbours when it runs dry, so a few pathologically slow seeds
+/// (long outages, declared failures) cannot leave cores idle.
+///
+/// Determinism: task `i` writes result slot `i`, and results are returned in
+/// index order — the output is bit-identical to running the same tasks in a
+/// serial loop, regardless of thread count or interleaving.  The integration
+/// test `tests/integration/test_parallel_determinism.cpp` pins this down
+/// against `ChaosVerdict::metrics_json`.
+///
+/// Caveat: the task callable runs concurrently from multiple threads, so
+/// anything it captures must be thread-safe (e.g. a `ChaosKnobs::tap` hook
+/// must not write shared state unsynchronized).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "lamsdlc/sim/chaos.hpp"
+
+namespace lamsdlc::sim {
+
+/// Work-stealing thread pool for embarrassingly parallel sweeps.
+class ParallelSweep {
+ public:
+  /// \p threads 0 picks the hardware concurrency (min 1).
+  explicit ParallelSweep(unsigned threads = 0);
+
+  /// Worker count this pool will use for large enough sweeps.
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
+  /// Run `fn(i)` for every i in [0, n), spread over the pool.  Blocks until
+  /// all tasks finish.  The first exception thrown by any task is rethrown
+  /// here (remaining tasks still run to completion).  With one thread (or
+  /// n <= 1) the tasks run inline on the calling thread, in order.
+  void for_each(std::size_t n, const std::function<void(std::size_t)>& fn) const;
+
+  /// `for_each` collecting return values; results are in index order, so the
+  /// output is byte-identical to the serial `for` loop.
+  template <typename R, typename Fn>
+  std::vector<R> map(std::size_t n, Fn&& fn) const {
+    std::vector<R> out(n);
+    for_each(n, [&out, &fn](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  unsigned threads_;
+};
+
+/// Run chaos seeds `first_seed .. first_seed + count - 1` (the `seed` field
+/// of \p base is overridden per run) and return the verdicts in seed order —
+/// bit-identical to a serial `run_chaos` loop over the same seeds.
+[[nodiscard]] std::vector<ChaosVerdict> run_chaos_sweep(
+    const ChaosKnobs& base, std::uint64_t first_seed, std::uint64_t count,
+    unsigned threads = 0);
+
+}  // namespace lamsdlc::sim

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Refresh the checked-in performance records at the repo root:
+#
+#   BENCH_kernel.json  — event-kernel workload rates (bench_kernel --json)
+#                        next to the frozen pre-overhaul baseline, which was
+#                        measured by compiling bench/kernel_workloads.hpp
+#                        against the old std::priority_queue kernel with the
+#                        same -O3 flags on the same host.
+#   BENCH_sweep.json   — wall-clock of the 250-seed chaos soak, serial vs
+#                        `lamsdlc_cli chaos --jobs $(nproc)`, plus a check
+#                        that both produce identical output.
+#
+# Run after any kernel or frame-path change, on an otherwise idle machine.
+#
+# Usage: scripts/bench_baseline.sh [build-dir]     (default build/)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+BENCH="$BUILD_DIR/bench/bench_kernel"
+CLI="$BUILD_DIR/tools/lamsdlc_cli"
+OPS=2000000
+SOAK_SEEDS=250
+
+[ -x "$BENCH" ] && [ -x "$CLI" ] || {
+  echo "build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+}
+
+echo "== kernel workloads ($OPS ops, best of 3) =="
+CURRENT_JSON="$("$BENCH" --json "$OPS")"
+echo "$CURRENT_JSON"
+
+# The baseline block is frozen: these numbers reproduce only against the
+# pre-overhaul kernel sources and are kept for honest before/after context.
+python3 - "$CURRENT_JSON" > BENCH_kernel.json <<'EOF'
+import json, sys
+
+current = json.loads(sys.argv[1])
+baseline = {
+    "kernel": "std::priority_queue + per-event heap std::function + "
+              "unordered_map registry (pre-overhaul)",
+    "schedule_fire_ops_per_sec": 634923,
+    "cancel_heavy_ops_per_sec": 1151920,
+    "timer_rearm_ops_per_sec": 1002718,
+}
+keys = ["schedule_fire_ops_per_sec", "cancel_heavy_ops_per_sec",
+        "timer_rearm_ops_per_sec"]
+out = {
+    "workload_ops": current["ops"],
+    "flags": "g++ -O3 -DNDEBUG (CMake Release)",
+    "workloads": "bench/kernel_workloads.hpp (identical code for both kernels)",
+    "baseline": baseline,
+    "current": {
+        "kernel": "inline binary heap (24-byte entries) + slot-table "
+                  "callbacks (core::InlineFunction, 48-byte SBO) + "
+                  "generation-tagged ids with tombstone compaction",
+        **{k: current[k] for k in keys},
+    },
+    "speedup": {k: round(current[k] / baseline[k], 2) for k in keys},
+}
+json.dump(out, sys.stdout, indent=2)
+print()
+EOF
+echo "wrote BENCH_kernel.json"
+
+echo "== chaos soak wall-clock ($SOAK_SEEDS seeds) =="
+JOBS="$(nproc)"
+t0=$(date +%s%N)
+"$CLI" chaos --seed 1 --seeds "$SOAK_SEEDS" --jobs 1 > /tmp/bench_sweep_serial.txt
+t1=$(date +%s%N)
+"$CLI" chaos --seed 1 --seeds "$SOAK_SEEDS" --jobs "$JOBS" > /tmp/bench_sweep_par.txt
+t2=$(date +%s%N)
+SERIAL_MS=$(( (t1 - t0) / 1000000 ))
+PAR_MS=$(( (t2 - t1) / 1000000 ))
+diff /tmp/bench_sweep_serial.txt /tmp/bench_sweep_par.txt > /dev/null ||
+  { echo "FATAL: parallel sweep output differs from serial" >&2; exit 1; }
+echo "serial ${SERIAL_MS} ms, --jobs $JOBS ${PAR_MS} ms (outputs identical)"
+
+python3 - "$SOAK_SEEDS" "$JOBS" "$SERIAL_MS" "$PAR_MS" > BENCH_sweep.json <<'EOF'
+import json, sys
+
+seeds, jobs, serial_ms, par_ms = (int(a) for a in sys.argv[1:5])
+json.dump({
+    "workload": f"lamsdlc_cli chaos --seed 1 --seeds {seeds}",
+    "cores": jobs,
+    "serial_wall_ms": serial_ms,
+    "parallel_wall_ms": par_ms,
+    "speedup": round(serial_ms / par_ms, 2) if par_ms else None,
+    "outputs_identical": True,
+}, sys.stdout, indent=2)
+print()
+EOF
+echo "wrote BENCH_sweep.json"

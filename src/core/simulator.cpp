@@ -1,5 +1,6 @@
 #include "lamsdlc/core/simulator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -12,27 +13,63 @@ EventId Simulator::schedule_at(Time at, Callback cb) {
   if (!cb) {
     throw std::invalid_argument("Simulator::schedule_at: empty callback");
   }
-  const EventId id = next_id_++;
-  queue_.push(Entry{at, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
-  return id;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  const std::uint32_t gen = slots_[slot].gen;
+  slots_[slot].cb = std::move(cb);
+  heap_.push_back(Entry{at, next_seq_++, slot, gen});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  ++live_;
+  return pack(slot, gen);
 }
 
-bool Simulator::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+bool Simulator::cancel(EventId id) {
+  const std::uint32_t slot = unpack_slot(id);
+  if (slot >= slots_.size() || slots_[slot].gen != unpack_gen(id)) return false;
+  // O(1): invalidate the id and destroy the callback now (its captures are
+  // released immediately); the 24-byte heap entry is a tombstone, reclaimed
+  // when it surfaces at the top — or by compaction below.
+  slots_[slot].cb = Callback{};
+  retire_slot(slot);
+  --live_;
+  maybe_compact();
+  return true;
+}
 
-bool Simulator::pending(EventId id) const { return callbacks_.contains(id); }
+void Simulator::maybe_compact() {
+  // A timer re-armed in a loop (cancel + far-future re-schedule) strands
+  // every cancelled entry near the bottom of the heap, where lazy reclaim
+  // never reaches.  Once tombstones outnumber live events, sweep them out
+  // and re-heapify: O(heap) work paid at most every O(heap) cancels, so the
+  // heap stays within 2x of the live population.
+  const std::size_t tombstones = heap_.size() - live_;
+  if (tombstones <= live_ || tombstones < 64) return;
+  std::erase_if(heap_, [this](const Entry& e) { return !entry_live(e); });
+  std::make_heap(heap_.begin(), heap_.end(), later);
+}
+
+void Simulator::drop_stale_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  heap_.pop_back();
+}
 
 bool Simulator::dispatch_next() {
-  while (!queue_.empty()) {
-    Entry e = queue_.top();
-    auto it = callbacks_.find(e.id);
-    if (it == callbacks_.end()) {
-      queue_.pop();  // tombstone of a cancelled event
+  while (!heap_.empty()) {
+    const Entry e = heap_.front();
+    if (!entry_live(e)) {
+      drop_stale_top();  // tombstone of a cancelled event
       continue;
     }
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    queue_.pop();
+    drop_stale_top();  // same pop; the entry itself was copied out above
+    Callback cb = std::move(slots_[e.slot].cb);
+    retire_slot(e.slot);  // fired: the id is now stale, the slot reusable
+    --live_;
     now_ = e.at;
     ++executed_;
     cb();
@@ -51,10 +88,10 @@ void Simulator::run_until(Time horizon) {
   stopped_ = false;
   while (!stopped_) {
     // Peek past tombstones to find the next live event time.
-    while (!queue_.empty() && !callbacks_.contains(queue_.top().id)) {
-      queue_.pop();
+    while (!heap_.empty() && !entry_live(heap_.front())) {
+      drop_stale_top();
     }
-    if (queue_.empty() || queue_.top().at > horizon) {
+    if (heap_.empty() || heap_.front().at > horizon) {
       break;
     }
     dispatch_next();

@@ -19,6 +19,8 @@ enum Kind : std::uint8_t {
 
 class Writer {
  public:
+  explicit Writer(std::vector<std::uint8_t>& buf) : buf_{buf} { buf_.clear(); }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) {
     u8(static_cast<std::uint8_t>(v));
@@ -38,14 +40,13 @@ class Writer {
   }
   void zeros(std::size_t n) { buf_.resize(buf_.size() + n, 0); }
 
-  std::vector<std::uint8_t> finish() {
+  void finish() {
     const std::uint16_t fcs = phy::crc16_ccitt(buf_);
     u16(fcs);
-    return std::move(buf_);
   }
 
  private:
-  std::vector<std::uint8_t> buf_;
+  std::vector<std::uint8_t>& buf_;
 };
 
 class Reader {
@@ -122,7 +123,14 @@ std::size_t encoded_size(const Frame& f) noexcept {
 std::size_t wire_bits(const Frame& f) noexcept { return 8 * encoded_size(f); }
 
 std::vector<std::uint8_t> encode(const Frame& f) {
-  Writer w;
+  std::vector<std::uint8_t> out;
+  encode_into(f, out);
+  return out;
+}
+
+void encode_into(const Frame& f, std::vector<std::uint8_t>& out) {
+  out.reserve(encoded_size(f));
+  Writer w{out};
   struct Enc {
     Writer& w;
     void operator()(const IFrame& i) const {
@@ -192,7 +200,7 @@ std::vector<std::uint8_t> encode(const Frame& f) {
     }
   };
   std::visit(Enc{w}, f.body);
-  return w.finish();
+  w.finish();
 }
 
 std::optional<Frame> decode(std::span<const std::uint8_t> bytes) {

@@ -47,6 +47,7 @@ obs::Event LamsSender::make_event(obs::EventKind k) const {
 
 void LamsSender::emit_frame_event(obs::EventKind k, std::uint64_t ctr,
                                   const Pending& p, std::int64_t holding_ps) {
+  if (!obs_.active()) return;
   obs::Event e = make_event(k);
   e.p.frame = {ctr, p.packet.id, p.attempts, 0, holding_ps};
   obs_.emit(e);
@@ -141,7 +142,7 @@ void LamsSender::send_iframe(Pending p) {
     ++stats_->iframe_tx;
     if (p.attempts > 1) ++stats_->iframe_retx;
   }
-  if (obs_.active()) emit_frame_event(obs::EventKind::kFrameSent, ctr, p);
+  emit_frame_event(obs::EventKind::kFrameSent, ctr, p);
 
   outstanding_.emplace(ctr, Outstanding{std::move(p), expected_arrival});
 
@@ -264,10 +265,8 @@ void LamsSender::process_naks(const frame::CheckpointFrame& cp) {
       // C_depth times by design) — "assumed to be retransmitted already".
       continue;
     }
-    if (obs_.active()) {
-      emit_frame_event(obs::EventKind::kRetransmitQueued, ctr,
-                       it->second.pending);
-    }
+    emit_frame_event(obs::EventKind::kRetransmitQueued, ctr,
+                     it->second.pending);
     retx_queue_.push_back(std::move(it->second.pending));
     outstanding_.erase(it);
   }
@@ -300,19 +299,15 @@ void LamsSender::sweep_outstanding(const frame::CheckpointFrame& cp) {
     auto it = outstanding_.find(ctr);
     const Time held = sim_.now() - it->second.pending.first_tx;
     if (stats_) stats_->holding_time_s.add(held.sec());
-    if (obs_.active()) {
-      emit_frame_event(obs::EventKind::kFrameReleased, ctr,
-                       it->second.pending, held.ps());
-    }
+    emit_frame_event(obs::EventKind::kFrameReleased, ctr, it->second.pending,
+                     held.ps());
     ++resolved_;
     outstanding_.erase(it);
   }
   for (const std::uint64_t ctr : undelivered) {
     auto it = outstanding_.find(ctr);
-    if (obs_.active()) {
-      emit_frame_event(obs::EventKind::kRetransmitQueued, ctr,
-                       it->second.pending);
-    }
+    emit_frame_event(obs::EventKind::kRetransmitQueued, ctr,
+                     it->second.pending);
     retx_queue_.push_back(std::move(it->second.pending));
     outstanding_.erase(it);
   }

@@ -37,26 +37,25 @@ SimplexChannel::SimplexChannel(Simulator& sim, Config cfg,
 }
 
 frame::Frame SimplexChannel::through_codec(frame::Frame f, bool corrupt) {
-  const frame::Frame original = std::move(f);
-  auto bytes = frame::encode(original);
+  frame::encode_into(f, wire_buf_);
   if (corrupt) {
     // One or more real bit flips (a short geometric tail mimics a small
     // error cluster inside the frame).
     const auto flips = 1 + flip_rng_.geometric(0.5);
     for (std::int64_t i = 0; i < flips; ++i) {
       const auto at = static_cast<std::size_t>(flip_rng_.uniform_int(
-          0, static_cast<std::int64_t>(bytes.size()) - 1));
-      bytes[at] ^= static_cast<std::uint8_t>(1u << flip_rng_.uniform_int(0, 7));
+          0, static_cast<std::int64_t>(wire_buf_.size()) - 1));
+      wire_buf_[at] ^=
+          static_cast<std::uint8_t>(1u << flip_rng_.uniform_int(0, 7));
     }
   }
-  auto decoded = frame::decode(bytes);
+  auto decoded = frame::decode(wire_buf_);
   if (!decoded.has_value()) {
     // The FCS caught the damage (the expected outcome for corrupt frames):
-    // deliver the unreadable husk.
+    // deliver the unreadable husk — the original, moved through, marked.
     if (!corrupt) ++codec_mismatches_;  // clean frame failed decode: a bug
-    frame::Frame husk = original;
-    husk.corrupted = true;
-    return husk;
+    f.corrupted = true;
+    return f;
   }
   if (corrupt) {
     // Flips survived the CRC check: aliasing (~2^-16 per damaged frame).
@@ -64,12 +63,12 @@ frame::Frame SimplexChannel::through_codec(frame::Frame f, bool corrupt) {
     // preserves link-model assumption 9 for the protocols above.
     ++codec_mismatches_;
     decoded->corrupted = true;
-    return *decoded;
+    return *std::move(decoded);
   }
   // Clean round trip: restore the simulation-side identity the codec
   // intentionally keeps off the wire, and verify the wire fields survived.
   if (auto* in = std::get_if<frame::IFrame>(&decoded->body)) {
-    const auto* oin = std::get_if<frame::IFrame>(&original.body);
+    const auto* oin = std::get_if<frame::IFrame>(&f.body);
     if (oin != nullptr && in->seq == oin->seq &&
         in->payload_bytes == oin->payload_bytes) {
       in->packet_id = oin->packet_id;
@@ -77,14 +76,14 @@ frame::Frame SimplexChannel::through_codec(frame::Frame f, bool corrupt) {
       ++codec_mismatches_;
     }
   } else if (auto* hin = std::get_if<frame::HdlcIFrame>(&decoded->body)) {
-    const auto* oin = std::get_if<frame::HdlcIFrame>(&original.body);
+    const auto* oin = std::get_if<frame::HdlcIFrame>(&f.body);
     if (oin != nullptr && hin->ns == oin->ns && hin->poll == oin->poll) {
       hin->packet_id = oin->packet_id;
     } else {
       ++codec_mismatches_;
     }
   }
-  return *decoded;
+  return *std::move(decoded);
 }
 
 std::size_t SimplexChannel::coded_bits(const frame::Frame& f) const noexcept {
@@ -212,30 +211,52 @@ void SimplexChannel::start_next() {
     ++frames_delayed_;
     emit_fate(obs::EventKind::kFrameDelayed, obs::DropCause::kFaultJitter, f);
   }
-  auto deliver = [this, epoch](frame::Frame frm) {
-    if (epoch != down_epoch_) {
-      ++frames_dropped_;  // photons in flight when pointing was lost
-      emit_fate(obs::EventKind::kFrameDropped, obs::DropCause::kLinkDown, frm);
-      return;
-    }
-    if (sink_) {
-      sink_->on_frame(std::move(frm));
-    } else {
-      ++frames_dropped_;
-      emit_fate(obs::EventKind::kFrameDropped, obs::DropCause::kNoSink, frm);
-    }
-  };
+  // Frames in flight park in the slot pool; the scheduled callback carries
+  // only the slot index, so it fits the simulator's inline storage and the
+  // steady-state path allocates nothing.
   for (std::uint32_t i = 0; i < fate.duplicates; ++i) {
     ++frames_duplicated_;
     emit_fate(obs::EventKind::kFrameDuplicated, obs::DropCause::kFaultDuplicate,
               f);
-    sim_.schedule_at(arrival, [deliver, copy = f]() mutable {
-      deliver(std::move(copy));
-    });
+    const std::uint32_t dup = stash_inflight(frame::Frame{f});
+    sim_.schedule_at(arrival,
+                     [this, epoch, dup] { deliver_inflight(epoch, dup); });
   }
-  sim_.schedule_at(arrival, [deliver, f = std::move(f)]() mutable {
-    deliver(std::move(f));
-  });
+  const std::uint32_t slot = stash_inflight(std::move(f));
+  sim_.schedule_at(arrival,
+                   [this, epoch, slot] { deliver_inflight(epoch, slot); });
+}
+
+std::uint32_t SimplexChannel::stash_inflight(frame::Frame f) {
+  if (inflight_free_.empty()) {
+    inflight_.push_back(std::move(f));
+    return static_cast<std::uint32_t>(inflight_.size() - 1);
+  }
+  const std::uint32_t slot = inflight_free_.back();
+  inflight_free_.pop_back();
+  inflight_[slot] = std::move(f);
+  return slot;
+}
+
+frame::Frame SimplexChannel::take_inflight(std::uint32_t slot) {
+  frame::Frame f = std::move(inflight_[slot]);
+  inflight_free_.push_back(slot);
+  return f;
+}
+
+void SimplexChannel::deliver_inflight(std::uint64_t epoch, std::uint32_t slot) {
+  frame::Frame f = take_inflight(slot);
+  if (epoch != down_epoch_) {
+    ++frames_dropped_;  // photons in flight when pointing was lost
+    emit_fate(obs::EventKind::kFrameDropped, obs::DropCause::kLinkDown, f);
+    return;
+  }
+  if (sink_) {
+    sink_->on_frame(std::move(f));
+  } else {
+    ++frames_dropped_;
+    emit_fate(obs::EventKind::kFrameDropped, obs::DropCause::kNoSink, f);
+  }
 }
 
 }  // namespace lamsdlc::link

@@ -1,0 +1,89 @@
+#include "lamsdlc/sim/sweep.hpp"
+
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+namespace lamsdlc::sim {
+
+ParallelSweep::ParallelSweep(unsigned threads)
+    : threads_{threads != 0 ? threads
+                            : std::max(1u, std::thread::hardware_concurrency())} {}
+
+void ParallelSweep::for_each(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) const {
+  const unsigned t =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, n == 0 ? 1 : n));
+  if (t <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // One index queue per worker.  Indices are dealt round-robin so every
+  // worker starts with a spread of the index space (neighbouring seeds tend
+  // to cost alike); a worker whose queue runs dry steals from the tail of
+  // its neighbours'.  Tasks never spawn tasks, so a worker finding every
+  // queue empty is done.
+  struct Queue {
+    std::mutex m;
+    std::deque<std::size_t> d;
+  };
+  std::vector<Queue> queues(t);
+  for (std::size_t i = 0; i < n; ++i) queues[i % t].d.push_back(i);
+
+  std::mutex err_m;
+  std::exception_ptr first_error;
+  auto worker = [&](unsigned self) {
+    for (;;) {
+      std::optional<std::size_t> task;
+      {
+        std::lock_guard lk{queues[self].m};
+        if (!queues[self].d.empty()) {
+          task = queues[self].d.front();
+          queues[self].d.pop_front();
+        }
+      }
+      if (!task) {
+        for (unsigned k = 1; k < t && !task; ++k) {
+          Queue& q = queues[(self + k) % t];
+          std::lock_guard lk{q.m};
+          if (!q.d.empty()) {
+            task = q.d.back();  // steal from the cold end
+            q.d.pop_back();
+          }
+        }
+      }
+      if (!task) return;
+      try {
+        fn(*task);
+      } catch (...) {
+        std::lock_guard lk{err_m};
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(t - 1);
+  for (unsigned w = 1; w < t; ++w) pool.emplace_back(worker, w);
+  worker(0);  // the calling thread is worker 0
+  for (std::thread& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<ChaosVerdict> run_chaos_sweep(const ChaosKnobs& base,
+                                          std::uint64_t first_seed,
+                                          std::uint64_t count,
+                                          unsigned threads) {
+  ParallelSweep pool{threads};
+  return pool.map<ChaosVerdict>(
+      static_cast<std::size_t>(count), [&base, first_seed](std::size_t i) {
+        ChaosKnobs k = base;
+        k.seed = first_seed + i;
+        return run_chaos(k);
+      });
+}
+
+}  // namespace lamsdlc::sim

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace lamsdlc {
@@ -151,6 +154,80 @@ TEST(Simulator, CancelInsideCallbackOfSameTime) {
   second = sim.schedule_at(1_ms, [&] { second_ran = true; });
   sim.run();
   EXPECT_FALSE(second_ran);
+}
+
+TEST(Simulator, StaleIdIsHarmlessAfterSlotReuse) {
+  // Cancelling (or firing) retires an id's generation; a later event that
+  // reuses the same physical slot must be invisible to the stale id.
+  Simulator sim;
+  const EventId a = sim.schedule_at(1_ms, [] {});
+  ASSERT_TRUE(sim.cancel(a));
+  bool ran = false;
+  const EventId b = sim.schedule_at(2_ms, [&] { ran = true; });  // reuses slot
+  EXPECT_FALSE(sim.pending(a));
+  EXPECT_FALSE(sim.cancel(a));  // must not hit b
+  EXPECT_TRUE(sim.pending(b));
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, TimerRearmLoopKeepsHeapBounded) {
+  // The tombstone regression: a timer re-armed in a loop (cancel + far-future
+  // re-schedule) used to strand every cancelled entry in the queue until its
+  // due time.  Compaction must keep the physical heap within a constant
+  // factor of the live population.
+  Simulator sim;
+  EventId timer = sim.schedule_at(Time::seconds_int(3600), [] {});
+  for (int i = 0; i < 100'000; ++i) {
+    ASSERT_TRUE(sim.cancel(timer));
+    timer = sim.schedule_at(Time::seconds_int(3600 + i % 60), [] {});
+  }
+  EXPECT_EQ(sim.events_pending(), 1u);
+  // One live event; allow compaction slack (2x live + sweep threshold).
+  EXPECT_LE(sim.heap_entries(), 130u);
+  ASSERT_TRUE(sim.cancel(timer));
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, CallbackCapturesAreReleasedOnCancel) {
+  // cancel() destroys the callback eagerly, so captured resources (buffers,
+  // shared_ptrs) do not linger until the tombstone surfaces.
+  Simulator sim;
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  const EventId id = sim.schedule_at(Time::seconds_int(3600),
+                                     [t = std::move(token)] { (void)*t; });
+  EXPECT_FALSE(watch.expired());
+  sim.cancel(id);
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunction, SmallCapturesStayInline) {
+  int x = 0;
+  core::InlineFunction<48> f{[&x] { ++x; }};
+  EXPECT_TRUE(static_cast<bool>(f));
+  EXPECT_TRUE(f.is_inline());
+  f();
+  EXPECT_EQ(x, 1);
+  // Moving transfers the callable; the source becomes empty.
+  core::InlineFunction<48> g{std::move(f)};
+  g();
+  EXPECT_EQ(x, 2);
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunction, FatCapturesFallBackToHeap) {
+  std::array<std::uint64_t, 16> big{};  // 128 bytes > 48-byte buffer
+  big[7] = 99;
+  std::uint64_t seen = 0;
+  core::InlineFunction<48> f{[big, &seen] { seen = big[7]; }};
+  EXPECT_FALSE(f.is_inline());
+  f();
+  EXPECT_EQ(seen, 99u);
+  core::InlineFunction<48> g{std::move(f)};  // heap move is a pointer swap
+  g = core::InlineFunction<48>{};            // assignment destroys the callable
+  EXPECT_FALSE(static_cast<bool>(g));
 }
 
 TEST(Simulator, ManyEventsStressOrdering) {

@@ -14,6 +14,7 @@
 #include "lamsdlc/sim/chaos.hpp"
 #include "lamsdlc/sim/invariants.hpp"
 #include "lamsdlc/sim/scenario.hpp"
+#include "lamsdlc/sim/sweep.hpp"
 #include "lamsdlc/workload/sources.hpp"
 #include "support/seed_trace.hpp"
 
@@ -22,11 +23,12 @@ namespace {
 
 TEST(ChaosSoak, HundredsOfRandomSchedulesHoldEveryInvariant) {
   std::uint64_t completed = 0, declared_failed = 0;
+  // The 250 runs are independent, so spread them over the machine; the
+  // verdicts come back in seed order and are checked serially below.
+  const std::vector<ChaosVerdict> verdicts = run_chaos_sweep(ChaosKnobs{}, 1, 250);
   for (std::uint64_t seed = 1; seed <= 250; ++seed) {
     LAMSDLC_SEED_TRACE(seed);
-    ChaosKnobs knobs;
-    knobs.seed = seed;
-    const ChaosVerdict v = run_chaos(knobs);
+    const ChaosVerdict& v = verdicts[seed - 1];
     LAMSDLC_REPRO_TRACE("schedule", v.schedule);
     ASSERT_TRUE(v.ok) << v.to_string();
     // Clean terminal state: one of the two lawful outcomes, never a hang.

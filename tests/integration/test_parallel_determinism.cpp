@@ -1,0 +1,114 @@
+/// \file test_parallel_determinism.cpp
+/// \brief sim::ParallelSweep contract + parallel-vs-serial chaos determinism.
+///
+/// The load-bearing guarantee of `ParallelSweep` is that parallelism is
+/// invisible in the results: task `i` writes slot `i`, so a sweep's output is
+/// byte-identical to the serial loop over the same tasks, regardless of
+/// thread count or scheduling.  These tests pin that down both for the pool
+/// primitive itself and end-to-end against `run_chaos` verdicts, whose
+/// `metrics_json` snapshot is sensitive to any divergence in event order.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "lamsdlc/sim/chaos.hpp"
+#include "lamsdlc/sim/sweep.hpp"
+
+namespace lamsdlc::sim {
+namespace {
+
+TEST(ParallelSweep, MapReturnsResultsInIndexOrder) {
+  ParallelSweep pool{4};
+  const auto out =
+      pool.map<std::size_t>(100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelSweep, RunsEveryTaskExactlyOnce) {
+  ParallelSweep pool{4};
+  std::vector<std::atomic<int>> hits(257);
+  pool.for_each(hits.size(), [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelSweep, ZeroTasksIsANoOp) {
+  ParallelSweep pool{4};
+  pool.for_each(0, [](std::size_t) { FAIL() << "no task should run"; });
+  EXPECT_TRUE(pool.map<int>(0, [](std::size_t) { return 1; }).empty());
+}
+
+TEST(ParallelSweep, SingleThreadRunsInlineAndInOrder) {
+  ParallelSweep pool{1};
+  std::vector<std::size_t> order;
+  pool.for_each(10, [&order](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> want(10);
+  std::iota(want.begin(), want.end(), 0u);
+  EXPECT_EQ(order, want);
+}
+
+TEST(ParallelSweep, ZeroThreadsPicksHardwareConcurrency) {
+  EXPECT_GE(ParallelSweep{0}.threads(), 1u);
+  EXPECT_EQ(ParallelSweep{3}.threads(), 3u);
+}
+
+TEST(ParallelSweep, FirstTaskExceptionIsRethrownAfterAllTasksRun) {
+  ParallelSweep pool{4};
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.for_each(50,
+                             [&ran](std::size_t i) {
+                               ++ran;
+                               if (i == 7) throw std::runtime_error("task 7");
+                             }),
+               std::runtime_error);
+  // The failing task does not cancel the rest of the sweep.
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ParallelDeterminism, ChaosSweepIsByteIdenticalToSerialRuns) {
+  constexpr std::uint64_t kSeeds = 25;
+  ChaosKnobs base;
+
+  std::vector<ChaosVerdict> serial;
+  serial.reserve(kSeeds);
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    ChaosKnobs k = base;
+    k.seed = seed;
+    serial.push_back(run_chaos(k));
+  }
+
+  // Force real concurrency even on a single-core host: four workers racing
+  // over 25 seeds still must not perturb a single byte of any verdict.
+  const auto parallel = run_chaos_sweep(base, 1, kSeeds, /*threads=*/4);
+  ASSERT_EQ(parallel.size(), serial.size());
+
+  for (std::size_t i = 0; i < kSeeds; ++i) {
+    SCOPED_TRACE("seed " + std::to_string(i + 1));
+    const ChaosVerdict& s = serial[i];
+    const ChaosVerdict& p = parallel[i];
+    EXPECT_EQ(p.ok, s.ok);
+    EXPECT_EQ(p.completed, s.completed);
+    EXPECT_EQ(p.declared_failed, s.declared_failed);
+    EXPECT_EQ(p.schedule, s.schedule);
+    EXPECT_EQ(p.metrics_json, s.metrics_json);  // full registry snapshot
+    EXPECT_EQ(p.faults_dropped, s.faults_dropped);
+    EXPECT_EQ(p.faults_duplicated, s.faults_duplicated);
+    EXPECT_EQ(p.faults_delayed, s.faults_delayed);
+    EXPECT_EQ(p.faults_truncated, s.faults_truncated);
+    EXPECT_EQ(p.frames_corrupted, s.frames_corrupted);
+    EXPECT_EQ(p.reverse_faulted, s.reverse_faulted);
+    EXPECT_EQ(p.congestion_discards, s.congestion_discards);
+    EXPECT_EQ(p.duplicates_suppressed, s.duplicates_suppressed);
+    EXPECT_EQ(p.request_naks, s.request_naks);
+    EXPECT_EQ(p.checkpoints_sent, s.checkpoints_sent);
+    EXPECT_EQ(p.report.unique_delivered, s.report.unique_delivered);
+  }
+}
+
+}  // namespace
+}  // namespace lamsdlc::sim

@@ -36,6 +36,8 @@
 /// Chaos flags:
 ///   --seed S                 [1]         first (or only) schedule seed
 ///   --seeds N                [1]         number of consecutive seeds to run
+///   --jobs N                 [1]         worker threads for the sweep
+///                            (0 = all cores; output is identical either way)
 ///   --packets N              [200]       workload size per run
 ///   --reverse-only           fault episodes attack only the checkpoint path
 ///   --forward-only           fault episodes attack only the I-frame path
@@ -69,11 +71,13 @@
 #include <fstream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "lamsdlc/analysis/model.hpp"
 #include "lamsdlc/obs/capture.hpp"
 #include "lamsdlc/obs/event.hpp"
 #include "lamsdlc/sim/chaos.hpp"
+#include "lamsdlc/sim/sweep.hpp"
 #include "lamsdlc/sim/scenario.hpp"
 #include "lamsdlc/workload/sources.hpp"
 
@@ -255,6 +259,7 @@ bool parse_chaos_flag(int argc, char** argv, int& i, sim::ChaosKnobs& knobs) {
 int run_chaos_command(int argc, char** argv) {
   sim::ChaosKnobs knobs;
   std::uint64_t seeds = 1;
+  unsigned jobs = 1;
   auto need = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
     return argv[++i];
@@ -264,16 +269,21 @@ int run_chaos_command(int argc, char** argv) {
     if (parse_chaos_flag(argc, argv, i, knobs)) continue;
     if (a == "--seeds") {
       seeds = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (a == "--jobs") {
+      jobs = static_cast<unsigned>(std::atoi(need(i)));  // 0 = all cores
     } else {
       usage_error("unknown chaos flag " + a);
     }
   }
 
+  // Seeds are independent simulations; the sweep returns verdicts in seed
+  // order, so the output below is identical whatever --jobs is.
+  const std::vector<sim::ChaosVerdict> verdicts =
+      sim::run_chaos_sweep(knobs, knobs.seed, seeds, jobs);
+
   std::uint64_t violated = 0;
   for (std::uint64_t s = knobs.seed; s < knobs.seed + seeds; ++s) {
-    sim::ChaosKnobs k = knobs;
-    k.seed = s;
-    const sim::ChaosVerdict v = sim::run_chaos(k);
+    const sim::ChaosVerdict& v = verdicts[s - knobs.seed];
     if (!v.ok) ++violated;
     if (!v.ok || seeds == 1) {
       std::printf("%s", v.to_string().c_str());
