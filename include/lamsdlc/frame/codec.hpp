@@ -41,9 +41,24 @@ namespace lamsdlc::frame {
 /// largest frame seen.
 void encode_into(const Frame& f, std::vector<std::uint8_t>& out);
 
+/// Receiver-side validation limits applied after the structural parse.  A
+/// passing FCS only proves the bytes were not damaged in transit — it does
+/// not make the *values* lawful.  A real implementation knows its negotiated
+/// numbering size and must reject a frame whose sequence fields fall outside
+/// it: `SeqSpace` arithmetic reduces everything mod m, so an out-of-range
+/// wire value would silently alias some in-range one instead of being
+/// refused at the door.
+struct DecodeLimits {
+  /// Sequence-number modulus; every seq-carrying field (I-frame seq,
+  /// checkpoint highest_seen and NAK entries, HDLC N(S)/N(R)/SREJ) must be
+  /// < this.  0 disables the check (protocol modulus unknown).
+  std::uint32_t seq_modulus = 0;
+};
+
 /// Parse bytes back into a frame.  Returns std::nullopt when the buffer is
-/// truncated, the kind is unknown, internal lengths disagree, or the FCS
-/// check fails.
-[[nodiscard]] std::optional<Frame> decode(std::span<const std::uint8_t> bytes);
+/// truncated, the kind is unknown, internal lengths disagree, the FCS
+/// check fails, or a sequence field violates \p limits.
+[[nodiscard]] std::optional<Frame> decode(std::span<const std::uint8_t> bytes,
+                                          DecodeLimits limits = {});
 
 }  // namespace lamsdlc::frame

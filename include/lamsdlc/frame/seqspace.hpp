@@ -51,9 +51,12 @@ class SeqSpace {
     return best;
   }
 
-  /// Forward distance from \p a to \p b in wire space (0..m-1).
+  /// Forward distance from \p a to \p b in wire space (0..m-1).  Both
+  /// operands are reduced first: an out-of-range value (hostile wire input,
+  /// or `b + m_` overflowing 32 bits near UINT32_MAX) must map to the same
+  /// distance as its residue, never to an arbitrary one.
   [[nodiscard]] constexpr std::uint32_t forward(Seq a, Seq b) const noexcept {
-    return (b + m_ - a % m_) % m_;
+    return (b % m_ + m_ - a % m_) % m_;
   }
 
   /// True if wire value \p x lies in the half-open window [lo, lo+len).

@@ -113,6 +113,18 @@ struct LamsConfig {
   [[nodiscard]] Time resolving_period_bound() const noexcept {
     return max_rtt + checkpoint_interval / 2 + checkpoint_timeout();
   }
+
+  /// Derived: the numbering window — how many frames the sender may hold
+  /// unresolved at once.  Section 3.3 requires the numbering size to exceed
+  /// twice the maximum frame population of the transparent sending buffer;
+  /// read the other way round, the sender must stop issuing *new* frames
+  /// once modulus/2 are unresolved, or wrapped sequence references (the
+  /// checkpoint's highest-seen, the NAK list) become ambiguous on the wire.
+  /// At the default modulus the window is far above any reachable
+  /// population; it binds at deliberately tiny numbering sizes.
+  [[nodiscard]] std::size_t numbering_window() const noexcept {
+    return modulus / 2 > 1 ? modulus / 2 : 1;
+  }
 };
 
 }  // namespace lamsdlc::lams

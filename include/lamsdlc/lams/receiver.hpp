@@ -98,6 +98,22 @@ class LamsReceiver final : public link::FrameSink {
     return duplicates_suppressed_;
   }
 
+  /// Every I-frame arrival event seen this session, readable or not
+  /// (corrupted husks, congestion discards, stale duplicates, good frames).
+  /// Anchors sequence unwrapping through husk bursts — see handle_iframe.
+  [[nodiscard]] std::uint64_t iframe_arrivals() const noexcept {
+    return iframe_arrivals_;
+  }
+
+  /// NAK records suppressed (at checkpoint emission) or expired (from the
+  /// Enforced-NAK history) because they fell modulus/2 or more behind the
+  /// highest accepted counter — the wrapped number would unwrap, at the
+  /// sender, a full cycle ahead of the frame it was recorded for (see
+  /// emit_checkpoint's wire-safety filter).
+  [[nodiscard]] std::uint64_t naks_expired() const noexcept {
+    return naks_expired_;
+  }
+
  private:
   struct NakRecord {
     std::uint64_t ctr;
@@ -131,6 +147,11 @@ class LamsReceiver final : public link::FrameSink {
 
   bool any_seen_{false};
   std::uint64_t highest_ctr_{0};
+  std::uint64_t iframe_arrivals_{0};
+  /// Value of `iframe_arrivals_` when `highest_ctr_` was last accepted; the
+  /// pair anchors every unwrap at the counter the link model predicts for
+  /// the current arrival (see handle_iframe).
+  std::uint64_t anchor_arrival_{0};
 
   /// Per-interval NAK lists; the cumulative checkpoint takes the union of
   /// the most recent C_depth of them (including the in-progress interval).
@@ -145,6 +166,7 @@ class LamsReceiver final : public link::FrameSink {
   std::uint64_t naks_generated_{0};
   std::uint64_t congestion_discards_{0};
   std::uint64_t duplicates_suppressed_{0};
+  std::uint64_t naks_expired_{0};
 };
 
 }  // namespace lamsdlc::lams

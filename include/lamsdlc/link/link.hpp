@@ -23,6 +23,7 @@
 
 #include "lamsdlc/core/simulator.hpp"
 #include "lamsdlc/core/stats.hpp"
+#include "lamsdlc/frame/codec.hpp"
 #include "lamsdlc/frame/frame.hpp"
 #include "lamsdlc/obs/bus.hpp"
 #include "lamsdlc/phy/error_model.hpp"
@@ -63,6 +64,13 @@ class SimplexChannel {
 
     /// Seed for the bit-flip positions in byte-accurate mode.
     std::uint64_t byte_level_seed = 0x5EED;
+
+    /// Byte-accurate mode only: value limits the receiving end applies when
+    /// decoding (frame::DecodeLimits).  The scenario harness fills in the
+    /// protocol's sequence modulus, so a frame whose FCS survives damage but
+    /// whose seq field is out of range is refused like any other unreadable
+    /// husk instead of aliasing mod m inside the endpoint.
+    frame::DecodeLimits decode_limits;
   };
 
   SimplexChannel(Simulator& sim, Config cfg,
@@ -145,11 +153,17 @@ class SimplexChannel {
   [[nodiscard]] std::uint64_t frames_corrupted() const noexcept { return frames_corrupted_; }
   [[nodiscard]] std::uint64_t frames_dropped() const noexcept { return frames_dropped_; }
   [[nodiscard]] std::uint64_t bits_sent() const noexcept { return bits_sent_; }
-  /// Byte-accurate mode only: decoded frames whose wire fields disagreed
-  /// with what was sent despite a passing FCS.  Always 0 (a nonzero value
-  /// means an undetected error slipped past the CRC, violating link-model
-  /// assumption 9 — surfaced for the test suite to assert on).
+  /// Byte-accurate mode only: clean frames that failed to decode, or whose
+  /// decoded wire fields disagreed with what was sent despite a passing FCS.
+  /// Always 0 — a nonzero value is a codec bug (surfaced for the test suite
+  /// and the invariant checker to assert on).
   [[nodiscard]] std::uint64_t codec_mismatches() const noexcept { return codec_mismatches_; }
+  /// Byte-accurate mode only: *damaged* frames whose bit flips happened to
+  /// produce a passing FCS (CRC-16 aliasing, ~2^-16 per damaged frame).
+  /// This is a modeled property of the channel, not a codec bug — the
+  /// channel fails safe by still marking the frame corrupted — so it is
+  /// counted separately from `codec_mismatches()`.
+  [[nodiscard]] std::uint64_t codec_aliases() const noexcept { return codec_aliases_; }
   /// Frames silently omitted by a fault stage (never delivered).
   [[nodiscard]] std::uint64_t frames_fault_dropped() const noexcept {
     return frames_fault_dropped_;
@@ -214,6 +228,7 @@ class SimplexChannel {
   std::uint64_t frames_dropped_{0};
   std::uint64_t bits_sent_{0};
   std::uint64_t codec_mismatches_{0};
+  std::uint64_t codec_aliases_{0};
   std::uint64_t frames_fault_dropped_{0};
   std::uint64_t frames_duplicated_{0};
   std::uint64_t frames_delayed_{0};

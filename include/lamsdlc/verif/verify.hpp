@@ -1,0 +1,121 @@
+#pragma once
+/// \file verify.hpp
+/// \brief Property-based verification harness: hostile scenario generation,
+///        differential protocol oracle, and failure shrinking.
+///
+/// One verification run draws a *hostile* configuration from a seed —
+/// deliberately tiny numbering sizes (8/16/32, where every sequence-space
+/// mistake aliases within a few frames), cumulation depths across 1..8,
+/// checkpoint intervals spanning the regimes where the resolving-period
+/// bound is rtt-dominated and where it is W_cp-dominated, fault-injector
+/// episodes, congestion, outages and byte-accurate wire mode — then audits
+/// the run three ways:
+///
+///  1. **Invariants** (`sim::InvariantChecker`): zero loss, zero duplicate
+///     client delivery, the transparent-buffer population within the paper's
+///     numbering-size claim (outstanding < modulus/2), holding times within
+///     the resolving-period bound, and a clean terminal state.
+///  2. **Differential oracle**: the same workload through SR-HDLC and
+///     GBN-HDLC over the same noisy channel; every protocol must deliver
+///     exactly the submitted packet multiset — a divergence means one
+///     implementation (or the oracle's assumptions) is wrong.
+///  3. **Closed-form model**: for clean draws (base noise only), measured
+///     transmissions per delivered frame must match the Section 4 model
+///     s̄ = 1/(1−P_F) within statistical tolerance.
+///
+/// The generator respects the protocol's *operating envelope* — the
+/// numbering-size precondition of Section 3.3 (in-flight span under m/2) and
+/// the bounded-jitter precondition of the release rule — because outside the
+/// envelope the paper makes no promises.  Everything else is fair game.
+///
+/// A failing seed auto-shrinks (`shrink_failure`): the workload halves, knob
+/// classes drop, fault windows scale down — each step keeping the failure —
+/// until a minimal configuration remains, printable as a `lamsdlc_cli verify
+/// --repro` command line.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lamsdlc/core/time.hpp"
+#include "lamsdlc/sim/scenario.hpp"
+
+namespace lamsdlc::verif {
+
+/// Identity of one verification run.  Everything is drawn deterministically
+/// from `seed`; the pin fields and class switches exist so the shrinker (and
+/// `--repro` command lines) can reproduce and narrow a failure.  Pinning a
+/// drawn value does not disturb the other draws — the generator always
+/// consumes the same random stream and overrides afterwards.
+struct VerifyKnobs {
+  std::uint64_t seed = 1;
+
+  /// \name Pins (0 = draw from the hostile grid)
+  /// @{
+  std::uint32_t modulus = 0;   ///< Numbering size; drawn from {8, 16, 32}.
+  std::uint32_t c_depth = 0;   ///< Cumulation depth; drawn from 1..8.
+  std::uint64_t packets = 0;   ///< Workload size; drawn from 40..160.
+  /// @}
+
+  /// \name Scenario classes the generator may draw (shrinker switches)
+  /// @{
+  bool faults = true;          ///< Windowed fault-injector episodes.
+  bool congestion = true;      ///< Small receive buffers + slow t_proc.
+  bool outage = true;          ///< Full two-way link outages.
+  bool reverse_faults = true;  ///< Episodes on the checkpoint channel.
+  bool byte_level = true;      ///< May draw byte-accurate wire mode.
+  bool differential = true;    ///< Run the SR/GBN differential legs.
+  bool analysis_check = true;  ///< Model-vs-sim s̄ check on clean draws.
+  /// @}
+
+  /// Scales every fault episode and outage length; the shrinker bisects
+  /// this toward the shortest window that still fails.
+  double fault_scale = 1.0;
+
+  /// Simulation horizon; zero derives a safe bound from the drawn scenario.
+  Time horizon{};
+
+  /// Debug hook invoked with the LAMS-leg scenario after construction and
+  /// before traffic starts (subscribe an event printer, attach a capture
+  /// writer).  Not part of the run's identity; never printed by `--repro`.
+  std::function<void(sim::Scenario&)> tap;
+};
+
+/// Outcome of one verification run.
+struct VerifyVerdict {
+  bool ok = false;               ///< No invariant, oracle or model failure.
+  bool completed = false;        ///< LAMS leg delivered everything.
+  bool declared_failed = false;  ///< LAMS sender declared link failure.
+
+  /// Invariant violations, differential mismatches and model divergences.
+  std::vector<std::string> failures;
+
+  /// The fully drawn scenario, printable (the reproduction transcript).
+  std::string transcript;
+
+  /// Effective knobs: the input with every drawn value pinned, so a repro
+  /// stays stable even if the drawing logic changes later.
+  VerifyKnobs knobs;
+
+  sim::ScenarioReport report;  ///< LAMS leg report.
+
+  /// `lamsdlc_cli verify` invocation reproducing exactly this run.
+  [[nodiscard]] std::string repro_command() const;
+
+  /// Verdict + failures + transcript in one printable block.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Run one seeded verification scenario; deterministic in `knobs`.
+[[nodiscard]] VerifyVerdict run_verify(const VerifyKnobs& knobs);
+
+/// Shrink a failing configuration to a minimal one that still fails:
+/// halve the workload, drop scenario classes, bisect the fault windows.
+/// \p budget bounds the number of candidate re-runs.  Returns the verdict
+/// of the smallest failing configuration found (the input's own verdict if
+/// nothing smaller fails).  Precondition: `run_verify(failing)` fails.
+[[nodiscard]] VerifyVerdict shrink_failure(const VerifyKnobs& failing,
+                                           int budget = 24);
+
+}  // namespace lamsdlc::verif

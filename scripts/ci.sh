@@ -6,7 +6,12 @@
 #   3. chaos smoke: 25 seeded fault schedules under the invariant checker,
 #      with event capture enabled — every run must also produce an .ldlcap
 #      file that `lamsdlc_cli inspect` decodes cleanly.
-#   4. perf smoke (non-gating): kernel workload rates, printed for trend
+#   4. verify smoke: the property-fuzzing + differential-oracle harness
+#      (docs/VERIFICATION.md) over LAMSDLC_VERIFY_SEEDS hostile seeds and
+#      LAMSDLC_VERIFY_FUZZ codec mutants — gating; any invariant violation,
+#      oracle divergence or fuzz property failure fails the build and
+#      prints a shrunk `lamsdlc_cli verify --repro` command line.
+#   5. perf smoke (non-gating): kernel workload rates, printed for trend
 #      watching; compare against BENCH_kernel.json by hand or with
 #      scripts/bench_baseline.sh.
 #
@@ -35,6 +40,10 @@ for seed in $(seq 1 25); do
   "$CLI" inspect "$cap" --summary >/dev/null
 done
 echo "25 chaos seeds OK, captures decode cleanly"
+
+echo "== verify smoke (${LAMSDLC_VERIFY_SEEDS:-40} seeds, ${LAMSDLC_VERIFY_FUZZ:-4000} fuzz iters) =="
+"$CLI" verify --seeds "${LAMSDLC_VERIFY_SEEDS:-40}" \
+              --fuzz "${LAMSDLC_VERIFY_FUZZ:-4000}" --jobs 0
 
 echo "== perf smoke (non-gating) =="
 # Timings on shared CI hosts are too noisy to gate on; print them so a

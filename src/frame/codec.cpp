@@ -1,6 +1,7 @@
 #include "lamsdlc/frame/codec.hpp"
 
 #include <cstring>
+#include <utility>
 
 #include "lamsdlc/phy/crc.hpp"
 
@@ -203,7 +204,48 @@ void encode_into(const Frame& f, std::vector<std::uint8_t>& out) {
   w.finish();
 }
 
-std::optional<Frame> decode(std::span<const std::uint8_t> bytes) {
+namespace {
+
+/// Post-parse value validation (see DecodeLimits in the header).
+bool within_limits(const Frame& f, const DecodeLimits& limits) {
+  if (limits.seq_modulus == 0) return true;
+  const std::uint32_t m = limits.seq_modulus;
+  struct Check {
+    std::uint32_t m;
+    bool operator()(const IFrame& i) const { return i.seq < m; }
+    bool operator()(const CheckpointFrame& c) const {
+      if (c.highest_seen >= m) return false;
+      for (const Seq s : c.naks) {
+        if (s >= m) return false;
+      }
+      return true;
+    }
+    bool operator()(const RequestNakFrame&) const { return true; }
+    bool operator()(const HdlcIFrame& i) const { return i.ns < m && i.nr < m; }
+    bool operator()(const HdlcSFrame& s) const {
+      if (s.nr >= m) return false;
+      for (const Seq q : s.srej_list) {
+        if (q >= m) return false;
+      }
+      return true;
+    }
+    bool operator()(const SessionFrame&) const { return true; }
+    bool operator()(const SelectiveAckFrame&) const {
+      // NBDT numbering is absolute (32-bit), not cyclic — no modulus applies.
+      return true;
+    }
+  };
+  return std::visit(Check{m}, f.body);
+}
+
+}  // namespace
+
+std::optional<Frame> decode(std::span<const std::uint8_t> bytes,
+                            DecodeLimits limits) {
+  auto checked = [&limits](Frame&& f) -> std::optional<Frame> {
+    if (!within_limits(f, limits)) return std::nullopt;
+    return std::move(f);
+  };
   if (bytes.size() < 1 + kFcsBytes) return std::nullopt;
   // Verify FCS over everything but the trailing two bytes.
   const auto body = bytes.first(bytes.size() - kFcsBytes);
@@ -224,7 +266,7 @@ std::optional<Frame> decode(std::span<const std::uint8_t> bytes) {
       if (!r.bytes(i.payload, i.payload_bytes)) return std::nullopt;
       if (r.remaining() != 0) return std::nullopt;
       f.body = std::move(i);
-      return f;
+      return checked(std::move(f));
     }
     case kCheckpoint: {
       CheckpointFrame c;
@@ -245,13 +287,13 @@ std::optional<Frame> decode(std::span<const std::uint8_t> bytes) {
       }
       if (r.remaining() != 0) return std::nullopt;
       f.body = std::move(c);
-      return f;
+      return checked(std::move(f));
     }
     case kRequestNak: {
       RequestNakFrame q;
       if (!r.u32(q.token) || r.remaining() != 0) return std::nullopt;
       f.body = q;
-      return f;
+      return checked(std::move(f));
     }
     case kHdlcI: {
       HdlcIFrame i;
@@ -264,7 +306,7 @@ std::optional<Frame> decode(std::span<const std::uint8_t> bytes) {
       if (!r.bytes(i.payload, i.payload_bytes)) return std::nullopt;
       if (r.remaining() != 0) return std::nullopt;
       f.body = std::move(i);
-      return f;
+      return checked(std::move(f));
     }
     case kHdlcS: {
       HdlcSFrame s;
@@ -281,7 +323,7 @@ std::optional<Frame> decode(std::span<const std::uint8_t> bytes) {
       }
       if (r.remaining() != 0) return std::nullopt;
       f.body = std::move(s);
-      return f;
+      return checked(std::move(f));
     }
     case kSelectiveAck: {
       SelectiveAckFrame a;
@@ -297,7 +339,7 @@ std::optional<Frame> decode(std::span<const std::uint8_t> bytes) {
       }
       if (r.remaining() != 0) return std::nullopt;
       f.body = std::move(a);
-      return f;
+      return checked(std::move(f));
     }
     case kSession: {
       SessionFrame s;
@@ -307,7 +349,7 @@ std::optional<Frame> decode(std::span<const std::uint8_t> bytes) {
       }
       s.kind = static_cast<SessionFrame::Kind>(k);
       f.body = s;
-      return f;
+      return checked(std::move(f));
     }
     default:
       return std::nullopt;

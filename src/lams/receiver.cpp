@@ -59,6 +59,8 @@ void LamsReceiver::stop() {
 void LamsReceiver::reset_session() {
   any_seen_ = false;
   highest_ctr_ = 0;
+  iframe_arrivals_ = 0;
+  anchor_arrival_ = 0;
   interval_naks_.clear();
   current_interval_.clear();
   history_.clear();
@@ -92,21 +94,44 @@ void LamsReceiver::emit_checkpoint(bool enforced) {
   cp.stop_go = processing_ > cfg_.recv_high_watermark;
   cp.epoch = epoch_;
 
+  // Wire-safety filter: a NAK that has fallen modulus/2 or more behind the
+  // highest accepted counter is no longer expressible on the wire.  The
+  // sender unwraps each NAK near its newest issued number, so the wrapped
+  // value of such a stale record resolves a full numbering cycle *ahead* of
+  // the counter it was recorded for — and if the frame was since
+  // retransmitted under a fresh number, the alias lands exactly on the fresh
+  // copy in flight: a spurious retransmission and a duplicate delivery.
+  // Suppressing the record is fail-safe — a frame that old is past the
+  // resolving-period bound, and the sender's provably-undelivered rule and
+  // failure timer still cover it.
+  const std::uint64_t half = cfg_.modulus / 2;
+  const auto expressible = [&](std::uint64_t ctr) {
+    const bool ok = highest_ctr_ - ctr < half;
+    if (!ok) ++naks_expired_;
+    return ok;
+  };
+
   if (enforced) {
     // Enforced-NAK: every unexpired NAK of the resolving period, so a
     // sender that missed an arbitrary run of checkpoints still recovers
-    // every damaged frame.
+    // every damaged frame.  `history_` alone covers this: every NAK enters
+    // it the instant it enters `current_interval_`, and prune_history()
+    // never prunes inside the cumulative-reporting window.
     prune_history();
-    cp.naks.reserve(history_.size() + current_interval_.size());
-    for (const NakRecord& r : history_) cp.naks.push_back(seqspace_.wrap(r.ctr));
+    cp.naks.reserve(history_.size());
+    for (const NakRecord& r : history_) {
+      if (expressible(r.ctr)) cp.naks.push_back(seqspace_.wrap(r.ctr));
+    }
   } else {
     // Cumulative list over the last C_depth closed intervals plus anything
     // detected in the (just-started) current one.
     for (const auto& interval : interval_naks_) {
-      for (const std::uint64_t ctr : interval) cp.naks.push_back(seqspace_.wrap(ctr));
+      for (const std::uint64_t ctr : interval) {
+        if (expressible(ctr)) cp.naks.push_back(seqspace_.wrap(ctr));
+      }
     }
     for (const std::uint64_t ctr : current_interval_) {
-      cp.naks.push_back(seqspace_.wrap(ctr));
+      if (expressible(ctr)) cp.naks.push_back(seqspace_.wrap(ctr));
     }
   }
 
@@ -132,10 +157,25 @@ void LamsReceiver::emit_checkpoint(bool enforced) {
 }
 
 void LamsReceiver::prune_history() {
-  const Time horizon = cfg_.effective_nak_horizon();
+  // Never prune inside the cumulative-reporting window (the current interval
+  // plus C_depth closed ones): a NAK still being repeated in periodic
+  // checkpoints must also appear in an Enforced-NAK, whatever retention
+  // horizon the configuration asked for.
+  const Time floor = cfg_.checkpoint_interval *
+                     static_cast<std::int64_t>(cfg_.cumulation_depth + 1);
+  const Time horizon = std::max(cfg_.effective_nak_horizon(), floor);
   while (!history_.empty() &&
          history_.front().detected_at + horizon < sim_.now()) {
     history_.pop_front();
+  }
+  // Counter-based floor: once a record falls modulus/2 behind the highest
+  // accepted counter it can never be emitted again (emit_checkpoint's
+  // wire-safety filter rejects it, and highest_ctr_ only grows), so drop
+  // it.  Records are appended in counter order — the stalest is in front.
+  while (!history_.empty() &&
+         highest_ctr_ - history_.front().ctr >= cfg_.modulus / 2) {
+    history_.pop_front();
+    ++naks_expired_;
   }
 }
 
@@ -156,6 +196,12 @@ void LamsReceiver::on_frame(frame::Frame f) {
 }
 
 void LamsReceiver::handle_iframe(const frame::IFrame& in, bool corrupted) {
+  // Count the arrival *event* before any disposition (husk, congestion
+  // discard, stale duplicate, good frame).  Under the paper's link model
+  // (assumption 9: damage is detectable — frames arrive unreadable rather
+  // than vanish) the event count tracks the sender's counter exactly, which
+  // anchors the unwrap below.
+  const std::uint64_t arrival_ref = iframe_arrivals_++;
   if (corrupted) {
     // Worst-case assumption: a damaged frame's header is unreadable, so the
     // receiver learns of it only through the sequence gap exposed by the
@@ -179,9 +225,21 @@ void LamsReceiver::handle_iframe(const frame::IFrame& in, bool corrupted) {
     return;
   }
 
-  const std::uint64_t ctr =
-      any_seen_ ? seqspace_.unwrap(in.seq, highest_ctr_)
-                : static_cast<std::uint64_t>(in.seq);
+  // A good arrival is NOT necessarily within m/2 of the last accepted
+  // counter: at a tiny modulus a burst of husks can span whole cycles (the
+  // first cycle included — the old code trusted the raw wire value of the
+  // first good frame), and unwrapping near the stale highest would alias
+  // the counter a multiple of m low.  The receiver would then under-NAK
+  // the gap and the sender would release undelivered frames as implicitly
+  // acknowledged — silent loss.  The arrival-event count carries the cycle
+  // through any such burst: damage is detectable (assumption 9), so every
+  // counter issued since the last accepted frame left an arrival event
+  // behind, and the expected counter of this frame is the last accepted
+  // counter advanced by the events seen since.  Omissions or duplicates
+  // (outside the paper's link model) only disturb the anchor until the
+  // next accepted frame re-bases it.
+  const std::uint64_t ref = highest_ctr_ + (arrival_ref - anchor_arrival_);
+  const std::uint64_t ctr = seqspace_.unwrap(in.seq, ref);
   if (any_seen_ && ctr <= highest_ctr_) {
     // A non-increasing counter is a wire-level duplicate or a late reordered
     // frame; either way the frame was already NAKed or delivered, so it must
@@ -209,6 +267,7 @@ void LamsReceiver::handle_iframe(const frame::IFrame& in, bool corrupted) {
     }
   }
   highest_ctr_ = ctr;
+  anchor_arrival_ = arrival_ref;
   any_seen_ = true;
 
   if (obs_.active()) {

@@ -103,7 +103,18 @@ void LamsSender::note_buffer_change() {
 
 void LamsSender::try_send() {
   if (mode_ == Mode::kFailed || out_.busy() || !out_.up()) return;
-  const bool can_new = mode_ == Mode::kNormal;
+  // Numbering-window stall (Section 3.3): a new frame may only be issued
+  // while fewer than modulus/2 frames are unresolved (outstanding plus the
+  // NAKed ones waiting to go out again — those re-enter the outstanding set
+  // the moment they are retransmitted).  Past that population the wrapped
+  // sequence references on the wire turn ambiguous.  Retransmissions are
+  // exempt: they conserve the unresolved population.  The stall clears when
+  // a checkpoint releases or claims frames (handle_checkpoint ends with
+  // try_send), and a silent receiver trips the checkpoint/failure timers as
+  // usual, so the stall cannot deadlock.
+  const bool window_open =
+      outstanding_.size() + retx_queue_.size() < cfg_.numbering_window();
+  const bool can_new = mode_ == Mode::kNormal && window_open;
   if (retx_queue_.empty() && (!can_new || new_queue_.empty())) return;
 
   const Time now = sim_.now();
@@ -274,9 +285,21 @@ void LamsSender::process_naks(const frame::CheckpointFrame& cp) {
 
 void LamsSender::sweep_outstanding(const frame::CheckpointFrame& cp) {
   if (outstanding_.empty() || next_ctr_ == 0) return;
-  const bool any_seen = cp.any_seen;
+  bool any_seen = cp.any_seen;
   const std::uint64_t high =
       any_seen ? seqspace_.unwrap(cp.highest_seen, next_ctr_ - 1) : 0;
+  if (any_seen && high > next_ctr_ - 1) {
+    // Implausible: the receiver cannot have accepted a number the sender
+    // has not issued.  This happens when the checkpoint's highest-seen is
+    // stale by more than half the numbering size (a long all-husk forward
+    // burst keeps the receiver's highest pinned while next_ctr_ advances),
+    // so the nearest-to-reference unwrap lands a cycle too far forward.
+    // Releasing against it would discard undelivered frames as implicitly
+    // acknowledged — silent loss.  Skip the release rule for this
+    // checkpoint; the provably-undelivered retransmission rule below is
+    // reference-free and stays in force.
+    any_seen = false;
+  }
 
   std::vector<std::uint64_t> release;
   std::vector<std::uint64_t> undelivered;

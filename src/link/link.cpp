@@ -49,7 +49,7 @@ frame::Frame SimplexChannel::through_codec(frame::Frame f, bool corrupt) {
           static_cast<std::uint8_t>(1u << flip_rng_.uniform_int(0, 7));
     }
   }
-  auto decoded = frame::decode(wire_buf_);
+  auto decoded = frame::decode(wire_buf_, cfg_.decode_limits);
   if (!decoded.has_value()) {
     // The FCS caught the damage (the expected outcome for corrupt frames):
     // deliver the unreadable husk — the original, moved through, marked.
@@ -61,7 +61,7 @@ frame::Frame SimplexChannel::through_codec(frame::Frame f, bool corrupt) {
     // Flips survived the CRC check: aliasing (~2^-16 per damaged frame).
     // Surface it and fail safe by still marking the frame corrupted, which
     // preserves link-model assumption 9 for the protocols above.
-    ++codec_mismatches_;
+    ++codec_aliases_;
     decoded->corrupted = true;
     return *std::move(decoded);
   }

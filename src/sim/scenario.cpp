@@ -42,6 +42,19 @@ Scenario::Scenario(ScenarioConfig cfg)
   fwd.control_fec = cfg_.control_fec;
   fwd.byte_level = cfg_.byte_level_wire;
   fwd.byte_level_seed = cfg_.seed ^ 0xB17E;
+  // Endpoints reject decoded frames whose sequence fields fall outside the
+  // protocol's numbering size (NBDT numbers absolutely: no limit applies).
+  switch (cfg_.protocol) {
+    case Protocol::kLams:
+      fwd.decode_limits.seq_modulus = cfg_.lams.modulus;
+      break;
+    case Protocol::kSrHdlc:
+    case Protocol::kGbnHdlc:
+      fwd.decode_limits.seq_modulus = cfg_.hdlc.modulus;
+      break;
+    case Protocol::kNbdt:
+      break;
+  }
   link::SimplexChannel::Config rev = fwd;
   rev.byte_level_seed = cfg_.seed ^ 0xB17F;
 

@@ -1,0 +1,342 @@
+#include "lamsdlc/verif/fuzz.hpp"
+
+#include <cstddef>
+#include <sstream>
+#include <variant>
+
+#include "lamsdlc/core/random.hpp"
+#include "lamsdlc/frame/codec.hpp"
+#include "lamsdlc/frame/frame.hpp"
+#include "lamsdlc/phy/crc.hpp"
+
+namespace lamsdlc::verif {
+namespace {
+
+using frame::Frame;
+using frame::Seq;
+
+/// Draw one syntactically valid frame.  \p lawful_below bounds every
+/// sequence-carrying field when nonzero; 0 draws over the full 32-bit range.
+Frame random_frame(RandomStream& rng, std::uint32_t lawful_below) {
+  auto seq = [&]() -> Seq {
+    if (lawful_below != 0) {
+      return static_cast<Seq>(rng.uniform_int(0, lawful_below - 1));
+    }
+    return static_cast<Seq>(
+        rng.uniform_int(0, static_cast<std::int64_t>(0xFFFFFFFFu)));
+  };
+  auto small = [&](std::int64_t hi) {
+    return static_cast<std::size_t>(rng.uniform_int(0, hi));
+  };
+  Frame f;
+  switch (rng.uniform_int(0, 6)) {
+    case 0: {
+      frame::IFrame i;
+      i.seq = seq();
+      i.payload_bytes = static_cast<std::uint32_t>(small(48));
+      if (rng.bernoulli(0.5)) {
+        i.payload.resize(i.payload_bytes);
+        for (auto& b : i.payload) {
+          b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        }
+      }
+      f.body = std::move(i);
+      break;
+    }
+    case 1: {
+      frame::CheckpointFrame c;
+      c.cp_seq = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+      c.generated_at = Time::picoseconds(rng.uniform_int(0, 1'000'000'000'000));
+      c.highest_seen = seq();
+      c.any_seen = rng.bernoulli(0.8);
+      c.enforced = rng.bernoulli(0.3);
+      c.stop_go = rng.bernoulli(0.2);
+      c.epoch = static_cast<std::uint32_t>(rng.uniform_int(0, 8));
+      c.naks.resize(small(12));
+      for (auto& s : c.naks) s = seq();
+      f.body = std::move(c);
+      break;
+    }
+    case 2:
+      f.body = frame::RequestNakFrame{
+          static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20))};
+      break;
+    case 3: {
+      frame::HdlcIFrame i;
+      i.ns = seq();
+      i.nr = seq();
+      i.poll = rng.bernoulli(0.5);
+      i.payload_bytes = static_cast<std::uint32_t>(small(48));
+      f.body = std::move(i);
+      break;
+    }
+    case 4: {
+      frame::HdlcSFrame s;
+      s.type = static_cast<frame::HdlcSFrame::Type>(rng.uniform_int(0, 3));
+      s.nr = seq();
+      s.poll_final = rng.bernoulli(0.5);
+      s.srej_list.resize(small(8));
+      for (auto& q : s.srej_list) q = seq();
+      f.body = std::move(s);
+      break;
+    }
+    case 5: {
+      frame::SessionFrame s;
+      s.kind = static_cast<frame::SessionFrame::Kind>(rng.uniform_int(0, 3));
+      s.epoch = static_cast<std::uint32_t>(rng.uniform_int(0, 8));
+      f.body = s;
+      break;
+    }
+    default: {
+      frame::SelectiveAckFrame a;
+      a.base = seq();
+      a.highest = seq();
+      a.any_seen = rng.bernoulli(0.8);
+      a.missing.resize(small(8));
+      for (auto& m : a.missing) m = seq();
+      f.body = std::move(a);
+      break;
+    }
+  }
+  return f;
+}
+
+/// Force exactly one sequence-carrying field of \p f out of range (>= m).
+/// Returns false when the drawn frame has no such field.
+bool poison_one_seq(Frame& f, RandomStream& rng, std::uint32_t m) {
+  const Seq bad = m + static_cast<Seq>(rng.uniform_int(0, 1 << 16));
+  if (auto* i = std::get_if<frame::IFrame>(&f.body)) {
+    i->seq = bad;
+    return true;
+  }
+  if (auto* c = std::get_if<frame::CheckpointFrame>(&f.body)) {
+    if (!c->naks.empty() && rng.bernoulli(0.5)) {
+      c->naks[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(c->naks.size()) - 1))] = bad;
+    } else {
+      c->highest_seen = bad;
+    }
+    return true;
+  }
+  if (auto* i = std::get_if<frame::HdlcIFrame>(&f.body)) {
+    (rng.bernoulli(0.5) ? i->ns : i->nr) = bad;
+    return true;
+  }
+  if (auto* s = std::get_if<frame::HdlcSFrame>(&f.body)) {
+    if (!s->srej_list.empty() && rng.bernoulli(0.5)) {
+      s->srej_list[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(s->srej_list.size()) - 1))] = bad;
+    } else {
+      s->nr = bad;
+    }
+    return true;
+  }
+  return false;  // RequestNak / Session / SelectiveAck carry no cyclic seq
+}
+
+/// Mutate \p bytes in place; returns a short description for failure logs.
+const char* mutate(std::vector<std::uint8_t>& bytes, RandomStream& rng,
+                   const std::vector<std::uint8_t>& donor) {
+  auto pos = [&](std::size_t size) {
+    return static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(size) - 1));
+  };
+  switch (rng.uniform_int(0, 5)) {
+    case 0: {  // bit flips
+      const auto flips = 1 + rng.uniform_int(0, 15);
+      for (std::int64_t i = 0; i < flips && !bytes.empty(); ++i) {
+        bytes[pos(bytes.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+      }
+      return "bitflip";
+    }
+    case 1: {  // truncate the tail
+      if (bytes.size() > 1) {
+        bytes.resize(pos(bytes.size()));
+      } else {
+        bytes.clear();
+      }
+      return "truncate";
+    }
+    case 2: {  // append junk
+      const auto n = 1 + rng.uniform_int(0, 7);
+      for (std::int64_t i = 0; i < n; ++i) {
+        bytes.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+      }
+      return "extend";
+    }
+    case 3: {  // splice: our head, a donor frame's tail
+      if (!bytes.empty() && !donor.empty()) {
+        const std::size_t head = pos(bytes.size());
+        const std::size_t tail = pos(donor.size());
+        bytes.resize(head);
+        bytes.insert(bytes.end(), donor.begin() + static_cast<std::ptrdiff_t>(tail),
+                     donor.end());
+      }
+      return "splice";
+    }
+    case 4: {  // zero a span
+      if (!bytes.empty()) {
+        std::size_t at = pos(bytes.size());
+        const std::size_t len = 1 + pos(bytes.size());
+        for (std::size_t i = 0; i < len && at + i < bytes.size(); ++i) {
+          bytes[at + i] = 0;
+        }
+      }
+      return "zero-span";
+    }
+    default: {  // randomize a span
+      if (!bytes.empty()) {
+        std::size_t at = pos(bytes.size());
+        const std::size_t len = 1 + pos(bytes.size());
+        for (std::size_t i = 0; i < len && at + i < bytes.size(); ++i) {
+          bytes[at + i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        }
+      }
+      return "rand-span";
+    }
+  }
+}
+
+/// Recompute the trailing FCS so the mutant passes the CRC gate and the
+/// structural / value validation behind it gets exercised.
+void fix_crc(std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 1 + frame::kFcsBytes) return;
+  const auto body =
+      std::span<const std::uint8_t>{bytes}.first(bytes.size() - frame::kFcsBytes);
+  const std::uint16_t fcs = phy::crc16_ccitt(body);
+  bytes[bytes.size() - 2] = static_cast<std::uint8_t>(fcs);
+  bytes[bytes.size() - 1] = static_cast<std::uint8_t>(fcs >> 8);
+}
+
+/// True when every sequence-carrying field of \p f is below \p m.
+bool obeys_limits(const Frame& f, std::uint32_t m) {
+  if (m == 0) return true;
+  if (const auto* i = std::get_if<frame::IFrame>(&f.body)) return i->seq < m;
+  if (const auto* c = std::get_if<frame::CheckpointFrame>(&f.body)) {
+    if (c->highest_seen >= m) return false;
+    for (const Seq s : c->naks) {
+      if (s >= m) return false;
+    }
+    return true;
+  }
+  if (const auto* i = std::get_if<frame::HdlcIFrame>(&f.body)) {
+    return i->ns < m && i->nr < m;
+  }
+  if (const auto* s = std::get_if<frame::HdlcSFrame>(&f.body)) {
+    if (s->nr >= m) return false;
+    for (const Seq q : s->srej_list) {
+      if (q >= m) return false;
+    }
+    return true;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string FuzzReport::summary() const {
+  std::ostringstream os;
+  os << "fuzz: " << cases << " cases, " << decode_ok << " accepted, "
+     << decode_rejected << " rejected (" << limit_rejections
+     << " by seq limits), " << failures.size() << " property failures";
+  for (const std::string& f : failures) os << "\n  FAIL " << f;
+  return os.str();
+}
+
+FuzzReport fuzz_codec(const FuzzOptions& opts) {
+  RandomStream rng{opts.seed, "verif.fuzz"};
+  const frame::DecodeLimits limits{opts.seq_modulus};
+  FuzzReport rep;
+
+  auto fail = [&](std::uint64_t case_idx, const char* mutation,
+                  const char* what) {
+    std::ostringstream os;
+    os << "seed=" << opts.seed << " case=" << case_idx << " (" << mutation
+       << "): " << what;
+    rep.failures.push_back(os.str());
+  };
+
+  /// Canonical-form check: whatever decode accepted must survive an
+  /// encode→decode→encode round trip byte-identically.  A divergence means
+  /// the parser built a frame the encoder cannot represent — state the rest
+  /// of the stack would silently mangle.
+  auto check_canonical = [&](std::uint64_t case_idx, const char* mutation,
+                             const Frame& accepted) {
+    const std::vector<std::uint8_t> e2 = frame::encode(accepted);
+    const auto d2 = frame::decode(e2, limits);
+    if (!d2.has_value()) {
+      fail(case_idx, mutation, "re-encoded accepted frame failed to decode");
+      return;
+    }
+    if (frame::encode(*d2) != e2) {
+      fail(case_idx, mutation, "re-encode of accepted frame is not canonical");
+    }
+  };
+
+  for (std::uint64_t i = 0; i < opts.iterations; ++i) {
+    const double leg = rng.uniform();
+    if (leg < 0.1) {
+      // Lawful frame, no mutation: must decode and re-encode identically.
+      const Frame f = random_frame(rng, opts.seq_modulus);
+      const std::vector<std::uint8_t> bytes = frame::encode(f);
+      ++rep.cases;
+      const auto d = frame::decode(bytes, limits);
+      if (!d.has_value()) {
+        fail(i, "none", "valid in-range encoding was rejected");
+        continue;
+      }
+      ++rep.decode_ok;
+      if (frame::encode(*d) != bytes) {
+        fail(i, "none", "decode(encode(f)) re-encoded differently");
+      }
+      continue;
+    }
+    if (leg < 0.2 && opts.seq_modulus != 0) {
+      // One field deliberately >= m: the unlimited decode must accept it
+      // (the bytes are pristine), the limited decode must refuse it.
+      Frame f = random_frame(rng, opts.seq_modulus);
+      if (!poison_one_seq(f, rng, opts.seq_modulus)) continue;
+      const std::vector<std::uint8_t> bytes = frame::encode(f);
+      ++rep.cases;
+      if (!frame::decode(bytes).has_value()) {
+        fail(i, "poison", "structurally valid frame rejected without limits");
+        continue;
+      }
+      if (frame::decode(bytes, limits).has_value()) {
+        fail(i, "poison", "out-of-range seq accepted despite DecodeLimits");
+        continue;
+      }
+      ++rep.decode_rejected;
+      ++rep.limit_rejections;
+      continue;
+    }
+
+    // Mutation leg: arbitrary frame, mutated bytes, often with a repaired
+    // FCS so validation behind the CRC gate is reached.
+    const Frame f = random_frame(rng, rng.bernoulli(0.5) ? opts.seq_modulus : 0);
+    const Frame donor_frame = random_frame(rng, 0);
+    const std::vector<std::uint8_t> donor = frame::encode(donor_frame);
+    std::vector<std::uint8_t> bytes = frame::encode(f);
+    const char* mutation = mutate(bytes, rng, donor);
+    if (rng.bernoulli(0.5)) fix_crc(bytes);
+    ++rep.cases;
+    const auto d = frame::decode(bytes, limits);
+    if (!d.has_value()) {
+      ++rep.decode_rejected;
+      if (opts.seq_modulus != 0 && frame::decode(bytes).has_value()) {
+        ++rep.limit_rejections;
+      }
+      continue;
+    }
+    ++rep.decode_ok;
+    if (!obeys_limits(*d, opts.seq_modulus)) {
+      fail(i, mutation, "accepted frame violates DecodeLimits");
+      continue;
+    }
+    check_canonical(i, mutation, *d);
+  }
+  return rep;
+}
+
+}  // namespace lamsdlc::verif

@@ -1,0 +1,479 @@
+#include "lamsdlc/verif/verify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lamsdlc/analysis/model.hpp"
+#include "lamsdlc/core/random.hpp"
+#include "lamsdlc/frame/frame.hpp"
+#include "lamsdlc/phy/fault_injector.hpp"
+#include "lamsdlc/sim/invariants.hpp"
+#include "lamsdlc/workload/sources.hpp"
+
+namespace lamsdlc::verif {
+namespace {
+
+/// All verification traffic uses small frames: the generator pins the frame
+/// *time* (below), so payload size only scales the drawn data rate.
+constexpr std::uint32_t kFrameBytes = 256;
+
+/// One drawn fault episode, kept for the transcript.  Episodes are always
+/// drawn — gating knobs decide only whether they apply — so dropping a knob
+/// never disturbs the other draws and shrunk repros stay bit-identical.
+struct Episode {
+  bool reverse = false;
+  const char* kind = "";
+  phy::FaultInjector::Affects affects = phy::FaultInjector::Affects::kAll;
+  double p = 0.0;
+  double from_frac = 0.0;
+  Time len{};
+  bool applied = false;
+};
+
+const char* affects_name(phy::FaultInjector::Affects a) {
+  switch (a) {
+    case phy::FaultInjector::Affects::kAll: return "all";
+    case phy::FaultInjector::Affects::kDataOnly: return "data";
+    case phy::FaultInjector::Affects::kControlOnly: return "control";
+  }
+  return "?";
+}
+
+/// Wire bits of one verification I-frame (fixed payload size).
+double frame_bits() {
+  frame::Frame probe;
+  probe.body = frame::IFrame{0, 0, kFrameBytes, {}};
+  return static_cast<double>(frame::wire_bits(probe));
+}
+
+}  // namespace
+
+std::string VerifyVerdict::repro_command() const {
+  std::ostringstream os;
+  os << "lamsdlc_cli verify --repro --seed " << knobs.seed << " --modulus "
+     << knobs.modulus << " --cdepth " << knobs.c_depth << " --packets "
+     << knobs.packets;
+  if (!knobs.faults) os << " --no-faults";
+  if (!knobs.congestion) os << " --no-congestion";
+  if (!knobs.outage) os << " --no-outage";
+  if (!knobs.reverse_faults) os << " --no-reverse";
+  if (!knobs.byte_level) os << " --no-byte-level";
+  if (!knobs.differential) os << " --no-differential";
+  if (!knobs.analysis_check) os << " --no-analysis";
+  if (knobs.fault_scale != 1.0) os << " --fault-scale " << knobs.fault_scale;
+  return os.str();
+}
+
+std::string VerifyVerdict::to_string() const {
+  std::ostringstream os;
+  os << (ok ? "OK" : "FAILED")
+     << (completed ? " (completed)"
+                   : declared_failed ? " (declared failure)" : " (incomplete)")
+     << "\n";
+  for (const std::string& f : failures) os << "  failure: " << f << "\n";
+  os << transcript;
+  if (!ok) os << "  repro: " << repro_command() << "\n";
+  return os.str();
+}
+
+VerifyVerdict run_verify(const VerifyKnobs& knobs) {
+  VerifyVerdict v;
+  VerifyKnobs eff = knobs;
+  std::ostringstream tr;
+
+  // ---- base draws: protocol shape and channel noise ----------------------
+  RandomStream base{knobs.seed, "verif.base"};
+  static constexpr std::uint32_t kModuli[] = {8, 16, 32};
+  std::uint32_t m = kModuli[base.uniform_int(0, 2)];
+  auto c_depth = static_cast<std::uint32_t>(base.uniform_int(1, 8));
+  auto packets = static_cast<std::uint64_t>(base.uniform_int(40, 160));
+  const Time prop = Time::microseconds(base.uniform_int(200, 1000));
+  const double w_factor = base.uniform(0.5, 4.0);
+  const bool byte_draw = base.bernoulli(0.5);
+  const bool noise_draw = base.bernoulli(0.6);
+  const double pf_frac = base.uniform(0.0, 1.0);
+  const double pc_fwd = base.uniform(0.0, 0.15);
+  const double p_rev = base.uniform(0.0, 0.15);
+  if (knobs.modulus != 0) m = knobs.modulus;
+  if (knobs.c_depth != 0) c_depth = knobs.c_depth;
+  if (knobs.packets != 0) packets = knobs.packets;
+  eff.modulus = m;
+  eff.c_depth = c_depth;
+  eff.packets = packets;
+
+  const Time rtt = prop * 2;
+  const Time W = rtt * w_factor;  // spans rtt- and W_cp-dominated regimes
+  const Time max_rtt = rtt + W;
+  const Time resolving = max_rtt + W / 2 + W * static_cast<std::int64_t>(c_depth);
+
+  // Numbering-size envelope (Section 3.3): the paper promises nothing when
+  // more than m/2 numbers are in flight, so the generator *derives* the
+  // frame time from the drawn resolving period to pin the worst-case
+  // in-flight span near 0.35·m — hostile (one aliasing mistake shows up
+  // within a few frames at m=8) but inside the precondition.
+  const double tf_s = resolving.sec() / (0.35 * static_cast<double>(m));
+  const Time tf = Time::seconds(tf_s);
+  const double data_rate = frame_bits() / tf_s;
+
+  const bool byte_applied = knobs.byte_level && byte_draw;
+  eff.byte_level = byte_applied;
+
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kLams;
+  cfg.data_rate_bps = data_rate;
+  cfg.prop_delay = prop;
+  cfg.frame_bytes = kFrameBytes;
+  cfg.byte_level_wire = byte_applied;
+  cfg.seed = knobs.seed;
+  cfg.lams.modulus = m;
+  cfg.lams.cumulation_depth = c_depth;
+  cfg.lams.checkpoint_interval = W;
+  cfg.lams.max_rtt = max_rtt;
+
+  // Jitter must stay below the release margin (the release rule assumes
+  // bounded delivery-time skew); up to four overlapping stages can each add
+  // one jitter delay.
+  const Time jitter_max = tf * (0.1 * static_cast<double>(m));
+  cfg.lams.release_margin = jitter_max * 4 + tf * 0.1 + Time::microseconds(200);
+
+  // Base noise: cap P_F so a run of >= m consecutive husks (which would
+  // carry the sender's counter a full cycle away from anything the receiver
+  // accepted) stays negligible at the smallest modulus.
+  const double pf_cap = (m == 8) ? 0.15 : 0.3;
+  const double pf = noise_draw ? pf_frac * pf_cap : 0.0;
+  if (noise_draw) {
+    cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+    cfg.forward_error.p_frame = pf;
+    cfg.forward_error.p_control = pc_fwd;
+    cfg.reverse_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+    cfg.reverse_error.p_frame = p_rev;
+    cfg.reverse_error.p_control = p_rev;
+  }
+
+  // ---- congestion draws --------------------------------------------------
+  RandomStream cong{knobs.seed, "verif.congestion"};
+  const bool cong_draw = cong.bernoulli(0.4);
+  const Time cong_tproc = tf * cong.uniform(0.3, 1.0);
+  const auto watermark = static_cast<std::size_t>(cong.uniform_int(4, 12));
+  const auto hard_extra = static_cast<std::size_t>(cong.uniform_int(2, 8));
+  const bool cong_applied = knobs.congestion && cong_draw;
+  eff.congestion = cong_applied;
+  if (cong_applied) {
+    cfg.lams.t_proc = cong_tproc;
+    cfg.lams.recv_high_watermark = watermark;
+    cfg.lams.recv_hard_capacity = watermark + hard_extra;
+  }
+
+  // ---- workload draws ----------------------------------------------------
+  RandomStream wl{knobs.seed, "verif.workload"};
+  const bool paced = wl.bernoulli(0.4);
+  const Time gap = tf * wl.uniform(0.8, 2.5);
+  const bool backpressure = wl.bernoulli(0.5);
+
+  const Time per = paced ? std::max(tf, gap) : tf;
+  const Time est =
+      per * static_cast<std::int64_t>(packets) * 2 + resolving * 10;
+
+  // ---- fault-episode draws -----------------------------------------------
+  // Forward episodes share one length budget of 0.35·m frame times: a drop
+  // run decoheres the receiver's arrival-indexed unwrap reference and a
+  // husk run drives the sender's counter ahead of the last accepted number,
+  // and both are only guaranteed recoverable while the imbalance between
+  // two accepted frames stays under m/2 (receiver) respectively under m
+  // (sender, including ~0.35·m in flight).  Reverse episodes carry no such
+  // coupling and may span several resolving periods.
+  RandomStream eps{knobs.seed, "verif.episodes"};
+  const bool episodes_draw = eps.bernoulli(0.7);
+  static constexpr const char* kKinds[] = {"drop", "duplicate", "reorder",
+                                           "truncate", "corrupt"};
+  std::vector<Episode> episodes;
+  Time fwd_budget = tf * (0.35 * static_cast<double>(m));
+  const auto n_episodes = 1 + eps.uniform_int(0, 3);
+  bool any_applied = false;
+  bool any_reverse_applied = false;
+  Time fault_span{};
+  for (std::int64_t i = 0; i < n_episodes; ++i) {
+    Episode e;
+    e.reverse = eps.bernoulli(0.35);
+    e.kind = kKinds[eps.uniform_int(0, 4)];
+    e.affects = (!e.reverse && eps.bernoulli(0.5))
+                    ? phy::FaultInjector::Affects::kDataOnly
+                    : phy::FaultInjector::Affects::kAll;
+    e.p = eps.uniform(0.25, 1.0);
+    e.from_frac = eps.uniform(0.0, 0.7);
+    const double len_frac = eps.uniform(0.1, 0.6);
+    if (e.reverse) {
+      e.len = resolving * (2.5 * len_frac * knobs.fault_scale);
+    } else {
+      const Time want =
+          tf * (0.35 * static_cast<double>(m) * len_frac * knobs.fault_scale);
+      e.len = std::min(want, fwd_budget);
+      fwd_budget = fwd_budget - e.len;
+    }
+    e.applied = knobs.faults && episodes_draw &&
+                (!e.reverse || knobs.reverse_faults) && !e.len.is_zero();
+    if (e.applied) {
+      any_applied = true;
+      if (e.reverse) any_reverse_applied = true;
+      fault_span += e.len;
+    }
+    episodes.push_back(e);
+  }
+  eff.faults = knobs.faults && any_applied;
+  eff.reverse_faults = knobs.reverse_faults && any_reverse_applied;
+
+  // ---- outage draws ------------------------------------------------------
+  RandomStream outg{knobs.seed, "verif.outage"};
+  const bool outage_draw = outg.bernoulli(0.25);
+  const double o_from = outg.uniform(0.1, 0.5);
+  const double o_len = outg.uniform(0.3, 1.8);
+  const bool outage_applied = knobs.outage && outage_draw;
+  eff.outage = outage_applied;
+  Time outage_from{}, outage_len{};
+  if (outage_applied) {
+    outage_from = est * o_from;
+    // Spanning the failure timer both ways: short outages must recover via
+    // Request-NAK, long ones must end in a *declared* failure with clean
+    // residue — never a silent hang.
+    outage_len = cfg.lams.failure_timeout() * (o_len * knobs.fault_scale);
+  }
+
+  Time horizon = knobs.horizon;
+  if (horizon.is_zero()) {
+    horizon = est * 6 + outage_len + cfg.lams.failure_timeout() * 4 +
+              Time::seconds_int(2);
+  }
+
+  // ---- transcript --------------------------------------------------------
+  tr << "verify seed=" << knobs.seed << " m=" << m << " C=" << c_depth
+     << " packets=" << packets << "\n";
+  tr << "  link: prop=" << prop.us() << "us W_cp=" << W.us()
+     << "us max_rtt=" << max_rtt.us() << "us resolving=" << resolving.us()
+     << "us t_f=" << tf.us() << "us rate=" << data_rate / 1e3 << "kbps"
+     << (byte_applied ? " byte-level" : "") << "\n";
+  if (noise_draw) {
+    tr << "  base noise: pf=" << pf << " pc_fwd=" << pc_fwd
+       << " p_rev=" << p_rev << "\n";
+  }
+  if (cong_applied) {
+    tr << "  congestion: t_proc=" << cong_tproc.us() << "us watermark="
+       << watermark << " hard_cap=" << watermark + hard_extra << "\n";
+  }
+  tr << "  workload: "
+     << (paced ? "rate" : "batch");
+  if (paced) {
+    tr << " gap=" << gap.us() << "us backpressure="
+       << (backpressure ? "yes" : "no");
+  }
+  tr << "\n";
+  for (std::size_t i = 0; i < episodes.size(); ++i) {
+    const Episode& e = episodes[i];
+    if (!e.applied) continue;
+    const Time from = est * e.from_frac;
+    tr << "  episode " << i << ": " << (e.reverse ? "reverse" : "forward")
+       << " " << e.kind << " affects=" << affects_name(e.affects)
+       << " p=" << e.p << " window=[" << from.ms() << "ms, "
+       << (from + e.len).ms() << "ms)\n";
+  }
+  if (outage_applied) {
+    tr << "  link outage: [" << outage_from.ms() << "ms, "
+       << (outage_from + outage_len).ms() << "ms)\n";
+  }
+
+  // ---- build and run the LAMS leg ----------------------------------------
+  sim::Scenario s{cfg};
+  if (knobs.tap) knobs.tap(s);
+  std::size_t stage_idx = 0;
+  for (const Episode& e : episodes) {
+    if (!e.applied) continue;
+    phy::FaultInjector::Config fc;
+    fc.affects = e.affects;
+    const Time from = est * e.from_frac;
+    fc.windows.push_back({from, from + e.len});
+    fc.max_jitter = jitter_max;
+    // One extra copy at most: duplicate arrivals inflate the receiver's
+    // arrival count, and the budget above assumes at most one per frame.
+    fc.max_duplicates = 1;
+    const std::string kind{e.kind};
+    if (kind == "drop") fc.p_drop = e.p;
+    if (kind == "duplicate") fc.p_duplicate = e.p;
+    if (kind == "reorder") fc.p_reorder = e.p;
+    if (kind == "truncate") fc.p_truncate = e.p;
+    if (kind == "corrupt") fc.p_corrupt = e.p;
+    auto stage = std::make_unique<phy::FaultInjector>(
+        fc,
+        RandomStream{knobs.seed, "verif.fault." + std::to_string(stage_idx++)});
+    if (e.reverse) {
+      s.link().reverse().add_fault_stage(std::move(stage));
+    } else {
+      s.link().forward().add_fault_stage(std::move(stage));
+    }
+  }
+  if (!outage_len.is_zero()) {
+    s.simulator().schedule_at(outage_from, [&s] { s.link().set_up(false); });
+    s.simulator().schedule_at(outage_from + outage_len,
+                              [&s] { s.link().set_up(true); });
+  }
+
+  sim::InvariantLimits limits;
+  // The paper's numbering-size claim, checked directly: the transparent
+  // buffer never holds m/2 or more unresolved numbers (the generator sized
+  // t_f so lawful operation peaks near 0.42·m).
+  limits.max_outstanding = m / 2;
+  limits.max_holding = cfg.lams.resolving_period_bound();
+  limits.grace = fault_span * 2 + outage_len * 2 + Time::milliseconds(500) +
+                 cfg.lams.t_proc * static_cast<std::int64_t>(packets);
+  sim::InvariantChecker checker{s, limits};
+
+  std::unique_ptr<workload::RateSource> source;
+  if (paced) {
+    source = std::make_unique<workload::RateSource>(
+        s.simulator(), s.sender(), s.tracker(), s.ids(),
+        workload::RateSource::Config{gap, packets, kFrameBytes, Time{},
+                                     backpressure});
+    source->start();
+  } else {
+    workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(),
+                           packets, kFrameBytes);
+  }
+
+  const bool completed = s.run_to_completion(horizon);
+  const bool declared =
+      s.lams_sender()->mode() == lams::LamsSender::Mode::kFailed;
+  checker.finish(completed);
+  for (const std::string& viol : checker.violations()) {
+    v.failures.push_back("invariant: " + viol);
+  }
+
+  // ---- differential oracle: SR-HDLC and GBN-HDLC legs --------------------
+  // Same seed, same noisy channel, same workload multiset; episodes, outage
+  // and congestion stay off (the HDLC baselines have no outage recovery or
+  // Stop-Go, so only the common contract — deliver exactly the submitted
+  // multiset — is comparable).
+  if (knobs.differential) {
+    const auto diff_leg = [&](sim::Protocol proto, const char* name) {
+      sim::ScenarioConfig lc;
+      lc.protocol = proto;
+      lc.data_rate_bps = data_rate;
+      lc.prop_delay = prop;
+      lc.frame_bytes = kFrameBytes;
+      lc.byte_level_wire = byte_applied;
+      lc.seed = knobs.seed;
+      lc.forward_error = cfg.forward_error;
+      lc.reverse_error = cfg.reverse_error;
+      lc.hdlc.modulus = std::max<std::uint32_t>(m, 8);
+      lc.hdlc.window = lc.hdlc.modulus / 2;
+      lc.hdlc.timeout =
+          rtt + tf * static_cast<std::int64_t>(lc.hdlc.window + 4);
+      sim::Scenario leg{lc};
+      workload::submit_batch(leg.simulator(), leg.sender(), leg.tracker(),
+                             leg.ids(), packets, kFrameBytes);
+      const Time leg_horizon =
+          tf * (static_cast<double>(packets) * 80.0) + Time::seconds_int(5);
+      const bool done = leg.run_to_completion(leg_horizon);
+      const sim::ScenarioReport r = leg.report();
+      std::ostringstream fail;
+      if (!done) {
+        fail << name << ": incomplete after " << leg_horizon.sec() << "s ("
+             << r.unique_delivered << "/" << packets << " delivered)";
+      } else if (r.lost != 0 || r.duplicates != 0 ||
+                 r.unique_delivered != packets ||
+                 leg.tracker().unknown_deliveries() != 0) {
+        fail << name << ": delivered multiset diverges (unique="
+             << r.unique_delivered << "/" << packets << " lost=" << r.lost
+             << " dup=" << r.duplicates
+             << " unknown=" << leg.tracker().unknown_deliveries() << ")";
+      }
+      if (!fail.str().empty()) v.failures.push_back(fail.str());
+    };
+    diff_leg(sim::Protocol::kSrHdlc, "differential sr-hdlc");
+    diff_leg(sim::Protocol::kGbnHdlc, "differential gbn-hdlc");
+  }
+
+  v.report = s.report();
+
+  // ---- closed-form model check (clean draws only) ------------------------
+  if (knobs.analysis_check && completed && !paced && !any_applied &&
+      !cong_applied && !outage_applied && packets >= 80) {
+    const analysis::Params ap = s.analysis_params();
+    const double sbar = analysis::s_bar_lams(ap);
+    const double p_r = analysis::p_r_lams(ap);
+    // Per-frame transmission count is geometric: sd = sqrt(p)/(1-p); allow
+    // 3 sigma of the N-sample mean plus 10% model slack.
+    const double sd = std::sqrt(p_r) / (1.0 - p_r);
+    const double tol =
+        0.10 * sbar + 3.0 * sd / std::sqrt(static_cast<double>(packets));
+    if (std::abs(v.report.tx_per_frame - sbar) > tol) {
+      std::ostringstream fail;
+      fail << "model: tx_per_frame=" << v.report.tx_per_frame
+           << " vs s_bar=" << sbar << " (tol " << tol << ")";
+      v.failures.push_back(fail.str());
+    }
+    tr << "  model check: s_bar=" << sbar << " measured="
+       << v.report.tx_per_frame << "\n";
+  }
+
+  v.ok = v.failures.empty();
+  v.completed = completed;
+  v.declared_failed = declared;
+  v.transcript = tr.str();
+  v.knobs = eff;
+  return v;
+}
+
+VerifyVerdict shrink_failure(const VerifyKnobs& failing, int budget) {
+  VerifyVerdict best = run_verify(failing);
+  int spent = 1;
+  if (best.ok) return best;  // precondition violated; nothing to shrink
+  VerifyKnobs cur = best.knobs;
+
+  // 1. Halve the workload while the failure survives.
+  while (spent < budget && cur.packets > 8) {
+    VerifyKnobs cand = cur;
+    cand.packets = std::max<std::uint64_t>(8, cur.packets / 2);
+    if (cand.packets == cur.packets) break;
+    VerifyVerdict r = run_verify(cand);
+    ++spent;
+    if (r.ok) break;
+    cur = r.knobs;
+    best = std::move(r);
+  }
+
+  // 2. Drop scenario classes one at a time (cheapest-to-lose first).
+  static constexpr bool VerifyKnobs::* kFlags[] = {
+      &VerifyKnobs::differential, &VerifyKnobs::analysis_check,
+      &VerifyKnobs::congestion,   &VerifyKnobs::outage,
+      &VerifyKnobs::byte_level,   &VerifyKnobs::reverse_faults,
+      &VerifyKnobs::faults};
+  for (const auto flag : kFlags) {
+    if (spent >= budget || !(cur.*flag)) continue;
+    VerifyKnobs cand = cur;
+    cand.*flag = false;
+    VerifyVerdict r = run_verify(cand);
+    ++spent;
+    if (!r.ok) {
+      cur = r.knobs;
+      best = std::move(r);
+    }
+  }
+
+  // 3. Bisect the fault windows toward the shortest span that still fails.
+  for (int i = 0; i < 2 && spent < budget && cur.faults; ++i) {
+    VerifyKnobs cand = cur;
+    cand.fault_scale = cur.fault_scale * 0.5;
+    VerifyVerdict r = run_verify(cand);
+    ++spent;
+    if (!r.ok) {
+      cur = r.knobs;
+      best = std::move(r);
+    }
+  }
+  return best;
+}
+
+}  // namespace lamsdlc::verif

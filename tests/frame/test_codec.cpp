@@ -332,5 +332,46 @@ TEST(Codec, MutationFuzzRoundTripOrReject) {
   }
 }
 
+TEST(Codec, DecodeLimitsRejectOutOfRangeSequenceFields) {
+  // A passing FCS proves integrity, not lawfulness: with a negotiated
+  // numbering size the receiver must refuse any seq-carrying field >= m at
+  // the door.  SeqSpace would otherwise alias it mod m onto some innocent
+  // in-range number (the hostile-input bug class PR 4 closes).
+  const DecodeLimits limits{32};
+
+  IFrame good;
+  good.seq = 31;
+  good.payload_bytes = 4;
+  EXPECT_TRUE(decode(encode(make(good)), limits).has_value());
+
+  IFrame bad = good;
+  bad.seq = 32;  // == modulus: first unlawful value
+  EXPECT_FALSE(decode(encode(make(bad)), limits).has_value());
+
+  CheckpointFrame cp;
+  cp.cp_seq = 1;
+  cp.any_seen = true;
+  cp.highest_seen = 31;
+  cp.naks = {0, 15, 31};
+  EXPECT_TRUE(decode(encode(make(cp)), limits).has_value());
+  cp.highest_seen = 4242;
+  EXPECT_FALSE(decode(encode(make(cp)), limits).has_value());
+  cp.highest_seen = 31;
+  cp.naks = {0, 15, 32};  // one bad entry poisons the list
+  EXPECT_FALSE(decode(encode(make(cp)), limits).has_value());
+
+  HdlcIFrame h;
+  h.ns = 31;
+  h.nr = 32;
+  EXPECT_FALSE(decode(encode(make(h)), limits).has_value());
+  h.nr = 0;
+  EXPECT_TRUE(decode(encode(make(h)), limits).has_value());
+
+  // Limits off (modulus unknown): everything structural still round-trips.
+  IFrame wild;
+  wild.seq = 0xFFFFFFu;
+  EXPECT_TRUE(decode(encode(make(wild))).has_value());
+}
+
 }  // namespace
 }  // namespace lamsdlc::frame

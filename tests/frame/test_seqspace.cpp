@@ -93,5 +93,19 @@ TEST_P(SeqSpaceModuli, RoundTripWithinHalfWindow) {
 INSTANTIATE_TEST_SUITE_P(Moduli, SeqSpaceModuli,
                          ::testing::Values(8u, 128u, 1024u, 1u << 16));
 
+TEST(SeqSpace, ForwardReducesOutOfRangeOperands) {
+  // A hostile wire value above the modulus must measure the same distance
+  // as its residue.  The old formula added m_ to the raw operand first, so
+  // near UINT32_MAX the sum wrapped mod 2^32 and produced a distance
+  // unrelated to the residue (caught by the codec fuzzer, PR 4).
+  SeqSpace s{100};
+  EXPECT_EQ(s.forward(0, 0xFFFFFFFFu), 95u);  // 0xFFFFFFFF % 100 == 95
+  EXPECT_EQ(s.forward(0xFFFFFFFFu, 0), 5u);   // 95 -> 0 going forward
+  EXPECT_EQ(s.forward(250, 103), 53u);        // 50 -> 3 == residues' distance
+  // Window membership inherits the reduction.
+  EXPECT_TRUE(s.in_window(0xFFFFFFFFu, 90, 10));   // 95 in [90, 100)
+  EXPECT_FALSE(s.in_window(0xFFFFFFFFu, 0, 10));   // 95 not in [0, 10)
+}
+
 }  // namespace
 }  // namespace lamsdlc::frame

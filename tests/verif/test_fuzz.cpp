@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "lamsdlc/verif/fuzz.hpp"
+
+namespace lamsdlc::verif {
+namespace {
+
+// The codec mutation fuzzer is itself part of the gate (scripts/ci.sh runs
+// it through `lamsdlc_cli verify`); these tests pin down its contract so a
+// harness regression cannot silently hollow the gate out.
+
+TEST(CodecFuzz, CurrentCodecSurvivesAHammering) {
+  FuzzOptions o;
+  o.seed = 1;
+  o.iterations = 3000;
+  o.seq_modulus = 32;
+  const FuzzReport r = fuzz_codec(o);
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_GT(r.cases, 0u);
+  // The mutation mix must actually exercise both sides of the door:
+  // some mutants still parse, most get refused.
+  EXPECT_GT(r.decode_ok, 0u);
+  EXPECT_GT(r.decode_rejected, r.decode_ok);
+  // With a tiny modulus the limits leg has to fire: structurally valid
+  // frames whose re-CRCed sequence fields exceed m are exactly the
+  // hostile-input class the validating decode exists to refuse.
+  EXPECT_GT(r.limit_rejections, 0u);
+}
+
+TEST(CodecFuzz, DeterministicInSeed) {
+  FuzzOptions o;
+  o.seed = 42;
+  o.iterations = 1500;
+  o.seq_modulus = 16;
+  const FuzzReport a = fuzz_codec(o);
+  const FuzzReport b = fuzz_codec(o);
+  EXPECT_EQ(a.cases, b.cases);
+  EXPECT_EQ(a.decode_ok, b.decode_ok);
+  EXPECT_EQ(a.decode_rejected, b.decode_rejected);
+  EXPECT_EQ(a.limit_rejections, b.limit_rejections);
+  EXPECT_EQ(a.failures, b.failures);
+}
+
+TEST(CodecFuzz, ZeroModulusDisablesTheLimitsLeg) {
+  FuzzOptions o;
+  o.seed = 7;
+  o.iterations = 1500;
+  o.seq_modulus = 0;
+  const FuzzReport r = fuzz_codec(o);
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.limit_rejections, 0u);
+}
+
+}  // namespace
+}  // namespace lamsdlc::verif

@@ -45,6 +45,26 @@
 ///   --no-suppress-duplicates ablation: receiver delivers stale frames (the
 ///                            checker must then flag duplicate delivery)
 ///
+/// Subcommand `verify`: property-based verification — seeded hostile
+/// scenario generation cross-checked against the protocol invariants, the
+/// SR/GBN differential oracle and the Section 4 closed forms, plus a
+/// wire-level mutation fuzz of the frame codec.  Failing seeds auto-shrink
+/// to a minimal configuration and print a `verify --repro` command line:
+///
+///   lamsdlc_cli verify --seeds 200            (sweep seeds 1..200 + fuzz)
+///   lamsdlc_cli verify --repro --seed 17 --modulus 8 --cdepth 3 --packets 40
+///
+/// Verify flags:
+///   --seed S                 [1]    first (or only) seed
+///   --seeds N                [1]    number of consecutive seeds
+///   --jobs N                 [1]    worker threads (0 = all cores)
+///   --fuzz N                 [10000] codec fuzz iterations (0 disables)
+///   --modulus M / --cdepth C / --packets P    pin drawn values (0 = draw)
+///   --no-faults --no-congestion --no-outage --no-reverse --no-byte-level
+///   --no-differential --no-analysis           drop scenario/oracle classes
+///   --fault-scale X          [1.0]  scale fault windows (shrinker output)
+///   --repro                  single seed: print the full transcript verbatim
+///
 /// Subcommand `capture`: run one chaos seed with every typed protocol event
 /// recorded to an `.ldlcap` capture file (format: docs/OBSERVABILITY.md):
 ///
@@ -79,6 +99,8 @@
 #include "lamsdlc/sim/chaos.hpp"
 #include "lamsdlc/sim/sweep.hpp"
 #include "lamsdlc/sim/scenario.hpp"
+#include "lamsdlc/verif/fuzz.hpp"
+#include "lamsdlc/verif/verify.hpp"
 #include "lamsdlc/workload/sources.hpp"
 
 namespace {
@@ -99,6 +121,8 @@ void print_subcommands(std::FILE* to) {
                "subcommands:\n"
                "  chaos     replay seeded fault schedules under the invariant "
                "checker\n"
+               "  verify    property-fuzzing + differential-oracle "
+               "verification sweep\n"
                "  capture   run one chaos seed, record events to an .ldlcap "
                "file\n"
                "  inspect   decode an .ldlcap file to text or JSON\n"
@@ -311,6 +335,109 @@ int run_chaos_command(int argc, char** argv) {
   return violated == 0 ? 0 : 1;
 }
 
+int run_verify_command(int argc, char** argv) {
+  verif::VerifyKnobs knobs;
+  std::uint64_t seeds = 1;
+  unsigned jobs = 1;
+  std::uint64_t fuzz_iters = 10000;
+  bool repro = false;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") {
+      std::printf("flags for this subcommand: see the header of "
+                  "tools/lamsdlc_cli.cpp\n");
+      return 0;
+    }
+    if (a == "--seed") {
+      knobs.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (a == "--seeds") {
+      seeds = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (a == "--jobs") {
+      jobs = static_cast<unsigned>(std::atoi(need(i)));  // 0 = all cores
+    } else if (a == "--fuzz") {
+      fuzz_iters = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (a == "--modulus") {
+      knobs.modulus = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (a == "--cdepth") {
+      knobs.c_depth = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (a == "--packets") {
+      knobs.packets = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (a == "--fault-scale") {
+      knobs.fault_scale = std::atof(need(i));
+    } else if (a == "--no-faults") {
+      knobs.faults = false;
+    } else if (a == "--no-congestion") {
+      knobs.congestion = false;
+    } else if (a == "--no-outage") {
+      knobs.outage = false;
+    } else if (a == "--no-reverse") {
+      knobs.reverse_faults = false;
+    } else if (a == "--no-byte-level") {
+      knobs.byte_level = false;
+    } else if (a == "--no-differential") {
+      knobs.differential = false;
+    } else if (a == "--no-analysis") {
+      knobs.analysis_check = false;
+    } else if (a == "--repro") {
+      repro = true;
+    } else {
+      usage_error("unknown verify flag " + a);
+    }
+  }
+
+  if (repro) {
+    // Exact single-run replay: no shrinking, full transcript either way.
+    const verif::VerifyVerdict v = verif::run_verify(knobs);
+    std::printf("%s", v.to_string().c_str());
+    return v.ok ? 0 : 1;
+  }
+
+  std::uint64_t failed = 0;
+
+  // Wire-input leg first: it is cheap and a codec property violation makes
+  // every byte-level scenario verdict suspect.
+  if (fuzz_iters > 0) {
+    verif::FuzzOptions fo;
+    fo.seed = knobs.seed;
+    fo.iterations = fuzz_iters;
+    fo.seq_modulus = knobs.modulus != 0 ? knobs.modulus : 32;
+    const verif::FuzzReport fr = verif::fuzz_codec(fo);
+    std::printf("%s\n", fr.summary().c_str());
+    if (!fr.ok()) failed += fr.failures.size();
+  }
+
+  const sim::ParallelSweep pool{jobs};
+  const auto verdicts = pool.map<verif::VerifyVerdict>(
+      static_cast<std::size_t>(seeds), [&knobs](std::size_t i) {
+        verif::VerifyKnobs k = knobs;
+        k.seed = knobs.seed + i;
+        return verif::run_verify(k);
+      });
+
+  for (const verif::VerifyVerdict& v : verdicts) {
+    if (v.ok && seeds > 1) continue;
+    if (v.ok) {
+      std::printf("%s", v.to_string().c_str());
+      continue;
+    }
+    ++failed;
+    std::printf("seed %llu FAILED, shrinking...\n",
+                static_cast<unsigned long long>(v.knobs.seed));
+    const verif::VerifyVerdict small = verif::shrink_failure(v.knobs);
+    std::printf("%s", small.to_string().c_str());
+  }
+  if (seeds > 1) {
+    std::printf("verify sweep: %llu seeds, %llu failed\n",
+                static_cast<unsigned long long>(seeds),
+                static_cast<unsigned long long>(failed));
+  }
+  return failed == 0 ? 0 : 1;
+}
+
 int run_capture_command(int argc, char** argv) {
   sim::ChaosKnobs knobs;
   std::string out;
@@ -467,6 +594,7 @@ int main(int argc, char** argv) {
   if (argc > 1) {
     const std::string cmd = argv[1];
     if (cmd == "chaos") return run_chaos_command(argc, argv);
+    if (cmd == "verify") return run_verify_command(argc, argv);
     if (cmd == "capture") return run_capture_command(argc, argv);
     if (cmd == "inspect") return run_inspect_command(argc, argv);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
