@@ -121,7 +121,7 @@ class LamsReceiver final : public link::FrameSink {
   };
 
   void handle_iframe(const frame::IFrame& in, bool corrupted);
-  void deliver_up(const frame::IFrame& in);
+  void deliver_up(const frame::IFrame& in, std::uint64_t ctr);
   void handle_request_nak(const frame::RequestNakFrame& rq);
   void emit_checkpoint(bool enforced);
   void checkpoint_tick();

@@ -117,6 +117,8 @@ class LamsSender final : public sim::DlcSender, public link::FrameSink {
     sim::Packet packet;
     Time first_tx{};        ///< First transmission instant (holding time base).
     std::uint32_t attempts = 0;
+    std::uint64_t last_ctr = 0;  ///< Counter of the latest copy sent (for the
+                                 ///< kRetransmitMapped old->new pairing).
   };
   struct Outstanding {
     Pending pending;

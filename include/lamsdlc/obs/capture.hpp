@@ -19,6 +19,13 @@
 /// file unreadable, which is why the kind enums are append-only and the
 /// header carries a schema version.
 ///
+/// Version history (readers accept every listed version — the kind enums are
+/// append-only, so an older file simply never contains the newer kinds):
+///   1  kFrameSent .. kRecoveryTransition (kinds 0-14)
+///   2  adds kRetransmitMapped, kPacketAdmitted, kPacketDelivered,
+///      kMetricSample (kinds 15-18) for trace reconstruction and sampled
+///      metric time series
+///
 /// `CaptureWriter` is an `EventBus` subscriber in spirit: hand
 /// `writer.subscriber()` to a bus (or call `write()` directly) and every
 /// event becomes one record.  `CaptureReader` yields the identical `Event`
@@ -39,7 +46,8 @@ namespace lamsdlc::obs {
 /// Magic + version constants for the `.ldlcap` container.
 inline constexpr std::uint8_t kCaptureMagic[8] = {'L', 'D', 'L', 'C',
                                                   'A', 'P', '\n', '\0'};
-inline constexpr std::uint16_t kCaptureVersion = 1;
+inline constexpr std::uint16_t kCaptureVersion = 2;
+inline constexpr std::uint16_t kCaptureOldestReadable = 1;
 inline constexpr std::size_t kCaptureHeaderSize = 12;
 
 /// Serializes events to an `.ldlcap` stream.  The header is written on

@@ -55,8 +55,12 @@ enum class EventKind : std::uint8_t {
   kTimerArmed = 12,     ///< A protocol timer was (re)armed.
   kTimerFired = 13,     ///< A protocol timer expired.
   kRecoveryTransition = 14, ///< Sender mode change (normal/enforced/failed).
+  kRetransmitMapped = 15,   ///< Sender renumbered a claimed frame (old -> new ctr).
+  kPacketAdmitted = 16,     ///< Sender accepted a packet into the sending buffer.
+  kPacketDelivered = 17,    ///< Receiver handed a packet to the client (after t_proc).
+  kMetricSample = 18,       ///< Sampler snapshot of one registry counter/gauge.
 };
-inline constexpr std::uint8_t kEventKindCount = 15;
+inline constexpr std::uint8_t kEventKindCount = 19;
 
 /// Why a frame was dropped/corrupted.  On-disk value; append only.
 enum class DropCause : std::uint8_t {
@@ -110,7 +114,8 @@ inline constexpr std::uint8_t kBufferIdCount = 2;
 /// always carried; entries beyond this many are summarized by the count).
 inline constexpr std::size_t kMaxInlineNaks = 8;
 
-/// kFrameSent / kFrameReceived / kFrameReleased / kRetransmitQueued.
+/// kFrameSent / kFrameReceived / kFrameReleased / kRetransmitQueued /
+/// kPacketAdmitted (ctr 0, nothing transmitted yet) / kPacketDelivered.
 struct FramePayload {
   std::uint64_t ctr = 0;        ///< Unwrapped sequence counter (token for control).
   std::uint64_t packet_id = 0;  ///< Simulation-side identity (0 for control).
@@ -167,6 +172,40 @@ struct RecoveryPayload {
   RecoveryReason reason = RecoveryReason::kCheckpointSilence;
 };
 
+/// kRetransmitMapped: the renumbering pairing the trace reconstruction
+/// follows.  Emitted immediately before the kFrameSent of the new copy, so a
+/// capture file is self-describing about retransmission chains (the wire
+/// itself never links old and new numbers — that is the point of the
+/// protocol's relaxed in-sequence rule).
+struct RetransmitMapPayload {
+  std::uint64_t old_ctr = 0;   ///< Counter of the claimed (failed) copy.
+  std::uint64_t new_ctr = 0;   ///< Fresh counter assigned to the retransmission.
+  std::uint64_t packet_id = 0;
+  std::uint32_t attempt = 0;   ///< Attempt number of the new copy (>= 2).
+};
+
+/// Metric-name capacity of a kMetricSample record; longer names truncate.
+inline constexpr std::size_t kMetricNameCap = 48;
+
+/// kMetricSample: one registry counter/gauge value snapshotted mid-run by
+/// obs::Sampler, so captures carry a time series instead of only end totals.
+struct MetricSamplePayload {
+  std::array<char, kMetricNameCap> name{};  ///< NUL-terminated, truncated.
+  double value = 0.0;
+  std::uint8_t is_counter = 0;  ///< 1 = counter (monotone), 0 = gauge.
+
+  void set_name(std::string_view n) noexcept {
+    const std::size_t len = n.size() < kMetricNameCap - 1 ? n.size() : kMetricNameCap - 1;
+    for (std::size_t i = 0; i < len; ++i) name[i] = n[i];
+    for (std::size_t i = len; i < kMetricNameCap; ++i) name[i] = '\0';
+  }
+  [[nodiscard]] std::string_view name_view() const noexcept {
+    std::size_t len = 0;
+    while (len < kMetricNameCap && name[len] != '\0') ++len;
+    return {name.data(), len};
+  }
+};
+
 /// One observed protocol event.  Trivially copyable; the active union member
 /// is determined by `kind` (see the per-kind comments above).
 struct Event {
@@ -181,6 +220,8 @@ struct Event {
     BufferPayload buffer;
     TimerPayload timer;
     RecoveryPayload recovery;
+    RetransmitMapPayload map;
+    MetricSamplePayload sample;
     constexpr Payload() noexcept : frame{} {}
   } p;
 };

@@ -1,0 +1,31 @@
+#pragma once
+/// \file perfetto.hpp
+/// \brief Chrome trace-event JSON export of a trace reconstruction, loadable
+/// in ui.perfetto.dev (legacy JSON importer) and chrome://tracing.
+///
+/// Mapping (docs/OBSERVABILITY.md has the walkthrough):
+///  - one process ("lamsdlc", pid 1) with one named track per `Source`;
+///  - each logical packet is an async slice group (`cat` "pkt", id = packet
+///    id): an outer admitted→released span with one nested slice per
+///    transmission attempt, so renumbered copies stack under one packet;
+///  - flow arrows (`s`/`f`) link a failed attempt to its renumbered
+///    successor — the visual form of the kRetransmitMapped chain;
+///  - NAKs, checkpoints, recoveries, deliveries and releases are instants on
+///    their emitting source's track;
+///  - buffer occupancy and Sampler metric snapshots become counter tracks
+///    (`ph` "C").
+///
+/// Timestamps are microseconds (the trace-event unit); picosecond precision
+/// is kept as fractional microseconds.
+
+#include <ostream>
+
+#include "lamsdlc/obs/trace.hpp"
+
+namespace lamsdlc::obs {
+
+/// Write \p tb as a single JSON object `{"displayTimeUnit":"ms",
+/// "traceEvents":[...]}` to \p os.
+void write_perfetto(std::ostream& os, const TraceBuilder& tb);
+
+}  // namespace lamsdlc::obs

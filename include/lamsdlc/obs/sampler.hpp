@@ -1,0 +1,56 @@
+#pragma once
+/// \file sampler.hpp
+/// \brief Periodic registry snapshots into the event stream.
+///
+/// End-of-run registry totals say *what* happened; they cannot say *when*.
+/// `Sampler` walks the registry every `period` of simulated time and emits
+/// one `kMetricSample` event per counter and gauge, so a capture file (or a
+/// live subscriber) carries a time series alongside the raw event record —
+/// `lamsdlc_cli inspect --timeline` renders it as time-bucketed rates.
+///
+/// Histograms are not sampled: their cumulative percentile state has no
+/// meaningful instantaneous value, and the underlying events are already in
+/// the stream.
+
+#include "lamsdlc/core/simulator.hpp"
+#include "lamsdlc/core/time.hpp"
+#include "lamsdlc/obs/bus.hpp"
+#include "lamsdlc/obs/event.hpp"
+#include "lamsdlc/obs/metrics.hpp"
+
+namespace lamsdlc::obs {
+
+/// Snapshots \p registry into \p bus every \p period, starting one period
+/// after `start()`.  The destructor cancels the pending tick, so a Sampler
+/// constructed after the Scenario it observes is destroyed first and never
+/// fires into freed state.
+class Sampler {
+ public:
+  Sampler(Simulator& sim, const Registry& registry, EventBus& bus, Time period)
+      : sim_{sim}, registry_{registry}, bus_{bus}, period_{period} {}
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+  ~Sampler() { stop(); }
+
+  /// Arm the periodic tick.  Idempotent; a non-positive period disables.
+  void start();
+
+  /// Cancel the pending tick (safe when not started).
+  void stop();
+
+  /// Snapshots emitted so far (ticks, not individual sample events).
+  [[nodiscard]] std::uint64_t snapshots() const noexcept { return snapshots_; }
+
+ private:
+  void tick();
+
+  Simulator& sim_;
+  const Registry& registry_;
+  EventBus& bus_;
+  Time period_;
+  EventId timer_{0};
+  std::uint64_t snapshots_{0};
+};
+
+}  // namespace lamsdlc::obs

@@ -1,0 +1,219 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Packet-lifecycle trace reconstruction: stitch the typed event
+/// stream back into one span tree per logical packet.
+///
+/// LAMS-DLC retransmissions carry *fresh* sequence numbers, so the wire never
+/// links the copies of a packet — following a packet across its attempts
+/// needs the sender-side `kRetransmitMapped` pairing (old ctr -> new ctr)
+/// that the capture stream records immediately before each renumbered
+/// `kFrameSent`.  `TraceBuilder` consumes events (from a live `EventBus`
+/// subscription or a replayed `.ldlcap` file — the two reconstructions are
+/// byte-identical, asserted by tests/obs/test_trace.cpp) and produces:
+///
+///   admission ─ attempt 1 (sent ─ [nak ─ retx-queued]) ─ attempt 2 ─ ...
+///             ─ delivery ─ sender release
+///
+/// Stitching rules (documented in docs/OBSERVABILITY.md):
+///  - only endpoint sources participate (`kLamsSender` / `kLamsReceiver`);
+///    link events carry *wrapped* wire sequences and are ignored;
+///  - control frames (Request-NAK, checkpoints) never join a packet span;
+///  - an attempt-N send (N >= 2) must be preceded by a matching
+///    `kRetransmitMapped` whose `old_ctr` is the previous attempt's counter —
+///    anything else marks the chain broken (a reconstruction bug, or a
+///    corrupt/foreign capture);
+///  - events referencing a counter no attempt owns are counted as orphans
+///    rather than dropped silently.
+///
+/// `attribute()` decomposes a completed packet's lifetime into the protocol's
+/// latency components; by construction (telescoping, clamped boundaries) the
+/// in-flight components sum *exactly* to the sender-measured holding time.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lamsdlc/core/time.hpp"
+#include "lamsdlc/obs/bus.hpp"
+#include "lamsdlc/obs/event.hpp"
+#include "lamsdlc/obs/metrics.hpp"
+
+namespace lamsdlc::obs {
+
+/// One transmission attempt of a logical packet (one sequence counter).
+struct TraceAttempt {
+  std::uint64_t ctr = 0;       ///< Unwrapped counter this copy was sent under.
+  std::uint32_t number = 0;    ///< 1-based attempt index.
+  Time sent{};                 ///< Sender kFrameSent instant.
+  std::optional<Time> nak;     ///< Receiver detected the copy damaged (first NAK).
+  std::optional<Time> retx_queued;  ///< Sender claimed it for retransmission.
+  std::optional<Time> received;     ///< Receiver accepted this copy (good arrival).
+};
+
+/// The reconstructed lifecycle of one logical packet.
+struct PacketTrace {
+  std::uint64_t packet_id = 0;
+  std::optional<Time> admitted;   ///< kPacketAdmitted (sending-buffer entry).
+  std::vector<TraceAttempt> attempts;  ///< In attempt order (1..n).
+  std::optional<Time> delivered;  ///< kPacketDelivered (client handoff).
+  std::uint64_t delivered_ctr = 0;     ///< Counter of the delivering copy.
+  std::optional<Time> released;   ///< kFrameReleased (implicit ack).
+  std::int64_t holding_ps = 0;    ///< Sender-measured first-tx -> release.
+  std::uint32_t extra_deliveries = 0;  ///< Duplicate client handoffs (ablations).
+  bool chain_broken = false;      ///< Renumbering chain failed to stitch.
+
+  /// A fully stitched span tree: admission root, contiguous attempt chain,
+  /// and a delivery leaf.  (Release is not required — a packet delivered
+  /// just before a link failure may never see its releasing checkpoint.)
+  [[nodiscard]] bool complete() const noexcept {
+    if (!admitted || !delivered || attempts.empty() || chain_broken) return false;
+    for (std::size_t i = 0; i < attempts.size(); ++i) {
+      if (attempts[i].number != i + 1) return false;
+    }
+    return true;
+  }
+};
+
+/// Latency attribution of one completed packet, all in picoseconds.
+/// `admission_wait` precedes the first transmission; the remaining five are
+/// the in-flight decomposition.  Invariant (exact, by telescoping):
+///   nak_wait + checkpoint_wait + retx_serialization + final_flight
+///     + release_wait == released - first send == holding_ps.
+struct LatencyBreakdown {
+  std::int64_t admission_wait_ps = 0;   ///< admitted -> first send (issuance queue).
+  std::int64_t nak_wait_ps = 0;         ///< failed send -> receiver NAK (detection).
+  std::int64_t checkpoint_wait_ps = 0;  ///< NAK -> sender claim (checkpoint cadence).
+  std::int64_t retx_serialization_ps = 0;  ///< claim -> renumbered send (queueing).
+  std::int64_t final_flight_ps = 0;     ///< last send -> client delivery.
+  std::int64_t release_wait_ps = 0;     ///< delivery -> sender release.
+
+  [[nodiscard]] std::int64_t in_flight_ps() const noexcept {
+    return nak_wait_ps + checkpoint_wait_ps + retx_serialization_ps +
+           final_flight_ps + release_wait_ps;
+  }
+  [[nodiscard]] std::int64_t total_ps() const noexcept {
+    return admission_wait_ps + in_flight_ps();
+  }
+};
+
+/// Decompose a packet's lifetime.  Meaningful only when `t.complete()` and
+/// `t.released` — callers should filter first; otherwise components the
+/// missing timestamps would bound are left zero.
+[[nodiscard]] LatencyBreakdown attribute(const PacketTrace& t) noexcept;
+
+/// \name Auxiliary time series carried alongside the span trees
+/// @{
+struct CheckpointMark {
+  Time at{};
+  std::uint32_t cp_seq = 0;
+  std::uint16_t nak_count = 0;
+  bool enforced = false;
+};
+struct OccupancyPoint {
+  Time at{};
+  Source source = Source::kOther;
+  BufferId which = BufferId::kSendBuffer;
+  std::uint32_t depth = 0;
+};
+struct SamplePoint {
+  Time at{};
+  std::string name;
+  double value = 0.0;
+  bool is_counter = false;
+};
+struct RecoveryMark {
+  Time at{};
+  SenderMode from = SenderMode::kNormal;
+  SenderMode to = SenderMode::kNormal;
+  RecoveryReason reason = RecoveryReason::kCheckpointSilence;
+};
+/// @}
+
+/// Aggregate counts over a reconstruction (see TraceBuilder::summarize).
+struct TraceSummary {
+  std::size_t packets = 0;        ///< Logical packets seen.
+  std::size_t complete = 0;       ///< Packets with a complete span tree.
+  std::size_t delivered = 0;      ///< Packets with a delivery leaf.
+  std::size_t released = 0;       ///< Packets released by the sender.
+  std::size_t broken_chains = 0;  ///< Renumbering chains that failed to stitch.
+  std::uint64_t attempts = 0;     ///< Total transmission attempts.
+  std::uint32_t max_attempts = 0; ///< Worst single packet.
+  std::uint64_t extra_deliveries = 0;
+  std::uint64_t orphan_events = 0;  ///< Frame events no attempt owns.
+};
+
+/// Reconstruction engine.  Feed it every event of a run — via `subscriber()`
+/// on a live bus, or by iterating a `CaptureReader` — then query.
+class TraceBuilder {
+ public:
+  void on_event(const Event& e);
+
+  /// Bus subscriber forwarding to `on_event()`.  The builder must outlive
+  /// the subscription.
+  [[nodiscard]] EventBus::Subscriber subscriber() {
+    return [this](const Event& e) { on_event(e); };
+  }
+
+  /// All packets, keyed (and therefore ordered) by packet id.
+  [[nodiscard]] const std::map<std::uint64_t, PacketTrace>& packets() const noexcept {
+    return packets_;
+  }
+  [[nodiscard]] const PacketTrace* find(std::uint64_t packet_id) const;
+  /// Completed packet with the largest holding time (nullptr when none).
+  [[nodiscard]] const PacketTrace* worst() const;
+
+  [[nodiscard]] const std::vector<CheckpointMark>& checkpoints() const noexcept {
+    return checkpoints_;
+  }
+  [[nodiscard]] const std::vector<OccupancyPoint>& occupancy() const noexcept {
+    return occupancy_;
+  }
+  [[nodiscard]] const std::vector<SamplePoint>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] const std::vector<RecoveryMark>& recoveries() const noexcept {
+    return recoveries_;
+  }
+
+  [[nodiscard]] TraceSummary summarize() const;
+
+  /// Events that referenced a counter no attempt owns, by kind name.
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& orphans() const noexcept {
+    return orphans_;
+  }
+
+  /// Canonical deterministic text rendering of the whole reconstruction
+  /// (picosecond integers, no floating point) — two reconstructions of the
+  /// same run compare byte-for-byte equal iff they stitched identically.
+  [[nodiscard]] std::string dump() const;
+
+  /// Observe every completed packet's latency components into \p registry as
+  /// `trace.latency.*_ms` histograms plus `trace.packets_complete`.
+  void fold_latency(Registry& registry) const;
+
+ private:
+  PacketTrace& packet(std::uint64_t packet_id);
+  TraceAttempt* attempt_for(std::uint64_t ctr);
+  void orphan(const Event& e);
+
+  std::map<std::uint64_t, PacketTrace> packets_;
+  /// ctr -> (packet id, attempt index into its `attempts` vector).
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::size_t>> by_ctr_;
+  /// Last kRetransmitMapped, pending until its kFrameSent arrives.
+  std::optional<RetransmitMapPayload> pending_map_;
+  std::vector<CheckpointMark> checkpoints_;
+  std::vector<OccupancyPoint> occupancy_;
+  std::vector<SamplePoint> samples_;
+  std::vector<RecoveryMark> recoveries_;
+  std::map<std::string, std::uint64_t> orphans_;
+};
+
+/// Multi-line human-readable causal story of one packet (the CLI's
+/// `trace --explain` output).
+[[nodiscard]] std::string explain(const PacketTrace& t);
+
+}  // namespace lamsdlc::obs

@@ -55,6 +55,11 @@ struct ChaosKnobs {
   /// invariant checker catches duplicate client delivery.  Tests only.
   bool suppress_duplicates = true;
 
+  /// Non-zero: run an obs::Sampler at this cadence, so the event stream (and
+  /// any capture the tap attaches) carries periodic registry snapshots for
+  /// `lamsdlc_cli inspect --timeline`.
+  Time sample_period{};
+
   /// Invoked on the freshly built scenario before any traffic starts —
   /// the hook for attaching observers (e.g. an obs::CaptureWriter
   /// subscription on `scenario.events()` for `lamsdlc_cli capture`).

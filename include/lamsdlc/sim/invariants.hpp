@@ -47,6 +47,12 @@ struct InvariantLimits {
   /// release).  Zero = unchecked.  `grace` is added on top.
   Time max_holding{};
 
+  /// Upper bound on the receiving buffer (frames inside the t_proc
+  /// pipeline).  The receiver's congestion discard should make this
+  /// unreachable whenever `recv_hard_capacity` is finite, so harnesses set
+  /// it to that capacity.  0 = unchecked.
+  std::size_t max_recv_buffer = 0;
+
   /// Lawful extension of the time bounds while faults are active: total
   /// scheduled fault/outage span plus the enforced-recovery budget.
   Time grace{};
@@ -102,6 +108,7 @@ class InvariantChecker final : public PacketListener {
   // One report per category: a violated bound would otherwise flood the log
   // on every sample until the run ends.
   bool reported_outstanding_{false};
+  bool reported_recv_buffer_{false};
   bool reported_holding_{false};
   bool reported_codec_{false};
   bool reported_unknown_{false};

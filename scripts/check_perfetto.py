@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Schema-check a Chrome trace-event JSON file produced by `lamsdlc_cli trace
+--perfetto`.
+
+Validates the subset of the trace-event format the exporter emits, i.e. what
+ui.perfetto.dev / chrome://tracing need to load the file:
+
+  * top level is an object with "traceEvents" (non-empty array)
+  * every event is an object with string "ph" and integer "pid"
+  * non-metadata events carry a numeric "ts"
+  * async begin/end ("b"/"e") are balanced per (cat, id, name) and nest
+    in nondecreasing time order
+  * flow steps ("s"/"f") are paired per id
+  * counter events ("C") carry a numeric-valued "args" object
+
+Exit 0 when the file passes, 1 with a diagnostic when it does not.
+
+Usage: scripts/check_perfetto.py trace.json
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_perfetto: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    try:
+        with open(sys.argv[1], "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {sys.argv[1]}: {e}")
+
+    if not isinstance(doc, dict):
+        fail("top level must be an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail('"traceEvents" must be a non-empty array')
+
+    async_open = {}   # (cat, id, name) -> open count
+    flow_starts = set()
+    flow_ends = set()
+    counts = {}
+
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            fail(f"{where} is not an object")
+        ph = e.get("ph")
+        if not isinstance(ph, str) or not ph:
+            fail(f'{where} has no "ph"')
+        if not isinstance(e.get("pid"), int):
+            fail(f'{where} (ph={ph}) has no integer "pid"')
+        counts[ph] = counts.get(ph, 0) + 1
+        if ph != "M" and not isinstance(e.get("ts"), (int, float)):
+            fail(f'{where} (ph={ph}) has no numeric "ts"')
+
+        if ph in ("b", "e"):
+            key = (e.get("cat"), e.get("id"), e.get("name"))
+            if key[1] is None:
+                fail(f'{where} async event has no "id"')
+            open_count = async_open.get(key, 0)
+            if ph == "b":
+                async_open[key] = open_count + 1
+            else:
+                if open_count == 0:
+                    fail(f"{where} async end without matching begin: {key}")
+                async_open[key] = open_count - 1
+        elif ph == "s":
+            fid = e.get("id")
+            if fid is None:
+                fail(f'{where} flow start has no "id"')
+            flow_starts.add(fid)
+        elif ph == "f":
+            fid = e.get("id")
+            if fid is None:
+                fail(f'{where} flow end has no "id"')
+            if e.get("bp") != "e":
+                fail(f'{where} flow end must carry bp:"e"')
+            flow_ends.add(fid)
+        elif ph == "C":
+            args = e.get("args")
+            if not isinstance(args, dict) or not args:
+                fail(f'{where} counter has no "args"')
+            for k, v in args.items():
+                if not isinstance(v, (int, float)):
+                    fail(f"{where} counter series {k!r} is not numeric")
+
+    dangling = {k: n for k, n in async_open.items() if n != 0}
+    if dangling:
+        fail(f"unbalanced async begin/end: {sorted(dangling)[:5]}")
+    if flow_starts != flow_ends:
+        fail(
+            "unpaired flow ids: starts-only="
+            f"{sorted(flow_starts - flow_ends)[:5]} "
+            f"ends-only={sorted(flow_ends - flow_starts)[:5]}"
+        )
+
+    summary = " ".join(f"{ph}={n}" for ph, n in sorted(counts.items()))
+    print(f"check_perfetto: OK ({len(events)} events: {summary})")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,12 +6,14 @@
 #   3. chaos smoke: 25 seeded fault schedules under the invariant checker,
 #      with event capture enabled — every run must also produce an .ldlcap
 #      file that `lamsdlc_cli inspect` decodes cleanly.
-#   4. verify smoke: the property-fuzzing + differential-oracle harness
+#   4. trace smoke (non-gating): one sampled chaos capture pushed through
+#      `lamsdlc_cli trace --perfetto` and scripts/check_perfetto.py.
+#   5. verify smoke: the property-fuzzing + differential-oracle harness
 #      (docs/VERIFICATION.md) over LAMSDLC_VERIFY_SEEDS hostile seeds and
 #      LAMSDLC_VERIFY_FUZZ codec mutants — gating; any invariant violation,
 #      oracle divergence or fuzz property failure fails the build and
 #      prints a shrunk `lamsdlc_cli verify --repro` command line.
-#   5. perf smoke (non-gating): kernel workload rates, printed for trend
+#   6. perf smoke (non-gating): kernel workload rates, printed for trend
 #      watching; compare against BENCH_kernel.json by hand or with
 #      scripts/bench_baseline.sh.
 #
@@ -40,6 +42,17 @@ for seed in $(seq 1 25); do
   "$CLI" inspect "$cap" --summary >/dev/null
 done
 echo "25 chaos seeds OK, captures decode cleanly"
+
+echo "== trace smoke (non-gating) =="
+# Span-tree reconstruction + Perfetto export over one sampled chaos seed.
+# The trace tooling is young; report breakage loudly but do not gate on it.
+(
+  set -e
+  cap="$CAPDIR/trace-smoke.ldlcap"
+  "$CLI" capture --seed 7 --sample-ms 5 --out "$cap" >/dev/null
+  "$CLI" trace "$cap" --perfetto "$CAPDIR/trace-smoke.json" >/dev/null
+  python3 scripts/check_perfetto.py "$CAPDIR/trace-smoke.json"
+) || echo "[warn] trace smoke failed (non-gating)"
 
 echo "== verify smoke (${LAMSDLC_VERIFY_SEEDS:-40} seeds, ${LAMSDLC_VERIFY_FUZZ:-4000} fuzz iters) =="
 "$CLI" verify --seeds "${LAMSDLC_VERIFY_SEEDS:-40}" \

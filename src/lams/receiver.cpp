@@ -249,7 +249,7 @@ void LamsReceiver::handle_iframe(const frame::IFrame& in, bool corrupted) {
     if (cfg_.suppress_duplicates) return;
     // Ablation path (tests only): deliver the stale frame anyway, without
     // touching the sequence tracking, to prove the invariant checker notices.
-    deliver_up(in);
+    deliver_up(in, ctr);
     return;
   }
 
@@ -275,10 +275,10 @@ void LamsReceiver::handle_iframe(const frame::IFrame& in, bool corrupted) {
     e.p.frame = {ctr, in.packet_id, 0, 0, 0};
     obs_.emit(e);
   }
-  deliver_up(in);
+  deliver_up(in, ctr);
 }
 
-void LamsReceiver::deliver_up(const frame::IFrame& in) {
+void LamsReceiver::deliver_up(const frame::IFrame& in, std::uint64_t ctr) {
   // Forward upward after t_proc; no resequencing hold (Section 3.3).
   ++processing_;
   if (stats_) {
@@ -286,12 +286,19 @@ void LamsReceiver::deliver_up(const frame::IFrame& in) {
   }
   note_recv_buffer();
   const sim::Packet p{in.packet_id, in.payload_bytes, Time{}, 0, 0, 1};
-  sim_.schedule_in(cfg_.t_proc, [this, p] {
+  sim_.schedule_in(cfg_.t_proc, [this, p, ctr] {
     --processing_;
     if (stats_) {
       stats_->recv_buffer.update(sim_.now(), static_cast<double>(processing_));
     }
     note_recv_buffer();
+    if (obs_.active()) {
+      // The delivery leaf of the packet's trace span tree: the instant the
+      // payload leaves the DLC upward, after the t_proc pipeline.
+      obs::Event e = make_event(obs::EventKind::kPacketDelivered);
+      e.p.frame = {ctr, p.id, 0, 0, 0};
+      obs_.emit(e);
+    }
     if (listener_) listener_->on_packet(p, sim_.now());
   });
 }

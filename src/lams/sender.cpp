@@ -70,6 +70,13 @@ void LamsSender::emit_timer(obs::EventKind k, obs::TimerId id, Time deadline) {
 
 void LamsSender::submit(sim::Packet p) {
   if (stats_) ++stats_->packets_submitted;
+  if (obs_.active()) {
+    // Admission timestamp: the root of the packet's trace span tree; the gap
+    // to its first kFrameSent is the issuance-queueing latency component.
+    obs::Event e = make_event(obs::EventKind::kPacketAdmitted);
+    e.p.frame = {0, p.id, 0, 0, 0};
+    obs_.emit(e);
+  }
   new_queue_.push_back(Pending{p, Time{}, 0});
   note_buffer_change();
   try_send();
@@ -142,6 +149,15 @@ void LamsSender::send_iframe(Pending p) {
   if (p.attempts == 1) p.first_tx = now;
 
   const std::uint64_t ctr = next_ctr_++;
+  if (p.attempts > 1 && obs_.active()) {
+    // The old->new pairing, emitted before the new copy's kFrameSent: the
+    // wire never links the two numbers (relaxed in-sequence rule), so this
+    // record is what lets trace reconstruction follow renumbering chains.
+    obs::Event e = make_event(obs::EventKind::kRetransmitMapped);
+    e.p.map = {p.last_ctr, ctr, p.packet.id, p.attempts};
+    obs_.emit(e);
+  }
+  p.last_ctr = ctr;
   frame::Frame f;
   f.body = frame::IFrame{seqspace_.wrap(ctr), p.packet.id, p.packet.bytes, {}};
 

@@ -38,6 +38,25 @@ void put_u16le(std::ostream& os, std::uint16_t v) {
   os.put(static_cast<char>(v >> 8));
 }
 
+void put_u64le(std::ostream& os, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    os.put(static_cast<char>(v & 0xFF));
+    v >>= 8;
+  }
+}
+
+std::uint64_t double_bits(double d) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) noexcept {
+  double d = 0;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
 /// Stateful decoder: any read past EOF or malformed varint sets `err`.
 struct Decoder {
   std::istream& is;
@@ -84,6 +103,14 @@ struct Decoder {
     const std::uint16_t hi = u8(what);
     return static_cast<std::uint16_t>(lo | (hi << 8));
   }
+
+  std::uint64_t u64le(const char* what) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(u8(what)) << (8 * i);
+    }
+    return v;
+  }
 };
 
 void encode_payload(std::ostream& os, const Event& e) {
@@ -91,7 +118,9 @@ void encode_payload(std::ostream& os, const Event& e) {
     case EventKind::kFrameSent:
     case EventKind::kFrameReceived:
     case EventKind::kFrameReleased:
-    case EventKind::kRetransmitQueued: {
+    case EventKind::kRetransmitQueued:
+    case EventKind::kPacketAdmitted:
+    case EventKind::kPacketDelivered: {
       const auto& f = e.p.frame;
       put_varint(os, f.ctr);
       put_varint(os, f.packet_id);
@@ -140,6 +169,20 @@ void encode_payload(std::ostream& os, const Event& e) {
       put_u8(os, static_cast<std::uint8_t>(e.p.recovery.to));
       put_u8(os, static_cast<std::uint8_t>(e.p.recovery.reason));
       break;
+    case EventKind::kRetransmitMapped:
+      put_varint(os, e.p.map.old_ctr);
+      put_varint(os, e.p.map.new_ctr);
+      put_varint(os, e.p.map.packet_id);
+      put_varint(os, e.p.map.attempt);
+      break;
+    case EventKind::kMetricSample: {
+      const auto name = e.p.sample.name_view();
+      put_u8(os, static_cast<std::uint8_t>(name.size()));
+      os.write(name.data(), static_cast<std::streamsize>(name.size()));
+      put_u64le(os, double_bits(e.p.sample.value));
+      put_u8(os, e.p.sample.is_counter);
+      break;
+    }
   }
 }
 
@@ -148,7 +191,9 @@ bool decode_payload(Decoder& d, Event& e) {
     case EventKind::kFrameSent:
     case EventKind::kFrameReceived:
     case EventKind::kFrameReleased:
-    case EventKind::kRetransmitQueued: {
+    case EventKind::kRetransmitQueued:
+    case EventKind::kPacketAdmitted:
+    case EventKind::kPacketDelivered: {
       auto& f = e.p.frame;
       f.ctr = d.varint("frame.ctr");
       f.packet_id = d.varint("frame.packet_id");
@@ -223,6 +268,27 @@ bool decode_payload(Decoder& d, Event& e) {
       e.p.recovery.reason = static_cast<RecoveryReason>(reason);
       break;
     }
+    case EventKind::kRetransmitMapped:
+      e.p.map.old_ctr = d.varint("map.old_ctr");
+      e.p.map.new_ctr = d.varint("map.new_ctr");
+      e.p.map.packet_id = d.varint("map.packet_id");
+      e.p.map.attempt = static_cast<std::uint32_t>(d.varint("map.attempt"));
+      break;
+    case EventKind::kMetricSample: {
+      const std::uint8_t len = d.u8("sample.name_len");
+      if (len >= kMetricNameCap) {
+        if (d.err.empty()) d.err = "bad metric name length";
+        return false;
+      }
+      char buf[kMetricNameCap] = {};
+      for (std::uint8_t i = 0; i < len; ++i) {
+        buf[i] = static_cast<char>(d.u8("sample.name"));
+      }
+      e.p.sample.set_name(std::string_view{buf, len});
+      e.p.sample.value = bits_double(d.u64le("sample.value"));
+      e.p.sample.is_counter = d.u8("sample.is_counter");
+      break;
+    }
   }
   return d.ok();
 }
@@ -260,7 +326,7 @@ CaptureReader::CaptureReader(std::istream& is) : is_{is} {
     error_ = d.err;
     return;
   }
-  if (version_ != kCaptureVersion) {
+  if (version_ < kCaptureOldestReadable || version_ > kCaptureVersion) {
     error_ = "unsupported capture version " + std::to_string(version_);
   }
 }
@@ -283,7 +349,10 @@ std::optional<Event> CaptureReader::next() {
     error_ = "bad source tag " + std::to_string(source);
     return std::nullopt;
   }
-  if (kind >= kEventKindCount) {
+  // A file may only contain kinds its header version knew about; v1 ended at
+  // kRecoveryTransition (14).
+  const std::uint8_t kind_limit = version_ == 1 ? 15 : kEventKindCount;
+  if (kind >= kind_limit) {
     error_ = "bad event kind " + std::to_string(kind);
     return std::nullopt;
   }

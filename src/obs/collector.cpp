@@ -120,6 +120,20 @@ void MetricsCollector::on_event(const Event& e) {
         registry_.counter(pre + ".failures").add();
       }
       break;
+    case EventKind::kRetransmitMapped:
+      registry_.counter(pre + ".retransmits_mapped").add();
+      break;
+    case EventKind::kPacketAdmitted:
+      registry_.counter(pre + ".packets_admitted").add();
+      break;
+    case EventKind::kPacketDelivered:
+      registry_.counter(pre + ".packets_delivered").add();
+      break;
+    case EventKind::kMetricSample:
+      // Sampler snapshots are *of* this registry; folding them back in would
+      // feed the metrics surface its own output.  Capture/timeline consumers
+      // read them directly.
+      break;
   }
 }
 

@@ -30,6 +30,18 @@ bool recovery_eq(const RecoveryPayload& a, const RecoveryPayload& b) noexcept {
   return a.from == b.from && a.to == b.to && a.reason == b.reason;
 }
 
+bool map_eq(const RetransmitMapPayload& a,
+            const RetransmitMapPayload& b) noexcept {
+  return a.old_ctr == b.old_ctr && a.new_ctr == b.new_ctr &&
+         a.packet_id == b.packet_id && a.attempt == b.attempt;
+}
+
+bool sample_eq(const MetricSamplePayload& a,
+               const MetricSamplePayload& b) noexcept {
+  return a.name == b.name && a.value == b.value &&
+         a.is_counter == b.is_counter;
+}
+
 const char* frame_verb(EventKind k) noexcept {
   switch (k) {
     case EventKind::kFrameSent: return "tx";
@@ -49,6 +61,8 @@ bool operator==(const Event& a, const Event& b) noexcept {
     case EventKind::kFrameReceived:
     case EventKind::kFrameReleased:
     case EventKind::kRetransmitQueued:
+    case EventKind::kPacketAdmitted:
+    case EventKind::kPacketDelivered:
       return frame_eq(a.p.frame, b.p.frame);
     case EventKind::kFrameCorrupted:
     case EventKind::kFrameDropped:
@@ -68,6 +82,10 @@ bool operator==(const Event& a, const Event& b) noexcept {
       return timer_eq(a.p.timer, b.p.timer);
     case EventKind::kRecoveryTransition:
       return recovery_eq(a.p.recovery, b.p.recovery);
+    case EventKind::kRetransmitMapped:
+      return map_eq(a.p.map, b.p.map);
+    case EventKind::kMetricSample:
+      return sample_eq(a.p.sample, b.p.sample);
   }
   return false;
 }
@@ -89,6 +107,10 @@ const char* to_string(EventKind k) noexcept {
     case EventKind::kTimerArmed: return "timer_armed";
     case EventKind::kTimerFired: return "timer_fired";
     case EventKind::kRecoveryTransition: return "recovery_transition";
+    case EventKind::kRetransmitMapped: return "retransmit_mapped";
+    case EventKind::kPacketAdmitted: return "packet_admitted";
+    case EventKind::kPacketDelivered: return "packet_delivered";
+    case EventKind::kMetricSample: return "metric_sample";
   }
   return "unknown";
 }
@@ -241,6 +263,21 @@ std::string describe(const Event& e) {
          << to_string(e.p.recovery.to)
          << " reason=" << to_string(e.p.recovery.reason);
       break;
+    case EventKind::kRetransmitMapped:
+      os << "renumbered ctr " << e.p.map.old_ctr << " -> " << e.p.map.new_ctr
+         << " pkt=" << e.p.map.packet_id << " attempt=" << e.p.map.attempt;
+      break;
+    case EventKind::kPacketAdmitted:
+      os << "packet admitted pkt=" << e.p.frame.packet_id;
+      break;
+    case EventKind::kPacketDelivered:
+      os << "packet delivered pkt=" << e.p.frame.packet_id
+         << " ctr=" << e.p.frame.ctr;
+      break;
+    case EventKind::kMetricSample:
+      os << "sample " << (e.p.sample.is_counter ? "counter " : "gauge ")
+         << e.p.sample.name_view() << '=' << e.p.sample.value;
+      break;
   }
   return os.str();
 }
@@ -253,7 +290,9 @@ std::string to_json(const Event& e) {
     case EventKind::kFrameSent:
     case EventKind::kFrameReceived:
     case EventKind::kFrameReleased:
-    case EventKind::kRetransmitQueued: {
+    case EventKind::kRetransmitQueued:
+    case EventKind::kPacketAdmitted:
+    case EventKind::kPacketDelivered: {
       const auto& f = e.p.frame;
       os << ",\"ctr\":" << f.ctr << ",\"packet_id\":" << f.packet_id
          << ",\"attempt\":" << f.attempt
@@ -303,6 +342,17 @@ std::string to_json(const Event& e) {
       os << ",\"from\":\"" << to_string(e.p.recovery.from) << "\",\"to\":\""
          << to_string(e.p.recovery.to) << "\",\"reason\":\""
          << to_string(e.p.recovery.reason) << '"';
+      break;
+    case EventKind::kRetransmitMapped:
+      os << ",\"old_ctr\":" << e.p.map.old_ctr << ",\"new_ctr\":"
+         << e.p.map.new_ctr << ",\"packet_id\":" << e.p.map.packet_id
+         << ",\"attempt\":" << e.p.map.attempt;
+      break;
+    case EventKind::kMetricSample:
+      // Metric names are dot/underscore identifiers; nothing to escape.
+      os << ",\"name\":\"" << e.p.sample.name_view() << "\",\"value\":"
+         << e.p.sample.value
+         << ",\"is_counter\":" << (e.p.sample.is_counter ? "true" : "false");
       break;
   }
   os << '}';

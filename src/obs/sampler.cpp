@@ -1,0 +1,42 @@
+#include "lamsdlc/obs/sampler.hpp"
+
+namespace lamsdlc::obs {
+
+void Sampler::start() {
+  if (timer_ != 0 || period_.ps() <= 0) return;
+  timer_ = sim_.schedule_in(period_, [this] { tick(); });
+}
+
+void Sampler::stop() {
+  if (timer_ == 0) return;
+  sim_.cancel(timer_);
+  timer_ = 0;
+}
+
+void Sampler::tick() {
+  timer_ = 0;
+  if (bus_.enabled()) {
+    Event e;
+    e.at = sim_.now();
+    e.source = Source::kOther;
+    e.kind = EventKind::kMetricSample;
+    for (const auto& [name, c] : registry_.counters()) {
+      e.p.sample = MetricSamplePayload{};
+      e.p.sample.set_name(name);
+      e.p.sample.value = static_cast<double>(c.value());
+      e.p.sample.is_counter = 1;
+      bus_.emit(e);
+    }
+    for (const auto& [name, g] : registry_.gauges()) {
+      e.p.sample = MetricSamplePayload{};
+      e.p.sample.set_name(name);
+      e.p.sample.value = g.value();
+      e.p.sample.is_counter = 0;
+      bus_.emit(e);
+    }
+    ++snapshots_;
+  }
+  timer_ = sim_.schedule_in(period_, [this] { tick(); });
+}
+
+}  // namespace lamsdlc::obs

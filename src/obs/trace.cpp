@@ -1,0 +1,372 @@
+#include "lamsdlc/obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace lamsdlc::obs {
+namespace {
+
+/// Clamp an optional boundary into [lo, hi] so the telescoping attribution
+/// stays exact even when an instant strays outside its cycle (it cannot in a
+/// well-formed run, but a replayed foreign capture must not break the sums).
+Time clamp_time(Time v, Time lo, Time hi) noexcept {
+  if (v < lo) return lo;
+  if (hi < v) return hi;
+  return v;
+}
+
+void put_ms(std::string& out, Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", t.ms());
+  out += buf;
+  out += "ms";
+}
+
+void put_ms(std::string& out, std::int64_t ps) {
+  put_ms(out, Time::picoseconds(ps));
+}
+
+}  // namespace
+
+LatencyBreakdown attribute(const PacketTrace& t) noexcept {
+  LatencyBreakdown b;
+  if (t.attempts.empty()) return b;
+  const Time first = t.attempts.front().sent;
+  if (t.admitted) b.admission_wait_ps = (first - *t.admitted).ps();
+  for (std::size_t i = 0; i + 1 < t.attempts.size(); ++i) {
+    // Failed cycle i: send(i) .. send(i+1).  Interior boundaries are the NAK
+    // and the retransmit claim; a missing boundary collapses its component
+    // to zero while the cycle total t3-t0 is preserved (telescoping).
+    const Time t0 = t.attempts[i].sent;
+    const Time t3 = t.attempts[i + 1].sent;
+    const Time t1 = clamp_time(t.attempts[i].nak.value_or(t0), t0, t3);
+    const Time t2 = clamp_time(t.attempts[i].retx_queued.value_or(t1), t1, t3);
+    b.nak_wait_ps += (t1 - t0).ps();
+    b.checkpoint_wait_ps += (t2 - t1).ps();
+    b.retx_serialization_ps += (t3 - t2).ps();
+  }
+  const Time last = t.attempts.back().sent;
+  if (t.delivered) {
+    b.final_flight_ps = (*t.delivered - last).ps();
+    if (t.released) b.release_wait_ps = (*t.released - *t.delivered).ps();
+  } else if (t.released) {
+    // Degenerate (no delivery leaf): charge the whole tail to flight so the
+    // holding-time identity still holds.
+    b.final_flight_ps = (*t.released - last).ps();
+  }
+  return b;
+}
+
+PacketTrace& TraceBuilder::packet(std::uint64_t packet_id) {
+  PacketTrace& t = packets_[packet_id];
+  t.packet_id = packet_id;
+  return t;
+}
+
+TraceAttempt* TraceBuilder::attempt_for(std::uint64_t ctr) {
+  const auto it = by_ctr_.find(ctr);
+  if (it == by_ctr_.end()) return nullptr;
+  const auto pit = packets_.find(it->second.first);
+  if (pit == packets_.end()) return nullptr;
+  if (it->second.second >= pit->second.attempts.size()) return nullptr;
+  return &pit->second.attempts[it->second.second];
+}
+
+void TraceBuilder::orphan(const Event& e) { ++orphans_[to_string(e.kind)]; }
+
+void TraceBuilder::on_event(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kPacketAdmitted: {
+      if (e.source != Source::kLamsSender) break;
+      PacketTrace& t = packet(e.p.frame.packet_id);
+      if (!t.admitted) t.admitted = e.at;
+      break;
+    }
+    case EventKind::kFrameSent: {
+      // Stitching uses endpoint events only: link sources re-emit frames
+      // with *wrapped* wire sequences that would collide across cycles.
+      if (e.source != Source::kLamsSender || e.p.frame.control) break;
+      const FramePayload& f = e.p.frame;
+      PacketTrace& t = packet(f.packet_id);
+      if (f.attempt > 1) {
+        const bool linked = pending_map_.has_value() &&
+                            pending_map_->new_ctr == f.ctr &&
+                            pending_map_->packet_id == f.packet_id &&
+                            pending_map_->attempt == f.attempt &&
+                            !t.attempts.empty() &&
+                            t.attempts.back().ctr == pending_map_->old_ctr;
+        if (!linked) t.chain_broken = true;
+      } else if (!t.attempts.empty()) {
+        // A second "attempt 1" for the same packet id (session renumbering
+        // or a corrupt capture) — the chain cannot be trusted.
+        t.chain_broken = true;
+      }
+      pending_map_.reset();
+      TraceAttempt a;
+      a.ctr = f.ctr;
+      a.number = f.attempt;
+      a.sent = e.at;
+      by_ctr_.insert_or_assign(f.ctr,
+                               std::make_pair(f.packet_id, t.attempts.size()));
+      t.attempts.push_back(a);
+      break;
+    }
+    case EventKind::kRetransmitMapped:
+      if (e.source != Source::kLamsSender) break;
+      pending_map_ = e.p.map;
+      break;
+    case EventKind::kNakGenerated: {
+      if (e.source != Source::kLamsReceiver) break;
+      if (TraceAttempt* a = attempt_for(e.p.nak.ctr)) {
+        if (!a->nak) a->nak = e.at;
+      } else {
+        orphan(e);
+      }
+      break;
+    }
+    case EventKind::kRetransmitQueued: {
+      if (e.source != Source::kLamsSender || e.p.frame.control) break;
+      if (TraceAttempt* a = attempt_for(e.p.frame.ctr)) {
+        if (!a->retx_queued) a->retx_queued = e.at;
+      } else {
+        orphan(e);
+      }
+      break;
+    }
+    case EventKind::kFrameReceived: {
+      if (e.source != Source::kLamsReceiver || e.p.frame.control) break;
+      if (TraceAttempt* a = attempt_for(e.p.frame.ctr)) {
+        if (!a->received) a->received = e.at;
+      } else {
+        orphan(e);
+      }
+      break;
+    }
+    case EventKind::kPacketDelivered: {
+      if (e.source != Source::kLamsReceiver) break;
+      PacketTrace& t = packet(e.p.frame.packet_id);
+      if (t.delivered) {
+        ++t.extra_deliveries;
+      } else {
+        t.delivered = e.at;
+        t.delivered_ctr = e.p.frame.ctr;
+      }
+      break;
+    }
+    case EventKind::kFrameReleased: {
+      if (e.source != Source::kLamsSender || e.p.frame.control) break;
+      if (attempt_for(e.p.frame.ctr) == nullptr) {
+        orphan(e);
+        break;
+      }
+      PacketTrace& t = packet(e.p.frame.packet_id);
+      if (!t.released) {
+        t.released = e.at;
+        t.holding_ps = e.p.frame.holding_ps;
+      }
+      break;
+    }
+    case EventKind::kCheckpointEmitted:
+      if (e.source != Source::kLamsReceiver) break;
+      checkpoints_.push_back(CheckpointMark{e.at, e.p.checkpoint.cp_seq,
+                                            e.p.checkpoint.nak_count,
+                                            e.p.checkpoint.enforced()});
+      break;
+    case EventKind::kBufferOccupancy:
+      occupancy_.push_back(
+          OccupancyPoint{e.at, e.source, e.p.buffer.which, e.p.buffer.depth});
+      break;
+    case EventKind::kMetricSample:
+      samples_.push_back(SamplePoint{e.at, std::string{e.p.sample.name_view()},
+                                     e.p.sample.value,
+                                     e.p.sample.is_counter != 0});
+      break;
+    case EventKind::kRecoveryTransition:
+      recoveries_.push_back(RecoveryMark{e.at, e.p.recovery.from,
+                                         e.p.recovery.to, e.p.recovery.reason});
+      break;
+    default:
+      break;
+  }
+}
+
+const PacketTrace* TraceBuilder::find(std::uint64_t packet_id) const {
+  const auto it = packets_.find(packet_id);
+  return it == packets_.end() ? nullptr : &it->second;
+}
+
+const PacketTrace* TraceBuilder::worst() const {
+  const PacketTrace* best = nullptr;
+  for (const auto& [id, t] : packets_) {
+    if (!t.complete()) continue;
+    if (!best || t.holding_ps > best->holding_ps ||
+        (t.holding_ps == best->holding_ps &&
+         t.attempts.size() > best->attempts.size())) {
+      best = &t;
+    }
+  }
+  return best;
+}
+
+TraceSummary TraceBuilder::summarize() const {
+  TraceSummary s;
+  s.packets = packets_.size();
+  for (const auto& [id, t] : packets_) {
+    if (t.complete()) ++s.complete;
+    if (t.delivered) ++s.delivered;
+    if (t.released) ++s.released;
+    if (t.chain_broken) ++s.broken_chains;
+    s.attempts += t.attempts.size();
+    s.max_attempts = std::max(s.max_attempts,
+                              static_cast<std::uint32_t>(t.attempts.size()));
+    s.extra_deliveries += t.extra_deliveries;
+  }
+  for (const auto& [kind, n] : orphans_) s.orphan_events += n;
+  return s;
+}
+
+std::string TraceBuilder::dump() const {
+  // Canonical form: integer picoseconds only, fixed field order, packets in
+  // id order.  Byte-for-byte equality of two dumps certifies that the two
+  // reconstructions (live bus vs. capture replay) stitched identically.
+  std::ostringstream os;
+  os << "trace-dump v1\n";
+  for (const auto& [id, t] : packets_) {
+    os << "packet " << id;
+    os << " admitted=";
+    if (t.admitted) os << t.admitted->ps(); else os << '-';
+    os << " delivered=";
+    if (t.delivered) os << t.delivered->ps() << " ctr=" << t.delivered_ctr;
+    else os << '-';
+    os << " released=";
+    if (t.released) os << t.released->ps(); else os << '-';
+    os << " holding=" << t.holding_ps << " extra=" << t.extra_deliveries
+       << " broken=" << (t.chain_broken ? 1 : 0) << '\n';
+    for (const TraceAttempt& a : t.attempts) {
+      os << "  attempt " << a.number << " ctr=" << a.ctr
+         << " sent=" << a.sent.ps();
+      os << " nak=";
+      if (a.nak) os << a.nak->ps(); else os << '-';
+      os << " retx_queued=";
+      if (a.retx_queued) os << a.retx_queued->ps(); else os << '-';
+      os << " received=";
+      if (a.received) os << a.received->ps(); else os << '-';
+      os << '\n';
+    }
+  }
+  os << "aux checkpoints=" << checkpoints_.size()
+     << " occupancy=" << occupancy_.size() << " samples=" << samples_.size()
+     << " recoveries=" << recoveries_.size() << '\n';
+  for (const auto& [kind, n] : orphans_) {
+    os << "orphan " << kind << '=' << n << '\n';
+  }
+  return os.str();
+}
+
+void TraceBuilder::fold_latency(Registry& registry) const {
+  for (const auto& [id, t] : packets_) {
+    if (!t.complete()) continue;
+    const LatencyBreakdown b = attribute(t);
+    registry.counter("trace.packets_complete").add();
+    registry.histogram("trace.latency.admission_wait_ms")
+        .observe(static_cast<double>(b.admission_wait_ps) * 1e-9);
+    registry.histogram("trace.latency.nak_wait_ms")
+        .observe(static_cast<double>(b.nak_wait_ps) * 1e-9);
+    registry.histogram("trace.latency.checkpoint_wait_ms")
+        .observe(static_cast<double>(b.checkpoint_wait_ps) * 1e-9);
+    registry.histogram("trace.latency.retx_serialization_ms")
+        .observe(static_cast<double>(b.retx_serialization_ps) * 1e-9);
+    registry.histogram("trace.latency.final_flight_ms")
+        .observe(static_cast<double>(b.final_flight_ps) * 1e-9);
+    registry.histogram("trace.latency.release_wait_ms")
+        .observe(static_cast<double>(b.release_wait_ps) * 1e-9);
+    registry.histogram("trace.latency.total_ms")
+        .observe(static_cast<double>(b.total_ps()) * 1e-9);
+  }
+}
+
+std::string explain(const PacketTrace& t) {
+  std::string out;
+  out += "packet " + std::to_string(t.packet_id) + "\n";
+  if (t.admitted) {
+    out += "  admitted          t=";
+    put_ms(out, *t.admitted);
+    out += "  (entered the sending buffer)\n";
+  } else {
+    out += "  admitted          (not observed)\n";
+  }
+  for (std::size_t i = 0; i < t.attempts.size(); ++i) {
+    const TraceAttempt& a = t.attempts[i];
+    out += "  attempt " + std::to_string(a.number) + " ctr=" +
+           std::to_string(a.ctr) + "  sent t=";
+    put_ms(out, a.sent);
+    if (a.number > 1) out += "  (renumbered retransmission)";
+    out += "\n";
+    const bool failed = i + 1 < t.attempts.size();
+    if (a.nak) {
+      out += "    damaged in flight; receiver NAKed at t=";
+      put_ms(out, *a.nak);
+      out += " (detection wait ";
+      put_ms(out, *a.nak - a.sent);
+      out += ")\n";
+    } else if (failed) {
+      out += "    claimed undelivered by highest-seen reasoning (no explicit NAK)\n";
+    }
+    if (a.retx_queued) {
+      out += "    checkpoint carried the NAK; sender claimed it at t=";
+      put_ms(out, *a.retx_queued);
+      out += "\n";
+    }
+    if (a.received) {
+      out += "    received good at t=";
+      put_ms(out, *a.received);
+      out += "\n";
+    }
+  }
+  if (t.delivered) {
+    out += "  delivered         t=";
+    put_ms(out, *t.delivered);
+    out += "  (client handoff after t_proc, via ctr " +
+           std::to_string(t.delivered_ctr) + ")\n";
+  } else {
+    out += "  delivered         (never — packet lost or run truncated)\n";
+  }
+  if (t.released) {
+    out += "  released          t=";
+    put_ms(out, *t.released);
+    out += "  (implicit acknowledgement; holding time ";
+    put_ms(out, t.holding_ps);
+    out += ")\n";
+  } else {
+    out += "  released          (never — no covering checkpoint observed)\n";
+  }
+  if (t.extra_deliveries > 0) {
+    out += "  WARNING: " + std::to_string(t.extra_deliveries) +
+           " duplicate client deliveries\n";
+  }
+  if (t.chain_broken) {
+    out += "  WARNING: renumbering chain failed to stitch\n";
+  }
+  if (t.complete()) {
+    const LatencyBreakdown b = attribute(t);
+    out += "  latency: admission ";
+    put_ms(out, b.admission_wait_ps);
+    out += " | nak-wait ";
+    put_ms(out, b.nak_wait_ps);
+    out += " | checkpoint-wait ";
+    put_ms(out, b.checkpoint_wait_ps);
+    out += " | retx-serialization ";
+    put_ms(out, b.retx_serialization_ps);
+    out += " | flight ";
+    put_ms(out, b.final_flight_ps);
+    out += " | release-wait ";
+    put_ms(out, b.release_wait_ps);
+    out += " | total ";
+    put_ms(out, b.total_ps());
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace lamsdlc::obs

@@ -1,9 +1,11 @@
 #include "lamsdlc/sim/chaos.hpp"
 
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <utility>
 
+#include "lamsdlc/obs/sampler.hpp"
 #include "lamsdlc/phy/fault_injector.hpp"
 #include "lamsdlc/sim/invariants.hpp"
 #include "lamsdlc/workload/sources.hpp"
@@ -154,6 +156,14 @@ ChaosVerdict run_chaos(const ChaosKnobs& knobs) {
 
   Scenario s{cfg};
   if (knobs.tap) knobs.tap(s);
+  // Declared after `s` so it is destroyed first — its dtor cancels the
+  // pending tick before the simulator goes away.
+  std::optional<obs::Sampler> sampler;
+  if (!knobs.sample_period.is_zero()) {
+    sampler.emplace(s.simulator(), s.metrics(), s.events(),
+                    knobs.sample_period);
+    sampler->start();
+  }
 
   std::size_t stage_idx = 0;
   std::vector<const phy::FaultInjector*> all_stages;
@@ -188,6 +198,11 @@ ChaosVerdict run_chaos(const ChaosKnobs& knobs) {
   InvariantLimits limits;
   limits.max_outstanding = knobs.packets;
   limits.max_holding = cfg.lams.resolving_period_bound();
+  // With a finite hard capacity the congestion discard must keep the
+  // t_proc pipeline at or below it; an infinite capacity stays unchecked.
+  if (cfg.lams.recv_hard_capacity != static_cast<std::size_t>(-1)) {
+    limits.max_recv_buffer = cfg.lams.recv_hard_capacity;
+  }
   // Faults lawfully stall releases for their whole span plus a recovery, and
   // Stop-Go pacing stretches the retransmission queue; the flat term covers
   // the congestion-throttled drain.

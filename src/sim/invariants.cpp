@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "lamsdlc/lams/receiver.hpp"
 #include "lamsdlc/lams/sender.hpp"
 #include "lamsdlc/workload/tracker.hpp"
 
@@ -50,6 +51,15 @@ void InvariantChecker::periodic_check() {
     violate("transparent-buffer bound exceeded: outstanding=" +
             std::to_string(tx->outstanding_frames()) +
             " > bound=" + std::to_string(limits_.max_outstanding));
+  }
+
+  const lams::LamsReceiver* rx = scenario_.lams_receiver();
+  if (!reported_recv_buffer_ && limits_.max_recv_buffer > 0 && rx != nullptr &&
+      rx->recv_buffer_depth() > limits_.max_recv_buffer) {
+    reported_recv_buffer_ = true;
+    violate("receiving-buffer bound exceeded: depth=" +
+            std::to_string(rx->recv_buffer_depth()) +
+            " > bound=" + std::to_string(limits_.max_recv_buffer));
   }
 
   if (!reported_holding_ && !limits_.max_holding.is_zero()) {

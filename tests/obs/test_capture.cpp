@@ -99,6 +99,32 @@ std::vector<Event> sample_events() {
                   RecoveryReason::kCheckpointSilence};
   evs.push_back(e);
 
+  e = base(Source::kLamsSender, EventKind::kRetransmitMapped);
+  e.p.map = {0xFFFFFFFF0ULL, 0xFFFFFFFF7ULL, 987654321, 4};
+  evs.push_back(e);
+
+  e = base(Source::kLamsSender, EventKind::kPacketAdmitted);
+  e.p.frame = {0, 424242, 0, 0, 0};
+  evs.push_back(e);
+
+  e = base(Source::kLamsReceiver, EventKind::kPacketDelivered);
+  e.p.frame = {91, 424242, 0, 0, 0};
+  evs.push_back(e);
+
+  e = base(Source::kOther, EventKind::kMetricSample);
+  e.p.sample = MetricSamplePayload{};
+  e.p.sample.set_name("lams.sender.iframe_tx");
+  e.p.sample.value = -1234.5625;  // exact in binary; sign path covered
+  e.p.sample.is_counter = 1;
+  evs.push_back(e);
+
+  e = base(Source::kOther, EventKind::kMetricSample);
+  e.p.sample = MetricSamplePayload{};
+  e.p.sample.set_name(std::string(100, 'x'));  // truncates to kMetricNameCap-1
+  e.p.sample.value = 3.25e9;
+  e.p.sample.is_counter = 0;
+  evs.push_back(e);
+
   return evs;
 }
 
@@ -165,11 +191,35 @@ TEST(Capture, BadMagicRejected) {
 TEST(Capture, UnknownVersionRejected) {
   std::stringstream ss;
   ss.write(reinterpret_cast<const char*>(kCaptureMagic), 8);
-  const char v2[4] = {2, 0, 0, 0};  // version 2, reserved 0
-  ss.write(v2, 4);
+  const char v[4] = {kCaptureVersion + 1, 0, 0, 0};  // future version
+  ss.write(v, 4);
   std::string err;
   EXPECT_FALSE(read_capture(ss, &err).has_value());
   EXPECT_NE(err.find("version"), std::string::npos);
+}
+
+TEST(Capture, OldestReadableVersionAccepted) {
+  // A v1 header followed by a v1-era record must still decode; a v1 file
+  // claiming a post-v1 kind must not.
+  std::stringstream ss;
+  ss.write(reinterpret_cast<const char*>(kCaptureMagic), 8);
+  const char v1[4] = {1, 0, 0, 0};
+  ss.write(v1, 4);
+  const char nak_record[] = {0x2, 0x1, 0xA, 0x7};  // delta 1, rx, kNakGenerated, ctr 7
+  ss.write(nak_record, sizeof nak_record);
+  std::string err;
+  const auto out = read_capture(ss, &err);
+  ASSERT_TRUE(out.has_value()) << err;
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].kind, EventKind::kNakGenerated);
+  EXPECT_EQ((*out)[0].p.nak.ctr, 7u);
+
+  std::stringstream bad;
+  bad.write(reinterpret_cast<const char*>(kCaptureMagic), 8);
+  bad.write(v1, 4);
+  const char v2_kind[] = {0x0, 0x0, 0xF};  // kRetransmitMapped: not in v1
+  bad.write(v2_kind, sizeof v2_kind);
+  EXPECT_FALSE(read_capture(bad, &err).has_value());
 }
 
 TEST(Capture, TruncationMidRecordIsAnErrorNotEof) {

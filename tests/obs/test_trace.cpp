@@ -1,0 +1,292 @@
+#include "lamsdlc/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lamsdlc/obs/capture.hpp"
+#include "lamsdlc/obs/sampler.hpp"
+#include "lamsdlc/sim/chaos.hpp"
+#include "lamsdlc/sim/invariants.hpp"
+#include "lamsdlc/sim/scenario.hpp"
+#include "lamsdlc/workload/sources.hpp"
+
+namespace lamsdlc::obs {
+namespace {
+
+Event ev(Time at, Source src, EventKind k) {
+  Event e;
+  e.at = at;
+  e.source = src;
+  e.kind = k;
+  return e;
+}
+
+/// Hand-built lifecycle: admitted, sent, corrupted (NAK), checkpoint claim,
+/// renumbered retransmission, receipt, delivery, release.
+std::vector<Event> synthetic_lifecycle(bool with_map) {
+  using enum EventKind;
+  std::vector<Event> evs;
+  Event e = ev(Time::milliseconds(1), Source::kLamsSender, kPacketAdmitted);
+  e.p.frame = {0, 5, 0, 0, 0};
+  evs.push_back(e);
+  e = ev(Time::milliseconds(2), Source::kLamsSender, kFrameSent);
+  e.p.frame = {10, 5, 1, 0, 0};
+  evs.push_back(e);
+  e = ev(Time::milliseconds(9), Source::kLamsReceiver, kNakGenerated);
+  e.p.nak = {10};
+  evs.push_back(e);
+  e = ev(Time::milliseconds(15), Source::kLamsSender, kRetransmitQueued);
+  e.p.frame = {10, 5, 1, 0, 0};
+  evs.push_back(e);
+  if (with_map) {
+    e = ev(Time::milliseconds(16), Source::kLamsSender, kRetransmitMapped);
+    e.p.map = {10, 13, 5, 2};
+    evs.push_back(e);
+  }
+  e = ev(Time::milliseconds(16), Source::kLamsSender, kFrameSent);
+  e.p.frame = {13, 5, 2, 0, 0};
+  evs.push_back(e);
+  e = ev(Time::milliseconds(21), Source::kLamsReceiver, kFrameReceived);
+  e.p.frame = {13, 5, 0, 0, 0};
+  evs.push_back(e);
+  e = ev(Time::milliseconds(22), Source::kLamsReceiver, kPacketDelivered);
+  e.p.frame = {13, 5, 0, 0, 0};
+  evs.push_back(e);
+  e = ev(Time::milliseconds(30), Source::kLamsSender, kFrameReleased);
+  e.p.frame = {13, 5, 2, 0,
+               (Time::milliseconds(30) - Time::milliseconds(2)).ps()};
+  evs.push_back(e);
+  return evs;
+}
+
+TEST(TraceBuilder, StitchesRenumberingChain) {
+  TraceBuilder tb;
+  for (const Event& e : synthetic_lifecycle(/*with_map=*/true)) tb.on_event(e);
+
+  ASSERT_EQ(tb.packets().size(), 1u);
+  const PacketTrace* t = tb.find(5);
+  ASSERT_NE(t, nullptr);
+  EXPECT_TRUE(t->complete());
+  ASSERT_EQ(t->attempts.size(), 2u);
+  EXPECT_EQ(t->attempts[0].ctr, 10u);
+  EXPECT_EQ(t->attempts[1].ctr, 13u);
+  EXPECT_TRUE(t->attempts[0].nak.has_value());
+  EXPECT_TRUE(t->attempts[0].retx_queued.has_value());
+  EXPECT_TRUE(t->attempts[1].received.has_value());
+  EXPECT_EQ(t->delivered_ctr, 13u);
+  EXPECT_FALSE(t->chain_broken);
+  EXPECT_TRUE(tb.orphans().empty());
+
+  const LatencyBreakdown b = attribute(*t);
+  EXPECT_EQ(b.admission_wait_ps, Time::milliseconds(1).ps());
+  EXPECT_EQ(b.nak_wait_ps, Time::milliseconds(7).ps());
+  EXPECT_EQ(b.checkpoint_wait_ps, Time::milliseconds(6).ps());
+  EXPECT_EQ(b.retx_serialization_ps, Time::milliseconds(1).ps());
+  EXPECT_EQ(b.final_flight_ps, Time::milliseconds(6).ps());
+  EXPECT_EQ(b.release_wait_ps, Time::milliseconds(8).ps());
+  EXPECT_EQ(b.in_flight_ps(), t->holding_ps);
+}
+
+TEST(TraceBuilder, MissingMapRecordBreaksTheChain) {
+  TraceBuilder tb;
+  for (const Event& e : synthetic_lifecycle(/*with_map=*/false)) tb.on_event(e);
+  const PacketTrace* t = tb.find(5);
+  ASSERT_NE(t, nullptr);
+  EXPECT_TRUE(t->chain_broken);
+  EXPECT_FALSE(t->complete());
+  EXPECT_EQ(tb.summarize().broken_chains, 1u);
+}
+
+TEST(TraceBuilder, ExplainTellsTheCausalStory) {
+  TraceBuilder tb;
+  for (const Event& e : synthetic_lifecycle(/*with_map=*/true)) tb.on_event(e);
+  const std::string story = explain(*tb.find(5));
+  EXPECT_NE(story.find("packet 5"), std::string::npos);
+  EXPECT_NE(story.find("attempt 2 ctr=13"), std::string::npos);
+  EXPECT_NE(story.find("renumbered retransmission"), std::string::npos);
+  EXPECT_NE(story.find("NAKed"), std::string::npos);
+  EXPECT_NE(story.find("latency:"), std::string::npos);
+}
+
+/// Tentpole acceptance: across seeded chaos runs, every packet that reached
+/// the client has exactly one complete span tree — no orphan events, no
+/// broken renumbering chains, no duplicate roots.
+TEST(TraceChaos, EveryDeliveredPacketHasACompleteSpanTree) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    sim::ChaosKnobs knobs;
+    knobs.seed = seed;
+    TraceBuilder tb;
+    knobs.tap = [&tb](sim::Scenario& s) {
+      s.events().subscribe(tb.subscriber());
+    };
+    const sim::ChaosVerdict v = sim::run_chaos(knobs);
+    ASSERT_TRUE(v.ok) << v.to_string();
+
+    std::size_t delivered = 0;
+    for (const auto& [id, t] : tb.packets()) {
+      if (!t.delivered) continue;
+      ++delivered;
+      EXPECT_TRUE(t.complete())
+          << "seed " << seed << " packet " << id << ":\n" << explain(t);
+      EXPECT_EQ(t.extra_deliveries, 0u) << "seed " << seed << " packet " << id;
+    }
+    EXPECT_EQ(delivered, v.report.unique_delivered) << "seed " << seed;
+    const TraceSummary sum = tb.summarize();
+    EXPECT_EQ(sum.broken_chains, 0u) << "seed " << seed;
+    EXPECT_EQ(sum.orphan_events, 0u) << "seed " << seed << " dump:\n"
+                                     << tb.dump();
+  }
+}
+
+/// Latency components must sum *exactly* (same integer picoseconds) to the
+/// sender-measured holding time — the attribution is a decomposition, not an
+/// estimate.
+TEST(TraceChaos, LatencyComponentsSumExactlyToHoldingTime) {
+  std::size_t released_packets = 0, multi_attempt = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sim::ChaosKnobs knobs;
+    knobs.seed = seed;
+    TraceBuilder tb;
+    knobs.tap = [&tb](sim::Scenario& s) {
+      s.events().subscribe(tb.subscriber());
+    };
+    (void)sim::run_chaos(knobs);
+    for (const auto& [id, t] : tb.packets()) {
+      if (!t.complete() || !t.released) continue;
+      ++released_packets;
+      if (t.attempts.size() > 1) ++multi_attempt;
+      const LatencyBreakdown b = attribute(t);
+      EXPECT_EQ(b.in_flight_ps(), t.holding_ps)
+          << "seed " << seed << " packet " << id << ":\n" << explain(t);
+      EXPECT_GE(b.nak_wait_ps, 0);
+      EXPECT_GE(b.checkpoint_wait_ps, 0);
+      EXPECT_GE(b.retx_serialization_ps, 0);
+      EXPECT_GE(b.admission_wait_ps, 0);
+    }
+  }
+  EXPECT_GT(released_packets, 500u);
+  EXPECT_GT(multi_attempt, 0u);  // the sweep must exercise retransmissions
+}
+
+/// Capture-replay reconstruction must equal live-bus reconstruction
+/// byte-for-byte: the .ldlcap file loses nothing the trace needs.
+TEST(TraceChaos, CaptureReplayEqualsLiveReconstruction) {
+  for (const std::uint64_t seed : {2ULL, 7ULL, 11ULL}) {
+    sim::ChaosKnobs knobs;
+    knobs.seed = seed;
+    knobs.sample_period = Time::milliseconds(5);
+    TraceBuilder live;
+    std::stringstream cap;
+    CaptureWriter writer{cap};
+    knobs.tap = [&live, &writer](sim::Scenario& s) {
+      s.events().subscribe(live.subscriber());
+      s.events().subscribe(writer.subscriber());
+    };
+    (void)sim::run_chaos(knobs);
+    ASSERT_GT(writer.written(), 0u);
+
+    TraceBuilder replayed;
+    CaptureReader reader{cap};
+    while (auto e = reader.next()) replayed.on_event(*e);
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    EXPECT_EQ(live.dump(), replayed.dump()) << "seed " << seed;
+    EXPECT_FALSE(live.samples().empty()) << "seed " << seed;
+  }
+}
+
+/// obs::Sampler snapshots: periodic, named, and monotone for counters.
+TEST(Sampler, SnapshotsRegistryPeriodically) {
+  sim::ChaosKnobs knobs;
+  knobs.seed = 4;
+  knobs.sample_period = Time::milliseconds(10);
+  std::vector<Event> events;
+  knobs.tap = [&events](sim::Scenario& s) {
+    s.events().subscribe(EventBus::record_into(events));
+  };
+  (void)sim::run_chaos(knobs);
+
+  double last_tx = -1;
+  std::size_t samples = 0;
+  Time prev_at{};
+  for (const Event& e : events) {
+    if (e.kind != EventKind::kMetricSample) continue;
+    ++samples;
+    EXPECT_EQ(e.source, Source::kOther);
+    EXPECT_FALSE(e.p.sample.name_view().empty());
+    if (e.p.sample.name_view() == "lams.sender.iframe_tx") {
+      EXPECT_EQ(e.p.sample.is_counter, 1);
+      EXPECT_GE(e.p.sample.value, last_tx);  // counters never go backwards
+      last_tx = e.p.sample.value;
+      if (!prev_at.is_zero()) {
+        EXPECT_EQ((e.at - prev_at).ps() % Time::milliseconds(10).ps(), 0);
+      }
+      prev_at = e.at;
+    }
+  }
+  EXPECT_GT(samples, 10u);
+  EXPECT_GE(last_tx, 0.0);  // the tx series was present
+}
+
+/// Satellite cross-check: the receiver's kBufferOccupancy stream and the
+/// InvariantChecker agree about the receiving-buffer bound — the congestion
+/// discard keeps the t_proc pipeline at or below the hard capacity.
+TEST(RecvBufferInvariant, OccupancyStaysWithinHardCapacity) {
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kLams;
+  cfg.seed = 9;
+  cfg.lams.t_proc = Time::microseconds(400);
+  cfg.lams.recv_high_watermark = 4;
+  cfg.lams.recv_hard_capacity = 8;
+  sim::Scenario s{cfg};
+
+  std::uint32_t max_depth = 0;
+  s.events().subscribe([&max_depth](const Event& e) {
+    if (e.kind == EventKind::kBufferOccupancy &&
+        e.source == Source::kLamsReceiver &&
+        e.p.buffer.which == BufferId::kRecvBuffer) {
+      max_depth = std::max(max_depth, e.p.buffer.depth);
+    }
+  });
+
+  sim::InvariantLimits limits;
+  limits.max_recv_buffer = cfg.lams.recv_hard_capacity;
+  sim::InvariantChecker checker{s, limits};
+
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 200,
+                         cfg.frame_bytes);
+  const bool completed = s.run_to_completion(Time::seconds_int(30));
+  checker.finish(completed);
+
+  EXPECT_TRUE(checker.ok()) << checker.summary();
+  EXPECT_TRUE(completed);
+  EXPECT_GT(max_depth, cfg.lams.recv_high_watermark);  // congestion exercised
+  EXPECT_LE(max_depth, cfg.lams.recv_hard_capacity);
+}
+
+TEST(RecvBufferInvariant, CheckerFlagsBoundViolation) {
+  // No hard capacity and a slow pipeline: depth exceeds a deliberately tiny
+  // bound, and the checker must say so.
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kLams;
+  cfg.seed = 10;
+  cfg.lams.t_proc = Time::milliseconds(2);
+  sim::Scenario s{cfg};
+
+  sim::InvariantLimits limits;
+  limits.max_recv_buffer = 1;
+  sim::InvariantChecker checker{s, limits};
+
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 100,
+                         cfg.frame_bytes);
+  checker.finish(s.run_to_completion(Time::seconds_int(30)));
+
+  ASSERT_FALSE(checker.ok());
+  EXPECT_NE(checker.summary().find("receiving-buffer bound"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace lamsdlc::obs

@@ -72,23 +72,46 @@
 ///
 /// Capture flags: the chaos flags above (single seed; no --seeds) plus
 ///   --out FILE               [chaos-seed-S.ldlcap]
+///   --sample-ms MS           [off] periodic registry snapshots in the
+///                            capture (kMetricSample records) at this cadence
 ///
 /// Subcommand `inspect`: decode an `.ldlcap` file to text or JSON:
 ///
 ///   lamsdlc_cli inspect run.ldlcap --kind nak_generated --json
+///   lamsdlc_cli inspect run.ldlcap --timeline --bucket-ms 10
 ///
 /// Inspect flags:
 ///   --json                   one JSON object per record (default: text)
 ///   --summary                per-kind/per-source counts only
+///   --timeline               time-bucketed rate/occupancy table instead of
+///                            records (uses --bucket-ms)
+///   --bucket-ms MS           [span/20, >=1] timeline bucket width
 ///   --kind NAME              keep only this event kind
 ///   --source NAME            keep only this source (e.g. lams.sender)
-///   --from-ms MS / --to-ms MS  keep t in [from, to)
+///   --from-ms MS / --to-ms MS  keep t in [from, to); from > to is rejected
 ///   --limit N                stop after printing N records
+///
+/// Subcommand `trace`: reconstruct per-packet lifecycle span trees
+/// (admission -> sends/NAKs/renumbered retransmissions -> delivery ->
+/// release) from an `.ldlcap` file, or live from one chaos seed, and report
+/// latency attribution (docs/OBSERVABILITY.md describes the span model):
+///
+///   lamsdlc_cli trace run.ldlcap --perfetto run.json
+///   lamsdlc_cli trace --seed 42 --explain worst
+///
+/// Trace flags: a positional capture file, or the chaos flags above (live
+/// run, single seed) plus --sample-ms as in `capture`, and:
+///   --perfetto FILE          write Chrome trace-event JSON (ui.perfetto.dev)
+///   --explain ID|worst       print one packet's full causal story
+///   --dump                   print the canonical reconstruction dump
+/// Exits 1 when any delivered packet lacks a complete span tree.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -96,6 +119,9 @@
 #include "lamsdlc/analysis/model.hpp"
 #include "lamsdlc/obs/capture.hpp"
 #include "lamsdlc/obs/event.hpp"
+#include "lamsdlc/obs/metrics.hpp"
+#include "lamsdlc/obs/perfetto.hpp"
+#include "lamsdlc/obs/trace.hpp"
 #include "lamsdlc/sim/chaos.hpp"
 #include "lamsdlc/sim/sweep.hpp"
 #include "lamsdlc/sim/scenario.hpp"
@@ -125,7 +151,10 @@ void print_subcommands(std::FILE* to) {
                "verification sweep\n"
                "  capture   run one chaos seed, record events to an .ldlcap "
                "file\n"
-               "  inspect   decode an .ldlcap file to text or JSON\n"
+               "  inspect   decode an .ldlcap file to text, JSON or a "
+               "timeline\n"
+               "  trace     reconstruct packet span trees, attribute latency, "
+               "export Perfetto JSON\n"
                "  (none)    run one scenario from flags and print a report\n");
 }
 
@@ -450,6 +479,8 @@ int run_capture_command(int argc, char** argv) {
     if (parse_chaos_flag(argc, argv, i, knobs)) continue;
     if (a == "--out") {
       out = need(i);
+    } else if (a == "--sample-ms") {
+      knobs.sample_period = Time::seconds(std::atof(need(i)) * 1e-3);
     } else {
       usage_error("unknown capture flag " + a);
     }
@@ -481,12 +512,153 @@ int run_capture_command(int argc, char** argv) {
   return v.ok ? 0 : 1;
 }
 
+/// `inspect --timeline`: render filtered events as a time-bucketed table —
+/// per-bucket event rates, carried-forward buffer depths, and (when the
+/// capture holds Sampler snapshots) per-bucket deltas of the busiest sampled
+/// counters.
+void print_timeline(const std::vector<obs::Event>& events, double bucket_ms) {
+  if (events.empty()) {
+    std::printf("timeline: no matching records\n");
+    return;
+  }
+  const double t0 = events.front().at.ms();
+  const double t1 = events.back().at.ms();
+  if (bucket_ms <= 0) {
+    bucket_ms = (t1 - t0) / 20.0;
+    if (bucket_ms < 1.0) bucket_ms = 1.0;
+  }
+  const auto buckets =
+      static_cast<std::size_t>((t1 - t0) / bucket_ms) + 1;
+
+  struct Row {
+    std::uint64_t tx = 0, retx = 0, delivered = 0, corrupted = 0, naks = 0,
+                  checkpoints = 0;
+  };
+  std::vector<Row> rows(buckets);
+  // Carried-forward depths: the last observed occupancy at or before each
+  // bucket's end (a buffer that never changes inside a bucket keeps its
+  // depth, it does not read as empty).
+  std::vector<int64_t> send_depth(buckets, -1), recv_depth(buckets, -1);
+  // Sampled counters: name -> cumulative value per bucket (last snapshot in
+  // the bucket; -1 = no snapshot yet).
+  std::map<std::string, std::vector<double>> sampled;
+
+  for (const obs::Event& e : events) {
+    auto b = static_cast<std::size_t>((e.at.ms() - t0) / bucket_ms);
+    if (b >= buckets) b = buckets - 1;
+    Row& r = rows[b];
+    switch (e.kind) {
+      case obs::EventKind::kFrameSent:
+        if (e.source == obs::Source::kLamsSender && !e.p.frame.control) {
+          ++r.tx;
+          if (e.p.frame.attempt > 1) ++r.retx;
+        }
+        break;
+      case obs::EventKind::kPacketDelivered:
+        ++r.delivered;
+        break;
+      case obs::EventKind::kFrameCorrupted:
+        ++r.corrupted;
+        break;
+      case obs::EventKind::kNakGenerated:
+        ++r.naks;
+        break;
+      case obs::EventKind::kCheckpointEmitted:
+        ++r.checkpoints;
+        break;
+      case obs::EventKind::kBufferOccupancy:
+        (e.p.buffer.which == obs::BufferId::kSendBuffer
+             ? send_depth
+             : recv_depth)[b] = e.p.buffer.depth;
+        break;
+      case obs::EventKind::kMetricSample:
+        if (e.p.sample.is_counter) {
+          auto& series = sampled[std::string{e.p.sample.name_view()}];
+          if (series.empty()) series.assign(buckets, -1.0);
+          series[b] = e.p.sample.value;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  // Carry depths forward through empty buckets.
+  for (std::size_t b = 1; b < buckets; ++b) {
+    if (send_depth[b] < 0) send_depth[b] = send_depth[b - 1];
+    if (recv_depth[b] < 0) recv_depth[b] = recv_depth[b - 1];
+  }
+
+  std::printf("timeline: %zu buckets x %.3f ms, t=[%.3f ms, %.3f ms]\n",
+              buckets, bucket_ms, t0, t1);
+  std::printf("%12s %6s %6s %6s %6s %6s %6s %7s %7s\n", "t0_ms", "tx", "retx",
+              "dlvr", "corr", "nak", "cp", "sendq", "recvq");
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const Row& r = rows[b];
+    char sendq[24] = "-", recvq[24] = "-";
+    if (send_depth[b] >= 0) {
+      std::snprintf(sendq, sizeof sendq, "%lld",
+                    static_cast<long long>(send_depth[b]));
+    }
+    if (recv_depth[b] >= 0) {
+      std::snprintf(recvq, sizeof recvq, "%lld",
+                    static_cast<long long>(recv_depth[b]));
+    }
+    std::printf("%12.3f %6llu %6llu %6llu %6llu %6llu %6llu %7s %7s\n",
+                t0 + static_cast<double>(b) * bucket_ms,
+                static_cast<unsigned long long>(r.tx),
+                static_cast<unsigned long long>(r.retx),
+                static_cast<unsigned long long>(r.delivered),
+                static_cast<unsigned long long>(r.corrupted),
+                static_cast<unsigned long long>(r.naks),
+                static_cast<unsigned long long>(r.checkpoints), sendq, recvq);
+  }
+
+  if (!sampled.empty()) {
+    // Busiest sampled counters, as per-bucket deltas (rates).  Snapshots are
+    // cumulative, so carry the last seen value forward before differencing.
+    std::vector<std::pair<double, const std::string*>> by_final;
+    for (auto& [name, series] : sampled) {
+      double last = 0;
+      for (std::size_t b = 0; b < buckets; ++b) {
+        if (series[b] < 0) {
+          series[b] = last;
+        } else {
+          last = series[b];
+        }
+      }
+      by_final.emplace_back(last, &name);
+    }
+    std::sort(by_final.begin(), by_final.end(),
+              [](const auto& x, const auto& y) {
+                return x.first != y.first ? x.first > y.first
+                                          : *x.second < *y.second;
+              });
+    const std::size_t shown = by_final.size() < 4 ? by_final.size() : 4;
+    std::printf("\nsampled counter deltas per bucket (%zu of %zu series):\n",
+                shown, by_final.size());
+    std::printf("%12s", "t0_ms");
+    for (std::size_t c = 0; c < shown; ++c) {
+      std::printf(" %24s", by_final[c].second->c_str());
+    }
+    std::printf("\n");
+    for (std::size_t b = 0; b < buckets; ++b) {
+      std::printf("%12.3f", t0 + static_cast<double>(b) * bucket_ms);
+      for (std::size_t c = 0; c < shown; ++c) {
+        const std::vector<double>& series = sampled[*by_final[c].second];
+        const double prev = b == 0 ? 0.0 : series[b - 1];
+        std::printf(" %24.0f", series[b] - prev);
+      }
+      std::printf("\n");
+    }
+  }
+}
+
 int run_inspect_command(int argc, char** argv) {
   std::string file;
-  bool json = false, summary = false;
+  bool json = false, summary = false, timeline = false;
   std::optional<obs::EventKind> kind;
   std::optional<obs::Source> source;
-  double from_ms = -1, to_ms = -1;
+  double from_ms = -1, to_ms = -1, bucket_ms = 0;
   std::uint64_t limit = 0;
   auto need = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
@@ -503,6 +675,11 @@ int run_inspect_command(int argc, char** argv) {
       json = true;
     } else if (a == "--summary") {
       summary = true;
+    } else if (a == "--timeline") {
+      timeline = true;
+    } else if (a == "--bucket-ms") {
+      bucket_ms = std::atof(need(i));
+      if (bucket_ms <= 0) usage_error("--bucket-ms must be positive");
     } else if (a == "--kind") {
       const std::string v = need(i);
       kind = obs::kind_from_string(v);
@@ -524,6 +701,10 @@ int run_inspect_command(int argc, char** argv) {
     }
   }
   if (file.empty()) usage_error("inspect needs a capture file argument");
+  if (from_ms >= 0 && to_ms >= 0 && from_ms > to_ms) {
+    usage_error("empty time filter: --from-ms " + std::to_string(from_ms) +
+                " is after --to-ms " + std::to_string(to_ms));
+  }
 
   std::ifstream is{file, std::ios::binary};
   if (!is) {
@@ -535,6 +716,7 @@ int run_inspect_command(int argc, char** argv) {
   std::uint64_t matched = 0, printed = 0;
   std::uint64_t by_kind[obs::kEventKindCount] = {};
   std::uint64_t by_source[obs::kSourceCount] = {};
+  std::vector<obs::Event> bucketed;  // filtered records, timeline mode only
   Time first{}, last{};
   while (auto e = reader.next()) {
     if (kind && e->kind != *kind) continue;
@@ -546,6 +728,10 @@ int run_inspect_command(int argc, char** argv) {
     ++matched;
     by_kind[static_cast<std::uint8_t>(e->kind)]++;
     by_source[static_cast<std::uint8_t>(e->source)]++;
+    if (timeline) {
+      bucketed.push_back(*e);
+      continue;
+    }
     if (summary || (limit != 0 && printed >= limit)) continue;
     ++printed;
     if (json) {
@@ -559,6 +745,10 @@ int run_inspect_command(int argc, char** argv) {
     std::fprintf(stderr, "lamsdlc_cli: %s: %s\n", file.c_str(),
                  reader.error().c_str());
     return 1;
+  }
+  if (timeline) {
+    print_timeline(bucketed, bucket_ms);
+    return 0;
   }
   if (summary) {
     std::printf("%s: version %u, %llu records, %llu matched\n", file.c_str(),
@@ -588,6 +778,140 @@ int run_inspect_command(int argc, char** argv) {
   return 0;
 }
 
+int run_trace_command(int argc, char** argv) {
+  sim::ChaosKnobs knobs;
+  std::string file, perfetto_out, explain_arg;
+  bool dump = false;
+  bool live_flags = false;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (parse_chaos_flag(argc, argv, i, knobs)) {
+      live_flags = true;
+      continue;
+    }
+    if (a == "--sample-ms") {
+      knobs.sample_period = Time::seconds(std::atof(need(i)) * 1e-3);
+      live_flags = true;
+    } else if (a == "--perfetto") {
+      perfetto_out = need(i);
+    } else if (a == "--explain") {
+      explain_arg = need(i);
+    } else if (a == "--dump") {
+      dump = true;
+    } else if (!a.empty() && a[0] != '-' && file.empty()) {
+      file = a;
+    } else {
+      usage_error("unknown trace flag " + a);
+    }
+  }
+  if (!file.empty() && live_flags) {
+    usage_error("trace takes a capture file OR live chaos flags, not both");
+  }
+
+  obs::TraceBuilder tb;
+  if (!file.empty()) {
+    std::ifstream is{file, std::ios::binary};
+    if (!is) {
+      std::fprintf(stderr, "lamsdlc_cli: cannot open %s\n", file.c_str());
+      return 1;
+    }
+    obs::CaptureReader reader{is};
+    while (auto e = reader.next()) tb.on_event(*e);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "lamsdlc_cli: %s: %s\n", file.c_str(),
+                   reader.error().c_str());
+      return 1;
+    }
+  } else {
+    knobs.tap = [&tb](sim::Scenario& s) {
+      s.events().subscribe(tb.subscriber());
+    };
+    const sim::ChaosVerdict v = sim::run_chaos(knobs);
+    std::printf("%s", v.to_string().c_str());
+  }
+
+  const obs::TraceSummary sum = tb.summarize();
+  std::printf(
+      "trace: %zu packets, %zu complete, %zu delivered, %zu released, "
+      "%llu attempts (max %u per packet)\n",
+      sum.packets, sum.complete, sum.delivered, sum.released,
+      static_cast<unsigned long long>(sum.attempts), sum.max_attempts);
+  if (sum.broken_chains > 0 || sum.orphan_events > 0 ||
+      sum.extra_deliveries > 0) {
+    std::printf("trace: ANOMALIES: %zu broken chains, %llu orphan events, "
+                "%llu duplicate deliveries\n",
+                sum.broken_chains,
+                static_cast<unsigned long long>(sum.orphan_events),
+                static_cast<unsigned long long>(sum.extra_deliveries));
+  }
+
+  obs::Registry reg;
+  tb.fold_latency(reg);
+  if (reg.counter_value("trace.packets_complete") > 0) {
+    std::printf("latency attribution over %llu complete packets:\n",
+                static_cast<unsigned long long>(
+                    reg.counter_value("trace.packets_complete")));
+    std::printf("  %-34s %10s %10s %10s %10s\n", "component (ms)", "mean",
+                "p50", "p99", "max");
+    for (const auto& [name, h] : reg.histograms()) {
+      std::printf("  %-34s %10.3f %10.3f %10.3f %10.3f\n", name.c_str(),
+                  h.mean(), h.p50(), h.p99(), h.max());
+    }
+  }
+
+  if (dump) std::printf("%s", tb.dump().c_str());
+
+  if (!perfetto_out.empty()) {
+    std::ofstream os{perfetto_out, std::ios::trunc};
+    if (!os) {
+      std::fprintf(stderr, "lamsdlc_cli: cannot open %s for writing\n",
+                   perfetto_out.c_str());
+      return 1;
+    }
+    obs::write_perfetto(os, tb);
+    os.flush();
+    if (!os) {
+      std::fprintf(stderr, "lamsdlc_cli: write error on %s\n",
+                   perfetto_out.c_str());
+      return 1;
+    }
+    std::printf("perfetto trace -> %s (load in ui.perfetto.dev)\n",
+                perfetto_out.c_str());
+  }
+
+  if (!explain_arg.empty()) {
+    const obs::PacketTrace* t =
+        explain_arg == "worst"
+            ? tb.worst()
+            : tb.find(static_cast<std::uint64_t>(std::atoll(explain_arg.c_str())));
+    if (t == nullptr) {
+      std::fprintf(stderr, "lamsdlc_cli: no trace for packet '%s'\n",
+                   explain_arg.c_str());
+      return 1;
+    }
+    std::printf("%s", obs::explain(*t).c_str());
+  }
+
+  // Acceptance gate: every packet that reached the client must have a fully
+  // stitched span tree — a delivered-but-unstitchable packet is a trace bug.
+  std::size_t incomplete_delivered = 0;
+  for (const auto& [id, t] : tb.packets()) {
+    if (t.delivered && !t.complete()) ++incomplete_delivered;
+  }
+  if (incomplete_delivered > 0) {
+    std::fprintf(stderr,
+                 "lamsdlc_cli: %zu delivered packets lack a complete span "
+                 "tree\n",
+                 incomplete_delivered);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -597,6 +921,7 @@ int main(int argc, char** argv) {
     if (cmd == "verify") return run_verify_command(argc, argv);
     if (cmd == "capture") return run_capture_command(argc, argv);
     if (cmd == "inspect") return run_inspect_command(argc, argv);
+    if (cmd == "trace") return run_trace_command(argc, argv);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
       print_help();
       return 0;
