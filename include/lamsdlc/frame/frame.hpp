@@ -64,6 +64,9 @@ struct CheckpointFrame {
   bool stop_go = false;        ///< Stop-Go bit: true = stop (Section 3.4).
   std::uint32_t epoch = 0;     ///< Session epoch (0 = no session layer).
   std::vector<Seq> naks;       ///< Cumulative NAKs over C_depth intervals.
+  bool resync_req = false;     ///< Receiver self-audit tripped: asks the
+                               ///< sender to initiate a RESYNC handshake.
+                               ///< (Declared last: wire flag bit 3.)
 };
 
 /// Session-layer command for link initialization, resynchronization and
@@ -80,6 +83,24 @@ struct SessionFrame {
 /// LAMS-DLC Request-NAK: sender poll initiating Enforced Recovery.
 struct RequestNakFrame {
   std::uint32_t token = 0;  ///< Matches the Enforced-NAK to its Request.
+};
+
+/// Self-stabilization RESYNC command (sender → receiver, forward channel).
+/// Issued when the sender's self-audit trips, progress stalls, or the
+/// receiver requests it via the checkpoint `resync_req` bit: both ends
+/// abandon their (possibly corrupted) sequence-space state and re-anchor
+/// under a fresh epoch, resuming from the last durably-delivered packet.
+struct ResyncFrame {
+  std::uint32_t token = 0;  ///< Matches the RESYNC-ACK to its RESYNC.
+  std::uint32_t epoch = 0;  ///< Epoch both ends adopt (always >= 1).
+};
+
+/// RESYNC-ACK (receiver → sender, reverse channel): the receiver has reset
+/// its arrival tracking and adopted `epoch`; the sender may requeue its
+/// unresolved frames under the new numbering and resume.
+struct ResyncAckFrame {
+  std::uint32_t token = 0;
+  std::uint32_t epoch = 0;
 };
 
 /// HDLC information frame (N(S), N(R), P/F).
@@ -119,7 +140,8 @@ struct SelectiveAckFrame {
 /// Any frame either protocol can put on a link.
 struct Frame {
   std::variant<IFrame, CheckpointFrame, RequestNakFrame, HdlcIFrame,
-               HdlcSFrame, SessionFrame, SelectiveAckFrame>
+               HdlcSFrame, SessionFrame, SelectiveAckFrame, ResyncFrame,
+               ResyncAckFrame>
       body;
 
   /// Set by the channel when the frame is damaged in flight.  A corrupted

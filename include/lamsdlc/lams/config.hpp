@@ -82,6 +82,35 @@ struct LamsConfig {
   std::optional<Time> link_deadline;
   /// @}
 
+  /// \name Self-stabilization layer (all OFF by default: with the defaults
+  /// the protocol behaves — draw for draw and timer for timer — exactly as
+  /// it did before the layer existed)
+  /// @{
+  /// Cadence of the runtime self-audit in both endpoints: cheap local
+  /// invariant checks (window coherence, slot/counter consistency, modulus
+  /// bounds).  Zero disables the audit tick; the anomaly-signal audits
+  /// (implausible ack, husk stall) key off their own knobs below.
+  Time self_audit_period{};
+  /// Master switch for the RESYNC/RESYNC-ACK recovery handshake.  When off,
+  /// audit trips are only counted/emitted; nothing changes behaviourally.
+  bool resync_enabled = false;
+  /// Progress watchdog: if the sender holds unresolved traffic and a full
+  /// period passes without a single new release, it initiates a RESYNC.
+  /// Zero disables.  Should comfortably exceed `failure_timeout()` so the
+  /// ordinary enforced-recovery machinery always gets the first try.
+  Time resync_watchdog{};
+  /// RESYNC transmissions per episode before the sender gives up and
+  /// declares the link failed (bounded-retry teardown).
+  std::uint32_t max_resync_attempts = 6;
+  /// Base retry backoff for the RESYNC handshake; doubles per attempt,
+  /// capped at 8x.  Zero derives `max_rtt`.
+  Time resync_backoff{};
+  /// Consecutive checkpoints whose highest-seen references a counter the
+  /// sender never issued ("implausible ack") before the anomaly trips a
+  /// self-audit.  Zero disables the streak detector.
+  std::uint32_t implausible_ack_threshold = 0;
+  /// @}
+
   /// Receiver-side NAK retention horizon for Enforced-NAK responses.  Zero
   /// means "derive from the worst-case resolving period":
   /// 2·C_depth·W_cp + 2·max_rtt + 2·W_cp.
@@ -124,6 +153,25 @@ struct LamsConfig {
   /// population; it binds at deliberately tiny numbering sizes.
   [[nodiscard]] std::size_t numbering_window() const noexcept {
     return modulus / 2 > 1 ? modulus / 2 : 1;
+  }
+
+  /// Derived: effective RESYNC retry backoff base (see `resync_backoff`).
+  [[nodiscard]] Time effective_resync_backoff() const noexcept {
+    return resync_backoff.is_zero() ? max_rtt : resync_backoff;
+  }
+
+  /// Derived: worst-case duration of one full RESYNC episode — every retry
+  /// at capped exponential backoff plus a final round trip for the ack.
+  /// Convergence harnesses budget recovery time from this.
+  [[nodiscard]] Time resync_budget() const noexcept {
+    const Time base = effective_resync_backoff();
+    Time total = max_rtt;
+    std::int64_t mult = 1;
+    for (std::uint32_t i = 0; i < max_resync_attempts; ++i) {
+      total = total + base * mult;
+      if (mult < 8) mult *= 2;
+    }
+    return total;
   }
 };
 

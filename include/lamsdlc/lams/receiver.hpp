@@ -76,6 +76,47 @@ class LamsReceiver final : public link::FrameSink {
   [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
   /// @}
 
+  /// \name Self-stabilization (docs/PROTOCOL.md "Resynchronization")
+  /// @{
+  /// Run every receiver-side self-audit check once, right now, emitting a
+  /// kSelfAuditFailed event per trip.  When any tripped and `resync_enabled`,
+  /// raises the resync-request flag that rides the next checkpoints (wire
+  /// flag bit 3) until the sender's RESYNC re-anchors this end.  Returns the
+  /// number of trips.  Body of the periodic audit tick; also a test hook.
+  std::size_t run_self_audit();
+  /// True while this end is asking the sender for a RESYNC.
+  [[nodiscard]] bool resync_requested() const noexcept { return resync_req_; }
+  /// Audit trips observed so far (all checks).
+  [[nodiscard]] std::uint64_t self_audit_trips() const noexcept {
+    return audit_trips_;
+  }
+  /// RESYNC frames applied (fresh epochs adopted).
+  [[nodiscard]] std::uint64_t resyncs_applied() const noexcept {
+    return resyncs_applied_;
+  }
+  /// @}
+
+  /// \name State-corruption hooks (verif::StateCorruptor)
+  /// Deliberately mutate live sequence-tracking state the way a stray write
+  /// in endpoint memory would.  Never call these outside the verification
+  /// harness.
+  /// @{
+  /// Warp the highest accepted counter by `delta` (clamped at zero); marks
+  /// the sequence space as populated.
+  void corrupt_warp_highest(std::int64_t delta);
+  /// Warp the arrival-count cycle anchor by `delta` (clamped at zero).
+  void corrupt_warp_anchor(std::int64_t delta);
+  /// Plant a bogus NAK record for `ctr` in both the interval list and the
+  /// Enforced-NAK history.
+  void corrupt_inject_nak(std::uint64_t ctr);
+  /// Destroy all NAK state (interval lists and history).
+  void corrupt_clear_nak_state();
+  /// Warp the checkpoint sequence counter by `delta` (clamped at zero).
+  void corrupt_warp_cp_seq(std::int64_t delta);
+  /// Kill the checkpoint cadence timer while the link stays active.
+  void corrupt_stall_cadence();
+  /// @}
+
   /// Checkpoints emitted so far (both periodic and enforced).
   [[nodiscard]] std::uint64_t checkpoints_sent() const noexcept { return cp_count_; }
 
@@ -123,8 +164,10 @@ class LamsReceiver final : public link::FrameSink {
   void handle_iframe(const frame::IFrame& in, bool corrupted);
   void deliver_up(const frame::IFrame& in, std::uint64_t ctr);
   void handle_request_nak(const frame::RequestNakFrame& rq);
+  void handle_resync(const frame::ResyncFrame& rs);
   void emit_checkpoint(bool enforced);
   void checkpoint_tick();
+  void on_audit_tick();
   void prune_history();
   /// Event skeleton stamped with now/source; fill the payload and emit.
   [[nodiscard]] obs::Event make_event(obs::EventKind k) const;
@@ -144,6 +187,19 @@ class LamsReceiver final : public link::FrameSink {
   EventId cp_timer_{0};
   std::uint32_t cp_seq_{0};
   std::uint32_t epoch_{0};
+
+  /// \name Self-stabilization state
+  /// @{
+  EventId audit_timer_{0};
+  bool resync_req_{false};  ///< Rides outgoing checkpoints as wire flag bit 3.
+  /// Until this instant, arriving I-frames are stragglers of the epoch a
+  /// just-applied RESYNC killed (fault-jitter reordering past the RESYNC on
+  /// the otherwise-FIFO forward channel) — dropped without touching the
+  /// fresh sequence anchor.
+  Time resync_guard_until_{};
+  std::uint64_t audit_trips_{0};
+  std::uint64_t resyncs_applied_{0};
+  /// @}
 
   bool any_seen_{false};
   std::uint64_t highest_ctr_{0};

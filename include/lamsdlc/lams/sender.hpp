@@ -43,7 +43,7 @@ namespace lamsdlc::lams {
 /// I-frame and Request-NAK transmission.
 class LamsSender final : public sim::DlcSender, public link::FrameSink {
  public:
-  enum class Mode { kNormal, kEnforcedRecovery, kFailed };
+  enum class Mode { kNormal, kEnforcedRecovery, kResyncing, kFailed };
 
   /// \p bus (optional) receives the typed event stream (obs/event.hpp); the
   /// string \p tracer keeps working as before — it is fed the same events,
@@ -110,6 +110,61 @@ class LamsSender final : public sim::DlcSender, public link::FrameSink {
   /// session layer); stale acknowledgements of a previous epoch would
   /// otherwise be misread against the restarted numbering.
   void set_expected_epoch(std::uint32_t e) noexcept { expected_epoch_ = e; }
+  /// Epoch the sender currently expects — a RESYNC episode advances it past
+  /// the session-layer value, so a re-initializing session must allocate its
+  /// next epoch above this (session.cpp).
+  [[nodiscard]] std::uint32_t current_epoch() const noexcept {
+    return expected_epoch_;
+  }
+  /// @}
+
+  /// \name Self-stabilization (docs/PROTOCOL.md "Resynchronization")
+  /// @{
+  /// Run every sender-side self-audit check once, right now, emitting a
+  /// kSelfAuditFailed event per trip; initiates a RESYNC when any tripped
+  /// and `resync_enabled`.  Returns the number of trips.  This is the body
+  /// of the periodic audit tick (`self_audit_period`) and the entry point
+  /// for anomaly-triggered audits; also a test hook.
+  std::size_t run_self_audit();
+  /// Audit trips observed so far (all checks, all causes).
+  [[nodiscard]] std::uint64_t self_audit_trips() const noexcept {
+    return audit_trips_;
+  }
+  /// RESYNC episodes completed (handshake acknowledged, pipe re-anchored).
+  [[nodiscard]] std::uint64_t resyncs_completed() const noexcept {
+    return resyncs_completed_;
+  }
+  /// @}
+
+  /// Packet ids of every in-flight slot (transmitted, unreleased), in
+  /// counter order.  Harness introspection: these are the packets a
+  /// corruption injected *now* can strand, so the chaos tier snapshots them
+  /// as its at-risk set.
+  [[nodiscard]] std::vector<frame::PacketId> outstanding_ids() const;
+
+  /// \name State-corruption hooks (verif::StateCorruptor)
+  /// Deliberately mutate live protocol state the way a stray write or bit
+  /// flip in endpoint memory would, so the chaos tier can prove the
+  /// audit/RESYNC layer converges from arbitrary state.  Deterministic:
+  /// slot selection is by rank in counter order, never by hash-map iteration
+  /// order.  Never call these outside the verification harness.
+  /// @{
+  /// Warp the monotone issue counter by `delta` (clamped at zero going
+  /// down).  Forward warps fake frames that were never sent; backward warps
+  /// collide the counter with live in-flight slots.
+  void corrupt_warp_next_ctr(std::int64_t delta);
+  /// Destroy the `nth`-by-counter in-flight slot outright (state loss, not a
+  /// wire loss: no NAK will ever claim it).  Returns the destroyed packet id
+  /// so the harness can excuse its delivery, or 0 when nothing is in flight.
+  frame::PacketId corrupt_drop_slot(std::size_t nth);
+  /// Warp the `nth`-by-counter slot's expected-arrival bookkeeping by
+  /// `delta` (negative = pretend it arrived long ago).  Returns false when
+  /// nothing is in flight.
+  bool corrupt_warp_slot_arrival(std::size_t nth, Time delta);
+  /// Garble the checkpoint-tracking pair (got_any_cp / last seen cp_seq).
+  void corrupt_cp_tracking(std::uint64_t last_cp_seq, bool got_any);
+  /// Jam the Stop-Go pacing gate shut until `until`.
+  void corrupt_pacing_gate(Time until);
   /// @}
 
  private:
@@ -138,6 +193,16 @@ class LamsSender final : public sim::DlcSender, public link::FrameSink {
   void declare_failed(obs::RecoveryReason reason);
   void apply_flow_control(bool stop);
   void note_buffer_change();
+  /// Move every outstanding/retx frame back into the new queue as fresh
+  /// submissions, oldest first (shared by reset_session and RESYNC).
+  void requeue_unresolved();
+  void initiate_resync(obs::RecoveryReason reason);
+  void send_resync();
+  void on_resync_timer();
+  void complete_resync();
+  void handle_resync_ack(const frame::ResyncAckFrame& ack);
+  void on_audit_tick();
+  void on_watchdog();
   /// Event skeleton stamped with now/source; fill the payload and emit.
   [[nodiscard]] obs::Event make_event(obs::EventKind k) const;
   void emit_frame_event(obs::EventKind k, std::uint64_t ctr,
@@ -172,6 +237,22 @@ class LamsSender final : public sim::DlcSender, public link::FrameSink {
   std::uint64_t resolved_{0};
   std::uint64_t request_naks_{0};
   std::function<void()> on_failed_;
+
+  /// \name Self-stabilization state
+  /// @{
+  EventId audit_timer_{0};
+  EventId watchdog_timer_{0};
+  EventId resync_timer_{0};
+  std::uint32_t resync_token_{0};    ///< Episode identity on the wire.
+  std::uint32_t resync_attempt_{0};  ///< Transmissions this episode, 1-based.
+  std::uint32_t pending_resync_epoch_{0};
+  obs::RecoveryReason resync_reason_{obs::RecoveryReason::kSelfAuditFailure};
+  std::uint64_t watchdog_last_resolved_{0};
+  bool watchdog_strike_{false};  ///< One stalled tick seen; fire on the next.
+  std::uint32_t implausible_streak_{0};
+  std::uint64_t audit_trips_{0};
+  std::uint64_t resyncs_completed_{0};
+  /// @}
 };
 
 }  // namespace lamsdlc::lams

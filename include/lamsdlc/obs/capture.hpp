@@ -25,6 +25,8 @@
 ///   2  adds kRetransmitMapped, kPacketAdmitted, kPacketDelivered,
 ///      kMetricSample (kinds 15-18) for trace reconstruction and sampled
 ///      metric time series
+///   3  adds the self-stabilization kinds kSelfAuditFailed, kStateCorrupted,
+///      kResyncInitiated, kResyncCompleted (kinds 19-22)
 ///
 /// `CaptureWriter` is an `EventBus` subscriber in spirit: hand
 /// `writer.subscriber()` to a bus (or call `write()` directly) and every
@@ -46,7 +48,7 @@ namespace lamsdlc::obs {
 /// Magic + version constants for the `.ldlcap` container.
 inline constexpr std::uint8_t kCaptureMagic[8] = {'L', 'D', 'L', 'C',
                                                   'A', 'P', '\n', '\0'};
-inline constexpr std::uint16_t kCaptureVersion = 2;
+inline constexpr std::uint16_t kCaptureVersion = 3;
 inline constexpr std::uint16_t kCaptureOldestReadable = 1;
 inline constexpr std::size_t kCaptureHeaderSize = 12;
 

@@ -42,6 +42,9 @@ class MetricsCollector {
   /// Entries at or below a processed cp_seq are pruned (lost checkpoints
   /// never match).
   std::map<std::uint32_t, Time> cp_emitted_;
+  /// RESYNC initiation instants by token, matched against the sender-side
+  /// kResyncCompleted to produce the `recovery.time_ms` histogram.
+  std::map<std::uint32_t, Time> resync_started_;
 };
 
 }  // namespace lamsdlc::obs

@@ -59,8 +59,12 @@ enum class EventKind : std::uint8_t {
   kPacketAdmitted = 16,     ///< Sender accepted a packet into the sending buffer.
   kPacketDelivered = 17,    ///< Receiver handed a packet to the client (after t_proc).
   kMetricSample = 18,       ///< Sampler snapshot of one registry counter/gauge.
+  kSelfAuditFailed = 19,    ///< A runtime self-audit invariant check tripped.
+  kStateCorrupted = 20,     ///< Harness injected a state corruption (verif).
+  kResyncInitiated = 21,    ///< Sender started a RESYNC handshake.
+  kResyncCompleted = 22,    ///< RESYNC applied (receiver) / acknowledged (sender).
 };
-inline constexpr std::uint8_t kEventKindCount = 19;
+inline constexpr std::uint8_t kEventKindCount = 23;
 
 /// Why a frame was dropped/corrupted.  On-disk value; append only.
 enum class DropCause : std::uint8_t {
@@ -82,16 +86,20 @@ enum class TimerId : std::uint8_t {
   kCheckpointTimer = 0,   ///< Sender checkpoint-silence timer (C_depth · W_cp).
   kFailureTimer = 1,      ///< Sender failure timer (enforced recovery budget).
   kCheckpointCadence = 2, ///< Receiver periodic checkpoint tick.
+  kResyncTimer = 3,       ///< Sender RESYNC retry (capped exponential backoff).
+  kSelfAuditCadence = 4,  ///< Endpoint periodic self-audit tick.
+  kWatchdogTimer = 5,     ///< Sender progress watchdog.
 };
-inline constexpr std::uint8_t kTimerIdCount = 3;
+inline constexpr std::uint8_t kTimerIdCount = 6;
 
 /// Sender mode, mirroring lams::LamsSender::Mode.  On-disk value.
 enum class SenderMode : std::uint8_t {
   kNormal = 0,
   kEnforcedRecovery = 1,
   kFailed = 2,
+  kResyncing = 3,
 };
-inline constexpr std::uint8_t kSenderModeCount = 3;
+inline constexpr std::uint8_t kSenderModeCount = 4;
 
 /// Why a recovery transition happened.  On-disk value; append only.
 enum class RecoveryReason : std::uint8_t {
@@ -100,8 +108,30 @@ enum class RecoveryReason : std::uint8_t {
   kEnforcedNakResolved = 2, ///< Enforced-NAK ended the recovery.
   kFailureTimeout = 3,      ///< Failure timer expired: link declared failed.
   kLifetimeExhausted = 4,   ///< Remaining link lifetime below recovery budget.
+  kSelfAuditFailure = 5,    ///< A local self-audit check tripped.
+  kProgressWatchdog = 6,    ///< No release progress over a watchdog period.
+  kResyncRequested = 7,     ///< Receiver set resync_req in a checkpoint.
+  kImplausibleAck = 8,      ///< Streak of checkpoints acking unsent counters.
+  kResyncExhausted = 9,     ///< RESYNC retries exhausted: link declared failed.
+  kResyncCompleted = 10,    ///< RESYNC-ACK received: back to normal operation.
 };
-inline constexpr std::uint8_t kRecoveryReasonCount = 5;
+inline constexpr std::uint8_t kRecoveryReasonCount = 11;
+
+/// Which runtime self-audit check tripped.  On-disk value; append only.
+enum class AuditCheck : std::uint8_t {
+  kSenderCtrCoherence = 0,      ///< In-flight slot counter >= next_ctr.
+  kSenderWindowBound = 1,       ///< In-flight + retx beyond the numbering window.
+  kSenderCpTracking = 2,        ///< Checkpoint-tracking flags inconsistent.
+  kSenderTimerCoherence = 3,    ///< Enforced recovery without a failure timer.
+  kSenderPacingStuck = 4,       ///< Pace gate implausibly far in the future.
+  kReceiverAnchorCoherence = 5, ///< Cycle anchor beyond the arrival count.
+  kReceiverSeqCoherence = 6,    ///< "Nothing seen" yet nonzero sequence state.
+  kReceiverNakCoherence = 7,    ///< NAK record at/above the accepted highest.
+  kReceiverHistoryOrder = 8,    ///< NAK history timestamps non-monotone.
+  kReceiverHuskStall = 9,       ///< Unreadable-arrival burst past one modulus.
+  kReceiverCadenceStall = 10,   ///< Link active but no checkpoint timer pending.
+};
+inline constexpr std::uint8_t kAuditCheckCount = 11;
 
 /// Which buffer, for kBufferOccupancy.  On-disk value.
 enum class BufferId : std::uint8_t {
@@ -137,12 +167,14 @@ struct CheckpointPayload {
   std::uint32_t highest_seen = 0;
   std::uint32_t missed = 0;    ///< Processed only: checkpoints lost before this one.
   std::uint16_t nak_count = 0; ///< Full cumulative list length.
-  std::uint8_t flags = 0;      ///< bit0 any_seen, bit1 enforced, bit2 stop_go.
+  std::uint8_t flags = 0;      ///< bit0 any_seen, bit1 enforced, bit2 stop_go,
+                               ///< bit3 resync_req.
   std::array<std::uint32_t, kMaxInlineNaks> naks{};  ///< First entries of the list.
 
   [[nodiscard]] bool any_seen() const noexcept { return flags & 1u; }
   [[nodiscard]] bool enforced() const noexcept { return flags & 2u; }
   [[nodiscard]] bool stop_go() const noexcept { return flags & 4u; }
+  [[nodiscard]] bool resync_req() const noexcept { return flags & 8u; }
   [[nodiscard]] std::size_t inline_naks() const noexcept {
     return nak_count < kMaxInlineNaks ? nak_count : kMaxInlineNaks;
   }
@@ -184,6 +216,32 @@ struct RetransmitMapPayload {
   std::uint32_t attempt = 0;   ///< Attempt number of the new copy (>= 2).
 };
 
+/// kSelfAuditFailed: one tripped check with two check-specific detail values
+/// (e.g. the offending counter and the bound it violated).
+struct AuditPayload {
+  AuditCheck check = AuditCheck::kSenderCtrCoherence;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// kStateCorrupted: a harness-injected corruption (verif::StateCorruptor).
+/// `cls` is the verif::CorruptionClass on-disk value; `target` is 0 for the
+/// sender, 1 for the receiver; a/b carry the class-specific magnitudes.
+struct CorruptionPayload {
+  std::uint8_t cls = 0;
+  std::uint8_t target = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// kResyncInitiated / kResyncCompleted.
+struct ResyncPayload {
+  std::uint32_t token = 0;
+  std::uint32_t epoch = 0;
+  std::uint32_t attempt = 0;  ///< RESYNC transmissions so far this episode.
+  RecoveryReason reason = RecoveryReason::kSelfAuditFailure;
+};
+
 /// Metric-name capacity of a kMetricSample record; longer names truncate.
 inline constexpr std::size_t kMetricNameCap = 48;
 
@@ -222,6 +280,9 @@ struct Event {
     RecoveryPayload recovery;
     RetransmitMapPayload map;
     MetricSamplePayload sample;
+    AuditPayload audit;
+    CorruptionPayload corruption;
+    ResyncPayload resync;
     constexpr Payload() noexcept : frame{} {}
   } p;
 };
@@ -238,6 +299,7 @@ struct Event {
 [[nodiscard]] const char* to_string(SenderMode m) noexcept;
 [[nodiscard]] const char* to_string(RecoveryReason r) noexcept;
 [[nodiscard]] const char* to_string(BufferId b) noexcept;
+[[nodiscard]] const char* to_string(AuditCheck c) noexcept;
 [[nodiscard]] std::optional<EventKind> kind_from_string(std::string_view name) noexcept;
 [[nodiscard]] std::optional<Source> source_from_string(std::string_view name) noexcept;
 /// @}

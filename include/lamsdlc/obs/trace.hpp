@@ -64,15 +64,21 @@ struct PacketTrace {
   std::optional<Time> released;   ///< kFrameReleased (implicit ack).
   std::int64_t holding_ps = 0;    ///< Sender-measured first-tx -> release.
   std::uint32_t extra_deliveries = 0;  ///< Duplicate client handoffs (ablations).
+  std::uint32_t resync_requeues = 0;   ///< Fresh attempt chains begun by RESYNCs.
   bool chain_broken = false;      ///< Renumbering chain failed to stitch.
 
   /// A fully stitched span tree: admission root, contiguous attempt chain,
   /// and a delivery leaf.  (Release is not required — a packet delivered
   /// just before a link failure may never see its releasing checkpoint.)
+  /// A RESYNC requeue lawfully restarts the attempt numbering at 1 — each
+  /// incarnation's chain must be contiguous, and only a sender RESYNC may
+  /// open a new incarnation (anything else marks the chain broken).
   [[nodiscard]] bool complete() const noexcept {
     if (!admitted || !delivered || attempts.empty() || chain_broken) return false;
-    for (std::size_t i = 0; i < attempts.size(); ++i) {
-      if (attempts[i].number != i + 1) return false;
+    std::uint32_t prev = 0;
+    for (const TraceAttempt& a : attempts) {
+      if (a.number != prev + 1 && !(a.number == 1 && prev > 0)) return false;
+      prev = a.number;
     }
     return true;
   }
@@ -143,6 +149,7 @@ struct TraceSummary {
   std::uint64_t attempts = 0;     ///< Total transmission attempts.
   std::uint32_t max_attempts = 0; ///< Worst single packet.
   std::uint64_t extra_deliveries = 0;
+  std::uint64_t resync_requeues = 0;  ///< Incarnations opened by RESYNCs.
   std::uint64_t orphan_events = 0;  ///< Frame events no attempt owns.
 };
 
@@ -203,6 +210,11 @@ class TraceBuilder {
   std::map<std::uint64_t, PacketTrace> packets_;
   /// ctr -> (packet id, attempt index into its `attempts` vector).
   std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::size_t>> by_ctr_;
+  /// RESYNC generation: bumped on each sender kResyncInitiated.  A packet's
+  /// fresh attempt-1 send is a lawful requeue iff its last send belongs to
+  /// an older generation.
+  std::uint32_t resync_gen_ = 0;
+  std::unordered_map<std::uint64_t, std::uint32_t> pkt_gen_;
   /// Last kRetransmitMapped, pending until its kFrameSent arrives.
   std::optional<RetransmitMapPayload> pending_map_;
   std::vector<CheckpointMark> checkpoints_;

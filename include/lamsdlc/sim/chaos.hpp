@@ -51,6 +51,28 @@ struct ChaosKnobs {
   bool allow_base_noise = true;      ///< Random background error models.
   /// @}
 
+  /// \name Feedback-error asymmetry (ROADMAP 5(b))
+  /// The paper's E-series fixes the forward channel and sweeps the feedback
+  /// error rate; these knobs pin the reverse channel independently of the
+  /// seed-drawn schedule so a sensitivity sweep varies *only* the feedback
+  /// quality.
+  /// @{
+  /// >= 0: pin the reverse-channel per-frame error probability to exactly
+  /// this value (applied after — and overriding — any drawn base noise).
+  /// Negative (default) leaves the drawn schedule alone.
+  double reverse_noise = -1.0;
+  /// Non-zero length: a reverse-only outage window (the forward channel
+  /// stays up — checkpoints silently vanish, the sender's silence detector
+  /// must carry the run).
+  Time reverse_outage_from{};
+  Time reverse_outage_len{};
+  /// @}
+
+  /// Enable the self-stabilization layer (periodic self-audit, progress
+  /// watchdog, RESYNC recovery) in the endpoint config.  Off by default so
+  /// existing chaos behavior is bit-identical.
+  bool self_heal = false;
+
   /// Ablation: wire the receiver's duplicate suppression off to prove the
   /// invariant checker catches duplicate client delivery.  Tests only.
   bool suppress_duplicates = true;

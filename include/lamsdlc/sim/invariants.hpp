@@ -28,10 +28,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "lamsdlc/core/time.hpp"
+#include "lamsdlc/obs/bus.hpp"
 #include "lamsdlc/sim/packet.hpp"
 #include "lamsdlc/sim/scenario.hpp"
 
@@ -64,6 +67,23 @@ struct InvariantLimits {
 
   /// Sampling cadence of the continuous checks.
   Time check_every = Time::milliseconds(1);
+
+  /// "Converges-after" mode (the state-corruption tier's oracle): violations
+  /// observed at or before this instant are recorded as *transients* — the
+  /// self-stabilization literature's convergence phase, where arbitrary
+  /// corrupted state lawfully misbehaves — and do not fail `ok()`.  At the
+  /// boundary the one-report latches and baselines re-arm so the steady
+  /// state is audited from scratch.  Zero = every violation counts (default).
+  Time converge_after{};
+
+  /// Packet ids whose delivery is excused: state corruption destroyed them
+  /// (or put them at risk) *inside the endpoint*, which no ARQ can undo —
+  /// self-stabilizing ARQ guarantees bounded loss during convergence, not
+  /// zero loss.  `finish()` skips these when auditing completeness.
+  std::unordered_set<frame::PacketId> excused;
+
+  /// Reproduction seed stamped into every violation message (0 = none).
+  std::uint64_t seed = 0;
 };
 
 /// Chains between the DLC receiver and the scenario's delivery tracker and
@@ -88,9 +108,20 @@ class InvariantChecker final : public PacketListener {
   /// residue (`take_unresolved`) — anything else is a silent hang or loss.
   void finish(bool completed);
 
+  /// Excuse \p id's delivery after construction — the corruption harness
+  /// discovers at-risk packets only as it injects (see
+  /// `InvariantLimits::excused`).  No effect once `finish()` ran.
+  void excuse(frame::PacketId id) { limits_.excused.insert(id); }
+
   [[nodiscard]] bool ok() const noexcept { return violations_.empty(); }
   [[nodiscard]] const std::vector<std::string>& violations() const noexcept {
     return violations_;
+  }
+
+  /// Violations observed at or before `converge_after` (lawful convergence
+  /// transients; informational — they never fail `ok()`).
+  [[nodiscard]] const std::vector<std::string>& transients() const noexcept {
+    return transients_;
   }
 
   /// All violations joined into one printable block (empty string when ok).
@@ -98,13 +129,20 @@ class InvariantChecker final : public PacketListener {
 
  private:
   void periodic_check();
-  void violate(std::string what);
+  /// \p terminal: a finish()-time verdict, never excusable as a convergence
+  /// transient no matter when the run ended.
+  void violate(std::string what, bool terminal = false);
+  void rearm_latches();
+  void note_event(const obs::Event& e);
 
   Scenario& scenario_;
   InvariantLimits limits_;
   EventId timer_{0};
+  obs::EventBus::SubscriptionId sub_{0};
   std::uint64_t last_duplicates_{0};
+  std::uint64_t last_unknown_{0};
   bool finished_{false};
+  bool converged_rearm_done_{false};
   // One report per category: a violated bound would otherwise flood the log
   // on every sample until the run ends.
   bool reported_outstanding_{false};
@@ -112,7 +150,12 @@ class InvariantChecker final : public PacketListener {
   bool reported_holding_{false};
   bool reported_codec_{false};
   bool reported_unknown_{false};
+  double holding_baseline_s_{0.0};  ///< Holding max to ignore (pre-boundary).
   std::vector<std::string> violations_;
+  std::vector<std::string> transients_;
+  /// Last few protocol events (noise kinds skipped) — appended to every
+  /// violation so a failing seed's report carries the immediate history.
+  std::deque<obs::Event> recent_;
 };
 
 }  // namespace lamsdlc::sim

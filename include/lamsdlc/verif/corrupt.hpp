@@ -1,0 +1,211 @@
+#pragma once
+/// \file corrupt.hpp
+/// \brief State-corruption chaos tier: self-stabilization verification.
+///
+/// The chaos harness (sim/chaos.hpp) attacks the *wire*; every endpoint
+/// state transition stays one the protocol code chose.  This tier attacks
+/// the *endpoints*: a `StateCorruptor` mutates live sender/receiver state
+/// mid-run — sequence counters, in-flight slots, NAK history, checkpoint
+/// cadence, arrival-count anchors — through the `corrupt_*` introspection
+/// hooks, the way a stray write, a bit flip, or a partial crash-restore
+/// would.
+///
+/// The oracle is the self-stabilization contract (Dolev et al., and the
+/// self-stabilizing ARQ line of work): starting from an *arbitrary* state,
+/// the system must return to invariant-clean steady-state operation within
+/// a bounded recovery time, losing or duplicating at most a bounded set of
+/// packets *during convergence* — or, when the corruption schedule is
+/// genuinely unrecoverable, tear the session down through the bounded-retry
+/// RESYNC path with a clean declared-failure verdict.  Concretely, after
+/// the last injection every run must end with
+///   - every non-at-risk packet delivered and the sender idle
+///     (`converged`), or
+///   - a declared failure whose residue accounts for every missing,
+///     non-excused packet (`torn_down`),
+/// audited by `sim::InvariantChecker` in converges-after mode: violations
+/// before `converge_after` are lawful transients, the steady state after it
+/// must be spotless.
+///
+/// Everything is derived from the seed; a failing run reproduces from the
+/// one number in the verdict (`lamsdlc_cli verify --corrupt-state`).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "lamsdlc/core/random.hpp"
+#include "lamsdlc/core/time.hpp"
+#include "lamsdlc/frame/frame.hpp"
+#include "lamsdlc/obs/bus.hpp"
+#include "lamsdlc/sim/scenario.hpp"
+
+namespace lamsdlc::sim {
+class InvariantChecker;
+}
+
+namespace lamsdlc::verif {
+
+/// Enumerable corruption classes — each maps to exactly one `corrupt_*`
+/// endpoint hook.  On-disk value (CorruptionPayload::cls); append only.
+enum class CorruptionClass : std::uint8_t {
+  kSenderCtrWarp = 0,        ///< Warp the monotone issue counter.
+  kSenderSlotDrop = 1,       ///< Destroy one in-flight slot (state loss).
+  kSenderSlotArrivalWarp = 2,///< Warp one slot's expected-arrival time.
+  kSenderCpTrackingWarp = 3, ///< Garble got_any_cp / last cp_seq.
+  kSenderPacingStall = 4,    ///< Jam the Stop-Go gate shut.
+  kReceiverHighestWarp = 5,  ///< Warp the highest accepted counter.
+  kReceiverAnchorWarp = 6,   ///< Warp the arrival-count cycle anchor.
+  kReceiverNakInject = 7,    ///< Plant a bogus NAK record.
+  kReceiverNakClear = 8,     ///< Destroy all NAK state.
+  kReceiverCpSeqWarp = 9,    ///< Warp the checkpoint sequence counter.
+  kReceiverCadenceStall = 10,///< Kill the checkpoint cadence timer.
+};
+inline constexpr std::size_t kCorruptionClassCount = 11;
+
+[[nodiscard]] const char* to_string(CorruptionClass c) noexcept;
+
+/// One applied injection, kept for the reproduction transcript and the
+/// excused-loss accounting.
+struct InjectionRecord {
+  CorruptionClass cls = CorruptionClass::kSenderCtrWarp;
+  bool receiver = false;
+  Time at{};
+  std::int64_t a = 0;   ///< Class-specific magnitude (signed warp / index).
+  std::uint64_t b = 0;  ///< Class-specific second operand.
+  frame::PacketId destroyed = 0;  ///< kSenderSlotDrop: the lost packet.
+};
+
+/// Schedules seeded corruption injections against a running scenario and
+/// tracks the packets each one puts at risk.
+///
+/// At-risk accounting (the Dolev-style "bounded loss during convergence"
+/// set): when an injection fires, every in-flight sender slot is at risk —
+/// a warped receiver may swallow it as a duplicate, a warped sender may
+/// wrongly release it — and so is every frame sent while the *risk window*
+/// stays open.  The window closes at the first sender RESYNC completion
+/// after the last injection (the pipe is re-anchored; everything unresolved
+/// was requeued), or `risk_horizon` after the last injection when no RESYNC
+/// was needed.  Packets sent after the window closes must all deliver.
+class StateCorruptor {
+ public:
+  struct Plan {
+    std::uint64_t seed = 1;
+    std::uint32_t injections = 2;
+    bool allow_sender = true;
+    bool allow_receiver = true;
+    /// Gate for kSenderSlotDrop, the one class that destroys payload
+    /// outright (its loss is excused, which weakens the delivery oracle).
+    bool allow_state_loss = true;
+    double scale = 1.0;       ///< Warp-magnitude multiplier (shrinking).
+    Time first{};             ///< Injection window start.
+    Time span{};              ///< Injection window length.
+    Time risk_horizon{};      ///< Risk-window fallback length.
+  };
+
+  StateCorruptor(sim::Scenario& s, Plan plan);
+  ~StateCorruptor();
+
+  StateCorruptor(const StateCorruptor&) = delete;
+  StateCorruptor& operator=(const StateCorruptor&) = delete;
+
+  /// Forward every at-risk packet id to \p c as it is discovered (live
+  /// excusal: a convergence-phase duplicate must already be excused when the
+  /// checker sees it, not only at finish()).
+  void set_checker(sim::InvariantChecker* c) noexcept { checker_ = c; }
+
+  [[nodiscard]] const std::vector<InjectionRecord>& injections() const noexcept {
+    return done_;
+  }
+  /// Packet ids whose delivery the corruption schedule excuses.
+  [[nodiscard]] const std::unordered_set<frame::PacketId>& at_risk() const noexcept {
+    return at_risk_;
+  }
+  /// Instant of the last injection actually applied (zero when none fired).
+  [[nodiscard]] Time last_injection_at() const noexcept { return last_at_; }
+  /// Human-readable schedule block for the verdict transcript.
+  [[nodiscard]] std::string describe_plan() const;
+
+ private:
+  struct Drawn {
+    CorruptionClass cls;
+    Time at{};
+    std::int64_t a = 0;
+    std::uint64_t b = 0;
+  };
+
+  void inject(const Drawn& d);
+  void on_event(const obs::Event& e);
+  void note_at_risk(frame::PacketId id);
+
+  sim::Scenario& scenario_;
+  Plan plan_;
+  std::vector<Drawn> drawn_;
+  std::vector<InjectionRecord> done_;
+  std::unordered_set<frame::PacketId> at_risk_;
+  sim::InvariantChecker* checker_{nullptr};
+  obs::EventBus::SubscriptionId sub_{0};
+  bool risk_open_{false};
+  Time last_at_{};
+};
+
+/// Knobs for one seeded corruption run.
+struct CorruptKnobs {
+  std::uint64_t seed = 1;
+  std::uint64_t packets = 120;
+  /// 0 = draw 1..4 from the seed.
+  std::uint32_t injections = 0;
+  bool allow_sender = true;
+  bool allow_receiver = true;
+  bool allow_state_loss = true;
+  /// Also draw background wire noise (exercises recovery under loss).
+  bool background_noise = true;
+  /// Ablation: run the same corruption schedule with the self-audit /
+  /// watchdog / RESYNC layer OFF.  This is how the tier proves it earns its
+  /// keep — seeds that converge with the layer must hang, leak, or lose
+  /// packets without it (see tests/verif/test_corrupt.cpp's pinned repro).
+  bool self_heal = true;
+  double scale = 1.0;
+  Time horizon{};  ///< 0 = derived from the recovery budget.
+  /// Observer hook, invoked on the built scenario before traffic starts.
+  std::function<void(sim::Scenario&)> tap;
+};
+
+/// Outcome of one corruption run.
+struct CorruptVerdict {
+  bool ok = false;         ///< Steady state invariant-clean (or clean teardown).
+  bool converged = false;  ///< Returned to normal delivery; sender idle.
+  bool torn_down = false;  ///< Bounded-retry RESYNC exhaustion → declared failure.
+  std::uint64_t resyncs = 0;      ///< Sender RESYNC episodes completed.
+  std::uint64_t audit_trips = 0;  ///< Self-audit trips, both endpoints.
+  std::uint64_t injections = 0;   ///< Corruptions actually applied.
+  std::uint64_t excused = 0;      ///< Packets the fault plan put at risk.
+  std::uint64_t recovery_episodes = 0;  ///< recovery.time_ms samples.
+  double recovery_ms_max = 0.0;         ///< Slowest recovery this run.
+  std::vector<std::string> violations;
+  std::vector<std::string> transients;  ///< Lawful convergence-phase noise.
+  std::string schedule;  ///< Seed + drawn plan, printable.
+  std::string metrics_json;
+  CorruptKnobs knobs;
+
+  [[nodiscard]] std::string repro_command() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Run one seeded state-corruption scenario to termination and audit it.
+[[nodiscard]] CorruptVerdict run_corrupt(const CorruptKnobs& knobs);
+
+/// Greedy shrink of a failing corruption run: fewer injections, fewer
+/// classes, smaller warps, less traffic — while the failure survives.
+[[nodiscard]] CorruptVerdict shrink_corrupt(const CorruptKnobs& failing,
+                                            int budget = 16);
+
+/// `count` corruption runs at consecutive seeds on a work-stealing pool
+/// (0 threads = hardware concurrency).  Results are seed-ordered and
+/// bit-identical to running serially (see sim/sweep.hpp).
+[[nodiscard]] std::vector<CorruptVerdict> run_corrupt_sweep(
+    const CorruptKnobs& base, std::uint64_t first_seed, std::uint64_t count,
+    unsigned threads = 0);
+
+}  // namespace lamsdlc::verif

@@ -13,7 +13,11 @@
 #      LAMSDLC_VERIFY_FUZZ codec mutants — gating; any invariant violation,
 #      oracle divergence or fuzz property failure fails the build and
 #      prints a shrunk `lamsdlc_cli verify --repro` command line.
-#   6. perf smoke (non-gating): kernel workload rates, printed for trend
+#   6. corrupt-state smoke: LAMSDLC_CORRUPT_SEEDS seeded state-corruption
+#      schedules (docs/VERIFICATION.md, self-stabilization oracle) run
+#      against the *sanitized* CLI from step 2 — gating; endpoint-state
+#      mutation plus recovery is exactly where a stray read/UB would hide.
+#   7. perf smoke (non-gating): kernel workload rates, printed for trend
 #      watching; compare against BENCH_kernel.json by hand or with
 #      scripts/bench_baseline.sh.
 #
@@ -57,6 +61,15 @@ echo "== trace smoke (non-gating) =="
 echo "== verify smoke (${LAMSDLC_VERIFY_SEEDS:-40} seeds, ${LAMSDLC_VERIFY_FUZZ:-4000} fuzz iters) =="
 "$CLI" verify --seeds "${LAMSDLC_VERIFY_SEEDS:-40}" \
               --fuzz "${LAMSDLC_VERIFY_FUZZ:-4000}" --jobs 0
+
+echo "== corrupt-state smoke (${LAMSDLC_CORRUPT_SEEDS:-40} seeds, ASan/UBSan) =="
+# Run the self-stabilization sweep on the instrumented binary from step 2:
+# live endpoint-state mutation + RESYNC recovery is the code most likely to
+# harbour a latent out-of-bounds read or UB, so sanitize exactly this path.
+ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1:detect_stack_use_after_return=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+"build-asan/tools/lamsdlc_cli" verify --corrupt-state \
+    --seeds "${LAMSDLC_CORRUPT_SEEDS:-40}" --jobs 0
 
 echo "== perf smoke (non-gating) =="
 # Timings on shared CI hosts are too noisy to gate on; print them so a

@@ -16,6 +16,8 @@ enum Kind : std::uint8_t {
   kHdlcS = 5,
   kSession = 6,
   kSelectiveAck = 7,
+  kResync = 8,
+  kResyncAck = 9,
 };
 
 class Writer {
@@ -117,6 +119,12 @@ std::size_t encoded_size(const Frame& f) noexcept {
     std::size_t operator()(const SelectiveAckFrame& a) const {
       return 1 + 4 + 4 + 1 + 2 + 4 * a.missing.size() + kFcsBytes;
     }
+    std::size_t operator()(const ResyncFrame&) const {
+      return 1 + 4 + 4 + kFcsBytes;
+    }
+    std::size_t operator()(const ResyncAckFrame&) const {
+      return 1 + 4 + 4 + kFcsBytes;
+    }
   };
   return std::visit(Sizer{}, f.body);
 }
@@ -154,7 +162,8 @@ void encode_into(const Frame& f, std::vector<std::uint8_t>& out) {
       w.u32(c.highest_seen);
       w.u8(static_cast<std::uint8_t>((c.any_seen ? 1 : 0) |
                                      (c.enforced ? 2 : 0) |
-                                     (c.stop_go ? 4 : 0)));
+                                     (c.stop_go ? 4 : 0) |
+                                     (c.resync_req ? 8 : 0)));
       w.u32(c.epoch);
       w.u16(static_cast<std::uint16_t>(c.naks.size()));
       for (Seq s : c.naks) w.u32(s);
@@ -190,6 +199,16 @@ void encode_into(const Frame& f, std::vector<std::uint8_t>& out) {
       w.u8(a.any_seen ? 1 : 0);
       w.u16(static_cast<std::uint16_t>(a.missing.size()));
       for (Seq m : a.missing) w.u32(m);
+    }
+    void operator()(const ResyncFrame& r) const {
+      w.u8(kResync);
+      w.u32(r.token);
+      w.u32(r.epoch);
+    }
+    void operator()(const ResyncAckFrame& r) const {
+      w.u8(kResyncAck);
+      w.u32(r.token);
+      w.u32(r.epoch);
     }
     void operator()(const HdlcSFrame& s) const {
       w.u8(kHdlcS);
@@ -234,6 +253,11 @@ bool within_limits(const Frame& f, const DecodeLimits& limits) {
       // NBDT numbering is absolute (32-bit), not cyclic — no modulus applies.
       return true;
     }
+    bool operator()(const ResyncFrame& r) const {
+      // Epoch 0 means "no session"; a RESYNC always opens a fresh epoch.
+      return r.epoch != 0;
+    }
+    bool operator()(const ResyncAckFrame& r) const { return r.epoch != 0; }
   };
   return std::visit(Check{m}, f.body);
 }
@@ -281,6 +305,7 @@ std::optional<Frame> decode(std::span<const std::uint8_t> bytes,
       c.any_seen = flags & 1;
       c.enforced = flags & 2;
       c.stop_go = flags & 4;
+      c.resync_req = flags & 8;
       c.naks.resize(n);
       for (auto& s : c.naks) {
         if (!r.u32(s)) return std::nullopt;
@@ -339,6 +364,22 @@ std::optional<Frame> decode(std::span<const std::uint8_t> bytes,
       }
       if (r.remaining() != 0) return std::nullopt;
       f.body = std::move(a);
+      return checked(std::move(f));
+    }
+    case kResync: {
+      ResyncFrame q;
+      if (!r.u32(q.token) || !r.u32(q.epoch) || r.remaining() != 0) {
+        return std::nullopt;
+      }
+      f.body = q;
+      return checked(std::move(f));
+    }
+    case kResyncAck: {
+      ResyncAckFrame q;
+      if (!r.u32(q.token) || !r.u32(q.epoch) || r.remaining() != 0) {
+        return std::nullopt;
+      }
+      f.body = q;
       return checked(std::move(f));
     }
     case kSession: {

@@ -18,7 +18,10 @@ LamsReceiver::LamsReceiver(Simulator& sim, link::SimplexChannel& control_out,
       obs_{bus, std::move(tracer)},
       seqspace_{cfg.modulus} {}
 
-LamsReceiver::~LamsReceiver() { sim_.cancel(cp_timer_); }
+LamsReceiver::~LamsReceiver() {
+  sim_.cancel(cp_timer_);
+  sim_.cancel(audit_timer_);
+}
 
 obs::Event LamsReceiver::make_event(obs::EventKind k) const {
   obs::Event e;
@@ -48,12 +51,18 @@ void LamsReceiver::start() {
   if (running_) return;
   running_ = true;
   cp_timer_ = sim_.schedule_in(cfg_.checkpoint_interval, [this] { checkpoint_tick(); });
+  if (!cfg_.self_audit_period.is_zero() && !sim_.pending(audit_timer_)) {
+    audit_timer_ =
+        sim_.schedule_in(cfg_.self_audit_period, [this] { on_audit_tick(); });
+  }
 }
 
 void LamsReceiver::stop() {
   running_ = false;
   sim_.cancel(cp_timer_);
   cp_timer_ = 0;
+  sim_.cancel(audit_timer_);
+  audit_timer_ = 0;
 }
 
 void LamsReceiver::reset_session() {
@@ -93,6 +102,7 @@ void LamsReceiver::emit_checkpoint(bool enforced) {
   cp.enforced = enforced;
   cp.stop_go = processing_ > cfg_.recv_high_watermark;
   cp.epoch = epoch_;
+  cp.resync_req = resync_req_;
 
   // Wire-safety filter: a NAK that has fallen modulus/2 or more behind the
   // highest accepted counter is no longer expressible on the wire.  The
@@ -144,7 +154,8 @@ void LamsReceiver::emit_checkpoint(bool enforced) {
         std::min<std::size_t>(cp.naks.size(), 0xFFFF));
     pl.flags = static_cast<std::uint8_t>((cp.any_seen ? 1u : 0u) |
                                          (cp.enforced ? 2u : 0u) |
-                                         (cp.stop_go ? 4u : 0u));
+                                         (cp.stop_go ? 4u : 0u) |
+                                         (cp.resync_req ? 8u : 0u));
     for (std::size_t i = 0; i < pl.inline_naks(); ++i) pl.naks[i] = cp.naks[i];
     obs_.emit(e);
   }
@@ -192,10 +203,25 @@ void LamsReceiver::on_frame(frame::Frame f) {
   }
   if (const auto* rq = std::get_if<frame::RequestNakFrame>(&f.body)) {
     handle_request_nak(*rq);
+    return;
+  }
+  if (const auto* rs = std::get_if<frame::ResyncFrame>(&f.body)) {
+    handle_resync(*rs);
   }
 }
 
 void LamsReceiver::handle_iframe(const frame::IFrame& in, bool corrupted) {
+  if (sim_.now() < resync_guard_until_) {
+    // Straggler of the epoch a just-applied RESYNC killed: its number means
+    // nothing under the fresh anchor, and accepting it would poison
+    // highest_ctr_ so genuinely new frames look stale — silent loss.  The
+    // first new-epoch frame cannot arrive inside the guard (the sender
+    // quiesces for at least a round trip before sending again), so dropping
+    // here is always safe.
+    ++duplicates_suppressed_;
+    emit_drop(obs::DropCause::kStaleSequence, 0, in.seq);
+    return;
+  }
   // Count the arrival *event* before any disposition (husk, congestion
   // discard, stale duplicate, good frame).  Under the paper's link model
   // (assumption 9: damage is detectable — frames arrive unreadable rather
@@ -310,6 +336,192 @@ void LamsReceiver::handle_request_nak(const frame::RequestNakFrame& rq) {
     obs_.emit(e);
   }
   emit_checkpoint(/*enforced=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Self-stabilization: RESYNC application, audit, corruption hooks.
+
+void LamsReceiver::handle_resync(const frame::ResyncFrame& rs) {
+  if (obs_.active()) {
+    obs::Event e = make_event(obs::EventKind::kFrameReceived);
+    e.p.frame = {rs.token, 0, 0, 1, 0};
+    obs_.emit(e);
+  }
+  if (rs.epoch < epoch_) return;  // leftover of a superseded episode/session
+  if (rs.epoch > epoch_) {
+    // Fresh episode: drop every trace of the dead sequence space and adopt
+    // the new epoch.  cp_seq_ deliberately keeps counting across the
+    // re-anchor, so the sender's checkpoint-staleness filter needs no
+    // special case.
+    reset_session();
+    epoch_ = rs.epoch;
+    resync_req_ = false;
+    resync_guard_until_ = sim_.now() + cfg_.release_margin;
+    ++resyncs_applied_;
+    if (running_ && !sim_.pending(cp_timer_)) {
+      // A stalled cadence is part of what a RESYNC repairs — the checkpoint
+      // stream must flow again for the sender to finish the episode (a
+      // new-epoch checkpoint completes it even if the explicit ack is lost).
+      cp_timer_ = sim_.schedule_in(cfg_.checkpoint_interval,
+                                   [this] { checkpoint_tick(); });
+    }
+    if (obs_.active()) {
+      obs::Event e = make_event(obs::EventKind::kResyncCompleted);
+      e.p.resync = {rs.token, rs.epoch, 0,
+                    obs::RecoveryReason::kResyncCompleted};
+      obs_.emit(e);
+    }
+  }
+  // Acknowledge on the reverse channel; a duplicate RESYNC of the current
+  // epoch means the previous ack was lost, so always re-ack.
+  frame::Frame f;
+  f.body = frame::ResyncAckFrame{rs.token, rs.epoch};
+  if (stats_) ++stats_->control_tx;
+  if (obs_.active()) {
+    obs::Event e = make_event(obs::EventKind::kFrameSent);
+    e.p.frame = {rs.token, 0, 0, 1, 0};
+    obs_.emit(e);
+  }
+  out_.send(std::move(f));
+}
+
+void LamsReceiver::on_audit_tick() {
+  audit_timer_ = 0;
+  if (!running_) return;
+  audit_timer_ =
+      sim_.schedule_in(cfg_.self_audit_period, [this] { on_audit_tick(); });
+  run_self_audit();
+}
+
+std::size_t LamsReceiver::run_self_audit() {
+  if (!running_) return 0;
+  std::size_t trips = 0;
+  const auto trip = [&](obs::AuditCheck check, std::uint64_t a,
+                        std::uint64_t b) {
+    ++trips;
+    ++audit_trips_;
+    if (obs_.active()) {
+      obs::Event e = make_event(obs::EventKind::kSelfAuditFailed);
+      e.p.audit = {check, a, b};
+      obs_.emit(e);
+    }
+  };
+
+  // The cycle anchor records the arrival count at the last accept; it can
+  // never lead the arrival count itself.
+  if (anchor_arrival_ > iframe_arrivals_) {
+    trip(obs::AuditCheck::kReceiverAnchorCoherence, anchor_arrival_,
+         iframe_arrivals_);
+  }
+
+  // "Nothing accepted yet" with nonzero sequence state is unreachable.
+  if (!any_seen_ && (highest_ctr_ != 0 || anchor_arrival_ != 0)) {
+    trip(obs::AuditCheck::kReceiverSeqCoherence, highest_ctr_,
+         anchor_arrival_);
+  }
+
+  // NAK records are created strictly below the counter whose acceptance
+  // revealed them, so every record lies below the accepted highest.  Records
+  // append in counter order — checking both ends covers the whole deque.
+  if (any_seen_) {
+    std::uint64_t witness = 0;
+    bool nak_bad = false;
+    const auto check_end = [&](std::uint64_t ctr) {
+      if (ctr >= highest_ctr_ && !nak_bad) {
+        nak_bad = true;
+        witness = ctr;
+      }
+    };
+    if (!history_.empty()) {
+      check_end(history_.front().ctr);
+      check_end(history_.back().ctr);
+    }
+    if (!current_interval_.empty()) {
+      check_end(current_interval_.front());
+      check_end(current_interval_.back());
+    }
+    if (nak_bad) {
+      trip(obs::AuditCheck::kReceiverNakCoherence, witness, highest_ctr_);
+    }
+  }
+
+  // Detection timestamps append monotonically.
+  if (history_.size() >= 2 &&
+      history_.back().detected_at < history_.front().detected_at) {
+    trip(obs::AuditCheck::kReceiverHistoryOrder,
+         static_cast<std::uint64_t>(history_.front().detected_at.ps()),
+         static_cast<std::uint64_t>(history_.back().detected_at.ps()));
+  }
+
+  // Husk stall: more unaccepted arrivals since the last accept than the
+  // whole numbering size means the unwrap anchor has lost the cycle — the
+  // wire can no longer express where the sequence space stands.
+  if (any_seen_ && iframe_arrivals_ - anchor_arrival_ > cfg_.modulus) {
+    trip(obs::AuditCheck::kReceiverHuskStall,
+         iframe_arrivals_ - anchor_arrival_, cfg_.modulus);
+  }
+
+  // The link is active yet no checkpoint tick is pending: the cadence died
+  // and the sender is flying blind.
+  if (!sim_.pending(cp_timer_)) {
+    trip(obs::AuditCheck::kReceiverCadenceStall, cp_seq_, 0);
+  }
+
+  if (trips > 0 && cfg_.resync_enabled) resync_req_ = true;
+  return trips;
+}
+
+// ---------------------------------------------------------------------------
+// State-corruption hooks (verif::StateCorruptor).  Verification-only.
+
+void LamsReceiver::corrupt_warp_highest(std::int64_t delta) {
+  if (!running_) return;
+  if (delta >= 0) {
+    highest_ctr_ += static_cast<std::uint64_t>(delta);
+  } else {
+    const std::uint64_t back = static_cast<std::uint64_t>(-delta);
+    highest_ctr_ = back >= highest_ctr_ ? 0 : highest_ctr_ - back;
+  }
+  any_seen_ = true;
+}
+
+void LamsReceiver::corrupt_warp_anchor(std::int64_t delta) {
+  if (!running_) return;
+  if (delta >= 0) {
+    anchor_arrival_ += static_cast<std::uint64_t>(delta);
+  } else {
+    const std::uint64_t back = static_cast<std::uint64_t>(-delta);
+    anchor_arrival_ = back >= anchor_arrival_ ? 0 : anchor_arrival_ - back;
+  }
+}
+
+void LamsReceiver::corrupt_inject_nak(std::uint64_t ctr) {
+  if (!running_) return;
+  current_interval_.push_back(ctr);
+  history_.push_back(NakRecord{ctr, sim_.now()});
+}
+
+void LamsReceiver::corrupt_clear_nak_state() {
+  if (!running_) return;
+  interval_naks_.clear();
+  current_interval_.clear();
+  history_.clear();
+}
+
+void LamsReceiver::corrupt_warp_cp_seq(std::int64_t delta) {
+  if (!running_) return;
+  if (delta >= 0) {
+    cp_seq_ += static_cast<std::uint32_t>(delta);
+  } else {
+    const std::uint32_t back = static_cast<std::uint32_t>(-delta);
+    cp_seq_ = back >= cp_seq_ ? 0 : cp_seq_ - back;
+  }
+}
+
+void LamsReceiver::corrupt_stall_cadence() {
+  if (!running_) return;
+  sim_.cancel(cp_timer_);
+  cp_timer_ = 0;
 }
 
 }  // namespace lamsdlc::lams

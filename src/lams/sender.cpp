@@ -12,6 +12,7 @@ obs::SenderMode to_obs(LamsSender::Mode m) noexcept {
     case LamsSender::Mode::kNormal: return obs::SenderMode::kNormal;
     case LamsSender::Mode::kEnforcedRecovery:
       return obs::SenderMode::kEnforcedRecovery;
+    case LamsSender::Mode::kResyncing: return obs::SenderMode::kResyncing;
     case LamsSender::Mode::kFailed: return obs::SenderMode::kFailed;
   }
   return obs::SenderMode::kNormal;
@@ -29,12 +30,23 @@ LamsSender::LamsSender(Simulator& sim, link::SimplexChannel& data_out,
       obs_{bus, std::move(tracer)},
       seqspace_{cfg.modulus} {
   out_.set_idle_callback([this] { try_send(); });
+  if (!cfg_.self_audit_period.is_zero()) {
+    audit_timer_ =
+        sim_.schedule_in(cfg_.self_audit_period, [this] { on_audit_tick(); });
+  }
+  if (!cfg_.resync_watchdog.is_zero()) {
+    watchdog_timer_ =
+        sim_.schedule_in(cfg_.resync_watchdog, [this] { on_watchdog(); });
+  }
 }
 
 LamsSender::~LamsSender() {
   sim_.cancel(checkpoint_timer_);
   sim_.cancel(failure_timer_);
   sim_.cancel(pace_timer_);
+  sim_.cancel(audit_timer_);
+  sim_.cancel(watchdog_timer_);
+  sim_.cancel(resync_timer_);
 }
 
 obs::Event LamsSender::make_event(obs::EventKind k) const {
@@ -109,7 +121,13 @@ void LamsSender::note_buffer_change() {
 }
 
 void LamsSender::try_send() {
-  if (mode_ == Mode::kFailed || out_.busy() || !out_.up()) return;
+  // kResyncing quiesces the pipe completely: no new frames *and* no
+  // retransmissions, so nothing sent under the dying epoch races the RESYNC
+  // down the (FIFO) forward channel.  complete_resync() re-opens the tap.
+  if (mode_ == Mode::kFailed || mode_ == Mode::kResyncing || out_.busy() ||
+      !out_.up()) {
+    return;
+  }
   // Numbering-window stall (Section 3.3): a new frame may only be issued
   // while fewer than modulus/2 frames are unresolved (outstanding plus the
   // NAKed ones waiting to go out again — those re-enter the outstanding set
@@ -147,6 +165,14 @@ void LamsSender::send_iframe(Pending p) {
   const Time now = sim_.now();
   ++p.attempts;
   if (p.attempts == 1) p.first_tx = now;
+
+  // Counter-collision hardening: in a sane run no in-flight slot can hold a
+  // counter at or above next_ctr_, but a corrupted (backward-warped) counter
+  // would land this frame on a live slot — the emplace below would quietly
+  // fail and the packet would leak out of every queue: silent loss no
+  // recovery can undo.  Skip over claimed counters instead (bounded by the
+  // numbering window); the periodic self-audit still reports the corruption.
+  while (outstanding_.find(next_ctr_) != outstanding_.end()) ++next_ctr_;
 
   const std::uint64_t ctr = next_ctr_++;
   if (p.attempts > 1 && obs_.active()) {
@@ -207,13 +233,34 @@ void LamsSender::on_frame(frame::Frame f) {
   }
   if (const auto* cp = std::get_if<frame::CheckpointFrame>(&f.body)) {
     handle_checkpoint(*cp);
+    return;
+  }
+  if (const auto* ack = std::get_if<frame::ResyncAckFrame>(&f.body)) {
+    handle_resync_ack(*ack);
+    return;
   }
   // Any other frame type on the reverse channel is a misconfiguration;
   // ignore it rather than guess.
 }
 
 void LamsSender::handle_checkpoint(const frame::CheckpointFrame& cp) {
+  if (mode_ == Mode::kResyncing) {
+    // expected_epoch_ already holds the pending RESYNC epoch: a checkpoint
+    // stamped with it proves the receiver applied the re-anchor even if the
+    // explicit RESYNC-ACK was lost on the reverse channel.  Complete the
+    // episode and process this checkpoint under the fresh numbering;
+    // anything else is pre-resync feedback, stale by definition.
+    if (cp.epoch != expected_epoch_) return;
+    complete_resync();
+  }
   if (cp.epoch != expected_epoch_) return;  // leftover of an earlier session
+  if (cfg_.resync_enabled && cp.resync_req) {
+    // The receiver's self-audit declared its own sequence tracking corrupt,
+    // so this checkpoint's content cannot be trusted — do not process it;
+    // re-anchor both ends instead.
+    initiate_resync(obs::RecoveryReason::kResyncRequested);
+    return;
+  }
   if (got_any_cp_ && cp.cp_seq <= last_cp_seq_) return;  // stale/duplicate
   const std::uint64_t prev_seq = got_any_cp_ ? last_cp_seq_ : 0;
   got_any_cp_ = true;
@@ -229,7 +276,8 @@ void LamsSender::handle_checkpoint(const frame::CheckpointFrame& cp) {
         std::min<std::size_t>(cp.naks.size(), UINT16_MAX));
     pl.flags = static_cast<std::uint8_t>((cp.any_seen ? 1u : 0u) |
                                          (cp.enforced ? 2u : 0u) |
-                                         (cp.stop_go ? 4u : 0u));
+                                         (cp.stop_go ? 4u : 0u) |
+                                         (cp.resync_req ? 8u : 0u));
     for (std::size_t i = 0; i < pl.inline_naks(); ++i) pl.naks[i] = cp.naks[i];
     obs_.emit(e);
   }
@@ -277,6 +325,17 @@ void LamsSender::handle_checkpoint(const frame::CheckpointFrame& cp) {
 
   apply_flow_control(cp.stop_go);
 
+  // Implausible-ack anomaly: a streak of checkpoints whose highest-seen
+  // references counters never issued means one side's sequence state is
+  // corrupt beyond what the per-checkpoint guard in sweep_outstanding can
+  // absorb — re-anchor.
+  if (cfg_.resync_enabled && cfg_.implausible_ack_threshold > 0 &&
+      implausible_streak_ >= cfg_.implausible_ack_threshold &&
+      mode_ != Mode::kResyncing && mode_ != Mode::kFailed) {
+    implausible_streak_ = 0;
+    initiate_resync(obs::RecoveryReason::kImplausibleAck);
+  }
+
   if (mode_ == Mode::kNormal) arm_checkpoint_timer();
   note_buffer_change();
   try_send();
@@ -301,6 +360,18 @@ void LamsSender::process_naks(const frame::CheckpointFrame& cp) {
 
 void LamsSender::sweep_outstanding(const frame::CheckpointFrame& cp) {
   if (outstanding_.empty() || next_ctr_ == 0) return;
+  // Release decisions reason against next_ctr_; a live slot holding a
+  // counter at or above it means the sequence space is corrupt and every
+  // unwrap below is unreliable — releasing on one could discard undelivered
+  // frames as implicitly acknowledged.  Skip this checkpoint's sweep and
+  // audit immediately (which reports the trip and, when enabled, starts the
+  // RESYNC that repairs the space).  Unreachable in a sane run.
+  for (const auto& [ctr, o] : outstanding_) {
+    if (ctr >= next_ctr_) {
+      run_self_audit();
+      return;
+    }
+  }
   bool any_seen = cp.any_seen;
   const std::uint64_t high =
       any_seen ? seqspace_.unwrap(cp.highest_seen, next_ctr_ - 1) : 0;
@@ -315,6 +386,9 @@ void LamsSender::sweep_outstanding(const frame::CheckpointFrame& cp) {
     // checkpoint; the provably-undelivered retransmission rule below is
     // reference-free and stays in force.
     any_seen = false;
+    ++implausible_streak_;
+  } else if (any_seen) {
+    implausible_streak_ = 0;
   }
 
   std::vector<std::uint64_t> release;
@@ -404,6 +478,14 @@ void LamsSender::on_failure_timeout() {
   failure_timer_ = 0;
   if (mode_ != Mode::kEnforcedRecovery) return;
   emit_timer(obs::EventKind::kTimerFired, obs::TimerId::kFailureTimer);
+  if (cfg_.resync_enabled) {
+    // Enforced recovery failed inside its own budget: either the feedback
+    // channel is being destroyed or an endpoint's state is wedged — both are
+    // exactly what the RESYNC handshake re-anchors.  Teardown still follows,
+    // but only after the bounded RESYNC retries also come up empty.
+    initiate_resync(obs::RecoveryReason::kFailureTimeout);
+    return;
+  }
   declare_failed(obs::RecoveryReason::kFailureTimeout);
 }
 
@@ -414,11 +496,15 @@ void LamsSender::declare_failed(obs::RecoveryReason reason) {
   sim_.cancel(checkpoint_timer_);
   sim_.cancel(failure_timer_);
   sim_.cancel(pace_timer_);
+  sim_.cancel(audit_timer_);
+  sim_.cancel(watchdog_timer_);
+  sim_.cancel(resync_timer_);
   checkpoint_timer_ = failure_timer_ = pace_timer_ = 0;
+  audit_timer_ = watchdog_timer_ = resync_timer_ = 0;
   if (on_failed_) on_failed_();
 }
 
-void LamsSender::reset_session() {
+void LamsSender::requeue_unresolved() {
   // Unresolved traffic survives the reset, oldest first.
   std::vector<std::uint64_t> ctrs;
   ctrs.reserve(outstanding_.size());
@@ -434,13 +520,19 @@ void LamsSender::reset_session() {
   }
   outstanding_.clear();
   retx_queue_.clear();
+}
 
+void LamsSender::reset_session() {
+  requeue_unresolved();
   sim_.cancel(checkpoint_timer_);
   sim_.cancel(failure_timer_);
   sim_.cancel(pace_timer_);
-  checkpoint_timer_ = failure_timer_ = pace_timer_ = 0;
+  sim_.cancel(resync_timer_);
+  checkpoint_timer_ = failure_timer_ = pace_timer_ = resync_timer_ = 0;
   next_ctr_ = 0;
   got_any_cp_ = false;
+  last_cp_seq_ = 0;
+  implausible_streak_ = 0;
   mode_ = Mode::kNormal;
   next_send_allowed_ = Time{};
   note_buffer_change();
@@ -472,6 +564,276 @@ void LamsSender::apply_flow_control(bool stop) {
   } else if (rate_factor_ < 1.0) {
     rate_factor_ = std::min(1.0, rate_factor_ + cfg_.go_increase);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Self-stabilization: audit, watchdog, RESYNC handshake (docs/PROTOCOL.md).
+
+std::size_t LamsSender::run_self_audit() {
+  if (mode_ == Mode::kFailed) return 0;
+  std::size_t trips = 0;
+  const auto trip = [&](obs::AuditCheck check, std::uint64_t a,
+                        std::uint64_t b) {
+    ++trips;
+    ++audit_trips_;
+    if (obs_.active()) {
+      obs::Event e = make_event(obs::EventKind::kSelfAuditFailed);
+      e.p.audit = {check, a, b};
+      obs_.emit(e);
+    }
+  };
+
+  // Counter coherence: every in-flight slot was issued below next_ctr_.
+  std::uint64_t worst_ctr = 0;
+  bool ctr_bad = false;
+  for (const auto& [ctr, o] : outstanding_) {
+    if (ctr >= next_ctr_ && (!ctr_bad || ctr > worst_ctr)) {
+      ctr_bad = true;
+      worst_ctr = ctr;
+    }
+  }
+  if (ctr_bad) trip(obs::AuditCheck::kSenderCtrCoherence, worst_ctr, next_ctr_);
+
+  // Window bound: the unresolved population (in flight plus NAKed awaiting
+  // renumbering) never exceeds modulus/2 — try_send enforces it on issue.
+  const std::size_t unresolved = outstanding_.size() + retx_queue_.size();
+  if (unresolved > cfg_.numbering_window()) {
+    trip(obs::AuditCheck::kSenderWindowBound, unresolved,
+         cfg_.numbering_window());
+  }
+
+  // Checkpoint tracking: cp_seq starts at 1 on the wire, so "saw one with
+  // sequence zero" is unreachable.
+  if (got_any_cp_ && last_cp_seq_ == 0) {
+    trip(obs::AuditCheck::kSenderCpTracking, last_cp_seq_, 0);
+  }
+
+  // Timer coherence: enforced recovery without a live failure timer would
+  // hang forever — the mode is entered and left only around that timer.
+  if (mode_ == Mode::kEnforcedRecovery && !sim_.pending(failure_timer_)) {
+    trip(obs::AuditCheck::kSenderTimerCoherence,
+         static_cast<std::uint64_t>(failure_timer_), 0);
+  }
+
+  // Pacing sanity: the Stop-Go gate advances by at most one serialization
+  // time per send; a gate beyond a whole failure budget is stuck state.
+  if (next_send_allowed_ > sim_.now() + cfg_.failure_timeout()) {
+    trip(obs::AuditCheck::kSenderPacingStuck,
+         static_cast<std::uint64_t>(next_send_allowed_.ps()),
+         static_cast<std::uint64_t>(sim_.now().ps()));
+  }
+
+  if (trips > 0 && cfg_.resync_enabled && mode_ != Mode::kResyncing) {
+    initiate_resync(obs::RecoveryReason::kSelfAuditFailure);
+  }
+  return trips;
+}
+
+void LamsSender::on_audit_tick() {
+  audit_timer_ = 0;
+  if (mode_ == Mode::kFailed) return;
+  audit_timer_ =
+      sim_.schedule_in(cfg_.self_audit_period, [this] { on_audit_tick(); });
+  run_self_audit();
+}
+
+void LamsSender::on_watchdog() {
+  watchdog_timer_ = 0;
+  if (mode_ == Mode::kFailed) return;
+  // Stalled: unresolved traffic exists yet a whole period produced not one
+  // release.  The ordinary checkpoint/failure timers get the first try (the
+  // period should exceed failure_timeout()); this net catches wedges those
+  // timers cannot see, e.g. a corrupted pacing gate or a husk-pinned
+  // receiver whose checkpoints keep arriving but never cover anything.
+  //
+  // Two consecutive stalled observations are required before firing: a single
+  // tick only proves no release since the *previous* tick, which may have
+  // sampled an idle sender — traffic admitted just before this tick would
+  // look instantly wedged and a spurious RESYNC would re-deliver every
+  // delivered-but-unreleased frame.  Back-to-back strikes prove a full busy
+  // period with zero progress (detection latency <= two periods, which is
+  // what callers budget for).
+  const bool stalled = !idle() && resolved_ == watchdog_last_resolved_ &&
+                       mode_ != Mode::kResyncing;
+  watchdog_last_resolved_ = resolved_;
+  watchdog_timer_ =
+      sim_.schedule_in(cfg_.resync_watchdog, [this] { on_watchdog(); });
+  if (!stalled) {
+    watchdog_strike_ = false;
+    return;
+  }
+  if (!watchdog_strike_) {
+    watchdog_strike_ = true;
+    return;
+  }
+  watchdog_strike_ = false;
+  if (cfg_.resync_enabled) {
+    emit_timer(obs::EventKind::kTimerFired, obs::TimerId::kWatchdogTimer);
+    initiate_resync(obs::RecoveryReason::kProgressWatchdog);
+  }
+}
+
+void LamsSender::initiate_resync(obs::RecoveryReason reason) {
+  if (!cfg_.resync_enabled || mode_ == Mode::kResyncing ||
+      mode_ == Mode::kFailed) {
+    return;
+  }
+  const Mode from = mode_;
+  mode_ = Mode::kResyncing;
+  resync_reason_ = reason;
+  resync_attempt_ = 0;
+  ++resync_token_;
+  pending_resync_epoch_ = expected_epoch_ + 1;
+  if (pending_resync_epoch_ == 0) pending_resync_epoch_ = 1;  // 0 = "no session"
+  // Adopting the fresh epoch immediately kills the old sequence space: every
+  // pre-resync checkpoint now drops in handle_checkpoint's epoch filter, so
+  // nothing stale can be misread against the restarted numbering.
+  expected_epoch_ = pending_resync_epoch_;
+  sim_.cancel(checkpoint_timer_);
+  sim_.cancel(failure_timer_);
+  sim_.cancel(pace_timer_);
+  checkpoint_timer_ = failure_timer_ = pace_timer_ = 0;
+  emit_mode_change(from, mode_, reason);
+  if (obs_.active()) {
+    obs::Event e = make_event(obs::EventKind::kResyncInitiated);
+    e.p.resync = {resync_token_, pending_resync_epoch_, 0, reason};
+    obs_.emit(e);
+  }
+  send_resync();
+}
+
+void LamsSender::send_resync() {
+  ++resync_attempt_;
+  if (resync_attempt_ > cfg_.max_resync_attempts) {
+    // Bounded-retry teardown: the peer never acknowledged under the new
+    // epoch, so recovery is hopeless — declare the link failed cleanly and
+    // let the network layer reroute the residue (take_unresolved).
+    declare_failed(obs::RecoveryReason::kResyncExhausted);
+    return;
+  }
+  frame::Frame f;
+  f.body = frame::ResyncFrame{resync_token_, pending_resync_epoch_};
+  if (stats_) ++stats_->control_tx;
+  if (obs_.active()) {
+    obs::Event e = make_event(obs::EventKind::kFrameSent);
+    e.p.frame = {resync_token_, 0, resync_attempt_, 1, 0};
+    obs_.emit(e);
+  }
+  out_.send(std::move(f));
+  // Capped exponential backoff: 1x, 2x, 4x, then 8x per further attempt
+  // (mirrored by LamsConfig::resync_budget()).
+  const std::uint32_t shift = std::min(resync_attempt_ - 1, 3u);
+  const Time delay =
+      cfg_.effective_resync_backoff() * static_cast<std::int64_t>(1u << shift);
+  resync_timer_ = sim_.schedule_in(delay, [this] { on_resync_timer(); });
+  emit_timer(obs::EventKind::kTimerArmed, obs::TimerId::kResyncTimer,
+             sim_.now() + delay);
+}
+
+void LamsSender::on_resync_timer() {
+  resync_timer_ = 0;
+  if (mode_ != Mode::kResyncing) return;
+  emit_timer(obs::EventKind::kTimerFired, obs::TimerId::kResyncTimer);
+  send_resync();
+}
+
+void LamsSender::handle_resync_ack(const frame::ResyncAckFrame& ack) {
+  if (obs_.active()) {
+    obs::Event e = make_event(obs::EventKind::kFrameReceived);
+    e.p.frame = {ack.token, 0, 0, 1, 0};
+    obs_.emit(e);
+  }
+  if (mode_ != Mode::kResyncing) return;  // duplicate ack, episode over
+  if (ack.token != resync_token_ || ack.epoch != pending_resync_epoch_) return;
+  complete_resync();
+}
+
+void LamsSender::complete_resync() {
+  sim_.cancel(resync_timer_);
+  resync_timer_ = 0;
+  // Re-anchor: numbering restarts at zero under the new epoch and every
+  // unresolved frame goes out again as a fresh submission.  Frames the old
+  // epoch did deliver but never release may be re-sent — bounded duplication
+  // during convergence; the destination tracker de-duplicates.
+  requeue_unresolved();
+  next_ctr_ = 0;
+  got_any_cp_ = false;
+  last_cp_seq_ = 0;
+  implausible_streak_ = 0;
+  next_send_allowed_ = Time{};
+  ++resyncs_completed_;
+  mode_ = Mode::kNormal;
+  emit_mode_change(Mode::kResyncing, Mode::kNormal,
+                   obs::RecoveryReason::kResyncCompleted);
+  if (obs_.active()) {
+    obs::Event e = make_event(obs::EventKind::kResyncCompleted);
+    e.p.resync = {resync_token_, pending_resync_epoch_, resync_attempt_,
+                  resync_reason_};
+    obs_.emit(e);
+  }
+  note_buffer_change();
+  try_send();
+}
+
+// ---------------------------------------------------------------------------
+// State-corruption hooks (verif::StateCorruptor).  Verification-only.
+
+std::vector<frame::PacketId> LamsSender::outstanding_ids() const {
+  std::vector<std::uint64_t> ctrs;
+  ctrs.reserve(outstanding_.size());
+  for (const auto& [ctr, o] : outstanding_) ctrs.push_back(ctr);
+  std::sort(ctrs.begin(), ctrs.end());
+  std::vector<frame::PacketId> ids;
+  ids.reserve(ctrs.size());
+  for (const std::uint64_t c : ctrs) {
+    ids.push_back(outstanding_.at(c).pending.packet.id);
+  }
+  return ids;
+}
+
+void LamsSender::corrupt_warp_next_ctr(std::int64_t delta) {
+  if (mode_ == Mode::kFailed) return;
+  if (delta >= 0) {
+    next_ctr_ += static_cast<std::uint64_t>(delta);
+  } else {
+    const std::uint64_t back = static_cast<std::uint64_t>(-delta);
+    next_ctr_ = back >= next_ctr_ ? 0 : next_ctr_ - back;
+  }
+}
+
+frame::PacketId LamsSender::corrupt_drop_slot(std::size_t nth) {
+  if (mode_ == Mode::kFailed || outstanding_.empty()) return 0;
+  std::vector<std::uint64_t> ctrs;
+  ctrs.reserve(outstanding_.size());
+  for (const auto& [ctr, o] : outstanding_) ctrs.push_back(ctr);
+  std::sort(ctrs.begin(), ctrs.end());
+  const auto it = outstanding_.find(ctrs[nth % ctrs.size()]);
+  const frame::PacketId id = it->second.pending.packet.id;
+  outstanding_.erase(it);
+  note_buffer_change();
+  return id;
+}
+
+bool LamsSender::corrupt_warp_slot_arrival(std::size_t nth, Time delta) {
+  if (mode_ == Mode::kFailed || outstanding_.empty()) return false;
+  std::vector<std::uint64_t> ctrs;
+  ctrs.reserve(outstanding_.size());
+  for (const auto& [ctr, o] : outstanding_) ctrs.push_back(ctr);
+  std::sort(ctrs.begin(), ctrs.end());
+  Outstanding& o = outstanding_.at(ctrs[nth % ctrs.size()]);
+  o.expected_arrival = o.expected_arrival + delta;
+  return true;
+}
+
+void LamsSender::corrupt_cp_tracking(std::uint64_t last_cp_seq, bool got_any) {
+  if (mode_ == Mode::kFailed) return;
+  last_cp_seq_ = last_cp_seq;
+  got_any_cp_ = got_any;
+}
+
+void LamsSender::corrupt_pacing_gate(Time until) {
+  if (mode_ == Mode::kFailed) return;
+  next_send_allowed_ = until;
 }
 
 }  // namespace lamsdlc::lams

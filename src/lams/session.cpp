@@ -1,5 +1,6 @@
 #include "lamsdlc/lams/session.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -57,7 +58,11 @@ void SessionSender::enter(State s) {
 
 void SessionSender::open() {
   if (state_ == State::kInitializing || state_ == State::kEstablished) return;
-  ++epoch_;
+  // The inner sender's RESYNC episodes advance its epoch past the one this
+  // layer handed out; allocating merely epoch_+1 could then collide with an
+  // epoch a RESYNC already used and killed, letting that era's stale
+  // checkpoints be misread against the new session's numbering.
+  epoch_ = std::max(epoch_, inner_.current_epoch()) + 1;
   retries_ = 0;
   inner_.set_expected_epoch(epoch_);
   enter(State::kInitializing);

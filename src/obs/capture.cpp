@@ -183,6 +183,24 @@ void encode_payload(std::ostream& os, const Event& e) {
       put_u8(os, e.p.sample.is_counter);
       break;
     }
+    case EventKind::kSelfAuditFailed:
+      put_u8(os, static_cast<std::uint8_t>(e.p.audit.check));
+      put_varint(os, e.p.audit.a);
+      put_varint(os, e.p.audit.b);
+      break;
+    case EventKind::kStateCorrupted:
+      put_u8(os, e.p.corruption.cls);
+      put_u8(os, e.p.corruption.target);
+      put_varint(os, e.p.corruption.a);
+      put_varint(os, e.p.corruption.b);
+      break;
+    case EventKind::kResyncInitiated:
+    case EventKind::kResyncCompleted:
+      put_varint(os, e.p.resync.token);
+      put_varint(os, e.p.resync.epoch);
+      put_varint(os, e.p.resync.attempt);
+      put_u8(os, static_cast<std::uint8_t>(e.p.resync.reason));
+      break;
   }
 }
 
@@ -289,6 +307,37 @@ bool decode_payload(Decoder& d, Event& e) {
       e.p.sample.is_counter = d.u8("sample.is_counter");
       break;
     }
+    case EventKind::kSelfAuditFailed: {
+      const std::uint8_t check = d.u8("audit.check");
+      if (check >= kAuditCheckCount) {
+        if (d.err.empty()) d.err = "bad audit check";
+        return false;
+      }
+      e.p.audit.check = static_cast<AuditCheck>(check);
+      e.p.audit.a = d.varint("audit.a");
+      e.p.audit.b = d.varint("audit.b");
+      break;
+    }
+    case EventKind::kStateCorrupted:
+      e.p.corruption.cls = d.u8("corruption.class");
+      e.p.corruption.target = d.u8("corruption.target");
+      e.p.corruption.a = d.varint("corruption.a");
+      e.p.corruption.b = d.varint("corruption.b");
+      break;
+    case EventKind::kResyncInitiated:
+    case EventKind::kResyncCompleted: {
+      e.p.resync.token = static_cast<std::uint32_t>(d.varint("resync.token"));
+      e.p.resync.epoch = static_cast<std::uint32_t>(d.varint("resync.epoch"));
+      e.p.resync.attempt =
+          static_cast<std::uint32_t>(d.varint("resync.attempt"));
+      const std::uint8_t reason = d.u8("resync.reason");
+      if (reason >= kRecoveryReasonCount) {
+        if (d.err.empty()) d.err = "bad resync reason";
+        return false;
+      }
+      e.p.resync.reason = static_cast<RecoveryReason>(reason);
+      break;
+    }
   }
   return d.ok();
 }
@@ -350,8 +399,10 @@ std::optional<Event> CaptureReader::next() {
     return std::nullopt;
   }
   // A file may only contain kinds its header version knew about; v1 ended at
-  // kRecoveryTransition (14).
-  const std::uint8_t kind_limit = version_ == 1 ? 15 : kEventKindCount;
+  // kRecoveryTransition (14), v2 at kMetricSample (18).
+  const std::uint8_t kind_limit = version_ == 1   ? 15
+                                  : version_ == 2 ? 19
+                                                  : kEventKindCount;
   if (kind >= kind_limit) {
     error_ = "bad event kind " + std::to_string(kind);
     return std::nullopt;

@@ -134,6 +134,30 @@ void MetricsCollector::on_event(const Event& e) {
       // feed the metrics surface its own output.  Capture/timeline consumers
       // read them directly.
       break;
+    case EventKind::kSelfAuditFailed:
+      registry_.counter(pre + ".self_audit_failed").add();
+      registry_.counter(pre + ".self_audit." + to_string(e.p.audit.check))
+          .add();
+      break;
+    case EventKind::kStateCorrupted:
+      registry_.counter("verif.state_corruptions").add();
+      break;
+    case EventKind::kResyncInitiated:
+      registry_.counter(pre + ".resyncs_initiated").add();
+      resync_started_[e.p.resync.token] = e.at;
+      break;
+    case EventKind::kResyncCompleted: {
+      registry_.counter(pre + ".resyncs_completed").add();
+      // Recovery time spans the sender's whole episode: resync initiation to
+      // acknowledged re-anchor.  Only the sender-side completion closes it
+      // (the receiver emits its own kResyncCompleted when it applies).
+      const auto it = resync_started_.find(e.p.resync.token);
+      if (it != resync_started_.end() && e.source == Source::kLamsSender) {
+        registry_.histogram("recovery.time_ms").observe((e.at - it->second).ms());
+        resync_started_.erase(it);
+      }
+      break;
+    }
   }
 }
 

@@ -42,6 +42,20 @@ bool sample_eq(const MetricSamplePayload& a,
          a.is_counter == b.is_counter;
 }
 
+bool audit_eq(const AuditPayload& a, const AuditPayload& b) noexcept {
+  return a.check == b.check && a.a == b.a && a.b == b.b;
+}
+
+bool corruption_eq(const CorruptionPayload& a,
+                   const CorruptionPayload& b) noexcept {
+  return a.cls == b.cls && a.target == b.target && a.a == b.a && a.b == b.b;
+}
+
+bool resync_eq(const ResyncPayload& a, const ResyncPayload& b) noexcept {
+  return a.token == b.token && a.epoch == b.epoch && a.attempt == b.attempt &&
+         a.reason == b.reason;
+}
+
 const char* frame_verb(EventKind k) noexcept {
   switch (k) {
     case EventKind::kFrameSent: return "tx";
@@ -86,6 +100,13 @@ bool operator==(const Event& a, const Event& b) noexcept {
       return map_eq(a.p.map, b.p.map);
     case EventKind::kMetricSample:
       return sample_eq(a.p.sample, b.p.sample);
+    case EventKind::kSelfAuditFailed:
+      return audit_eq(a.p.audit, b.p.audit);
+    case EventKind::kStateCorrupted:
+      return corruption_eq(a.p.corruption, b.p.corruption);
+    case EventKind::kResyncInitiated:
+    case EventKind::kResyncCompleted:
+      return resync_eq(a.p.resync, b.p.resync);
   }
   return false;
 }
@@ -111,6 +132,10 @@ const char* to_string(EventKind k) noexcept {
     case EventKind::kPacketAdmitted: return "packet_admitted";
     case EventKind::kPacketDelivered: return "packet_delivered";
     case EventKind::kMetricSample: return "metric_sample";
+    case EventKind::kSelfAuditFailed: return "self_audit_failed";
+    case EventKind::kStateCorrupted: return "state_corrupted";
+    case EventKind::kResyncInitiated: return "resync_initiated";
+    case EventKind::kResyncCompleted: return "resync_completed";
   }
   return "unknown";
 }
@@ -147,6 +172,9 @@ const char* to_string(TimerId t) noexcept {
     case TimerId::kCheckpointTimer: return "checkpoint_timer";
     case TimerId::kFailureTimer: return "failure_timer";
     case TimerId::kCheckpointCadence: return "checkpoint_cadence";
+    case TimerId::kResyncTimer: return "resync_timer";
+    case TimerId::kSelfAuditCadence: return "self_audit_cadence";
+    case TimerId::kWatchdogTimer: return "watchdog_timer";
   }
   return "unknown";
 }
@@ -156,6 +184,7 @@ const char* to_string(SenderMode m) noexcept {
     case SenderMode::kNormal: return "normal";
     case SenderMode::kEnforcedRecovery: return "enforced_recovery";
     case SenderMode::kFailed: return "failed";
+    case SenderMode::kResyncing: return "resyncing";
   }
   return "unknown";
 }
@@ -167,6 +196,30 @@ const char* to_string(RecoveryReason r) noexcept {
     case RecoveryReason::kEnforcedNakResolved: return "enforced_nak_resolved";
     case RecoveryReason::kFailureTimeout: return "failure_timeout";
     case RecoveryReason::kLifetimeExhausted: return "lifetime_exhausted";
+    case RecoveryReason::kSelfAuditFailure: return "self_audit_failure";
+    case RecoveryReason::kProgressWatchdog: return "progress_watchdog";
+    case RecoveryReason::kResyncRequested: return "resync_requested";
+    case RecoveryReason::kImplausibleAck: return "implausible_ack";
+    case RecoveryReason::kResyncExhausted: return "resync_exhausted";
+    case RecoveryReason::kResyncCompleted: return "resync_completed";
+  }
+  return "unknown";
+}
+
+const char* to_string(AuditCheck c) noexcept {
+  switch (c) {
+    case AuditCheck::kSenderCtrCoherence: return "sender_ctr_coherence";
+    case AuditCheck::kSenderWindowBound: return "sender_window_bound";
+    case AuditCheck::kSenderCpTracking: return "sender_cp_tracking";
+    case AuditCheck::kSenderTimerCoherence: return "sender_timer_coherence";
+    case AuditCheck::kSenderPacingStuck: return "sender_pacing_stuck";
+    case AuditCheck::kReceiverAnchorCoherence:
+      return "receiver_anchor_coherence";
+    case AuditCheck::kReceiverSeqCoherence: return "receiver_seq_coherence";
+    case AuditCheck::kReceiverNakCoherence: return "receiver_nak_coherence";
+    case AuditCheck::kReceiverHistoryOrder: return "receiver_history_order";
+    case AuditCheck::kReceiverHuskStall: return "receiver_husk_stall";
+    case AuditCheck::kReceiverCadenceStall: return "receiver_cadence_stall";
   }
   return "unknown";
 }
@@ -234,6 +287,7 @@ std::string describe(const Event& e) {
       if (cp.missed > 0) os << " missed=" << cp.missed;
       if (cp.enforced()) os << " enforced";
       if (cp.stop_go()) os << " stop-go";
+      if (cp.resync_req()) os << " resync-req";
       if (cp.nak_count > 0) {
         os << " [";
         for (std::size_t i = 0; i < cp.inline_naks(); ++i) {
@@ -278,6 +332,24 @@ std::string describe(const Event& e) {
       os << "sample " << (e.p.sample.is_counter ? "counter " : "gauge ")
          << e.p.sample.name_view() << '=' << e.p.sample.value;
       break;
+    case EventKind::kSelfAuditFailed:
+      os << "self-audit failed " << to_string(e.p.audit.check)
+         << " a=" << e.p.audit.a << " b=" << e.p.audit.b;
+      break;
+    case EventKind::kStateCorrupted:
+      os << "state corrupted class=" << static_cast<unsigned>(e.p.corruption.cls)
+         << " target=" << (e.p.corruption.target == 0 ? "sender" : "receiver")
+         << " a=" << e.p.corruption.a << " b=" << e.p.corruption.b;
+      break;
+    case EventKind::kResyncInitiated:
+      os << "resync initiated token=" << e.p.resync.token
+         << " epoch=" << e.p.resync.epoch << " attempt=" << e.p.resync.attempt
+         << " reason=" << to_string(e.p.resync.reason);
+      break;
+    case EventKind::kResyncCompleted:
+      os << "resync completed token=" << e.p.resync.token
+         << " epoch=" << e.p.resync.epoch << " attempt=" << e.p.resync.attempt;
+      break;
   }
   return os.str();
 }
@@ -318,6 +390,7 @@ std::string to_json(const Event& e) {
          << ",\"any_seen\":" << (cp.any_seen() ? "true" : "false")
          << ",\"enforced\":" << (cp.enforced() ? "true" : "false")
          << ",\"stop_go\":" << (cp.stop_go() ? "true" : "false")
+         << ",\"resync_req\":" << (cp.resync_req() ? "true" : "false")
          << ",\"naks\":[";
       for (std::size_t i = 0; i < cp.inline_naks(); ++i) {
         if (i) os << ',';
@@ -353,6 +426,22 @@ std::string to_json(const Event& e) {
       os << ",\"name\":\"" << e.p.sample.name_view() << "\",\"value\":"
          << e.p.sample.value
          << ",\"is_counter\":" << (e.p.sample.is_counter ? "true" : "false");
+      break;
+    case EventKind::kSelfAuditFailed:
+      os << ",\"check\":\"" << to_string(e.p.audit.check)
+         << "\",\"a\":" << e.p.audit.a << ",\"b\":" << e.p.audit.b;
+      break;
+    case EventKind::kStateCorrupted:
+      os << ",\"class\":" << static_cast<unsigned>(e.p.corruption.cls)
+         << ",\"target\":\""
+         << (e.p.corruption.target == 0 ? "sender" : "receiver")
+         << "\",\"a\":" << e.p.corruption.a << ",\"b\":" << e.p.corruption.b;
+      break;
+    case EventKind::kResyncInitiated:
+    case EventKind::kResyncCompleted:
+      os << ",\"token\":" << e.p.resync.token << ",\"epoch\":"
+         << e.p.resync.epoch << ",\"attempt\":" << e.p.resync.attempt
+         << ",\"reason\":\"" << to_string(e.p.resync.reason) << '"';
       break;
   }
   os << '}';

@@ -176,11 +176,46 @@ void write_perfetto(std::ostream& os, const TraceBuilder& tb) {
                  kReceiverTid, cp.at,
                  "\"naks\":" + std::to_string(cp.nak_count));
   }
-  for (const RecoveryMark& r : tb.recoveries()) {
-    sink.instant(std::string{"recovery "} + to_string(r.from) + "->" +
-                     to_string(r.to),
-                 kSenderTid, r.at,
-                 std::string{"\"reason\":\""} + to_string(r.reason) + '"');
+  // Recovery episodes render as duration spans: a span opens when the sender
+  // leaves normal mode and closes when it returns to normal (or declares
+  // failure).  Mode changes *within* an episode (enforced -> resyncing) keep
+  // the span open; the per-transition instants below carry the reasons.
+  {
+    // Id space disjoint from the packet spans (pkt id) and flow arrows
+    // (id*1024+attempt) above.
+    constexpr std::uint64_t kRecoverySpanBase = 1ULL << 48;
+    std::uint64_t episode = 0;
+    bool open = false;
+    for (const RecoveryMark& r : tb.recoveries()) {
+      sink.instant(std::string{"recovery "} + to_string(r.from) + "->" +
+                       to_string(r.to),
+                   kSenderTid, r.at,
+                   std::string{"\"reason\":\""} + to_string(r.reason) + '"');
+      const bool terminal =
+          r.to == SenderMode::kNormal || r.to == SenderMode::kFailed;
+      if (!open && !terminal) {
+        open = true;
+        // Same name as the matching 'e' below: viewers (and
+        // scripts/check_perfetto.py) pair async events by (cat, id, name).
+        sink.async('b', std::string{"recovery"},
+                   kRecoverySpanBase + episode, kSenderTid, r.at,
+                   std::string{"\"reason\":\""} + to_string(r.reason) +
+                       "\",\"entered\":\"" + to_string(r.to) + '"');
+      } else if (open && terminal) {
+        open = false;
+        sink.async('e', std::string{"recovery"}, kRecoverySpanBase + episode,
+                   kSenderTid, r.at,
+                   std::string{"\"outcome\":\""} + to_string(r.to) + '"');
+        ++episode;
+      }
+    }
+    if (open) {
+      // Run ended mid-episode: close the span at its last transition so the
+      // trace stays well-formed.
+      const RecoveryMark& last = tb.recoveries().back();
+      sink.async('e', std::string{"recovery"}, kRecoverySpanBase + episode,
+                 kSenderTid, last.at, "\"outcome\":\"truncated\"");
+    }
   }
   for (const OccupancyPoint& o : tb.occupancy()) {
     sink.counter(std::string{to_string(o.source)} + "." + to_string(o.which),

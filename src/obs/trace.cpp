@@ -34,7 +34,19 @@ LatencyBreakdown attribute(const PacketTrace& t) noexcept {
   if (t.attempts.empty()) return b;
   const Time first = t.attempts.front().sent;
   if (t.admitted) b.admission_wait_ps = (first - *t.admitted).ps();
-  for (std::size_t i = 0; i + 1 < t.attempts.size(); ++i) {
+  // The copy that reached the client ends the in-flight story.  Normally it
+  // is the last attempt; after a RESYNC requeue, later duplicate copies may
+  // exist — their flights fall inside release_wait, not final_flight.
+  std::size_t final_idx = t.attempts.size() - 1;
+  if (t.delivered) {
+    for (std::size_t i = 0; i < t.attempts.size(); ++i) {
+      if (t.attempts[i].ctr == t.delivered_ctr) {
+        final_idx = i;
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < final_idx; ++i) {
     // Failed cycle i: send(i) .. send(i+1).  Interior boundaries are the NAK
     // and the retransmit claim; a missing boundary collapses its component
     // to zero while the cycle total t3-t0 is preserved (telescoping).
@@ -46,7 +58,7 @@ LatencyBreakdown attribute(const PacketTrace& t) noexcept {
     b.checkpoint_wait_ps += (t2 - t1).ps();
     b.retx_serialization_ps += (t3 - t2).ps();
   }
-  const Time last = t.attempts.back().sent;
+  const Time last = t.attempts[final_idx].sent;
   if (t.delivered) {
     b.final_flight_ps = (*t.delivered - last).ps();
     if (t.released) b.release_wait_ps = (*t.released - *t.delivered).ps();
@@ -98,10 +110,19 @@ void TraceBuilder::on_event(const Event& e) {
                             t.attempts.back().ctr == pending_map_->old_ctr;
         if (!linked) t.chain_broken = true;
       } else if (!t.attempts.empty()) {
-        // A second "attempt 1" for the same packet id (session renumbering
-        // or a corrupt capture) — the chain cannot be trusted.
-        t.chain_broken = true;
+        const auto git = pkt_gen_.find(f.packet_id);
+        const std::uint32_t seen = git == pkt_gen_.end() ? 0 : git->second;
+        if (seen < resync_gen_) {
+          // A RESYNC requeued this packet: attempt numbering lawfully
+          // restarts at 1 under a fresh counter (new incarnation).
+          ++t.resync_requeues;
+        } else {
+          // A second "attempt 1" with no intervening RESYNC (session
+          // renumbering or a corrupt capture) — the chain cannot be trusted.
+          t.chain_broken = true;
+        }
       }
+      pkt_gen_[f.packet_id] = resync_gen_;
       pending_map_.reset();
       TraceAttempt a;
       a.ctr = f.ctr;
@@ -186,6 +207,9 @@ void TraceBuilder::on_event(const Event& e) {
       recoveries_.push_back(RecoveryMark{e.at, e.p.recovery.from,
                                          e.p.recovery.to, e.p.recovery.reason});
       break;
+    case EventKind::kResyncInitiated:
+      if (e.source == Source::kLamsSender) ++resync_gen_;
+      break;
     default:
       break;
   }
@@ -221,6 +245,7 @@ TraceSummary TraceBuilder::summarize() const {
     s.max_attempts = std::max(s.max_attempts,
                               static_cast<std::uint32_t>(t.attempts.size()));
     s.extra_deliveries += t.extra_deliveries;
+    s.resync_requeues += t.resync_requeues;
   }
   for (const auto& [kind, n] : orphans_) s.orphan_events += n;
   return s;

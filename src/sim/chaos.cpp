@@ -90,6 +90,26 @@ ChaosVerdict run_chaos(const ChaosKnobs& knobs) {
              << " p_rev=" << cfg.reverse_error.p_frame << "\n";
   }
 
+  // Feedback-error asymmetry pin: overrides whatever the schedule drew for
+  // the reverse channel, leaving the forward channel and every subsequent
+  // random draw untouched (the sweep varies only feedback quality).
+  if (knobs.reverse_noise >= 0.0) {
+    cfg.reverse_error.kind = ErrorConfig::Kind::kFixedFrameProb;
+    cfg.reverse_error.p_frame = knobs.reverse_noise;
+    cfg.reverse_error.p_control = knobs.reverse_noise;
+    schedule << "  reverse noise pinned: p_rev=" << knobs.reverse_noise
+             << "\n";
+  }
+
+  if (knobs.self_heal) {
+    cfg.lams.self_audit_period = cfg.lams.checkpoint_interval * 2;
+    cfg.lams.resync_enabled = true;
+    cfg.lams.resync_watchdog = cfg.lams.failure_timeout() * 2;
+    cfg.lams.implausible_ack_threshold = 3;
+    schedule << "  self-heal: audit=" << cfg.lams.self_audit_period.ms()
+             << "ms watchdog=" << cfg.lams.resync_watchdog.ms() << "ms\n";
+  }
+
   // Congestion: slow receiver processing against small buffers forces
   // Stop-Go and (with the hard cap) congestion discards.
   if (knobs.allow_congestion && rng.bernoulli(0.4)) {
@@ -154,6 +174,17 @@ ChaosVerdict run_chaos(const ChaosKnobs& knobs) {
              << (outage_from + outage_len).ms() << "ms)\n";
   }
 
+  // Reverse-only outage (feedback blackout): checkpoints vanish while data
+  // keeps flowing, so the sender's silence detector — not the receiver —
+  // must carry the episode.
+  if (!knobs.reverse_outage_len.is_zero()) {
+    fault_span += knobs.reverse_outage_len;
+    schedule << "  reverse outage: [" << knobs.reverse_outage_from.ms()
+             << "ms, "
+             << (knobs.reverse_outage_from + knobs.reverse_outage_len).ms()
+             << "ms)\n";
+  }
+
   Scenario s{cfg};
   if (knobs.tap) knobs.tap(s);
   // Declared after `s` so it is destroyed first — its dtor cancels the
@@ -194,6 +225,13 @@ ChaosVerdict run_chaos(const ChaosKnobs& knobs) {
     s.simulator().schedule_at(outage_from + outage_len,
                               [&s] { s.link().set_up(true); });
   }
+  if (!knobs.reverse_outage_len.is_zero()) {
+    s.simulator().schedule_at(knobs.reverse_outage_from,
+                              [&s] { s.link().reverse().set_up(false); });
+    s.simulator().schedule_at(
+        knobs.reverse_outage_from + knobs.reverse_outage_len,
+        [&s] { s.link().reverse().set_up(true); });
+  }
 
   InvariantLimits limits;
   limits.max_outstanding = knobs.packets;
@@ -207,6 +245,7 @@ ChaosVerdict run_chaos(const ChaosKnobs& knobs) {
   // Stop-Go pacing stretches the retransmission queue; the flat term covers
   // the congestion-throttled drain.
   limits.grace = fault_span * 2 + Time::milliseconds(500);
+  limits.seed = knobs.seed;
   InvariantChecker checker{s, limits};
 
   // Workload shape: one batch burst, or a paced arrival stream.

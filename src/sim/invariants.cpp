@@ -11,38 +11,99 @@
 
 namespace lamsdlc::sim {
 
+namespace {
+/// High-rate bookkeeping kinds that would flush the real story out of the
+/// short context ring attached to violation reports.
+bool context_noise(obs::EventKind k) {
+  return k == obs::EventKind::kBufferOccupancy ||
+         k == obs::EventKind::kMetricSample;
+}
+constexpr std::size_t kContextRing = 6;
+}  // namespace
+
 InvariantChecker::InvariantChecker(Scenario& s, InvariantLimits limits)
     : scenario_{s}, limits_{std::move(limits)} {
   scenario_.set_listener(this);
   timer_ = scenario_.simulator().schedule_in(limits_.check_every,
                                              [this] { periodic_check(); });
+  sub_ = scenario_.events().subscribe(
+      [this](const obs::Event& e) { note_event(e); });
 }
 
-InvariantChecker::~InvariantChecker() { scenario_.simulator().cancel(timer_); }
+InvariantChecker::~InvariantChecker() {
+  scenario_.simulator().cancel(timer_);
+  scenario_.events().unsubscribe(sub_);
+}
 
-void InvariantChecker::violate(std::string what) {
+void InvariantChecker::note_event(const obs::Event& e) {
+  if (context_noise(e.kind)) return;
+  recent_.push_back(e);
+  if (recent_.size() > kContextRing) recent_.pop_front();
+}
+
+void InvariantChecker::violate(std::string what, bool terminal) {
+  const Time now = scenario_.simulator().now();
   std::ostringstream os;
-  os << "t=" << scenario_.simulator().now() << " " << what;
-  violations_.push_back(os.str());
+  os << "t=" << now;
+  if (limits_.seed != 0) os << " seed=" << limits_.seed;
+  os << " " << what;
+  if (!recent_.empty()) {
+    os << "\n  last events:";
+    for (const obs::Event& e : recent_) {
+      os << "\n    [" << e.at << "] " << obs::to_string(e.source) << ": "
+         << obs::describe(e);
+    }
+  }
+  const bool transient = !terminal && !limits_.converge_after.is_zero() &&
+                         now <= limits_.converge_after;
+  (transient ? transients_ : violations_).push_back(os.str());
+}
+
+void InvariantChecker::rearm_latches() {
+  // The convergence phase is over: whatever the corrupted state did to the
+  // bounds was lawful.  Audit the steady state from scratch.
+  converged_rearm_done_ = true;
+  reported_outstanding_ = false;
+  reported_recv_buffer_ = false;
+  reported_holding_ = false;
+  reported_codec_ = false;
+  reported_unknown_ = false;
+  // The holding histogram's max is cumulative, so remember the convergence
+  // phase's high-water mark: only a *new* maximum set after this instant can
+  // trip the steady-state bound.
+  holding_baseline_s_ = scenario_.stats().holding_time_s.max();
+  last_duplicates_ = scenario_.tracker().duplicates();
+  last_unknown_ = scenario_.tracker().unknown_deliveries();
 }
 
 void InvariantChecker::on_packet(const Packet& p, Time delivered_at) {
   workload::DeliveryTracker& tracker = scenario_.tracker();
   tracker.on_packet(p, delivered_at);
 
-  if (!reported_unknown_ && tracker.unknown_deliveries() > 0) {
+  if (!reported_unknown_ && tracker.unknown_deliveries() > last_unknown_) {
     reported_unknown_ = true;
+    last_unknown_ = tracker.unknown_deliveries();
     violate("delivered a packet that was never submitted (id=" +
             std::to_string(p.id) + ")");
   }
   if (limits_.expect_no_duplicates && tracker.duplicates() > last_duplicates_) {
     last_duplicates_ = tracker.duplicates();
-    violate("duplicate client delivery (packet id=" + std::to_string(p.id) +
-            ", total duplicates=" + std::to_string(last_duplicates_) + ")");
+    // A RESYNC requeues every unresolved frame, re-delivering copies that
+    // had already arrived — self-stabilization's lawful bounded duplication
+    // during convergence.  Only packets the fault plan never put at risk
+    // may not duplicate.
+    if (limits_.excused.find(p.id) == limits_.excused.end()) {
+      violate("duplicate client delivery (packet id=" + std::to_string(p.id) +
+              ", total duplicates=" + std::to_string(last_duplicates_) + ")");
+    }
   }
 }
 
 void InvariantChecker::periodic_check() {
+  if (!limits_.converge_after.is_zero() && !converged_rearm_done_ &&
+      scenario_.simulator().now() > limits_.converge_after) {
+    rearm_latches();
+  }
   const lams::LamsSender* tx = scenario_.lams_sender();
 
   if (!reported_outstanding_ && limits_.max_outstanding > 0 && tx != nullptr &&
@@ -65,7 +126,7 @@ void InvariantChecker::periodic_check() {
   if (!reported_holding_ && !limits_.max_holding.is_zero()) {
     const double bound = (limits_.max_holding + limits_.grace).sec();
     const double seen = scenario_.stats().holding_time_s.max();
-    if (seen > bound) {
+    if (seen > bound && seen > holding_baseline_s_) {
       reported_holding_ = true;
       std::ostringstream os;
       os << "holding-time bound exceeded: " << seen * 1e3 << " ms > "
@@ -98,9 +159,18 @@ void InvariantChecker::finish(bool completed) {
 
   if (completed) {
     if (!tracker.all_delivered()) {
-      violate("run reported complete but " +
-              std::to_string(tracker.missing().size()) +
-              " packets are undelivered");
+      // Packets the corruption tier excused (destroyed inside the endpoint
+      // by an injected fault) are lawful bounded convergence loss; anything
+      // else undelivered is a real leak.
+      std::size_t lost = 0;
+      for (const frame::PacketId id : tracker.missing()) {
+        if (limits_.excused.find(id) == limits_.excused.end()) ++lost;
+      }
+      if (lost > 0) {
+        violate("run reported complete but " + std::to_string(lost) +
+                    " packets are undelivered (not excused by the fault plan)",
+                /*terminal=*/true);
+      }
     }
     return;
   }
@@ -109,22 +179,28 @@ void InvariantChecker::finish(bool completed) {
     // Declared unrecoverable failure is a clean terminal state *iff* every
     // undelivered packet sits in the residue the sender hands the network
     // layer — nothing may be lost silently (Section 3.2: the DLC "informs
-    // the network layer", which reroutes).
+    // the network layer", which reroutes).  Excused ids were destroyed by
+    // injected endpoint corruption and lawfully appear in neither place.
     std::unordered_set<frame::PacketId> residue;
     for (const Packet& p : tx->take_unresolved()) residue.insert(p.id);
     std::size_t lost = 0;
     for (const frame::PacketId id : tracker.missing()) {
-      if (residue.find(id) == residue.end()) ++lost;
+      if (residue.find(id) == residue.end() &&
+          limits_.excused.find(id) == limits_.excused.end()) {
+        ++lost;
+      }
     }
     if (lost > 0) {
       violate("declared failure lost " + std::to_string(lost) +
-              " packets silently (missing from the unresolved residue)");
+                  " packets silently (missing from the unresolved residue)",
+              /*terminal=*/true);
     }
     return;
   }
 
   violate("silent hang: " + std::to_string(tracker.missing().size()) +
-          " packets undelivered, no completion and no declared failure");
+              " packets undelivered, no completion and no declared failure",
+          /*terminal=*/true);
 }
 
 std::string InvariantChecker::summary() const {

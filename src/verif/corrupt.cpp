@@ -1,0 +1,507 @@
+#include "lamsdlc/verif/corrupt.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "lamsdlc/lams/receiver.hpp"
+#include "lamsdlc/lams/sender.hpp"
+#include "lamsdlc/obs/metrics.hpp"
+#include "lamsdlc/sim/invariants.hpp"
+#include "lamsdlc/sim/sweep.hpp"
+#include "lamsdlc/workload/sources.hpp"
+
+namespace lamsdlc::verif {
+
+const char* to_string(CorruptionClass c) noexcept {
+  switch (c) {
+    case CorruptionClass::kSenderCtrWarp: return "sender_ctr_warp";
+    case CorruptionClass::kSenderSlotDrop: return "sender_slot_drop";
+    case CorruptionClass::kSenderSlotArrivalWarp: return "sender_slot_arrival_warp";
+    case CorruptionClass::kSenderCpTrackingWarp: return "sender_cp_tracking_warp";
+    case CorruptionClass::kSenderPacingStall: return "sender_pacing_stall";
+    case CorruptionClass::kReceiverHighestWarp: return "receiver_highest_warp";
+    case CorruptionClass::kReceiverAnchorWarp: return "receiver_anchor_warp";
+    case CorruptionClass::kReceiverNakInject: return "receiver_nak_inject";
+    case CorruptionClass::kReceiverNakClear: return "receiver_nak_clear";
+    case CorruptionClass::kReceiverCpSeqWarp: return "receiver_cp_seq_warp";
+    case CorruptionClass::kReceiverCadenceStall: return "receiver_cadence_stall";
+  }
+  return "?";
+}
+
+namespace {
+
+bool targets_receiver(CorruptionClass c) {
+  return static_cast<std::uint8_t>(c) >=
+         static_cast<std::uint8_t>(CorruptionClass::kReceiverHighestWarp);
+}
+
+/// Magnitude scaled for shrinking, floored at 1 so an injection never
+/// silently degenerates into a no-op.
+std::int64_t scaled(std::int64_t raw, double scale) {
+  const auto s = static_cast<std::int64_t>(static_cast<double>(raw) * scale);
+  return s < 1 ? 1 : s;
+}
+
+}  // namespace
+
+// ------------------------------------------------------- StateCorruptor --
+
+StateCorruptor::StateCorruptor(sim::Scenario& s, Plan plan)
+    : scenario_{s}, plan_{plan} {
+  const auto m =
+      static_cast<std::int64_t>(scenario_.config().lams.modulus);
+  std::vector<CorruptionClass> classes;
+  for (std::size_t i = 0; i < kCorruptionClassCount; ++i) {
+    const auto c = static_cast<CorruptionClass>(i);
+    if (targets_receiver(c) ? !plan_.allow_receiver : !plan_.allow_sender) {
+      continue;
+    }
+    if (c == CorruptionClass::kSenderSlotDrop && !plan_.allow_state_loss) {
+      continue;
+    }
+    classes.push_back(c);
+  }
+
+  RandomStream rng{plan_.seed, "corrupt.plan"};
+  for (std::uint32_t i = 0; i < plan_.injections && !classes.empty(); ++i) {
+    Drawn d;
+    d.at = plan_.first + plan_.span * rng.uniform(0.0, 1.0);
+    d.cls = classes[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(classes.size()) - 1))];
+    // One fixed draw tuple per injection keeps the schedule shape stable
+    // when only the class set changes.
+    const bool negative = rng.bernoulli(0.5);
+    const std::int64_t half = rng.uniform_int(1, m / 2 > 1 ? m / 2 : 1);
+    const std::int64_t full = rng.uniform_int(1, m);
+    const std::int64_t idx = rng.uniform_int(0, 63);
+    const std::int64_t big = rng.uniform_int(1, 1000);
+    const std::int64_t stall_ms = rng.uniform_int(60, 300);
+    const std::int64_t warp_ms = rng.uniform_int(1, 50);
+    switch (d.cls) {
+      case CorruptionClass::kSenderCtrWarp:
+      case CorruptionClass::kReceiverHighestWarp:
+        d.a = scaled(half, plan_.scale) * (negative ? -1 : 1);
+        break;
+      case CorruptionClass::kReceiverAnchorWarp:
+        d.a = scaled(full, plan_.scale) * (negative ? -1 : 1);
+        break;
+      case CorruptionClass::kSenderSlotDrop:
+      case CorruptionClass::kSenderSlotArrivalWarp:
+        d.a = scaled(warp_ms, plan_.scale) * (negative ? -1 : 1);
+        d.b = static_cast<std::uint64_t>(idx);
+        break;
+      case CorruptionClass::kSenderCpTrackingWarp:
+        d.b = static_cast<std::uint64_t>(scaled(big, plan_.scale));
+        break;
+      case CorruptionClass::kSenderPacingStall:
+        d.a = scaled(stall_ms, plan_.scale);
+        break;
+      case CorruptionClass::kReceiverNakInject:
+        d.b = static_cast<std::uint64_t>(rng.uniform_int(0, 2 * m));
+        break;
+      case CorruptionClass::kReceiverCpSeqWarp:
+        d.a = scaled(big, plan_.scale) * (negative ? -1 : 1);
+        break;
+      case CorruptionClass::kReceiverNakClear:
+      case CorruptionClass::kReceiverCadenceStall:
+        break;
+    }
+    drawn_.push_back(d);
+  }
+  for (std::size_t i = 0; i < drawn_.size(); ++i) {
+    scenario_.simulator().schedule_at(drawn_[i].at,
+                                      [this, i] { inject(drawn_[i]); });
+  }
+  sub_ = scenario_.events().subscribe(
+      [this](const obs::Event& e) { on_event(e); });
+}
+
+StateCorruptor::~StateCorruptor() { scenario_.events().unsubscribe(sub_); }
+
+void StateCorruptor::inject(const Drawn& d) {
+  lams::LamsSender* tx = scenario_.lams_sender();
+  lams::LamsReceiver* rx = scenario_.lams_receiver();
+  if (tx == nullptr || rx == nullptr) return;
+  if (tx->mode() == lams::LamsSender::Mode::kFailed) return;
+
+  InjectionRecord rec;
+  rec.cls = d.cls;
+  rec.receiver = targets_receiver(d.cls);
+  rec.at = scenario_.simulator().now();
+  rec.a = d.a;
+  rec.b = d.b;
+
+  switch (d.cls) {
+    case CorruptionClass::kSenderCtrWarp:
+      tx->corrupt_warp_next_ctr(d.a);
+      break;
+    case CorruptionClass::kSenderSlotDrop:
+      rec.destroyed = tx->corrupt_drop_slot(static_cast<std::size_t>(d.b));
+      break;
+    case CorruptionClass::kSenderSlotArrivalWarp:
+      tx->corrupt_warp_slot_arrival(static_cast<std::size_t>(d.b),
+                                    Time::milliseconds(d.a));
+      break;
+    case CorruptionClass::kSenderCpTrackingWarp:
+      tx->corrupt_cp_tracking(d.b, true);
+      break;
+    case CorruptionClass::kSenderPacingStall:
+      tx->corrupt_pacing_gate(rec.at + Time::milliseconds(d.a));
+      break;
+    case CorruptionClass::kReceiverHighestWarp:
+      rx->corrupt_warp_highest(d.a);
+      break;
+    case CorruptionClass::kReceiverAnchorWarp:
+      rx->corrupt_warp_anchor(d.a);
+      break;
+    case CorruptionClass::kReceiverNakInject:
+      rx->corrupt_inject_nak(d.b);
+      break;
+    case CorruptionClass::kReceiverNakClear:
+      rx->corrupt_clear_nak_state();
+      break;
+    case CorruptionClass::kReceiverCpSeqWarp:
+      rx->corrupt_warp_cp_seq(d.a);
+      break;
+    case CorruptionClass::kReceiverCadenceStall:
+      rx->corrupt_stall_cadence();
+      break;
+  }
+
+  // Every in-flight frame is now at risk: a warped endpoint may swallow it
+  // as a duplicate or wrongly release it, and no later audit can conjure
+  // the payload back — self-stabilization promises bounded loss during
+  // convergence, not zero loss.
+  for (const frame::PacketId id : tx->outstanding_ids()) note_at_risk(id);
+  if (rec.destroyed != 0) note_at_risk(rec.destroyed);
+  risk_open_ = true;
+  last_at_ = rec.at;
+  done_.push_back(rec);
+
+  obs::Event e;
+  e.at = rec.at;
+  e.source =
+      rec.receiver ? obs::Source::kLamsReceiver : obs::Source::kLamsSender;
+  e.kind = obs::EventKind::kStateCorrupted;
+  e.p.corruption = {static_cast<std::uint8_t>(d.cls),
+                    static_cast<std::uint8_t>(rec.receiver ? 1 : 0),
+                    static_cast<std::uint64_t>(d.a), d.b};
+  scenario_.events().emit(e);
+}
+
+void StateCorruptor::on_event(const obs::Event& e) {
+  if (e.kind == obs::EventKind::kResyncCompleted &&
+      e.source == obs::Source::kLamsSender) {
+    // The pipe is re-anchored and everything unresolved was requeued under
+    // the fresh numbering; frames sent from here on must all deliver.
+    if (!done_.empty() && e.at >= last_at_) risk_open_ = false;
+    return;
+  }
+  if (risk_open_ && e.kind == obs::EventKind::kFrameSent &&
+      e.source == obs::Source::kLamsSender && e.p.frame.control == 0 &&
+      e.p.frame.packet_id != 0) {
+    // Benign corruptions may never need a RESYNC; the horizon closes the
+    // window once the detection + recovery budget has lapsed.
+    if (plan_.risk_horizon.is_zero() ||
+        e.at <= last_at_ + plan_.risk_horizon) {
+      note_at_risk(e.p.frame.packet_id);
+    }
+  }
+}
+
+void StateCorruptor::note_at_risk(frame::PacketId id) {
+  at_risk_.insert(id);
+  // Excuse live, not just at finish(): a RESYNC re-delivers copies of
+  // at-risk frames, and the duplicate audit must already know they are
+  // lawful when the copy lands.
+  if (checker_ != nullptr) checker_->excuse(id);
+}
+
+std::string StateCorruptor::describe_plan() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < drawn_.size(); ++i) {
+    const Drawn& d = drawn_[i];
+    os << "  corrupt " << i << ": " << to_string(d.cls) << " t="
+       << d.at.ms() << "ms a=" << d.a << " b=" << d.b << "\n";
+  }
+  return os.str();
+}
+
+// ----------------------------------------------------------- run_corrupt --
+
+std::string CorruptVerdict::repro_command() const {
+  std::ostringstream os;
+  os << "lamsdlc_cli verify --corrupt-state --seed " << knobs.seed
+     << " --packets " << knobs.packets << " --injections "
+     << knobs.injections;
+  if (!knobs.allow_sender) os << " --no-sender";
+  if (!knobs.allow_receiver) os << " --no-receiver";
+  if (!knobs.allow_state_loss) os << " --no-state-loss";
+  if (!knobs.background_noise) os << " --no-noise";
+  if (!knobs.self_heal) os << " --no-self-heal";
+  if (knobs.scale != 1.0) os << " --fault-scale " << knobs.scale;
+  return os.str();
+}
+
+std::string CorruptVerdict::to_string() const {
+  std::ostringstream os;
+  os << (ok ? "OK" : "VIOLATED")
+     << (converged ? " (converged)"
+                   : torn_down ? " (clean teardown)" : " (diverged)")
+     << " resyncs=" << resyncs << " audit_trips=" << audit_trips
+     << " excused=" << excused << "\n";
+  for (const std::string& v : violations) os << "  violation: " << v << "\n";
+  os << schedule;
+  if (!ok) os << "  repro: " << repro_command() << "\n";
+  return os.str();
+}
+
+CorruptVerdict run_corrupt(const CorruptKnobs& knobs) {
+  RandomStream rng{knobs.seed, "corrupt.base"};
+  std::ostringstream sched;
+  sched << "corrupt seed=" << knobs.seed << " packets=" << knobs.packets
+        << "\n";
+
+  constexpr std::uint32_t kFrameBytes = 256;
+
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kLams;
+  cfg.metrics = true;
+  cfg.data_rate_bps = 100e6;
+  cfg.prop_delay = Time::milliseconds(5);
+  cfg.frame_bytes = kFrameBytes;
+  cfg.seed = knobs.seed;
+  cfg.lams.checkpoint_interval = Time::milliseconds(5);
+  cfg.lams.cumulation_depth = 4;
+  cfg.lams.max_rtt = Time::milliseconds(15);
+  // Small enough that drawn warps are a meaningful fraction of the number
+  // space, large enough that the lawful in-flight population (paced
+  // workload, ~40 frames) stays under the numbering window of modulus/2.
+  cfg.lams.modulus = 128;
+  cfg.lams.release_margin = Time::microseconds(300);
+  // The layer under test: periodic self-audit, progress watchdog (beyond
+  // the enforced-recovery budget so that machinery gets the first try),
+  // implausible-ack streak detection, RESYNC recovery.  The self_heal
+  // ablation keeps every derived time bound identical and turns only the
+  // layer itself off.
+  const Time watchdog = cfg.lams.failure_timeout() * 2;
+  if (knobs.self_heal) {
+    cfg.lams.self_audit_period = Time::milliseconds(2);
+    cfg.lams.resync_enabled = true;
+    cfg.lams.resync_watchdog = watchdog;
+    cfg.lams.implausible_ack_threshold = 2;
+  } else {
+    sched << "  ablation: self-heal OFF\n";
+  }
+
+  if (knobs.background_noise && rng.bernoulli(0.5)) {
+    cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+    cfg.forward_error.p_frame = rng.uniform(0.0, 0.10);
+    cfg.forward_error.p_control = rng.uniform(0.0, 0.08);
+    cfg.reverse_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+    cfg.reverse_error.p_frame = rng.uniform(0.0, 0.08);
+    cfg.reverse_error.p_control = cfg.reverse_error.p_frame;
+    sched << "  base noise: pf=" << cfg.forward_error.p_frame
+          << " pc_fwd=" << cfg.forward_error.p_control
+          << " p_rev=" << cfg.reverse_error.p_frame << "\n";
+  }
+
+  // Paced workload spreads traffic across the injection window so every
+  // corruption lands on a live pipe.
+  const Time gap = Time::microseconds(rng.uniform_int(300, 800));
+  const Time traffic_span = gap * static_cast<std::int64_t>(knobs.packets);
+  sched << "  workload: rate gap=" << gap.us() << "us\n";
+
+  StateCorruptor::Plan plan;
+  plan.seed = knobs.seed;
+  plan.injections = knobs.injections != 0
+                        ? knobs.injections
+                        : static_cast<std::uint32_t>(1 + rng.uniform_int(0, 3));
+  plan.allow_sender = knobs.allow_sender;
+  plan.allow_receiver = knobs.allow_receiver;
+  plan.allow_state_loss = knobs.allow_state_loss;
+  plan.scale = knobs.scale;
+  plan.first = Time::milliseconds(2);
+  plan.span = traffic_span * 0.9;
+  // Detection + recovery budget: worst-case watchdog latency (two periods —
+  // one to arm the baseline, one to observe the stall), a full bounded-retry
+  // RESYNC episode, then one resolving period to drain the requeued pipe.
+  plan.risk_horizon = watchdog * 2 + cfg.lams.resync_budget() +
+                      cfg.lams.resolving_period_bound() +
+                      Time::milliseconds(50);
+
+  sim::Scenario s{cfg};
+  if (knobs.tap) knobs.tap(s);
+  StateCorruptor corruptor{s, plan};
+
+  // The convergence boundary: everything after the end of the injection
+  // window plus the recovery budget must be invariant-clean steady state.
+  const Time converge_after = plan.first + plan.span + plan.risk_horizon;
+  Time horizon = knobs.horizon;
+  if (horizon.is_zero()) {
+    horizon = converge_after + traffic_span +
+              cfg.lams.resolving_period_bound() * 4 + Time::seconds_int(1);
+  }
+
+  // Steady-state probe: a fresh batch submitted after the convergence
+  // boundary.  These packets are sent after the risk window closed, so
+  // nothing excuses them — a still-warped endpoint that swallows or strands
+  // even one fails the run.  Without this the excused set (which lawfully
+  // covers everything in flight during convergence) could mask a pipe that
+  // never actually re-anchored.
+  const std::uint64_t probe = std::max<std::uint64_t>(20, knobs.packets / 4);
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(),
+                         probe, kFrameBytes, converge_after);
+  const std::uint64_t total = knobs.packets + probe;
+  sched << "  probe: " << probe << " packets at t=" << converge_after.ms()
+        << "ms (post-convergence, none excusable)\n";
+
+  sim::InvariantLimits limits;
+  limits.max_outstanding = total;
+  limits.max_holding = cfg.lams.resolving_period_bound();
+  limits.grace = Time::milliseconds(500);
+  limits.converge_after = converge_after;
+  limits.seed = knobs.seed;
+  sim::InvariantChecker checker{s, limits};
+  corruptor.set_checker(&checker);
+
+  auto source = std::make_unique<workload::RateSource>(
+      s.simulator(), s.sender(), s.tracker(), s.ids(),
+      workload::RateSource::Config{gap, knobs.packets, kFrameBytes, Time{},
+                                   false});
+  source->start();
+
+  // Custom completion pump: `Scenario::run_to_completion` insists on *every*
+  // packet delivered, but packets the corruption destroyed inside the
+  // endpoint never can be — steady state is reached when the sender is idle
+  // and everything missing is excused by the fault plan.
+  bool completed = false;
+  const Time check_every = Time::milliseconds(1);
+  while (s.simulator().now() < horizon) {
+    const Time next = std::min(horizon, s.simulator().now() + check_every);
+    s.simulator().run_until(next);
+    if (s.lams_sender()->mode() == lams::LamsSender::Mode::kFailed) break;
+    if (s.tracker().submitted() >= total && s.sender().idle()) {
+      bool residue_excused = true;
+      for (const frame::PacketId id : s.tracker().missing()) {
+        if (corruptor.at_risk().find(id) == corruptor.at_risk().end()) {
+          residue_excused = false;
+          break;
+        }
+      }
+      if (residue_excused) {
+        completed = true;
+        break;
+      }
+    }
+  }
+  const bool failed =
+      s.lams_sender()->mode() == lams::LamsSender::Mode::kFailed;
+
+  for (const frame::PacketId id : corruptor.at_risk()) checker.excuse(id);
+  checker.finish(completed);
+
+  CorruptVerdict v;
+  v.ok = checker.ok();
+  v.converged = completed;
+  v.torn_down = failed;
+  v.resyncs = s.lams_sender()->resyncs_completed();
+  v.audit_trips = s.lams_sender()->self_audit_trips() +
+                  s.lams_receiver()->self_audit_trips();
+  v.injections = corruptor.injections().size();
+  v.excused = corruptor.at_risk().size();
+  v.violations = checker.violations();
+  v.transients = checker.transients();
+  v.schedule = sched.str() + corruptor.describe_plan();
+  v.knobs = knobs;
+  v.knobs.injections = plan.injections;
+
+  obs::Registry& reg = s.metrics();
+  if (const obs::LogHistogram* h = reg.find_histogram("recovery.time_ms")) {
+    v.recovery_episodes = h->count();
+    v.recovery_ms_max = h->max();
+  }
+  reg.counter("verif.at_risk_packets").add(v.excused);
+  v.metrics_json = reg.json();
+  return v;
+}
+
+CorruptVerdict shrink_corrupt(const CorruptKnobs& failing, int budget) {
+  CorruptVerdict best = run_corrupt(failing);
+  int spent = 1;
+  if (best.ok) return best;  // precondition violated; nothing to shrink
+  CorruptKnobs cur = best.knobs;
+
+  // 1. One injection reproduces most single-cause failures.
+  if (spent < budget && cur.injections > 1) {
+    CorruptKnobs cand = cur;
+    cand.injections = 1;
+    CorruptVerdict r = run_corrupt(cand);
+    ++spent;
+    if (!r.ok) {
+      cur = r.knobs;
+      best = std::move(r);
+    }
+  }
+
+  // 2. Halve the workload while the failure survives.
+  while (spent < budget && cur.packets > 16) {
+    CorruptKnobs cand = cur;
+    cand.packets = std::max<std::uint64_t>(16, cur.packets / 2);
+    if (cand.packets == cur.packets) break;
+    CorruptVerdict r = run_corrupt(cand);
+    ++spent;
+    if (r.ok) break;
+    cur = r.knobs;
+    best = std::move(r);
+  }
+
+  // 3. Drop dimensions one at a time (cheapest-to-lose first).  Never turn
+  // off both endpoint surfaces at once.
+  static constexpr bool CorruptKnobs::* kFlags[] = {
+      &CorruptKnobs::background_noise, &CorruptKnobs::allow_state_loss,
+      &CorruptKnobs::allow_receiver, &CorruptKnobs::allow_sender};
+  for (const auto flag : kFlags) {
+    if (spent >= budget || !(cur.*flag)) continue;
+    CorruptKnobs cand = cur;
+    cand.*flag = false;
+    if (!cand.allow_sender && !cand.allow_receiver) continue;
+    CorruptVerdict r = run_corrupt(cand);
+    ++spent;
+    if (!r.ok) {
+      cur = r.knobs;
+      best = std::move(r);
+    }
+  }
+
+  // 4. Shrink the warp magnitudes toward the smallest that still fails.
+  for (int i = 0; i < 2 && spent < budget; ++i) {
+    CorruptKnobs cand = cur;
+    cand.scale = cur.scale * 0.5;
+    CorruptVerdict r = run_corrupt(cand);
+    ++spent;
+    if (!r.ok) {
+      cur = r.knobs;
+      best = std::move(r);
+    }
+  }
+  return best;
+}
+
+std::vector<CorruptVerdict> run_corrupt_sweep(const CorruptKnobs& base,
+                                              std::uint64_t first_seed,
+                                              std::uint64_t count,
+                                              unsigned threads) {
+  sim::ParallelSweep pool{threads};
+  return pool.map<CorruptVerdict>(
+      static_cast<std::size_t>(count), [&base, first_seed](std::size_t i) {
+        CorruptKnobs k = base;
+        k.seed = first_seed + i;
+        return run_corrupt(k);
+      });
+}
+
+}  // namespace lamsdlc::verif

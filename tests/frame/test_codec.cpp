@@ -373,5 +373,66 @@ TEST(Codec, DecodeLimitsRejectOutOfRangeSequenceFields) {
   EXPECT_TRUE(decode(encode(make(wild))).has_value());
 }
 
+TEST(Codec, ResyncRoundTrip) {
+  ResyncFrame rs;
+  rs.token = 0xCAFE01;
+  rs.epoch = 7;
+  const auto out = decode(encode(make(rs)));
+  ASSERT_TRUE(out.has_value());
+  const auto& r = std::get<ResyncFrame>(out->body);
+  EXPECT_EQ(r.token, rs.token);
+  EXPECT_EQ(r.epoch, rs.epoch);
+}
+
+TEST(Codec, ResyncAckRoundTrip) {
+  ResyncAckFrame ack;
+  ack.token = 0xBEEF02;
+  ack.epoch = 3;
+  const auto out = decode(encode(make(ack)));
+  ASSERT_TRUE(out.has_value());
+  const auto& a = std::get<ResyncAckFrame>(out->body);
+  EXPECT_EQ(a.token, ack.token);
+  EXPECT_EQ(a.epoch, ack.epoch);
+}
+
+TEST(Codec, ResyncEpochZeroRejectedUnderLimits) {
+  // A RESYNC always carries the epoch both ends are adopting (>= 1); epoch 0
+  // means "no session layer" and can only be a decoder-confusing corruption.
+  // Like the sequence-range rules, lawfulness is enforced at the limits
+  // layer (structure-only decoding stays permissive).
+  const DecodeLimits limits{128};
+  ResyncFrame rs;
+  rs.token = 1;
+  rs.epoch = 1;
+  EXPECT_TRUE(decode(encode(make(rs)), limits).has_value());
+  rs.epoch = 0;
+  EXPECT_FALSE(decode(encode(make(rs)), limits).has_value());
+
+  ResyncAckFrame ack;
+  ack.token = 1;
+  ack.epoch = 1;
+  EXPECT_TRUE(decode(encode(make(ack)), limits).has_value());
+  ack.epoch = 0;
+  EXPECT_FALSE(decode(encode(make(ack)), limits).has_value());
+}
+
+TEST(Codec, CheckpointResyncReqFlagRoundTrips) {
+  CheckpointFrame cp;
+  cp.cp_seq = 12;
+  cp.any_seen = true;
+  cp.highest_seen = 4;
+  cp.resync_req = true;
+  const auto out = decode(encode(make(cp)));
+  ASSERT_TRUE(out.has_value());
+  const auto& c = std::get<CheckpointFrame>(out->body);
+  EXPECT_TRUE(c.resync_req);
+  EXPECT_TRUE(c.any_seen);
+
+  cp.resync_req = false;
+  const auto plain = decode(encode(make(cp)));
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_FALSE(std::get<CheckpointFrame>(plain->body).resync_req);
+}
+
 }  // namespace
 }  // namespace lamsdlc::frame

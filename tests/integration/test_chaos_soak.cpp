@@ -171,5 +171,75 @@ TEST(InvariantChecker, FlagsARunThatEndsInASilentHang) {
   }
 }
 
+TEST(ChaosFeedbackAsymmetry, ReverseNoisePinSteersOnlyTheFeedbackPath) {
+  // ROADMAP 5(b): an E-series-style sensitivity probe.  Two sweeps differ
+  // *only* in the pinned reverse-channel error rate — the drawn schedules
+  // (same seeds) are otherwise identical — so any difference in recovery
+  // activity is attributable to feedback loss alone.  Checkpoint loss must
+  // show up as checkpoint-silence recoveries (Request-NAKs), and both arms
+  // must still satisfy every invariant.
+  std::uint64_t naks_clean = 0, naks_noisy = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    LAMSDLC_SEED_TRACE(seed);
+    ChaosKnobs clean;
+    clean.seed = seed;
+    clean.allow_link_outage = false;
+    clean.reverse_noise = 0.0;  // pin: pristine feedback
+    const ChaosVerdict a = run_chaos(clean);
+    ASSERT_TRUE(a.ok) << a.to_string();
+    naks_clean += a.request_naks;
+
+    ChaosKnobs noisy = clean;
+    noisy.reverse_noise = 0.35;  // pin: heavily lossy feedback
+    const ChaosVerdict b = run_chaos(noisy);
+    ASSERT_TRUE(b.ok) << b.to_string();
+    ASSERT_TRUE(b.completed || b.declared_failed) << b.to_string();
+    naks_noisy += b.request_naks;
+    EXPECT_NE(b.schedule.find("reverse noise pinned"), std::string::npos);
+  }
+  EXPECT_GT(naks_noisy, naks_clean)
+      << "a 35% feedback error rate must force checkpoint-silence recovery";
+}
+
+TEST(ChaosFeedbackAsymmetry, ReverseOnlyOutageSurvivedOrDeclared) {
+  // The forward channel never blinks; the feedback direction goes dark for
+  // a window.  Checkpoints vanish silently, so only the sender's silence
+  // detector can carry the run — to recovery if the outage fits the failure
+  // budget, to a declared failure otherwise.  Never a hang, never a loss.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    LAMSDLC_SEED_TRACE(seed);
+    ChaosKnobs knobs;
+    knobs.seed = seed;
+    knobs.allow_link_outage = false;
+    knobs.reverse_outage_from = Time::milliseconds(15);
+    knobs.reverse_outage_len = Time::milliseconds(10 + 5 * seed);
+    const ChaosVerdict v = run_chaos(knobs);
+    LAMSDLC_REPRO_TRACE("schedule", v.schedule);
+    ASSERT_TRUE(v.ok) << v.to_string();
+    ASSERT_TRUE(v.completed || v.declared_failed) << v.to_string();
+    EXPECT_NE(v.schedule.find("reverse outage"), std::string::npos);
+  }
+}
+
+TEST(ChaosFeedbackAsymmetry, SelfHealLayerIsQuiescentWithoutCorruption) {
+  // The recovery layer under pure wire chaos with healthy feedback: the
+  // runtime self-audits run continuously on both endpoints, but endpoint
+  // state is never corrupted, so nothing may trip and no RESYNC may fire —
+  // the no-false-positives property that keeps the layer safe to enable.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    LAMSDLC_SEED_TRACE(seed);
+    ChaosKnobs knobs;
+    knobs.seed = seed;
+    knobs.self_heal = true;
+    knobs.allow_reverse_faults = false;
+    knobs.allow_link_outage = false;
+    knobs.allow_base_noise = false;
+    const ChaosVerdict v = run_chaos(knobs);
+    LAMSDLC_REPRO_TRACE("schedule", v.schedule);
+    ASSERT_TRUE(v.ok) << v.to_string();
+    EXPECT_EQ(v.report.duplicates, 0u) << v.to_string();
+  }
+}
+
 }  // namespace
 }  // namespace lamsdlc::sim

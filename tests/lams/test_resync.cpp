@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lamsdlc/lams/receiver.hpp"
+#include "lamsdlc/lams/sender.hpp"
+#include "lamsdlc/sim/scenario.hpp"
+#include "lamsdlc/workload/sources.hpp"
+
+namespace lamsdlc {
+namespace {
+
+using namespace lamsdlc::literals;
+
+/// End-to-end tests of the self-stabilization layer: runtime self-audits,
+/// the epoch-tagged RESYNC handshake, the progress watchdog, and the
+/// bounded-retry teardown.  The state-corruption chaos tier (verif/corrupt)
+/// sweeps the same machinery across seeds; these pin the individual moving
+/// parts deterministically.
+
+sim::ScenarioConfig stab_config() {
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kLams;
+  cfg.data_rate_bps = 100e6;
+  cfg.prop_delay = 5_ms;
+  cfg.frame_bytes = 1024;
+  cfg.lams.checkpoint_interval = 5_ms;
+  cfg.lams.cumulation_depth = 4;
+  cfg.lams.t_proc = 10_us;
+  cfg.lams.max_rtt = 15_ms;
+  // Self-stabilization on: audit every 2 ms, watchdog at twice the failure
+  // timeout, RESYNC enabled with the default bounded retry budget.
+  cfg.lams.self_audit_period = 2_ms;
+  cfg.lams.resync_enabled = true;
+  cfg.lams.resync_watchdog = cfg.lams.failure_timeout() * 2;
+  cfg.lams.implausible_ack_threshold = 3;
+  return cfg;
+}
+
+/// No packet with id >= first_probe is missing: the pipe demonstrably
+/// re-anchored and carries fresh traffic after the episode.
+void expect_probe_delivered(sim::Scenario& s, frame::PacketId first_probe) {
+  for (const frame::PacketId id : s.tracker().missing()) {
+    EXPECT_LT(id, first_probe) << "post-recovery packet " << id << " lost";
+  }
+}
+
+TEST(Resync, SenderAuditCatchesWarpedCounterAndResyncs) {
+  sim::Scenario s{stab_config()};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 50,
+                         1024);
+  // Warp the monotone issue counter mid-flight: the next self-audit must
+  // trip (ctr regressed below an outstanding slot) and trigger a RESYNC
+  // rather than silently aliasing fresh frames onto in-flight numbers.
+  s.simulator().schedule_in(10_ms, [&] {
+    s.lams_sender()->corrupt_warp_next_ctr(-40);
+  });
+  ASSERT_TRUE(s.run_to_completion(5_s));
+  EXPECT_GE(s.lams_sender()->self_audit_trips(), 1u);
+  EXPECT_GE(s.lams_sender()->resyncs_completed(), 1u);
+  EXPECT_EQ(s.lams_sender()->mode(), lams::LamsSender::Mode::kNormal);
+  // A ctr warp destroys no payload: nothing may be lost (duplicates are
+  // lawful — the RESYNC requeues delivered-but-unreleased frames).
+  EXPECT_TRUE(s.tracker().missing().empty());
+}
+
+TEST(Resync, ReceiverAuditRidesCheckpointFlagToTriggerResync) {
+  sim::Scenario s{stab_config()};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 50,
+                         1024);
+  // Corrupt the *receiver*: it cannot start a RESYNC itself (sender owns
+  // the handshake) — its audit must raise resync_req on the next
+  // checkpoint and the sender must answer.  A cycle anchor warped past the
+  // arrival count is unambiguously incoherent (kReceiverAnchorCoherence).
+  s.simulator().schedule_in(10_ms, [&] {
+    s.lams_receiver()->corrupt_warp_anchor(500);
+  });
+  ASSERT_TRUE(s.run_to_completion(5_s));
+  EXPECT_GE(s.lams_receiver()->self_audit_trips(), 1u);
+
+  // The warp does not impede delivery, so the first wave drains before the
+  // flag-carrying checkpoint reaches the sender — the episode plays out
+  // against fresh probe traffic (ids continue at 51), which must then all
+  // deliver through the resynchronized pipe.
+  const frame::PacketId first_probe = 51;
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 20,
+                         1024, s.simulator().now());
+  ASSERT_TRUE(s.run_to_completion(5_s));
+  EXPECT_GE(s.lams_sender()->resyncs_completed(), 1u);
+  EXPECT_EQ(s.lams_sender()->mode(), lams::LamsSender::Mode::kNormal);
+  expect_probe_delivered(s, first_probe);
+}
+
+TEST(Resync, EpochAdvancesAcrossEpisodes) {
+  sim::Scenario s{stab_config()};
+  // Two traffic waves, each corrupted shortly after it starts — the audit
+  // only has evidence while slots are in flight, so each wave earns its own
+  // RESYNC episode.  The waves run back to back (run_to_completion returns
+  // as soon as a wave drains, so wave 2 is submitted afterwards).
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 60,
+                         1024);
+  s.simulator().schedule_in(10_ms, [&] {
+    s.lams_sender()->corrupt_warp_next_ctr(-30);
+  });
+  ASSERT_TRUE(s.run_to_completion(5_s));
+  EXPECT_GE(s.lams_sender()->resyncs_completed(), 1u);
+
+  // The warp must land *after* the wave is fully issued: while sends are in
+  // progress the issue path skips over live slots, healing a backward warp
+  // within one serialization time — faster than any audit tick can sample.
+  // 60 frames take ~5 ms to issue; the covering checkpoint lands ~14 ms in.
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 60,
+                         1024, s.simulator().now());
+  s.simulator().schedule_in(7_ms, [&] {
+    s.lams_sender()->corrupt_warp_next_ctr(-30);
+  });
+  ASSERT_TRUE(s.run_to_completion(5_s));
+  // Each episode adopts a strictly fresher epoch; two completed episodes
+  // leave the link at epoch >= 2, so stragglers from episode 1 can never
+  // alias into episode 2.
+  EXPECT_GE(s.lams_sender()->resyncs_completed(), 2u);
+  EXPECT_GE(s.lams_sender()->current_epoch(), 2u);
+  EXPECT_TRUE(s.tracker().missing().empty());
+}
+
+TEST(Resync, WatchdogIgnoresFreshTrafficAfterIdle) {
+  // Regression: the watchdog baseline used to be re-sampled every period
+  // even while idle, so traffic admitted just before a tick looked like a
+  // full stalled period and fired a spurious RESYNC — which requeued every
+  // delivered-but-unreleased frame and re-delivered all of them.  The
+  // watchdog now needs two consecutive stalled ticks (a provably busy,
+  // release-free full period).
+  sim::ScenarioConfig cfg = stab_config();
+  sim::Scenario s{cfg};
+  // Stay idle past several watchdog periods, then submit just before the
+  // next tick (ticks land on multiples of the period from t=0).
+  const Time tick = cfg.lams.resync_watchdog;
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 30,
+                         1024, tick * 4 - Time::milliseconds(2));
+  ASSERT_TRUE(s.run_to_completion(5_s));
+  EXPECT_EQ(s.lams_sender()->resyncs_completed(), 0u);
+  const auto r = s.report();
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_EQ(r.duplicates, 0u);
+}
+
+TEST(Resync, WatchdogStillCatchesGenuineWedge) {
+  // A corrupted pacing gate wedges the sender with traffic outstanding and
+  // checkpoints still flowing — invisible to the checkpoint/failure timers.
+  // Only the watchdog can see it, and the RESYNC's pacing reset un-wedges.
+  sim::Scenario s{stab_config()};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 40,
+                         1024);
+  s.simulator().schedule_in(8_ms, [&] {
+    s.lams_sender()->corrupt_pacing_gate(Time::seconds_int(60));
+  });
+  ASSERT_TRUE(s.run_to_completion(10_s));
+  EXPECT_GE(s.lams_sender()->resyncs_completed(), 1u);
+  EXPECT_TRUE(s.tracker().missing().empty());
+}
+
+TEST(Resync, BoundedRetryTeardownOnDeadReverseLink) {
+  // With the reverse channel dead forever, RESYNC attempts must exhaust the
+  // bounded retry budget and end in a *declared* failure whose residue
+  // accounts for every undelivered packet — never an infinite retry loop.
+  sim::Scenario s{stab_config()};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 30,
+                         1024);
+  s.simulator().schedule_in(10_ms, [&] { s.link().reverse().set_up(false); });
+  EXPECT_FALSE(s.run_to_completion(10_s));
+  ASSERT_EQ(s.lams_sender()->mode(), lams::LamsSender::Mode::kFailed);
+
+  auto residue = s.lams_sender()->take_unresolved();
+  auto missing = s.tracker().missing();
+  for (const frame::PacketId id : missing) {
+    const bool accounted =
+        std::any_of(residue.begin(), residue.end(),
+                    [&](const sim::Packet& p) { return p.id == id; });
+    EXPECT_TRUE(accounted) << "packet " << id << " lost silently";
+  }
+}
+
+}  // namespace
+}  // namespace lamsdlc

@@ -125,6 +125,23 @@ std::vector<Event> sample_events() {
   e.p.sample.is_counter = 0;
   evs.push_back(e);
 
+  // v3: self-stabilization kinds.
+  e = base(Source::kLamsReceiver, EventKind::kSelfAuditFailed);
+  e.p.audit = {AuditCheck::kReceiverNakCoherence, 0xFFFFFFFFFULL, 42};
+  evs.push_back(e);
+
+  e = base(Source::kLamsSender, EventKind::kStateCorrupted);
+  e.p.corruption = {10, 1, 0xDEADBEEFULL, 7};
+  evs.push_back(e);
+
+  e = base(Source::kLamsSender, EventKind::kResyncInitiated);
+  e.p.resync = {0xABCDEF, 3, 2, RecoveryReason::kProgressWatchdog};
+  evs.push_back(e);
+
+  e = base(Source::kLamsReceiver, EventKind::kResyncCompleted);
+  e.p.resync = {0xABCDEF, 3, 2, RecoveryReason::kResyncRequested};
+  evs.push_back(e);
+
   return evs;
 }
 
@@ -219,6 +236,19 @@ TEST(Capture, OldestReadableVersionAccepted) {
   bad.write(v1, 4);
   const char v2_kind[] = {0x0, 0x0, 0xF};  // kRetransmitMapped: not in v1
   bad.write(v2_kind, sizeof v2_kind);
+  EXPECT_FALSE(read_capture(bad, &err).has_value());
+}
+
+TEST(Capture, V2FileClaimingV3KindRejected) {
+  // The self-stabilization kinds are v3-only; a v2 file carrying one is
+  // corrupt, not forward-compatible.
+  std::stringstream bad;
+  bad.write(reinterpret_cast<const char*>(kCaptureMagic), 8);
+  const char v2[4] = {2, 0, 0, 0};
+  bad.write(v2, 4);
+  const char v3_kind[] = {0x0, 0x0, 0x13};  // kSelfAuditFailed: not in v2
+  bad.write(v3_kind, sizeof v3_kind);
+  std::string err;
   EXPECT_FALSE(read_capture(bad, &err).has_value());
 }
 

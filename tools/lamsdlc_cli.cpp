@@ -44,6 +44,13 @@
 ///   --no-outage              never schedule a full link outage
 ///   --no-suppress-duplicates ablation: receiver delivers stale frames (the
 ///                            checker must then flag duplicate delivery)
+///   --reverse-noise P        pin the reverse (checkpoint path) error rate
+///                            instead of drawing it (feedback asymmetry)
+///   --reverse-outage-from-ms MS / --reverse-outage-ms MS
+///                            reverse-only outage window: checkpoints vanish
+///                            while the forward channel stays up
+///   --self-heal              enable the self-audit / watchdog / RESYNC layer
+///                            in the chaos scenario config
 ///
 /// Subcommand `verify`: property-based verification — seeded hostile
 /// scenario generation cross-checked against the protocol invariants, the
@@ -64,6 +71,27 @@
 ///   --no-differential --no-analysis           drop scenario/oracle classes
 ///   --fault-scale X          [1.0]  scale fault windows (shrinker output)
 ///   --repro                  single seed: print the full transcript verbatim
+///
+/// `verify --corrupt-state`: the state-corruption chaos tier.  Instead of
+/// attacking the wire, seeded injections mutate live endpoint state mid-run
+/// (counters, slots, NAK history, cadence timers, anchors); the oracle is
+/// the self-stabilization contract — converge to invariant-clean steady
+/// state within the recovery budget, or tear down through the bounded-retry
+/// RESYNC path.  Failing seeds shrink and print a repro line:
+///
+///   lamsdlc_cli verify --corrupt-state --seeds 250 --jobs 0
+///   lamsdlc_cli verify --corrupt-state --seed 58 --no-self-heal --repro
+///
+/// Corrupt-state flags:
+///   --seed S / --seeds N / --jobs N            as in verify
+///   --packets N              [120]  workload size per run
+///   --injections N           [0]    pin the injection count (0 = draw 1..4)
+///   --no-sender / --no-receiver    restrict the corruption targets
+///   --no-state-loss          never destroy an in-flight slot outright
+///   --no-noise               no background wire noise
+///   --no-self-heal           ablation: self-audit/watchdog/RESYNC layer OFF
+///   --fault-scale X          [1.0]  warp-magnitude multiplier (shrinker)
+///   --repro                  print one seed's transcript verbatim
 ///
 /// Subcommand `capture`: run one chaos seed with every typed protocol event
 /// recorded to an `.ldlcap` capture file (format: docs/OBSERVABILITY.md):
@@ -101,6 +129,9 @@
 ///
 /// Trace flags: a positional capture file, or the chaos flags above (live
 /// run, single seed) plus --sample-ms as in `capture`, and:
+///   --corrupt-state          live run uses the state-corruption tier instead
+///                            of wire chaos (--seed/--packets/--injections);
+///                            RESYNC episodes render as recovery spans
 ///   --perfetto FILE          write Chrome trace-event JSON (ui.perfetto.dev)
 ///   --explain ID|worst       print one packet's full causal story
 ///   --dump                   print the canonical reconstruction dump
@@ -125,6 +156,7 @@
 #include "lamsdlc/sim/chaos.hpp"
 #include "lamsdlc/sim/sweep.hpp"
 #include "lamsdlc/sim/scenario.hpp"
+#include "lamsdlc/verif/corrupt.hpp"
 #include "lamsdlc/verif/fuzz.hpp"
 #include "lamsdlc/verif/verify.hpp"
 #include "lamsdlc/workload/sources.hpp"
@@ -303,6 +335,14 @@ bool parse_chaos_flag(int argc, char** argv, int& i, sim::ChaosKnobs& knobs) {
     knobs.allow_link_outage = false;
   } else if (a == "--no-suppress-duplicates") {
     knobs.suppress_duplicates = false;
+  } else if (a == "--reverse-noise") {
+    knobs.reverse_noise = std::atof(need(i));
+  } else if (a == "--reverse-outage-from-ms") {
+    knobs.reverse_outage_from = Time::seconds(std::atof(need(i)) * 1e-3);
+  } else if (a == "--reverse-outage-ms") {
+    knobs.reverse_outage_len = Time::seconds(std::atof(need(i)) * 1e-3);
+  } else if (a == "--self-heal") {
+    knobs.self_heal = true;
   } else {
     return false;
   }
@@ -364,7 +404,92 @@ int run_chaos_command(int argc, char** argv) {
   return violated == 0 ? 0 : 1;
 }
 
+/// `verify --corrupt-state`: the state-corruption chaos tier.  Seeded
+/// corruption schedules mutate live endpoint state mid-run; the verdict is
+/// the self-stabilization contract (converge within the recovery budget or
+/// tear down cleanly).  Failing seeds shrink and print a repro line.
+int run_corrupt_state_command(int argc, char** argv) {
+  verif::CorruptKnobs knobs;
+  std::uint64_t seeds = 1;
+  unsigned jobs = 1;
+  bool repro = false;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--corrupt-state") continue;
+    if (a == "--help" || a == "-h") {
+      std::printf("flags for this subcommand: see the header of "
+                  "tools/lamsdlc_cli.cpp\n");
+      return 0;
+    }
+    if (a == "--seed") {
+      knobs.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (a == "--seeds") {
+      seeds = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (a == "--jobs") {
+      jobs = static_cast<unsigned>(std::atoi(need(i)));  // 0 = all cores
+    } else if (a == "--packets") {
+      knobs.packets = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (a == "--injections") {
+      knobs.injections = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (a == "--no-sender") {
+      knobs.allow_sender = false;
+    } else if (a == "--no-receiver") {
+      knobs.allow_receiver = false;
+    } else if (a == "--no-state-loss") {
+      knobs.allow_state_loss = false;
+    } else if (a == "--no-noise") {
+      knobs.background_noise = false;
+    } else if (a == "--no-self-heal") {
+      knobs.self_heal = false;
+    } else if (a == "--fault-scale") {
+      knobs.scale = std::atof(need(i));
+    } else if (a == "--repro") {
+      repro = true;
+    } else {
+      usage_error("unknown verify --corrupt-state flag " + a);
+    }
+  }
+
+  if (repro || seeds == 1) {
+    const verif::CorruptVerdict v = verif::run_corrupt(knobs);
+    std::printf("%s", v.to_string().c_str());
+    return v.ok ? 0 : 1;
+  }
+
+  const std::vector<verif::CorruptVerdict> verdicts =
+      verif::run_corrupt_sweep(knobs, knobs.seed, seeds, jobs);
+  std::uint64_t failed = 0, converged = 0, torn_down = 0, resyncs = 0;
+  for (const verif::CorruptVerdict& v : verdicts) {
+    converged += v.converged ? 1 : 0;
+    torn_down += v.torn_down ? 1 : 0;
+    resyncs += v.resyncs;
+    if (v.ok) continue;
+    ++failed;
+    std::printf("seed %llu FAILED, shrinking...\n",
+                static_cast<unsigned long long>(v.knobs.seed));
+    const verif::CorruptVerdict small = verif::shrink_corrupt(v.knobs);
+    std::printf("%s", small.to_string().c_str());
+  }
+  std::printf("corrupt-state sweep: %llu seeds, %llu converged, %llu torn "
+              "down, %llu resyncs, %llu failed\n",
+              static_cast<unsigned long long>(seeds),
+              static_cast<unsigned long long>(converged),
+              static_cast<unsigned long long>(torn_down),
+              static_cast<unsigned long long>(resyncs),
+              static_cast<unsigned long long>(failed));
+  return failed == 0 ? 0 : 1;
+}
+
 int run_verify_command(int argc, char** argv) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--corrupt-state") == 0) {
+      return run_corrupt_state_command(argc, argv);
+    }
+  }
   verif::VerifyKnobs knobs;
   std::uint64_t seeds = 1;
   unsigned jobs = 1;
@@ -783,6 +908,8 @@ int run_trace_command(int argc, char** argv) {
   std::string file, perfetto_out, explain_arg;
   bool dump = false;
   bool live_flags = false;
+  bool corrupt_state = false;
+  std::uint32_t corrupt_injections = 0;
   auto need = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
     return argv[++i];
@@ -793,7 +920,13 @@ int run_trace_command(int argc, char** argv) {
       live_flags = true;
       continue;
     }
-    if (a == "--sample-ms") {
+    if (a == "--corrupt-state") {
+      corrupt_state = true;
+      live_flags = true;
+    } else if (a == "--injections") {
+      corrupt_injections = static_cast<std::uint32_t>(std::atoi(need(i)));
+      live_flags = true;
+    } else if (a == "--sample-ms") {
       knobs.sample_period = Time::seconds(std::atof(need(i)) * 1e-3);
       live_flags = true;
     } else if (a == "--perfetto") {
@@ -826,6 +959,18 @@ int run_trace_command(int argc, char** argv) {
                    reader.error().c_str());
       return 1;
     }
+  } else if (corrupt_state) {
+    // Live state-corruption run: the trace shows the corruption instants,
+    // the self-audit trips and each RESYNC episode as a recovery span.
+    verif::CorruptKnobs ck;
+    ck.seed = knobs.seed;
+    ck.packets = knobs.packets;
+    ck.injections = corrupt_injections;
+    ck.tap = [&tb](sim::Scenario& s) {
+      s.events().subscribe(tb.subscriber());
+    };
+    const verif::CorruptVerdict v = verif::run_corrupt(ck);
+    std::printf("%s", v.to_string().c_str());
   } else {
     knobs.tap = [&tb](sim::Scenario& s) {
       s.events().subscribe(tb.subscriber());
@@ -840,6 +985,10 @@ int run_trace_command(int argc, char** argv) {
       "%llu attempts (max %u per packet)\n",
       sum.packets, sum.complete, sum.delivered, sum.released,
       static_cast<unsigned long long>(sum.attempts), sum.max_attempts);
+  if (sum.resync_requeues > 0) {
+    std::printf("trace: %llu attempt chains restarted by RESYNC requeues\n",
+                static_cast<unsigned long long>(sum.resync_requeues));
+  }
   if (sum.broken_chains > 0 || sum.orphan_events > 0 ||
       sum.extra_deliveries > 0) {
     std::printf("trace: ANOMALIES: %zu broken chains, %llu orphan events, "
