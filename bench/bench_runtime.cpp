@@ -1,0 +1,239 @@
+/// \file bench_runtime.cpp
+/// \brief Live runtime vs simulator: the cost of being real.
+///
+/// Pushes the same byte stream through the same `SessionMux` protocol stack
+/// three ways and reports wall-clock throughput plus wire efficiency:
+///
+///   sim_loopback   — SimClock + LoopbackTransport.  No wall time passes
+///                    between events; the measured rate is pure protocol +
+///                    kernel processing speed (an upper bound).
+///   live_loopback  — WallClock + two real kernel UDP sockets on loopback
+///                    (the daemon's data plane).  Not lossless in practice:
+///                    at full rate the kernel's socket buffer overflows and
+///                    drops datagrams, which the ARQ recovers — the nonzero
+///                    retx count here is real-world loss, not a bug.
+///   live_impaired  — the same, plus 5% injected datagram loss; the gap to
+///                    live_loopback prices the *additional* checkpoint-
+///                    driven recovery in wall time and goodput.
+///
+/// Goodput = payload bytes delivered / total I-frame payload bytes sent
+/// (retransmissions included) — wire efficiency, not wall speed.
+///
+/// `bench_runtime --json [bytes]` prints one JSON object (the shape stored
+/// in BENCH_runtime.json); with no flags it prints a table.  Absolute
+/// numbers are host-dependent; the reproduction target is the *shape*:
+/// sim >> live, and impairment costing goodput roughly in proportion to the
+/// loss rate, not collapsing it.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "lamsdlc/rt/daemon.hpp"
+#include "lamsdlc/rt/event_loop.hpp"
+#include "lamsdlc/rt/session_mux.hpp"
+#include "lamsdlc/rt/transport.hpp"
+
+namespace {
+
+using namespace lamsdlc;
+
+struct RunResult {
+  double wall_seconds = 0;
+  double throughput_mbps = 0;  ///< delivered payload bits / wall second
+  double goodput = 0;          ///< delivered / sent payload bytes (<= 1)
+  std::uint64_t iframe_tx = 0;
+  std::uint64_t iframe_retx = 0;
+  bool ok = false;
+};
+
+std::vector<std::uint8_t> make_payload(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(i * 131 + 17);
+  }
+  return v;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// SimClock + LoopbackTransport: the whole transfer in simulated time,
+/// measured in wall time (events per wall-second is what costs money here).
+RunResult run_sim(std::size_t bytes) {
+  rt::SimClock loop;
+  auto [ta, tb] = rt::LoopbackTransport::make_pair(loop, Time::microseconds(100));
+  rt::SessionMux::Config mc;
+  mc.chunk_bytes = 1024;
+  mc.max_one_way = Time::milliseconds(5);
+  rt::SessionMux ma{loop, *ta, mc};
+  rt::SessionMux mb{loop, *tb, mc};
+
+  std::uint64_t delivered = 0;
+  bool clean = false, closed = false;
+  mb.set_inbound_data_handler(
+      [&](rt::PeerId, std::uint32_t, std::span<const std::uint8_t> b) {
+        delivered += b.size();
+      });
+  mb.set_inbound_end_handler(
+      [&](rt::PeerId, std::uint32_t, bool c) { clean = c; });
+  ma.set_stream_state_handler([&](std::uint32_t,
+                                  lams::SessionSender::State s) {
+    if (s == lams::SessionSender::State::kClosed) closed = true;
+  });
+
+  const auto payload = make_payload(bytes);
+  const double t0 = now_seconds();
+  ma.open_stream(0, 1);
+  ma.stream_write(1, payload);
+  ma.stream_close(1);
+  loop.sim().run_until(Time::seconds(600));
+  const double dt = now_seconds() - t0;
+
+  RunResult r;
+  r.wall_seconds = dt;
+  r.throughput_mbps = static_cast<double>(delivered) * 8 / dt / 1e6;
+  if (const auto* s = ma.stream_stats(1)) {
+    r.iframe_tx = s->iframe_tx;
+    r.iframe_retx = s->iframe_retx;
+    r.goodput = s->iframe_tx != 0
+                    ? static_cast<double>(s->iframe_tx - s->iframe_retx) /
+                          static_cast<double>(s->iframe_tx)
+                    : 0;
+  }
+  r.ok = closed && clean && delivered == bytes;
+  return r;
+}
+
+/// WallClock + two real kernel UDP sockets on loopback, optional injected
+/// loss on the forward path — the daemon's data plane without the daemon.
+RunResult run_live(std::size_t bytes, bool impair) {
+  rt::WallClock loop;
+  rt::UdpTransport ua{loop, {}};
+  rt::UdpTransport ub{loop, {}};
+  ua.add_peer("127.0.0.1", ub.local_port());
+
+  phy::FaultInjector::Config fc;
+  fc.p_drop = 0.05;
+  phy::FaultInjector injector{fc, RandomStream{13, "bench.fault"}};
+  rt::ImpairedTransport impaired{loop, ua, injector,
+                                 RandomStream{13, "bench.damage"}};
+  rt::Transport& forward = impair ? static_cast<rt::Transport&>(impaired)
+                                  : static_cast<rt::Transport&>(ua);
+
+  rt::SessionMux::Config mc;
+  mc.chunk_bytes = 1024;
+  mc.max_one_way = Time::milliseconds(5);
+  rt::SessionMux ma{loop, forward, mc};
+  rt::SessionMux mb{loop, ub, mc};
+
+  std::uint64_t delivered = 0;
+  bool clean = false, closed = false, ended = false;
+  auto maybe_stop = [&] {
+    if (closed && ended) loop.stop();
+  };
+  mb.set_inbound_data_handler(
+      [&](rt::PeerId, std::uint32_t, std::span<const std::uint8_t> b) {
+        delivered += b.size();
+      });
+  mb.set_inbound_end_handler([&](rt::PeerId, std::uint32_t, bool c) {
+    clean = c;
+    ended = true;
+    maybe_stop();
+  });
+  ma.set_stream_state_handler([&](std::uint32_t,
+                                  lams::SessionSender::State s) {
+    if (s == lams::SessionSender::State::kClosed) {
+      closed = true;
+      maybe_stop();
+    }
+  });
+
+  const auto payload = make_payload(bytes);
+  const double t0 = now_seconds();
+  loop.sim().schedule_in(Time{}, [&] {
+    ma.open_stream(0, 1);
+    ma.stream_write(1, payload);
+    ma.stream_close(1);
+  });
+  loop.sim().schedule_in(Time::seconds(120), [&] { loop.stop(); });
+  loop.run();
+  const double dt = now_seconds() - t0;
+
+  RunResult r;
+  r.wall_seconds = dt;
+  r.throughput_mbps = static_cast<double>(delivered) * 8 / dt / 1e6;
+  if (const auto* s = ma.stream_stats(1)) {
+    r.iframe_tx = s->iframe_tx;
+    r.iframe_retx = s->iframe_retx;
+    r.goodput = s->iframe_tx != 0
+                    ? static_cast<double>(s->iframe_tx - s->iframe_retx) /
+                          static_cast<double>(s->iframe_tx)
+                    : 0;
+  }
+  r.ok = closed && clean && delivered == bytes;
+  return r;
+}
+
+void print_json(std::size_t bytes, const RunResult& sim, const RunResult& live,
+                const RunResult& impaired) {
+  auto one = [](const char* name, const RunResult& r, bool last) {
+    std::printf(
+        "  \"%s\": {\n"
+        "    \"ok\": %s,\n"
+        "    \"wall_seconds\": %.4f,\n"
+        "    \"throughput_mbps\": %.2f,\n"
+        "    \"iframe_tx\": %llu,\n"
+        "    \"iframe_retx\": %llu,\n"
+        "    \"goodput\": %.4f\n"
+        "  }%s\n",
+        name, r.ok ? "true" : "false", r.wall_seconds, r.throughput_mbps,
+        static_cast<unsigned long long>(r.iframe_tx),
+        static_cast<unsigned long long>(r.iframe_retx), r.goodput,
+        last ? "" : ",");
+  };
+  std::printf("{\n  \"transfer_bytes\": %zu,\n", bytes);
+  one("sim_loopback", sim, false);
+  one("live_loopback", live, false);
+  one("live_impaired", impaired, true);
+  std::printf("}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t bytes = 4 * 1024 * 1024;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (argv[i][0] != '-') {
+      bytes = static_cast<std::size_t>(std::atoll(argv[i]));
+    }
+  }
+
+  const RunResult sim = run_sim(bytes);
+  const RunResult live = run_live(bytes, /*impair=*/false);
+  const RunResult impaired = run_live(bytes, /*impair=*/true);
+
+  if (json) {
+    print_json(bytes, sim, live, impaired);
+  } else {
+    std::printf("runtime bench, %zu-byte transfer (1 KiB chunks)\n\n", bytes);
+    std::printf("%-15s %6s %12s %14s %10s %8s\n", "mode", "ok", "wall [s]",
+                "rate [Mbps]", "retx", "goodput");
+    auto row = [](const char* name, const RunResult& r) {
+      std::printf("%-15s %6s %12.3f %14.1f %10llu %8.3f\n", name,
+                  r.ok ? "yes" : "NO", r.wall_seconds, r.throughput_mbps,
+                  static_cast<unsigned long long>(r.iframe_retx), r.goodput);
+    };
+    row("sim_loopback", sim);
+    row("live_loopback", live);
+    row("live_impaired", impaired);
+  }
+  return (sim.ok && live.ok && impaired.ok) ? 0 : 1;
+}

@@ -75,7 +75,14 @@ class Simulator {
 
   /// Run until simulated time would exceed \p horizon.  Events at exactly
   /// \p horizon still fire; the clock is left at min(horizon, last event).
+  /// A wall-clock driver (rt::WallClock) uses this as its dispatch
+  /// primitive: advance the kernel to "wall now", firing everything due.
   void run_until(Time horizon);
+
+  /// Instant of the earliest pending event, or `Time::max()` when the queue
+  /// is empty — the deadline a wall-clock driver sleeps toward.  Prunes any
+  /// cancelled tombstones sitting on the heap top (hence non-const).
+  [[nodiscard]] Time next_event_time() noexcept;
 
   /// Request that `run()` return after the current event completes.
   void stop() noexcept { stopped_ = true; }

@@ -1,0 +1,79 @@
+#pragma once
+/// \file envelope.hpp
+/// \brief Datagram envelope wrapping one encoded frame for transport.
+///
+/// The frame codec (`codec.hpp`) is the *link-layer* wire image: exactly what
+/// LAMS-DLC puts between flags on a serial line.  A datagram transport needs
+/// three more things the 1991 line discipline got for free:
+///
+///   1. **Multiplexing** — one socket carries many DLC sessions, so every
+///      datagram names its session.
+///   2. **Identity** — `PacketId` is deliberately not in the link codec (the
+///      simulator owns it); across a real network the receiving mux must
+///      restore it, so data envelopes carry the id out-of-band of the frame.
+///   3. **Framing self-check** — UDP preserves message boundaries, but a
+///      truncated or padded datagram (middlebox damage, a buggy sender, or a
+///      fuzzer) must be refused *before* the frame decoder sees it.  The
+///      envelope therefore declares its payload length and `decode_envelope`
+///      rejects any datagram whose byte count disagrees with the declaration
+///      — in either direction.
+///
+/// Layout (little-endian, 10 or 18 byte header):
+///   [u16 magic 0x4C44][u8 version][u8 flags][u32 session_id]
+///   [u16 payload_len][u64 packet_id  -- only when flags bit0 set]
+///   [payload_len bytes: one codec-encoded frame]
+///
+/// flags bit0 (`kEnvFlagData`): the payload is an I-frame and `packet_id`
+/// is present.  flags bit1 (`kEnvFlagToReceiver`): the datagram travels in
+/// the data direction, initiator → responder (INIT, I-frames, RESYNC); when
+/// clear it is feedback, responder → initiator (checkpoints, INIT-ACK).
+/// Both ends of a socket may initiate sessions, so one (peer, session_id)
+/// pair can name two independent DLCs — the direction bit is what keys
+/// them apart in the mux.  All other flag bits must be zero in version 1.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "lamsdlc/frame/frame.hpp"
+
+namespace lamsdlc::frame {
+
+inline constexpr std::uint16_t kEnvelopeMagic = 0x4C44;  // "DL" on the wire
+inline constexpr std::uint8_t kEnvelopeVersion = 1;
+inline constexpr std::uint8_t kEnvFlagData = 0x01;
+inline constexpr std::uint8_t kEnvFlagToReceiver = 0x02;
+
+/// One datagram's worth of wire: a session-tagged, length-declared frame.
+struct Envelope {
+  std::uint32_t session_id = 0;
+  /// True for data (I-frame) envelopes; `packet_id` travels alongside the
+  /// frame because the link codec intentionally omits it.
+  bool has_packet_id = false;
+  /// Direction on the DLC: true = initiator → responder (data path).
+  bool to_receiver = false;
+  PacketId packet_id = 0;
+  /// The codec-encoded frame bytes (`frame::encode` output).
+  std::vector<std::uint8_t> payload;
+};
+
+/// Bytes `encode_envelope` will produce for \p e.
+[[nodiscard]] std::size_t envelope_encoded_size(const Envelope& e) noexcept;
+
+/// Serialize \p e into \p out, reusing its capacity (cleared first).
+/// Payloads longer than 65535 bytes do not fit the u16 length and are a
+/// programming error; the encoder clamps nothing and asserts in debug.
+void encode_envelope_into(const Envelope& e, std::vector<std::uint8_t>& out);
+
+/// Serialize \p e (convenience wrapper over `encode_envelope_into`).
+[[nodiscard]] std::vector<std::uint8_t> encode_envelope(const Envelope& e);
+
+/// Parse one datagram.  Returns std::nullopt when the magic or version is
+/// wrong, a reserved flag bit is set, the header is truncated, the payload
+/// is empty, or — the hardening this type exists for — the declared
+/// `payload_len` disagrees with the number of bytes actually received.
+[[nodiscard]] std::optional<Envelope> decode_envelope(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace lamsdlc::frame

@@ -42,7 +42,7 @@ class LamsReceiver final : public link::FrameSink {
   /// \p bus (optional) receives the typed event stream (obs/event.hpp); the
   /// string \p tracer keeps working as before — it is fed the same events,
   /// pretty-printed.
-  LamsReceiver(Simulator& sim, link::SimplexChannel& control_out,
+  LamsReceiver(Simulator& sim, link::FrameChannel& control_out,
                LamsConfig cfg, sim::PacketListener* listener,
                sim::DlcStats* stats = nullptr, Tracer tracer = {},
                obs::EventBus* bus = nullptr);
@@ -176,7 +176,7 @@ class LamsReceiver final : public link::FrameSink {
   void note_recv_buffer();
 
   Simulator& sim_;
-  link::SimplexChannel& out_;
+  link::FrameChannel& out_;
   LamsConfig cfg_;
   sim::PacketListener* listener_;
   sim::DlcStats* stats_;

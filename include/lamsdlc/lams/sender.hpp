@@ -48,7 +48,7 @@ class LamsSender final : public sim::DlcSender, public link::FrameSink {
   /// \p bus (optional) receives the typed event stream (obs/event.hpp); the
   /// string \p tracer keeps working as before — it is fed the same events,
   /// pretty-printed.
-  LamsSender(Simulator& sim, link::SimplexChannel& data_out, LamsConfig cfg,
+  LamsSender(Simulator& sim, link::FrameChannel& data_out, LamsConfig cfg,
              sim::DlcStats* stats = nullptr, Tracer tracer = {},
              obs::EventBus* bus = nullptr);
 
@@ -211,7 +211,7 @@ class LamsSender final : public sim::DlcSender, public link::FrameSink {
   void emit_timer(obs::EventKind k, obs::TimerId id, Time deadline = {});
 
   Simulator& sim_;
-  link::SimplexChannel& out_;
+  link::FrameChannel& out_;
   LamsConfig cfg_;
   sim::DlcStats* stats_;
   obs::Emitter obs_;

@@ -54,9 +54,11 @@ class SessionSender final : public sim::DlcSender, public link::FrameSink {
   enum class State { kIdle, kInitializing, kEstablished, kDraining, kClosing,
                      kClosed, kFailed };
 
-  SessionSender(Simulator& sim, link::SimplexChannel& data_out,
+  /// \p bus (optional) is forwarded to the inner `LamsSender` so live runs
+  /// can capture the typed event stream per session.
+  SessionSender(Simulator& sim, link::FrameChannel& data_out,
                 SessionConfig cfg, sim::DlcStats* stats = nullptr,
-                Tracer tracer = {});
+                Tracer tracer = {}, obs::EventBus* bus = nullptr);
   ~SessionSender() override;
 
   SessionSender(const SessionSender&) = delete;
@@ -99,7 +101,7 @@ class SessionSender final : public sim::DlcSender, public link::FrameSink {
   void trace(std::string what) const;
 
   Simulator& sim_;
-  link::SimplexChannel& out_;
+  link::FrameChannel& out_;
   SessionConfig cfg_;
   Tracer tracer_;
   LamsSender inner_;
@@ -119,9 +121,12 @@ class SessionSender final : public sim::DlcSender, public link::FrameSink {
 /// the sink of the *forward* channel.
 class SessionReceiver final : public link::FrameSink {
  public:
-  SessionReceiver(Simulator& sim, link::SimplexChannel& control_out,
+  /// \p bus (optional) is forwarded to the inner `LamsReceiver` so live
+  /// runs can capture the typed event stream per session.
+  SessionReceiver(Simulator& sim, link::FrameChannel& control_out,
                   SessionConfig cfg, sim::PacketListener* listener,
-                  sim::DlcStats* stats = nullptr, Tracer tracer = {});
+                  sim::DlcStats* stats = nullptr, Tracer tracer = {},
+                  obs::EventBus* bus = nullptr);
 
   SessionReceiver(const SessionReceiver&) = delete;
   SessionReceiver& operator=(const SessionReceiver&) = delete;
@@ -133,18 +138,29 @@ class SessionReceiver final : public link::FrameSink {
   [[nodiscard]] std::uint32_t inits_accepted() const noexcept { return inits_; }
   [[nodiscard]] LamsReceiver& inner() noexcept { return inner_; }
 
+  /// Fires when an INIT establishes a session epoch (`in_session == true`)
+  /// and when a CLOSE ends one (`false`) — the hook the live mux uses to
+  /// create and retire passive-side per-session state, and how a daemon
+  /// knows a stream finished cleanly.
+  using LifecycleCallback = std::function<void(bool in_session,
+                                               std::uint32_t epoch)>;
+  void set_lifecycle_callback(LifecycleCallback cb) {
+    on_lifecycle_ = std::move(cb);
+  }
+
  private:
   void reply(frame::SessionFrame::Kind kind, std::uint32_t epoch);
   void trace(std::string what) const;
 
   Simulator& sim_;
-  link::SimplexChannel& out_;
+  link::FrameChannel& out_;
   Tracer tracer_;
   LamsReceiver inner_;
 
   bool in_session_{false};
   std::uint32_t epoch_{0};
   std::uint32_t inits_{0};
+  LifecycleCallback on_lifecycle_;
 };
 
 }  // namespace lamsdlc::lams

@@ -40,8 +40,44 @@ class FrameSink {
   virtual void on_frame(frame::Frame f) = 0;
 };
 
+/// Sending side of a channel, abstracted over the backend: the surface the
+/// LAMS endpoints actually use.  Two implementations exist — the simulated
+/// `SimplexChannel` below and the live `rt::NetChannel` (rt/net_channel.hpp), which
+/// serializes frames through the byte codec onto a real transport.  The
+/// protocol state machines are written against this interface, so the
+/// simulator is one backend of two rather than a hard dependency.
+///
+/// Timing contract: `tx_time` is the serialization time the sender budgets
+/// for pacing, and `propagation_at(t)` is an *upper bound* on the one-way
+/// delay of a frame sent at `t`.  The sim backend's bound is exact; a live
+/// backend returns its configured worst case, which keeps the release rule
+/// conservative (see docs/RUNTIME.md, "checkpoint age normalization").
+class FrameChannel {
+ public:
+  virtual ~FrameChannel() = default;
+
+  /// Queue a frame for transmission (FIFO at the channel's data rate).
+  virtual void send(frame::Frame f) = 0;
+
+  /// Invoked whenever the serializer finishes the last queued frame; lets a
+  /// saturating sender keep the pipe full without polling.
+  virtual void set_idle_callback(std::function<void()> cb) = 0;
+
+  /// True while the serializer has work queued or in progress.
+  [[nodiscard]] virtual bool busy() const = 0;
+
+  /// Channel availability; while down, frames are destroyed.
+  [[nodiscard]] virtual bool up() const = 0;
+
+  /// Serialization time of \p f on this channel (after FEC expansion).
+  [[nodiscard]] virtual Time tx_time(const frame::Frame& f) const = 0;
+
+  /// Upper bound on the one-way delay of a frame sent at \p when.
+  [[nodiscard]] virtual Time propagation_at(Time when) const = 0;
+};
+
 /// One direction of the link.
-class SimplexChannel {
+class SimplexChannel final : public FrameChannel {
  public:
   struct Config {
     double data_rate_bps = 300e6;  ///< Laser link rate (paper: 0.3–1 Gbps).
@@ -120,25 +156,32 @@ class SimplexChannel {
 
   /// Queue a frame for transmission.  Frames serialize back-to-back in FIFO
   /// order at the data rate.
-  void send(frame::Frame f);
+  void send(frame::Frame f) override;
 
   /// Invoked whenever the serializer finishes the last queued frame; lets a
   /// saturating sender keep the pipe full without polling.
-  void set_idle_callback(std::function<void()> cb) { idle_cb_ = std::move(cb); }
+  void set_idle_callback(std::function<void()> cb) override {
+    idle_cb_ = std::move(cb);
+  }
 
   /// Instant the serializer becomes free (== now when idle).
   [[nodiscard]] Time busy_until() const noexcept;
 
   /// True while the serializer has work queued or in progress.
-  [[nodiscard]] bool busy() const noexcept;
+  [[nodiscard]] bool busy() const noexcept override;
 
   /// Link state; while down, queued and new frames are destroyed (photons
   /// have nowhere to go when pointing is lost).
   void set_up(bool up);
-  [[nodiscard]] bool up() const noexcept { return up_; }
+  [[nodiscard]] bool up() const noexcept override { return up_; }
 
   /// Serialization time of \p f on this channel (after FEC expansion).
-  [[nodiscard]] Time tx_time(const frame::Frame& f) const noexcept;
+  [[nodiscard]] Time tx_time(const frame::Frame& f) const noexcept override;
+
+  /// One-way delay of a frame sent at \p when (exact in the sim model).
+  [[nodiscard]] Time propagation_at(Time when) const override {
+    return cfg_.propagation(when);
+  }
 
   /// One-way delay for a frame sent now.
   [[nodiscard]] Time current_propagation() const {

@@ -1,0 +1,112 @@
+#pragma once
+/// \file daemon.hpp
+/// \brief `lamsdlcd` — LAMS-DLC sessions over real UDP, with a local
+///        byte-stream bridge for clients.
+///
+/// One daemon owns one UDP socket (the "link"), a `SessionMux` running any
+/// number of concurrent DLC sessions over it, and optionally:
+///
+///  - a **client bridge**: a local TCP listener where one connection = one
+///    outbound stream (modem discipline: write bytes, half-close to finish,
+///    read back a single `OK <n>` / `ERR <why>` status line once the DLC
+///    session has closed cleanly or failed);
+///  - a **delivery directory**: each inbound stream is written to
+///    `stream-p<peer>-s<sid>.part`, renamed to `.bin` when its session
+///    closes with every byte accounted for (`.err` otherwise) — rename-on-
+///    complete so a consumer never reads a half-delivered file;
+///  - an **impaired link**: outbound datagrams routed through a
+///    `phy::FaultInjector` (drops, duplicates, jitter, real byte damage),
+///    turning localhost into the hostile channel the protocol was built
+///    for;
+///  - **captures**: a per-session `obs::EventBus` feeding one `.ldlcap`
+///    file per session id, readable by `lamsdlc_cli inspect` / `trace`.
+///    In `self_peer` mode both endpoints of a session live in this process
+///    and share the session's bus, so the capture holds the full
+///    admitted → sent → delivered span tree and `trace` reconstructs
+///    complete packet lifecycles over a real kernel round trip.
+///
+/// The daemon is single-threaded on a `WallClock` event loop; every socket
+/// is nonblocking and fd-driven.  `run()` blocks until `stop()`, SIGTERM
+/// handling by the caller, or — when `exit_after_streams` is set — that
+/// many streams (either direction) have finished.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "lamsdlc/core/time.hpp"
+#include "lamsdlc/lams/session.hpp"
+#include "lamsdlc/phy/fault_injector.hpp"
+#include "lamsdlc/rt/event_loop.hpp"
+#include "lamsdlc/rt/session_mux.hpp"
+#include "lamsdlc/rt/transport.hpp"
+
+namespace lamsdlc::rt {
+
+struct DaemonConfig {
+  std::string bind_host = "127.0.0.1";
+  std::uint16_t udp_port = 0;  ///< 0 = ephemeral (printed/queried).
+
+  /// Remote daemon; empty host = serve-only (no outbound streams).
+  std::string peer_host;
+  std::uint16_t peer_port = 0;
+  /// Peer with our own socket: datagrams make a real kernel round trip but
+  /// both session endpoints live here (single-process live mode; gives
+  /// complete per-session captures).
+  bool self_peer = false;
+
+  bool bridge = false;            ///< Open the local client bridge.
+  std::uint16_t bridge_port = 0;  ///< Requested port; 0 = ephemeral.
+  std::string deliver_dir;        ///< Empty = discard inbound payload bytes.
+
+  /// First outbound session id; 0 = derive from the pid so a restarted
+  /// daemon never reuses its predecessor's ids against a live peer.
+  std::uint32_t session_base = 0;
+  std::uint32_t exit_after_streams = 0;  ///< 0 = run until stopped.
+
+  double data_rate_bps = 300e6;
+  Time max_one_way = Time::milliseconds(5);
+  std::uint32_t chunk_bytes = 1024;
+  lams::SessionConfig session;
+
+  bool impair = false;  ///< Route outbound datagrams through the injector.
+  phy::FaultInjector::Config fault;
+  std::uint64_t fault_seed = 1;
+
+  std::string capture_prefix;  ///< Empty = no captures.
+  bool verbose = false;        ///< Progress lines on stderr.
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig cfg);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Bind sockets and wire everything; throws std::system_error on failure.
+  /// Separate from `run()` so callers can learn the ephemeral ports first.
+  void start();
+
+  /// Event loop; blocks (see file comment for exit conditions).
+  void run();
+  void stop();
+
+  [[nodiscard]] std::uint16_t udp_port() const noexcept;
+  [[nodiscard]] std::uint16_t bridge_port() const noexcept;
+
+  /// Streams finished, either direction (clean or not).
+  [[nodiscard]] std::uint32_t streams_completed() const noexcept;
+  /// Of those, ended unclean (session failure or reassembly hole).
+  [[nodiscard]] std::uint32_t streams_failed() const noexcept;
+
+  [[nodiscard]] SessionMux& mux();
+  [[nodiscard]] EventLoop& loop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace lamsdlc::rt

@@ -1,0 +1,192 @@
+#pragma once
+/// \file transport.hpp
+/// \brief Datagram transports under the live runtime: loopback, UDP, and a
+///        fault-injecting wrapper.
+///
+/// A `Transport` moves whole datagrams (envelope-encoded frames, see
+/// `frame/envelope.hpp`) between this process and named peers.  It is
+/// deliberately dumber than a `link::FrameChannel`: no notion of busy, rate
+/// or propagation — those belong to `rt::NetChannel`, which paces frames
+/// *onto* a transport.  Three implementations:
+///
+///  - `LoopbackTransport` — an in-process pair joined through the event
+///    loop.  Delivery is asynchronous (scheduled, never reentrant) with an
+///    optional fixed one-way delay, so protocol code sees the same
+///    callback discipline it would over a real socket.  Works under both
+///    `SimClock` and `WallClock` — this is the transport the sim-vs-wall
+///    seam tests run on.
+///
+///  - `UdpTransport` — one bound IPv4/UDP socket, nonblocking, drained from
+///    the event loop's fd watcher.  Peers are a small registry of remote
+///    addresses; inbound datagrams from unregistered sources can be
+///    auto-admitted (the daemon accepting new callers) or refused.
+///
+///  - `ImpairedTransport` — wraps any transport and sentences each outbound
+///    datagram through a `phy::FaultInjector`: drops vanish, duplicates and
+///    jitter are re-scheduled through the loop, corruption and truncation
+///    damage real bytes (and are then caught by the frame FCS / envelope
+///    length check at the far end, exercising the same recovery machinery
+///    the simulator exercises).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lamsdlc/core/random.hpp"
+#include "lamsdlc/core/time.hpp"
+#include "lamsdlc/phy/fault_injector.hpp"
+#include "lamsdlc/rt/event_loop.hpp"
+
+namespace lamsdlc::rt {
+
+/// Index into a transport's peer registry.  Loopback has one implicit peer
+/// (id 0); UDP ids are assigned by `add_peer` / auto-admission.
+using PeerId = std::uint32_t;
+
+class Transport {
+ public:
+  /// Inbound datagram: who sent it and its bytes (valid only for the call).
+  using RecvHandler =
+      std::function<void(PeerId, std::span<const std::uint8_t>)>;
+
+  virtual ~Transport() = default;
+
+  /// Queue one datagram to \p peer.  Returns false when the peer is unknown
+  /// or the datagram exceeds `max_datagram()`; transports never buffer
+  /// across calls (UDP's sendto either takes the whole datagram or fails).
+  virtual bool send(PeerId peer, std::span<const std::uint8_t> datagram) = 0;
+
+  virtual void set_recv_handler(RecvHandler h) = 0;
+
+  /// Largest datagram `send` accepts.
+  [[nodiscard]] virtual std::size_t max_datagram() const noexcept = 0;
+};
+
+/// In-process transport pair; see file comment.
+class LoopbackTransport final : public Transport {
+ public:
+  /// Two joined endpoints on \p loop; what one sends, the other receives
+  /// (as peer 0) after \p one_way.  Destroying either endpoint silently
+  /// discards datagrams still in flight toward it.
+  [[nodiscard]] static std::pair<std::unique_ptr<LoopbackTransport>,
+                                 std::unique_ptr<LoopbackTransport>>
+  make_pair(EventLoop& loop, Time one_way = {});
+
+  ~LoopbackTransport() override;
+
+  bool send(PeerId peer, std::span<const std::uint8_t> datagram) override;
+  void set_recv_handler(RecvHandler h) override { on_recv_ = std::move(h); }
+  [[nodiscard]] std::size_t max_datagram() const noexcept override {
+    return 65507;  // mirror UDP so tests exercise the same bound
+  }
+
+  /// Datagrams delivered to this endpoint (after delay, before handler).
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+
+ private:
+  /// Shared liveness record: each endpoint nulls its slot on destruction so
+  /// in-flight deliveries scheduled on the loop can detect a dead receiver.
+  struct Hub {
+    LoopbackTransport* a = nullptr;
+    LoopbackTransport* b = nullptr;
+  };
+
+  LoopbackTransport(EventLoop& loop, Time one_way,
+                    std::shared_ptr<Hub> hub, bool is_a)
+      : loop_{loop}, one_way_{one_way}, hub_{std::move(hub)}, is_a_{is_a} {}
+
+  EventLoop& loop_;
+  Time one_way_;
+  std::shared_ptr<Hub> hub_;
+  bool is_a_;
+  RecvHandler on_recv_;
+  std::uint64_t delivered_ = 0;
+};
+
+/// One bound UDP socket driven by a `WallClock` fd watch; see file comment.
+class UdpTransport final : public Transport {
+ public:
+  struct Config {
+    std::string bind_host = "127.0.0.1";
+    std::uint16_t bind_port = 0;  ///< 0 = kernel-assigned ephemeral port.
+    /// Admit datagrams from unregistered sources as new peers (the server
+    /// side).  When false, such datagrams are counted and dropped.
+    bool accept_unknown = true;
+  };
+
+  /// Binds and registers with \p loop; throws std::system_error on failure.
+  UdpTransport(EventLoop& loop, const Config& cfg);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  /// Register \p host:\p port and return its id (idempotent per address).
+  PeerId add_peer(const std::string& host, std::uint16_t port);
+
+  bool send(PeerId peer, std::span<const std::uint8_t> datagram) override;
+  void set_recv_handler(RecvHandler h) override { on_recv_ = std::move(h); }
+  [[nodiscard]] std::size_t max_datagram() const noexcept override {
+    return 65507;
+  }
+
+  /// Port actually bound (resolves an ephemeral request).
+  [[nodiscard]] std::uint16_t local_port() const noexcept { return port_; }
+  [[nodiscard]] std::size_t peer_count() const noexcept;
+  [[nodiscard]] std::uint64_t refused_unknown() const noexcept {
+    return refused_unknown_;
+  }
+
+ private:
+  struct Impl;  // keeps <netinet/in.h> out of this header
+  void on_readable();
+
+  EventLoop& loop_;
+  std::unique_ptr<Impl> impl_;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool accept_unknown_;
+  RecvHandler on_recv_;
+  std::uint64_t refused_unknown_ = 0;
+};
+
+/// Fault-injecting wrapper over any transport; see file comment.
+class ImpairedTransport final : public Transport {
+ public:
+  /// \p injector decides fates; \p rng supplies the byte positions/values
+  /// for corruption and truncation (the injector's own stream stays
+  /// internal to it).  Both must outlive this wrapper; \p loop schedules
+  /// delayed and duplicated copies.
+  ImpairedTransport(EventLoop& loop, Transport& under,
+                    phy::FaultInjector& injector, RandomStream rng);
+
+  bool send(PeerId peer, std::span<const std::uint8_t> datagram) override;
+  void set_recv_handler(RecvHandler h) override { under_.set_recv_handler(std::move(h)); }
+  [[nodiscard]] std::size_t max_datagram() const noexcept override {
+    return under_.max_datagram();
+  }
+
+  /// Outbound datagrams silently omitted by the injector.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Extra copies the injector manufactured.
+  [[nodiscard]] std::uint64_t duplicated() const noexcept { return duplicated_; }
+  /// Datagrams whose bytes were damaged (corrupt or truncate fate).
+  [[nodiscard]] std::uint64_t damaged() const noexcept { return damaged_; }
+
+ private:
+  void dispatch(PeerId peer, std::vector<std::uint8_t> bytes, Time delay);
+
+  EventLoop& loop_;
+  Transport& under_;
+  phy::FaultInjector& injector_;
+  RandomStream rng_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t damaged_ = 0;
+};
+
+}  // namespace lamsdlc::rt

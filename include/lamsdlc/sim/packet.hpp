@@ -3,6 +3,7 @@
 /// \brief User packets exchanged across a DLC, and the listener interface.
 
 #include <cstdint>
+#include <vector>
 
 #include "lamsdlc/core/time.hpp"
 #include "lamsdlc/frame/frame.hpp"
@@ -22,6 +23,12 @@ struct Packet {
   std::uint64_t message_id = 0;
   std::uint32_t msg_index = 0;
   std::uint32_t msg_count = 1;
+  /// Literal payload bytes.  Simulated workloads carry only lengths and
+  /// leave this empty (the wire encoder pads with zeros); the live runtime
+  /// (rt::SessionMux) fills it so real application bytes ride the I-frame,
+  /// and the receiving DLC hands the decoded bytes back up through
+  /// `PacketListener`.  When non-empty, `bytes == data.size()`.
+  std::vector<std::uint8_t> data;
 };
 
 /// Upward delivery interface of a DLC receiver.

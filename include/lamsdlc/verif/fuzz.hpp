@@ -7,7 +7,12 @@
 /// `frame::decode`, and a hostile or damaged peer can hand it anything.
 /// `fuzz_codec` hammers it with mutated encodings — bit flips, truncations,
 /// extensions, splices of two valid frames, zeroed and randomized spans —
-/// and checks the properties an ARQ endpoint relies on:
+/// and checks the properties an ARQ endpoint relies on.  A separate leg
+/// fuzzes the datagram envelope (`frame::decode_envelope`), the layer the
+/// live UDP runtime parses *before* the frame codec: sheared and padded
+/// datagrams, rewritten length declarations, reserved flags, and damaged
+/// magic bytes must all be refused, and anything accepted must re-encode
+/// byte-identically.  Frame-codec properties:
 ///
 ///  1. decode never crashes or reads out of bounds on arbitrary input
 ///     (run under `LAMSDLC_SANITIZE` to make this a hard check);
@@ -48,6 +53,12 @@ struct FuzzReport {
   /// Mutants whose bytes parsed structurally but were refused by the
   /// modulus limits — each one is exactly the aliasing bug class blocked.
   std::uint64_t limit_rejections = 0;
+  /// Datagram-envelope mutants refused by `frame::decode_envelope` — sheared
+  /// or padded datagrams, rewritten length declarations, reserved flag bits,
+  /// damaged magic/version.  The transport-framing analogue of
+  /// `limit_rejections`: every one is a datagram the live runtime would have
+  /// handed to the frame decoder without the envelope's length self-check.
+  std::uint64_t envelope_rejections = 0;
   std::vector<std::string> failures;   ///< Property violations (seed + case).
 
   [[nodiscard]] bool ok() const noexcept { return failures.empty(); }

@@ -71,6 +71,62 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 "build-asan/tools/lamsdlc_cli" verify --corrupt-state \
     --seeds "${LAMSDLC_CORRUPT_SEEDS:-40}" --jobs 0
 
+echo "== live loopback interop smoke (gating) =="
+# Two daemons over real UDP loopback, impaired forward link, two concurrent
+# client streams pushed through the bridge.  Gates on: byte-exact delivery
+# of both streams, clean session teardown on both ends (daemon exit status),
+# and a bounded wall-clock budget (timeout).  docs/RUNTIME.md describes the
+# setup.
+DAEMON="$BUILD_DIR/tools/lamsdlcd"
+LIVEDIR="$CAPDIR/live"
+mkdir -p "$LIVEDIR"
+timeout 60 "$DAEMON" --deliver-dir "$LIVEDIR" --exit-after-streams 2 \
+  > "$LIVEDIR/recv.log" &
+RECV_PID=$!
+for _ in $(seq 100); do
+  grep -q '^ready' "$LIVEDIR/recv.log" 2>/dev/null && break; sleep 0.1
+done
+RPORT="$(awk '/^udp /{print $2}' "$LIVEDIR/recv.log")"
+timeout 60 "$DAEMON" --peer "127.0.0.1:$RPORT" --bridge --session-base 41 \
+  --impair --p-drop 0.05 --p-corrupt 0.02 --fault-seed 9 \
+  --exit-after-streams 2 > "$LIVEDIR/send.log" &
+SEND_PID=$!
+for _ in $(seq 100); do
+  grep -q '^ready' "$LIVEDIR/send.log" 2>/dev/null && break; sleep 0.1
+done
+BPORT="$(awk '/^bridge /{print $2}' "$LIVEDIR/send.log")"
+head -c 262144 /dev/urandom > "$LIVEDIR/in1.bin"
+head -c 393216 /dev/urandom > "$LIVEDIR/in2.bin"
+"$CLI" connect --port "$BPORT" --in "$LIVEDIR/in1.bin" >/dev/null &
+C1_PID=$!
+"$CLI" connect --port "$BPORT" --in "$LIVEDIR/in2.bin" >/dev/null &
+C2_PID=$!
+wait "$C1_PID"; wait "$C2_PID"   # each exits 0 iff its stream got "OK <n>"
+wait "$SEND_PID"; wait "$RECV_PID"  # exit 0 iff no stream failed either end
+# Byte-exactness: which bridge connection got which session id is a race,
+# so match the two delivered files against the two inputs as multisets.
+in_sums="$(cat "$LIVEDIR"/in1.bin "$LIVEDIR"/in2.bin | wc -c):$(md5sum "$LIVEDIR"/in?.bin | awk '{print $1}' | sort | md5sum | awk '{print $1}')"
+out_sums="$(cat "$LIVEDIR"/stream-*.bin | wc -c):$(md5sum "$LIVEDIR"/stream-*.bin | awk '{print $1}' | sort | md5sum | awk '{print $1}')"
+[ "$(ls "$LIVEDIR"/stream-*.bin | wc -l)" = 2 ]
+[ "$in_sums" = "$out_sums" ]
+echo "two-daemon interop OK ($in_sums)"
+# Self-peer run (both endpoints in-process, real kernel round trip) gives a
+# capture holding the full span tree; `trace` gates on zero incomplete
+# delivered spans.
+timeout 60 "$DAEMON" --self-peer --bridge --deliver-dir "$LIVEDIR" \
+  --session-base 71 --impair --p-drop 0.05 --fault-seed 3 \
+  --capture "$LIVEDIR/cap" --exit-after-streams 2 > "$LIVEDIR/self.log" &
+SELF_PID=$!
+for _ in $(seq 100); do
+  grep -q '^ready' "$LIVEDIR/self.log" 2>/dev/null && break; sleep 0.1
+done
+SPORT="$(awk '/^bridge /{print $2}' "$LIVEDIR/self.log")"
+"$CLI" connect --port "$SPORT" --in "$LIVEDIR/in1.bin" >/dev/null
+wait "$SELF_PID"
+cmp "$LIVEDIR/in1.bin" "$LIVEDIR/stream-p0-s71.bin"
+"$CLI" trace "$LIVEDIR/cap-s71.ldlcap" >/dev/null
+echo "self-peer capture traces clean"
+
 echo "== perf smoke (non-gating) =="
 # Timings on shared CI hosts are too noisy to gate on; print them so a
 # regression shows up in the log, but never fail the build over them.

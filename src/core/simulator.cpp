@@ -84,6 +84,13 @@ void Simulator::run() {
   }
 }
 
+Time Simulator::next_event_time() noexcept {
+  while (!heap_.empty() && !entry_live(heap_.front())) {
+    drop_stale_top();
+  }
+  return heap_.empty() ? Time::max() : heap_.front().at;
+}
+
 void Simulator::run_until(Time horizon) {
   stopped_ = false;
   while (!stopped_) {

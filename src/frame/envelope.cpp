@@ -1,0 +1,96 @@
+#include "lamsdlc/frame/envelope.hpp"
+
+#include <cassert>
+
+namespace lamsdlc::frame {
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  put_u16(b, static_cast<std::uint16_t>(v));
+  put_u16(b, static_cast<std::uint16_t>(v >> 16));
+}
+
+void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+  put_u32(b, static_cast<std::uint32_t>(v));
+  put_u32(b, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> b, std::size_t at) {
+  return static_cast<std::uint16_t>(b[at] | (b[at + 1] << 8));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t at) {
+  return static_cast<std::uint32_t>(get_u16(b, at)) |
+         (static_cast<std::uint32_t>(get_u16(b, at + 2)) << 16);
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> b, std::size_t at) {
+  return static_cast<std::uint64_t>(get_u32(b, at)) |
+         (static_cast<std::uint64_t>(get_u32(b, at + 4)) << 32);
+}
+
+constexpr std::size_t kBaseHeader = 2 + 1 + 1 + 4 + 2;  // magic..payload_len
+
+}  // namespace
+
+std::size_t envelope_encoded_size(const Envelope& e) noexcept {
+  return kBaseHeader + (e.has_packet_id ? 8 : 0) + e.payload.size();
+}
+
+void encode_envelope_into(const Envelope& e, std::vector<std::uint8_t>& out) {
+  assert(e.payload.size() <= 0xFFFF && "envelope payload exceeds u16 length");
+  out.clear();
+  out.reserve(envelope_encoded_size(e));
+  put_u16(out, kEnvelopeMagic);
+  out.push_back(kEnvelopeVersion);
+  out.push_back(static_cast<std::uint8_t>(
+      (e.has_packet_id ? kEnvFlagData : 0) |
+      (e.to_receiver ? kEnvFlagToReceiver : 0)));
+  put_u32(out, e.session_id);
+  put_u16(out, static_cast<std::uint16_t>(e.payload.size()));
+  if (e.has_packet_id) put_u64(out, e.packet_id);
+  out.insert(out.end(), e.payload.begin(), e.payload.end());
+}
+
+std::vector<std::uint8_t> encode_envelope(const Envelope& e) {
+  std::vector<std::uint8_t> out;
+  encode_envelope_into(e, out);
+  return out;
+}
+
+std::optional<Envelope> decode_envelope(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kBaseHeader) return std::nullopt;
+  if (get_u16(bytes, 0) != kEnvelopeMagic) return std::nullopt;
+  if (bytes[2] != kEnvelopeVersion) return std::nullopt;
+  const std::uint8_t flags = bytes[3];
+  if ((flags & ~(kEnvFlagData | kEnvFlagToReceiver)) != 0) {
+    return std::nullopt;  // reserved bits
+  }
+  Envelope e;
+  e.session_id = get_u32(bytes, 4);
+  e.has_packet_id = (flags & kEnvFlagData) != 0;
+  e.to_receiver = (flags & kEnvFlagToReceiver) != 0;
+  const std::size_t declared = get_u16(bytes, 8);
+  std::size_t pos = kBaseHeader;
+  if (e.has_packet_id) {
+    if (bytes.size() < pos + 8) return std::nullopt;
+    e.packet_id = get_u64(bytes, pos);
+    pos += 8;
+  }
+  // The load-bearing check: the declared length must equal the bytes that
+  // actually arrived.  A shorter datagram is truncation; a longer one is
+  // padding or a splice — both mean the envelope cannot be trusted, even if
+  // the inner frame's FCS would happen to pass over a prefix.
+  if (bytes.size() - pos != declared) return std::nullopt;
+  if (declared == 0) return std::nullopt;  // an envelope always carries a frame
+  e.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                   bytes.end());
+  return e;
+}
+
+}  // namespace lamsdlc::frame

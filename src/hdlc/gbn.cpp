@@ -187,7 +187,9 @@ void GbnReceiver::on_frame(frame::Frame f) {
   if (in_receive_window && ctr == vr_) {
     ++vr_;
     rej_outstanding_ = false;
-    const sim::Packet p{in->packet_id, in->payload_bytes, Time{}, 0, 0, 1};
+    const sim::Packet p{in->packet_id, in->payload_bytes, Time{},
+                        0,             0,                 1,
+                        in->payload};
     sim_.schedule_in(cfg_.t_proc, [this, p] {
       if (listener_) listener_->on_packet(p, sim_.now());
     });

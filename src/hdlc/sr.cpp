@@ -301,7 +301,7 @@ void SrReceiver::handle_iframe(const frame::HdlcIFrame& in, bool corrupted) {
         ++busy_discards_;
       } else {
         held_.emplace(ctr, sim::Packet{in.packet_id, in.payload_bytes, Time{},
-                                       0, 0, 1});
+                                       0, 0, 1, in.payload});
         if (stats_) {
           stats_->recv_buffer.update(sim_.now(),
                                      static_cast<double>(held_.size()));

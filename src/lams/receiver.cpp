@@ -6,7 +6,7 @@
 
 namespace lamsdlc::lams {
 
-LamsReceiver::LamsReceiver(Simulator& sim, link::SimplexChannel& control_out,
+LamsReceiver::LamsReceiver(Simulator& sim, link::FrameChannel& control_out,
                            LamsConfig cfg, sim::PacketListener* listener,
                            sim::DlcStats* stats, Tracer tracer,
                            obs::EventBus* bus)
@@ -311,8 +311,8 @@ void LamsReceiver::deliver_up(const frame::IFrame& in, std::uint64_t ctr) {
     stats_->recv_buffer.update(sim_.now(), static_cast<double>(processing_));
   }
   note_recv_buffer();
-  const sim::Packet p{in.packet_id, in.payload_bytes, Time{}, 0, 0, 1};
-  sim_.schedule_in(cfg_.t_proc, [this, p, ctr] {
+  sim::Packet p{in.packet_id, in.payload_bytes, Time{}, 0, 0, 1, in.payload};
+  sim_.schedule_in(cfg_.t_proc, [this, p = std::move(p), ctr] {
     --processing_;
     if (stats_) {
       stats_->recv_buffer.update(sim_.now(), static_cast<double>(processing_));

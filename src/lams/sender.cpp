@@ -20,7 +20,7 @@ obs::SenderMode to_obs(LamsSender::Mode m) noexcept {
 
 }  // namespace
 
-LamsSender::LamsSender(Simulator& sim, link::SimplexChannel& data_out,
+LamsSender::LamsSender(Simulator& sim, link::FrameChannel& data_out,
                        LamsConfig cfg, sim::DlcStats* stats, Tracer tracer,
                        obs::EventBus* bus)
     : sim_{sim},
@@ -185,10 +185,14 @@ void LamsSender::send_iframe(Pending p) {
   }
   p.last_ctr = ctr;
   frame::Frame f;
-  f.body = frame::IFrame{seqspace_.wrap(ctr), p.packet.id, p.packet.bytes, {}};
+  // Retransmissions re-copy the payload: the frame on the wire owns its
+  // bytes, while the held Pending keeps the original for the next attempt.
+  f.body =
+      frame::IFrame{seqspace_.wrap(ctr), p.packet.id, p.packet.bytes,
+                    p.packet.data};
 
   const Time tx = out_.tx_time(f);
-  const Time prop = out_.config().propagation(now);
+  const Time prop = out_.propagation_at(now);
   const Time expected_arrival = now + tx + prop + cfg_.t_proc;
 
   if (stats_) {

@@ -30,14 +30,14 @@ const char* state_name(SessionSender::State s) {
 
 // --------------------------------------------------------- SessionSender --
 
-SessionSender::SessionSender(Simulator& sim, link::SimplexChannel& data_out,
+SessionSender::SessionSender(Simulator& sim, link::FrameChannel& data_out,
                              SessionConfig cfg, sim::DlcStats* stats,
-                             Tracer tracer)
+                             Tracer tracer, obs::EventBus* bus)
     : sim_{sim},
       out_{data_out},
       cfg_{cfg},
       tracer_{tracer},
-      inner_{sim, data_out, cfg.lams, stats, std::move(tracer)} {
+      inner_{sim, data_out, cfg.lams, stats, std::move(tracer), bus} {
   inner_.set_failure_callback([this] { on_inner_failed(); });
 }
 
@@ -210,14 +210,16 @@ void SessionSender::try_resync() {
 // ------------------------------------------------------- SessionReceiver --
 
 SessionReceiver::SessionReceiver(Simulator& sim,
-                                 link::SimplexChannel& control_out,
+                                 link::FrameChannel& control_out,
                                  SessionConfig cfg,
                                  sim::PacketListener* listener,
-                                 sim::DlcStats* stats, Tracer tracer)
+                                 sim::DlcStats* stats, Tracer tracer,
+                                 obs::EventBus* bus)
     : sim_{sim},
       out_{control_out},
       tracer_{tracer},
-      inner_{sim, control_out, cfg.lams, listener, stats, std::move(tracer)} {}
+      inner_{sim, control_out, cfg.lams, listener, stats, std::move(tracer),
+             bus} {}
 
 void SessionReceiver::trace(std::string what) const {
   tracer_.emit(sim_.now(), "lams.session.rx", std::move(what));
@@ -244,6 +246,7 @@ void SessionReceiver::on_frame(frame::Frame f) {
             inner_.set_epoch(epoch_);
             inner_.start();
             trace("session epoch " + std::to_string(epoch_) + " initialized");
+            if (on_lifecycle_) on_lifecycle_(true, epoch_);
           }
           // Always (re-)acknowledge the current epoch: a duplicate INIT
           // means our previous INIT-ACK was lost.
@@ -256,6 +259,7 @@ void SessionReceiver::on_frame(frame::Frame f) {
             in_session_ = false;
             inner_.stop();
             trace("session epoch " + std::to_string(epoch_) + " closed");
+            if (on_lifecycle_) on_lifecycle_(false, epoch_);
           }
           reply(frame::SessionFrame::Kind::kCloseAck, s->epoch);
           return;

@@ -241,8 +241,8 @@ void NbdtReceiver::on_frame(frame::Frame f) {
   if (number < base_ || held_.contains(number)) {
     return;  // duplicate of something delivered or already parked
   }
-  held_.emplace(number,
-                sim::Packet{in->packet_id, in->payload_bytes, Time{}, 0, 0, 1});
+  held_.emplace(number, sim::Packet{in->packet_id, in->payload_bytes, Time{}, 0,
+                                    0, 1, in->payload});
   highest_plus1_ = std::max(highest_plus1_, number + 1);
   if (stats_) {
     stats_->recv_buffer.update(sim_.now(), static_cast<double>(held_.size()));

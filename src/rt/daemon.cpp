@@ -1,0 +1,419 @@
+#include "lamsdlc/rt/daemon.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <system_error>
+#include <vector>
+
+#include "lamsdlc/obs/bus.hpp"
+#include "lamsdlc/obs/capture.hpp"
+
+namespace lamsdlc::rt {
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void set_nonblock(int fd) {
+  const int fl = ::fcntl(fd, F_GETFL, 0);
+  if (fl < 0 || ::fcntl(fd, F_SETFL, fl | O_NONBLOCK) < 0) {
+    throw_errno("fcntl O_NONBLOCK");
+  }
+}
+
+}  // namespace
+
+struct Daemon::Impl {
+  DaemonConfig cfg;
+  WallClock loop;
+
+  std::unique_ptr<UdpTransport> udp;
+  std::unique_ptr<phy::FaultInjector> injector;
+  std::unique_ptr<ImpairedTransport> impaired;
+  std::unique_ptr<SessionMux> mux;
+
+  PeerId peer_id = 0;
+  bool have_peer = false;
+
+  // ------------------------------------------------------------- bridge --
+  int listen_fd = -1;
+  std::uint16_t bridge_port = 0;
+  struct Client {
+    int fd = -1;
+    std::uint32_t sid = 0;
+    std::uint64_t bytes_in = 0;
+    bool eof = false;           ///< Client half-closed; stream is draining.
+    EventId resume_timer = 0;   ///< Backpressure re-check.
+  };
+  std::map<int, Client> clients;          // by fd
+  std::map<std::uint32_t, int> sid_to_fd; // stream -> client
+
+  std::uint32_t next_sid = 0;
+
+  // ----------------------------------------------------------- delivery --
+  struct Delivery {
+    std::ofstream file;
+    std::string part_path;
+    std::string final_base;  ///< Rename target without extension.
+    std::uint64_t bytes = 0;
+  };
+  std::map<std::uint64_t, Delivery> deliveries;  // by rx_key(peer, sid)
+
+  // ----------------------------------------------------------- captures --
+  struct Capture {
+    obs::EventBus bus;
+    std::ofstream file;
+    std::unique_ptr<obs::CaptureWriter> writer;
+  };
+  std::map<std::uint32_t, std::unique_ptr<Capture>> captures;  // by sid
+
+  std::uint32_t completed = 0;
+  std::uint32_t failed = 0;
+  bool started = false;
+
+  explicit Impl(DaemonConfig c) : cfg{std::move(c)} {}
+
+  void log(const std::string& line) const {
+    if (cfg.verbose) std::fprintf(stderr, "lamsdlcd: %s\n", line.c_str());
+  }
+
+  obs::EventBus* bus_for(std::uint32_t sid) {
+    if (cfg.capture_prefix.empty()) return nullptr;
+    auto it = captures.find(sid);
+    if (it == captures.end()) {
+      auto cap = std::make_unique<Capture>();
+      const std::string path =
+          cfg.capture_prefix + "-s" + std::to_string(sid) + ".ldlcap";
+      cap->file.open(path, std::ios::binary | std::ios::trunc);
+      if (!cap->file) {
+        log("capture open failed: " + path);
+        return nullptr;
+      }
+      cap->writer = std::make_unique<obs::CaptureWriter>(cap->file);
+      obs::CaptureWriter* w = cap->writer.get();
+      cap->bus.subscribe([w](const obs::Event& e) { w->write(e); });
+      it = captures.emplace(sid, std::move(cap)).first;
+    }
+    return &it->second->bus;
+  }
+
+  void start() {
+    UdpTransport::Config ucfg;
+    ucfg.bind_host = cfg.bind_host;
+    ucfg.bind_port = cfg.udp_port;
+    ucfg.accept_unknown = true;
+    udp = std::make_unique<UdpTransport>(loop, ucfg);
+
+    Transport* wire = udp.get();
+    if (cfg.impair) {
+      injector = std::make_unique<phy::FaultInjector>(
+          cfg.fault, RandomStream{cfg.fault_seed, "rt.fault"});
+      impaired = std::make_unique<ImpairedTransport>(
+          loop, *udp, *injector, RandomStream{cfg.fault_seed, "rt.damage"});
+      wire = impaired.get();
+    }
+
+    SessionMux::Config mcfg;
+    mcfg.session = cfg.session;
+    mcfg.data_rate_bps = cfg.data_rate_bps;
+    mcfg.max_one_way = cfg.max_one_way;
+    mcfg.chunk_bytes = cfg.chunk_bytes;
+    mcfg.accept_inbound = true;
+    mcfg.bus_for = [this](std::uint32_t sid, bool) { return bus_for(sid); };
+    mux = std::make_unique<SessionMux>(loop, *wire, mcfg);
+
+    mux->set_stream_state_handler(
+        [this](std::uint32_t sid, lams::SessionSender::State s) {
+          on_stream_state(sid, s);
+        });
+    mux->set_inbound_data_handler(
+        [this](PeerId p, std::uint32_t sid,
+               std::span<const std::uint8_t> bytes) {
+          on_inbound_data(p, sid, bytes);
+        });
+    mux->set_inbound_end_handler(
+        [this](PeerId p, std::uint32_t sid, bool clean) {
+          on_inbound_end(p, sid, clean);
+        });
+
+    if (cfg.self_peer) {
+      const std::string self_host =
+          cfg.bind_host == "0.0.0.0" ? "127.0.0.1" : cfg.bind_host;
+      peer_id = udp->add_peer(self_host, udp->local_port());
+      have_peer = true;
+    } else if (!cfg.peer_host.empty()) {
+      peer_id = udp->add_peer(cfg.peer_host, cfg.peer_port);
+      have_peer = true;
+    }
+
+    next_sid = cfg.session_base != 0
+                   ? cfg.session_base
+                   : (static_cast<std::uint32_t>(::getpid()) << 8) & 0x7FFFFF00;
+    if (next_sid == 0) next_sid = 1;
+
+    if (cfg.bridge) open_bridge(cfg.bridge_port);
+    started = true;
+    log("udp " + cfg.bind_host + ":" + std::to_string(udp->local_port()) +
+        (have_peer ? " (peer wired)" : " (serve-only)"));
+  }
+
+  // ------------------------------------------------------------- bridge --
+
+  void open_bridge(std::uint16_t port) {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0) throw_errno("bridge socket");
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, cfg.bind_host.c_str(), &addr.sin_addr) != 1) {
+      errno = EINVAL;
+      throw_errno("bridge bind_host");
+    }
+    if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) < 0) {
+      throw_errno("bridge bind");
+    }
+    if (::listen(listen_fd, 16) < 0) throw_errno("bridge listen");
+    set_nonblock(listen_fd);
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len);
+    bridge_port = ntohs(bound.sin_port);
+    loop.watch_fd(listen_fd, [this] { on_accept(); });
+  }
+
+  void on_accept() {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        return;
+      }
+      if (!have_peer) {
+        static const char err[] = "ERR no-peer\n";
+        (void)!::write(fd, err, sizeof err - 1);
+        ::close(fd);
+        continue;
+      }
+      set_nonblock(fd);
+      Client c;
+      c.fd = fd;
+      c.sid = next_sid++;
+      clients[fd] = c;
+      sid_to_fd[c.sid] = fd;
+      mux->open_stream(peer_id, c.sid);
+      loop.watch_fd(fd, [this, fd] { on_client_readable(fd); });
+      log("bridge client -> stream s" + std::to_string(c.sid));
+    }
+  }
+
+  void on_client_readable(int fd) {
+    const auto it = clients.find(fd);
+    if (it == clients.end()) return;
+    Client& c = it->second;
+    std::uint8_t buf[16384];
+    for (;;) {
+      if (!mux->stream_accepting(c.sid)) {
+        // Backpressure: stop consuming, let the DLC drain, try again soon.
+        pause_client(c);
+        return;
+      }
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        // Connection damage: abandon the stream; the session will drain
+        // what was accepted and close.
+        c.eof = true;
+        loop.unwatch_fd(fd);
+        mux->stream_close(c.sid);
+        return;
+      }
+      if (n == 0) {
+        // Half-close: the client's byte stream is complete.
+        c.eof = true;
+        loop.unwatch_fd(fd);
+        mux->stream_close(c.sid);
+        log("stream s" + std::to_string(c.sid) + " eof after " +
+            std::to_string(c.bytes_in) + " bytes");
+        return;
+      }
+      c.bytes_in += static_cast<std::uint64_t>(n);
+      mux->stream_write(c.sid, std::span<const std::uint8_t>{
+                                   buf, static_cast<std::size_t>(n)});
+    }
+  }
+
+  void pause_client(Client& c) {
+    loop.unwatch_fd(c.fd);
+    const int fd = c.fd;
+    loop.sim().cancel(c.resume_timer);
+    c.resume_timer = loop.sim().schedule_in(
+        Time::milliseconds(1), [this, fd] {
+          const auto it = clients.find(fd);
+          if (it == clients.end() || it->second.eof) return;
+          if (mux->stream_accepting(it->second.sid)) {
+            loop.watch_fd(fd, [this, fd] { on_client_readable(fd); });
+            on_client_readable(fd);
+          } else {
+            pause_client(it->second);
+          }
+        });
+  }
+
+  void finish_client(std::uint32_t sid, bool ok, const char* why) {
+    const auto sit = sid_to_fd.find(sid);
+    if (sit == sid_to_fd.end()) return;
+    const int fd = sit->second;
+    const auto cit = clients.find(fd);
+    if (cit != clients.end()) {
+      std::string line =
+          ok ? "OK " + std::to_string(cit->second.bytes_in) + "\n"
+             : std::string("ERR ") + why + "\n";
+      (void)!::write(fd, line.data(), line.size());
+      loop.unwatch_fd(fd);
+      loop.sim().cancel(cit->second.resume_timer);
+      ::close(fd);
+      clients.erase(cit);
+    }
+    sid_to_fd.erase(sit);
+  }
+
+  void on_stream_state(std::uint32_t sid, lams::SessionSender::State s) {
+    using State = lams::SessionSender::State;
+    if (s != State::kClosed && s != State::kFailed) return;
+    const bool ok = s == State::kClosed;
+    log("stream s" + std::to_string(sid) + (ok ? " closed" : " FAILED"));
+    finish_client(sid, ok, "session-failed");
+    ++completed;
+    if (!ok) ++failed;
+    // Retire the session's state outside the state callback (the sender is
+    // mid-transition under our feet).
+    loop.sim().schedule_in(Time{}, [this, sid] { mux->drop_stream(sid); });
+    maybe_exit();
+  }
+
+  // ----------------------------------------------------------- delivery --
+
+  void on_inbound_data(PeerId peer, std::uint32_t sid,
+                       std::span<const std::uint8_t> bytes) {
+    if (cfg.deliver_dir.empty()) return;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(peer) << 32) | sid;
+    auto it = deliveries.find(key);
+    if (it == deliveries.end()) {
+      Delivery d;
+      d.final_base = cfg.deliver_dir + "/stream-p" + std::to_string(peer) +
+                     "-s" + std::to_string(sid);
+      d.part_path = d.final_base + ".part";
+      d.file.open(d.part_path, std::ios::binary | std::ios::trunc);
+      if (!d.file) log("deliver open failed: " + d.part_path);
+      it = deliveries.emplace(key, std::move(d)).first;
+    }
+    it->second.file.write(reinterpret_cast<const char*>(bytes.data()),
+                          static_cast<std::streamsize>(bytes.size()));
+    it->second.bytes += bytes.size();
+  }
+
+  void on_inbound_end(PeerId peer, std::uint32_t sid, bool clean) {
+    log("inbound s" + std::to_string(sid) +
+        (clean ? " complete" : " INCOMPLETE"));
+    if (!cfg.deliver_dir.empty()) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(peer) << 32) | sid;
+      const auto it = deliveries.find(key);
+      if (it != deliveries.end()) {
+        it->second.file.close();
+        // Rename-on-complete: consumers never observe a torn file.
+        const std::string target =
+            it->second.final_base + (clean ? ".bin" : ".err");
+        if (std::rename(it->second.part_path.c_str(), target.c_str()) != 0) {
+          log("rename failed: " + target);
+        }
+        deliveries.erase(it);
+      }
+    }
+    ++completed;
+    if (!clean) ++failed;
+    maybe_exit();
+  }
+
+  void maybe_exit() {
+    if (cfg.exit_after_streams != 0 && completed >= cfg.exit_after_streams) {
+      log("exit-after-streams reached");
+      // Let in-flight CLOSE-ACK retransmissions settle before tearing the
+      // loop down, so the peer also ends clean.
+      loop.sim().schedule_in(Time::milliseconds(50), [this] { loop.stop(); });
+    }
+  }
+
+  void shutdown() {
+    for (auto& [fd, c] : clients) {
+      loop.unwatch_fd(fd);
+      ::close(fd);
+    }
+    clients.clear();
+    sid_to_fd.clear();
+    if (listen_fd >= 0) {
+      loop.unwatch_fd(listen_fd);
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+    for (auto& [sid, cap] : captures) {
+      cap->file.flush();
+    }
+  }
+};
+
+Daemon::Daemon(DaemonConfig cfg) : impl_{std::make_unique<Impl>(std::move(cfg))} {}
+
+Daemon::~Daemon() {
+  if (impl_) impl_->shutdown();
+}
+
+void Daemon::start() { impl_->start(); }
+
+void Daemon::run() {
+  impl_->loop.run();
+  // Captures must be complete on disk the moment run() returns — callers
+  // (tests, the smoke script) read them before the daemon is destroyed.
+  for (auto& [sid, cap] : impl_->captures) cap->file.flush();
+}
+
+void Daemon::stop() { impl_->loop.stop(); }
+
+std::uint16_t Daemon::udp_port() const noexcept {
+  return impl_->udp ? impl_->udp->local_port() : 0;
+}
+
+std::uint16_t Daemon::bridge_port() const noexcept {
+  return impl_->bridge_port;
+}
+
+std::uint32_t Daemon::streams_completed() const noexcept {
+  return impl_->completed;
+}
+
+std::uint32_t Daemon::streams_failed() const noexcept {
+  return impl_->failed;
+}
+
+SessionMux& Daemon::mux() { return *impl_->mux; }
+
+EventLoop& Daemon::loop() { return impl_->loop; }
+
+}  // namespace lamsdlc::rt

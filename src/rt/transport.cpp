@@ -1,0 +1,113 @@
+#include "lamsdlc/rt/transport.hpp"
+
+#include <algorithm>
+
+#include "lamsdlc/frame/envelope.hpp"
+
+namespace lamsdlc::rt {
+
+// ---------------------------------------------------------------------------
+// LoopbackTransport
+
+std::pair<std::unique_ptr<LoopbackTransport>,
+          std::unique_ptr<LoopbackTransport>>
+LoopbackTransport::make_pair(EventLoop& loop, Time one_way) {
+  auto hub = std::make_shared<Hub>();
+  auto a = std::unique_ptr<LoopbackTransport>(
+      new LoopbackTransport{loop, one_way, hub, /*is_a=*/true});
+  auto b = std::unique_ptr<LoopbackTransport>(
+      new LoopbackTransport{loop, one_way, hub, /*is_a=*/false});
+  hub->a = a.get();
+  hub->b = b.get();
+  return {std::move(a), std::move(b)};
+}
+
+LoopbackTransport::~LoopbackTransport() {
+  (is_a_ ? hub_->a : hub_->b) = nullptr;
+}
+
+bool LoopbackTransport::send(PeerId peer,
+                             std::span<const std::uint8_t> datagram) {
+  if (peer != 0 || datagram.size() > max_datagram()) return false;
+  // Deliver through the loop, never inline: the receiver's handler must not
+  // run inside the sender's stack frame (same discipline as a socket).
+  std::vector<std::uint8_t> copy{datagram.begin(), datagram.end()};
+  const bool to_a = !is_a_;
+  loop_.sim().schedule_in(
+      one_way_, [hub = hub_, to_a, bytes = std::move(copy)] {
+        LoopbackTransport* dst = to_a ? hub->a : hub->b;
+        if (dst == nullptr) return;  // receiver died while we were in flight
+        ++dst->delivered_;
+        if (dst->on_recv_) dst->on_recv_(0, bytes);
+      });
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ImpairedTransport
+
+ImpairedTransport::ImpairedTransport(EventLoop& loop, Transport& under,
+                                     phy::FaultInjector& injector,
+                                     RandomStream rng)
+    : loop_{loop}, under_{under}, injector_{injector}, rng_{std::move(rng)} {}
+
+void ImpairedTransport::dispatch(PeerId peer, std::vector<std::uint8_t> bytes,
+                                 Time delay) {
+  if (delay.is_zero()) {
+    under_.send(peer, bytes);
+    return;
+  }
+  loop_.sim().schedule_in(
+      delay, [this, peer, b = std::move(bytes)] { under_.send(peer, b); });
+}
+
+bool ImpairedTransport::send(PeerId peer,
+                             std::span<const std::uint8_t> datagram) {
+  // Frame class from the envelope header: flag bit0 marks data (I-frames);
+  // everything else — checkpoints, NAKs, session/RESYNC — is control.  This
+  // is how a class-selective injector config (Affects::kControlOnly attacks
+  // the feedback path) keeps working over a real socket.
+  const bool is_data = datagram.size() >= 4 &&
+                       (datagram[3] & frame::kEnvFlagData) != 0;
+  const Time now = loop_.now();
+  phy::FrameFate fate =
+      injector_.fate(!is_data, now, now, datagram.size() * 8);
+  if (fate.drop) {
+    ++dropped_;
+    return true;  // "sent", from the caller's point of view
+  }
+
+  std::vector<std::uint8_t> bytes{datagram.begin(), datagram.end()};
+  if (fate.truncate && bytes.size() > 1) {
+    // Header damage: shear the datagram mid-flight.  The far end refuses it
+    // at the envelope length check — the live analogue of an FCS husk.
+    bytes.resize(static_cast<std::size_t>(
+        rng_.uniform_int(1, static_cast<std::int64_t>(bytes.size()) - 1)));
+    ++damaged_;
+  } else if (fate.corrupt) {
+    // Real byte damage.  With the envelope header intact the inner frame's
+    // FCS catches it; header hits die at the envelope door instead.
+    const auto n = 1 + rng_.uniform_int(0, 3);
+    for (std::int64_t i = 0; i < n; ++i) {
+      bytes[static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(bytes.size()) - 1))] ^=
+          static_cast<std::uint8_t>(1u << rng_.uniform_int(0, 7));
+    }
+    ++damaged_;
+  }
+
+  for (std::uint32_t d = 0; d < fate.duplicates; ++d) {
+    ++duplicated_;
+    // Copies trail the original by their own jitter draw so they genuinely
+    // reorder rather than arriving back-to-back.
+    const Time extra = fate.delay + Time::microseconds(rng_.uniform_int(
+                           1, std::max<std::int64_t>(
+                                  1, injector_.config().max_jitter.ps() /
+                                         1'000'000)));
+    dispatch(peer, bytes, extra);
+  }
+  dispatch(peer, std::move(bytes), fate.delay);
+  return true;
+}
+
+}  // namespace lamsdlc::rt

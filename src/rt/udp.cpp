@@ -1,0 +1,147 @@
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+#include "lamsdlc/rt/transport.hpp"
+
+namespace lamsdlc::rt {
+
+struct UdpTransport::Impl {
+  std::vector<sockaddr_in> peers;
+
+  [[nodiscard]] PeerId find_or_add(const sockaddr_in& addr, bool add) {
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+      if (peers[i].sin_addr.s_addr == addr.sin_addr.s_addr &&
+          peers[i].sin_port == addr.sin_port) {
+        return static_cast<PeerId>(i);
+      }
+    }
+    if (!add) return kUnknown;
+    peers.push_back(addr);
+    return static_cast<PeerId>(peers.size() - 1);
+  }
+
+  static constexpr PeerId kUnknown = 0xFFFFFFFFu;
+};
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(EventLoop& loop, const Config& cfg)
+    : loop_{loop},
+      impl_{std::make_unique<Impl>()},
+      accept_unknown_{cfg.accept_unknown} {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw_errno("UdpTransport: socket");
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    const int e = errno;
+    ::close(fd_);
+    errno = e;
+    throw_errno("UdpTransport: O_NONBLOCK");
+  }
+  // Ask for generous kernel buffers: a sender at the modeled line rate can
+  // burst a full window into loopback faster than a single-threaded receiver
+  // drains it, and every overflowed datagram is a real loss the ARQ then has
+  // to repair.  Best effort — the kernel clamps to its rmem/wmem limits.
+  const int sockbuf = 4 * 1024 * 1024;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &sockbuf, sizeof sockbuf);
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &sockbuf, sizeof sockbuf);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg.bind_port);
+  if (::inet_pton(AF_INET, cfg.bind_host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    errno = EINVAL;
+    throw_errno("UdpTransport: bind_host");
+  }
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const int e = errno;
+    ::close(fd_);
+    errno = e;
+    throw_errno("UdpTransport: bind");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const int e = errno;
+    ::close(fd_);
+    errno = e;
+    throw_errno("UdpTransport: getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  loop_.watch_fd(fd_, [this] { on_readable(); });
+}
+
+UdpTransport::~UdpTransport() {
+  if (fd_ >= 0) {
+    loop_.unwatch_fd(fd_);
+    ::close(fd_);
+  }
+}
+
+PeerId UdpTransport::add_peer(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    throw_errno("UdpTransport::add_peer: host");
+  }
+  return impl_->find_or_add(addr, /*add=*/true);
+}
+
+std::size_t UdpTransport::peer_count() const noexcept {
+  return impl_->peers.size();
+}
+
+bool UdpTransport::send(PeerId peer, std::span<const std::uint8_t> datagram) {
+  if (peer >= impl_->peers.size() || datagram.size() > max_datagram()) {
+    return false;
+  }
+  const sockaddr_in& addr = impl_->peers[peer];
+  const ssize_t n =
+      ::sendto(fd_, datagram.data(), datagram.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  // A full socket buffer (EWOULDBLOCK) loses the datagram, exactly as a
+  // congested network would — the ARQ above recovers it; no retry queue.
+  return n == static_cast<ssize_t>(datagram.size());
+}
+
+void UdpTransport::on_readable() {
+  std::uint8_t buf[65536];
+  for (;;) {
+    sockaddr_in from{};
+    socklen_t fromlen = sizeof from;
+    const ssize_t n =
+        ::recvfrom(fd_, buf, sizeof buf, 0,
+                   reinterpret_cast<sockaddr*>(&from), &fromlen);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // drained
+      if (errno == EINTR) continue;
+      return;  // transient (e.g. ECONNREFUSED from a previous send); drop
+    }
+    const PeerId peer = impl_->find_or_add(from, accept_unknown_);
+    if (peer == Impl::kUnknown) {
+      ++refused_unknown_;
+      continue;
+    }
+    if (on_recv_) {
+      on_recv_(peer, std::span<const std::uint8_t>{
+                         buf, static_cast<std::size_t>(n)});
+    }
+  }
+}
+
+}  // namespace lamsdlc::rt

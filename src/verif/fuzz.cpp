@@ -2,10 +2,12 @@
 
 #include <cstddef>
 #include <sstream>
+#include <string_view>
 #include <variant>
 
 #include "lamsdlc/core/random.hpp"
 #include "lamsdlc/frame/codec.hpp"
+#include "lamsdlc/frame/envelope.hpp"
 #include "lamsdlc/frame/frame.hpp"
 #include "lamsdlc/phy/crc.hpp"
 
@@ -198,6 +200,63 @@ const char* mutate(std::vector<std::uint8_t>& bytes, RandomStream& rng,
   }
 }
 
+/// One envelope mutation.  Every class except "env-bitflip" produces a
+/// datagram `decode_envelope` is *guaranteed* to refuse — the caller treats
+/// acceptance of those as a property failure.  The first three are the
+/// length-disagreement family the envelope's self-check exists for: the
+/// declared payload_len and the received byte count are pushed apart in one
+/// direction or the other without touching the (still CRC-clean) frame
+/// inside.
+const char* mutate_envelope(std::vector<std::uint8_t>& bytes,
+                            RandomStream& rng) {
+  auto pos = [&](std::size_t size) {
+    return static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(size) - 1));
+  };
+  switch (rng.uniform_int(0, 5)) {
+    case 0: {  // shear: fewer bytes arrive than the header declares
+      if (bytes.size() > 1) {
+        bytes.resize(pos(bytes.size()));
+      } else {
+        bytes.clear();
+      }
+      return "env-shear";
+    }
+    case 1: {  // pad: trailing junk after the declared payload
+      const auto n = 1 + rng.uniform_int(0, 7);
+      for (std::int64_t i = 0; i < n; ++i) {
+        bytes.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+      }
+      return "env-pad";
+    }
+    case 2: {  // rewrite the declared payload_len, leaving the bytes alone
+      if (bytes.size() >= 10) {
+        bytes[8 + pos(2)] ^= static_cast<std::uint8_t>(
+            1u + rng.uniform_int(0, 254));
+      }
+      return "env-len";
+    }
+    case 3: {  // set a reserved flag bit (bit1 is the direction bit: legal)
+      bytes[3] |= static_cast<std::uint8_t>(
+          1u << rng.uniform_int(2, 7));
+      return "env-flag";
+    }
+    case 4: {  // damage magic or version
+      bytes[pos(3)] ^= static_cast<std::uint8_t>(
+          1u + rng.uniform_int(0, 254));
+      return "env-magic";
+    }
+    default: {  // arbitrary bit flips: rejection not guaranteed
+      const auto flips = 1 + rng.uniform_int(0, 15);
+      for (std::int64_t i = 0; i < flips && !bytes.empty(); ++i) {
+        bytes[pos(bytes.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+      }
+      return "env-bitflip";
+    }
+  }
+}
+
 /// Recompute the trailing FCS so the mutant passes the CRC gate and the
 /// structural / value validation behind it gets exercised.
 void fix_crc(std::vector<std::uint8_t>& bytes) {
@@ -239,7 +298,8 @@ std::string FuzzReport::summary() const {
   std::ostringstream os;
   os << "fuzz: " << cases << " cases, " << decode_ok << " accepted, "
      << decode_rejected << " rejected (" << limit_rejections
-     << " by seq limits), " << failures.size() << " property failures";
+     << " by seq limits, " << envelope_rejections << " by envelope), "
+     << failures.size() << " property failures";
   for (const std::string& f : failures) os << "\n  FAIL " << f;
   return os.str();
 }
@@ -309,6 +369,61 @@ FuzzReport fuzz_codec(const FuzzOptions& opts) {
       }
       ++rep.decode_rejected;
       ++rep.limit_rejections;
+      continue;
+    }
+
+    if (leg < 0.35) {
+      // Envelope leg: a lawful frame wrapped in a datagram envelope, then
+      // attacked at the envelope layer.  This is the exact parse order of
+      // the live runtime (decode_envelope first, frame::decode second), so
+      // the properties here are the ones a hostile datagram meets first.
+      Frame f = random_frame(rng, opts.seq_modulus);
+      frame::Envelope env;
+      env.session_id =
+          static_cast<std::uint32_t>(rng.uniform_int(0, 0xFFFF));
+      env.has_packet_id = std::holds_alternative<frame::IFrame>(f.body);
+      env.to_receiver = rng.bernoulli(0.5);
+      if (env.has_packet_id) {
+        env.packet_id = static_cast<frame::PacketId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(1) << 40));
+      }
+      env.payload = frame::encode(f);
+      std::vector<std::uint8_t> bytes = frame::encode_envelope(env);
+      ++rep.cases;
+      if (rng.bernoulli(0.15)) {
+        // Unmutated: must round-trip field-for-field.
+        const auto d = frame::decode_envelope(bytes);
+        if (!d.has_value()) {
+          fail(i, "env-none", "valid envelope was rejected");
+          continue;
+        }
+        ++rep.decode_ok;
+        if (d->session_id != env.session_id ||
+            d->has_packet_id != env.has_packet_id ||
+            d->to_receiver != env.to_receiver ||
+            d->packet_id != env.packet_id || d->payload != env.payload) {
+          fail(i, "env-none", "envelope round-trip changed fields");
+        }
+        continue;
+      }
+      const char* mutation = mutate_envelope(bytes, rng);
+      const bool must_reject = std::string_view{mutation} != "env-bitflip";
+      const auto d = frame::decode_envelope(bytes);
+      if (!d.has_value()) {
+        ++rep.decode_rejected;
+        ++rep.envelope_rejections;
+        continue;
+      }
+      ++rep.decode_ok;
+      if (must_reject) {
+        fail(i, mutation, "guaranteed-invalid envelope was accepted");
+        continue;
+      }
+      // Canonical form: the envelope has no redundancy beyond its checked
+      // fields, so anything accepted must re-encode byte-identically.
+      if (frame::encode_envelope(*d) != bytes) {
+        fail(i, mutation, "accepted envelope is not canonical");
+      }
       continue;
     }
 

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "lamsdlc/frame/codec.hpp"
+#include "lamsdlc/frame/envelope.hpp"
+#include "lamsdlc/frame/frame.hpp"
+
+namespace lamsdlc::frame {
+namespace {
+
+// The envelope is the first parser a hostile datagram meets in the live
+// runtime — these tests pin its acceptance boundary exactly.
+
+Envelope data_envelope() {
+  Frame f;
+  f.body = IFrame{3, 0, 4, {0xDE, 0xAD, 0xBE, 0xEF}};
+  Envelope e;
+  e.session_id = 0x01020304;
+  e.has_packet_id = true;
+  e.to_receiver = true;
+  e.packet_id = 0x0000'0042'0000'0007ull;
+  e.payload = encode(f);
+  return e;
+}
+
+Envelope control_envelope() {
+  Frame f;
+  f.body = RequestNakFrame{99};
+  Envelope e;
+  e.session_id = 7;
+  e.payload = encode(f);
+  return e;
+}
+
+TEST(Envelope, DataRoundTrip) {
+  const Envelope e = data_envelope();
+  const std::vector<std::uint8_t> bytes = encode_envelope(e);
+  EXPECT_EQ(bytes.size(), envelope_encoded_size(e));
+  const auto d = decode_envelope(bytes);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->session_id, e.session_id);
+  EXPECT_TRUE(d->has_packet_id);
+  EXPECT_TRUE(d->to_receiver);
+  EXPECT_EQ(d->packet_id, e.packet_id);
+  EXPECT_EQ(d->payload, e.payload);
+  // The inner frame survives intact.
+  const auto f = decode(d->payload);
+  ASSERT_TRUE(f.has_value());
+  const auto* i = std::get_if<IFrame>(&f->body);
+  ASSERT_NE(i, nullptr);
+  EXPECT_EQ(i->seq, 3u);
+  EXPECT_EQ(i->payload, (std::vector<std::uint8_t>{0xDE, 0xAD, 0xBE, 0xEF}));
+}
+
+TEST(Envelope, ControlRoundTripOmitsPacketId) {
+  const Envelope e = control_envelope();
+  const std::vector<std::uint8_t> bytes = encode_envelope(e);
+  // Control header is 8 bytes shorter than data: no packet_id field.
+  EXPECT_EQ(bytes.size(), 10 + e.payload.size());
+  const auto d = decode_envelope(bytes);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(d->has_packet_id);
+  EXPECT_FALSE(d->to_receiver);
+  EXPECT_EQ(d->packet_id, 0u);
+  EXPECT_EQ(d->payload, e.payload);
+}
+
+TEST(Envelope, RejectsEveryTruncationPoint) {
+  const std::vector<std::uint8_t> bytes = encode_envelope(data_envelope());
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() + static_cast<std::ptrdiff_t>(n));
+    EXPECT_FALSE(decode_envelope(cut).has_value()) << "accepted at " << n;
+  }
+}
+
+TEST(Envelope, RejectsTrailingPadding) {
+  std::vector<std::uint8_t> bytes = encode_envelope(data_envelope());
+  bytes.push_back(0x00);
+  EXPECT_FALSE(decode_envelope(bytes).has_value());
+  bytes.push_back(0xFF);
+  EXPECT_FALSE(decode_envelope(bytes).has_value());
+}
+
+TEST(Envelope, RejectsRewrittenLengthDeclaration) {
+  // Same byte count, different declared payload_len: both directions.
+  std::vector<std::uint8_t> bytes = encode_envelope(control_envelope());
+  const std::uint8_t lo = bytes[8];
+  bytes[8] = static_cast<std::uint8_t>(lo + 1);
+  EXPECT_FALSE(decode_envelope(bytes).has_value());
+  bytes[8] = static_cast<std::uint8_t>(lo - 1);
+  EXPECT_FALSE(decode_envelope(bytes).has_value());
+}
+
+TEST(Envelope, RejectsBadMagicVersionAndReservedFlags) {
+  const std::vector<std::uint8_t> good = encode_envelope(control_envelope());
+  {
+    auto b = good;
+    b[0] ^= 0x01;  // magic
+    EXPECT_FALSE(decode_envelope(b).has_value());
+  }
+  {
+    auto b = good;
+    b[2] = kEnvelopeVersion + 1;  // future version
+    EXPECT_FALSE(decode_envelope(b).has_value());
+  }
+  for (int bit = 2; bit < 8; ++bit) {  // reserved flag bits (bit1 = direction)
+    auto b = good;
+    b[3] |= static_cast<std::uint8_t>(1u << bit);
+    EXPECT_FALSE(decode_envelope(b).has_value());
+  }
+}
+
+TEST(Envelope, RejectsEmptyPayload) {
+  Envelope e;
+  e.session_id = 1;
+  const std::vector<std::uint8_t> bytes = encode_envelope(e);
+  EXPECT_FALSE(decode_envelope(bytes).has_value());
+}
+
+TEST(Envelope, FlippingDataFlagBreaksTheLengthCheck) {
+  // Clearing bit0 on a data envelope makes the packet_id bytes look like
+  // payload — the byte count no longer matches the declaration, so the
+  // datagram dies at the door rather than feeding id bytes to the codec.
+  std::vector<std::uint8_t> bytes = encode_envelope(data_envelope());
+  bytes[3] &= static_cast<std::uint8_t>(~kEnvFlagData);
+  EXPECT_FALSE(decode_envelope(bytes).has_value());
+}
+
+}  // namespace
+}  // namespace lamsdlc::frame

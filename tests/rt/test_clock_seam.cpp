@@ -1,0 +1,144 @@
+/// \file test_clock_seam.cpp
+/// \brief The sim/wall seam: one LAMS scenario, two clock drivers.
+///
+/// The live runtime's core claim is that `WallClock` only changes *when*
+/// the Simulator's clock advances, never *what* the protocol does.  Every
+/// timer callback observes its scheduled instant, so the event sequence —
+/// and therefore every delivered byte and every counter — must be
+/// bit-identical between `SimClock` and `WallClock` over a
+/// `LoopbackTransport`.  This suite runs the same short scenario on both
+/// drivers and holds it to that.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "lamsdlc/rt/event_loop.hpp"
+#include "lamsdlc/rt/session_mux.hpp"
+#include "lamsdlc/rt/transport.hpp"
+
+namespace {
+
+using namespace lamsdlc;
+using rt::EventLoop;
+using rt::LoopbackTransport;
+using rt::SessionMux;
+using rt::SimClock;
+using rt::WallClock;
+
+struct SeamOutcome {
+  std::vector<std::uint8_t> delivered;
+  bool closed = false;
+  bool clean = false;
+  // Timing-independent final counters, both sides.
+  std::uint64_t submitted = 0;
+  std::uint64_t delivered_pkts = 0;
+  std::uint64_t iframe_tx = 0;
+  std::uint64_t iframe_retx = 0;
+  std::uint64_t tx_control = 0;
+  std::uint64_t rx_control = 0;
+};
+
+constexpr std::uint32_t kSid = 21;
+
+SeamOutcome run_scenario(bool wall) {
+  std::unique_ptr<EventLoop> loop;
+  if (wall) {
+    loop = std::make_unique<WallClock>();
+  } else {
+    loop = std::make_unique<SimClock>();
+  }
+
+  auto [ta, tb] = LoopbackTransport::make_pair(*loop, Time::microseconds(100));
+  SessionMux::Config mc;
+  mc.chunk_bytes = 512;
+  mc.max_one_way = Time::microseconds(500);
+  SessionMux ma{*loop, *ta, mc};
+  SessionMux mb{*loop, *tb, mc};
+
+  SeamOutcome out;
+  bool ended = false;
+  auto maybe_finish = [&] {
+    if (!out.closed || !ended) return;
+    if (const auto* s = ma.stream_stats(kSid)) {
+      out.submitted = s->packets_submitted;
+      out.iframe_tx = s->iframe_tx;
+      out.iframe_retx = s->iframe_retx;
+      out.tx_control = s->control_tx;
+    }
+    if (const auto* s = mb.inbound_stats(0, kSid)) {
+      out.delivered_pkts = s->packets_delivered;
+      out.rx_control = s->control_tx;
+    }
+    loop->stop();
+  };
+
+  mb.set_inbound_data_handler(
+      [&](rt::PeerId, std::uint32_t, std::span<const std::uint8_t> b) {
+        out.delivered.insert(out.delivered.end(), b.begin(), b.end());
+      });
+  mb.set_inbound_end_handler([&](rt::PeerId, std::uint32_t, bool clean) {
+    ended = true;
+    out.clean = clean;
+    maybe_finish();
+  });
+  ma.set_stream_state_handler(
+      [&](std::uint32_t, lams::SessionSender::State s) {
+        if (s == lams::SessionSender::State::kClosed) {
+          out.closed = true;
+          maybe_finish();
+        }
+      });
+
+  std::vector<std::uint8_t> payload(8000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31 + 5);
+  }
+  ma.open_stream(0, kSid);
+  ma.stream_write(kSid, payload);
+  ma.stream_close(kSid);
+
+  // Watchdog: a stuck scenario stops instead of hanging the suite (10 sim
+  // seconds on SimClock; 10 wall seconds on WallClock).
+  loop->sim().schedule_in(Time::seconds(10), [&] { loop->stop(); });
+  loop->run();
+  return out;
+}
+
+class ClockSeam : public testing::TestWithParam<bool> {};
+
+TEST_P(ClockSeam, ScenarioCompletesCleanAndByteExact) {
+  const SeamOutcome out = run_scenario(GetParam());
+  EXPECT_TRUE(out.closed);
+  EXPECT_TRUE(out.clean);
+  ASSERT_EQ(out.delivered.size(), 8000u);
+  for (std::size_t i = 0; i < out.delivered.size(); ++i) {
+    ASSERT_EQ(out.delivered[i], static_cast<std::uint8_t>(i * 31 + 5))
+        << "at byte " << i;
+  }
+  EXPECT_EQ(out.submitted, out.delivered_pkts);
+  EXPECT_EQ(out.iframe_retx, 0u) << "loopback is lossless";
+}
+
+INSTANTIATE_TEST_SUITE_P(Drivers, ClockSeam, testing::Values(false, true),
+                         [](const testing::TestParamInfo<bool>& i) {
+                           return i.param ? "WallClock" : "SimClock";
+                         });
+
+TEST(ClockSeam, WallAndSimProduceIdenticalOutcomes) {
+  const SeamOutcome sim = run_scenario(false);
+  const SeamOutcome wall = run_scenario(true);
+
+  EXPECT_EQ(sim.delivered, wall.delivered);
+  EXPECT_EQ(sim.closed, wall.closed);
+  EXPECT_EQ(sim.clean, wall.clean);
+  EXPECT_EQ(sim.submitted, wall.submitted);
+  EXPECT_EQ(sim.delivered_pkts, wall.delivered_pkts);
+  EXPECT_EQ(sim.iframe_tx, wall.iframe_tx);
+  EXPECT_EQ(sim.iframe_retx, wall.iframe_retx);
+  EXPECT_EQ(sim.tx_control, wall.tx_control);
+  EXPECT_EQ(sim.rx_control, wall.rx_control);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+/// \file test_event_loop.cpp
+/// \brief rt::SimClock / rt::WallClock driver contract.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "lamsdlc/rt/event_loop.hpp"
+
+namespace {
+
+using namespace lamsdlc;
+using rt::SimClock;
+using rt::WallClock;
+
+TEST(SimClock, AdaptsAnExternalSimulator) {
+  Simulator sim;
+  SimClock clock{sim};
+  ASSERT_EQ(&clock.sim(), &sim);
+
+  int fired = 0;
+  sim.schedule_in(Time::milliseconds(3), [&] { fired = 1; });
+  clock.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(clock.now(), Time::milliseconds(3));
+}
+
+TEST(SimClock, OwnsAKernelWhenConstructedBare) {
+  SimClock clock;
+  Time fired_at{Time::max()};
+  clock.sim().schedule_in(Time::microseconds(7),
+                          [&] { fired_at = clock.now(); });
+  clock.run();
+  EXPECT_EQ(fired_at, Time::microseconds(7));
+}
+
+TEST(SimClock, WatchFdIsADesignErrorUnderSimulation) {
+  SimClock clock;
+  EXPECT_THROW(clock.watch_fd(0, [] {}), std::logic_error);
+}
+
+TEST(WallClock, TimerFiresOnceTheWallPassesIt) {
+  WallClock loop;
+  Time fired_at{};
+  loop.sim().schedule_in(Time::milliseconds(20),
+                         [&] { fired_at = loop.sim().now(); });
+  loop.run();  // exits when the queue drains and nothing is watched
+  // The callback observes its *scheduled* instant (the simulation
+  // discipline), and the wall must have reached at least that.
+  EXPECT_EQ(fired_at, Time::milliseconds(20));
+  EXPECT_GE(loop.wall_now(), Time::milliseconds(20));
+}
+
+TEST(WallClock, PeriodicTimerAndStopFromCallback) {
+  WallClock loop;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks == 3) {
+      loop.stop();
+      return;
+    }
+    loop.sim().schedule_in(Time::milliseconds(1), tick);
+  };
+  loop.sim().schedule_in(Time::milliseconds(1), tick);
+  loop.run();
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(WallClock, WatchedPipeWakesTheLoop) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+
+  WallClock loop;
+  std::string got;
+  loop.watch_fd(fds[0], [&] {
+    char buf[16];
+    const ssize_t n = ::read(fds[0], buf, sizeof buf);
+    if (n > 0) got.assign(buf, static_cast<std::size_t>(n));
+    loop.stop();
+  });
+  // The write happens from a timer, so the loop must interleave timer
+  // dispatch and fd readiness in one thread.
+  loop.sim().schedule_in(Time::milliseconds(5), [&] {
+    ASSERT_EQ(::write(fds[1], "ping", 4), 4);
+  });
+  loop.run();
+  loop.unwatch_fd(fds[0]);
+  ::close(fds[0]);
+  ::close(fds[1]);
+  EXPECT_EQ(got, "ping");
+}
+
+TEST(WallClock, UnwatchedFdNoLongerFires) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+
+  WallClock loop;
+  int fired = 0;
+  loop.watch_fd(fds[0], [&] { ++fired; });
+  loop.unwatch_fd(fds[0]);
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  loop.sim().schedule_in(Time::milliseconds(2), [&] { loop.stop(); });
+  loop.run();
+  ::close(fds[0]);
+  ::close(fds[1]);
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace

@@ -1,0 +1,232 @@
+/// \file test_transport.cpp
+/// \brief Loopback, impaired and real-UDP datagram transports.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lamsdlc/core/random.hpp"
+#include "lamsdlc/phy/fault_injector.hpp"
+#include "lamsdlc/rt/event_loop.hpp"
+#include "lamsdlc/rt/transport.hpp"
+
+namespace {
+
+using namespace lamsdlc;
+using rt::ImpairedTransport;
+using rt::LoopbackTransport;
+using rt::PeerId;
+using rt::SimClock;
+using rt::UdpTransport;
+using rt::WallClock;
+
+std::vector<std::uint8_t> pattern(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(i * 7 + 13);
+  }
+  return v;
+}
+
+TEST(Loopback, DeliversAfterTheOneWayDelay) {
+  SimClock loop;
+  auto [a, b] = LoopbackTransport::make_pair(loop, Time::microseconds(150));
+
+  std::vector<std::uint8_t> got;
+  PeerId from = 99;
+  Time at{};
+  b->set_recv_handler([&](PeerId p, std::span<const std::uint8_t> bytes) {
+    from = p;
+    at = loop.now();
+    got.assign(bytes.begin(), bytes.end());
+  });
+
+  const auto msg = pattern(32);
+  EXPECT_TRUE(a->send(0, msg));
+  EXPECT_TRUE(got.empty()) << "delivery must be asynchronous";
+  loop.run();
+
+  EXPECT_EQ(got, msg);
+  EXPECT_EQ(from, 0u);
+  EXPECT_EQ(at, Time::microseconds(150));
+  EXPECT_EQ(b->delivered(), 1u);
+}
+
+TEST(Loopback, BothDirectionsAreIndependent) {
+  SimClock loop;
+  auto [a, b] = LoopbackTransport::make_pair(loop);
+  int at_a = 0, at_b = 0;
+  a->set_recv_handler([&](PeerId, auto) { ++at_a; });
+  b->set_recv_handler([&](PeerId, auto) { ++at_b; });
+  const auto msg = pattern(8);
+  a->send(0, msg);
+  a->send(0, msg);
+  b->send(0, msg);
+  loop.run();
+  EXPECT_EQ(at_b, 2);
+  EXPECT_EQ(at_a, 1);
+}
+
+TEST(Loopback, DeadReceiverDiscardsInFlightDatagrams) {
+  SimClock loop;
+  auto [a, b] = LoopbackTransport::make_pair(loop, Time::microseconds(10));
+  const auto msg = pattern(8);
+  EXPECT_TRUE(a->send(0, msg));
+  b.reset();   // receiver dies with the datagram still in flight
+  loop.run();  // the scheduled delivery must notice and do nothing
+  SUCCEED();
+}
+
+TEST(Loopback, RejectsOversizedDatagrams) {
+  SimClock loop;
+  auto [a, b] = LoopbackTransport::make_pair(loop);
+  const std::vector<std::uint8_t> big(a->max_datagram() + 1, 0xAA);
+  EXPECT_FALSE(a->send(0, big));
+}
+
+// ---------------------------------------------------------------------------
+
+struct ImpairedRig {
+  SimClock loop;
+  std::unique_ptr<LoopbackTransport> a, b;
+  phy::FaultInjector injector;
+  std::unique_ptr<ImpairedTransport> wire_;
+
+  explicit ImpairedRig(const phy::FaultInjector::Config& fc)
+      : injector{fc, RandomStream{7, "test.fault"}} {
+    auto pair = LoopbackTransport::make_pair(loop);
+    a = std::move(pair.first);
+    b = std::move(pair.second);
+    wire_ = std::make_unique<ImpairedTransport>(
+        loop, *a, injector, RandomStream{7, "test.damage"});
+  }
+
+  ImpairedTransport& wire() { return *wire_; }
+};
+
+TEST(Impaired, DropEverythingDeliversNothing) {
+  phy::FaultInjector::Config fc;
+  fc.p_drop = 1.0;
+  ImpairedRig rig{fc};
+
+  int got = 0;
+  rig.b->set_recv_handler([&](PeerId, auto) { ++got; });
+  const auto msg = pattern(16);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(rig.wire().send(0, msg));
+  rig.loop.run();
+
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(rig.wire().dropped(), 50u);
+}
+
+TEST(Impaired, DuplicationManufacturesExtraCopies) {
+  phy::FaultInjector::Config fc;
+  fc.p_duplicate = 1.0;
+  ImpairedRig rig{fc};
+
+  std::uint64_t got = 0;
+  rig.b->set_recv_handler([&](PeerId, auto) { ++got; });
+  const auto msg = pattern(16);
+  for (int i = 0; i < 20; ++i) rig.wire().send(0, msg);
+  rig.loop.run();
+
+  EXPECT_GT(got, 20u);
+  EXPECT_EQ(rig.wire().duplicated(), got - 20u);
+}
+
+TEST(Impaired, CorruptionDamagesRealBytes) {
+  phy::FaultInjector::Config fc;
+  fc.p_corrupt = 1.0;
+  ImpairedRig rig{fc};
+
+  const auto msg = pattern(64);
+  std::vector<std::uint8_t> got;
+  rig.b->set_recv_handler([&](PeerId, std::span<const std::uint8_t> bytes) {
+    got.assign(bytes.begin(), bytes.end());
+  });
+  rig.wire().send(0, msg);
+  rig.loop.run();
+
+  ASSERT_EQ(got.size(), msg.size()) << "corruption flips bits, never resizes";
+  EXPECT_NE(got, msg);
+  EXPECT_EQ(rig.wire().damaged(), 1u);
+}
+
+TEST(Impaired, TruncationShortensTheDatagram) {
+  phy::FaultInjector::Config fc;
+  fc.p_truncate = 1.0;
+  ImpairedRig rig{fc};
+
+  const auto msg = pattern(64);
+  std::vector<std::uint8_t> got;
+  rig.b->set_recv_handler([&](PeerId, std::span<const std::uint8_t> bytes) {
+    got.assign(bytes.begin(), bytes.end());
+  });
+  rig.wire().send(0, msg);
+  rig.loop.run();
+
+  ASSERT_FALSE(got.empty());
+  EXPECT_LT(got.size(), msg.size());
+  EXPECT_EQ(rig.wire().damaged(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Udp, RoundTripOverRealSockets) {
+  WallClock loop;
+  UdpTransport ua{loop, {}};  // both on kernel-assigned ephemeral ports
+  UdpTransport ub{loop, {}};
+  ASSERT_NE(ua.local_port(), 0);
+  ASSERT_NE(ub.local_port(), 0);
+
+  const PeerId a_to_b = ua.add_peer("127.0.0.1", ub.local_port());
+
+  const auto msg = pattern(512);
+  std::vector<std::uint8_t> echoed;
+  // b echoes straight back to whatever source it auto-admitted.
+  ub.set_recv_handler([&](PeerId p, std::span<const std::uint8_t> bytes) {
+    ub.send(p, bytes);
+  });
+  ua.set_recv_handler([&](PeerId, std::span<const std::uint8_t> bytes) {
+    echoed.assign(bytes.begin(), bytes.end());
+    loop.stop();
+  });
+
+  loop.sim().schedule_in(Time{}, [&] { ASSERT_TRUE(ua.send(a_to_b, msg)); });
+  loop.sim().schedule_in(Time::seconds(5), [&] { loop.stop(); });  // watchdog
+  loop.run();
+
+  EXPECT_EQ(echoed, msg);
+  EXPECT_EQ(ub.peer_count(), 1u) << "source auto-admission";
+  EXPECT_EQ(ub.refused_unknown(), 0u);
+}
+
+TEST(Udp, RefusesUnknownSourcesWhenConfigured) {
+  WallClock loop;
+  UdpTransport::Config closed_cfg;
+  closed_cfg.accept_unknown = false;
+  UdpTransport ua{loop, {}};
+  UdpTransport ub{loop, closed_cfg};
+
+  const PeerId a_to_b = ua.add_peer("127.0.0.1", ub.local_port());
+  int got = 0;
+  ub.set_recv_handler([&](PeerId, auto) { ++got; });
+
+  const auto msg = pattern(32);
+  loop.sim().schedule_in(Time{}, [&] { ua.send(a_to_b, msg); });
+  loop.sim().schedule_in(Time::milliseconds(200), [&] { loop.stop(); });
+  loop.run();
+
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(ub.refused_unknown(), 1u);
+  EXPECT_EQ(ub.peer_count(), 0u);
+}
+
+TEST(Udp, SendToUnknownPeerFails) {
+  WallClock loop;
+  UdpTransport ua{loop, {}};
+  const auto msg = pattern(8);
+  EXPECT_FALSE(ua.send(42, msg));
+}
+
+}  // namespace

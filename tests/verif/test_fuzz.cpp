@@ -25,6 +25,10 @@ TEST(CodecFuzz, CurrentCodecSurvivesAHammering) {
   // frames whose re-CRCed sequence fields exceed m are exactly the
   // hostile-input class the validating decode exists to refuse.
   EXPECT_GT(r.limit_rejections, 0u);
+  // The envelope leg must fire too: sheared/padded datagrams and rewritten
+  // length declarations are the hostile-input class decode_envelope refuses
+  // before the frame codec ever runs.
+  EXPECT_GT(r.envelope_rejections, 0u);
 }
 
 TEST(CodecFuzz, DeterministicInSeed) {
@@ -38,6 +42,7 @@ TEST(CodecFuzz, DeterministicInSeed) {
   EXPECT_EQ(a.decode_ok, b.decode_ok);
   EXPECT_EQ(a.decode_rejected, b.decode_rejected);
   EXPECT_EQ(a.limit_rejections, b.limit_rejections);
+  EXPECT_EQ(a.envelope_rejections, b.envelope_rejections);
   EXPECT_EQ(a.failures, b.failures);
 }
 

@@ -1,0 +1,181 @@
+#pragma once
+/// \file daemon_opts.hpp
+/// \brief Flag parsing + run loop shared by `lamsdlcd` and
+///        `lamsdlc_cli serve` — one daemon, two front doors.
+///
+/// Flags (defaults in brackets):
+///   --bind HOST              [127.0.0.1]  UDP bind address
+///   --port N                 [0]          UDP port (0 = ephemeral, printed)
+///   --peer HOST:PORT         [-]          remote daemon for outbound streams
+///   --self-peer              [off]        peer with our own socket (single-
+///                                         process live mode, full captures)
+///   --bridge [PORT]          [off]        local TCP client bridge (PORT
+///                                         optional; 0/omitted = ephemeral)
+///   --deliver-dir DIR        [-]          write inbound streams here
+///                                         (.part -> .bin/.err rename)
+///   --session-base N         [pid-based]  first outbound session id
+///   --exit-after-streams N   [0]          exit once N streams finished
+///   --rate BPS               [300e6]      modeled serialization rate
+///   --max-one-way-ms MS      [5]          one-way network delay bound
+///   --chunk-bytes B          [1024]       stream segmentation
+///   --icp-ms MS              [5]          LAMS checkpoint interval
+///   --impair                 [off]        route outbound datagrams through
+///                                         the fault injector
+///   --p-drop/-duplicate/-reorder/-corrupt/-truncate P   [0] fault rates
+///   --max-jitter-us US       [40]         reorder jitter bound
+///   --fault-seed S           [1]
+///   --capture PREFIX         [-]          one .ldlcap per session id at
+///                                         PREFIX-s<sid>.ldlcap
+///   --verbose                [off]        progress lines on stderr
+///
+/// On startup the daemon prints one machine-readable line per bound socket
+/// (`udp <port>` / `bridge <port>`) and `ready`, then serves until killed or
+/// --exit-after-streams is met; exit status 0 iff no stream failed.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "lamsdlc/rt/daemon.hpp"
+
+namespace lamsdlc::tools {
+
+inline rt::Daemon* g_daemon = nullptr;
+
+inline void daemon_signal_handler(int) {
+  if (g_daemon != nullptr) g_daemon->stop();
+}
+
+/// Parse `HOST:PORT`; exits with a usage error on malformed input.
+inline bool split_host_port(const std::string& s, std::string& host,
+                            std::uint16_t& port) {
+  const auto colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == s.size()) {
+    return false;
+  }
+  host = s.substr(0, colon);
+  const long p = std::strtol(s.c_str() + colon + 1, nullptr, 10);
+  if (p <= 0 || p > 65535) return false;
+  port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+/// Parse daemon flags starting at argv[first]; exits 2 on bad usage.
+/// `prog` prefixes error messages ("lamsdlcd" / "lamsdlc_cli serve").
+inline rt::DaemonConfig parse_daemon_flags(int argc, char** argv, int first,
+                                           const char* prog) {
+  rt::DaemonConfig cfg;
+  auto die = [&](const std::string& what) {
+    std::fprintf(stderr, "%s: %s (see tools/daemon_opts.hpp for flags)\n",
+                 prog, what.c_str());
+    std::exit(2);
+  };
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) die(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--bind") {
+      cfg.bind_host = need(i);
+    } else if (a == "--port") {
+      cfg.udp_port = static_cast<std::uint16_t>(std::atoi(need(i)));
+    } else if (a == "--peer") {
+      if (!split_host_port(need(i), cfg.peer_host, cfg.peer_port)) {
+        die("--peer wants HOST:PORT");
+      }
+    } else if (a == "--self-peer") {
+      cfg.self_peer = true;
+    } else if (a == "--bridge") {
+      cfg.bridge = true;
+      // Optional port operand: consume the next argv iff it is a number.
+      if (i + 1 < argc && argv[i + 1][0] != '-' &&
+          std::strtol(argv[i + 1], nullptr, 10) > 0) {
+        cfg.bridge_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+      }
+    } else if (a == "--deliver-dir") {
+      cfg.deliver_dir = need(i);
+    } else if (a == "--session-base") {
+      cfg.session_base = static_cast<std::uint32_t>(std::atoll(need(i)));
+    } else if (a == "--exit-after-streams") {
+      cfg.exit_after_streams = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (a == "--rate") {
+      cfg.data_rate_bps = std::atof(need(i));
+    } else if (a == "--max-one-way-ms") {
+      cfg.max_one_way = Time::seconds(std::atof(need(i)) * 1e-3);
+    } else if (a == "--chunk-bytes") {
+      cfg.chunk_bytes = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (a == "--icp-ms") {
+      cfg.session.lams.checkpoint_interval =
+          Time::seconds(std::atof(need(i)) * 1e-3);
+    } else if (a == "--impair") {
+      cfg.impair = true;
+    } else if (a == "--p-drop") {
+      cfg.fault.p_drop = std::atof(need(i));
+    } else if (a == "--p-duplicate") {
+      cfg.fault.p_duplicate = std::atof(need(i));
+    } else if (a == "--p-reorder") {
+      cfg.fault.p_reorder = std::atof(need(i));
+    } else if (a == "--p-corrupt") {
+      cfg.fault.p_corrupt = std::atof(need(i));
+    } else if (a == "--p-truncate") {
+      cfg.fault.p_truncate = std::atof(need(i));
+    } else if (a == "--max-jitter-us") {
+      cfg.fault.max_jitter = Time::seconds(std::atof(need(i)) * 1e-6);
+    } else if (a == "--fault-seed") {
+      cfg.fault_seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (a == "--capture") {
+      cfg.capture_prefix = need(i);
+    } else if (a == "--verbose") {
+      cfg.verbose = true;
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "usage: %s [flags]\n"
+          "Runs LAMS-DLC sessions over a real UDP socket; the header of\n"
+          "tools/daemon_opts.hpp documents every flag.\n",
+          prog);
+      std::exit(0);
+    } else {
+      die("unknown flag " + a);
+    }
+  }
+  if (cfg.self_peer && !cfg.peer_host.empty()) {
+    die("--self-peer and --peer are mutually exclusive");
+  }
+  return cfg;
+}
+
+/// The shared daemon entry point: parse, start, announce ports, serve.
+inline int run_daemon_main(int argc, char** argv, int first,
+                           const char* prog) {
+  rt::DaemonConfig cfg = parse_daemon_flags(argc, argv, first, prog);
+  try {
+    rt::Daemon daemon{std::move(cfg)};
+    daemon.start();
+    g_daemon = &daemon;
+    std::signal(SIGINT, daemon_signal_handler);
+    std::signal(SIGTERM, daemon_signal_handler);
+    std::signal(SIGPIPE, SIG_IGN);  // a dying bridge client must not kill us
+
+    std::printf("udp %u\n", daemon.udp_port());
+    if (daemon.bridge_port() != 0) {
+      std::printf("bridge %u\n", daemon.bridge_port());
+    }
+    std::printf("ready\n");
+    std::fflush(stdout);
+
+    daemon.run();
+    g_daemon = nullptr;
+
+    std::printf("done streams=%u failed=%u\n", daemon.streams_completed(),
+                daemon.streams_failed());
+    return daemon.streams_failed() == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", prog, e.what());
+    return 1;
+  }
+}
+
+}  // namespace lamsdlc::tools

@@ -136,6 +136,22 @@
 ///   --explain ID|worst       print one packet's full causal story
 ///   --dump                   print the canonical reconstruction dump
 /// Exits 1 when any delivered packet lacks a complete span tree.
+///
+/// Subcommand `serve`: run the live transport daemon (identical to the
+/// standalone `lamsdlcd` binary; flags documented in tools/daemon_opts.hpp):
+///
+///   lamsdlc_cli serve --self-peer --bridge --deliver-dir /tmp/out
+///
+/// Subcommand `connect`: push one byte stream through a daemon's client
+/// bridge — stream stdin (or --in FILE) to the bridge socket, half-close,
+/// and wait for the `OK <n>` / `ERR <why>` status line.  Exits 0 iff OK:
+///
+///   lamsdlc_cli connect --port 47101 < file.bin
+///
+/// Connect flags:
+///   --host HOST              [127.0.0.1] bridge address
+///   --port N                 bridge TCP port (required)
+///   --in FILE                [stdin] bytes to send
 
 #include <algorithm>
 #include <cstdio>
@@ -160,6 +176,13 @@
 #include "lamsdlc/verif/fuzz.hpp"
 #include "lamsdlc/verif/verify.hpp"
 #include "lamsdlc/workload/sources.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "daemon_opts.hpp"
 
 namespace {
 
@@ -187,6 +210,10 @@ void print_subcommands(std::FILE* to) {
                "timeline\n"
                "  trace     reconstruct packet span trees, attribute latency, "
                "export Perfetto JSON\n"
+               "  serve     run the live transport daemon (same as the "
+               "lamsdlcd binary)\n"
+               "  connect   push one byte stream through a daemon's client "
+               "bridge\n"
                "  (none)    run one scenario from flags and print a report\n");
 }
 
@@ -1061,6 +1088,107 @@ int run_trace_command(int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// `connect` — bridge client (modem discipline: stream, half-close, status).
+
+int run_connect_command(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string in_path;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--host") {
+      host = need(i);
+    } else if (a == "--port") {
+      port = static_cast<std::uint16_t>(std::atoi(need(i)));
+    } else if (a == "--in") {
+      in_path = need(i);
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "usage: lamsdlc_cli connect --port N [--host HOST] [--in FILE]\n"
+          "Streams stdin (or FILE) to a daemon's bridge, half-closes, and\n"
+          "waits for the OK/ERR status line.  Exits 0 iff OK.\n");
+      return 0;
+    } else {
+      usage_error("unknown connect flag " + a);
+    }
+  }
+  if (port == 0) usage_error("connect wants --port");
+
+  std::FILE* in = stdin;
+  if (!in_path.empty()) {
+    in = std::fopen(in_path.c_str(), "rb");
+    if (in == nullptr) {
+      std::fprintf(stderr, "lamsdlc_cli: cannot open %s\n", in_path.c_str());
+      return 1;
+    }
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("lamsdlc_cli: socket");
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "lamsdlc_cli: bad bridge host %s\n", host.c_str());
+    ::close(fd);
+    return 1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    std::perror("lamsdlc_cli: connect");
+    ::close(fd);
+    return 1;
+  }
+  signal(SIGPIPE, SIG_IGN);
+
+  char buf[16384];
+  std::uint64_t sent = 0;
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof buf, in);
+    if (n == 0) break;
+    std::size_t off = 0;
+    while (off < n) {
+      const ssize_t w = ::send(fd, buf + off, n - off, 0);
+      if (w <= 0) {
+        std::fprintf(stderr, "lamsdlc_cli: bridge write failed\n");
+        ::close(fd);
+        return 1;
+      }
+      off += static_cast<std::size_t>(w);
+      sent += static_cast<std::uint64_t>(w);
+    }
+  }
+  if (in != stdin) std::fclose(in);
+  ::shutdown(fd, SHUT_WR);  // "that's all" — now wait for the verdict
+
+  std::string status;
+  for (;;) {
+    const ssize_t r = ::recv(fd, buf, sizeof buf, 0);
+    if (r <= 0) break;
+    status.append(buf, static_cast<std::size_t>(r));
+    if (status.find('\n') != std::string::npos) break;
+  }
+  ::close(fd);
+  if (const auto nl = status.find('\n'); nl != std::string::npos) {
+    status.resize(nl);
+  }
+  if (status.empty()) {
+    std::fprintf(stderr, "lamsdlc_cli: bridge closed without a status line "
+                 "(%llu bytes sent)\n",
+                 static_cast<unsigned long long>(sent));
+    return 1;
+  }
+  std::printf("%s\n", status.c_str());
+  return status.rfind("OK", 0) == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1071,6 +1199,11 @@ int main(int argc, char** argv) {
     if (cmd == "capture") return run_capture_command(argc, argv);
     if (cmd == "inspect") return run_inspect_command(argc, argv);
     if (cmd == "trace") return run_trace_command(argc, argv);
+    if (cmd == "serve") {
+      return lamsdlc::tools::run_daemon_main(argc, argv, 2,
+                                             "lamsdlc_cli serve");
+    }
+    if (cmd == "connect") return run_connect_command(argc, argv);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
       print_help();
       return 0;
