@@ -1,0 +1,150 @@
+/// Frame-path benchmark: end-to-end frames per wall second, simulated Gbps
+/// vs. wall clock, and the per-stage costs underneath (CRC, codec round
+/// trip, fast-wire scenario, byte-accurate scenario, multi-hop transit).
+///
+/// `bench_framepath --json [scale]` bypasses google-benchmark and times the
+/// canonical workloads from bench/framepath_workloads.hpp (best of 3),
+/// printing one machine-readable JSON object.  `scale` multiplies every
+/// workload's frame count (default 1); scripts/bench_baseline.sh records the
+/// scale-1 output into BENCH_framepath.json and scripts/ci.sh runs a smaller
+/// scale as the non-gating framepath perf smoke.
+///
+/// The default google-benchmark mode exposes the same workloads for
+/// interactive runs (`./bench_framepath --benchmark_filter=...`).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "framepath_workloads.hpp"
+#include "lamsdlc/phy/crc.hpp"
+
+namespace {
+
+using namespace lamsdlc;
+
+void BM_Crc16_64K(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::wl_crc16(16));
+  }
+  state.SetBytesProcessed(state.iterations() * 16 * 65536);
+}
+BENCHMARK(BM_Crc16_64K);
+
+void BM_Crc32_64K(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::wl_crc32(16));
+  }
+  state.SetBytesProcessed(state.iterations() * 16 * 65536);
+}
+BENCHMARK(BM_Crc32_64K);
+
+void BM_CodecRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bench::wl_codec_roundtrip(static_cast<std::uint32_t>(state.range(0)),
+                                  1000));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CodecRoundTrip)->Arg(256)->Arg(8192)->Unit(benchmark::kMillisecond);
+
+void BM_SingleLinkFast(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::wl_singlelink(1024, 20000, false));
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_SingleLinkFast)->Unit(benchmark::kMillisecond);
+
+void BM_SingleLinkByte(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::wl_singlelink(
+        static_cast<std::uint32_t>(state.range(0)), 10000, true));
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SingleLinkByte)->Arg(256)->Arg(8192)->Unit(benchmark::kMillisecond);
+
+void BM_MultihopTransit(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::wl_multihop(5000, 1024));
+  }
+  state.SetItemsProcessed(state.iterations() * 5000 * 4);
+}
+BENCHMARK(BM_MultihopTransit)->Unit(benchmark::kMillisecond);
+
+/// Best-of-three over a workload thunk; keeps the best frames/sec run.
+template <typename Fn>
+bench::FramepathResult best_of3(Fn&& fn) {
+  bench::FramepathResult best;
+  for (int rep = 0; rep < 3; ++rep) {
+    bench::FramepathResult r = fn();
+    if (best.wall_s == 0 || r.frames_per_sec() > best.frames_per_sec()) {
+      best = r;
+    }
+  }
+  return best;
+}
+
+int run_json_mode(std::uint64_t scale) {
+  const auto crc16 = best_of3([&] { return bench::wl_crc16(2000 * scale); });
+  const auto crc32 = best_of3([&] { return bench::wl_crc32(2000 * scale); });
+  const auto codec_small =
+      best_of3([&] { return bench::wl_codec_roundtrip(256, 200000 * scale); });
+  const auto codec_large =
+      best_of3([&] { return bench::wl_codec_roundtrip(8192, 50000 * scale); });
+  const auto fast =
+      best_of3([&] { return bench::wl_singlelink(1024, 40000 * scale, false); });
+  const auto byte_small =
+      best_of3([&] { return bench::wl_singlelink(256, 40000 * scale, true); });
+  const auto byte_large =
+      best_of3([&] { return bench::wl_singlelink(8192, 20000 * scale, true); });
+  const auto multihop =
+      best_of3([&] { return bench::wl_multihop(10000 * scale, 1024); });
+
+  std::printf("{\n");
+  std::printf("  \"scale\": %llu,\n", static_cast<unsigned long long>(scale));
+  std::printf("  \"crc_backend\": \"%s\",\n", phy::crc_backend());
+  std::printf("  \"crc16_64k_mb_per_sec\": %.0f,\n",
+              crc16.wall_gbps() * 1000.0 / 8.0);
+  std::printf("  \"crc32_64k_mb_per_sec\": %.0f,\n",
+              crc32.wall_gbps() * 1000.0 / 8.0);
+  std::printf("  \"codec_roundtrip_256B_frames_per_sec\": %.0f,\n",
+              codec_small.frames_per_sec());
+  std::printf("  \"codec_roundtrip_8KB_frames_per_sec\": %.0f,\n",
+              codec_large.frames_per_sec());
+  std::printf("  \"singlelink_fast_1KB_frames_per_sec\": %.0f,\n",
+              fast.frames_per_sec());
+  std::printf("  \"singlelink_fast_1KB_sim_gbps_per_wall_sec\": %.2f,\n",
+              fast.wall_gbps());
+  std::printf("  \"singlelink_byte_256B_frames_per_sec\": %.0f,\n",
+              byte_small.frames_per_sec());
+  std::printf("  \"singlelink_byte_8KB_frames_per_sec\": %.0f,\n",
+              byte_large.frames_per_sec());
+  std::printf("  \"singlelink_byte_8KB_sim_gbps_per_wall_sec\": %.2f,\n",
+              byte_large.wall_gbps());
+  std::printf("  \"multihop_4hop_1KB_hopframes_per_sec\": %.0f\n",
+              multihop.frames_per_sec());
+  std::printf("}\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--json") == 0) {
+    std::uint64_t scale = 1;
+    if (argc >= 3) scale = std::strtoull(argv[2], nullptr, 10);
+    if (scale == 0) scale = 1;
+    return run_json_mode(scale);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,199 @@
+#pragma once
+/// \file framepath_workloads.hpp
+/// \brief Canonical frame-path workloads for BENCH_framepath.json.
+///
+/// Like bench/kernel_workloads.hpp for the event kernel, this header is the
+/// single source of truth for the frame-path timing rows: every workload uses
+/// only public library API, so the identical code compiles against any
+/// revision of the CRC/codec/channel/sender internals for honest before/after
+/// comparisons.  `bench_framepath --json` times these and prints one JSON
+/// object; scripts/bench_baseline.sh records it into BENCH_framepath.json.
+///
+/// Stages measured (coarse to fine):
+///   - crc16 / crc32 over a 64 KB buffer          (pure checksum stage)
+///   - codec encode+decode round trip             (serialization stage)
+///   - single-link LAMS scenario, fast wire       (kernel + endpoint stage)
+///   - single-link LAMS scenario, byte-accurate   (full frame path: every
+///     frame is encoded, CRC'd, decoded and CRC-checked on the wire)
+///   - 4-hop net::Network relay chain             (multi-hop transit stage)
+///
+/// Scenario workloads report wall-clock frames/sec and the simulated goodput
+/// they sustain, so the headline ratio "simulated Gbps per wall second" is
+/// read straight off the row.
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "lamsdlc/core/simulator.hpp"
+#include "lamsdlc/frame/codec.hpp"
+#include "lamsdlc/frame/frame.hpp"
+#include "lamsdlc/net/network.hpp"
+#include "lamsdlc/phy/crc.hpp"
+#include "lamsdlc/sim/scenario.hpp"
+#include "lamsdlc/workload/sources.hpp"
+
+namespace lamsdlc::bench {
+
+struct FramepathResult {
+  std::uint64_t frames = 0;   ///< Frames (or buffers) processed.
+  double wall_s = 0;          ///< Wall-clock seconds spent.
+  double sim_s = 0;           ///< Simulated seconds covered (0 = no sim).
+  std::uint64_t bits = 0;     ///< Payload bits moved end to end.
+
+  [[nodiscard]] double frames_per_sec() const {
+    return wall_s > 0 ? static_cast<double>(frames) / wall_s : 0.0;
+  }
+  [[nodiscard]] double wall_gbps() const {
+    return wall_s > 0 ? static_cast<double>(bits) / wall_s / 1e9 : 0.0;
+  }
+  [[nodiscard]] double sim_gbps() const {
+    return sim_s > 0 ? static_cast<double>(bits) / sim_s / 1e9 : 0.0;
+  }
+};
+
+namespace detail {
+
+class WallTimer {
+ public:
+  WallTimer() : t0_{std::chrono::steady_clock::now()} {}
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace detail
+
+/// CRC-16/CCITT over a 64 KB buffer, `reps` times.
+inline FramepathResult wl_crc16(std::uint64_t reps) {
+  std::vector<std::uint8_t> buf(65536);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::uint8_t>(i * 31u);
+  }
+  FramepathResult r;
+  detail::WallTimer t;
+  std::uint16_t acc = 0;
+  for (std::uint64_t i = 0; i < reps; ++i) {
+    buf[0] = static_cast<std::uint8_t>(acc);  // defeat CSE across reps
+    acc ^= phy::crc16_ccitt(buf);
+  }
+  r.wall_s = t.elapsed_s();
+  r.frames = reps;
+  r.bits = reps * buf.size() * 8;
+  // Keep the accumulator observable so the loop cannot be elided.
+  if (acc == 0xBEEF) r.frames += 1;
+  return r;
+}
+
+/// CRC-32/IEEE over a 64 KB buffer, `reps` times.
+inline FramepathResult wl_crc32(std::uint64_t reps) {
+  std::vector<std::uint8_t> buf(65536);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::uint8_t>(i * 17u);
+  }
+  FramepathResult r;
+  detail::WallTimer t;
+  std::uint32_t acc = 0;
+  for (std::uint64_t i = 0; i < reps; ++i) {
+    buf[0] = static_cast<std::uint8_t>(acc);
+    acc ^= phy::crc32_ieee(buf);
+  }
+  r.wall_s = t.elapsed_s();
+  r.frames = reps;
+  r.bits = reps * buf.size() * 8;
+  if (acc == 0xDEADBEEF) r.frames += 1;
+  return r;
+}
+
+/// Codec round trip: encode one I-frame of \p frame_bytes into a reused
+/// buffer, then decode and FCS-check it — the per-frame serialization cost of
+/// the byte-accurate wire.
+inline FramepathResult wl_codec_roundtrip(std::uint32_t frame_bytes,
+                                          std::uint64_t reps) {
+  frame::Frame f;
+  f.body = frame::IFrame{42, 7, frame_bytes, {}};
+  std::vector<std::uint8_t> wire;
+  FramepathResult r;
+  detail::WallTimer t;
+  std::uint64_t ok = 0;
+  for (std::uint64_t i = 0; i < reps; ++i) {
+    frame::encode_into(f, wire);
+    auto out = frame::decode(wire);
+    ok += out.has_value() ? 1 : 0;
+  }
+  r.wall_s = t.elapsed_s();
+  r.frames = ok;
+  r.bits = reps * static_cast<std::uint64_t>(frame::encoded_size(f)) * 8;
+  return r;
+}
+
+/// Single-link LAMS scenario on a clean channel: saturating batch of
+/// \p packets frames of \p frame_bytes each, run to completion.  With
+/// \p byte_level every frame serializes through the real codec + CRC on the
+/// wire; without it the channel models the same timing without touching
+/// bytes (kernel + endpoint bookkeeping dominate).
+inline FramepathResult wl_singlelink(std::uint32_t frame_bytes,
+                                     std::uint64_t packets, bool byte_level) {
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kLams;
+  cfg.data_rate_bps = 1e9;
+  cfg.frame_bytes = frame_bytes;
+  cfg.byte_level_wire = byte_level;
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(),
+                         packets, frame_bytes);
+  FramepathResult r;
+  detail::WallTimer t;
+  s.run_to_completion(Time::seconds_int(3600));
+  r.wall_s = t.elapsed_s();
+  const auto rep = s.report();
+  r.frames = rep.unique_delivered;
+  r.sim_s = rep.elapsed_s;
+  r.bits = rep.unique_delivered * static_cast<std::uint64_t>(frame_bytes) * 8;
+  return r;
+}
+
+/// Multi-hop transit: a 4-link relay chain (5 nodes), every packet crossing
+/// all hops — the store-and-forward path of net::Network, LAMS on each link.
+inline FramepathResult wl_multihop(std::uint64_t packets,
+                                   std::uint32_t frame_bytes) {
+  Simulator sim;
+  net::Network net{sim, /*seed=*/1};
+  constexpr std::uint32_t kHops = 4;
+  std::vector<net::NodeId> nodes;
+  for (std::uint32_t i = 0; i <= kHops; ++i) {
+    nodes.push_back(net.add_node("n" + std::to_string(i)));
+  }
+  for (std::uint32_t i = 0; i < kHops; ++i) {
+    net::LinkSpec spec;
+    spec.a = nodes[i];
+    spec.b = nodes[i + 1];
+    spec.data_rate_bps = 1e9;
+    spec.prop_delay = Time::milliseconds(5);
+    spec.lams.checkpoint_interval = Time::milliseconds(5);
+    spec.lams.cumulation_depth = 4;
+    spec.lams.max_rtt = Time::milliseconds(15);
+    net.add_link(spec);
+  }
+  for (std::uint64_t i = 0; i < packets; ++i) {
+    net.send_packet(nodes.front(), nodes.back(), frame_bytes);
+  }
+  FramepathResult r;
+  detail::WallTimer t;
+  net.run_to_completion(Time::seconds_int(3600));
+  r.wall_s = t.elapsed_s();
+  const auto rep = net.report();
+  // Count per-hop frame deliveries: each delivered packet crossed kHops DLC
+  // hops, each a full send/fly/deliver/release frame lifecycle.
+  r.frames = rep.packets_delivered * kHops;
+  r.sim_s = sim.now().sec();
+  r.bits = rep.packets_delivered * static_cast<std::uint64_t>(frame_bytes) * 8;
+  return r;
+}
+
+}  // namespace lamsdlc::bench

@@ -55,10 +55,46 @@ struct DecodeLimits {
   std::uint32_t seq_modulus = 0;
 };
 
+/// Why `decode` refused a buffer.  The distinction that matters for
+/// hardening is `kLengthOverrun`: a length/count field whose value would
+/// read past the end of the received bytes.  A passing FCS does not protect
+/// against it — the FCS covers only the bytes that arrived, so a hostile
+/// sender can declare any length it likes and recompute the checksum.
+enum class DecodeReject : std::uint8_t {
+  kNone = 0,
+  kTruncated,       ///< Buffer too short for the fixed fields of its kind.
+  kBadFcs,          ///< Trailing CRC-16 disagrees with the body.
+  kLengthOverrun,   ///< A length/count field claims bytes past the buffer.
+  kTrailingBytes,   ///< Undeclared bytes after the parsed body.
+  kUnknownKind,     ///< Unknown frame kind or invalid enum subtype.
+  kLimits,          ///< Parsed fine; a sequence field violates DecodeLimits.
+};
+
+/// Cumulative per-reason reject tally.  Wire consumers (the byte-accurate
+/// channel, the datagram mux) keep one of these so a stream of hostile or
+/// damaged input is *counted by cause*, not silently folded into a single
+/// drop counter.
+struct DecodeRejectCounts {
+  std::uint64_t truncated = 0;
+  std::uint64_t bad_fcs = 0;
+  std::uint64_t length_overrun = 0;
+  std::uint64_t trailing_bytes = 0;
+  std::uint64_t unknown_kind = 0;
+  std::uint64_t limits = 0;
+
+  void count(DecodeReject r) noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return truncated + bad_fcs + length_overrun + trailing_bytes +
+           unknown_kind + limits;
+  }
+};
+
 /// Parse bytes back into a frame.  Returns std::nullopt when the buffer is
 /// truncated, the kind is unknown, internal lengths disagree, the FCS
-/// check fails, or a sequence field violates \p limits.
+/// check fails, or a sequence field violates \p limits.  When \p why is
+/// non-null it receives the reject reason (kNone on success).
 [[nodiscard]] std::optional<Frame> decode(std::span<const std::uint8_t> bytes,
-                                          DecodeLimits limits = {});
+                                          DecodeLimits limits = {},
+                                          DecodeReject* why = nullptr);
 
 }  // namespace lamsdlc::frame

@@ -69,11 +69,46 @@ void encode_envelope_into(const Envelope& e, std::vector<std::uint8_t>& out);
 /// Serialize \p e (convenience wrapper over `encode_envelope_into`).
 [[nodiscard]] std::vector<std::uint8_t> encode_envelope(const Envelope& e);
 
+/// Why `decode_envelope` refused a datagram.  `kLengthMismatch` is the
+/// reason this layer exists: the declared `payload_len` and the bytes that
+/// actually arrived disagree (truncation, padding, or a rewritten length
+/// field — any of which would otherwise let a hostile declaration steer the
+/// frame decoder past the real payload boundary).
+enum class EnvelopeReject : std::uint8_t {
+  kNone = 0,
+  kRuntHeader,      ///< Shorter than the fixed header.
+  kBadMagic,        ///< Wrong magic word.
+  kBadVersion,      ///< Unsupported version byte.
+  kReservedFlags,   ///< A reserved flag bit is set.
+  kTruncatedId,     ///< Data flag set but the packet-id field is cut short.
+  kLengthMismatch,  ///< Declared payload_len != bytes actually received.
+  kEmptyPayload,    ///< Zero-length payload (an envelope always carries a frame).
+};
+
+/// Cumulative per-reason envelope reject tally (mirror of
+/// `DecodeRejectCounts` for the datagram layer).
+struct EnvelopeRejectCounts {
+  std::uint64_t runt_header = 0;
+  std::uint64_t bad_magic = 0;
+  std::uint64_t bad_version = 0;
+  std::uint64_t reserved_flags = 0;
+  std::uint64_t truncated_id = 0;
+  std::uint64_t length_mismatch = 0;
+  std::uint64_t empty_payload = 0;
+
+  void count(EnvelopeReject r) noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return runt_header + bad_magic + bad_version + reserved_flags +
+           truncated_id + length_mismatch + empty_payload;
+  }
+};
+
 /// Parse one datagram.  Returns std::nullopt when the magic or version is
 /// wrong, a reserved flag bit is set, the header is truncated, the payload
 /// is empty, or — the hardening this type exists for — the declared
 /// `payload_len` disagrees with the number of bytes actually received.
+/// When \p why is non-null it receives the reject reason (kNone on success).
 [[nodiscard]] std::optional<Envelope> decode_envelope(
-    std::span<const std::uint8_t> bytes);
+    std::span<const std::uint8_t> bytes, EnvelopeReject* why = nullptr);
 
 }  // namespace lamsdlc::frame

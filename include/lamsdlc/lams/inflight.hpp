@@ -1,0 +1,109 @@
+#pragma once
+/// \file inflight.hpp
+/// \brief SoA table of transmitted-but-unreleased frames (the sender's
+/// "transparent" in-flight population, Section 3.3).
+///
+/// The sender's hot loops walk this table once per checkpoint: the release
+/// sweep reads every (counter, expected-arrival) pair, the NAK path looks up
+/// individual counters, and frame issue probes for counter collisions.  The
+/// table keeps the two swept fields in packed parallel arrays (structure of
+/// arrays) so a sweep touches 16 bytes per slot instead of dragging each
+/// slot's packet bookkeeping through the cache, and backs counter lookup
+/// with a linear-probe open-addressing index (power-of-two capacity,
+/// backward-shift deletion).  Erasure is swap-remove; the arrays and the
+/// index only ever grow, so the steady-state claim/release cycle of a
+/// saturated link performs no allocation.
+///
+/// Counters are arbitrary uint64s — the state-corruption chaos tier warps
+/// them to any value — so the index hashes through a 64-bit finalizer
+/// rather than masking low bits directly.
+///
+/// Iteration order over `ctrs()` is slot order (insertion order perturbed by
+/// swap-remove), NOT counter order: callers that act on scan results sort
+/// the matched counters first, which is what makes sweep emission and
+/// retransmission order deterministic and counter-ordered.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "lamsdlc/sim/packet.hpp"
+
+namespace lamsdlc::lams {
+
+/// One submitted packet riding the sending buffer (queued, awaiting
+/// renumbered retransmission, or in flight awaiting release).
+struct Pending {
+  sim::Packet packet;
+  Time first_tx{};        ///< First transmission instant (holding time base).
+  std::uint32_t attempts = 0;
+  std::uint64_t last_ctr = 0;  ///< Counter of the latest copy sent (for the
+                               ///< kRetransmitMapped old->new pairing).
+};
+
+/// Counter-keyed in-flight table; see file comment.
+class InFlightTable {
+ public:
+  [[nodiscard]] std::size_t size() const noexcept { return ctrs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ctrs_.empty(); }
+
+  [[nodiscard]] bool contains(std::uint64_t ctr) const noexcept {
+    return find_pos(ctr) != kNoPos;
+  }
+
+  /// Insert a slot.  Precondition: `!contains(ctr)`.
+  void insert(std::uint64_t ctr, Pending pending, Time expected_arrival);
+
+  /// Slot payload, or nullptr when the counter is not in flight.
+  [[nodiscard]] Pending* find(std::uint64_t ctr) noexcept;
+  [[nodiscard]] const Pending* find(std::uint64_t ctr) const noexcept;
+
+  /// Expected-arrival bookkeeping of a slot (nullptr when absent).
+  [[nodiscard]] Time* arrival(std::uint64_t ctr) noexcept;
+
+  /// Remove the slot and return its payload.  Precondition: `contains(ctr)`.
+  Pending take(std::uint64_t ctr);
+
+  void clear();
+
+  /// \name Hot-scan access
+  /// Packed parallel arrays, index-aligned: `ctrs()[i]`'s expected arrival
+  /// is `arrivals()[i]`.  Slot order (see file comment) — sort what you
+  /// match before acting on it.
+  /// @{
+  [[nodiscard]] const std::vector<std::uint64_t>& ctrs() const noexcept {
+    return ctrs_;
+  }
+  [[nodiscard]] const std::vector<Time>& arrivals() const noexcept {
+    return arrivals_;
+  }
+  /// @}
+
+  /// All live counters, ascending (drain/introspection paths).
+  [[nodiscard]] std::vector<std::uint64_t> sorted_ctrs() const;
+
+ private:
+  static constexpr std::uint32_t kNoPos = ~std::uint32_t{0};
+
+  struct IndexSlot {
+    std::uint64_t ctr = 0;
+    std::uint32_t pos = kNoPos;  ///< kNoPos marks an empty slot.
+  };
+
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t x) noexcept;
+  /// Array position holding `ctr`, or kNoPos.
+  [[nodiscard]] std::uint32_t find_pos(std::uint64_t ctr) const noexcept;
+  /// Index slot holding `ctr` (precondition: present).
+  [[nodiscard]] std::size_t index_slot(std::uint64_t ctr) const noexcept;
+  void index_insert(std::uint64_t ctr, std::uint32_t pos);
+  void index_erase(std::uint64_t ctr);
+  void grow_index();
+
+  std::vector<std::uint64_t> ctrs_;   ///< Hot: swept every checkpoint.
+  std::vector<Time> arrivals_;        ///< Hot: swept every checkpoint.
+  std::vector<Pending> pendings_;     ///< Cold: touched on claim/release only.
+  std::vector<IndexSlot> index_;      ///< Power-of-two linear-probe index.
+  std::size_t mask_ = 0;              ///< index_.size() - 1.
+};
+
+}  // namespace lamsdlc::lams

@@ -163,6 +163,7 @@ class LamsReceiver final : public link::FrameSink {
 
   void handle_iframe(const frame::IFrame& in, bool corrupted);
   void deliver_up(const frame::IFrame& in, std::uint64_t ctr);
+  void finish_deliver_up(std::uint32_t slot);
   void handle_request_nak(const frame::RequestNakFrame& rq);
   void handle_resync(const frame::ResyncFrame& rs);
   void emit_checkpoint(bool enforced);
@@ -218,6 +219,18 @@ class LamsReceiver final : public link::FrameSink {
   std::deque<NakRecord> history_;
 
   std::size_t processing_{0};  ///< Frames inside the t_proc pipeline.
+
+  /// Slot pool for packets riding the t_proc pipeline: the scheduled
+  /// callback captures only {this, slot}, which fits the simulator's inline
+  /// callback storage, and a recycled slot reuses its payload vector's
+  /// capacity — the steady-state delivery path allocates nothing.
+  struct UpSlot {
+    sim::Packet packet;
+    std::uint64_t ctr = 0;
+  };
+  std::vector<UpSlot> up_pool_;
+  std::vector<std::uint32_t> up_free_;
+
   std::uint64_t cp_count_{0};
   std::uint64_t naks_generated_{0};
   std::uint64_t congestion_discards_{0};

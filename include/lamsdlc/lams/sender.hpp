@@ -25,13 +25,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "lamsdlc/core/simulator.hpp"
 #include "lamsdlc/core/trace.hpp"
 #include "lamsdlc/frame/seqspace.hpp"
 #include "lamsdlc/lams/config.hpp"
+#include "lamsdlc/lams/inflight.hpp"
 #include "lamsdlc/link/link.hpp"
 #include "lamsdlc/obs/bus.hpp"
 #include "lamsdlc/sim/dlc.hpp"
@@ -168,18 +168,6 @@ class LamsSender final : public sim::DlcSender, public link::FrameSink {
   /// @}
 
  private:
-  struct Pending {
-    sim::Packet packet;
-    Time first_tx{};        ///< First transmission instant (holding time base).
-    std::uint32_t attempts = 0;
-    std::uint64_t last_ctr = 0;  ///< Counter of the latest copy sent (for the
-                                 ///< kRetransmitMapped old->new pairing).
-  };
-  struct Outstanding {
-    Pending pending;
-    Time expected_arrival{};  ///< Deterministic arrival + t_proc at receiver.
-  };
-
   void try_send();
   void send_iframe(Pending p);
   void handle_checkpoint(const frame::CheckpointFrame& cp);
@@ -220,7 +208,11 @@ class LamsSender final : public sim::DlcSender, public link::FrameSink {
   Mode mode_{Mode::kNormal};
   std::deque<Pending> new_queue_;   ///< Not yet transmitted.
   std::deque<Pending> retx_queue_;  ///< Awaiting renumbered retransmission.
-  std::unordered_map<std::uint64_t, Outstanding> outstanding_;  ///< By counter.
+  /// Transmitted, unreleased frames keyed by counter — SoA layout so the
+  /// per-checkpoint sweep touches only the packed (counter, arrival) arrays
+  /// (lams/inflight.hpp).  Sweep results act in counter order, making the
+  /// release/retransmission emission order deterministic (oldest first).
+  InFlightTable outstanding_;
   std::uint64_t next_ctr_{0};       ///< Monotone sequence counter.
 
   bool got_any_cp_{false};

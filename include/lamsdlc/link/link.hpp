@@ -107,6 +107,16 @@ class SimplexChannel final : public FrameChannel {
     /// whose seq field is out of range is refused like any other unreadable
     /// husk instead of aliasing mod m inside the endpoint.
     frame::DecodeLimits decode_limits;
+
+    /// Batched delivery: in-flight frames wait in a per-channel
+    /// arrival-ordered transit queue with a single armed kernel event at the
+    /// head arrival, instead of one kernel event per frame.  A saturated
+    /// 1 Gbps / 10 ms link holds ~10^3 frames in flight, so this keeps the
+    /// simulator's event heap a few entries deep rather than a thousand.
+    /// Per-frame delivery instants and same-instant ordering are preserved
+    /// exactly (the identity is gated by tests); `false` restores the
+    /// original one-event-per-frame scheduling for A/B comparison.
+    bool batched_delivery = true;
   };
 
   SimplexChannel(Simulator& sim, Config cfg,
@@ -207,6 +217,12 @@ class SimplexChannel final : public FrameChannel {
   /// channel fails safe by still marking the frame corrupted — so it is
   /// counted separately from `codec_mismatches()`.
   [[nodiscard]] std::uint64_t codec_aliases() const noexcept { return codec_aliases_; }
+  /// Byte-accurate mode only: per-reason tally of every wire buffer the
+  /// frame decoder refused (bad FCS for damaged frames, length overruns and
+  /// the rest for hostile input injected by the verification tiers).
+  [[nodiscard]] const frame::DecodeRejectCounts& decode_rejects() const noexcept {
+    return decode_rejects_;
+  }
   /// Frames silently omitted by a fault stage (never delivered).
   [[nodiscard]] std::uint64_t frames_fault_dropped() const noexcept {
     return frames_fault_dropped_;
@@ -247,6 +263,28 @@ class SimplexChannel final : public FrameChannel {
   void deliver_inflight(std::uint64_t epoch, std::uint32_t slot);
   /// @}
 
+  /// \name Batched delivery (Config::batched_delivery)
+  /// Transit entries ordered by arrival; FIFO among equal arrivals (deque
+  /// position encodes push order, so fault duplicates pushed before their
+  /// original deliver first, as in the per-frame path).  On a fault-free
+  /// channel arrivals are monotone and every push is an O(1) push_back; a
+  /// jitter stage or shrinking orbital propagation triggers the rare sorted
+  /// insert and a cancel + re-arm of the sweep event.
+  /// @{
+  struct Transit {
+    Time arrival;
+    std::uint64_t epoch;
+    std::uint32_t slot;
+  };
+  void push_transit(Time arrival, std::uint64_t epoch, std::uint32_t slot);
+  void arm_sweep();
+  void sweep_transit();
+  std::deque<Transit> transit_;
+  EventId sweep_event_{0};
+  bool sweep_armed_{false};
+  Time sweep_at_{};
+  /// @}
+
   Simulator& sim_;
   Config cfg_;
   std::unique_ptr<phy::ErrorModel> error_;
@@ -272,6 +310,7 @@ class SimplexChannel final : public FrameChannel {
   std::uint64_t bits_sent_{0};
   std::uint64_t codec_mismatches_{0};
   std::uint64_t codec_aliases_{0};
+  frame::DecodeRejectCounts decode_rejects_;
   std::uint64_t frames_fault_dropped_{0};
   std::uint64_t frames_duplicated_{0};
   std::uint64_t frames_delayed_{0};

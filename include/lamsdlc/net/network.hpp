@@ -72,6 +72,10 @@ struct LinkSpec {
   lams::LamsConfig lams;  ///< Parameters when protocol == kLams.
   hdlc::HdlcConfig hdlc;  ///< Parameters when protocol is an HDLC variant.
   bool byte_level = false;
+  /// Forwarded to link::SimplexChannel::Config::batched_delivery on both
+  /// channels; `false` restores one-kernel-event-per-frame delivery (the
+  /// byte-identity regression test A/Bs the two).
+  bool batched_delivery = true;
 };
 
 /// Aggregate outcome of a network run.
@@ -156,11 +160,18 @@ class Node final : public sim::PacketListener {
 
  private:
   friend class Network;
+
+  /// No next_hop_ entry for a destination.
+  static constexpr NodeId kNoRoute = ~NodeId{0};
+
   Network& net_;
   NodeId id_;
   std::string name_;
-  std::map<NodeId, NodeId> next_hop_;  ///< dst -> neighbour.
-  std::map<NodeId, Flow*> flow_to_;    ///< neighbour -> outgoing flow.
+  /// Routing tables as flat arrays indexed by NodeId (node ids are dense
+  /// 0..N-1): the per-hop forwarding decision is two array loads instead of
+  /// two red-black-tree walks, and steady-state transit allocates nothing.
+  std::vector<NodeId> next_hop_;  ///< dst -> neighbour (kNoRoute if none).
+  std::vector<Flow*> flow_to_;    ///< neighbour -> outgoing flow (nullptr).
   std::map<NodeId, std::deque<sim::Packet>> parked_;  ///< dst -> waiting.
   std::size_t parked_count_ = 0;
   std::uint64_t forwarded_ = 0;
@@ -218,6 +229,11 @@ class Network {
   [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
   [[nodiscard]] Flow& flow(LinkId link, NodeId from);
+  /// Raw channel pair of a link (to attach fault stages, event buses or
+  /// captures in tests and chaos harnesses).
+  [[nodiscard]] link::FullDuplexLink& link_channels(LinkId id) {
+    return *links_.at(id)->duplex;
+  }
   [[nodiscard]] workload::DeliveryTracker& tracker() noexcept { return tracker_; }
   [[nodiscard]] const PacketHeader* header(frame::PacketId id) const;
 
@@ -237,6 +253,7 @@ class Network {
 
   void build_flows(LinkState& ls, LinkId id);
 
+  void record_header(frame::PacketId id, NodeId src, NodeId dst);
   void forward(Node& at, const sim::Packet& p, NodeId dst);
   void deliver_local(Node& at, const sim::Packet& p, Time at_time);
   void on_flow_failed(Flow& flow);
@@ -251,7 +268,12 @@ class Network {
   std::vector<std::unique_ptr<LinkState>> links_;
   workload::DeliveryTracker tracker_;
   workload::PacketIdAllocator ids_;
-  std::map<frame::PacketId, PacketHeader> headers_;
+  /// Per-packet network headers, indexed directly by PacketId: the allocator
+  /// hands out dense ids 1, 2, 3, ..., so the table is a flat array (entry 0
+  /// unused) and the per-hop header lookup in Node::on_packet is one bounds
+  /// check + one load.  Ids outside the table (protocol-level test rigs
+  /// driving flows directly) resolve to nullptr exactly as before.
+  std::vector<PacketHeader> headers_;
   workload::MessageRegistry message_registry_;
   std::map<NodeId, std::unique_ptr<workload::Resequencer>> resequencers_;
   MessageCallback on_message_;

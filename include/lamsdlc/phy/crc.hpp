@@ -20,4 +20,19 @@ namespace lamsdlc::phy {
 /// CRC-32 (IEEE 802.3): poly 0x04C11DB7 reflected, init/xor-out 0xFFFFFFFF.
 [[nodiscard]] std::uint32_t crc32_ieee(std::span<const std::uint8_t> data) noexcept;
 
+/// \name Reference implementations
+/// The original one-byte-per-step loops, kept as the differential-test
+/// oracle: the fast paths above must agree with these on every input (see
+/// tests/phy/test_crc.cpp).  Never called on the frame hot path.
+/// @{
+[[nodiscard]] std::uint16_t crc16_ccitt_bytewise(
+    std::span<const std::uint8_t> data) noexcept;
+[[nodiscard]] std::uint32_t crc32_ieee_bytewise(
+    std::span<const std::uint8_t> data) noexcept;
+/// @}
+
+/// Human-readable name of the active fast-path backend (for bench output and
+/// docs), e.g. "slice-by-8" or "slice-by-8 + arm-crc32".
+[[nodiscard]] const char* crc_backend() noexcept;
+
 }  // namespace lamsdlc::phy

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "lamsdlc/frame/codec.hpp"
+#include "lamsdlc/frame/envelope.hpp"
 #include "lamsdlc/lams/session.hpp"
 #include "lamsdlc/obs/bus.hpp"
 #include "lamsdlc/rt/event_loop.hpp"
@@ -149,6 +150,18 @@ class SessionMux {
   [[nodiscard]] std::uint64_t unroutable() const noexcept {
     return unroutable_;
   }
+  /// Per-reason breakdown of `undecodable()`: datagrams the envelope layer
+  /// refused (length mismatches, bad magic, reserved flags, ...).
+  [[nodiscard]] const frame::EnvelopeRejectCounts& envelope_rejects()
+      const noexcept {
+    return envelope_rejects_;
+  }
+  /// Per-reason breakdown of `undecodable()`: envelopes whose inner frame
+  /// the codec refused (bad FCS, length overruns, ...).
+  [[nodiscard]] const frame::DecodeRejectCounts& frame_rejects()
+      const noexcept {
+    return frame_rejects_;
+  }
   [[nodiscard]] std::size_t outbound_count() const noexcept {
     return tx_.size();
   }
@@ -184,6 +197,8 @@ class SessionMux {
   InboundEndHandler on_inbound_end_;
   std::uint64_t undecodable_ = 0;
   std::uint64_t unroutable_ = 0;
+  frame::EnvelopeRejectCounts envelope_rejects_;
+  frame::DecodeRejectCounts frame_rejects_;
 };
 
 }  // namespace lamsdlc::rt

@@ -27,7 +27,12 @@
 ///
 /// Half the mutants get their FCS recomputed after mutation, so the fuzzer
 /// exercises the structural and value validation *behind* the CRC gate, not
-/// just the CRC itself.
+/// just the CRC itself.  A dedicated length-inflation leg goes further: it
+/// rewrites a frame's length/count field to claim bytes past the buffer end
+/// and *always* repairs the FCS, so the only thing standing between the
+/// mutant and an out-of-bounds parse is the decoder's length check — which
+/// must refuse it with the `DecodeReject::kLengthOverrun` reason
+/// specifically, proving the reject is counted by cause.
 ///
 /// Everything derives from one seed; a failing case reports its index so
 /// `--fuzz` reruns reproduce it exactly.
@@ -59,6 +64,11 @@ struct FuzzReport {
   /// `limit_rejections`: every one is a datagram the live runtime would have
   /// handed to the frame decoder without the envelope's length self-check.
   std::uint64_t envelope_rejections = 0;
+  /// Length-inflation mutants refused with `DecodeReject::kLengthOverrun` —
+  /// CRC-clean frames whose length/count field claims bytes past the buffer
+  /// end.  Each one is an out-of-bounds read the decoder blocked at the
+  /// door, and the reason code proves the reject is counted by cause.
+  std::uint64_t length_rejections = 0;
   std::vector<std::string> failures;   ///< Property violations (seed + case).
 
   [[nodiscard]] bool ok() const noexcept { return failures.empty(); }

@@ -132,5 +132,9 @@ echo "== perf smoke (non-gating) =="
 # regression shows up in the log, but never fail the build over them.
 "$BUILD_DIR/bench/bench_kernel" --json 500000 ||
   echo "[warn] perf smoke failed (non-gating)"
+# Frame-path rates (CRC, codec, channel, multi-hop); compare against
+# BENCH_framepath.json by hand or with scripts/bench_baseline.sh.
+"$BUILD_DIR/bench/bench_framepath" --json ||
+  echo "[warn] framepath perf smoke failed (non-gating)"
 
 echo "ci green"

@@ -264,31 +264,52 @@ bool within_limits(const Frame& f, const DecodeLimits& limits) {
 
 }  // namespace
 
+void DecodeRejectCounts::count(DecodeReject r) noexcept {
+  switch (r) {
+    case DecodeReject::kNone: break;
+    case DecodeReject::kTruncated: ++truncated; break;
+    case DecodeReject::kBadFcs: ++bad_fcs; break;
+    case DecodeReject::kLengthOverrun: ++length_overrun; break;
+    case DecodeReject::kTrailingBytes: ++trailing_bytes; break;
+    case DecodeReject::kUnknownKind: ++unknown_kind; break;
+    case DecodeReject::kLimits: ++limits; break;
+  }
+}
+
 std::optional<Frame> decode(std::span<const std::uint8_t> bytes,
-                            DecodeLimits limits) {
-  auto checked = [&limits](Frame&& f) -> std::optional<Frame> {
-    if (!within_limits(f, limits)) return std::nullopt;
+                            DecodeLimits limits, DecodeReject* why) {
+  if (why != nullptr) *why = DecodeReject::kNone;
+  auto reject = [why](DecodeReject r) -> std::optional<Frame> {
+    if (why != nullptr) *why = r;
+    return std::nullopt;
+  };
+  auto checked = [&limits, &reject](Frame&& f) -> std::optional<Frame> {
+    if (!within_limits(f, limits)) return reject(DecodeReject::kLimits);
     return std::move(f);
   };
-  if (bytes.size() < 1 + kFcsBytes) return std::nullopt;
+  if (bytes.size() < 1 + kFcsBytes) return reject(DecodeReject::kTruncated);
   // Verify FCS over everything but the trailing two bytes.
   const auto body = bytes.first(bytes.size() - kFcsBytes);
   const std::uint16_t want = phy::crc16_ccitt(body);
   const std::uint16_t got =
       static_cast<std::uint16_t>(bytes[bytes.size() - 2] |
                                  (bytes[bytes.size() - 1] << 8));
-  if (want != got) return std::nullopt;
+  if (want != got) return reject(DecodeReject::kBadFcs);
 
   Reader r{body};
   std::uint8_t kind;
-  if (!r.u8(kind)) return std::nullopt;
+  if (!r.u8(kind)) return reject(DecodeReject::kTruncated);
   Frame f;
   switch (kind) {
     case kIFrame: {
       IFrame i;
-      if (!r.u32(i.seq) || !r.u32(i.payload_bytes)) return std::nullopt;
-      if (!r.bytes(i.payload, i.payload_bytes)) return std::nullopt;
-      if (r.remaining() != 0) return std::nullopt;
+      if (!r.u32(i.seq) || !r.u32(i.payload_bytes)) {
+        return reject(DecodeReject::kTruncated);
+      }
+      if (!r.bytes(i.payload, i.payload_bytes)) {
+        return reject(DecodeReject::kLengthOverrun);
+      }
+      if (r.remaining() != 0) return reject(DecodeReject::kTrailingBytes);
       f.body = std::move(i);
       return checked(std::move(f));
     }
@@ -299,24 +320,29 @@ std::optional<Frame> decode(std::span<const std::uint8_t> bytes,
       std::uint16_t n;
       if (!r.u32(c.cp_seq) || !r.i64(ps) || !r.u32(c.highest_seen) ||
           !r.u8(flags) || !r.u32(c.epoch) || !r.u16(n)) {
-        return std::nullopt;
+        return reject(DecodeReject::kTruncated);
       }
       c.generated_at = Time::picoseconds(ps);
       c.any_seen = flags & 1;
       c.enforced = flags & 2;
       c.stop_go = flags & 4;
       c.resync_req = flags & 8;
+      // The declared count must fit the bytes that actually arrived before
+      // any allocation happens — a hostile count field otherwise sizes the
+      // vector from attacker-controlled input.
+      if (r.remaining() < 4u * n) return reject(DecodeReject::kLengthOverrun);
       c.naks.resize(n);
       for (auto& s : c.naks) {
-        if (!r.u32(s)) return std::nullopt;
+        if (!r.u32(s)) return reject(DecodeReject::kLengthOverrun);
       }
-      if (r.remaining() != 0) return std::nullopt;
+      if (r.remaining() != 0) return reject(DecodeReject::kTrailingBytes);
       f.body = std::move(c);
       return checked(std::move(f));
     }
     case kRequestNak: {
       RequestNakFrame q;
-      if (!r.u32(q.token) || r.remaining() != 0) return std::nullopt;
+      if (!r.u32(q.token)) return reject(DecodeReject::kTruncated);
+      if (r.remaining() != 0) return reject(DecodeReject::kTrailingBytes);
       f.body = q;
       return checked(std::move(f));
     }
@@ -325,11 +351,13 @@ std::optional<Frame> decode(std::span<const std::uint8_t> bytes,
       std::uint8_t flags;
       if (!r.u32(i.ns) || !r.u32(i.nr) || !r.u8(flags) ||
           !r.u32(i.payload_bytes)) {
-        return std::nullopt;
+        return reject(DecodeReject::kTruncated);
       }
       i.poll = flags & 1;
-      if (!r.bytes(i.payload, i.payload_bytes)) return std::nullopt;
-      if (r.remaining() != 0) return std::nullopt;
+      if (!r.bytes(i.payload, i.payload_bytes)) {
+        return reject(DecodeReject::kLengthOverrun);
+      }
+      if (r.remaining() != 0) return reject(DecodeReject::kTrailingBytes);
       f.body = std::move(i);
       return checked(std::move(f));
     }
@@ -337,16 +365,17 @@ std::optional<Frame> decode(std::span<const std::uint8_t> bytes,
       HdlcSFrame s;
       std::uint8_t tf;
       std::uint16_t n;
-      if (!r.u8(tf)) return std::nullopt;
+      if (!r.u8(tf)) return reject(DecodeReject::kTruncated);
       const std::uint8_t t = tf & 0x3;
       s.type = static_cast<HdlcSFrame::Type>(t);
       s.poll_final = tf & 0x80;
-      if (!r.u32(s.nr) || !r.u16(n)) return std::nullopt;
+      if (!r.u32(s.nr) || !r.u16(n)) return reject(DecodeReject::kTruncated);
+      if (r.remaining() < 4u * n) return reject(DecodeReject::kLengthOverrun);
       s.srej_list.resize(n);
       for (auto& q : s.srej_list) {
-        if (!r.u32(q)) return std::nullopt;
+        if (!r.u32(q)) return reject(DecodeReject::kLengthOverrun);
       }
-      if (r.remaining() != 0) return std::nullopt;
+      if (r.remaining() != 0) return reject(DecodeReject::kTrailingBytes);
       f.body = std::move(s);
       return checked(std::move(f));
     }
@@ -355,45 +384,49 @@ std::optional<Frame> decode(std::span<const std::uint8_t> bytes,
       std::uint8_t flags;
       std::uint16_t n;
       if (!r.u32(a.base) || !r.u32(a.highest) || !r.u8(flags) || !r.u16(n)) {
-        return std::nullopt;
+        return reject(DecodeReject::kTruncated);
       }
       a.any_seen = flags & 1;
+      if (r.remaining() < 4u * n) return reject(DecodeReject::kLengthOverrun);
       a.missing.resize(n);
       for (auto& m : a.missing) {
-        if (!r.u32(m)) return std::nullopt;
+        if (!r.u32(m)) return reject(DecodeReject::kLengthOverrun);
       }
-      if (r.remaining() != 0) return std::nullopt;
+      if (r.remaining() != 0) return reject(DecodeReject::kTrailingBytes);
       f.body = std::move(a);
       return checked(std::move(f));
     }
     case kResync: {
       ResyncFrame q;
-      if (!r.u32(q.token) || !r.u32(q.epoch) || r.remaining() != 0) {
-        return std::nullopt;
+      if (!r.u32(q.token) || !r.u32(q.epoch)) {
+        return reject(DecodeReject::kTruncated);
       }
+      if (r.remaining() != 0) return reject(DecodeReject::kTrailingBytes);
       f.body = q;
       return checked(std::move(f));
     }
     case kResyncAck: {
       ResyncAckFrame q;
-      if (!r.u32(q.token) || !r.u32(q.epoch) || r.remaining() != 0) {
-        return std::nullopt;
+      if (!r.u32(q.token) || !r.u32(q.epoch)) {
+        return reject(DecodeReject::kTruncated);
       }
+      if (r.remaining() != 0) return reject(DecodeReject::kTrailingBytes);
       f.body = q;
       return checked(std::move(f));
     }
     case kSession: {
       SessionFrame s;
       std::uint8_t k;
-      if (!r.u8(k) || k > 3 || !r.u32(s.epoch) || r.remaining() != 0) {
-        return std::nullopt;
-      }
+      if (!r.u8(k)) return reject(DecodeReject::kTruncated);
+      if (k > 3) return reject(DecodeReject::kUnknownKind);
+      if (!r.u32(s.epoch)) return reject(DecodeReject::kTruncated);
+      if (r.remaining() != 0) return reject(DecodeReject::kTrailingBytes);
       s.kind = static_cast<SessionFrame::Kind>(k);
       f.body = s;
       return checked(std::move(f));
     }
     default:
-      return std::nullopt;
+      return reject(DecodeReject::kUnknownKind);
   }
 }
 

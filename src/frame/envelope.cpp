@@ -63,13 +63,34 @@ std::vector<std::uint8_t> encode_envelope(const Envelope& e) {
   return out;
 }
 
-std::optional<Envelope> decode_envelope(std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < kBaseHeader) return std::nullopt;
-  if (get_u16(bytes, 0) != kEnvelopeMagic) return std::nullopt;
-  if (bytes[2] != kEnvelopeVersion) return std::nullopt;
+void EnvelopeRejectCounts::count(EnvelopeReject r) noexcept {
+  switch (r) {
+    case EnvelopeReject::kNone: break;
+    case EnvelopeReject::kRuntHeader: ++runt_header; break;
+    case EnvelopeReject::kBadMagic: ++bad_magic; break;
+    case EnvelopeReject::kBadVersion: ++bad_version; break;
+    case EnvelopeReject::kReservedFlags: ++reserved_flags; break;
+    case EnvelopeReject::kTruncatedId: ++truncated_id; break;
+    case EnvelopeReject::kLengthMismatch: ++length_mismatch; break;
+    case EnvelopeReject::kEmptyPayload: ++empty_payload; break;
+  }
+}
+
+std::optional<Envelope> decode_envelope(std::span<const std::uint8_t> bytes,
+                                        EnvelopeReject* why) {
+  if (why != nullptr) *why = EnvelopeReject::kNone;
+  auto reject = [why](EnvelopeReject r) -> std::optional<Envelope> {
+    if (why != nullptr) *why = r;
+    return std::nullopt;
+  };
+  if (bytes.size() < kBaseHeader) return reject(EnvelopeReject::kRuntHeader);
+  if (get_u16(bytes, 0) != kEnvelopeMagic) {
+    return reject(EnvelopeReject::kBadMagic);
+  }
+  if (bytes[2] != kEnvelopeVersion) return reject(EnvelopeReject::kBadVersion);
   const std::uint8_t flags = bytes[3];
   if ((flags & ~(kEnvFlagData | kEnvFlagToReceiver)) != 0) {
-    return std::nullopt;  // reserved bits
+    return reject(EnvelopeReject::kReservedFlags);
   }
   Envelope e;
   e.session_id = get_u32(bytes, 4);
@@ -78,7 +99,7 @@ std::optional<Envelope> decode_envelope(std::span<const std::uint8_t> bytes) {
   const std::size_t declared = get_u16(bytes, 8);
   std::size_t pos = kBaseHeader;
   if (e.has_packet_id) {
-    if (bytes.size() < pos + 8) return std::nullopt;
+    if (bytes.size() < pos + 8) return reject(EnvelopeReject::kTruncatedId);
     e.packet_id = get_u64(bytes, pos);
     pos += 8;
   }
@@ -86,8 +107,12 @@ std::optional<Envelope> decode_envelope(std::span<const std::uint8_t> bytes) {
   // actually arrived.  A shorter datagram is truncation; a longer one is
   // padding or a splice — both mean the envelope cannot be trusted, even if
   // the inner frame's FCS would happen to pass over a prefix.
-  if (bytes.size() - pos != declared) return std::nullopt;
-  if (declared == 0) return std::nullopt;  // an envelope always carries a frame
+  if (bytes.size() - pos != declared) {
+    return reject(EnvelopeReject::kLengthMismatch);
+  }
+  if (declared == 0) {
+    return reject(EnvelopeReject::kEmptyPayload);  // always carries a frame
+  }
   e.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
                    bytes.end());
   return e;

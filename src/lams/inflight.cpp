@@ -1,0 +1,126 @@
+#include "lamsdlc/lams/inflight.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace lamsdlc::lams {
+
+std::uint64_t InFlightTable::mix(std::uint64_t x) noexcept {
+  // splitmix64 finalizer: full-avalanche, so chaos-warped counters (which
+  // can differ only in high bits) still spread across the table.
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint32_t InFlightTable::find_pos(std::uint64_t ctr) const noexcept {
+  if (index_.empty()) return kNoPos;
+  std::size_t s = mix(ctr) & mask_;
+  while (index_[s].pos != kNoPos) {
+    if (index_[s].ctr == ctr) return index_[s].pos;
+    s = (s + 1) & mask_;
+  }
+  return kNoPos;
+}
+
+std::size_t InFlightTable::index_slot(std::uint64_t ctr) const noexcept {
+  std::size_t s = mix(ctr) & mask_;
+  while (index_[s].pos == kNoPos || index_[s].ctr != ctr) {
+    s = (s + 1) & mask_;
+  }
+  return s;
+}
+
+void InFlightTable::index_insert(std::uint64_t ctr, std::uint32_t pos) {
+  std::size_t s = mix(ctr) & mask_;
+  while (index_[s].pos != kNoPos) s = (s + 1) & mask_;
+  index_[s] = IndexSlot{ctr, pos};
+}
+
+void InFlightTable::index_erase(std::uint64_t ctr) {
+  // Backward-shift deletion keeps probe chains gap-free without tombstones,
+  // so lookup cost never degrades over a long claim/release churn.
+  std::size_t s = index_slot(ctr);
+  std::size_t next = (s + 1) & mask_;
+  while (index_[next].pos != kNoPos) {
+    const std::size_t home = mix(index_[next].ctr) & mask_;
+    // Shift the follower into the hole unless the hole sits before the
+    // follower's home slot in cyclic probe order.
+    if (((next - home) & mask_) >= ((next - s) & mask_)) {
+      index_[s] = index_[next];
+      s = next;
+    }
+    next = (next + 1) & mask_;
+  }
+  index_[s].pos = kNoPos;
+}
+
+void InFlightTable::grow_index() {
+  const std::size_t cap = index_.empty() ? 16 : index_.size() * 2;
+  index_.assign(cap, IndexSlot{});
+  mask_ = cap - 1;
+  for (std::uint32_t pos = 0; pos < ctrs_.size(); ++pos) {
+    index_insert(ctrs_[pos], pos);
+  }
+}
+
+void InFlightTable::insert(std::uint64_t ctr, Pending pending,
+                           Time expected_arrival) {
+  if ((ctrs_.size() + 1) * 2 > index_.size()) grow_index();
+  const auto pos = static_cast<std::uint32_t>(ctrs_.size());
+  ctrs_.push_back(ctr);
+  arrivals_.push_back(expected_arrival);
+  pendings_.push_back(std::move(pending));
+  index_insert(ctr, pos);
+}
+
+Pending* InFlightTable::find(std::uint64_t ctr) noexcept {
+  const std::uint32_t pos = find_pos(ctr);
+  return pos == kNoPos ? nullptr : &pendings_[pos];
+}
+
+const Pending* InFlightTable::find(std::uint64_t ctr) const noexcept {
+  const std::uint32_t pos = find_pos(ctr);
+  return pos == kNoPos ? nullptr : &pendings_[pos];
+}
+
+Time* InFlightTable::arrival(std::uint64_t ctr) noexcept {
+  const std::uint32_t pos = find_pos(ctr);
+  return pos == kNoPos ? nullptr : &arrivals_[pos];
+}
+
+Pending InFlightTable::take(std::uint64_t ctr) {
+  const std::uint32_t pos = find_pos(ctr);
+  Pending out = std::move(pendings_[pos]);
+  index_erase(ctr);
+  const auto last = static_cast<std::uint32_t>(ctrs_.size() - 1);
+  if (pos != last) {
+    // Swap-remove: relocate the tail slot and repoint its index entry.
+    ctrs_[pos] = ctrs_[last];
+    arrivals_[pos] = arrivals_[last];
+    pendings_[pos] = std::move(pendings_[last]);
+    index_[index_slot(ctrs_[pos])].pos = pos;
+  }
+  ctrs_.pop_back();
+  arrivals_.pop_back();
+  pendings_.pop_back();
+  return out;
+}
+
+void InFlightTable::clear() {
+  ctrs_.clear();
+  arrivals_.clear();
+  pendings_.clear();
+  std::fill(index_.begin(), index_.end(), IndexSlot{});
+}
+
+std::vector<std::uint64_t> InFlightTable::sorted_ctrs() const {
+  std::vector<std::uint64_t> out = ctrs_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace lamsdlc::lams

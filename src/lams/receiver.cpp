@@ -311,22 +311,46 @@ void LamsReceiver::deliver_up(const frame::IFrame& in, std::uint64_t ctr) {
     stats_->recv_buffer.update(sim_.now(), static_cast<double>(processing_));
   }
   note_recv_buffer();
-  sim::Packet p{in.packet_id, in.payload_bytes, Time{}, 0, 0, 1, in.payload};
-  sim_.schedule_in(cfg_.t_proc, [this, p = std::move(p), ctr] {
-    --processing_;
-    if (stats_) {
-      stats_->recv_buffer.update(sim_.now(), static_cast<double>(processing_));
-    }
-    note_recv_buffer();
-    if (obs_.active()) {
-      // The delivery leaf of the packet's trace span tree: the instant the
-      // payload leaves the DLC upward, after the t_proc pipeline.
-      obs::Event e = make_event(obs::EventKind::kPacketDelivered);
-      e.p.frame = {ctr, p.id, 0, 0, 0};
-      obs_.emit(e);
-    }
-    if (listener_) listener_->on_packet(p, sim_.now());
-  });
+  std::uint32_t slot;
+  if (up_free_.empty()) {
+    slot = static_cast<std::uint32_t>(up_pool_.size());
+    up_pool_.emplace_back();
+  } else {
+    slot = up_free_.back();
+    up_free_.pop_back();
+  }
+  UpSlot& s = up_pool_[slot];
+  s.packet.id = in.packet_id;
+  s.packet.bytes = in.payload_bytes;
+  s.packet.created_at = Time{};
+  s.packet.message_id = 0;
+  s.packet.msg_index = 0;
+  s.packet.msg_count = 1;
+  s.packet.data = in.payload;  // copy-assign reuses the slot's capacity
+  s.ctr = ctr;
+  sim_.schedule_in(cfg_.t_proc, [this, slot] { finish_deliver_up(slot); });
+}
+
+void LamsReceiver::finish_deliver_up(std::uint32_t slot) {
+  sim::Packet p = std::move(up_pool_[slot].packet);
+  const std::uint64_t ctr = up_pool_[slot].ctr;
+  --processing_;
+  if (stats_) {
+    stats_->recv_buffer.update(sim_.now(), static_cast<double>(processing_));
+  }
+  note_recv_buffer();
+  if (obs_.active()) {
+    // The delivery leaf of the packet's trace span tree: the instant the
+    // payload leaves the DLC upward, after the t_proc pipeline.
+    obs::Event e = make_event(obs::EventKind::kPacketDelivered);
+    e.p.frame = {ctr, p.id, 0, 0, 0};
+    obs_.emit(e);
+  }
+  if (listener_) listener_->on_packet(p, sim_.now());
+  // The packet's heap storage (if any) goes back with the slot only after
+  // the listener is done with it.
+  up_pool_[slot].packet = std::move(p);
+  up_free_.push_back(slot);
 }
 
 void LamsReceiver::handle_request_nak(const frame::RequestNakFrame& rq) {

@@ -172,7 +172,7 @@ void LamsSender::send_iframe(Pending p) {
   // fail and the packet would leak out of every queue: silent loss no
   // recovery can undo.  Skip over claimed counters instead (bounded by the
   // numbering window); the periodic self-audit still reports the corruption.
-  while (outstanding_.find(next_ctr_) != outstanding_.end()) ++next_ctr_;
+  while (outstanding_.contains(next_ctr_)) ++next_ctr_;
 
   const std::uint64_t ctr = next_ctr_++;
   if (p.attempts > 1 && obs_.active()) {
@@ -201,7 +201,7 @@ void LamsSender::send_iframe(Pending p) {
   }
   emit_frame_event(obs::EventKind::kFrameSent, ctr, p);
 
-  outstanding_.emplace(ctr, Outstanding{std::move(p), expected_arrival});
+  outstanding_.insert(ctr, std::move(p), expected_arrival);
 
   // Pace against the Stop-Go rate factor: at factor 1 this equals the
   // serialization time, i.e. back-to-back transmission.
@@ -349,16 +349,14 @@ void LamsSender::process_naks(const frame::CheckpointFrame& cp) {
   if (next_ctr_ == 0) return;  // nothing ever sent
   for (const frame::Seq wire : cp.naks) {
     const std::uint64_t ctr = seqspace_.unwrap(wire, next_ctr_ - 1);
-    auto it = outstanding_.find(ctr);
-    if (it == outstanding_.end()) {
+    const Pending* held = outstanding_.find(ctr);
+    if (held == nullptr) {
       // Already retransmitted under a newer number (the NAK repeats
       // C_depth times by design) — "assumed to be retransmitted already".
       continue;
     }
-    emit_frame_event(obs::EventKind::kRetransmitQueued, ctr,
-                     it->second.pending);
-    retx_queue_.push_back(std::move(it->second.pending));
-    outstanding_.erase(it);
+    emit_frame_event(obs::EventKind::kRetransmitQueued, ctr, *held);
+    retx_queue_.push_back(outstanding_.take(ctr));
   }
 }
 
@@ -370,7 +368,7 @@ void LamsSender::sweep_outstanding(const frame::CheckpointFrame& cp) {
   // frames as implicitly acknowledged.  Skip this checkpoint's sweep and
   // audit immediately (which reports the trip and, when enabled, starts the
   // RESYNC that repairs the space).  Unreachable in a sane run.
-  for (const auto& [ctr, o] : outstanding_) {
+  for (const std::uint64_t ctr : outstanding_.ctrs()) {
     if (ctr >= next_ctr_) {
       run_self_audit();
       return;
@@ -395,38 +393,42 @@ void LamsSender::sweep_outstanding(const frame::CheckpointFrame& cp) {
     implausible_streak_ = 0;
   }
 
+  // Hot scan: only the packed (counter, arrival) arrays are touched; the
+  // matched counters then act in ascending order, so release and
+  // retransmission events come out oldest-first deterministically.
   std::vector<std::uint64_t> release;
   std::vector<std::uint64_t> undelivered;
-  for (const auto& [ctr, o] : outstanding_) {
-    if (any_seen && ctr <= high) {
+  const auto& ctrs = outstanding_.ctrs();
+  const auto& arrivals = outstanding_.arrivals();
+  for (std::size_t i = 0; i < ctrs.size(); ++i) {
+    if (any_seen && ctrs[i] <= high) {
       // The receiver saw a later frame before generating this checkpoint;
       // had this one arrived damaged its gap-NAK would be in the list and
       // process_naks would have claimed it.  Implicitly acknowledged.
-      release.push_back(ctr);
-    } else if (o.expected_arrival + cfg_.release_margin <= cp.generated_at) {
+      release.push_back(ctrs[i]);
+    } else if (arrivals[i] + cfg_.release_margin <= cp.generated_at) {
       // It provably reached the receiver before this checkpoint, yet the
       // highest-seen number never got there: it arrived unreadable (e.g.
       // the tail frame of a burst).  Retransmit under a new number.
-      undelivered.push_back(ctr);
+      undelivered.push_back(ctrs[i]);
     }
     // Otherwise: still in flight relative to this checkpoint; keep holding.
   }
+  std::sort(release.begin(), release.end());
+  std::sort(undelivered.begin(), undelivered.end());
 
   for (const std::uint64_t ctr : release) {
-    auto it = outstanding_.find(ctr);
-    const Time held = sim_.now() - it->second.pending.first_tx;
-    if (stats_) stats_->holding_time_s.add(held.sec());
-    emit_frame_event(obs::EventKind::kFrameReleased, ctr, it->second.pending,
-                     held.ps());
+    Pending held = outstanding_.take(ctr);
+    const Time held_for = sim_.now() - held.first_tx;
+    if (stats_) stats_->holding_time_s.add(held_for.sec());
+    emit_frame_event(obs::EventKind::kFrameReleased, ctr, held,
+                     held_for.ps());
     ++resolved_;
-    outstanding_.erase(it);
   }
   for (const std::uint64_t ctr : undelivered) {
-    auto it = outstanding_.find(ctr);
-    emit_frame_event(obs::EventKind::kRetransmitQueued, ctr,
-                     it->second.pending);
-    retx_queue_.push_back(std::move(it->second.pending));
-    outstanding_.erase(it);
+    Pending held = outstanding_.take(ctr);
+    emit_frame_event(obs::EventKind::kRetransmitQueued, ctr, held);
+    retx_queue_.push_back(std::move(held));
   }
 }
 
@@ -510,17 +512,14 @@ void LamsSender::declare_failed(obs::RecoveryReason reason) {
 
 void LamsSender::requeue_unresolved() {
   // Unresolved traffic survives the reset, oldest first.
-  std::vector<std::uint64_t> ctrs;
-  ctrs.reserve(outstanding_.size());
-  for (const auto& [ctr, o] : outstanding_) ctrs.push_back(ctr);
-  std::sort(ctrs.rbegin(), ctrs.rend());
+  std::vector<std::uint64_t> ctrs = outstanding_.sorted_ctrs();
   // Prepend in reverse so the final order is: outstanding (by counter),
   // then previously queued retransmissions, then new traffic.
   for (auto it = retx_queue_.rbegin(); it != retx_queue_.rend(); ++it) {
     new_queue_.push_front(Pending{it->packet, Time{}, 0});
   }
-  for (const std::uint64_t ctr : ctrs) {
-    new_queue_.push_front(Pending{outstanding_.at(ctr).pending.packet, Time{}, 0});
+  for (auto it = ctrs.rbegin(); it != ctrs.rend(); ++it) {
+    new_queue_.push_front(Pending{outstanding_.find(*it)->packet, Time{}, 0});
   }
   outstanding_.clear();
   retx_queue_.clear();
@@ -546,12 +545,8 @@ std::vector<sim::Packet> LamsSender::take_unresolved() {
   std::vector<sim::Packet> out;
   out.reserve(sending_buffer_depth());
   // Outstanding first (oldest traffic), ordered by transmission counter.
-  std::vector<std::uint64_t> ctrs;
-  ctrs.reserve(outstanding_.size());
-  for (const auto& [ctr, o] : outstanding_) ctrs.push_back(ctr);
-  std::sort(ctrs.begin(), ctrs.end());
-  for (const std::uint64_t ctr : ctrs) {
-    out.push_back(outstanding_.at(ctr).pending.packet);
+  for (const std::uint64_t ctr : outstanding_.sorted_ctrs()) {
+    out.push_back(outstanding_.find(ctr)->packet);
   }
   outstanding_.clear();
   for (const Pending& p : retx_queue_) out.push_back(p.packet);
@@ -590,7 +585,7 @@ std::size_t LamsSender::run_self_audit() {
   // Counter coherence: every in-flight slot was issued below next_ctr_.
   std::uint64_t worst_ctr = 0;
   bool ctr_bad = false;
-  for (const auto& [ctr, o] : outstanding_) {
+  for (const std::uint64_t ctr : outstanding_.ctrs()) {
     if (ctr >= next_ctr_ && (!ctr_bad || ctr > worst_ctr)) {
       ctr_bad = true;
       worst_ctr = ctr;
@@ -783,14 +778,11 @@ void LamsSender::complete_resync() {
 // State-corruption hooks (verif::StateCorruptor).  Verification-only.
 
 std::vector<frame::PacketId> LamsSender::outstanding_ids() const {
-  std::vector<std::uint64_t> ctrs;
-  ctrs.reserve(outstanding_.size());
-  for (const auto& [ctr, o] : outstanding_) ctrs.push_back(ctr);
-  std::sort(ctrs.begin(), ctrs.end());
+  const std::vector<std::uint64_t> ctrs = outstanding_.sorted_ctrs();
   std::vector<frame::PacketId> ids;
   ids.reserve(ctrs.size());
   for (const std::uint64_t c : ctrs) {
-    ids.push_back(outstanding_.at(c).pending.packet.id);
+    ids.push_back(outstanding_.find(c)->packet.id);
   }
   return ids;
 }
@@ -807,25 +799,17 @@ void LamsSender::corrupt_warp_next_ctr(std::int64_t delta) {
 
 frame::PacketId LamsSender::corrupt_drop_slot(std::size_t nth) {
   if (mode_ == Mode::kFailed || outstanding_.empty()) return 0;
-  std::vector<std::uint64_t> ctrs;
-  ctrs.reserve(outstanding_.size());
-  for (const auto& [ctr, o] : outstanding_) ctrs.push_back(ctr);
-  std::sort(ctrs.begin(), ctrs.end());
-  const auto it = outstanding_.find(ctrs[nth % ctrs.size()]);
-  const frame::PacketId id = it->second.pending.packet.id;
-  outstanding_.erase(it);
+  const std::vector<std::uint64_t> ctrs = outstanding_.sorted_ctrs();
+  const Pending dropped = outstanding_.take(ctrs[nth % ctrs.size()]);
   note_buffer_change();
-  return id;
+  return dropped.packet.id;
 }
 
 bool LamsSender::corrupt_warp_slot_arrival(std::size_t nth, Time delta) {
   if (mode_ == Mode::kFailed || outstanding_.empty()) return false;
-  std::vector<std::uint64_t> ctrs;
-  ctrs.reserve(outstanding_.size());
-  for (const auto& [ctr, o] : outstanding_) ctrs.push_back(ctr);
-  std::sort(ctrs.begin(), ctrs.end());
-  Outstanding& o = outstanding_.at(ctrs[nth % ctrs.size()]);
-  o.expected_arrival = o.expected_arrival + delta;
+  const std::vector<std::uint64_t> ctrs = outstanding_.sorted_ctrs();
+  Time* arrival = outstanding_.arrival(ctrs[nth % ctrs.size()]);
+  *arrival = *arrival + delta;
   return true;
 }
 

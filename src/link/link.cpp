@@ -1,5 +1,7 @@
 #include "lamsdlc/link/link.hpp"
 
+#include <algorithm>
+
 #include "lamsdlc/frame/codec.hpp"
 
 namespace lamsdlc::link {
@@ -49,8 +51,10 @@ frame::Frame SimplexChannel::through_codec(frame::Frame f, bool corrupt) {
           static_cast<std::uint8_t>(1u << flip_rng_.uniform_int(0, 7));
     }
   }
-  auto decoded = frame::decode(wire_buf_, cfg_.decode_limits);
+  frame::DecodeReject why = frame::DecodeReject::kNone;
+  auto decoded = frame::decode(wire_buf_, cfg_.decode_limits, &why);
   if (!decoded.has_value()) {
+    decode_rejects_.count(why);
     // The FCS caught the damage (the expected outcome for corrupt frames):
     // deliver the unreadable husk — the original, moved through, marked.
     if (!corrupt) ++codec_mismatches_;  // clean frame failed decode: a bug
@@ -219,12 +223,62 @@ void SimplexChannel::start_next() {
     emit_fate(obs::EventKind::kFrameDuplicated, obs::DropCause::kFaultDuplicate,
               f);
     const std::uint32_t dup = stash_inflight(frame::Frame{f});
-    sim_.schedule_at(arrival,
-                     [this, epoch, dup] { deliver_inflight(epoch, dup); });
+    if (cfg_.batched_delivery) {
+      push_transit(arrival, epoch, dup);
+    } else {
+      sim_.schedule_at(arrival,
+                       [this, epoch, dup] { deliver_inflight(epoch, dup); });
+    }
   }
   const std::uint32_t slot = stash_inflight(std::move(f));
-  sim_.schedule_at(arrival,
-                   [this, epoch, slot] { deliver_inflight(epoch, slot); });
+  if (cfg_.batched_delivery) {
+    push_transit(arrival, epoch, slot);
+  } else {
+    sim_.schedule_at(arrival,
+                     [this, epoch, slot] { deliver_inflight(epoch, slot); });
+  }
+}
+
+void SimplexChannel::push_transit(Time arrival, std::uint64_t epoch,
+                                  std::uint32_t slot) {
+  if (transit_.empty() || !(arrival < transit_.back().arrival)) {
+    transit_.push_back(Transit{arrival, epoch, slot});
+  } else {
+    // Out-of-order arrival (fault jitter, or propagation shrinking faster
+    // than the serializer advances).  Insert after every entry arriving at
+    // or before the same instant, preserving FIFO among equal arrivals.
+    const auto pos = std::upper_bound(
+        transit_.begin(), transit_.end(), arrival,
+        [](Time a, const Transit& t) { return a < t.arrival; });
+    transit_.insert(pos, Transit{arrival, epoch, slot});
+  }
+  arm_sweep();
+}
+
+void SimplexChannel::arm_sweep() {
+  if (transit_.empty()) return;
+  const Time head = transit_.front().arrival;
+  if (sweep_armed_) {
+    if (!(head < sweep_at_)) return;
+    sim_.cancel(sweep_event_);
+  }
+  sweep_at_ = head;
+  sweep_armed_ = true;
+  sweep_event_ = sim_.schedule_at(head, [this] { sweep_transit(); });
+}
+
+void SimplexChannel::sweep_transit() {
+  sweep_armed_ = false;
+  const Time now = sim_.now();
+  while (!transit_.empty() && !(now < transit_.front().arrival)) {
+    const Transit t = transit_.front();
+    transit_.pop_front();
+    // Delivery can synchronously send on this channel (relays, piggybacked
+    // responses) and re-enter push_transit; popping first keeps the queue
+    // consistent, and arm_sweep below coalesces with any re-entrant arm.
+    deliver_inflight(t.epoch, t.slot);
+  }
+  arm_sweep();
 }
 
 std::uint32_t SimplexChannel::stash_inflight(frame::Frame f) {

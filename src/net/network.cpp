@@ -119,6 +119,7 @@ LinkId Network::add_link(const LinkSpec& spec) {
                         : [d = spec.prop_delay](Time) { return d; };
     c.byte_level = spec.byte_level;
     c.byte_level_seed = seed_ ^ (0x1000u * (id + 1)) ^ (forward ? 1u : 2u);
+    c.batched_delivery = spec.batched_delivery;
     return c;
   };
   const std::string tag = "link" + std::to_string(id);
@@ -177,8 +178,15 @@ void Network::build_flows(LinkState& ls, LinkId id) {
         [this, flow = ls.ba.get()] { on_flow_failed(*flow); });
   }
 
-  node(spec.a).flow_to_[spec.b] = ls.ab.get();
-  node(spec.b).flow_to_[spec.a] = ls.ba.get();
+  // Direct writes outside compute_routes (a link added after the tables
+  // were sized): grow to cover the neighbour id.
+  auto set_flow = [this](NodeId at, NodeId neighbour, Flow* f) {
+    auto& table = node(at).flow_to_;
+    if (table.size() <= neighbour) table.resize(nodes_.size(), nullptr);
+    table[neighbour] = f;
+  };
+  set_flow(spec.a, spec.b, ls.ab.get());
+  set_flow(spec.b, spec.a, ls.ba.get());
 }
 
 Flow& Network::flow(LinkId link, NodeId from) {
@@ -188,8 +196,14 @@ Flow& Network::flow(LinkId link, NodeId from) {
 }
 
 const PacketHeader* Network::header(frame::PacketId id) const {
-  auto it = headers_.find(id);
-  return it == headers_.end() ? nullptr : &it->second;
+  // Entry 0 is padding (the allocator starts at 1), never a real header.
+  if (id == 0 || id >= headers_.size()) return nullptr;
+  return &headers_[id];
+}
+
+void Network::record_header(frame::PacketId id, NodeId src, NodeId dst) {
+  if (headers_.size() <= id) headers_.resize(id + 1);
+  headers_[id] = PacketHeader{src, dst};
 }
 
 void Network::compute_routes() {
@@ -209,8 +223,8 @@ void Network::compute_routes() {
   for (const Edge& e : edges) incoming[e.to].push_back(&e);
 
   for (auto& n : nodes_) {
-    n->next_hop_.clear();
-    n->flow_to_.clear();
+    n->next_hop_.assign(nodes_.size(), Node::kNoRoute);
+    n->flow_to_.assign(nodes_.size(), nullptr);
   }
   for (const Edge& e : edges) {
     node(e.from).flow_to_[e.to] = e.flow;
@@ -255,7 +269,9 @@ void Network::ensure_routes() {
 
 void Network::set_route(NodeId at, NodeId dst, NodeId next_hop) {
   ensure_routes();
-  node(at).next_hop_[dst] = next_hop;
+  auto& table = node(at).next_hop_;
+  if (table.size() <= dst) table.resize(nodes_.size(), Node::kNoRoute);
+  table[dst] = next_hop;
 }
 
 frame::PacketId Network::send_packet(NodeId src, NodeId dst,
@@ -264,7 +280,7 @@ frame::PacketId Network::send_packet(NodeId src, NodeId dst,
   p.id = ids_.next();
   p.bytes = bytes;
   p.created_at = sim_.now();
-  headers_.emplace(p.id, PacketHeader{src, dst});
+  record_header(p.id, src, dst);
   tracker_.note_submitted(p);
   if (src == dst) {
     deliver_local(node(src), p, sim_.now());
@@ -286,7 +302,7 @@ std::uint64_t Network::send_message(NodeId src, NodeId dst,
     p.message_id = mid;
     p.msg_index = i;
     p.msg_count = segments;
-    headers_.emplace(p.id, PacketHeader{src, dst});
+    record_header(p.id, src, dst);
     message_registry_.record(p);
     tracker_.note_submitted(p);
     forward(node(src), p, dst);
@@ -296,12 +312,12 @@ std::uint64_t Network::send_message(NodeId src, NodeId dst,
 
 void Network::forward(Node& at, const sim::Packet& p, NodeId dst) {
   ensure_routes();
-  auto hop = at.next_hop_.find(dst);
   Flow* flow = nullptr;
-  if (hop != at.next_hop_.end()) {
-    auto flow_it = at.flow_to_.find(hop->second);
-    if (flow_it != at.flow_to_.end() && !flow_it->second->failed()) {
-      flow = flow_it->second;
+  if (dst < at.next_hop_.size()) {
+    const NodeId hop = at.next_hop_[dst];
+    if (hop != Node::kNoRoute && hop < at.flow_to_.size()) {
+      Flow* candidate = at.flow_to_[hop];
+      if (candidate != nullptr && !candidate->failed()) flow = candidate;
     }
   }
   if (flow == nullptr) {

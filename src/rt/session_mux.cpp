@@ -190,18 +190,22 @@ void SessionMux::end_rx(RxSession& rx, bool in_session_now) {
 
 void SessionMux::on_datagram(PeerId peer,
                              std::span<const std::uint8_t> bytes) {
-  const auto env = frame::decode_envelope(bytes);
+  frame::EnvelopeReject env_why = frame::EnvelopeReject::kNone;
+  const auto env = frame::decode_envelope(bytes, &env_why);
   if (!env.has_value()) {
     ++undecodable_;
+    envelope_rejects_.count(env_why);
     return;
   }
-  auto f = frame::decode(env->payload, cfg_.decode_limits);
+  frame::DecodeReject frame_why = frame::DecodeReject::kNone;
+  auto f = frame::decode(env->payload, cfg_.decode_limits, &frame_why);
   if (!f.has_value()) {
     // Damaged in flight (ImpairedTransport, or a real network).  Unlike the
     // simulated channel there is no corrupted husk to deliver — a lost
     // datagram and an unreadable one are the same event up here, and the
     // checkpoint machinery recovers both.
     ++undecodable_;
+    frame_rejects_.count(frame_why);
     return;
   }
   if (env->to_receiver) {

@@ -1,5 +1,6 @@
 #include "lamsdlc/verif/fuzz.hpp"
 
+#include <algorithm>
 #include <cstddef>
 #include <sstream>
 #include <string_view>
@@ -200,6 +201,78 @@ const char* mutate(std::vector<std::uint8_t>& bytes, RandomStream& rng,
   }
 }
 
+/// Recompute the trailing FCS so the mutant passes the CRC gate and the
+/// structural / value validation behind it gets exercised.
+void fix_crc(std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 1 + frame::kFcsBytes) return;
+  const auto body =
+      std::span<const std::uint8_t>{bytes}.first(bytes.size() - frame::kFcsBytes);
+  const std::uint16_t fcs = phy::crc16_ccitt(body);
+  bytes[bytes.size() - 2] = static_cast<std::uint8_t>(fcs);
+  bytes[bytes.size() - 1] = static_cast<std::uint8_t>(fcs >> 8);
+}
+
+/// Inflate the length/count field of an encoded frame so it declares more
+/// payload (or more list entries) than the buffer holds, then repair the
+/// FCS.  The mutant passes the CRC gate *by construction* — the checksum
+/// covers the bytes that arrived, not the bytes the length field promises —
+/// so the decoder's structural length check is the only thing between this
+/// datagram and an out-of-bounds parse.  Returns nullptr when the drawn
+/// kind carries no length/count field.
+const char* inflate_length(std::vector<std::uint8_t>& bytes,
+                           RandomStream& rng) {
+  if (bytes.size() < 1 + frame::kFcsBytes) return nullptr;
+  auto bump_u16 = [&](std::size_t at) {
+    const auto old = static_cast<std::uint16_t>(bytes[at] | (bytes[at + 1] << 8));
+    const auto delta = static_cast<std::uint16_t>(
+        rng.uniform_int(1, std::min<std::int64_t>(0xFFFF - old, 1 << 12)));
+    const auto inflated = static_cast<std::uint16_t>(old + delta);
+    bytes[at] = static_cast<std::uint8_t>(inflated);
+    bytes[at + 1] = static_cast<std::uint8_t>(inflated >> 8);
+  };
+  auto bump_u32 = [&](std::size_t at) {
+    std::uint32_t old = 0;
+    for (int i = 3; i >= 0; --i) old = (old << 8) | bytes[at + static_cast<std::size_t>(i)];
+    const auto inflated =
+        old + static_cast<std::uint32_t>(rng.uniform_int(1, 1 << 16));
+    for (std::size_t i = 0; i < 4; ++i) {
+      bytes[at + i] = static_cast<std::uint8_t>(inflated >> (8 * i));
+    }
+  };
+  const char* kind = nullptr;
+  switch (bytes[0]) {
+    case 1:  // IFrame: u32 payload_bytes at offset 5
+      if (bytes.size() < 9 + frame::kFcsBytes) return nullptr;
+      bump_u32(5);
+      kind = "len-iframe";
+      break;
+    case 2:  // Checkpoint: u16 nak count at offset 22
+      if (bytes.size() < 24 + frame::kFcsBytes) return nullptr;
+      bump_u16(22);
+      kind = "len-cp-naks";
+      break;
+    case 4:  // HdlcI: u32 payload_bytes at offset 10
+      if (bytes.size() < 14 + frame::kFcsBytes) return nullptr;
+      bump_u32(10);
+      kind = "len-hdlci";
+      break;
+    case 5:  // HdlcS: u16 srej count at offset 6
+      if (bytes.size() < 8 + frame::kFcsBytes) return nullptr;
+      bump_u16(6);
+      kind = "len-srej";
+      break;
+    case 7:  // SelectiveAck: u16 missing count at offset 10
+      if (bytes.size() < 12 + frame::kFcsBytes) return nullptr;
+      bump_u16(10);
+      kind = "len-sack";
+      break;
+    default:  // RequestNak / Session / Resync carry no length field
+      return nullptr;
+  }
+  fix_crc(bytes);
+  return kind;
+}
+
 /// One envelope mutation.  Every class except "env-bitflip" produces a
 /// datagram `decode_envelope` is *guaranteed* to refuse — the caller treats
 /// acceptance of those as a property failure.  The first three are the
@@ -213,7 +286,7 @@ const char* mutate_envelope(std::vector<std::uint8_t>& bytes,
     return static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(size) - 1));
   };
-  switch (rng.uniform_int(0, 5)) {
+  switch (rng.uniform_int(0, 6)) {
     case 0: {  // shear: fewer bytes arrive than the header declares
       if (bytes.size() > 1) {
         bytes.resize(pos(bytes.size()));
@@ -221,6 +294,20 @@ const char* mutate_envelope(std::vector<std::uint8_t>& bytes,
         bytes.clear();
       }
       return "env-shear";
+    }
+    case 5: {  // inflate the declared payload_len past the received bytes
+      if (bytes.size() >= 10) {
+        const auto old =
+            static_cast<std::uint16_t>(bytes[8] | (bytes[9] << 8));
+        const auto inflated = static_cast<std::uint16_t>(
+            old == 0xFFFF ? old - 1
+                          : old + 1 + rng.uniform_int(
+                                          0, std::min<std::int64_t>(
+                                                 0xFFFF - old - 1, 255)));
+        bytes[8] = static_cast<std::uint8_t>(inflated);
+        bytes[9] = static_cast<std::uint8_t>(inflated >> 8);
+      }
+      return "env-len-up";
     }
     case 1: {  // pad: trailing junk after the declared payload
       const auto n = 1 + rng.uniform_int(0, 7);
@@ -257,17 +344,6 @@ const char* mutate_envelope(std::vector<std::uint8_t>& bytes,
   }
 }
 
-/// Recompute the trailing FCS so the mutant passes the CRC gate and the
-/// structural / value validation behind it gets exercised.
-void fix_crc(std::vector<std::uint8_t>& bytes) {
-  if (bytes.size() < 1 + frame::kFcsBytes) return;
-  const auto body =
-      std::span<const std::uint8_t>{bytes}.first(bytes.size() - frame::kFcsBytes);
-  const std::uint16_t fcs = phy::crc16_ccitt(body);
-  bytes[bytes.size() - 2] = static_cast<std::uint8_t>(fcs);
-  bytes[bytes.size() - 1] = static_cast<std::uint8_t>(fcs >> 8);
-}
-
 /// True when every sequence-carrying field of \p f is below \p m.
 bool obeys_limits(const Frame& f, std::uint32_t m) {
   if (m == 0) return true;
@@ -298,7 +374,8 @@ std::string FuzzReport::summary() const {
   std::ostringstream os;
   os << "fuzz: " << cases << " cases, " << decode_ok << " accepted, "
      << decode_rejected << " rejected (" << limit_rejections
-     << " by seq limits, " << envelope_rejections << " by envelope), "
+     << " by seq limits, " << envelope_rejections << " by envelope, "
+     << length_rejections << " by length overrun), "
      << failures.size() << " property failures";
   for (const std::string& f : failures) os << "\n  FAIL " << f;
   return os.str();
@@ -372,7 +449,34 @@ FuzzReport fuzz_codec(const FuzzOptions& opts) {
       continue;
     }
 
-    if (leg < 0.35) {
+    if (leg < 0.3) {
+      // Length-inflation leg: a lawful frame whose length/count field is
+      // rewritten to claim bytes past the buffer end, FCS repaired.  This is
+      // the hostile-declaration class the batched byte path would otherwise
+      // parse out of bounds; the decoder must refuse it, and must report
+      // kLengthOverrun specifically so the reject is *counted* by cause.
+      const Frame f = random_frame(rng, opts.seq_modulus);
+      std::vector<std::uint8_t> bytes = frame::encode(f);
+      const char* mutation = inflate_length(bytes, rng);
+      if (mutation == nullptr) continue;  // drawn kind has no length field
+      ++rep.cases;
+      frame::DecodeReject why = frame::DecodeReject::kNone;
+      const auto d = frame::decode(bytes, limits, &why);
+      if (d.has_value()) {
+        fail(i, mutation, "length-inflated CRC-clean frame was accepted");
+        continue;
+      }
+      ++rep.decode_rejected;
+      if (why != frame::DecodeReject::kLengthOverrun) {
+        fail(i, mutation,
+             "length-inflated frame rejected with the wrong reason code");
+        continue;
+      }
+      ++rep.length_rejections;
+      continue;
+    }
+
+    if (leg < 0.45) {
       // Envelope leg: a lawful frame wrapped in a datagram envelope, then
       // attacked at the envelope layer.  This is the exact parse order of
       // the live runtime (decode_envelope first, frame::decode second), so
@@ -407,11 +511,20 @@ FuzzReport fuzz_codec(const FuzzOptions& opts) {
         continue;
       }
       const char* mutation = mutate_envelope(bytes, rng);
-      const bool must_reject = std::string_view{mutation} != "env-bitflip";
-      const auto d = frame::decode_envelope(bytes);
+      const std::string_view mu{mutation};
+      const bool must_reject = mu != "env-bitflip";
+      frame::EnvelopeReject env_why = frame::EnvelopeReject::kNone;
+      const auto d = frame::decode_envelope(bytes, &env_why);
       if (!d.has_value()) {
         ++rep.decode_rejected;
         ++rep.envelope_rejections;
+        // The length-disagreement family must be refused *as* a length
+        // mismatch — the counted reject the envelope self-check exists for.
+        if ((mu == "env-pad" || mu == "env-len" || mu == "env-len-up") &&
+            env_why != frame::EnvelopeReject::kLengthMismatch) {
+          fail(i, mutation,
+               "length-family envelope mutant rejected with the wrong reason");
+        }
         continue;
       }
       ++rep.decode_ok;

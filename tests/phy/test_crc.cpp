@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <span>
 #include <string_view>
 #include <vector>
+
+#include "lamsdlc/core/random.hpp"
 
 namespace lamsdlc::phy {
 namespace {
@@ -69,6 +72,96 @@ TEST(Crc32, LongInput) {
   const auto c = crc32_ieee(data);
   data[50'000] ^= 0x80;
   EXPECT_NE(crc32_ieee(data), c);
+}
+
+// ------------------------------------------------------------ differential --
+//
+// The fast paths (slice-by-8 tables, and the ARM hardware CRC32 where
+// compiled in) must be bit-identical to the bytewise reference for every
+// buffer shape: the sliced inner loop consumes 8 bytes at a time, so the
+// head (before the loop), the tail (after it), and short buffers that never
+// enter it are all distinct code paths that have to agree with the oracle.
+
+std::vector<std::uint8_t> random_buffer(std::size_t n, std::uint64_t seed) {
+  RandomStream rng{seed, "test.crc.diff"};
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) {
+    b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return out;
+}
+
+TEST(CrcDifferential, EmptyMatchesOracle) {
+  EXPECT_EQ(crc16_ccitt({}), crc16_ccitt_bytewise({}));
+  EXPECT_EQ(crc32_ieee({}), crc32_ieee_bytewise({}));
+}
+
+TEST(CrcDifferential, EverySingleByteValueMatchesOracle) {
+  for (int v = 0; v < 256; ++v) {
+    const std::array<std::uint8_t, 1> one{static_cast<std::uint8_t>(v)};
+    EXPECT_EQ(crc16_ccitt(one), crc16_ccitt_bytewise(one)) << "byte " << v;
+    EXPECT_EQ(crc32_ieee(one), crc32_ieee_bytewise(one)) << "byte " << v;
+  }
+}
+
+// Every length 0..64: covers buffers shorter than one 8-byte slice, exactly
+// one slice, and every possible tail remainder after the sliced loop.
+TEST(CrcDifferential, AllShortLengthsMatchOracle) {
+  const auto data = random_buffer(64, 11);
+  for (std::size_t len = 0; len <= data.size(); ++len) {
+    const std::span<const std::uint8_t> s{data.data(), len};
+    EXPECT_EQ(crc16_ccitt(s), crc16_ccitt_bytewise(s)) << "len " << len;
+    EXPECT_EQ(crc32_ieee(s), crc32_ieee_bytewise(s)) << "len " << len;
+  }
+}
+
+// Unaligned head and tail: sub-spans starting at every offset 0..15 with
+// lengths that leave every tail remainder, over a buffer big enough that the
+// sliced loop runs.  The span's base pointer takes every alignment mod 8,
+// which is exactly what the fast path's head handling must absorb.
+TEST(CrcDifferential, UnalignedHeadAndTailMatchOracle) {
+  const auto data = random_buffer(4096 + 32, 12);
+  for (std::size_t off = 0; off < 16; ++off) {
+    for (std::size_t chop = 0; chop < 16; ++chop) {
+      const std::span<const std::uint8_t> s{data.data() + off,
+                                            data.size() - off - chop};
+      EXPECT_EQ(crc16_ccitt(s), crc16_ccitt_bytewise(s))
+          << "off " << off << " chop " << chop;
+      EXPECT_EQ(crc32_ieee(s), crc32_ieee_bytewise(s))
+          << "off " << off << " chop " << chop;
+    }
+  }
+}
+
+TEST(CrcDifferential, Random64KBuffersMatchOracle) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto data = random_buffer(64 * 1024, seed);
+    EXPECT_EQ(crc16_ccitt(data), crc16_ccitt_bytewise(data)) << "seed " << seed;
+    EXPECT_EQ(crc32_ieee(data), crc32_ieee_bytewise(data)) << "seed " << seed;
+  }
+}
+
+// Known-answer vectors beyond the "123456789" check value, so the oracle
+// itself is pinned against published constants rather than only against the
+// fast path it exists to check.
+TEST(CrcDifferential, KnownAnswerVectors) {
+  // CRC-16/CCITT-FALSE: check("123456789") = 0x29B1, empty = init = 0xFFFF.
+  EXPECT_EQ(crc16_ccitt_bytewise(bytes("123456789")), 0x29B1);
+  EXPECT_EQ(crc16_ccitt_bytewise({}), 0xFFFF);
+  EXPECT_EQ(crc16_ccitt_bytewise(bytes("A")), 0xB915);
+  // CRC-32/IEEE (zlib crc32): check("123456789") = 0xCBF43926, empty = 0.
+  EXPECT_EQ(crc32_ieee_bytewise(bytes("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32_ieee_bytewise({}), 0x00000000u);
+  EXPECT_EQ(crc32_ieee_bytewise(bytes("a")), 0xE8B7BE43u);
+  EXPECT_EQ(crc32_ieee_bytewise(bytes("abc")), 0x352441C2u);
+  // And the fast paths against the same constants directly.
+  EXPECT_EQ(crc16_ccitt(bytes("123456789")), 0x29B1);
+  EXPECT_EQ(crc32_ieee(bytes("abc")), 0x352441C2u);
+}
+
+TEST(CrcDifferential, BackendReportsNonEmptyName) {
+  EXPECT_NE(crc_backend(), nullptr);
+  EXPECT_NE(std::string_view{crc_backend()}, "");
 }
 
 }  // namespace

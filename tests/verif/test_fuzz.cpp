@@ -29,6 +29,10 @@ TEST(CodecFuzz, CurrentCodecSurvivesAHammering) {
   // length declarations are the hostile-input class decode_envelope refuses
   // before the frame codec ever runs.
   EXPECT_GT(r.envelope_rejections, 0u);
+  // And the length-inflation leg: CRC-clean frames whose length/count field
+  // claims bytes past the buffer end must be refused as kLengthOverrun
+  // specifically (the leg fails the run on any other reason code).
+  EXPECT_GT(r.length_rejections, 0u);
 }
 
 TEST(CodecFuzz, DeterministicInSeed) {
@@ -43,6 +47,7 @@ TEST(CodecFuzz, DeterministicInSeed) {
   EXPECT_EQ(a.decode_rejected, b.decode_rejected);
   EXPECT_EQ(a.limit_rejections, b.limit_rejections);
   EXPECT_EQ(a.envelope_rejections, b.envelope_rejections);
+  EXPECT_EQ(a.length_rejections, b.length_rejections);
   EXPECT_EQ(a.failures, b.failures);
 }
 
