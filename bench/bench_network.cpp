@@ -1,0 +1,225 @@
+/// \file bench_network.cpp
+/// \brief Constellation-scale network runs: serial throughput and the price
+/// (or payoff) of intra-run PDES.
+///
+/// Three workloads over the default 112-satellite / 8-plane Walker delta
+/// (224 ISLs, every packet store-and-forwarded over multiple LAMS hops):
+///
+///   serial_throughput  — partitions=1 (the serial reference: same code
+///                        path, no threads), a million-packet wave load.
+///                        Headline rates: packets and hop-forwards per
+///                        wall-second through the full LAMS stack.
+///   pdes_partitions    — the identical workload at several partition
+///                        counts.  Reports wall-clock ratio vs serial and
+///                        checks the delivery report matches the serial run
+///                        exactly (the cheap half of the identity contract;
+///                        the byte-level half lives in
+///                        tests/integration/test_pdes_identity.cpp).  On a
+///                        single-core host the ratio prices pure PDES
+///                        coordination overhead; on a multi-core host it
+///                        becomes the speedup.
+///   contact_churn      — a 3000 s horizon at 5000 km acquisition range,
+///                        where cross-plane ISLs drop and re-acquire
+///                        mid-run (contacts > links) and traffic waves ride
+///                        through the transitions: LAMS failover, residue
+///                        reroute and parking all on the hot path.
+///
+/// `bench_network --json [scale]` prints one JSON object (the shape stored
+/// in BENCH_network.json); with no flags it prints a table.  `scale`
+/// multiplies the packet load (default 1.0; use ~0.02 for a smoke run).
+/// Absolute rates are host-dependent; the reproduction targets are the
+/// *shape*: parallel reports identical to serial at every partition count,
+/// churn runs completing despite link loss, and a PDES wall-clock ratio
+/// near 1 when coordination is amortized by real traffic.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lamsdlc/sim/run_network.hpp"
+
+namespace {
+
+using namespace lamsdlc;
+
+struct Measured {
+  sim::NetworkRunResult r;
+  double packets_per_sec = 0;
+  double hops_per_sec = 0;
+};
+
+Measured run(const sim::NetworkRunConfig& cfg) {
+  Measured m;
+  m.r = sim::run_network(cfg);
+  if (m.r.elapsed_s > 0) {
+    const auto& rep = m.r.report;
+    m.packets_per_sec = static_cast<double>(rep.packets_sent) / m.r.elapsed_s;
+    // Each forward is one full LAMS link traversal (frame, checkpoints,
+    // acks); delivered packets count their final hop too.
+    m.hops_per_sec = static_cast<double>(rep.packets_forwarded +
+                                         rep.packets_delivered) /
+                     m.r.elapsed_s;
+  }
+  return m;
+}
+
+sim::NetworkRunConfig throughput_config(double scale) {
+  sim::NetworkRunConfig cfg;  // 112 sats / 8 planes by default
+  cfg.waves = 20;
+  cfg.packets_per_wave =
+      static_cast<std::uint32_t>(50000 * scale < 1 ? 1 : 50000 * scale);
+  cfg.wave_interval = Time::seconds_int(2);
+  cfg.horizon = Time::seconds_int(300);
+  cfg.seed = 1;
+  return cfg;
+}
+
+sim::NetworkRunConfig churn_config(double scale) {
+  sim::NetworkRunConfig cfg;
+  cfg.max_range_m = 5.0e6;  // tighter acquisition range => windows churn
+  cfg.waves = 25;
+  cfg.packets_per_wave =
+      static_cast<std::uint32_t>(400 * scale < 1 ? 1 : 400 * scale);
+  cfg.wave_interval = Time::seconds_int(100);  // traffic rides the churn
+  cfg.horizon = Time::seconds_int(3000);       // ~half an orbital period
+  cfg.seed = 1;
+  return cfg;
+}
+
+bool report_equal(const net::NetworkReport& a, const net::NetworkReport& b) {
+  return a.packets_sent == b.packets_sent &&
+         a.packets_delivered == b.packets_delivered &&
+         a.duplicate_deliveries == b.duplicate_deliveries &&
+         a.packets_forwarded == b.packets_forwarded &&
+         a.packets_parked == b.packets_parked &&
+         a.messages_completed == b.messages_completed &&
+         a.mean_delay_s == b.mean_delay_s && a.max_delay_s == b.max_delay_s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  double scale = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      scale = std::atof(argv[i]);
+      if (scale <= 0) scale = 1.0;
+    }
+  }
+
+  const std::vector<std::size_t> kPartitions{2, 4, 7};
+
+  // --- serial reference -----------------------------------------------
+  sim::NetworkRunConfig tcfg = throughput_config(scale);
+  tcfg.partitions = 1;
+  const Measured serial = run(tcfg);
+
+  // --- same workload, partitioned -------------------------------------
+  struct PartRun {
+    std::size_t partitions;
+    Measured m;
+    bool report_matches;
+  };
+  std::vector<PartRun> parts;
+  for (const std::size_t p : kPartitions) {
+    tcfg.partitions = p;
+    PartRun pr{p, run(tcfg), false};
+    pr.report_matches = report_equal(pr.m.r.report, serial.r.report);
+    parts.push_back(pr);
+  }
+
+  // --- contact churn with failover -------------------------------------
+  sim::NetworkRunConfig ccfg = churn_config(scale);
+  ccfg.partitions = 1;
+  const Measured churn_serial = run(ccfg);
+  ccfg.partitions = 7;
+  const Measured churn_par = run(ccfg);
+  const bool churn_matches =
+      report_equal(churn_par.r.report, churn_serial.r.report);
+
+  const auto& sr = serial.r.report;
+  const auto& cr = churn_serial.r.report;
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"scale\": %g,\n", scale);
+    std::printf("  \"serial_throughput\": {\n");
+    std::printf("    \"nodes\": %zu, \"links\": %zu,\n", serial.r.nodes,
+                serial.r.links);
+    std::printf("    \"packets_sent\": %llu,\n",
+                static_cast<unsigned long long>(sr.packets_sent));
+    std::printf("    \"packets_delivered\": %llu,\n",
+                static_cast<unsigned long long>(sr.packets_delivered));
+    std::printf("    \"completed\": %s,\n",
+                serial.r.completed ? "true" : "false");
+    std::printf("    \"wall_seconds\": %.3f,\n", serial.r.elapsed_s);
+    std::printf("    \"packets_per_sec\": %.0f,\n", serial.packets_per_sec);
+    std::printf("    \"hop_forwards_per_sec\": %.0f\n", serial.hops_per_sec);
+    std::printf("  },\n");
+    std::printf("  \"pdes_partitions\": [\n");
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      const auto& pr = parts[i];
+      std::printf("    {\"partitions\": %zu, \"wall_seconds\": %.3f, "
+                  "\"wall_vs_serial\": %.2f, \"report_identical\": %s}%s\n",
+                  pr.partitions, pr.m.r.elapsed_s,
+                  serial.r.elapsed_s > 0
+                      ? pr.m.r.elapsed_s / serial.r.elapsed_s
+                      : 0.0,
+                  pr.report_matches ? "true" : "false",
+                  i + 1 < parts.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf("  \"contact_churn\": {\n");
+    std::printf("    \"links\": %zu, \"contact_windows\": %zu,\n",
+                churn_serial.r.links, churn_serial.r.contacts);
+    std::printf("    \"packets_sent\": %llu,\n",
+                static_cast<unsigned long long>(cr.packets_sent));
+    std::printf("    \"packets_delivered\": %llu,\n",
+                static_cast<unsigned long long>(cr.packets_delivered));
+    std::printf("    \"completed\": %s,\n",
+                churn_serial.r.completed ? "true" : "false");
+    std::printf("    \"serial_wall_seconds\": %.3f,\n",
+                churn_serial.r.elapsed_s);
+    std::printf("    \"pdes7_wall_seconds\": %.3f,\n", churn_par.r.elapsed_s);
+    std::printf("    \"pdes7_report_identical\": %s\n",
+                churn_matches ? "true" : "false");
+    std::printf("  }\n");
+    std::printf("}\n");
+    return 0;
+  }
+
+  std::printf("constellation: %zu nodes, %zu links (Walker 112/8)\n",
+              serial.r.nodes, serial.r.links);
+  std::printf("\nserial throughput (partitions=1):\n");
+  std::printf("  %llu packets sent, %llu delivered, completed=%s\n",
+              static_cast<unsigned long long>(sr.packets_sent),
+              static_cast<unsigned long long>(sr.packets_delivered),
+              serial.r.completed ? "yes" : "NO");
+  std::printf("  %.1f s wall  |  %.0f packets/s  |  %.0f hop-forwards/s\n",
+              serial.r.elapsed_s, serial.packets_per_sec, serial.hops_per_sec);
+  std::printf("\npdes partitions (same workload):\n");
+  std::printf("  %-12s %-10s %-14s %s\n", "partitions", "wall (s)",
+              "vs serial", "report identical");
+  for (const auto& pr : parts) {
+    std::printf("  %-12zu %-10.3f %-14.2f %s\n", pr.partitions,
+                pr.m.r.elapsed_s,
+                serial.r.elapsed_s > 0 ? pr.m.r.elapsed_s / serial.r.elapsed_s
+                                       : 0.0,
+                pr.report_matches ? "yes" : "NO");
+  }
+  std::printf("\ncontact churn (range 5000 km, horizon 3000 s):\n");
+  std::printf("  %zu links, %zu contact windows (churn: %s)\n",
+              churn_serial.r.links, churn_serial.r.contacts,
+              churn_serial.r.contacts > churn_serial.r.links ? "yes" : "NO");
+  std::printf("  %llu sent, %llu delivered, completed=%s\n",
+              static_cast<unsigned long long>(cr.packets_sent),
+              static_cast<unsigned long long>(cr.packets_delivered),
+              churn_serial.r.completed ? "yes" : "NO");
+  std::printf("  serial %.1f s, pdes@7 %.1f s, report identical: %s\n",
+              churn_serial.r.elapsed_s, churn_par.r.elapsed_s,
+              churn_matches ? "yes" : "NO");
+  return 0;
+}

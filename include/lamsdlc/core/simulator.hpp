@@ -45,6 +45,17 @@ class Simulator {
  public:
   using Callback = core::InlineFunction<48>;
 
+  /// Same-instant tie-break priority.  Events at the same instant fire in
+  /// ascending priority, FIFO within a priority.  Everything defaults to the
+  /// midpoint, so ordinary scheduling keeps its pure-FIFO semantics; the
+  /// parallel network layer pins its transit-sweep events *below* the
+  /// default (one distinct priority per channel) so same-instant
+  /// sweep-vs-timer ordering is a global property of the object, not of the
+  /// scheduling history — the keystone of partition-count-invariant
+  /// execution (docs/PERFORMANCE.md, "why identity holds").
+  using Priority = std::uint16_t;
+  static constexpr Priority kDefaultPriority = 0x8000;
+
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -54,7 +65,12 @@ class Simulator {
 
   /// Schedule \p cb to run at absolute time \p at.
   /// \throws std::invalid_argument if \p at is in the past.
-  EventId schedule_at(Time at, Callback cb);
+  EventId schedule_at(Time at, Callback cb) {
+    return schedule_at(at, kDefaultPriority, std::move(cb));
+  }
+
+  /// Schedule with an explicit same-instant priority (see `Priority`).
+  EventId schedule_at(Time at, Priority prio, Callback cb);
 
   /// Schedule \p cb to run \p delay after the current time.
   EventId schedule_in(Time delay, Callback cb) { return schedule_at(now_ + delay, std::move(cb)); }
@@ -79,6 +95,14 @@ class Simulator {
   /// primitive: advance the kernel to "wall now", firing everything due.
   void run_until(Time horizon);
 
+  /// Run every event *strictly earlier* than \p limit, then advance the
+  /// clock to \p limit without firing anything at it.  The conservative-PDES
+  /// window loop runs each partition kernel through `[now, limit)` and uses
+  /// the exclusive bound to keep window-boundary events (barrier-time global
+  /// operations vs. same-instant kernel events) in one canonical order at
+  /// every partition count.
+  void run_before(Time limit);
+
   /// Instant of the earliest pending event, or `Time::max()` when the queue
   /// is empty — the deadline a wall-clock driver sleeps toward.  Prunes any
   /// cancelled tombstones sitting on the heap top (hence non-const).
@@ -100,7 +124,11 @@ class Simulator {
  private:
   struct Entry {
     Time at;
-    std::uint64_t seq;   ///< FIFO tie-break among equal times.
+    /// Tie-break among equal times: the 16-bit priority lives in the top
+    /// bits, a monotonically increasing issue counter in the low 48, so one
+    /// integer compare orders (priority, FIFO) without growing the entry.
+    /// 2^48 schedules outlast any realistic run by orders of magnitude.
+    std::uint64_t seq;
     std::uint32_t slot;  ///< Slot-table index backing this event's id.
     std::uint32_t gen;   ///< Generation at scheduling; stale => tombstone.
   };

@@ -74,6 +74,15 @@ class LamsSender final : public sim::DlcSender, public link::FrameSink {
   /// failed (the DLC "informs the network layer", Section 3.2).
   void set_failure_callback(std::function<void()> cb) { on_failed_ = std::move(cb); }
 
+  /// Invoked whenever the sending-buffer population changes (admission,
+  /// release, retransmission requeue, reset).  The session/mux layers use
+  /// this to observe `accepting()` edges for event-driven backpressure —
+  /// a producer paused on a full buffer resumes the moment a checkpoint
+  /// releases frames, with no polling.
+  void set_buffer_change_callback(std::function<void()> cb) {
+    on_buffer_change_ = std::move(cb);
+  }
+
   /// Current Stop-Go pacing factor in (0, 1]; 1 = full rate.
   [[nodiscard]] double rate_factor() const noexcept { return rate_factor_; }
 
@@ -229,6 +238,7 @@ class LamsSender final : public sim::DlcSender, public link::FrameSink {
   std::uint64_t resolved_{0};
   std::uint64_t request_naks_{0};
   std::function<void()> on_failed_;
+  std::function<void()> on_buffer_change_;
 
   /// \name Self-stabilization state
   /// @{

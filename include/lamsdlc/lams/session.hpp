@@ -91,8 +91,21 @@ class SessionSender final : public sim::DlcSender, public link::FrameSink {
   using StateCallback = std::function<void(State)>;
   void set_state_callback(StateCallback cb) { on_state_ = std::move(cb); }
 
+  /// Fires on every `accepting()` false→true edge — the buffer drained (a
+  /// checkpoint released frames) or the session reached a state that admits
+  /// traffic again.  Event-driven backpressure resume for producers that
+  /// paused on `accepting() == false`; no polling required.  May be invoked
+  /// from inside inner-protocol processing: re-entrant `submit()` from the
+  /// callback is safe, but prefer deferring real work.
+  using CanAcceptCallback = std::function<void()>;
+  void set_can_accept_callback(CanAcceptCallback cb) {
+    on_can_accept_ = std::move(cb);
+  }
+
  private:
   void enter(State s);
+  /// Re-evaluate `accepting()` and fire `on_can_accept_` on a rising edge.
+  void note_accepting();
   void send_handshake(frame::SessionFrame::Kind kind);
   void on_handshake_timer();
   void on_inner_failed();
@@ -115,6 +128,8 @@ class SessionSender final : public sim::DlcSender, public link::FrameSink {
   EventId drain_timer_{0};
   std::deque<sim::Packet> pending_;  ///< Buffered until established.
   StateCallback on_state_;
+  CanAcceptCallback on_can_accept_;
+  bool was_accepting_{true};  ///< Last observed accepting(); edge detector.
 };
 
 /// Receiver-side session manager.  Owns the inner `LamsReceiver`; attach as

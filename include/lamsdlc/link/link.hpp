@@ -164,6 +164,18 @@ class SimplexChannel final : public FrameChannel {
   /// are counted and dropped.
   void set_sink(FrameSink* sink) noexcept { sink_ = sink; }
 
+  /// Receiver-side handoff for the parallel network driver: every frame that
+  /// survives the send-time fate draw (error model, fault stages, byte-level
+  /// codec) is handed to \p egress with its computed arrival instant and the
+  /// channel's down-epoch at send, *instead of* entering this channel's own
+  /// transit queue.  All nondeterminism is resolved at send time — the
+  /// handoff carries a finished (frame, arrival, epoch) triple, so delivery
+  /// can run in a different partition's kernel (a `ChannelIngress` living
+  /// with the receiver) without consulting sender-side state.
+  using Egress = std::function<void(Time arrival, std::uint64_t epoch,
+                                    frame::Frame f)>;
+  void set_egress(Egress egress) { egress_ = std::move(egress); }
+
   /// Queue a frame for transmission.  Frames serialize back-to-back in FIFO
   /// order at the data rate.
   void send(frame::Frame f) override;
@@ -293,6 +305,7 @@ class SimplexChannel final : public FrameChannel {
   std::optional<phy::FecCodec> iframe_codec_;
   std::optional<phy::FecCodec> control_codec_;
   FrameSink* sink_{nullptr};
+  Egress egress_;
   obs::EventBus* bus_{nullptr};
   obs::Source src_{obs::Source::kOther};
   std::function<void()> idle_cb_;
@@ -318,6 +331,76 @@ class SimplexChannel final : public FrameChannel {
   RandomStream flip_rng_;
 };
 
+/// Receiver-side transit queue for the parallel network driver: the mirror
+/// of `SimplexChannel`'s batched delivery, living in the *receiving*
+/// partition's kernel.  Frames arrive via `push` (directly for
+/// partition-local traffic, at window barriers for cross-partition traffic);
+/// a single armed sweep event delivers them at their arrival instants in
+/// (arrival, push-order) order — exactly the channel's own transit
+/// discipline.  The sweep is scheduled at a fixed below-default priority
+/// unique to this ingress, so same-instant sweep-vs-endpoint-timer ordering
+/// depends only on which objects are involved, never on scheduling history —
+/// which is what makes execution invariant across partition counts.
+///
+/// Down-epochs are mirrored rather than shared: `bump_epoch` is called from
+/// the same (barrier-time) link-down operation that bumps the sending
+/// channel's epoch, so a stamped in-flight frame whose epoch is stale is
+/// dropped here with the same observable fate the channel itself would give
+/// it.
+class ChannelIngress {
+ public:
+  ChannelIngress(Simulator& sim, Simulator::Priority sweep_priority)
+      : sim_{sim}, sweep_priority_{sweep_priority} {}
+
+  ChannelIngress(const ChannelIngress&) = delete;
+  ChannelIngress& operator=(const ChannelIngress&) = delete;
+
+  void set_sink(FrameSink* sink) noexcept { sink_ = sink; }
+  void set_event_bus(obs::EventBus* bus, obs::Source source) noexcept {
+    bus_ = bus;
+    src_ = source;
+  }
+
+  /// Accept an in-flight frame.  \throws std::logic_error if \p arrival is
+  /// before the local kernel's clock — that means the window lookahead bound
+  /// was violated, and a loud failure beats a silently divergent run.
+  void push(Time arrival, std::uint64_t epoch, frame::Frame f);
+
+  /// Link went down: in-flight frames stamped with the old epoch are dropped
+  /// at their arrival instants (photons in flight when pointing was lost).
+  void bump_epoch() noexcept { ++epoch_; }
+
+  [[nodiscard]] std::uint64_t frames_delivered() const noexcept {
+    return frames_delivered_;
+  }
+  [[nodiscard]] std::uint64_t frames_dropped() const noexcept {
+    return frames_dropped_;
+  }
+
+ private:
+  struct Transit {
+    Time arrival;
+    std::uint64_t epoch;
+    frame::Frame f;
+  };
+  void arm_sweep();
+  void sweep();
+  void emit_drop(obs::DropCause cause, const frame::Frame& f);
+
+  Simulator& sim_;
+  Simulator::Priority sweep_priority_;
+  FrameSink* sink_{nullptr};
+  obs::EventBus* bus_{nullptr};
+  obs::Source src_{obs::Source::kOther};
+  std::deque<Transit> transit_;
+  EventId sweep_event_{0};
+  bool sweep_armed_{false};
+  Time sweep_at_{};
+  std::uint64_t epoch_{0};
+  std::uint64_t frames_delivered_{0};
+  std::uint64_t frames_dropped_{0};
+};
+
 /// Full-duplex link: two independent simplex channels (assumption 2).
 class FullDuplexLink {
  public:
@@ -325,8 +408,23 @@ class FullDuplexLink {
                  std::unique_ptr<phy::ErrorModel> forward_error,
                  SimplexChannel::Config reverse_cfg,
                  std::unique_ptr<phy::ErrorModel> reverse_error)
-      : forward_{sim, std::move(forward_cfg), std::move(forward_error)},
-        reverse_{sim, std::move(reverse_cfg), std::move(reverse_error)} {}
+      : FullDuplexLink{sim,
+                       sim,
+                       std::move(forward_cfg),
+                       std::move(forward_error),
+                       std::move(reverse_cfg),
+                       std::move(reverse_error)} {}
+
+  /// Two-kernel form for the parallel network driver: each direction's
+  /// transmit side is owned by the kernel of the node doing the sending
+  /// (forward = a→b serializes in a's partition, reverse in b's).
+  FullDuplexLink(Simulator& forward_sim, Simulator& reverse_sim,
+                 SimplexChannel::Config forward_cfg,
+                 std::unique_ptr<phy::ErrorModel> forward_error,
+                 SimplexChannel::Config reverse_cfg,
+                 std::unique_ptr<phy::ErrorModel> reverse_error)
+      : forward_{forward_sim, std::move(forward_cfg), std::move(forward_error)},
+        reverse_{reverse_sim, std::move(reverse_cfg), std::move(reverse_error)} {}
 
   [[nodiscard]] SimplexChannel& forward() noexcept { return forward_; }
   [[nodiscard]] SimplexChannel& reverse() noexcept { return reverse_; }

@@ -63,6 +63,12 @@ struct LinkSpec {
   Time prop_delay = Time::milliseconds(5);
   /// Optional time-varying propagation (orbit-driven); overrides prop_delay.
   std::function<Time(Time)> propagation;
+  /// Guaranteed lower bound on the propagation delay over the whole run —
+  /// the parallel driver's lookahead for this link.  Zero means "derive":
+  /// fixed-delay links use `prop_delay`; links with a custom `propagation`
+  /// function must set this explicitly (the contact builder does, via
+  /// `min_propagation_bound`) or `enable_pdes` runs refuse to start.
+  Time min_propagation{};
   sim::ErrorConfig a_to_b_error;  ///< Error process on the a→b channel.
   sim::ErrorConfig b_to_a_error;  ///< Error process on the b→a channel.
   /// DLC run on both flows of this link.  LAMS-DLC links additionally get
@@ -76,6 +82,15 @@ struct LinkSpec {
   /// channels; `false` restores one-kernel-event-per-frame delivery (the
   /// byte-identity regression test A/Bs the two).
   bool batched_delivery = true;
+  /// Optional event-bus factory for the link's protocol endpoints
+  /// (LAMS flows only).  Called once per endpoint while the link is built;
+  /// `sender_side` is true for the flow's sender.  Returned buses must
+  /// outlive the network; return null for "don't observe".  Under PDES each
+  /// endpoint's bus is written from exactly one partition (the sender from
+  /// `partition_of(from)`, the receiver from `partition_of(to)`), so
+  /// per-endpoint buffers need no locking (sim::run_network relies on this).
+  std::function<obs::EventBus*(NodeId from, NodeId to, bool sender_side)>
+      bus_for;
 };
 
 /// Aggregate outcome of a network run.
@@ -100,7 +115,19 @@ class Flow {
  public:
   Flow(Simulator& sim, Network& net, LinkId link, NodeId from, NodeId to,
        link::SimplexChannel& data, link::SimplexChannel& control,
-       const LinkSpec& spec, Tracer tracer);
+       const LinkSpec& spec, Tracer tracer)
+      : Flow{sim, sim, net, link, from, to, data, control, spec,
+             std::move(tracer)} {}
+
+  /// Two-kernel form for the parallel driver: the sender lives in \p
+  /// tx_sim's partition (with the data channel's serializer), the receiver
+  /// in \p rx_sim's (with the control channel's).  When the kernels differ
+  /// the receiver writes into a private stats block (`rx_stats_`) so the
+  /// two partitions never race on one `DlcStats`; with one kernel both
+  /// endpoints share `stats_` exactly as before.
+  Flow(Simulator& tx_sim, Simulator& rx_sim, Network& net, LinkId link,
+       NodeId from, NodeId to, link::SimplexChannel& data,
+       link::SimplexChannel& control, const LinkSpec& spec, Tracer tracer);
 
   /// Generic submit/buffer interface (any protocol).
   [[nodiscard]] sim::DlcSender& dlc() noexcept { return *dlc_sender_; }
@@ -130,6 +157,7 @@ class Flow {
   NodeId from_, to_;
   bool failed_ = false;
   sim::DlcStats stats_;
+  sim::DlcStats rx_stats_;  ///< Receiver-side stats in two-kernel mode.
   std::unique_ptr<lams::LamsSender> lams_tx_;
   std::unique_ptr<lams::LamsReceiver> lams_rx_;
   std::unique_ptr<hdlc::SrSender> sr_tx_;
@@ -185,6 +213,53 @@ class Network {
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
+
+  /// \name Parallel execution (conservative PDES)
+  /// @{
+  /// Switch this network to partitioned execution *before any topology is
+  /// added*: nodes are assigned to \p partitions logical processes, each
+  /// with its own event kernel, and `run_parallel_to_completion` advances
+  /// them in lockstep windows bounded by the minimum link propagation delay
+  /// (the lookahead).  Output is bit-identical at every partition count —
+  /// `partitions == 1` *is* the serial reference, same code path.
+  ///
+  /// \p nodes_hint, when nonzero, is the expected final node count; nodes
+  /// are then assigned in contiguous blocks (keeping Walker planes
+  /// together), otherwise round-robin by id.  Requires a null tracer (the
+  /// text trace is inherently a global sequential log).
+  void enable_pdes(std::size_t partitions, std::size_t nodes_hint = 0);
+  [[nodiscard]] bool pdes_enabled() const noexcept { return pdes_ != nullptr; }
+  /// Partition and kernel owning \p id (serial mode: partition 0, `simulator()`).
+  [[nodiscard]] std::size_t partition_of(NodeId id) const noexcept;
+  [[nodiscard]] Simulator& sim_for(NodeId id) noexcept;
+
+  /// Schedule a *global* operation — one that touches cross-partition state
+  /// (link up/down, traffic injection, route edits).  Serial mode runs it as
+  /// an ordinary kernel event; parallel mode runs it at a window barrier at
+  /// exactly \p when, before any same-instant kernel event, in registration
+  /// order among equal times — one canonical order at every partition count.
+  ///
+  /// \p blocks_completion marks ops that may inject *new traffic*: the
+  /// `run_to_completion` drivers refuse to declare the network complete
+  /// while any such op is still pending (otherwise an all-delivered lull
+  /// between traffic waves reads as completion).  Pass `false` for purely
+  /// topological ops (contact up/down) so a run can finish as soon as its
+  /// traffic drains instead of dwelling until the last scheduled contact.
+  void at(Time when, std::function<void()> op, bool blocks_completion = true);
+
+  /// Parallel counterpart of `run_to_completion`: windowed lockstep advance
+  /// until every injected packet is delivered or \p horizon.  Completion can
+  /// only change at a window barrier, so \p check_every is accepted for
+  /// signature parity but the natural barrier cadence is used.  Falls back
+  /// to `run_to_completion` when PDES was never enabled.
+  bool run_parallel_to_completion(Time horizon,
+                                  Time check_every = Time::milliseconds(1));
+
+  /// Receiver-side ingress of one channel (parallel mode only; for tests
+  /// and drivers attaching event buses).  \p forward selects the a→b
+  /// channel's ingress (at b).
+  [[nodiscard]] link::ChannelIngress& link_ingress(LinkId id, bool forward);
+  /// @}
 
   /// \name Topology
   /// @{
@@ -248,6 +323,9 @@ class Network {
     std::unique_ptr<Flow> ba;  ///< Flow b→a (data on reverse channel).
     std::unique_ptr<link::FrameSink> sink_at_a;  ///< Demux on the b→a channel.
     std::unique_ptr<link::FrameSink> sink_at_b;  ///< Demux on the a→b channel.
+    /// Parallel mode: receiver-side transit queues (null in serial mode).
+    std::unique_ptr<link::ChannelIngress> ingress_at_b;  ///< Forward channel.
+    std::unique_ptr<link::ChannelIngress> ingress_at_a;  ///< Reverse channel.
     bool up = true;
   };
 
@@ -256,10 +334,19 @@ class Network {
   void record_header(frame::PacketId id, NodeId src, NodeId dst);
   void forward(Node& at, const sim::Packet& p, NodeId dst);
   void deliver_local(Node& at, const sim::Packet& p, Time at_time);
+  /// The resequencer/tracker delivery proper; parallel mode journals
+  /// deliveries during windows and replays them here at barriers.
+  void deliver_local_now(NodeId node, const sim::Packet& p, Time at_time);
   void on_flow_failed(Flow& flow);
   void ensure_routes();
   /// Re-attempt every parked packet after a topology change.
   void flush_parked();
+
+  // Parallel engine internals (network.cpp).
+  struct PdesState;
+  [[nodiscard]] Time pdes_lookahead() const;
+  void pdes_barrier(Time window_end);
+  void drain_delivery_journal();
 
   Simulator& sim_;
   std::uint64_t seed_;
@@ -279,6 +366,10 @@ class Network {
   MessageCallback on_message_;
   std::uint64_t next_message_{0};
   bool routes_valid_{false};
+  /// `at(..., blocks_completion=true)` ops not yet run: completion gates on
+  /// this reaching zero so queued traffic waves are never abandoned.
+  std::size_t pending_blocking_ops_{0};
+  std::unique_ptr<PdesState> pdes_;  ///< Null when running serially.
 };
 
 }  // namespace lamsdlc::net

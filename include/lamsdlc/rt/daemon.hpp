@@ -67,6 +67,11 @@ struct DaemonConfig {
   double data_rate_bps = 300e6;
   Time max_one_way = Time::milliseconds(5);
   std::uint32_t chunk_bytes = 1024;
+  /// Per-stream sending-buffer bound, in packets (SessionMux::Config).
+  /// Caps daemon memory per bridge client: a fast client writing into a
+  /// slow/impaired link is paused at this depth and resumed event-driven
+  /// when checkpoints release frames.
+  std::size_t stream_buffer_packets = 256;
   lams::SessionConfig session;
 
   bool impair = false;  ///< Route outbound datagrams through the injector.

@@ -65,6 +65,12 @@ class SessionMux {
     Time max_one_way = Time::milliseconds(5);
     /// Stream segmentation: bytes per packet (and per I-frame payload).
     std::uint32_t chunk_bytes = 1024;
+    /// Outbound per-stream sending-buffer capacity, in packets.  Applied as
+    /// the session's `send_buffer_capacity` when the caller left that at
+    /// its unlimited default — a mux fed by a socket bridge must bound the
+    /// buffer or a fast client writing into a slow link grows memory
+    /// without limit.  0 keeps whatever the session config says.
+    std::size_t stream_buffer_packets = 256;
     /// Limits for decoding inbound frames; seq_modulus defaults to the
     /// session's numbering modulus when left 0.
     frame::DecodeLimits decode_limits;
@@ -92,8 +98,10 @@ class SessionMux {
   void open_stream(PeerId peer, std::uint32_t session_id);
 
   /// Segment \p bytes into packets and submit them.  Respect
-  /// `stream_accepting` for backpressure; writes while not accepting are
-  /// still queued (the session buffers), they just grow memory.
+  /// `stream_accepting` for backpressure: pause the producer while it is
+  /// false and resume on the stream-resume handler (writes submitted anyway
+  /// are still queued, but `stream_buffer_packets` bounds how deep the
+  /// session lets the buffer grow before `stream_accepting` trips).
   bool stream_write(std::uint32_t session_id,
                     std::span<const std::uint8_t> bytes);
 
@@ -111,6 +119,21 @@ class SessionMux {
   void set_stream_state_handler(StreamStateHandler h) {
     on_stream_state_ = std::move(h);
   }
+
+  /// Fires when a stream that stopped accepting starts accepting again
+  /// (checkpoint released frames, or the handshake completed): the signal
+  /// for a paused producer to resume writing.  May fire from inside
+  /// datagram processing — defer any heavy reaction to the event loop.
+  using StreamResumeHandler = std::function<void(std::uint32_t session_id)>;
+  void set_stream_resume_handler(StreamResumeHandler h) {
+    on_stream_resume_ = std::move(h);
+  }
+
+  /// Highest sending-buffer depth ever observed on the stream right after a
+  /// `stream_write` (packets; 0 for unknown streams).  The backpressure
+  /// regression test pins this against `stream_buffer_packets`.
+  [[nodiscard]] std::size_t stream_buffer_high_water(
+      std::uint32_t session_id) const;
 
   /// The stream's session manager (null when unknown) — state, epoch,
   /// counters for tests and status output.
@@ -193,6 +216,7 @@ class SessionMux {
   std::unordered_map<std::uint32_t, std::unique_ptr<TxSession>> tx_;
   std::unordered_map<std::uint64_t, std::unique_ptr<RxSession>> rx_;
   StreamStateHandler on_stream_state_;
+  StreamResumeHandler on_stream_resume_;
   InboundDataHandler on_inbound_data_;
   InboundEndHandler on_inbound_end_;
   std::uint64_t undecodable_ = 0;

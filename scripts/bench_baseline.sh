@@ -17,6 +17,16 @@
 #   BENCH_sweep.json   — wall-clock of the 250-seed chaos soak, serial vs
 #                        `lamsdlc_cli chaos --jobs $(nproc)`, plus a check
 #                        that both produce identical output.
+#   BENCH_network.json — constellation-scale network runs (bench_network
+#                        --json): million-packet serial throughput over the
+#                        112-sat Walker, the same workload at several PDES
+#                        partition counts (wall ratio + report identity),
+#                        and a 3000 s contact-churn run with LAMS failover.
+#                        The partitions=1 run IS the frozen serial baseline
+#                        (identical code path, no threads); the recorded
+#                        host core count frames the PDES ratios honestly —
+#                        on one core they price coordination overhead, not
+#                        speedup.
 #
 # Run after any kernel or frame-path change, on an otherwise idle machine.
 #
@@ -152,3 +162,28 @@ json.dump({
 print()
 EOF
 echo "wrote BENCH_sweep.json"
+
+echo "== constellation network runs (bench_network, full scale) =="
+NETWORK="$BUILD_DIR/bench/bench_network"
+[ -x "$NETWORK" ] || { echo "missing $NETWORK" >&2; exit 1; }
+NETWORK_JSON="$("$NETWORK" --json)"
+echo "$NETWORK_JSON"
+
+python3 - "$NETWORK_JSON" "$(nproc)" > BENCH_network.json <<'EOF'
+import json, sys
+
+current = json.loads(sys.argv[1])
+json.dump({
+    "workload": "bench_network --json (Walker 112/8, 224 ISLs; see "
+                "bench/bench_network.cpp)",
+    "flags": "g++ -O3 -DNDEBUG (CMake Release)",
+    "host_cores": int(sys.argv[2]),
+    "note": "partitions=1 is the frozen serial baseline (same code path, "
+            "no threads); wall_vs_serial on a single-core host measures "
+            "PDES coordination overhead, on a multi-core host it becomes "
+            "speedup.  report_identical must always be true.",
+    **current,
+}, sys.stdout, indent=2)
+print()
+EOF
+echo "wrote BENCH_network.json"

@@ -17,9 +17,12 @@
 #      schedules (docs/VERIFICATION.md, self-stabilization oracle) run
 #      against the *sanitized* CLI from step 2 — gating; endpoint-state
 #      mutation plus recovery is exactly where a stray read/UB would hide.
-#   7. perf smoke (non-gating): kernel workload rates, printed for trend
-#      watching; compare against BENCH_kernel.json by hand or with
-#      scripts/bench_baseline.sh.
+#   7. PDES identity smoke: one constellation run serial vs 4-way
+#      partitioned through the CLI — metrics JSON and capture bytes must be
+#      identical (gating).
+#   8. perf smoke (non-gating): kernel + frame-path + constellation network
+#      workload rates, printed for trend watching; compare against
+#      BENCH_*.json by hand or with scripts/bench_baseline.sh.
 #
 # Usage: scripts/ci.sh [build-dir]       (default build/)
 
@@ -127,6 +130,27 @@ cmp "$LIVEDIR/in1.bin" "$LIVEDIR/stream-p0-s71.bin"
 "$CLI" trace "$LIVEDIR/cap-s71.ldlcap" >/dev/null
 echo "self-peer capture traces clean"
 
+echo "== PDES identity smoke (gating) =="
+# One constellation run, serial vs 4-way partitioned: the metrics registry
+# JSON and the raw capture bytes must be identical — any event reordered
+# anywhere between partitions diverges the capture stream.  (The exhaustive
+# version, including chaos and contact churn, is
+# tests/integration/test_pdes_identity.cpp; this re-checks the contract on
+# the installed CLI binary.)
+PDESDIR="$CAPDIR/pdes"
+mkdir -p "$PDESDIR"
+for parts in 1 4; do
+  "$CLI" network --sats 16 --planes 1 --waves 4 --packets-per-wave 15 \
+    --horizon-s 60 --seed 11 --partitions "$parts" \
+    --metrics-out "$PDESDIR/m$parts.json" \
+    --capture-out "$PDESDIR/c$parts.ldlcap" > "$PDESDIR/r$parts.txt"
+done
+cmp "$PDESDIR/m1.json" "$PDESDIR/m4.json"
+cmp "$PDESDIR/c1.ldlcap" "$PDESDIR/c4.ldlcap"
+diff <(grep -v '^partitions' "$PDESDIR/r1.txt") \
+     <(grep -v '^partitions' "$PDESDIR/r4.txt")
+echo "PDES@4 byte-identical to serial (metrics + capture + report)"
+
 echo "== perf smoke (non-gating) =="
 # Timings on shared CI hosts are too noisy to gate on; print them so a
 # regression shows up in the log, but never fail the build over them.
@@ -136,5 +160,9 @@ echo "== perf smoke (non-gating) =="
 # BENCH_framepath.json by hand or with scripts/bench_baseline.sh.
 "$BUILD_DIR/bench/bench_framepath" --json ||
   echo "[warn] framepath perf smoke failed (non-gating)"
+# Constellation network rates at 2% load; compare against
+# BENCH_network.json (full scale) by hand or with scripts/bench_baseline.sh.
+"$BUILD_DIR/bench/bench_network" --json 0.02 ||
+  echo "[warn] network perf smoke failed (non-gating)"
 
 echo "ci green"

@@ -6,7 +6,7 @@
 
 namespace lamsdlc {
 
-EventId Simulator::schedule_at(Time at, Callback cb) {
+EventId Simulator::schedule_at(Time at, Priority prio, Callback cb) {
   if (at < now_) {
     throw std::invalid_argument("Simulator::schedule_at: time is in the past");
   }
@@ -23,7 +23,10 @@ EventId Simulator::schedule_at(Time at, Callback cb) {
   }
   const std::uint32_t gen = slots_[slot].gen;
   slots_[slot].cb = std::move(cb);
-  heap_.push_back(Entry{at, next_seq_++, slot, gen});
+  const std::uint64_t seq =
+      (static_cast<std::uint64_t>(prio) << 48) |
+      (next_seq_++ & ((std::uint64_t{1} << 48) - 1));
+  heap_.push_back(Entry{at, seq, slot, gen});
   std::push_heap(heap_.begin(), heap_.end(), later);
   ++live_;
   return pack(slot, gen);
@@ -105,6 +108,22 @@ void Simulator::run_until(Time horizon) {
   }
   if (now_ < horizon && !stopped_) {
     now_ = horizon;
+  }
+}
+
+void Simulator::run_before(Time limit) {
+  stopped_ = false;
+  while (!stopped_) {
+    while (!heap_.empty() && !entry_live(heap_.front())) {
+      drop_stale_top();
+    }
+    if (heap_.empty() || heap_.front().at >= limit) {
+      break;
+    }
+    dispatch_next();
+  }
+  if (now_ < limit && !stopped_) {
+    now_ = limit;
   }
 }
 

@@ -118,6 +118,7 @@ void LamsSender::note_buffer_change() {
                   static_cast<std::uint32_t>(sending_buffer_depth())};
     obs_.emit(e);
   }
+  if (on_buffer_change_) on_buffer_change_();
 }
 
 void LamsSender::try_send() {

@@ -39,6 +39,10 @@ SessionSender::SessionSender(Simulator& sim, link::FrameChannel& data_out,
       tracer_{tracer},
       inner_{sim, data_out, cfg.lams, stats, std::move(tracer), bus} {
   inner_.set_failure_callback([this] { on_inner_failed(); });
+  // Checkpoint releases shrink the inner buffer: each change is a potential
+  // accepting() rising edge for a producer paused on backpressure.
+  inner_.set_buffer_change_callback([this] { note_accepting(); });
+  was_accepting_ = accepting();
 }
 
 SessionSender::~SessionSender() {
@@ -54,6 +58,16 @@ void SessionSender::enter(State s) {
   state_ = s;
   if (tracer_.enabled()) trace(std::string("state -> ") + state_name(s));
   if (on_state_) on_state_(s);
+  note_accepting();  // state gates accepting(); this may be a rising edge
+}
+
+void SessionSender::note_accepting() {
+  const bool now = accepting();
+  const bool was = was_accepting_;
+  // Update *before* the callback: a re-entrant submit() that fills the
+  // buffer again must see the edge already consumed.
+  was_accepting_ = now;
+  if (now && !was && on_can_accept_) on_can_accept_();
 }
 
 void SessionSender::open() {
@@ -99,6 +113,7 @@ void SessionSender::submit(sim::Packet p) {
   // Buffered traffic waits for the handshake (or the resync).
   pending_.push_back(p);
   if (state_ == State::kIdle) open();
+  note_accepting();  // a falling edge re-arms the detector
 }
 
 std::size_t SessionSender::sending_buffer_depth() const {

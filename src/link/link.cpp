@@ -1,6 +1,7 @@
 #include "lamsdlc/link/link.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "lamsdlc/frame/codec.hpp"
 
@@ -215,6 +216,20 @@ void SimplexChannel::start_next() {
     ++frames_delayed_;
     emit_fate(obs::EventKind::kFrameDelayed, obs::DropCause::kFaultJitter, f);
   }
+  // Parallel-driver handoff: the fate is fully decided, so the finished
+  // (frame, arrival, epoch) triple can leave this kernel entirely.  The
+  // duplicates precede the original, matching the transit-queue push order
+  // below.
+  if (egress_) {
+    for (std::uint32_t i = 0; i < fate.duplicates; ++i) {
+      ++frames_duplicated_;
+      emit_fate(obs::EventKind::kFrameDuplicated,
+                obs::DropCause::kFaultDuplicate, f);
+      egress_(arrival, epoch, frame::Frame{f});
+    }
+    egress_(arrival, epoch, std::move(f));
+    return;
+  }
   // Frames in flight park in the slot pool; the scheduled callback carries
   // only the slot index, so it fits the simulator's inline storage and the
   // steady-state path allocates nothing.
@@ -311,6 +326,78 @@ void SimplexChannel::deliver_inflight(std::uint64_t epoch, std::uint32_t slot) {
     ++frames_dropped_;
     emit_fate(obs::EventKind::kFrameDropped, obs::DropCause::kNoSink, f);
   }
+}
+
+void ChannelIngress::emit_drop(obs::DropCause cause, const frame::Frame& f) {
+  if (bus_ == nullptr || !bus_->enabled()) return;
+  obs::Event e;
+  e.at = sim_.now();
+  e.source = src_;
+  e.kind = obs::EventKind::kFrameDropped;
+  e.p.drop = {cause, static_cast<std::uint8_t>(f.is_control() ? 1 : 0),
+              wire_ctr(f)};
+  bus_->emit(e);
+}
+
+void ChannelIngress::push(Time arrival, std::uint64_t epoch, frame::Frame f) {
+  if (arrival < sim_.now()) {
+    // The window lookahead bound (min link propagation) was violated: this
+    // frame's delivery instant is already in the receiver's past.  Fail loud
+    // — a silent mis-ordering here would diverge from the serial run in ways
+    // that surface only as wrong protocol behaviour much later.
+    throw std::logic_error(
+        "ChannelIngress::push: arrival before local clock (lookahead bound "
+        "violated)");
+  }
+  if (transit_.empty() || !(arrival < transit_.back().arrival)) {
+    transit_.push_back(Transit{arrival, epoch, std::move(f)});
+  } else {
+    // Same discipline as SimplexChannel::push_transit: insert after every
+    // entry arriving at or before the same instant, preserving FIFO among
+    // equal arrivals.
+    const auto pos = std::upper_bound(
+        transit_.begin(), transit_.end(), arrival,
+        [](Time a, const Transit& t) { return a < t.arrival; });
+    transit_.insert(pos, Transit{arrival, epoch, std::move(f)});
+  }
+  arm_sweep();
+}
+
+void ChannelIngress::arm_sweep() {
+  if (transit_.empty()) return;
+  const Time head = transit_.front().arrival;
+  if (sweep_armed_) {
+    if (!(head < sweep_at_)) return;
+    sim_.cancel(sweep_event_);
+  }
+  sweep_at_ = head;
+  sweep_armed_ = true;
+  sweep_event_ = sim_.schedule_at(head, sweep_priority_, [this] { sweep(); });
+}
+
+void ChannelIngress::sweep() {
+  sweep_armed_ = false;
+  const Time now = sim_.now();
+  while (!transit_.empty() && !(now < transit_.front().arrival)) {
+    Transit t = std::move(transit_.front());
+    transit_.pop_front();
+    if (t.epoch != epoch_) {
+      ++frames_dropped_;  // photons in flight when pointing was lost
+      emit_drop(obs::DropCause::kLinkDown, t.f);
+      continue;
+    }
+    if (sink_ == nullptr) {
+      ++frames_dropped_;
+      emit_drop(obs::DropCause::kNoSink, t.f);
+      continue;
+    }
+    ++frames_delivered_;
+    // Delivery can synchronously send (and re-enter push for a local
+    // channel); the pop above keeps the queue consistent, and arm_sweep
+    // below coalesces with any re-entrant arm.
+    sink_->on_frame(std::move(t.f));
+  }
+  arm_sweep();
 }
 
 }  // namespace lamsdlc::link

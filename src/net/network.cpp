@@ -1,10 +1,15 @@
 #include "lamsdlc/net/network.hpp"
 
 #include <algorithm>
+#include <condition_variable>
 #include <deque>
-#include <stdexcept>
+#include <exception>
+#include <iterator>
 #include <limits>
+#include <mutex>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 
 namespace lamsdlc::net {
@@ -35,37 +40,197 @@ class DemuxSink final : public link::FrameSink {
 
 }  // namespace
 
+// ------------------------------------------------------------- PdesState --
+
+/// Everything the parallel engine owns: one kernel per partition, a worker
+/// pool advancing them in lockstep windows, the cross-partition staging
+/// buffers, the delivery/failure journals replayed at barriers, and the
+/// global-operation queue.  Within a window the partitions share no mutable
+/// state: channels and protocol endpoints live with their owning partition,
+/// the staging/journal vectors are written only by their own partition's
+/// thread, and everything cross-cutting (routing tables, tracker,
+/// resequencers, link toggles) is touched only at barriers while the
+/// workers are parked on the condition variable.
+struct Network::PdesState {
+  std::size_t partitions = 1;
+  std::size_t nodes_hint = 0;
+  std::vector<std::unique_ptr<Simulator>> sims;
+
+  /// Cross-partition global operation, run at a window barrier.
+  struct GlobalOp {
+    Time at;
+    std::uint64_t seq;  ///< Registration order: the tie-break among equals.
+    std::function<void()> fn;
+    bool blocks_completion;  ///< May inject traffic (see `Network::at`).
+  };
+  std::vector<GlobalOp> ops;  ///< Min-heap by (at, seq) under `op_later`.
+  std::uint64_t next_op_seq = 0;
+  static bool op_later(const GlobalOp& x, const GlobalOp& y) noexcept {
+    if (x.at != y.at) return x.at > y.at;
+    return x.seq > y.seq;
+  }
+
+  /// A frame crossing partitions: staged by the *source* partition during
+  /// its window, pushed into the receiver-side ingress at the barrier.
+  /// Keyed by source partition so equal-arrival frames of one channel (one
+  /// source partition by construction) keep their send order at every
+  /// partition count.
+  struct StagedFrame {
+    link::ChannelIngress* ingress;
+    Time arrival;
+    std::uint64_t epoch;
+    frame::Frame f;
+  };
+  std::vector<std::vector<StagedFrame>> staged;
+
+  /// End-to-end delivery recorded during a window, replayed into the shared
+  /// resequencer/tracker at the barrier in (time, node) order.  Same-key
+  /// entries always come from one partition (a node lives in exactly one),
+  /// so a stable sort over the partition-ordered concatenation is canonical.
+  struct Delivery {
+    Time at;
+    NodeId node;
+    sim::Packet p;
+  };
+  std::vector<std::vector<Delivery>> journal;
+
+  /// A LAMS sender declared failure during a window; the network-layer
+  /// reaction (reroute + residue handoff) is global, so it is deferred to
+  /// the barrier and processed in (time, link, from) order.
+  struct Failure {
+    Time at;
+    Flow* flow;
+  };
+  std::vector<std::vector<Failure>> failures;
+
+  // Persistent worker pool: one thread per partition, woken per window.
+  std::vector<std::thread> workers;
+  std::mutex m;
+  std::condition_variable cv_start;
+  std::condition_variable cv_done;
+  std::uint64_t round = 0;
+  std::size_t pending = 0;
+  Time window_end{};
+  bool shutdown = false;
+  std::vector<std::exception_ptr> errors;
+
+  ~PdesState() { stop_pool(); }
+
+  void worker_main(std::size_t idx) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      Time end{};
+      {
+        std::unique_lock lk{m};
+        cv_start.wait(lk, [&] { return shutdown || round != seen; });
+        if (shutdown) return;
+        seen = round;
+        end = window_end;
+      }
+      try {
+        sims[idx]->run_before(end);
+      } catch (...) {
+        std::lock_guard lk{m};
+        errors[idx] = std::current_exception();
+      }
+      {
+        std::lock_guard lk{m};
+        if (--pending == 0) cv_done.notify_one();
+      }
+    }
+  }
+
+  void ensure_pool() {
+    if (sims.size() <= 1 || !workers.empty()) return;
+    workers.reserve(sims.size());
+    for (std::size_t i = 0; i < sims.size(); ++i) {
+      workers.emplace_back([this, i] { worker_main(i); });
+    }
+  }
+
+  /// Advance every partition kernel through [now, end) — the parallel heart
+  /// of a window.  Rethrows the first worker exception (e.g. an ingress
+  /// lookahead violation) on the coordinator thread.
+  void run_window(Time end) {
+    if (sims.size() == 1) {  // the serial reference: no threads, same path
+      sims[0]->run_before(end);
+      return;
+    }
+    ensure_pool();
+    {
+      std::lock_guard lk{m};
+      window_end = end;
+      pending = sims.size();
+      ++round;
+    }
+    cv_start.notify_all();
+    {
+      std::unique_lock lk{m};
+      cv_done.wait(lk, [&] { return pending == 0; });
+    }
+    for (auto& e : errors) {
+      if (e) {
+        std::exception_ptr ep = e;
+        e = nullptr;
+        std::rethrow_exception(ep);
+      }
+    }
+  }
+
+  void stop_pool() {
+    {
+      std::lock_guard lk{m};
+      shutdown = true;
+    }
+    cv_start.notify_all();
+    for (auto& w : workers) {
+      if (w.joinable()) w.join();
+    }
+    workers.clear();
+  }
+};
+
 // ------------------------------------------------------------------ Flow --
 
-Flow::Flow(Simulator& sim, Network& net, LinkId link, NodeId from, NodeId to,
-           link::SimplexChannel& data, link::SimplexChannel& control,
-           const LinkSpec& spec, Tracer tracer)
+Flow::Flow(Simulator& tx_sim, Simulator& rx_sim, Network& net, LinkId link,
+           NodeId from, NodeId to, link::SimplexChannel& data,
+           link::SimplexChannel& control, const LinkSpec& spec, Tracer tracer)
     : link_{link}, from_{from}, to_{to} {
+  // Two-kernel flows split the stats so the receiver partition never writes
+  // into the sender partition's block mid-window.
+  sim::DlcStats* rx_stats = (&tx_sim == &rx_sim) ? &stats_ : &rx_stats_;
   switch (spec.protocol) {
     case sim::Protocol::kLams:
-      lams_tx_ = std::make_unique<lams::LamsSender>(sim, data, spec.lams,
-                                                    &stats_, tracer);
+      lams_tx_ = std::make_unique<lams::LamsSender>(
+          tx_sim, data, spec.lams, &stats_, tracer,
+          spec.bus_for ? spec.bus_for(from, to, /*sender_side=*/true)
+                       : nullptr);
       lams_rx_ = std::make_unique<lams::LamsReceiver>(
-          sim, control, spec.lams, &net.node(to), &stats_, std::move(tracer));
+          rx_sim, control, spec.lams, &net.node(to), rx_stats,
+          std::move(tracer),
+          spec.bus_for ? spec.bus_for(from, to, /*sender_side=*/false)
+                       : nullptr);
       lams_rx_->start();
       dlc_sender_ = lams_tx_.get();
       receiver_sink_ = lams_rx_.get();
       sender_sink_ = lams_tx_.get();
       break;
     case sim::Protocol::kSrHdlc:
-      sr_tx_ = std::make_unique<hdlc::SrSender>(sim, data, spec.hdlc, &stats_,
-                                                tracer);
-      sr_rx_ = std::make_unique<hdlc::SrReceiver>(
-          sim, control, spec.hdlc, &net.node(to), &stats_, std::move(tracer));
+      sr_tx_ = std::make_unique<hdlc::SrSender>(tx_sim, data, spec.hdlc,
+                                                &stats_, tracer);
+      sr_rx_ = std::make_unique<hdlc::SrReceiver>(rx_sim, control, spec.hdlc,
+                                                  &net.node(to), rx_stats,
+                                                  std::move(tracer));
       dlc_sender_ = sr_tx_.get();
       receiver_sink_ = sr_rx_.get();
       sender_sink_ = sr_tx_.get();
       break;
     case sim::Protocol::kGbnHdlc:
-      gbn_tx_ = std::make_unique<hdlc::GbnSender>(sim, data, spec.hdlc,
+      gbn_tx_ = std::make_unique<hdlc::GbnSender>(tx_sim, data, spec.hdlc,
                                                   &stats_, tracer);
-      gbn_rx_ = std::make_unique<hdlc::GbnReceiver>(
-          sim, control, spec.hdlc, &net.node(to), &stats_, std::move(tracer));
+      gbn_rx_ = std::make_unique<hdlc::GbnReceiver>(rx_sim, control, spec.hdlc,
+                                                    &net.node(to), rx_stats,
+                                                    std::move(tracer));
       dlc_sender_ = gbn_tx_.get();
       receiver_sink_ = gbn_rx_.get();
       sender_sink_ = gbn_tx_.get();
@@ -97,7 +262,84 @@ void Node::on_packet(const sim::Packet& p, Time at) {
 Network::Network(Simulator& sim, std::uint64_t seed, Tracer tracer)
     : sim_{sim}, seed_{seed}, tracer_{std::move(tracer)}, tracker_{sim} {}
 
-Network::~Network() = default;
+Network::~Network() {
+  // Flows and ingresses cancel timers on their partition kernels as they
+  // die; `pdes_` owns those kernels and, as the last-declared member, would
+  // be destroyed first — tear the topology down before the kernels.
+  links_.clear();
+  nodes_.clear();
+}
+
+void Network::enable_pdes(std::size_t partitions, std::size_t nodes_hint) {
+  if (!nodes_.empty() || !links_.empty()) {
+    // Channels and endpoints bind their kernel at construction, so the
+    // partition map must exist before the first node or link.
+    throw std::logic_error(
+        "Network::enable_pdes must be called before any topology is added");
+  }
+  if (partitions == 0) {
+    throw std::invalid_argument("Network::enable_pdes: zero partitions");
+  }
+  if (tracer_.enabled()) {
+    throw std::logic_error(
+        "Network::enable_pdes: the text tracer is a global sequential log "
+        "and cannot be produced by partitioned execution");
+  }
+  pdes_ = std::make_unique<PdesState>();
+  pdes_->partitions = partitions;
+  pdes_->nodes_hint = nodes_hint;
+  pdes_->sims.reserve(partitions);
+  for (std::size_t i = 0; i < partitions; ++i) {
+    pdes_->sims.push_back(std::make_unique<Simulator>());
+  }
+  pdes_->staged.resize(partitions);
+  pdes_->journal.resize(partitions);
+  pdes_->failures.resize(partitions);
+  pdes_->errors.resize(partitions);
+}
+
+std::size_t Network::partition_of(NodeId id) const noexcept {
+  if (!pdes_) return 0;
+  const std::size_t p = pdes_->partitions;
+  if (pdes_->nodes_hint > 0) {
+    // Contiguous blocks: neighbours in id space (Walker planes) co-locate.
+    const std::size_t part = static_cast<std::size_t>(id) * p / pdes_->nodes_hint;
+    return std::min(part, p - 1);
+  }
+  return static_cast<std::size_t>(id) % p;
+}
+
+Simulator& Network::sim_for(NodeId id) noexcept {
+  return pdes_ ? *pdes_->sims[partition_of(id)] : sim_;
+}
+
+void Network::at(Time when, std::function<void()> op, bool blocks_completion) {
+  if (!op) throw std::invalid_argument("Network::at: empty operation");
+  if (blocks_completion) ++pending_blocking_ops_;
+  if (!pdes_) {
+    sim_.schedule_at(when, [this, blocks_completion, op = std::move(op)] {
+      if (blocks_completion) --pending_blocking_ops_;
+      op();
+    });
+    return;
+  }
+  if (when < sim_.now()) {
+    throw std::invalid_argument("Network::at: time is in the past");
+  }
+  pdes_->ops.push_back(PdesState::GlobalOp{when, pdes_->next_op_seq++,
+                                           std::move(op), blocks_completion});
+  std::push_heap(pdes_->ops.begin(), pdes_->ops.end(), PdesState::op_later);
+}
+
+link::ChannelIngress& Network::link_ingress(LinkId id, bool forward) {
+  LinkState& ls = *links_.at(id);
+  link::ChannelIngress* ing =
+      forward ? ls.ingress_at_b.get() : ls.ingress_at_a.get();
+  if (ing == nullptr) {
+    throw std::logic_error("Network::link_ingress: PDES is not enabled");
+  }
+  return *ing;
+}
 
 NodeId Network::add_node(std::string name) {
   const auto id = static_cast<NodeId>(nodes_.size());
@@ -123,8 +365,10 @@ LinkId Network::add_link(const LinkSpec& spec) {
     return c;
   };
   const std::string tag = "link" + std::to_string(id);
+  // Each direction's transmitter lives in the sending node's kernel (serial
+  // mode: both are `sim_`).
   ls->duplex = std::make_unique<link::FullDuplexLink>(
-      sim_, channel_cfg(true),
+      sim_for(spec.a), sim_for(spec.b), channel_cfg(true),
       sim::make_error_model(spec.a_to_b_error, seed_, tag + ".ab"),
       channel_cfg(false),
       sim::make_error_model(spec.b_to_a_error, seed_, tag + ".ba"));
@@ -137,6 +381,43 @@ LinkId Network::add_link(const LinkSpec& spec) {
     ls->duplex->reverse().set_control_error_model(
         std::make_unique<phy::FixedFrameErrorModel>(
             spec.b_to_a_error.p_control, RandomStream{seed_, tag + ".bac"}));
+  }
+
+  if (pdes_) {
+    // Sweep priorities sit below the kernel default (0x8000), one distinct
+    // value per channel, so same-instant sweep-vs-timer ordering is a fixed
+    // property of the objects involved at every partition count.
+    if (id >= 0x4000) {
+      throw std::logic_error("PDES supports at most 16384 links");
+    }
+    ls->ingress_at_b = std::make_unique<link::ChannelIngress>(
+        sim_for(spec.b), static_cast<Simulator::Priority>(2 * id));
+    ls->ingress_at_a = std::make_unique<link::ChannelIngress>(
+        sim_for(spec.a), static_cast<Simulator::Priority>(2 * id + 1));
+    // Every channel hands its finished (frame, arrival, epoch) triples to
+    // the receiver-side ingress: directly when both endpoints share a
+    // partition, via the barrier staging buffer when they do not.  Using the
+    // ingress path for local traffic too keeps the delivery machinery — and
+    // hence every tie-break — identical at every partition count.
+    auto route = [this](std::size_t src_part, std::size_t dst_part,
+                        link::ChannelIngress* ing) {
+      if (src_part == dst_part) {
+        return link::SimplexChannel::Egress{
+            [ing](Time arrival, std::uint64_t epoch, frame::Frame f) {
+              ing->push(arrival, epoch, std::move(f));
+            }};
+      }
+      return link::SimplexChannel::Egress{
+          [this, src_part, ing](Time arrival, std::uint64_t epoch,
+                                frame::Frame f) {
+            pdes_->staged[src_part].push_back(
+                PdesState::StagedFrame{ing, arrival, epoch, std::move(f)});
+          }};
+    };
+    const std::size_t pa = partition_of(spec.a);
+    const std::size_t pb = partition_of(spec.b);
+    ls->duplex->forward().set_egress(route(pa, pb, ls->ingress_at_b.get()));
+    ls->duplex->reverse().set_egress(route(pb, pa, ls->ingress_at_a.get()));
   }
 
   links_.push_back(std::move(ls));
@@ -152,31 +433,49 @@ LinkId Network::add_link(const LinkSpec& spec) {
 void Network::build_flows(LinkState& ls, LinkId id) {
   const LinkSpec& spec = ls.spec;
   // Flow a→b: data on the forward channel, acknowledgements on reverse.
-  ls.ab = std::make_unique<Flow>(sim_, *this, id, spec.a, spec.b,
-                                 ls.duplex->forward(), ls.duplex->reverse(),
-                                 spec, tracer_);
+  ls.ab = std::make_unique<Flow>(sim_for(spec.a), sim_for(spec.b), *this, id,
+                                 spec.a, spec.b, ls.duplex->forward(),
+                                 ls.duplex->reverse(), spec, tracer_);
   // Flow b→a: data on the reverse channel, acknowledgements on forward.
-  ls.ba = std::make_unique<Flow>(sim_, *this, id, spec.b, spec.a,
-                                 ls.duplex->reverse(), ls.duplex->forward(),
-                                 spec, tracer_);
+  ls.ba = std::make_unique<Flow>(sim_for(spec.b), sim_for(spec.a), *this, id,
+                                 spec.b, spec.a, ls.duplex->reverse(),
+                                 ls.duplex->forward(), spec, tracer_);
 
   // Arrivals at b (forward channel): a→b data plus b→a acknowledgements.
   ls.sink_at_b = std::make_unique<DemuxSink>(&ls.ab->receiver_sink(),
                                              &ls.ba->sender_sink());
-  ls.duplex->forward().set_sink(ls.sink_at_b.get());
   // Arrivals at a (reverse channel): b→a data plus a→b acknowledgements.
   ls.sink_at_a = std::make_unique<DemuxSink>(&ls.ba->receiver_sink(),
                                              &ls.ab->sender_sink());
-  ls.duplex->reverse().set_sink(ls.sink_at_a.get());
+  if (pdes_) {
+    // Parallel mode delivers through the receiver-side ingresses; a rebuild
+    // (link re-up) must re-point them at the fresh demux sinks or they would
+    // keep feeding the dead protocol instances.
+    ls.ingress_at_b->set_sink(ls.sink_at_b.get());
+    ls.ingress_at_a->set_sink(ls.sink_at_a.get());
+  } else {
+    ls.duplex->forward().set_sink(ls.sink_at_b.get());
+    ls.duplex->reverse().set_sink(ls.sink_at_a.get());
+  }
 
-  if (auto* tx = ls.ab->lams_sender()) {
-    tx->set_failure_callback(
-        [this, flow = ls.ab.get()] { on_flow_failed(*flow); });
-  }
-  if (auto* tx = ls.ba->lams_sender()) {
-    tx->set_failure_callback(
-        [this, flow = ls.ba.get()] { on_flow_failed(*flow); });
-  }
+  // Link failure is a *global* event (reroute, residue handoff across
+  // nodes): parallel mode only notes it during the window and lets the
+  // barrier process all of a window's failures in canonical order.
+  auto arm_failure = [this](Flow* flow) {
+    if (auto* tx = flow->lams_sender()) {
+      tx->set_failure_callback([this, flow] {
+        if (pdes_) {
+          const std::size_t part = partition_of(flow->from());
+          pdes_->failures[part].push_back(
+              PdesState::Failure{pdes_->sims[part]->now(), flow});
+        } else {
+          on_flow_failed(*flow);
+        }
+      });
+    }
+  };
+  arm_failure(ls.ab.get());
+  arm_failure(ls.ba.get());
 
   // Direct writes outside compute_routes (a link added after the tables
   // were sized): grow to cover the neighbour id.
@@ -335,15 +634,28 @@ void Network::forward(Node& at, const sim::Packet& p, NodeId dst) {
 }
 
 void Network::deliver_local(Node& at, const sim::Packet& p, Time at_time) {
-  auto it = resequencers_.find(at.id());
+  if (pdes_) {
+    // The resequencer map and tracker are shared across partitions: journal
+    // the delivery (timestamped) and let the barrier replay every
+    // partition's journal in one canonical (time, node) order.
+    pdes_->journal[partition_of(at.id())].push_back(
+        PdesState::Delivery{at_time, at.id(), p});
+    return;
+  }
+  deliver_local_now(at.id(), p, at_time);
+}
+
+void Network::deliver_local_now(NodeId nid, const sim::Packet& p,
+                                Time at_time) {
+  auto it = resequencers_.find(nid);
   if (it == resequencers_.end()) {
     auto reseq = std::make_unique<workload::Resequencer>(
         message_registry_,
-        [this, dst = at.id()](std::uint64_t mid, Time when) {
+        [this, dst = nid](std::uint64_t mid, Time when) {
           if (on_message_) on_message_(dst, mid, when);
         },
         &tracker_);
-    it = resequencers_.emplace(at.id(), std::move(reseq)).first;
+    it = resequencers_.emplace(nid, std::move(reseq)).first;
   }
   it->second->on_packet(p, at_time);
 }
@@ -377,6 +689,13 @@ void Network::set_link_up(LinkId id, bool up) {
   if (ls.up == up) return;
   ls.up = up;
   ls.duplex->set_up(up);
+  if (!up && pdes_) {
+    // The ingresses mirror the channels' down-epochs; bumping both here (at
+    // a barrier, kernels parked) strands every in-flight frame on its stale
+    // epoch — the same fate the serial channel gives photons in flight.
+    ls.ingress_at_b->bump_epoch();
+    ls.ingress_at_a->bump_epoch();
+  }
   routes_valid_ = false;
   if (up) {
     // A re-acquired laser link starts a fresh protocol instance on both
@@ -392,7 +711,146 @@ bool Network::run_to_completion(Time horizon, Time check_every) {
   while (sim_.now() < horizon) {
     const Time next = std::min(horizon, sim_.now() + check_every);
     sim_.run_until(next);
-    if (tracker_.submitted() > 0 && tracker_.all_delivered()) return true;
+    if (pending_blocking_ops_ == 0 && tracker_.submitted() > 0 &&
+        tracker_.all_delivered()) {
+      return true;
+    }
+  }
+  return tracker_.submitted() > 0 && tracker_.all_delivered();
+}
+
+Time Network::pdes_lookahead() const {
+  // The lookahead is computed over *all* links, not just the cross-partition
+  // ones, so the window sequence — and with it every barrier instant — is
+  // identical at every partition count.  That invariance is load-bearing:
+  // global operations and journal replays fire at window ends, so the
+  // window grid must be a function of the topology alone.
+  Time lookahead = Time::max();
+  for (const auto& ls : links_) {
+    const LinkSpec& s = ls->spec;
+    Time bound = s.min_propagation;
+    if (bound.ps() == 0) {
+      if (s.propagation) {
+        throw std::logic_error(
+            "PDES: link " + std::to_string(ls->ab->link()) +
+            " has a custom propagation function but no min_propagation "
+            "lower bound");
+      }
+      bound = s.prop_delay;
+    }
+    if (bound.ps() <= 0) {
+      throw std::logic_error(
+          "PDES: link propagation lower bound must be positive (zero "
+          "lookahead cannot make window progress)");
+    }
+    lookahead = std::min(lookahead, bound);
+  }
+  // A linkless network has no frame exchange at all; any positive window
+  // pitch is correct.
+  return lookahead == Time::max() ? Time::milliseconds(1) : lookahead;
+}
+
+void Network::drain_delivery_journal() {
+  std::vector<PdesState::Delivery> all;
+  for (auto& part : pdes_->journal) {
+    all.insert(all.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+    part.clear();
+  }
+  if (all.empty()) return;
+  std::stable_sort(all.begin(), all.end(),
+                   [](const PdesState::Delivery& x,
+                      const PdesState::Delivery& y) {
+                     if (x.at != y.at) return x.at < y.at;
+                     return x.node < y.node;
+                   });
+  for (const auto& d : all) deliver_local_now(d.node, d.p, d.at);
+}
+
+void Network::pdes_barrier(Time window_end) {
+  // Workers are parked; everything below runs on the coordinator with
+  // exclusive access to all partition state.
+  //
+  // 1. Advance the coordinator clock (it carries no events of its own in
+  //    parallel mode, but `now()` must be right for ops and injections).
+  sim_.run_before(window_end);
+  // 2. Hand staged cross-partition frames to their ingresses, in source-
+  //    partition order.  Equal-arrival frames of one channel sit in one
+  //    staging vector in send order, so this order is canonical.
+  for (auto& vec : pdes_->staged) {
+    for (auto& s : vec) s.ingress->push(s.arrival, s.epoch, std::move(s.f));
+    vec.clear();
+  }
+  // 3. Replay the window's end-to-end deliveries into the shared
+  //    resequencers/tracker in (time, node) order.
+  drain_delivery_journal();
+  // 4. Process deferred link-failure declarations in (time, link, from)
+  //    order — the reroute + residue handoff is a global mutation.
+  {
+    std::vector<PdesState::Failure> fails;
+    for (auto& part : pdes_->failures) {
+      fails.insert(fails.end(), part.begin(), part.end());
+      part.clear();
+    }
+    std::stable_sort(fails.begin(), fails.end(),
+                     [](const PdesState::Failure& x,
+                        const PdesState::Failure& y) {
+                       if (x.at != y.at) return x.at < y.at;
+                       if (x.flow->link() != y.flow->link()) {
+                         return x.flow->link() < y.flow->link();
+                       }
+                       return x.flow->from() < y.flow->from();
+                     });
+    for (const auto& f : fails) on_flow_failed(*f.flow);
+  }
+  // 5. Run every global operation due exactly now, in registration order
+  //    among equals.  `run_before`'s exclusive bound means these fire
+  //    *before* any same-instant kernel event — one canonical interleaving.
+  while (!pdes_->ops.empty() && pdes_->ops.front().at == window_end) {
+    std::pop_heap(pdes_->ops.begin(), pdes_->ops.end(), PdesState::op_later);
+    PdesState::GlobalOp op = std::move(pdes_->ops.back());
+    pdes_->ops.pop_back();
+    if (op.blocks_completion) --pending_blocking_ops_;
+    op.fn();
+  }
+  // 6. Failures/ops may have invalidated routing; windows must never see a
+  //    stale table (ensure_routes inside a window would be a global
+  //    mutation).
+  if (!routes_valid_) compute_routes();
+  // 7. Failures and ops can themselves deliver (src==dst injection, residue
+  //    arriving home); replay those too so completion checks see them.
+  drain_delivery_journal();
+}
+
+bool Network::run_parallel_to_completion(Time horizon, Time check_every) {
+  if (!pdes_) return run_to_completion(horizon, check_every);
+  (void)check_every;  // completion can only change at barriers
+  ensure_routes();
+  const Time lookahead = pdes_lookahead();
+  while (sim_.now() < horizon) {
+    // Pending traffic-injecting ops mean more packets are coming, so an
+    // all-delivered lull between waves is not completion.
+    if (pending_blocking_ops_ == 0 && tracker_.submitted() > 0 &&
+        tracker_.all_delivered()) {
+      return true;
+    }
+    // Conservative window bound: no event executing at or after T_min can
+    // cause a cross-partition arrival before T_min + lookahead, so every
+    // kernel may safely run through [now, W_end) in isolation.  Global
+    // operations cap the window so they fire at exactly their instant.
+    Time t_min = Time::max();
+    for (const auto& s : pdes_->sims) {
+      t_min = std::min(t_min, s->next_event_time());
+    }
+    Time window_end = horizon;
+    if (t_min < horizon) {
+      window_end = std::min(window_end, t_min + lookahead);
+    }
+    if (!pdes_->ops.empty()) {
+      window_end = std::min(window_end, pdes_->ops.front().at);
+    }
+    pdes_->run_window(window_end);
+    pdes_barrier(window_end);
   }
   return tracker_.submitted() > 0 && tracker_.all_delivered();
 }

@@ -1,0 +1,209 @@
+#include "lamsdlc/sim/run_network.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "lamsdlc/core/random.hpp"
+#include "lamsdlc/net/contact_schedule.hpp"
+#include "lamsdlc/obs/bus.hpp"
+#include "lamsdlc/obs/capture.hpp"
+#include "lamsdlc/obs/collector.hpp"
+#include "lamsdlc/obs/metrics.hpp"
+#include "lamsdlc/orbit/constellation.hpp"
+
+namespace lamsdlc::sim {
+
+namespace {
+
+/// One channel's (or ingress's) private event stream.  Exactly one partition
+/// ever writes into it: a channel emits at send time in its TX partition, an
+/// ingress at sweep time in its RX partition — so per-buffer recording needs
+/// no locks, and each buffer's internal order is partition-invariant.
+struct EventBuffer {
+  obs::EventBus bus;
+  std::vector<obs::Event> events;
+
+  EventBuffer() { bus.subscribe(obs::EventBus::record_into(events)); }
+};
+
+}  // namespace
+
+NetworkRunResult run_network(const NetworkRunConfig& cfg) {
+  const auto wall0 = std::chrono::steady_clock::now();
+
+  // Buffer storage outlives the network (components may hold bus pointers
+  // through teardown).  Buffer *creation order* is the canonical tiebreak
+  // for equal-time events, and every creation happens either before the run
+  // or inside a barrier-ordered global op — partition-invariant both ways.
+  std::vector<std::unique_ptr<EventBuffer>> buffers;
+  std::map<std::uint64_t, EventBuffer*> flow_buffers;
+
+  Simulator sim;
+  net::Network net{sim, cfg.seed};
+  net.enable_pdes(cfg.partitions == 0 ? 1 : cfg.partitions, cfg.satellites);
+
+  orbit::WalkerParams wp;
+  wp.total = cfg.satellites;
+  wp.planes = cfg.planes;
+  wp.phasing = cfg.phasing;
+  wp.altitude_m = cfg.altitude_m;
+  wp.inclination_rad = cfg.inclination_rad;
+  const orbit::Constellation constellation{wp};
+
+  for (std::size_t i = 0; i < constellation.size(); ++i) {
+    net.add_node("sat" + std::to_string(i));
+  }
+
+  const std::vector<orbit::Contact> plan =
+      orbit::contact_plan(constellation, cfg.horizon, cfg.contact_step,
+                          cfg.max_range_m, cfg.min_contact);
+
+  net::LinkSpec proto;
+  proto.data_rate_bps = cfg.data_rate_bps;
+  proto.lams.checkpoint_interval = cfg.checkpoint_interval;
+  proto.lams.cumulation_depth = cfg.cumulation_depth;
+  proto.lams.max_rtt = cfg.max_rtt;
+  if (cfg.p_frame > 0 || cfg.p_control > 0) {
+    ErrorConfig err;
+    err.kind = ErrorConfig::Kind::kFixedFrameProb;
+    err.p_frame = cfg.p_frame;
+    err.p_control = cfg.p_control;
+    proto.a_to_b_error = err;
+    proto.b_to_a_error = err;
+  }
+  if (cfg.observe) {
+    // One persistent buffer per (flow, side): each is written from exactly
+    // one partition, and link re-acquisitions (contact churn rebuilds the
+    // flows) keep feeding the same buffer.
+    proto.bus_for = [&buffers, &flow_buffers](
+                        net::NodeId from, net::NodeId to,
+                        bool sender_side) -> obs::EventBus* {
+      const std::uint64_t key = (static_cast<std::uint64_t>(from) << 33) |
+                                (static_cast<std::uint64_t>(to) << 1) |
+                                (sender_side ? 1 : 0);
+      auto it = flow_buffers.find(key);
+      if (it == flow_buffers.end()) {
+        buffers.push_back(std::make_unique<EventBuffer>());
+        it = flow_buffers.emplace(key, buffers.back().get()).first;
+      }
+      return &it->second->bus;
+    };
+  }
+  const auto link_map = net::build_contact_network(net, constellation, plan,
+                                                   proto, cfg.max_range_m);
+
+  // Observability: endpoint buffers (above) plus four wire-level buffers per
+  // link (TX channel and RX ingress of each direction), merged post-run by
+  // (time, buffer id, buffer order) — a canonical total order that no
+  // partitioning can perturb.
+  if (cfg.observe) {
+    const auto attach = [&buffers](auto& component, obs::Source src) {
+      buffers.push_back(std::make_unique<EventBuffer>());
+      component.set_event_bus(&buffers.back()->bus, src);
+    };
+    for (const auto& [pair_ids, id] : link_map) {
+      attach(net.link_channels(id).forward(), obs::Source::kLinkForward);
+      attach(net.link_ingress(id, /*forward=*/true),
+             obs::Source::kLinkForward);
+      attach(net.link_channels(id).reverse(), obs::Source::kLinkReverse);
+      attach(net.link_ingress(id, /*forward=*/false),
+             obs::Source::kLinkReverse);
+    }
+  }
+
+  // Traffic schedule: drawn up-front from one seeded stream, so the exact
+  // same (time, src, dst) sequence is injected at every partition count.
+  RandomStream traffic{cfg.seed, "netrun.traffic"};
+  const auto node_count = static_cast<std::int64_t>(constellation.size());
+  for (std::uint32_t w = 0; w < cfg.waves; ++w) {
+    struct Draw {
+      net::NodeId src, dst;
+    };
+    std::vector<Draw> draws;
+    draws.reserve(cfg.packets_per_wave);
+    for (std::uint32_t k = 0; k < cfg.packets_per_wave; ++k) {
+      const auto src =
+          static_cast<net::NodeId>(traffic.uniform_int(0, node_count - 1));
+      auto dst =
+          static_cast<net::NodeId>(traffic.uniform_int(0, node_count - 2));
+      if (dst >= src) ++dst;
+      draws.push_back({src, dst});
+    }
+    Draw msg{0, 0};
+    if (cfg.message_segments > 0) {
+      msg.src =
+          static_cast<net::NodeId>(traffic.uniform_int(0, node_count - 1));
+      msg.dst =
+          static_cast<net::NodeId>(traffic.uniform_int(0, node_count - 2));
+      if (msg.dst >= msg.src) ++msg.dst;
+    }
+    const Time at = Time::picoseconds(cfg.wave_interval.ps() *
+                                      (static_cast<std::int64_t>(w) + 1));
+    net.at(at, [&net, &cfg, draws = std::move(draws), msg] {
+      for (const auto& d : draws) {
+        net.send_packet(d.src, d.dst, cfg.packet_bytes);
+      }
+      if (cfg.message_segments > 0) {
+        net.send_message(msg.src, msg.dst, cfg.message_segments,
+                         cfg.packet_bytes);
+      }
+    });
+  }
+
+  NetworkRunResult out;
+  out.completed = net.run_parallel_to_completion(cfg.horizon);
+  out.report = net.report();
+  out.nodes = constellation.size();
+  out.links = link_map.size();
+  out.contacts = plan.size();
+
+  if (cfg.observe) {
+    struct Tagged {
+      std::int64_t at_ps;
+      std::uint32_t uid;
+      std::uint32_t seq;
+      const obs::Event* e;
+    };
+    std::vector<Tagged> merged;
+    std::size_t total = 0;
+    for (const auto& b : buffers) total += b->events.size();
+    merged.reserve(total);
+    for (std::uint32_t uid = 0; uid < buffers.size(); ++uid) {
+      const auto& evs = buffers[uid]->events;
+      for (std::uint32_t seq = 0; seq < evs.size(); ++seq) {
+        merged.push_back({evs[seq].at.ps(), uid, seq, &evs[seq]});
+      }
+    }
+    std::sort(merged.begin(), merged.end(), [](const Tagged& a,
+                                               const Tagged& b) {
+      if (a.at_ps != b.at_ps) return a.at_ps < b.at_ps;
+      if (a.uid != b.uid) return a.uid < b.uid;
+      return a.seq < b.seq;
+    });
+
+    obs::EventBus final_bus;
+    obs::Registry registry;
+    obs::MetricsCollector collector{final_bus, registry};
+    std::ostringstream cap;
+    obs::CaptureWriter writer{cap};
+    final_bus.subscribe(writer.subscriber());
+    for (const Tagged& t : merged) final_bus.emit(*t.e);
+
+    out.events = merged.size();
+    out.metrics_json = registry.json();
+    out.capture = cap.str();
+  }
+
+  out.elapsed_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall0)
+                      .count();
+  return out;
+}
+
+}  // namespace lamsdlc::sim

@@ -54,7 +54,8 @@ struct Daemon::Impl {
     std::uint32_t sid = 0;
     std::uint64_t bytes_in = 0;
     bool eof = false;           ///< Client half-closed; stream is draining.
-    EventId resume_timer = 0;   ///< Backpressure re-check.
+    bool paused = false;        ///< Unwatched, waiting for a stream resume.
+    EventId resume_event = 0;   ///< Deferred re-watch after a resume signal.
   };
   std::map<int, Client> clients;          // by fd
   std::map<std::uint32_t, int> sid_to_fd; // stream -> client
@@ -129,6 +130,7 @@ struct Daemon::Impl {
     mcfg.data_rate_bps = cfg.data_rate_bps;
     mcfg.max_one_way = cfg.max_one_way;
     mcfg.chunk_bytes = cfg.chunk_bytes;
+    mcfg.stream_buffer_packets = cfg.stream_buffer_packets;
     mcfg.accept_inbound = true;
     mcfg.bus_for = [this](std::uint32_t sid, bool) { return bus_for(sid); };
     mux = std::make_unique<SessionMux>(loop, *wire, mcfg);
@@ -137,6 +139,8 @@ struct Daemon::Impl {
         [this](std::uint32_t sid, lams::SessionSender::State s) {
           on_stream_state(sid, s);
         });
+    mux->set_stream_resume_handler(
+        [this](std::uint32_t sid) { on_stream_resume(sid); });
     mux->set_inbound_data_handler(
         [this](PeerId p, std::uint32_t sid,
                std::span<const std::uint8_t> bytes) {
@@ -259,20 +263,31 @@ struct Daemon::Impl {
   }
 
   void pause_client(Client& c) {
+    // Stop consuming the client socket entirely; the kernel's TCP window
+    // backpressures the client.  No polling: the mux fires the stream
+    // resume handler the moment the session accepts again.
     loop.unwatch_fd(c.fd);
-    const int fd = c.fd;
-    loop.sim().cancel(c.resume_timer);
-    c.resume_timer = loop.sim().schedule_in(
-        Time::milliseconds(1), [this, fd] {
-          const auto it = clients.find(fd);
-          if (it == clients.end() || it->second.eof) return;
-          if (mux->stream_accepting(it->second.sid)) {
-            loop.watch_fd(fd, [this, fd] { on_client_readable(fd); });
-            on_client_readable(fd);
-          } else {
-            pause_client(it->second);
-          }
-        });
+    c.paused = true;
+  }
+
+  void on_stream_resume(std::uint32_t sid) {
+    const auto sit = sid_to_fd.find(sid);
+    if (sit == sid_to_fd.end()) return;
+    const auto it = clients.find(sit->second);
+    if (it == clients.end() || !it->second.paused || it->second.eof) return;
+    // The signal can arrive from inside datagram processing — defer the
+    // re-watch and the read loop to a fresh loop turn.
+    const int fd = it->second.fd;
+    loop.sim().cancel(it->second.resume_event);
+    it->second.resume_event = loop.sim().schedule_in(Time{}, [this, fd] {
+      const auto cit = clients.find(fd);
+      if (cit == clients.end() || cit->second.eof) return;
+      cit->second.resume_event = 0;
+      if (!mux->stream_accepting(cit->second.sid)) return;  // filled again
+      cit->second.paused = false;
+      loop.watch_fd(fd, [this, fd] { on_client_readable(fd); });
+      on_client_readable(fd);
+    });
   }
 
   void finish_client(std::uint32_t sid, bool ok, const char* why) {
@@ -286,7 +301,7 @@ struct Daemon::Impl {
              : std::string("ERR ") + why + "\n";
       (void)!::write(fd, line.data(), line.size());
       loop.unwatch_fd(fd);
-      loop.sim().cancel(cit->second.resume_timer);
+      loop.sim().cancel(cit->second.resume_event);
       ::close(fd);
       clients.erase(cit);
     }

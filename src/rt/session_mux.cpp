@@ -1,6 +1,7 @@
 #include "lamsdlc/rt/session_mux.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 #include <variant>
 
@@ -17,6 +18,7 @@ struct SessionMux::TxSession {
   lams::SessionSender sender;
   PeerId peer;
   std::uint32_t next_chunk = 0;
+  std::size_t buffer_high_water = 0;
 
   TxSession(EventLoop& loop, Transport& t, const NetChannel::Config& ccfg,
             const lams::SessionConfig& scfg, obs::EventBus* bus)
@@ -80,12 +82,20 @@ void SessionMux::open_stream(PeerId peer, std::uint32_t session_id) {
   ccfg.to_receiver = true;
   obs::EventBus* bus =
       cfg_.bus_for ? cfg_.bus_for(session_id, /*sender_side=*/true) : nullptr;
-  auto tx = std::make_unique<TxSession>(loop_, transport_, ccfg, cfg_.session,
-                                        bus);
+  lams::SessionConfig scfg = cfg_.session;
+  if (scfg.lams.send_buffer_capacity ==
+          std::numeric_limits<std::size_t>::max() &&
+      cfg_.stream_buffer_packets > 0) {
+    scfg.lams.send_buffer_capacity = cfg_.stream_buffer_packets;
+  }
+  auto tx = std::make_unique<TxSession>(loop_, transport_, ccfg, scfg, bus);
   tx->sender.set_state_callback(
       [this, session_id](lams::SessionSender::State s) {
         if (on_stream_state_) on_stream_state_(session_id, s);
       });
+  tx->sender.set_can_accept_callback([this, session_id] {
+    if (on_stream_resume_) on_stream_resume_(session_id);
+  });
   TxSession& ref = *tx;
   tx_[session_id] = std::move(tx);
   ref.sender.open();
@@ -109,6 +119,8 @@ bool SessionMux::stream_write(std::uint32_t session_id,
                   bytes.begin() + static_cast<std::ptrdiff_t>(off + n));
     ++tx.next_chunk;
     tx.sender.submit(std::move(p));
+    tx.buffer_high_water =
+        std::max(tx.buffer_high_water, tx.sender.sending_buffer_depth());
   }
   return true;
 }
@@ -125,6 +137,12 @@ void SessionMux::drop_stream(std::uint32_t session_id) {
 bool SessionMux::stream_accepting(std::uint32_t session_id) const {
   const auto it = tx_.find(session_id);
   return it != tx_.end() && it->second->sender.accepting();
+}
+
+std::size_t SessionMux::stream_buffer_high_water(
+    std::uint32_t session_id) const {
+  const auto it = tx_.find(session_id);
+  return it == tx_.end() ? 0 : it->second->buffer_high_water;
 }
 
 lams::SessionSender* SessionMux::stream(std::uint32_t session_id) {

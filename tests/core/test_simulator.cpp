@@ -230,6 +230,50 @@ TEST(InlineFunction, FatCapturesFallBackToHeap) {
   EXPECT_FALSE(static_cast<bool>(g));
 }
 
+TEST(Simulator, SameInstantPriorityOrdersBeforeFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  // Scheduled last, lowest priority: must still fire first at the instant.
+  sim.schedule_at(5_ms, [&] { order.push_back(2); });  // default priority
+  sim.schedule_at(5_ms, [&] { order.push_back(3); });  // default priority
+  sim.schedule_at(5_ms, Simulator::Priority{7}, [&] { order.push_back(1); });
+  sim.schedule_at(5_ms, Simulator::Priority{3}, [&] { order.push_back(0); });
+  // Above-default priority fires after everything else at the instant.
+  sim.schedule_at(5_ms, Simulator::Priority{0xFFFF},
+                  [&] { order.push_back(4); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, PriorityDoesNotReorderAcrossTimes) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(2_ms, Simulator::Priority{0xFFFF}, [&] { order.push_back(0); });
+  sim.schedule_at(3_ms, Simulator::Priority{0}, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(Simulator, RunBeforeIsExclusiveAndAdvancesClock) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(1_ms, [&] { fired.push_back(1); });
+  sim.schedule_at(2_ms, [&] { fired.push_back(2); });
+  sim.schedule_at(3_ms, [&] { fired.push_back(3); });
+  sim.run_before(2_ms);
+  // The 2 ms event must NOT fire; the clock still lands exactly at 2 ms.
+  EXPECT_EQ(fired, (std::vector<int>{1}));
+  EXPECT_EQ(sim.now(), 2_ms);
+  // Scheduling *at* the current instant stays legal after run_before.
+  sim.schedule_at(2_ms, [&] { fired.push_back(4); });
+  sim.run_before(3_ms);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 4}));
+  EXPECT_EQ(sim.now(), 3_ms);
+  sim.run_before(10_ms);  // empty-window advance with the 3 ms event fired
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 4, 3}));
+  EXPECT_EQ(sim.now(), 10_ms);
+}
+
 TEST(Simulator, ManyEventsStressOrdering) {
   Simulator sim;
   Time last{};

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
+
 #include "lamsdlc/net/contact_schedule.hpp"
 
 namespace lamsdlc::net {
@@ -118,6 +121,137 @@ TEST(ContactSchedule, PastWindowsIgnored) {
   net.send_packet(a, b, 1024);
   ASSERT_TRUE(net.run_to_completion(300_ms));
   EXPECT_EQ(net.report().packets_delivered, 1u);
+}
+
+TEST(ContactSchedule, MergeDropsDegenerateAndCoalescesOverlaps) {
+  // Zero-length and inverted windows vanish; overlapping and touching
+  // windows coalesce into one; the result is sorted and disjoint.
+  const auto merged = merge_contact_windows({
+      {100_ms, 100_ms},  // zero-length (a finder quantized to one tick)
+      {300_ms, 200_ms},  // inverted
+      {50_ms, 150_ms},
+      {140_ms, 220_ms},  // overlaps the previous
+      {220_ms, 260_ms},  // touches the merged end exactly
+      {400_ms, 500_ms},  // disjoint
+  });
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].start, 50_ms);
+  EXPECT_EQ(merged[0].end, 260_ms);
+  EXPECT_EQ(merged[1].start, 400_ms);
+  EXPECT_EQ(merged[1].end, 500_ms);
+}
+
+TEST(ContactSchedule, ZeroLengthWindowDoesNotToggleLink) {
+  // Regression: a zero-length window used to schedule set_link_up(true) and
+  // set_link_up(false) at the same tick in unspecified order — either a
+  // pointless down/up blip or, worse, a link left *up* outside any contact.
+  Simulator sim;
+  Network net{sim};
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  auto spec = lams_spec();
+  spec.a = a;
+  spec.b = b;
+  const LinkId l = net.add_link(spec);
+  schedule_link_windows(net, l, {{100_ms, 100_ms}});
+
+  net.send_packet(a, b, 1024);
+  sim.run_until(300_ms);
+  // No real up-time was ever scheduled: the packet must still be parked.
+  EXPECT_EQ(net.report().packets_delivered, 0u);
+  EXPECT_EQ(net.report().packets_parked, 1u);
+}
+
+TEST(ContactSchedule, OverlappingWindowsKeepLinkUpThroughout) {
+  // Regression: two overlapping plan rows used to interleave an up at
+  // 50 ms, up at 100 ms (no-op), *down at 150 ms* — mid-contact — and up
+  // again only per tie-break luck.  Merged, the link stays up across
+  // [50 ms, 250 ms) with no mid-contact protocol reset.
+  Simulator sim;
+  Network net{sim};
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  auto spec = lams_spec();
+  spec.a = a;
+  spec.b = b;
+  const LinkId l = net.add_link(spec);
+  schedule_link_windows(net, l, {{50_ms, 150_ms}, {100_ms, 250_ms}});
+
+  // Inject right where the unmerged schedule used to take the link down; a
+  // mid-contact down would reset the flows and strand or delay these.
+  sim.schedule_at(149_ms, [&] {
+    for (int i = 0; i < 20; ++i) net.send_packet(a, b, 1024);
+  });
+  ASSERT_TRUE(net.run_to_completion(400_ms));
+  const auto r = net.report();
+  EXPECT_EQ(r.packets_delivered, 20u);
+  // Delivery happened inside the merged window, not after a re-park at the
+  // (wrong) 150 ms boundary: delays stay well under the gap to 250 ms.
+  EXPECT_LT(r.max_delay_s, 0.05);
+}
+
+TEST(ContactSchedule, AdjacentWindowsCoalesceWithoutSameTickToggle) {
+  // Touching windows ([a,b) + [b,c)) used to schedule a down and an up at
+  // the same tick; order decided the link's fate.  Merged they are one
+  // window and the boundary tick has no transition at all.
+  Simulator sim;
+  Network net{sim};
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  auto spec = lams_spec();
+  spec.a = a;
+  spec.b = b;
+  const LinkId l = net.add_link(spec);
+  schedule_link_windows(net, l, {{Time{}, 100_ms}, {100_ms, 200_ms}});
+
+  sim.schedule_at(99_ms, [&] {
+    for (int i = 0; i < 20; ++i) net.send_packet(a, b, 1024);
+  });
+  ASSERT_TRUE(net.run_to_completion(300_ms));
+  const auto r = net.report();
+  EXPECT_EQ(r.packets_delivered, 20u);
+  EXPECT_EQ(r.packets_lost, 0u);
+  EXPECT_LT(r.max_delay_s, 0.05);  // no boundary reset, no re-park delay
+}
+
+TEST(ContactSchedule, MirroredPlanRowsBuildOneLink) {
+  // Regression: build_contact_network keyed windows by the *ordered* pair,
+  // so a plan listing {a,b} and {b,a} rows (both spellings of one physical
+  // ISL) built two parallel links between the same satellites.
+  orbit::WalkerParams wp;
+  wp.total = 32;
+  wp.planes = 4;
+  wp.phasing = 1;
+  wp.altitude_m = 1.0e6;
+  wp.inclination_rad = 0.9;
+  orbit::Constellation c{wp};
+  auto plan = orbit::contact_plan(c, Time::seconds_int(1800),
+                                  Time::seconds_int(10), 8.0e6);
+  ASSERT_FALSE(plan.empty());
+  std::set<std::pair<std::size_t, std::size_t>> physical;
+  for (const auto& ct : plan) {
+    const auto [lo, hi] = std::minmax(ct.a, ct.b);
+    physical.insert({lo, hi});
+  }
+  // Duplicate every row with endpoints swapped — the {b,a} spelling.
+  const auto orig = plan;
+  for (const auto& ct : orig) {
+    orbit::Contact rev = ct;
+    std::swap(rev.a, rev.b);
+    plan.push_back(rev);
+  }
+
+  Simulator sim;
+  Network net{sim};
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    net.add_node("sat" + std::to_string(i));
+  }
+  const auto links = build_contact_network(net, c, plan, lams_spec(), 8.0e6);
+  // One link per physical pair, not two.
+  EXPECT_EQ(links.size(), physical.size());
+  for (const auto& [pair, id] : links) {
+    EXPECT_LT(pair.first, pair.second);  // canonical (min, max) keys
+  }
 }
 
 }  // namespace

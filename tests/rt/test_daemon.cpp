@@ -3,9 +3,18 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "lamsdlc/rt/daemon.hpp"
@@ -101,6 +110,102 @@ TEST(Daemon, ImpairedSelfPeerStillDeliversAndCaptures) {
   // The capture must exist and be non-trivial (both endpoints share the
   // session bus in self-peer mode).
   EXPECT_GT(fs::file_size(dir / "cap-s900.ldlcap"), 100u);
+  fs::remove_all(dir);
+}
+
+// A bridge client that writes much faster than the link drains must be
+// paused by backpressure — the per-stream sending buffer stays bounded at
+// `stream_buffer_packets` plus at most one socket read's worth of chunks —
+// and must be resumed event-driven (no polling) until every byte delivers.
+TEST(Daemon, FastBridgeClientOverSlowLinkKeepsBufferBounded) {
+  const fs::path dir =
+      fs::path{testing::TempDir()} / "lamsdlc-daemon-backpressure";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  constexpr std::size_t kBufferPackets = 64;
+  constexpr std::uint32_t kChunk = 1024;
+  constexpr std::size_t kReadChunks = 16384 / kChunk;  // daemon read size
+
+  rt::DaemonConfig cfg;
+  cfg.self_peer = true;
+  cfg.bridge = true;
+  cfg.deliver_dir = dir.string();
+  cfg.session_base = 7400;
+  cfg.exit_after_streams = 2;
+  cfg.chunk_bytes = kChunk;
+  cfg.stream_buffer_packets = kBufferPackets;
+  cfg.data_rate_bps = 8e6;  // ~0.25 s of wire time for the payload
+
+  rt::Daemon daemon{cfg};
+  daemon.start();
+  ASSERT_NE(daemon.bridge_port(), 0);
+
+  std::vector<std::uint8_t> payload(256 * 1024);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 197 + 3);
+  }
+
+  // The client writes flat out; the kernel's TCP window is the only thing
+  // slowing it down once the daemon stops reading.
+  std::string status;
+  std::thread client{[&] {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(daemon.bridge_port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      status = "connect-failed";
+      ::close(fd);
+      return;
+    }
+    std::size_t off = 0;
+    while (off < payload.size()) {
+      const ssize_t n =
+          ::write(fd, payload.data() + off, payload.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        status = "write-failed";
+        ::close(fd);
+        return;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    ::shutdown(fd, SHUT_WR);
+    char buf[64];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n <= 0) break;
+      status.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+  }};
+
+  // The high-water mark lives in the mux and dies with drop_stream, so
+  // sample it from inside the loop while the stream is alive.
+  std::size_t observed_hw = 0;
+  std::function<void()> sample = [&] {
+    observed_hw =
+        std::max(observed_hw, daemon.mux().stream_buffer_high_water(7400));
+    daemon.loop().sim().schedule_in(Time::milliseconds(2), sample);
+  };
+  daemon.loop().sim().schedule_in(Time{}, sample);
+  daemon.loop().sim().schedule_in(Time::seconds(60), [&] { daemon.stop(); });
+  daemon.run();
+  client.join();
+
+  EXPECT_EQ(daemon.streams_completed(), 2u);
+  EXPECT_EQ(daemon.streams_failed(), 0u);
+  EXPECT_EQ(status, "OK " + std::to_string(payload.size()) + "\n");
+  EXPECT_EQ(read_file(dir / "stream-p0-s7400.bin"), payload);
+
+  // Backpressure engaged (the buffer filled to capacity at least once) and
+  // held: one 16 KiB socket read can overshoot the capacity check by at
+  // most kReadChunks packets, and nothing beyond that is ever admitted.
+  EXPECT_GE(observed_hw, kBufferPackets);
+  EXPECT_LE(observed_hw, kBufferPackets + kReadChunks);
   fs::remove_all(dir);
 }
 

@@ -170,6 +170,7 @@
 #include "lamsdlc/obs/perfetto.hpp"
 #include "lamsdlc/obs/trace.hpp"
 #include "lamsdlc/sim/chaos.hpp"
+#include "lamsdlc/sim/run_network.hpp"
 #include "lamsdlc/sim/sweep.hpp"
 #include "lamsdlc/sim/scenario.hpp"
 #include "lamsdlc/verif/corrupt.hpp"
@@ -214,6 +215,8 @@ void print_subcommands(std::FILE* to) {
                "lamsdlcd binary)\n"
                "  connect   push one byte stream through a daemon's client "
                "bridge\n"
+               "  network   constellation-scale multi-hop run (optionally "
+               "PDES-partitioned)\n"
                "  (none)    run one scenario from flags and print a report\n");
 }
 
@@ -1189,6 +1192,137 @@ int run_connect_command(int argc, char** argv) {
   return status.rfind("OK", 0) == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// `network`: Walker-constellation multi-hop run via sim::run_network.
+//
+//   lamsdlc_cli network --sats 112 --planes 8 --partitions 4
+//       --waves 20 --packets-per-wave 100 --horizon-s 600 --seed 1
+//
+// Flags (defaults in brackets):
+//   --sats N              [112]   Walker total satellites
+//   --planes P            [8]     Walker planes (sats % planes == 0)
+//   --partitions K        [1]     PDES logical processes (1 = serial)
+//   --waves W             [20]    traffic bursts
+//   --packets-per-wave N  [100]   packets per burst
+//   --packet-bytes B      [1024]
+//   --message-segments S  [0]     also inject one S-segment message per wave
+//   --wave-interval-ms MS [1000]
+//   --horizon-s S         [600]
+//   --max-range-km KM     [8000]  ISL acquisition range (smaller => churn)
+//   --seed S              [1]
+//   --pf P                [0]     per-channel I-frame error probability
+//   --pc P                [0]     per-channel control error probability
+//   --observe             [off]   collect metrics + capture artifacts
+//   --metrics-out FILE    write the metrics registry JSON (implies --observe)
+//   --capture-out FILE    write the raw .ldlcap bytes (implies --observe)
+//
+// The printed report and both artifact files are byte-identical at every
+// --partitions value — the PDES identity contract; scripts/ci.sh holds the
+// CLI to it with cmp.
+int run_network_command(int argc, char** argv) {
+  sim::NetworkRunConfig cfg;
+  std::string metrics_out;
+  std::string capture_out;
+  auto value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") {
+      std::printf("flags for this subcommand: see the header of "
+                  "tools/lamsdlc_cli.cpp (run_network_command)\n");
+      return 0;
+    } else if (a == "--sats") {
+      cfg.satellites = static_cast<std::uint32_t>(std::stoul(value(i)));
+    } else if (a == "--planes") {
+      cfg.planes = static_cast<std::uint32_t>(std::stoul(value(i)));
+    } else if (a == "--partitions") {
+      cfg.partitions = std::stoul(value(i));
+    } else if (a == "--waves") {
+      cfg.waves = static_cast<std::uint32_t>(std::stoul(value(i)));
+    } else if (a == "--packets-per-wave") {
+      cfg.packets_per_wave = static_cast<std::uint32_t>(std::stoul(value(i)));
+    } else if (a == "--packet-bytes") {
+      cfg.packet_bytes = static_cast<std::uint32_t>(std::stoul(value(i)));
+    } else if (a == "--message-segments") {
+      cfg.message_segments = static_cast<std::uint32_t>(std::stoul(value(i)));
+    } else if (a == "--wave-interval-ms") {
+      cfg.wave_interval = Time::milliseconds(std::stol(value(i)));
+    } else if (a == "--horizon-s") {
+      cfg.horizon = Time::seconds(std::stod(value(i)));
+    } else if (a == "--max-range-km") {
+      cfg.max_range_m = std::stod(value(i)) * 1e3;
+    } else if (a == "--seed") {
+      cfg.seed = std::stoull(value(i));
+    } else if (a == "--pf") {
+      cfg.p_frame = std::stod(value(i));
+    } else if (a == "--pc") {
+      cfg.p_control = std::stod(value(i));
+    } else if (a == "--observe") {
+      cfg.observe = true;
+    } else if (a == "--metrics-out") {
+      metrics_out = value(i);
+      cfg.observe = true;
+    } else if (a == "--capture-out") {
+      capture_out = value(i);
+      cfg.observe = true;
+    } else {
+      usage_error("unknown network flag " + a);
+    }
+  }
+  if (cfg.satellites == 0 || cfg.planes == 0 ||
+      cfg.satellites % cfg.planes != 0) {
+    usage_error("--sats must be a positive multiple of --planes");
+  }
+  if (cfg.partitions == 0) usage_error("--partitions must be >= 1");
+
+  const sim::NetworkRunResult r = sim::run_network(cfg);
+
+  std::printf("nodes/links/contacts: %zu / %zu / %llu\n", r.nodes, r.links,
+              static_cast<unsigned long long>(r.contacts));
+  std::printf("partitions:           %zu\n", cfg.partitions);
+  std::printf("completed:            %s\n", r.completed ? "yes" : "NO");
+  std::printf("sent/delivered/dup:   %llu / %llu / %llu\n",
+              static_cast<unsigned long long>(r.report.packets_sent),
+              static_cast<unsigned long long>(r.report.packets_delivered),
+              static_cast<unsigned long long>(r.report.duplicate_deliveries));
+  std::printf("forwarded/parked:     %llu / %llu\n",
+              static_cast<unsigned long long>(r.report.packets_forwarded),
+              static_cast<unsigned long long>(r.report.packets_parked));
+  std::printf("messages completed:   %llu\n",
+              static_cast<unsigned long long>(r.report.messages_completed));
+  std::printf("mean/max delay:       %.6f / %.6f s\n", r.report.mean_delay_s,
+              r.report.max_delay_s);
+  if (cfg.observe) {
+    std::printf("events:               %llu\n",
+                static_cast<unsigned long long>(r.events));
+  }
+  std::fprintf(stderr, "lamsdlc_cli: network run took %.3f s wall\n",
+               r.elapsed_s);
+
+  if (!metrics_out.empty()) {
+    std::ofstream f{metrics_out, std::ios::binary | std::ios::trunc};
+    f << r.metrics_json;
+    if (!f) {
+      std::fprintf(stderr, "lamsdlc_cli: cannot write %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+  }
+  if (!capture_out.empty()) {
+    std::ofstream f{capture_out, std::ios::binary | std::ios::trunc};
+    f.write(r.capture.data(),
+            static_cast<std::streamsize>(r.capture.size()));
+    if (!f) {
+      std::fprintf(stderr, "lamsdlc_cli: cannot write %s\n",
+                   capture_out.c_str());
+      return 1;
+    }
+  }
+  return r.completed ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1204,6 +1338,7 @@ int main(int argc, char** argv) {
                                              "lamsdlc_cli serve");
     }
     if (cmd == "connect") return run_connect_command(argc, argv);
+    if (cmd == "network") return run_network_command(argc, argv);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
       print_help();
       return 0;
