@@ -257,4 +257,7 @@ class LamsSender final : public sim::DlcSender, public link::FrameSink {
   /// @}
 };
 
+/// Lowercase mode name for logs and status output ("normal", "resyncing", ...).
+[[nodiscard]] const char* to_string(LamsSender::Mode m) noexcept;
+
 }  // namespace lamsdlc::lams

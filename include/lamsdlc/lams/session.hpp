@@ -178,4 +178,7 @@ class SessionReceiver final : public link::FrameSink {
   LifecycleCallback on_lifecycle_;
 };
 
+/// Lowercase state name for logs and status output ("established", ...).
+[[nodiscard]] const char* to_string(SessionSender::State s) noexcept;
+
 }  // namespace lamsdlc::lams

@@ -23,7 +23,16 @@
 ///    In `self_peer` mode both endpoints of a session live in this process
 ///    and share the session's bus, so the capture holds the full
 ///    admitted → sent → delivered span tree and `trace` reconstructs
-///    complete packet lifecycles over a real kernel round trip.
+///    complete packet lifecycles over a real kernel round trip;
+///  - a **status endpoint**: a local TCP introspection port answering
+///    `status` (one-line JSON: daemon vitals, per-session window/buffer/
+///    reject/resync state, the full registry), `metrics` (Prometheus text
+///    exposition), `samples` (latest sampler tick, for `watch` rates) and
+///    `text` (rendered table) — one request line per connection.  Telemetry
+///    itself (per-session metrics collectors into a shared registry, plus
+///    an always-on flight recorder that auto-dumps a `.ldlcap` black box
+///    when an anomaly trigger fires) is on by default and independent of
+///    whether the port is open.
 ///
 /// The daemon is single-threaded on a `WallClock` event loop; every socket
 /// is nonblocking and fd-driven.  `run()` blocks until `stop()`, SIGTERM
@@ -36,6 +45,7 @@
 
 #include "lamsdlc/core/time.hpp"
 #include "lamsdlc/lams/session.hpp"
+#include "lamsdlc/obs/metrics.hpp"
 #include "lamsdlc/phy/fault_injector.hpp"
 #include "lamsdlc/rt/event_loop.hpp"
 #include "lamsdlc/rt/session_mux.hpp"
@@ -80,6 +90,27 @@ struct DaemonConfig {
 
   std::string capture_prefix;  ///< Empty = no captures.
   bool verbose = false;        ///< Progress lines on stderr.
+
+  /// \name Live telemetry (docs/OBSERVABILITY.md "Live telemetry")
+  /// @{
+
+  /// Attach per-session telemetry (metrics collector into the shared
+  /// registry + flight recorder).  Off is the bench A/B control: session
+  /// buses stay subscriber-free and the frame path pays one dead branch.
+  bool telemetry = true;
+  /// Open the local TCP introspection port (`lamsdlc_cli status/watch`).
+  bool status = false;
+  std::uint16_t status_port = 0;  ///< Requested port; 0 = ephemeral.
+  /// Registry sampling period for the `samples` endpoint verb (`watch`).
+  /// Non-positive disables the sampler.
+  Time status_sample_period = Time::milliseconds(500);
+  /// Flight-recorder ring capacity per session, in events; 0 disables the
+  /// recorder (telemetry then only feeds the registry).
+  std::size_t recorder_events = 4096;
+  /// Directory for anomaly auto-dumps, written as
+  /// `<dir>/blackbox-s<sid>-<n>.ldlcap`.  Empty = current directory.
+  std::string recorder_dir;
+  /// @}
 };
 
 class Daemon {
@@ -100,6 +131,15 @@ class Daemon {
 
   [[nodiscard]] std::uint16_t udp_port() const noexcept;
   [[nodiscard]] std::uint16_t bridge_port() const noexcept;
+  /// Introspection port (0 when `DaemonConfig::status` is off).
+  [[nodiscard]] std::uint16_t status_port() const noexcept;
+
+  /// The shared metrics registry every session's collector feeds.
+  [[nodiscard]] const obs::Registry& registry() const noexcept;
+
+  /// The status document the endpoint serves, for in-process callers
+  /// (tests assert on it without opening a socket).
+  [[nodiscard]] std::string status_json();
 
   /// Streams finished, either direction (clean or not).
   [[nodiscard]] std::uint32_t streams_completed() const noexcept;

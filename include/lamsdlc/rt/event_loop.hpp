@@ -100,6 +100,17 @@ class WallClock final : public EventLoop {
   /// Unlike `now()`, this does not wait for the kernel to be advanced.
   [[nodiscard]] Time wall_now() const noexcept;
 
+  /// Observe scheduler lateness: before each kernel advance that will fire
+  /// at least one due timer, \p fn receives how far past its deadline the
+  /// earliest timer is, in nanoseconds (>= 0).  A healthy loop reports a few
+  /// µs (one ppoll wakeup); sustained large values mean a handler is
+  /// hogging the loop thread.  One observer; pass nullptr to clear.  Kept a
+  /// plain callback so the loop stays free of `obs::` — the daemon adapts
+  /// it into a registry histogram.
+  void set_tick_observer(std::function<void(std::int64_t lateness_ns)> fn) {
+    tick_observer_ = std::move(fn);
+  }
+
  private:
   struct Watch {
     int fd;
@@ -108,6 +119,7 @@ class WallClock final : public EventLoop {
 
   Simulator sim_;
   std::vector<Watch> watches_;
+  std::function<void(std::int64_t)> tick_observer_;
   std::int64_t t0_ns_ = 0;
   bool stopped_ = false;
 };

@@ -165,6 +165,63 @@ class SessionMux {
       PeerId peer, std::uint32_t session_id) const;
   /// @}
 
+  /// \name Status snapshots
+  ///
+  /// Everything the introspection endpoint publishes about a stream, read
+  /// in one pass so a reported line is internally consistent (the daemon is
+  /// single-threaded; the snapshot cannot race the protocol).
+  /// @{
+
+  /// One outbound stream as seen right now.
+  struct OutboundStatus {
+    std::uint32_t session_id = 0;
+    PeerId peer = 0;
+    lams::SessionSender::State state = lams::SessionSender::State::kIdle;
+    std::uint32_t epoch = 0;
+    std::uint32_t resync_attempts = 0;  ///< Session-layer RESYNC entries.
+    lams::LamsSender::Mode mode = lams::LamsSender::Mode::kNormal;
+    std::size_t outstanding_frames = 0;  ///< Unresolved I-frames in flight.
+    std::size_t buffer_depth = 0;        ///< Sending buffer, packets.
+    std::size_t buffer_high_water = 0;   ///< Peak buffer depth ever seen.
+    double rate_factor = 1.0;            ///< Stop-Go pacing multiplier.
+    std::uint32_t next_chunk = 0;        ///< Stream bytes / chunk_bytes.
+    std::uint64_t packets_submitted = 0;
+    std::uint64_t packets_resolved = 0;
+    std::uint64_t iframe_tx = 0;
+    std::uint64_t iframe_retx = 0;
+    std::uint64_t control_tx = 0;
+    std::uint64_t request_naks = 0;
+    std::uint64_t audit_trips = 0;
+    std::uint64_t resyncs_completed = 0;
+  };
+
+  /// One inbound stream as seen right now.
+  struct InboundStatus {
+    PeerId peer = 0;
+    std::uint32_t session_id = 0;
+    bool in_session = false;
+    bool ended = false;
+    std::uint32_t epoch = 0;
+    std::uint32_t inits_accepted = 0;
+    std::size_t held_packets = 0;   ///< Parked out-of-order chunks.
+    std::uint32_t next_index = 0;   ///< Chunks handed up contiguously.
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t checkpoints_sent = 0;
+    std::uint64_t naks_generated = 0;
+    std::uint64_t iframe_corrupted_rx = 0;
+    std::uint64_t control_corrupted_rx = 0;
+  };
+
+  /// Snapshot every outbound stream, sorted by session id.  Non-const only
+  /// because `SessionSender::inner()` is.
+  [[nodiscard]] std::vector<OutboundStatus> outbound_status();
+
+  /// Snapshot every inbound stream, sorted by (peer, session id).
+  /// Non-const for the same `inner()` reason.
+  [[nodiscard]] std::vector<InboundStatus> inbound_status();
+  /// @}
+
   /// \name Counters
   /// @{
   [[nodiscard]] std::uint64_t undecodable() const noexcept {

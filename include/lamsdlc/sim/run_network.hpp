@@ -75,6 +75,13 @@ struct NetworkRunConfig {
   /// memory proportional to the event count — leave off for throughput
   /// benches.
   bool observe = false;
+
+  /// Periodic registry sampling for `inspect --timeline`: when positive,
+  /// the capture carries the same `kMetricSample` ticks a live
+  /// `obs::Sampler` would emit, synthesized on the canonical merged event
+  /// stream — so they are byte-identical at every partition count.
+  /// Implies `observe`.  Non-positive = off.
+  Time sample_period{};
 };
 
 struct NetworkRunResult {

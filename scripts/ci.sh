@@ -21,8 +21,12 @@
 #      partitioned through the CLI — metrics JSON and capture bytes must be
 #      identical (gating).
 #   8. perf smoke (non-gating): kernel + frame-path + constellation network
-#      workload rates, printed for trend watching; compare against
-#      BENCH_*.json by hand or with scripts/bench_baseline.sh.
+#      + live-telemetry workload rates, printed for trend watching; compare
+#      against BENCH_*.json by hand or with scripts/bench_baseline.sh.
+#
+#   The live interop smoke (between 6 and 7) additionally gates on the
+#   daemon's introspection endpoint: a mid-transfer `status` query must
+#   parse as JSON with nonzero session counters.
 #
 # Usage: scripts/ci.sh [build-dir]       (default build/)
 
@@ -90,20 +94,51 @@ for _ in $(seq 100); do
   grep -q '^ready' "$LIVEDIR/recv.log" 2>/dev/null && break; sleep 0.1
 done
 RPORT="$(awk '/^udp /{print $2}' "$LIVEDIR/recv.log")"
+# --status on the sender so the introspection port can be queried live;
+# --rate slows the modeled serialization enough that "mid-transfer" is an
+# observable window rather than a race (the ARQ gate below is rate-blind).
 timeout 60 "$DAEMON" --peer "127.0.0.1:$RPORT" --bridge --session-base 41 \
-  --impair --p-drop 0.05 --p-corrupt 0.02 --fault-seed 9 \
-  --exit-after-streams 2 > "$LIVEDIR/send.log" &
+  --impair --p-drop 0.05 --p-corrupt 0.02 --fault-seed 9 --rate 4e6 \
+  --status --exit-after-streams 2 > "$LIVEDIR/send.log" &
 SEND_PID=$!
 for _ in $(seq 100); do
   grep -q '^ready' "$LIVEDIR/send.log" 2>/dev/null && break; sleep 0.1
 done
 BPORT="$(awk '/^bridge /{print $2}' "$LIVEDIR/send.log")"
+STPORT="$(awk '/^status /{print $2}' "$LIVEDIR/send.log")"
+# Gating status check: the snapshot must parse as JSON and show live
+# protocol work (nonzero lams.sender.iframe_tx) while the transfer runs.
+cat > "$CAPDIR/status_check.py" <<'PY'
+import json, socket, sys
+with socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=5) as s:
+    s.sendall(b"status\n")
+    buf = b""
+    while True:
+        d = s.recv(65536)
+        if not d:
+            break
+        buf += d
+doc = json.loads(buf)
+assert doc["daemon"]["pid"] > 0
+assert "sessions_out" in doc and "recorder" in doc
+sys.exit(0 if doc["registry"]["counters"].get("lams.sender.iframe_tx", 0) > 0
+         else 1)
+PY
 head -c 262144 /dev/urandom > "$LIVEDIR/in1.bin"
 head -c 393216 /dev/urandom > "$LIVEDIR/in2.bin"
 "$CLI" connect --port "$BPORT" --in "$LIVEDIR/in1.bin" >/dev/null &
 C1_PID=$!
 "$CLI" connect --port "$BPORT" --in "$LIVEDIR/in2.bin" >/dev/null &
 C2_PID=$!
+STATUS_OK=0
+for _ in $(seq 80); do
+  if python3 "$CAPDIR/status_check.py" "$STPORT" 2>/dev/null; then
+    STATUS_OK=1; break
+  fi
+  sleep 0.05
+done
+[ "$STATUS_OK" = 1 ]
+echo "mid-transfer status snapshot OK (port $STPORT)"
 wait "$C1_PID"; wait "$C2_PID"   # each exits 0 iff its stream got "OK <n>"
 wait "$SEND_PID"; wait "$RECV_PID"  # exit 0 iff no stream failed either end
 # Byte-exactness: which bridge connection got which session id is a race,
@@ -164,5 +199,9 @@ echo "== perf smoke (non-gating) =="
 # BENCH_network.json (full scale) by hand or with scripts/bench_baseline.sh.
 "$BUILD_DIR/bench/bench_network" --json 0.02 ||
   echo "[warn] network perf smoke failed (non-gating)"
+# Live-telemetry cost: flight-recorder / collector overhead on the frame
+# path plus endpoint scrape throughput; compare against BENCH_obs.json.
+"$BUILD_DIR/bench/bench_obs" --json ||
+  echo "[warn] obs perf smoke failed (non-gating)"
 
 echo "ci green"

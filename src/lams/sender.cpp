@@ -825,4 +825,14 @@ void LamsSender::corrupt_pacing_gate(Time until) {
   next_send_allowed_ = until;
 }
 
+const char* to_string(LamsSender::Mode m) noexcept {
+  switch (m) {
+    case LamsSender::Mode::kNormal: return "normal";
+    case LamsSender::Mode::kEnforcedRecovery: return "enforced_recovery";
+    case LamsSender::Mode::kResyncing: return "resyncing";
+    case LamsSender::Mode::kFailed: return "failed";
+  }
+  return "?";
+}
+
 }  // namespace lamsdlc::lams

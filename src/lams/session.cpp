@@ -286,4 +286,17 @@ void SessionReceiver::on_frame(frame::Frame f) {
   if (in_session_) inner_.on_frame(std::move(f));
 }
 
+const char* to_string(SessionSender::State s) noexcept {
+  switch (s) {
+    case SessionSender::State::kIdle: return "idle";
+    case SessionSender::State::kInitializing: return "initializing";
+    case SessionSender::State::kEstablished: return "established";
+    case SessionSender::State::kDraining: return "draining";
+    case SessionSender::State::kClosing: return "closing";
+    case SessionSender::State::kClosed: return "closed";
+    case SessionSender::State::kFailed: return "failed";
+  }
+  return "?";
+}
+
 }  // namespace lamsdlc::lams

@@ -36,6 +36,7 @@ struct EventBuffer {
 
 NetworkRunResult run_network(const NetworkRunConfig& cfg) {
   const auto wall0 = std::chrono::steady_clock::now();
+  const bool observe = cfg.observe || cfg.sample_period.ps() > 0;
 
   // Buffer storage outlives the network (components may hold bus pointers
   // through teardown).  Buffer *creation order* is the canonical tiebreak
@@ -77,7 +78,7 @@ NetworkRunResult run_network(const NetworkRunConfig& cfg) {
     proto.a_to_b_error = err;
     proto.b_to_a_error = err;
   }
-  if (cfg.observe) {
+  if (observe) {
     // One persistent buffer per (flow, side): each is written from exactly
     // one partition, and link re-acquisitions (contact churn rebuilds the
     // flows) keep feeding the same buffer.
@@ -102,7 +103,7 @@ NetworkRunResult run_network(const NetworkRunConfig& cfg) {
   // link (TX channel and RX ingress of each direction), merged post-run by
   // (time, buffer id, buffer order) — a canonical total order that no
   // partitioning can perturb.
-  if (cfg.observe) {
+  if (observe) {
     const auto attach = [&buffers](auto& component, obs::Source src) {
       buffers.push_back(std::make_unique<EventBuffer>());
       component.set_event_bus(&buffers.back()->bus, src);
@@ -163,7 +164,7 @@ NetworkRunResult run_network(const NetworkRunConfig& cfg) {
   out.links = link_map.size();
   out.contacts = plan.size();
 
-  if (cfg.observe) {
+  if (observe) {
     struct Tagged {
       std::int64_t at_ps;
       std::uint32_t uid;
@@ -193,9 +194,48 @@ NetworkRunResult run_network(const NetworkRunConfig& cfg) {
     std::ostringstream cap;
     obs::CaptureWriter writer{cap};
     final_bus.subscribe(writer.subscriber());
-    for (const Tagged& t : merged) final_bus.emit(*t.e);
 
-    out.events = merged.size();
+    // Timeline sampling: synthesize the kMetricSample ticks a live
+    // obs::Sampler would emit, interleaved into the canonical merged
+    // stream.  A tick at T snapshots the registry after all events strictly
+    // before T; registry iteration is lexicographic, so the rows — like
+    // everything else here — are partition-invariant.
+    std::uint64_t samples = 0;
+    std::int64_t next_tick_ps =
+        cfg.sample_period.ps() > 0 ? cfg.sample_period.ps() : 0;
+    const auto emit_ticks_through = [&](std::int64_t limit_ps) {
+      if (next_tick_ps <= 0) return;
+      while (next_tick_ps <= limit_ps) {
+        obs::Event s;
+        s.at = Time::picoseconds(next_tick_ps);
+        s.source = obs::Source::kOther;
+        s.kind = obs::EventKind::kMetricSample;
+        for (const auto& [name, c] : registry.counters()) {
+          s.p.sample = obs::MetricSamplePayload{};
+          s.p.sample.set_name(name);
+          s.p.sample.value = static_cast<double>(c.value());
+          s.p.sample.is_counter = 1;
+          final_bus.emit(s);
+          ++samples;
+        }
+        for (const auto& [name, g] : registry.gauges()) {
+          s.p.sample = obs::MetricSamplePayload{};
+          s.p.sample.set_name(name);
+          s.p.sample.value = g.value();
+          s.p.sample.is_counter = 0;
+          final_bus.emit(s);
+          ++samples;
+        }
+        next_tick_ps += cfg.sample_period.ps();
+      }
+    };
+    for (const Tagged& t : merged) {
+      if (t.at_ps > 0) emit_ticks_through(t.at_ps - 1);
+      final_bus.emit(*t.e);
+    }
+    emit_ticks_through(cfg.horizon.ps());
+
+    out.events = merged.size() + samples;
     out.metrics_json = registry.json();
     out.capture = cap.str();
   }

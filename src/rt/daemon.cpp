@@ -1,6 +1,7 @@
 #include "lamsdlc/rt/daemon.hpp"
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -11,12 +12,18 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <map>
+#include <sstream>
 #include <system_error>
 #include <vector>
 
 #include "lamsdlc/obs/bus.hpp"
 #include "lamsdlc/obs/capture.hpp"
+#include "lamsdlc/obs/collector.hpp"
+#include "lamsdlc/obs/expose.hpp"
+#include "lamsdlc/obs/flight_recorder.hpp"
+#include "lamsdlc/obs/sampler.hpp"
 
 namespace lamsdlc::rt {
 namespace {
@@ -71,13 +78,30 @@ struct Daemon::Impl {
   };
   std::map<std::uint64_t, Delivery> deliveries;  // by rx_key(peer, sid)
 
-  // ----------------------------------------------------------- captures --
-  struct Capture {
+  // ---------------------------------------------------------- telemetry --
+  /// Shared aggregation surface: one registry, fed by one collector per
+  /// session bus.  (Per-bus collectors, not one on a merged bus: a
+  /// collector correlates checkpoint sequence numbers and resync tokens,
+  /// which alias across sessions.)
+  obs::Registry registry;
+
+  /// Everything hanging off one session's event bus.
+  struct SessionTelemetry {
     obs::EventBus bus;
-    std::ofstream file;
-    std::unique_ptr<obs::CaptureWriter> writer;
+    std::unique_ptr<obs::MetricsCollector> collector;
+    std::unique_ptr<obs::FlightRecorder> recorder;
+    std::ofstream cap_file;
+    std::unique_ptr<obs::CaptureWriter> cap_writer;
   };
-  std::map<std::uint32_t, std::unique_ptr<Capture>> captures;  // by sid
+  std::map<std::uint32_t, std::unique_ptr<SessionTelemetry>> sessions;  // sid
+
+  // ------------------------------------------------------------- status --
+  int status_listen_fd = -1;
+  std::uint16_t status_port = 0;
+  std::map<int, std::string> status_bufs;  ///< Partial request lines, by fd.
+  obs::EventBus sample_bus;                ///< Sampler ticks land here.
+  std::vector<obs::Event> last_samples;    ///< The most recent tick, whole.
+  std::unique_ptr<obs::Sampler> sampler;
 
   std::uint32_t completed = 0;
   std::uint32_t failed = 0;
@@ -90,21 +114,39 @@ struct Daemon::Impl {
   }
 
   obs::EventBus* bus_for(std::uint32_t sid) {
-    if (cfg.capture_prefix.empty()) return nullptr;
-    auto it = captures.find(sid);
-    if (it == captures.end()) {
-      auto cap = std::make_unique<Capture>();
-      const std::string path =
-          cfg.capture_prefix + "-s" + std::to_string(sid) + ".ldlcap";
-      cap->file.open(path, std::ios::binary | std::ios::trunc);
-      if (!cap->file) {
-        log("capture open failed: " + path);
-        return nullptr;
+    const bool want_capture = !cfg.capture_prefix.empty();
+    if (!want_capture && !cfg.telemetry) return nullptr;
+    auto it = sessions.find(sid);
+    if (it == sessions.end()) {
+      auto st = std::make_unique<SessionTelemetry>();
+      if (cfg.telemetry) {
+        st->collector =
+            std::make_unique<obs::MetricsCollector>(st->bus, registry);
+        if (cfg.recorder_events > 0) {
+          obs::FlightRecorder::Config rcfg;
+          rcfg.capacity = cfg.recorder_events;
+          rcfg.dump_prefix =
+              (cfg.recorder_dir.empty() ? std::string{}
+                                        : cfg.recorder_dir + "/") +
+              "blackbox-s" + std::to_string(sid);
+          st->recorder = std::make_unique<obs::FlightRecorder>(rcfg);
+          st->bus.subscribe(st->recorder->subscriber());
+        }
       }
-      cap->writer = std::make_unique<obs::CaptureWriter>(cap->file);
-      obs::CaptureWriter* w = cap->writer.get();
-      cap->bus.subscribe([w](const obs::Event& e) { w->write(e); });
-      it = captures.emplace(sid, std::move(cap)).first;
+      if (want_capture) {
+        const std::string path =
+            cfg.capture_prefix + "-s" + std::to_string(sid) + ".ldlcap";
+        st->cap_file.open(path, std::ios::binary | std::ios::trunc);
+        if (st->cap_file) {
+          st->cap_writer = std::make_unique<obs::CaptureWriter>(st->cap_file);
+          obs::CaptureWriter* w = st->cap_writer.get();
+          st->bus.subscribe([w](const obs::Event& e) { w->write(e); });
+        } else {
+          log("capture open failed: " + path);
+        }
+      }
+      if (!st->bus.enabled()) return nullptr;  // nothing attached after all
+      it = sessions.emplace(sid, std::move(st)).first;
     }
     return &it->second->bus;
   }
@@ -167,6 +209,30 @@ struct Daemon::Impl {
     if (next_sid == 0) next_sid = 1;
 
     if (cfg.bridge) open_bridge(cfg.bridge_port);
+
+    if (cfg.telemetry) {
+      // Node stability makes the pointer safe for the registry's lifetime.
+      obs::LogHistogram* lateness =
+          &registry.histogram("rt.loop.tick_lateness_us");
+      loop.set_tick_observer([lateness](std::int64_t late_ns) {
+        lateness->observe(static_cast<double>(late_ns) / 1000.0);
+      });
+    }
+    if (cfg.status) {
+      open_status(cfg.status_port);
+      if (cfg.status_sample_period.ps() > 0) {
+        sample_bus.subscribe([this](const obs::Event& e) {
+          if (!last_samples.empty() && !(last_samples.front().at == e.at)) {
+            last_samples.clear();
+          }
+          last_samples.push_back(e);
+        });
+        sampler = std::make_unique<obs::Sampler>(
+            loop.sim(), registry, sample_bus, cfg.status_sample_period);
+        sampler->start();
+      }
+    }
+
     started = true;
     log("udp " + cfg.bind_host + ":" + std::to_string(udp->local_port()) +
         (have_peer ? " (peer wired)" : " (serve-only)"));
@@ -322,6 +388,299 @@ struct Daemon::Impl {
     maybe_exit();
   }
 
+  // ------------------------------------------------------------- status --
+  //
+  // Connection discipline: one request line in, one response out, close.
+  // The listener is just another fd on the single-threaded loop, so a
+  // snapshot runs between protocol events and can never observe torn
+  // state.  Responses are written with the socket flipped to blocking plus
+  // a 1 s send timeout — a stalled scraper costs at most that, and cannot
+  // wedge the daemon with a partial-write buffer to manage.
+
+  void open_status(std::uint16_t port) {
+    status_listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (status_listen_fd < 0) throw_errno("status socket");
+    const int one = 1;
+    ::setsockopt(status_listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, cfg.bind_host.c_str(), &addr.sin_addr) != 1) {
+      errno = EINVAL;
+      throw_errno("status bind_host");
+    }
+    if (::bind(status_listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) < 0) {
+      throw_errno("status bind");
+    }
+    if (::listen(status_listen_fd, 16) < 0) throw_errno("status listen");
+    set_nonblock(status_listen_fd);
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ::getsockname(status_listen_fd, reinterpret_cast<sockaddr*>(&bound), &len);
+    status_port = ntohs(bound.sin_port);
+    loop.watch_fd(status_listen_fd, [this] { on_status_accept(); });
+  }
+
+  void on_status_accept() {
+    for (;;) {
+      const int fd = ::accept(status_listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      set_nonblock(fd);
+      status_bufs[fd];
+      loop.watch_fd(fd, [this, fd] { on_status_readable(fd); });
+    }
+  }
+
+  void close_status(int fd) {
+    loop.unwatch_fd(fd);
+    ::close(fd);
+    status_bufs.erase(fd);
+  }
+
+  void on_status_readable(int fd) {
+    const auto it = status_bufs.find(fd);
+    if (it == status_bufs.end()) return;
+    char buf[512];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        close_status(fd);
+        return;
+      }
+      if (n == 0) {
+        close_status(fd);
+        return;
+      }
+      it->second.append(buf, static_cast<std::size_t>(n));
+      const auto nl = it->second.find('\n');
+      if (nl != std::string::npos) {
+        std::string cmd = it->second.substr(0, nl);
+        if (!cmd.empty() && cmd.back() == '\r') cmd.pop_back();
+        send_and_close(fd, status_respond(cmd));
+        return;
+      }
+      if (it->second.size() > 256) {  // no verb is this long
+        close_status(fd);
+        return;
+      }
+    }
+  }
+
+  void send_and_close(int fd, const std::string& s) {
+    const int fl = ::fcntl(fd, F_GETFL, 0);
+    if (fl >= 0) ::fcntl(fd, F_SETFL, fl & ~O_NONBLOCK);
+    timeval tv{};
+    tv.tv_sec = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    std::size_t off = 0;
+    while (off < s.size()) {
+      const ssize_t n = ::write(fd, s.data() + off, s.size() - off);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    close_status(fd);
+  }
+
+  std::string status_respond(const std::string& cmd) {
+    if (cmd.empty() || cmd == "status") return status_json() + "\n";
+    if (cmd == "metrics") {
+      std::ostringstream os;
+      obs::write_prometheus(os, registry);
+      return os.str();
+    }
+    if (cmd == "samples") return samples_text();
+    if (cmd == "text") return status_text();
+    return "ERR unknown-command\n";
+  }
+
+  [[nodiscard]] static int count_fds() {
+    DIR* d = ::opendir("/proc/self/fd");
+    if (d == nullptr) return -1;
+    int n = 0;
+    while (const dirent* ent = ::readdir(d)) {
+      if (ent->d_name[0] != '.') ++n;
+    }
+    ::closedir(d);
+    return n - 1;  // minus the opendir fd itself
+  }
+
+  std::string status_json() {
+    std::ostringstream os;
+    os << std::setprecision(12);
+    os << "{\"daemon\":{\"pid\":" << ::getpid() << ",\"uptime_s\":"
+       << static_cast<double>(loop.wall_now().ps()) * 1e-12
+       << ",\"fds\":" << count_fds()
+       << ",\"udp_port\":" << (udp ? udp->local_port() : 0)
+       << ",\"bridge_port\":" << bridge_port
+       << ",\"status_port\":" << status_port
+       << ",\"bridge_clients\":" << clients.size()
+       << ",\"streams_completed\":" << completed
+       << ",\"streams_failed\":" << failed << '}';
+
+    os << ",\"loop\":{";
+    if (const obs::LogHistogram* h =
+            registry.find_histogram("rt.loop.tick_lateness_us")) {
+      os << "\"ticks\":" << h->count() << ",\"lateness_us\":{\"p50\":"
+         << h->p50() << ",\"p90\":" << h->p90() << ",\"p99\":" << h->p99()
+         << ",\"max\":" << h->max() << '}';
+    } else {
+      os << "\"ticks\":0";
+    }
+    os << '}';
+
+    const frame::EnvelopeRejectCounts& er = mux->envelope_rejects();
+    const frame::DecodeRejectCounts& fr = mux->frame_rejects();
+    os << ",\"mux\":{\"outbound\":" << mux->outbound_count()
+       << ",\"inbound\":" << mux->inbound_count()
+       << ",\"undecodable\":" << mux->undecodable()
+       << ",\"unroutable\":" << mux->unroutable()
+       << ",\"envelope_rejects\":{\"runt_header\":" << er.runt_header
+       << ",\"bad_magic\":" << er.bad_magic
+       << ",\"bad_version\":" << er.bad_version
+       << ",\"reserved_flags\":" << er.reserved_flags
+       << ",\"truncated_id\":" << er.truncated_id
+       << ",\"length_mismatch\":" << er.length_mismatch
+       << ",\"empty_payload\":" << er.empty_payload
+       << ",\"total\":" << er.total()
+       << "},\"frame_rejects\":{\"truncated\":" << fr.truncated
+       << ",\"bad_fcs\":" << fr.bad_fcs
+       << ",\"length_overrun\":" << fr.length_overrun
+       << ",\"trailing_bytes\":" << fr.trailing_bytes
+       << ",\"unknown_kind\":" << fr.unknown_kind
+       << ",\"limits\":" << fr.limits << ",\"total\":" << fr.total()
+       << "}}";
+
+    os << ",\"sessions_out\":[";
+    bool first = true;
+    for (const SessionMux::OutboundStatus& s : mux->outbound_status()) {
+      if (!first) os << ',';
+      first = false;
+      os << "{\"sid\":" << s.session_id << ",\"peer\":" << s.peer
+         << ",\"state\":\"" << lams::to_string(s.state)
+         << "\",\"epoch\":" << s.epoch
+         << ",\"resync_attempts\":" << s.resync_attempts << ",\"mode\":\""
+         << lams::to_string(s.mode)
+         << "\",\"outstanding\":" << s.outstanding_frames
+         << ",\"buffer\":" << s.buffer_depth
+         << ",\"buffer_high_water\":" << s.buffer_high_water
+         << ",\"rate_factor\":" << s.rate_factor
+         << ",\"chunks\":" << s.next_chunk
+         << ",\"submitted\":" << s.packets_submitted
+         << ",\"resolved\":" << s.packets_resolved
+         << ",\"iframe_tx\":" << s.iframe_tx
+         << ",\"iframe_retx\":" << s.iframe_retx
+         << ",\"control_tx\":" << s.control_tx
+         << ",\"request_naks\":" << s.request_naks
+         << ",\"audit_trips\":" << s.audit_trips
+         << ",\"resyncs_completed\":" << s.resyncs_completed << '}';
+    }
+    os << "],\"sessions_in\":[";
+    first = true;
+    for (const SessionMux::InboundStatus& s : mux->inbound_status()) {
+      if (!first) os << ',';
+      first = false;
+      os << "{\"peer\":" << s.peer << ",\"sid\":" << s.session_id
+         << ",\"in_session\":" << (s.in_session ? "true" : "false")
+         << ",\"ended\":" << (s.ended ? "true" : "false")
+         << ",\"epoch\":" << s.epoch
+         << ",\"inits_accepted\":" << s.inits_accepted
+         << ",\"held\":" << s.held_packets
+         << ",\"next_index\":" << s.next_index
+         << ",\"delivered\":" << s.packets_delivered
+         << ",\"duplicates\":" << s.duplicates
+         << ",\"checkpoints_sent\":" << s.checkpoints_sent
+         << ",\"naks_generated\":" << s.naks_generated
+         << ",\"iframe_corrupted_rx\":" << s.iframe_corrupted_rx
+         << ",\"control_corrupted_rx\":" << s.control_corrupted_rx << '}';
+    }
+    os << ']';
+
+    std::uint64_t rec_recorded = 0;
+    std::uint64_t rec_dumps = 0;
+    std::uint64_t rec_suppressed = 0;
+    std::size_t rec_rings = 0;
+    std::string rec_last;
+    for (const auto& [sid, st] : sessions) {
+      if (!st->recorder) continue;
+      ++rec_rings;
+      rec_recorded += st->recorder->recorded();
+      rec_dumps += st->recorder->dumps();
+      rec_suppressed += st->recorder->suppressed_triggers();
+      if (!st->recorder->last_dump_path().empty()) {
+        rec_last = st->recorder->last_dump_path();
+      }
+    }
+    os << ",\"recorder\":{\"rings\":" << rec_rings
+       << ",\"recorded\":" << rec_recorded << ",\"dumps\":" << rec_dumps
+       << ",\"suppressed\":" << rec_suppressed << ",\"last_dump\":\""
+       << obs::json_escape(rec_last) << "\"}";
+
+    os << ",\"registry\":";
+    registry.write_json(os);
+    os << '}';
+    return os.str();
+  }
+
+  /// Server-rendered table for `lamsdlc_cli status --pretty` — the daemon
+  /// already has every struct in hand; shipping text keeps the client dumb.
+  std::string status_text() {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1);
+    os << "lamsdlcd pid " << ::getpid() << "  uptime "
+       << static_cast<double>(loop.wall_now().ps()) * 1e-12 << "s  udp "
+       << (udp ? udp->local_port() : 0) << "  bridge " << bridge_port
+       << "  status " << status_port << '\n';
+    os << "streams: " << mux->outbound_count() << " out, "
+       << mux->inbound_count() << " in, " << completed << " finished ("
+       << failed << " failed), " << clients.size() << " bridge client(s)\n";
+    os << "mux: undecodable " << mux->undecodable() << " (envelope "
+       << mux->envelope_rejects().total() << ", frame "
+       << mux->frame_rejects().total() << "), unroutable "
+       << mux->unroutable() << '\n';
+    if (const obs::LogHistogram* h =
+            registry.find_histogram("rt.loop.tick_lateness_us")) {
+      os << "loop: " << h->count() << " ticks, lateness p50 " << h->p50()
+         << "us p99 " << h->p99() << "us max " << h->max() << "us\n";
+    }
+    for (const SessionMux::OutboundStatus& s : mux->outbound_status()) {
+      os << "out s" << s.session_id << " -> p" << s.peer << "  "
+         << lams::to_string(s.state) << " e" << s.epoch << "  mode "
+         << lams::to_string(s.mode) << "  win " << s.outstanding_frames
+         << "  buf " << s.buffer_depth << " (hw " << s.buffer_high_water
+         << ")  tx " << s.iframe_tx << " (+" << s.iframe_retx
+         << " retx)  naks " << s.request_naks << "  resyncs "
+         << s.resyncs_completed << '\n';
+    }
+    for (const SessionMux::InboundStatus& s : mux->inbound_status()) {
+      os << "in  p" << s.peer << " s" << s.session_id << "  "
+         << (s.ended ? "ended" : s.in_session ? "in-session" : "opening")
+         << " e" << s.epoch << "  delivered " << s.packets_delivered << " (+"
+         << s.duplicates << " dup)  held " << s.held_packets << "  cp "
+         << s.checkpoints_sent << "  naks " << s.naks_generated << '\n';
+    }
+    return os.str();
+  }
+
+  /// The latest sampler tick as line-delimited event JSON.  `watch` diffs
+  /// two fetches client-side to print rates.
+  std::string samples_text() {
+    std::string out;
+    for (const obs::Event& e : last_samples) {
+      out += obs::to_json(e);
+      out += '\n';
+    }
+    return out;
+  }
+
   // ----------------------------------------------------------- delivery --
 
   void on_inbound_data(PeerId peer, std::uint32_t sid,
@@ -388,8 +747,18 @@ struct Daemon::Impl {
       ::close(listen_fd);
       listen_fd = -1;
     }
-    for (auto& [sid, cap] : captures) {
-      cap->file.flush();
+    for (auto& [fd, buf] : status_bufs) {
+      loop.unwatch_fd(fd);
+      ::close(fd);
+    }
+    status_bufs.clear();
+    if (status_listen_fd >= 0) {
+      loop.unwatch_fd(status_listen_fd);
+      ::close(status_listen_fd);
+      status_listen_fd = -1;
+    }
+    for (auto& [sid, st] : sessions) {
+      if (st->cap_writer) st->cap_file.flush();
     }
   }
 };
@@ -406,7 +775,9 @@ void Daemon::run() {
   impl_->loop.run();
   // Captures must be complete on disk the moment run() returns — callers
   // (tests, the smoke script) read them before the daemon is destroyed.
-  for (auto& [sid, cap] : impl_->captures) cap->file.flush();
+  for (auto& [sid, st] : impl_->sessions) {
+    if (st->cap_writer) st->cap_file.flush();
+  }
 }
 
 void Daemon::stop() { impl_->loop.stop(); }
@@ -418,6 +789,16 @@ std::uint16_t Daemon::udp_port() const noexcept {
 std::uint16_t Daemon::bridge_port() const noexcept {
   return impl_->bridge_port;
 }
+
+std::uint16_t Daemon::status_port() const noexcept {
+  return impl_->status_port;
+}
+
+const obs::Registry& Daemon::registry() const noexcept {
+  return impl_->registry;
+}
+
+std::string Daemon::status_json() { return impl_->status_json(); }
 
 std::uint32_t Daemon::streams_completed() const noexcept {
   return impl_->completed;

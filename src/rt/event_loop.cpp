@@ -56,7 +56,14 @@ void WallClock::run() {
   while (!stopped_) {
     // Advance the kernel to the wall: every timer due by now fires, in
     // timestamp order, exactly as it would under simulation.
-    sim_.run_until(wall_now());
+    const Time now = wall_now();
+    if (tick_observer_) {
+      const Time due = sim_.next_event_time();
+      if (due != Time::max() && due <= now) {
+        tick_observer_((now.ps() - due.ps()) / 1'000);
+      }
+    }
+    sim_.run_until(now);
     if (stopped_) break;
 
     const Time next = sim_.next_event_time();

@@ -156,6 +156,72 @@ const sim::DlcStats* SessionMux::stream_stats(
   return it == tx_.end() ? nullptr : &it->second->stats;
 }
 
+// ------------------------------------------------------ status snapshots --
+
+std::vector<SessionMux::OutboundStatus> SessionMux::outbound_status() {
+  std::vector<OutboundStatus> out;
+  out.reserve(tx_.size());
+  for (auto& [sid, tx] : tx_) {
+    lams::LamsSender& inner = tx->sender.inner();
+    OutboundStatus s;
+    s.session_id = sid;
+    s.peer = tx->peer;
+    s.state = tx->sender.state();
+    s.epoch = tx->sender.epoch();
+    s.resync_attempts = tx->sender.resyncs();
+    s.mode = inner.mode();
+    s.outstanding_frames = inner.outstanding_frames();
+    s.buffer_depth = inner.sending_buffer_depth();
+    s.buffer_high_water = tx->buffer_high_water;
+    s.rate_factor = inner.rate_factor();
+    s.next_chunk = tx->next_chunk;
+    s.packets_submitted = tx->stats.packets_submitted;
+    s.packets_resolved = inner.packets_resolved();
+    s.iframe_tx = tx->stats.iframe_tx;
+    s.iframe_retx = tx->stats.iframe_retx;
+    s.control_tx = tx->stats.control_tx;
+    s.request_naks = inner.request_naks_sent();
+    s.audit_trips = inner.self_audit_trips();
+    s.resyncs_completed = inner.resyncs_completed();
+    out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OutboundStatus& a, const OutboundStatus& b) {
+              return a.session_id < b.session_id;
+            });
+  return out;
+}
+
+std::vector<SessionMux::InboundStatus> SessionMux::inbound_status() {
+  std::vector<InboundStatus> out;
+  out.reserve(rx_.size());
+  for (auto& [key, rx] : rx_) {
+    lams::LamsReceiver& inner = rx->receiver.inner();
+    InboundStatus s;
+    s.peer = rx->peer;
+    s.session_id = rx->sid;
+    s.in_session = rx->receiver.in_session();
+    s.ended = rx->ended;
+    s.epoch = rx->receiver.epoch();
+    s.inits_accepted = rx->receiver.inits_accepted();
+    s.held_packets = rx->held.size();
+    s.next_index = rx->next_index;
+    s.packets_delivered = rx->stats.packets_delivered;
+    s.duplicates = rx->stats.duplicates_delivered;
+    s.checkpoints_sent = inner.checkpoints_sent();
+    s.naks_generated = inner.naks_generated();
+    s.iframe_corrupted_rx = rx->stats.iframe_corrupted_rx;
+    s.control_corrupted_rx = rx->stats.control_corrupted_rx;
+    out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const InboundStatus& a, const InboundStatus& b) {
+              return a.peer != b.peer ? a.peer < b.peer
+                                      : a.session_id < b.session_id;
+            });
+  return out;
+}
+
 // -------------------------------------------------------- inbound streams --
 
 const sim::DlcStats* SessionMux::inbound_stats(

@@ -1,0 +1,185 @@
+/// \file test_expose.cpp
+/// \brief Prometheus text exposition: name sanitization and a format checker
+///        over a registry populated by a real protocol run.
+///
+/// The checker enforces the text-format 0.0.4 rules the endpoint claims:
+/// every line is either `# TYPE <name> <counter|gauge|summary>` or
+/// `<name>[{labels}] <value>`; every sample belongs to a declared family;
+/// names match `[a-zA-Z_:][a-zA-Z0-9_:]*`; values parse as decimal floats or
+/// the spelled-out `NaN`/`+Inf`/`-Inf`; counter families end in `_total`;
+/// summaries expose quantile/`_sum`/`_count` series.
+
+#include "lamsdlc/obs/expose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lamsdlc/obs/metrics.hpp"
+#include "lamsdlc/sim/scenario.hpp"
+#include "lamsdlc/workload/sources.hpp"
+
+namespace lamsdlc::obs {
+namespace {
+
+bool valid_metric_name(const std::string& s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(s[0])) return false;
+  for (const char c : s) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+bool valid_value(const std::string& s) {
+  if (s == "NaN" || s == "+Inf" || s == "-Inf") return true;
+  if (s.empty()) return false;
+  char* end = nullptr;
+  (void)std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// Family a sample series belongs to: summaries expose `<fam>{quantile=...}`,
+/// `<fam>_sum` and `<fam>_count` under one `# TYPE <fam> summary`.
+std::string family_of(const std::string& series,
+                      const std::map<std::string, std::string>& types) {
+  if (types.count(series) != 0) return series;
+  for (const char* suffix : {"_sum", "_count"}) {
+    const std::string sfx{suffix};
+    if (series.size() > sfx.size() &&
+        series.compare(series.size() - sfx.size(), sfx.size(), sfx) == 0) {
+      const std::string fam = series.substr(0, series.size() - sfx.size());
+      if (types.count(fam) != 0) return fam;
+    }
+  }
+  return {};
+}
+
+/// Assert-heavy format checker (void: ASSERT_* requires it); fills \p types
+/// with the declared families for further checks.
+void check_exposition(const std::string& text,
+                      std::map<std::string, std::string>& types) {
+  std::istringstream in{text};
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream ls{line.substr(7)};
+      std::string name, type;
+      ls >> name >> type;
+      EXPECT_TRUE(valid_metric_name(name)) << line;
+      EXPECT_TRUE(type == "counter" || type == "gauge" || type == "summary")
+          << line;
+      EXPECT_EQ(types.count(name), 0u) << "duplicate TYPE for " << name;
+      types[name] = type;
+      continue;
+    }
+    const auto sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    std::string series = line.substr(0, sp);
+    const std::string value = line.substr(sp + 1);
+    EXPECT_TRUE(valid_value(value)) << line;
+    const auto brace = series.find('{');
+    std::string labels;
+    if (brace != std::string::npos) {
+      ASSERT_EQ(series.back(), '}') << line;
+      labels = series.substr(brace + 1, series.size() - brace - 2);
+      series = series.substr(0, brace);
+    }
+    EXPECT_TRUE(valid_metric_name(series)) << line;
+    const std::string fam = family_of(series, types);
+    ASSERT_FALSE(fam.empty()) << "sample " << series << " has no TYPE";
+    const std::string& type = types[fam];
+    if (type == "counter") {
+      EXPECT_TRUE(series.size() > 6 &&
+                  series.compare(series.size() - 6, 6, "_total") == 0)
+          << "counter series must end in _total: " << line;
+    }
+    if (!labels.empty()) {
+      EXPECT_EQ(type, "summary") << "only summaries carry labels here";
+      EXPECT_TRUE(labels == "quantile=\"0.5\"" ||
+                  labels == "quantile=\"0.9\"" ||
+                  labels == "quantile=\"0.99\"")
+          << line;
+    }
+  }
+  ASSERT_FALSE(types.empty());
+}
+
+TEST(PrometheusName, SanitizesIllegalBytesAndPrefixes) {
+  EXPECT_EQ(prometheus_name("lams.sender.iframe_tx"),
+            "lamsdlc_lams_sender_iframe_tx");
+  EXPECT_EQ(prometheus_name("rt.loop.tick_lateness_us"),
+            "lamsdlc_rt_loop_tick_lateness_us");
+  EXPECT_EQ(prometheus_name("weird-name with/slash", ""),
+            "weird_name_with_slash");
+  // Non-ASCII input sanitizes byte-by-byte ("é" is two UTF-8 bytes).
+  EXPECT_EQ(prometheus_name("caf\xC3\xA9", ""), "caf__");
+  // A leading digit is only legal when a prefix supplies the head character.
+  EXPECT_EQ(prometheus_name("2fast", ""), "_2fast");
+  EXPECT_EQ(prometheus_name("2fast"), "lamsdlc_2fast");
+}
+
+TEST(PrometheusExposition, EmptyHistogramOmitsQuantilesButKeepsSumCount) {
+  Registry reg;
+  reg.counter("a.count").add(3);
+  reg.gauge("b.level").set(1.5);
+  (void)reg.histogram("c.empty");
+  std::ostringstream os;
+  write_prometheus(os, reg);
+  const std::string text = os.str();
+  std::map<std::string, std::string> types;
+  check_exposition(text, types);
+  EXPECT_NE(text.find("lamsdlc_a_count_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lamsdlc_b_level 1.5\n"), std::string::npos);
+  EXPECT_EQ(text.find("quantile"), std::string::npos);
+  EXPECT_NE(text.find("lamsdlc_c_empty_sum 0\n"), std::string::npos);
+  EXPECT_NE(text.find("lamsdlc_c_empty_count 0\n"), std::string::npos);
+}
+
+TEST(PrometheusExposition, LiveRegistryPassesTheFormatChecker) {
+  sim::ScenarioConfig cfg;
+  cfg.protocol = sim::Protocol::kLams;
+  cfg.seed = 31;
+  cfg.metrics = true;
+  cfg.forward_error.kind = sim::ErrorConfig::Kind::kFixedFrameProb;
+  cfg.forward_error.p_frame = 0.05;
+  cfg.reverse_error = cfg.forward_error;
+  sim::Scenario s{cfg};
+  workload::submit_batch(s.simulator(), s.sender(), s.tracker(), s.ids(), 300,
+                         cfg.frame_bytes);
+  ASSERT_TRUE(s.run_to_completion(Time::seconds_int(30)));
+  s.metrics().histogram("test.latency_us").observe(133.7);
+
+  std::ostringstream os;
+  write_prometheus(os, s.metrics());
+  std::map<std::string, std::string> types;
+  check_exposition(os.str(), types);
+
+  // The protocol families the status endpoint advertises must be present,
+  // with the documented prefix.
+  EXPECT_EQ(types.at("lamsdlc_lams_sender_iframe_tx_total"), "counter");
+  EXPECT_EQ(types.at("lamsdlc_lams_receiver_packets_delivered_total"),
+            "counter");
+  EXPECT_EQ(types.at("lamsdlc_test_latency_us"), "summary");
+  EXPECT_NE(os.str().find("lamsdlc_test_latency_us{quantile=\"0.99\"} "),
+            std::string::npos);
+}
+
+TEST(JsonEscape, ControlAndQuoteBytesEscape) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("x\ny\tz"), "x\\ny\\tz");
+  EXPECT_EQ(json_escape(std::string{"\x01", 1}), "\\u0001");
+}
+
+}  // namespace
+}  // namespace lamsdlc::obs

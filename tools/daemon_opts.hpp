@@ -26,11 +26,22 @@
 ///   --fault-seed S           [1]
 ///   --capture PREFIX         [-]          one .ldlcap per session id at
 ///                                         PREFIX-s<sid>.ldlcap
+///   --status [PORT]          [off]        TCP introspection port (PORT
+///                                         optional; 0/omitted = ephemeral)
+///   --status-sample-ms MS    [500]        sampler period for `watch`
+///                                         (0 disables sampling)
+///   --recorder-dir DIR       [.]          flight-recorder dump directory
+///                                         (blackbox-s<sid>-<n>.ldlcap)
+///   --recorder-events N      [4096]       per-session ring capacity
+///                                         (0 disables the recorder)
+///   --no-telemetry           [off]        detach all per-session telemetry
+///                                         (registry + recorder; bench A/B)
 ///   --verbose                [off]        progress lines on stderr
 ///
 /// On startup the daemon prints one machine-readable line per bound socket
-/// (`udp <port>` / `bridge <port>`) and `ready`, then serves until killed or
-/// --exit-after-streams is met; exit status 0 iff no stream failed.
+/// (`udp <port>` / `bridge <port>` / `status <port>`) and `ready`, then
+/// serves until killed or --exit-after-streams is met; exit status 0 iff no
+/// stream failed.
 
 #include <csignal>
 #include <cstdio>
@@ -128,6 +139,20 @@ inline rt::DaemonConfig parse_daemon_flags(int argc, char** argv, int first,
       cfg.fault_seed = static_cast<std::uint64_t>(std::atoll(need(i)));
     } else if (a == "--capture") {
       cfg.capture_prefix = need(i);
+    } else if (a == "--status") {
+      cfg.status = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-' &&
+          std::strtol(argv[i + 1], nullptr, 10) > 0) {
+        cfg.status_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+      }
+    } else if (a == "--status-sample-ms") {
+      cfg.status_sample_period = Time::seconds(std::atof(need(i)) * 1e-3);
+    } else if (a == "--recorder-dir") {
+      cfg.recorder_dir = need(i);
+    } else if (a == "--recorder-events") {
+      cfg.recorder_events = static_cast<std::size_t>(std::atoll(need(i)));
+    } else if (a == "--no-telemetry") {
+      cfg.telemetry = false;
     } else if (a == "--verbose") {
       cfg.verbose = true;
     } else if (a == "--help" || a == "-h") {
@@ -162,6 +187,9 @@ inline int run_daemon_main(int argc, char** argv, int first,
     std::printf("udp %u\n", daemon.udp_port());
     if (daemon.bridge_port() != 0) {
       std::printf("bridge %u\n", daemon.bridge_port());
+    }
+    if (daemon.status_port() != 0) {
+      std::printf("status %u\n", daemon.status_port());
     }
     std::printf("ready\n");
     std::fflush(stdout);

@@ -152,6 +152,36 @@
 ///   --host HOST              [127.0.0.1] bridge address
 ///   --port N                 bridge TCP port (required)
 ///   --in FILE                [stdin] bytes to send
+///
+/// Subcommand `status`: one-shot snapshot of a live daemon's introspection
+/// port (`lamsdlcd --status`; schema in docs/OBSERVABILITY.md):
+///
+///   lamsdlc_cli status --port 47103            (one JSON line)
+///   lamsdlc_cli status --port 47103 --pretty   (rendered table)
+///   lamsdlc_cli status --port 47103 --metrics  (Prometheus exposition)
+///
+/// Status flags:
+///   --host HOST              [127.0.0.1] status address
+///   --port N                 status TCP port (required)
+///   --pretty                 server-rendered table instead of JSON
+///   --metrics                Prometheus text exposition instead of JSON
+///
+/// Subcommand `watch`: periodic sampled deltas from the same port — fetches
+/// the daemon's latest `obs::Sampler` tick each interval and prints
+/// client-side rates for counters (and levels for gauges):
+///
+///   lamsdlc_cli watch --port 47103 --interval-ms 1000
+///
+/// Watch flags:
+///   --host HOST              [127.0.0.1] status address
+///   --port N                 status TCP port (required)
+///   --interval-ms MS         [1000] fetch cadence
+///   --count N                [0] stop after N reports (0 = until killed)
+///
+/// `network --sample-ms MS` adds the same periodic registry sampling to a
+/// constellation run's capture, so `inspect --timeline` works on PDES runs;
+/// samples are synthesized on the canonical merged stream and stay
+/// byte-identical at every --partitions value.
 
 #include <algorithm>
 #include <cstdio>
@@ -215,6 +245,10 @@ void print_subcommands(std::FILE* to) {
                "lamsdlcd binary)\n"
                "  connect   push one byte stream through a daemon's client "
                "bridge\n"
+               "  status    one-shot snapshot of a live daemon's "
+               "introspection port\n"
+               "  watch     periodic sampled metric rates from a live "
+               "daemon\n"
                "  network   constellation-scale multi-hop run (optionally "
                "PDES-partitioned)\n"
                "  (none)    run one scenario from flags and print a report\n");
@@ -1193,6 +1227,197 @@ int run_connect_command(int argc, char** argv) {
 }
 
 // ---------------------------------------------------------------------------
+// `status` / `watch` — clients of the daemon's introspection port.
+
+/// One request/response exchange with a status port: send \p verb, read to
+/// EOF (the daemon answers one line-delimited request per connection and
+/// closes).  Empty optional on connect/transport failure.
+std::optional<std::string> fetch_status(const std::string& host,
+                                        std::uint16_t port,
+                                        const std::string& verb) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string req = verb + "\n";
+  if (::send(fd, req.data(), req.size(), 0) !=
+      static_cast<ssize_t>(req.size())) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::string out;
+  char buf[16384];
+  for (;;) {
+    const ssize_t r = ::recv(fd, buf, sizeof buf, 0);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;
+    out.append(buf, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+  return out;
+}
+
+int run_status_command(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string verb = "status";
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--host") {
+      host = need(i);
+    } else if (a == "--port") {
+      port = static_cast<std::uint16_t>(std::atoi(need(i)));
+    } else if (a == "--pretty") {
+      verb = "text";
+    } else if (a == "--metrics") {
+      verb = "metrics";
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "usage: lamsdlc_cli status --port N [--host HOST] "
+          "[--pretty|--metrics]\n"
+          "One-shot snapshot of a live daemon's introspection port\n"
+          "(lamsdlcd --status).  Default output is one JSON line.\n");
+      return 0;
+    } else {
+      usage_error("unknown status flag " + a);
+    }
+  }
+  if (port == 0) usage_error("status wants --port");
+  const auto resp = fetch_status(host, port, verb);
+  if (!resp.has_value()) {
+    std::fprintf(stderr, "lamsdlc_cli: cannot reach status port %s:%u\n",
+                 host.c_str(), port);
+    return 1;
+  }
+  std::fwrite(resp->data(), 1, resp->size(), stdout);
+  return 0;
+}
+
+/// Pull a string / number / bool field out of one of our own sampler-event
+/// JSON lines.  Not a JSON parser — it only needs to read what
+/// `obs::to_json` writes (flat object, known key set).
+std::optional<std::string> json_field(const std::string& line,
+                                      const std::string& key) {
+  const std::string pat = "\"" + key + "\":";
+  const auto at = line.find(pat);
+  if (at == std::string::npos) return std::nullopt;
+  std::size_t v = at + pat.size();
+  if (v >= line.size()) return std::nullopt;
+  if (line[v] == '"') {
+    const auto end = line.find('"', v + 1);
+    if (end == std::string::npos) return std::nullopt;
+    return line.substr(v + 1, end - v - 1);
+  }
+  auto end = v;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(v, end - v);
+}
+
+int run_watch_command(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  long interval_ms = 1000;
+  long count = 0;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--host") {
+      host = need(i);
+    } else if (a == "--port") {
+      port = static_cast<std::uint16_t>(std::atoi(need(i)));
+    } else if (a == "--interval-ms") {
+      interval_ms = std::atol(need(i));
+      if (interval_ms <= 0) usage_error("--interval-ms must be positive");
+    } else if (a == "--count") {
+      count = std::atol(need(i));
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "usage: lamsdlc_cli watch --port N [--host HOST] "
+          "[--interval-ms MS] [--count N]\n"
+          "Fetches the daemon's latest sampler tick each interval and prints\n"
+          "counter rates (computed client-side) and gauge levels.\n");
+      return 0;
+    } else {
+      usage_error("unknown watch flag " + a);
+    }
+  }
+  if (port == 0) usage_error("watch wants --port");
+
+  // name -> value at the previous *sampler* tick; rates divide by sampler
+  // tick spacing (t_ps delta), not our fetch interval — the two cadences
+  // are independent and only the former is exact.
+  std::map<std::string, double> prev;
+  double prev_t_s = -1.0;
+  for (long n = 0; count == 0 || n < count;) {
+    const auto resp = fetch_status(host, port, "samples");
+    if (!resp.has_value()) {
+      std::fprintf(stderr, "lamsdlc_cli: cannot reach status port %s:%u\n",
+                   host.c_str(), port);
+      return 1;
+    }
+    double t_s = -1.0;
+    std::map<std::string, std::pair<double, bool>> tick;  // name -> (v, ctr)
+    std::size_t start = 0;
+    while (start < resp->size()) {
+      auto end = resp->find('\n', start);
+      if (end == std::string::npos) end = resp->size();
+      const std::string line = resp->substr(start, end - start);
+      start = end + 1;
+      const auto name = json_field(line, "name");
+      const auto value = json_field(line, "value");
+      const auto t_ps = json_field(line, "t_ps");
+      if (!name || !value || !t_ps) continue;
+      t_s = std::atof(t_ps->c_str()) * 1e-12;
+      const bool is_counter =
+          json_field(line, "is_counter").value_or("false") == "true";
+      tick[*name] = {std::atof(value->c_str()), is_counter};
+    }
+    if (t_s < 0) {
+      std::printf("-- no samples yet (sampler warming up or disabled)\n");
+      std::fflush(stdout);
+    } else if (t_s != prev_t_s) {  // a fresh tick, not a re-read
+      std::printf("-- t=%.1fs (%zu metrics)\n", t_s, tick.size());
+      for (const auto& [name, vc] : tick) {
+        const auto& [v, is_counter] = vc;
+        if (!is_counter) {
+          std::printf("   %-44s %14.3f\n", name.c_str(), v);
+          continue;
+        }
+        const auto p = prev.find(name);
+        if (p == prev.end() || prev_t_s < 0) {
+          std::printf("   %-44s %14.0f\n", name.c_str(), v);
+        } else {
+          const double d = v - p->second;
+          if (d == 0) continue;  // quiet metrics stay off the screen
+          std::printf("   %-44s %14.0f  +%.0f (%.1f/s)\n", name.c_str(), v,
+                      d, d / (t_s - prev_t_s));
+        }
+      }
+      std::fflush(stdout);
+      for (const auto& [name, vc] : tick) prev[name] = vc.first;
+      prev_t_s = t_s;
+      ++n;
+      if (count != 0 && n >= count) break;
+    }
+    ::usleep(static_cast<useconds_t>(interval_ms) * 1000);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // `network`: Walker-constellation multi-hop run via sim::run_network.
 //
 //   lamsdlc_cli network --sats 112 --planes 8 --partitions 4
@@ -1213,6 +1438,9 @@ int run_connect_command(int argc, char** argv) {
 //   --pf P                [0]     per-channel I-frame error probability
 //   --pc P                [0]     per-channel control error probability
 //   --observe             [off]   collect metrics + capture artifacts
+//   --sample-ms MS        [off]   periodic registry samples in the capture,
+//                                 synthesized on the canonical merged stream
+//                                 (implies --observe; partition-invariant)
 //   --metrics-out FILE    write the metrics registry JSON (implies --observe)
 //   --capture-out FILE    write the raw .ldlcap bytes (implies --observe)
 //
@@ -1260,6 +1488,9 @@ int run_network_command(int argc, char** argv) {
     } else if (a == "--pc") {
       cfg.p_control = std::stod(value(i));
     } else if (a == "--observe") {
+      cfg.observe = true;
+    } else if (a == "--sample-ms") {
+      cfg.sample_period = Time::milliseconds(std::stol(value(i)));
       cfg.observe = true;
     } else if (a == "--metrics-out") {
       metrics_out = value(i);
@@ -1338,6 +1569,8 @@ int main(int argc, char** argv) {
                                              "lamsdlc_cli serve");
     }
     if (cmd == "connect") return run_connect_command(argc, argv);
+    if (cmd == "status") return run_status_command(argc, argv);
+    if (cmd == "watch") return run_watch_command(argc, argv);
     if (cmd == "network") return run_network_command(argc, argv);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
       print_help();
